@@ -1,0 +1,57 @@
+//! Reproduces Figures 1 and 2: the bug-exhibiting kernels, their expected
+//! outputs, and what each affected simulated configuration actually does.
+
+use fuzz_harness::render_table;
+use opencl_sim::{all_figures, configuration, execute, reference_execute, ExecOptions, TestOutcome};
+
+fn describe(outcome: &TestOutcome) -> String {
+    match outcome {
+        TestOutcome::Result { output, .. } => {
+            let mut s = output.clone();
+            if s.len() > 24 {
+                s.truncate(24);
+                s.push('…');
+            }
+            s
+        }
+        TestOutcome::BuildFailure(_) => "build failure".to_string(),
+        TestOutcome::Crash(_) => "crash".to_string(),
+        TestOutcome::Timeout => "timeout".to_string(),
+    }
+}
+
+fn main() {
+    let exec = ExecOptions::default();
+    let headers: Vec<String> = ["Figure", "Kernel", "Expected", "Configuration", "Observed", "Paper's observation"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for fig in all_figures() {
+        let reference = reference_execute(&fig.program, &exec);
+        if fig.demonstrates.is_empty() {
+            rows.push(vec![
+                fig.id.to_string(),
+                fig.caption.to_string(),
+                fig.expected_output.clone(),
+                "(statistical model)".to_string(),
+                describe(&reference),
+                "-".to_string(),
+            ]);
+        }
+        for (config_id, opt, note) in &fig.demonstrates {
+            let config = configuration(*config_id);
+            let observed = execute(&fig.program, &config, *opt, &exec);
+            rows.push(vec![
+                fig.id.to_string(),
+                fig.caption.chars().take(44).collect(),
+                fig.expected_output.clone(),
+                config.label(*opt),
+                describe(&observed),
+                note.to_string(),
+            ]);
+        }
+    }
+    println!("Figures 1 and 2 — bug-exhibiting kernels on the simulated configurations\n");
+    print!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,50 @@
+//! Reproduces Table 1: the 21 configurations and their classification
+//! against the §7.1 reliability threshold (25 % failures over the initial
+//! kernel set).
+//!
+//! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode]`
+//! (the paper uses 100 per mode; the default here is 8 so the emulated run
+//! finishes quickly).
+
+use clsmith::GeneratorOptions;
+use fuzz_harness::{classify_configurations, render_table, CampaignOptions};
+
+fn main() {
+    let kernels_per_mode: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let configs = opencl_sim::all_configurations();
+    let options = CampaignOptions {
+        generator: GeneratorOptions { min_threads: 16, max_threads: 64, ..GeneratorOptions::default() },
+        ..CampaignOptions::default()
+    };
+    let rows = classify_configurations(&configs, kernels_per_mode, &options);
+    let headers: Vec<String> = ["Conf.", "SDK", "Device", "Driver/compiler", "OpenCL", "Device type", "Failure %", "Above threshold?", "Paper"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut table = Vec::new();
+    let mut agreements = 0usize;
+    for row in &rows {
+        let agree = row.above_threshold == row.config.expected_above_threshold;
+        if agree {
+            agreements += 1;
+        }
+        table.push(vec![
+            row.config.id.to_string(),
+            row.config.sdk.to_string(),
+            row.config.device.to_string(),
+            row.config.driver.to_string(),
+            row.config.opencl.to_string(),
+            row.config.device_type.name().to_string(),
+            format!("{:.1}", row.failure_fraction * 100.0),
+            if row.above_threshold { "yes" } else { "no" }.to_string(),
+            if row.config.expected_above_threshold { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("Table 1 — configurations and reliability classification");
+    println!("({kernels_per_mode} kernels per mode, {} total per configuration)\n", kernels_per_mode * 6);
+    print!("{}", render_table(&headers, &table));
+    println!("\nClassification agrees with the paper for {agreements}/{} configurations.", rows.len());
+}

@@ -1,0 +1,28 @@
+//! Reproduces Table 2: the Parboil/Rodinia benchmarks studied with EMI
+//! testing, including the kernel statistics of our miniatures.
+
+use fuzz_harness::render_table;
+use parboil_rodinia::all_benchmarks;
+
+fn main() {
+    let headers: Vec<String> =
+        ["Suite", "Benchmark", "Description", "Kernels (orig.)", "LoC (orig.)", "Uses FP (orig.)", "Miniature stmts", "Known race"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        rows.push(vec![
+            b.suite.name().to_string(),
+            b.name.to_string(),
+            b.description.to_string(),
+            b.original_kernels.to_string(),
+            b.original_loc.to_string(),
+            if b.original_uses_fp { "yes" } else { "no" }.to_string(),
+            b.program.statement_count().to_string(),
+            if b.has_known_race { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("Table 2 — OpenCL benchmarks studied using EMI testing\n");
+    print!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,6 @@
+//! # bench — reproduction binaries and performance benchmarks
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md for the per-experiment index); the
+//! Criterion benchmarks in `benches/` measure the throughput of the
+//! generator, the emulator and the simulated compiler pipeline.

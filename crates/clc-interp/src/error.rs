@@ -1,0 +1,145 @@
+//! Runtime errors raised by the emulator.
+//!
+//! Many of these correspond to OpenCL undefined behaviours (§3.1 of the
+//! paper).  The CLsmith generator is designed never to trigger them; the
+//! reducer and the EMI pruner rely on the emulator to reject candidate
+//! programs that would introduce them.
+
+use std::fmt;
+
+/// Why a kernel execution failed (or was aborted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The per-work-item step budget was exhausted.  The harness maps this
+    /// to the paper's "timeout" outcome.
+    StepLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// Work-items of the same group reached different barriers (or one
+    /// finished while another waits) — undefined behaviour in OpenCL.
+    BarrierDivergence {
+        /// Linear group id where the divergence occurred.
+        group: usize,
+    },
+    /// A data race was detected between two work-items.
+    DataRace(RaceReport),
+    /// A read of uninitialised memory (indeterminate value).
+    UninitializedRead {
+        /// Name of the object being read, if known.
+        object: String,
+    },
+    /// An out-of-bounds or otherwise invalid memory access.
+    InvalidAccess {
+        /// Description of the access.
+        detail: String,
+    },
+    /// Use of a variable that is not in scope.
+    UnknownVariable(String),
+    /// Call to a function that does not exist in the program.
+    UnknownFunction(String),
+    /// An operation was applied to values of the wrong shape (e.g. indexing
+    /// a scalar).  Generated programs are well-typed so this indicates a
+    /// harness bug or a deliberately broken hand-written test.
+    TypeMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// Division or remainder by zero outside the safe-math wrappers.
+    DivisionByZero,
+    /// Shift amount outside `[0, width)` outside the safe-math wrappers.
+    InvalidShift {
+        /// The offending shift amount.
+        amount: i64,
+    },
+    /// `clamp` with `lo > hi` (undefined behaviour per §3.1).
+    InvalidClamp,
+    /// Call depth exceeded (runaway recursion).
+    CallDepthExceeded,
+    /// A miscellaneous unsupported construct was reached.
+    Unsupported(String),
+}
+
+/// Details of a detected data race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Name of the object on which the race occurred.
+    pub object: String,
+    /// Cell offset within the object.
+    pub offset: usize,
+    /// Linear global id of the first work-item involved.
+    pub first_thread: usize,
+    /// Linear global id of the second work-item involved.
+    pub second_thread: usize,
+    /// Whether both accesses were in the same work-group.
+    pub same_group: bool,
+    /// Whether at least one access was a write.
+    pub involves_write: bool,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded (timeout)")
+            }
+            RuntimeError::BarrierDivergence { group } => {
+                write!(f, "barrier divergence in work-group {group}")
+            }
+            RuntimeError::DataRace(r) => write!(
+                f,
+                "data race on `{}` (cell {}) between work-items {} and {} ({})",
+                r.object,
+                r.offset,
+                r.first_thread,
+                r.second_thread,
+                if r.same_group { "same group" } else { "different groups" }
+            ),
+            RuntimeError::UninitializedRead { object } => {
+                write!(f, "read of uninitialised memory in `{object}`")
+            }
+            RuntimeError::InvalidAccess { detail } => write!(f, "invalid memory access: {detail}"),
+            RuntimeError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            RuntimeError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            RuntimeError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::InvalidShift { amount } => write!(f, "invalid shift amount {amount}"),
+            RuntimeError::InvalidClamp => write!(f, "clamp with lo > hi"),
+            RuntimeError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            RuntimeError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race on `{}`[{}] between threads {} and {}",
+            self.object, self.offset, self.first_thread, self.second_thread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RuntimeError::StepLimitExceeded { limit: 1000 };
+        assert!(e.to_string().contains("1000"));
+        let r = RuntimeError::DataRace(RaceReport {
+            object: "A".into(),
+            offset: 3,
+            first_thread: 0,
+            second_thread: 5,
+            same_group: true,
+            involves_write: true,
+        });
+        assert!(r.to_string().contains("`A`"));
+        assert!(r.to_string().contains("same group"));
+    }
+}

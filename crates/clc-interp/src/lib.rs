@@ -1,0 +1,65 @@
+//! # clc-interp — an OpenCL NDRange emulator for the CLsmith reproduction
+//!
+//! This crate plays the role that Oclgrind plays in the paper (configuration
+//! 19 of Table 1): a platform-independent reference executor for OpenCL C
+//! kernels.  It executes a [`clc::Program`] over its NDRange with
+//! work-group-accurate barrier semantics, intra-group atomics, the four
+//! OpenCL address spaces, data-race detection and barrier-divergence
+//! detection.
+//!
+//! ## Execution model
+//!
+//! * Work-groups run sequentially (OpenCL 1.x offers no inter-group
+//!   synchronisation, so this preserves the semantics of well-defined
+//!   kernels).
+//! * Within a group, work-items are interpreted cooperatively: each runs
+//!   until it finishes or reaches a `barrier()` statement in the kernel
+//!   body, at which point control passes to the next work-item.  The
+//!   scheduling order is configurable ([`Schedule`]) which the harness uses
+//!   both to validate determinism of generated kernels and to expose the
+//!   data races the paper found in Parboil/Rodinia benchmarks.
+//! * Barriers inside helper functions are "soft": they are counted but do
+//!   not synchronise.  CLsmith only emits barriers in the kernel body, and
+//!   the paper's callee-barrier examples (Figures 1(d), 2(c), 2(d)) do not
+//!   depend on callee barriers for cross-thread communication.
+//!
+//! ## Example
+//!
+//! ```
+//! use clc::{BufferSpec, Expr, IdKind, KernelDef, LaunchConfig, Program, ScalarType, Stmt};
+//!
+//! // kernel void k(global ulong *out) { out[get_global_linear_id()] = 7; }
+//! let mut program = Program::new(
+//!     KernelDef {
+//!         name: "k".into(),
+//!         params: Program::standard_clsmith_params(0),
+//!         body: clc::Block::of(vec![Stmt::assign(
+//!             Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+//!             Expr::int(7),
+//!         )]),
+//!     },
+//!     LaunchConfig::single_group(4),
+//! );
+//! program.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+//!
+//! let result = clc_interp::run(&program)?;
+//! assert_eq!(result.result_string, "7,7,7,7");
+//! # Ok::<(), clc_interp::RuntimeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod memory;
+pub mod race;
+pub mod value;
+
+pub use error::{RaceReport, RuntimeError};
+pub use eval::{Ctx, Env, Flow, ThreadIds};
+pub use exec::{fnv1a, launch, run, LaunchOptions, LaunchResult, Schedule};
+pub use memory::{Memory, Object};
+pub use race::{AccessKind, RaceDetector};
+pub use value::{Cell, ObjId, PointerValue, Scalar, Value};

@@ -1,0 +1,326 @@
+//! The cell-based memory model.
+//!
+//! Each allocated object (a variable, a kernel buffer, the permutation
+//! table, ...) occupies a contiguous run of *cells*, where one cell holds one
+//! scalar or one pointer.  Aggregates are flattened using
+//! [`Type::cell_count`] and [`Type::field_offset`], which keeps layout simple
+//! and byte-order-free; the byte-level struct padding bugs the paper
+//! describes (Figure 1(a), Figure 2(a)) are modelled as AST transformations
+//! in the simulated compilers rather than as layout differences here.
+
+use crate::error::RuntimeError;
+use crate::value::{Cell, ObjId, PointerValue, Scalar};
+use clc::{AddressSpace, ScalarType, StructDef, Type};
+
+/// An allocated object.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Name used in diagnostics (variable or buffer name).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Address space.
+    pub space: AddressSpace,
+    /// Flattened storage.
+    pub cells: Vec<Cell>,
+    /// Whether the object is live (freed objects are kept so that dangling
+    /// pointers are detected rather than silently reused).
+    pub live: bool,
+}
+
+/// The object store for one kernel launch.
+#[derive(Debug, Default)]
+pub struct Memory {
+    objects: Vec<Object>,
+    /// Indices of freed objects whose storage may be reused.
+    free_list: Vec<usize>,
+}
+
+impl Memory {
+    /// Creates an empty store.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Allocates an object of `ty`, uninitialised.
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        space: AddressSpace,
+        structs: &[StructDef],
+    ) -> ObjId {
+        let cells = vec![Cell::Uninit; ty.cell_count(structs)];
+        self.alloc_with_cells(name, ty, space, cells)
+    }
+
+    /// Allocates an object of `ty` with every cell zeroed.
+    pub fn alloc_zeroed(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        space: AddressSpace,
+        structs: &[StructDef],
+    ) -> ObjId {
+        let cells = vec![Cell::Bits(0); ty.cell_count(structs)];
+        self.alloc_with_cells(name, ty, space, cells)
+    }
+
+    /// Allocates an object with explicit cell contents.
+    pub fn alloc_with_cells(
+        &mut self,
+        name: impl Into<String>,
+        ty: Type,
+        space: AddressSpace,
+        cells: Vec<Cell>,
+    ) -> ObjId {
+        let object = Object { name: name.into(), ty, space, cells, live: true };
+        if let Some(slot) = self.free_list.pop() {
+            self.objects[slot] = object;
+            ObjId(slot)
+        } else {
+            self.objects.push(object);
+            ObjId(self.objects.len() - 1)
+        }
+    }
+
+    /// Marks an object as dead and recycles its slot.
+    pub fn free(&mut self, id: ObjId) {
+        if let Some(obj) = self.objects.get_mut(id.0) {
+            if obj.live {
+                obj.live = false;
+                obj.cells.clear();
+                obj.cells.shrink_to_fit();
+                self.free_list.push(id.0);
+            }
+        }
+    }
+
+    /// Number of live objects (diagnostics).
+    pub fn live_objects(&self) -> usize {
+        self.objects.iter().filter(|o| o.live).count()
+    }
+
+    /// Accesses an object, failing if it has been freed.
+    pub fn object(&self, id: ObjId) -> Result<&Object, RuntimeError> {
+        match self.objects.get(id.0) {
+            Some(o) if o.live => Ok(o),
+            Some(o) => Err(RuntimeError::InvalidAccess {
+                detail: format!("use of freed object `{}`", o.name),
+            }),
+            None => Err(RuntimeError::InvalidAccess { detail: format!("bad object id {}", id.0) }),
+        }
+    }
+
+    fn object_mut(&mut self, id: ObjId) -> Result<&mut Object, RuntimeError> {
+        match self.objects.get_mut(id.0) {
+            Some(o) if o.live => Ok(o),
+            Some(o) => Err(RuntimeError::InvalidAccess {
+                detail: format!("use of freed object `{}`", o.name),
+            }),
+            None => Err(RuntimeError::InvalidAccess { detail: format!("bad object id {}", id.0) }),
+        }
+    }
+
+    /// Reads one raw cell.
+    pub fn read_cell(&self, id: ObjId, offset: usize) -> Result<Cell, RuntimeError> {
+        let obj = self.object(id)?;
+        match obj.cells.get(offset) {
+            Some(c) => Ok(c.clone()),
+            None => Err(RuntimeError::InvalidAccess {
+                detail: format!(
+                    "offset {offset} out of bounds for `{}` ({} cells)",
+                    obj.name,
+                    obj.cells.len()
+                ),
+            }),
+        }
+    }
+
+    /// Reads a scalar of type `ty` from a cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds offsets, reads of uninitialised cells and
+    /// reads of pointer cells at scalar type.
+    pub fn read_scalar(&self, id: ObjId, offset: usize, ty: ScalarType) -> Result<Scalar, RuntimeError> {
+        let obj = self.object(id)?;
+        match obj.cells.get(offset) {
+            Some(Cell::Bits(bits)) => Ok(Scalar::from_bits(*bits, ty)),
+            Some(Cell::Uninit) => {
+                Err(RuntimeError::UninitializedRead { object: obj.name.clone() })
+            }
+            Some(Cell::Ptr(_)) => Err(RuntimeError::TypeMismatch {
+                detail: format!("reading pointer cell of `{}` as scalar", obj.name),
+            }),
+            None => Err(RuntimeError::InvalidAccess {
+                detail: format!("offset {offset} out of bounds for `{}`", obj.name),
+            }),
+        }
+    }
+
+    /// Reads a pointer from a cell.
+    pub fn read_pointer(&self, id: ObjId, offset: usize) -> Result<PointerValue, RuntimeError> {
+        let obj = self.object(id)?;
+        match obj.cells.get(offset) {
+            Some(Cell::Ptr(p)) => Ok(p.clone()),
+            Some(Cell::Uninit) => {
+                Err(RuntimeError::UninitializedRead { object: obj.name.clone() })
+            }
+            Some(Cell::Bits(_)) => Err(RuntimeError::TypeMismatch {
+                detail: format!("reading scalar cell of `{}` as pointer", obj.name),
+            }),
+            None => Err(RuntimeError::InvalidAccess {
+                detail: format!("offset {offset} out of bounds for `{}`", obj.name),
+            }),
+        }
+    }
+
+    /// Writes one raw cell.
+    pub fn write_cell(&mut self, id: ObjId, offset: usize, cell: Cell) -> Result<(), RuntimeError> {
+        let obj = self.object_mut(id)?;
+        match obj.cells.get_mut(offset) {
+            Some(slot) => {
+                *slot = cell;
+                Ok(())
+            }
+            None => Err(RuntimeError::InvalidAccess {
+                detail: format!(
+                    "offset {offset} out of bounds for `{}` ({} cells)",
+                    obj.name,
+                    obj.cells.len()
+                ),
+            }),
+        }
+    }
+
+    /// Writes a scalar value, masked to `ty`, into a cell.
+    pub fn write_scalar(
+        &mut self,
+        id: ObjId,
+        offset: usize,
+        value: Scalar,
+        ty: ScalarType,
+    ) -> Result<(), RuntimeError> {
+        self.write_cell(id, offset, Cell::Bits(value.convert(ty).bits))
+    }
+
+    /// Copies `count` cells between (possibly identical) objects.
+    pub fn copy_cells(
+        &mut self,
+        src: ObjId,
+        src_offset: usize,
+        dst: ObjId,
+        dst_offset: usize,
+        count: usize,
+    ) -> Result<(), RuntimeError> {
+        let mut buffer = Vec::with_capacity(count);
+        for i in 0..count {
+            buffer.push(self.read_cell(src, src_offset + i)?);
+        }
+        for (i, cell) in buffer.into_iter().enumerate() {
+            self.write_cell(dst, dst_offset + i, cell)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `count` cells as a vector of cells (used to build aggregate
+    /// rvalues).
+    pub fn read_cells(&self, id: ObjId, offset: usize, count: usize) -> Result<Vec<Cell>, RuntimeError> {
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            out.push(self.read_cell(id, offset + i)?);
+        }
+        Ok(out)
+    }
+
+    /// Writes a slice of cells starting at `offset`.
+    pub fn write_cells(&mut self, id: ObjId, offset: usize, cells: &[Cell]) -> Result<(), RuntimeError> {
+        for (i, cell) in cells.iter().enumerate() {
+            self.write_cell(id, offset + i, cell.clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clc::ScalarType;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut m = Memory::new();
+        let id = m.alloc_zeroed("x", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        assert_eq!(m.read_scalar(id, 0, ScalarType::Int).unwrap().as_i64(), 0);
+        m.write_scalar(id, 0, Scalar::from_i128(-7, ScalarType::Int), ScalarType::Int).unwrap();
+        assert_eq!(m.read_scalar(id, 0, ScalarType::Int).unwrap().as_i64(), -7);
+    }
+
+    #[test]
+    fn uninitialised_reads_are_errors() {
+        let mut m = Memory::new();
+        let id = m.alloc("x", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        assert!(matches!(
+            m.read_scalar(id, 0, ScalarType::Int),
+            Err(RuntimeError::UninitializedRead { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut m = Memory::new();
+        let id = m.alloc_zeroed(
+            "a",
+            Type::Scalar(ScalarType::Int).array_of(4),
+            AddressSpace::Private,
+            &[],
+        );
+        assert!(m.read_scalar(id, 3, ScalarType::Int).is_ok());
+        assert!(m.read_scalar(id, 4, ScalarType::Int).is_err());
+        assert!(m.write_scalar(id, 9, Scalar::zero(ScalarType::Int), ScalarType::Int).is_err());
+    }
+
+    #[test]
+    fn freed_objects_are_detected_and_reused() {
+        let mut m = Memory::new();
+        let a = m.alloc_zeroed("a", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        m.free(a);
+        assert!(m.read_scalar(a, 0, ScalarType::Int).is_err());
+        let b = m.alloc_zeroed("b", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        // Slot is recycled.
+        assert_eq!(a.0, b.0);
+        assert_eq!(m.live_objects(), 1);
+    }
+
+    #[test]
+    fn cell_copies_move_aggregates() {
+        let mut m = Memory::new();
+        let src = m.alloc_zeroed(
+            "src",
+            Type::Scalar(ScalarType::Int).array_of(3),
+            AddressSpace::Private,
+            &[],
+        );
+        let dst = m.alloc_zeroed(
+            "dst",
+            Type::Scalar(ScalarType::Int).array_of(3),
+            AddressSpace::Private,
+            &[],
+        );
+        for i in 0..3 {
+            m.write_scalar(src, i, Scalar::from_i128(i as i128 + 1, ScalarType::Int), ScalarType::Int)
+                .unwrap();
+        }
+        m.copy_cells(src, 0, dst, 0, 3).unwrap();
+        assert_eq!(m.read_scalar(dst, 2, ScalarType::Int).unwrap().as_i64(), 3);
+    }
+
+    #[test]
+    fn scalar_writes_convert_to_declared_type() {
+        let mut m = Memory::new();
+        let id = m.alloc_zeroed("c", Type::Scalar(ScalarType::UChar), AddressSpace::Private, &[]);
+        m.write_scalar(id, 0, Scalar::from_i128(300, ScalarType::Int), ScalarType::UChar).unwrap();
+        assert_eq!(m.read_scalar(id, 0, ScalarType::UChar).unwrap().as_u64(), 44);
+    }
+}

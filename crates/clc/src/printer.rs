@@ -1,0 +1,561 @@
+//! Pretty-printer: renders a [`Program`] as compilable OpenCL C source.
+//!
+//! The emitted source is what would be handed to a real OpenCL driver's
+//! online compiler.  It includes the CLsmith safe-math macro preamble so the
+//! text is self-contained (§4.1 of the paper describes the safe-math macros;
+//! we emit functionally equivalent definitions).
+//!
+//! Sub-expressions are fully parenthesised.  This sidesteps precedence
+//! questions entirely — notably the ambiguous-vector-literal issue the paper
+//! describes in §6 ("Front-end issues"), where `(int2)(1,2).y` was parsed in
+//! two different ways by different vendors; we always emit
+//! `((int2)(1, 2)).y`.
+
+use crate::expr::{Expr, IdKind};
+use crate::program::{FunctionDef, KernelDef, Param, Program};
+use crate::stmt::{Block, Initializer, Stmt};
+use crate::types::{AddressSpace, StructDef, Type};
+use std::fmt::Write as _;
+
+/// Renders a whole program as OpenCL C.
+pub fn print_program(program: &Program) -> String {
+    Printer::new(program).print()
+}
+
+/// Renders a single expression (mainly for diagnostics and tests).
+pub fn print_expr(expr: &Expr, program: &Program) -> String {
+    let p = Printer::new(program);
+    p.expr(expr)
+}
+
+/// Renders a single statement at the given indentation level.
+pub fn print_stmt(stmt: &Stmt, program: &Program) -> String {
+    let p = Printer::new(program);
+    let mut out = String::new();
+    p.stmt(&mut out, stmt, 0);
+    out
+}
+
+struct Printer<'p> {
+    program: &'p Program,
+}
+
+const INDENT: &str = "    ";
+
+impl<'p> Printer<'p> {
+    fn new(program: &'p Program) -> Printer<'p> {
+        Printer { program }
+    }
+
+    fn print(&self) -> String {
+        let mut out = String::new();
+        self.header(&mut out);
+        self.preamble(&mut out);
+        for def in &self.program.structs {
+            self.struct_def(&mut out, def);
+        }
+        self.permutations(&mut out);
+        // Forward declarations (prototypes) first.
+        for f in &self.program.functions {
+            if f.forward_declared {
+                let _ = writeln!(out, "{};", self.function_signature(f));
+            }
+        }
+        if self.program.functions.iter().any(|f| f.forward_declared) {
+            out.push('\n');
+        }
+        for f in &self.program.functions {
+            self.function(&mut out, f);
+        }
+        self.kernel(&mut out, &self.program.kernel);
+        out
+    }
+
+    fn header(&self, out: &mut String) {
+        let l = &self.program.launch;
+        let _ = writeln!(
+            out,
+            "// Auto-generated OpenCL kernel (CLsmith reproduction)\n\
+             // global_work_size = [{}, {}, {}], local_work_size = [{}, {}, {}]",
+            l.global[0], l.global[1], l.global[2], l.local[0], l.local[1], l.local[2]
+        );
+        if self.program.dead_len > 0 {
+            let _ = writeln!(
+                out,
+                "// EMI dead array: {} elements, host initialises dead[j] = j",
+                self.program.dead_len
+            );
+        }
+        out.push('\n');
+    }
+
+    /// Emits the safe-math macro definitions used by generated code.
+    fn preamble(&self, out: &mut String) {
+        out.push_str(
+            "#define safe_add(a, b) ((a) + (b))\n\
+             #define safe_sub(a, b) ((a) - (b))\n\
+             #define safe_mul(a, b) ((a) * (b))\n\
+             #define safe_div(a, b) (((b) == 0) ? (a) : ((a) / (b)))\n\
+             #define safe_mod(a, b) (((b) == 0) ? (a) : ((a) % (b)))\n\
+             #define safe_lshift(a, b) ((a) << (((b) & 31)))\n\
+             #define safe_rshift(a, b) ((a) >> (((b) & 31)))\n\
+             #define safe_unary_minus(a) (-(a))\n\
+             #define safe_clamp(x, lo, hi) (((lo) > (hi)) ? (x) : clamp((x), (lo), (hi)))\n\n",
+        );
+    }
+
+    fn permutations(&self, out: &mut String) {
+        if self.program.permutations.is_empty() {
+            return;
+        }
+        let rows = self.program.permutations.len();
+        let cols = self.program.permutations[0].len();
+        let _ = writeln!(out, "constant uint permutations[{rows}][{cols}] = {{");
+        for row in &self.program.permutations {
+            let items: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "{INDENT}{{{}}},", items.join(", "));
+        }
+        out.push_str("};\n\n");
+    }
+
+    fn struct_def(&self, out: &mut String, def: &StructDef) {
+        let kw = if def.is_union { "union" } else { "struct" };
+        let _ = writeln!(out, "{kw} {} {{", def.name);
+        for field in &def.fields {
+            let vol = if field.volatile { "volatile " } else { "" };
+            let _ = writeln!(out, "{INDENT}{vol}{};", self.declarator(&field.ty, &field.name));
+        }
+        out.push_str("};\n\n");
+    }
+
+    /// Renders a C declarator `ty name`, placing array lengths after the
+    /// name as C requires.
+    fn declarator(&self, ty: &Type, name: &str) -> String {
+        match ty {
+            Type::Array(elem, len) => {
+                format!("{}[{len}]", self.declarator(elem, name))
+            }
+            _ => format!("{} {name}", self.type_name(ty)),
+        }
+    }
+
+    fn type_name(&self, ty: &Type) -> String {
+        match ty {
+            Type::Scalar(s) => s.name().to_string(),
+            Type::Vector(s, w) => format!("{}{}", s.name(), w.lanes()),
+            Type::Struct(id) => {
+                let def = self.program.struct_def(*id);
+                let kw = if def.is_union { "union" } else { "struct" };
+                format!("{kw} {}", def.name)
+            }
+            Type::Array(elem, len) => format!("{}[{len}]", self.type_name(elem)),
+            Type::Pointer(inner, space) => {
+                let q = space.qualifier();
+                if q.is_empty() {
+                    format!("{}*", self.type_name(inner))
+                } else {
+                    format!("{q} {}*", self.type_name(inner))
+                }
+            }
+        }
+    }
+
+    fn function_signature(&self, f: &FunctionDef) -> String {
+        let ret = match &f.ret {
+            Some(ty) => self.type_name(ty),
+            None => "void".to_string(),
+        };
+        format!("{ret} {}({})", f.name, self.params(&f.params))
+    }
+
+    fn params(&self, params: &[Param]) -> String {
+        if params.is_empty() {
+            return "void".to_string();
+        }
+        params
+            .iter()
+            .map(|p| self.declarator(&p.ty, &p.name))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn function(&self, out: &mut String, f: &FunctionDef) {
+        let _ = writeln!(out, "{} {{", self.function_signature(f));
+        self.block_body(out, &f.body, 1);
+        out.push_str("}\n\n");
+    }
+
+    fn kernel(&self, out: &mut String, k: &KernelDef) {
+        let _ = writeln!(out, "kernel void {}({}) {{", k.name, self.params(&k.params));
+        self.block_body(out, &k.body, 1);
+        out.push_str("}\n");
+    }
+
+    fn block_body(&self, out: &mut String, block: &Block, level: usize) {
+        for stmt in block.iter() {
+            self.stmt(out, stmt, level);
+        }
+    }
+
+    fn stmt(&self, out: &mut String, stmt: &Stmt, level: usize) {
+        let pad = INDENT.repeat(level);
+        match stmt {
+            Stmt::Decl { name, ty, space, volatile, init, init_list } => {
+                let mut line = String::new();
+                let q = space.qualifier();
+                if !q.is_empty() && *space != AddressSpace::Private {
+                    line.push_str(q);
+                    line.push(' ');
+                }
+                if *volatile {
+                    line.push_str("volatile ");
+                }
+                line.push_str(&self.declarator(ty, name));
+                if let Some(e) = init {
+                    let _ = write!(line, " = {}", self.expr(e));
+                } else if let Some(list) = init_list {
+                    let _ = write!(line, " = {}", self.initializer(list));
+                }
+                let _ = writeln!(out, "{pad}{line};");
+            }
+            Stmt::Expr(e) => {
+                let _ = writeln!(out, "{pad}{};", self.expr(e));
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                let _ = writeln!(out, "{pad}if ({}) {{", self.expr(cond));
+                self.block_body(out, then_block, level + 1);
+                match else_block {
+                    Some(e) => {
+                        let _ = writeln!(out, "{pad}}} else {{");
+                        self.block_body(out, e, level + 1);
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}}}");
+                    }
+                }
+            }
+            Stmt::For { init, cond, update, body } => {
+                let init_str = match init {
+                    Some(s) => {
+                        let mut tmp = String::new();
+                        self.stmt(&mut tmp, s, 0);
+                        tmp.trim_end().trim_end_matches(';').to_string() + ";"
+                    }
+                    None => ";".to_string(),
+                };
+                let cond_str = cond.as_ref().map(|c| self.expr(c)).unwrap_or_default();
+                let update_str = update.as_ref().map(|u| self.expr(u)).unwrap_or_default();
+                let _ = writeln!(out, "{pad}for ({init_str} {cond_str}; {update_str}) {{");
+                self.block_body(out, body, level + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while ({}) {{", self.expr(cond));
+                self.block_body(out, body, level + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Block(b) => {
+                let _ = writeln!(out, "{pad}{{");
+                self.block_body(out, b, level + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Return(None) => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+            Stmt::Return(Some(e)) => {
+                let _ = writeln!(out, "{pad}return {};", self.expr(e));
+            }
+            Stmt::Break => {
+                let _ = writeln!(out, "{pad}break;");
+            }
+            Stmt::Continue => {
+                let _ = writeln!(out, "{pad}continue;");
+            }
+            Stmt::Barrier(fence) => {
+                let _ = writeln!(out, "{pad}barrier({});", fence.render());
+            }
+            Stmt::Emi(emi) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}if (dead[{}] < dead[{}]) {{ /* EMI block {} */",
+                    emi.guard.0, emi.guard.1, emi.index
+                );
+                self.block_body(out, &emi.body, level + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+
+    fn initializer(&self, init: &Initializer) -> String {
+        match init {
+            Initializer::Expr(e) => self.expr(e),
+            Initializer::List(items) => {
+                let rendered: Vec<String> = items.iter().map(|i| self.initializer(i)).collect();
+                format!("{{{}}}", rendered.join(", "))
+            }
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::IntLit { value, ty } => {
+                let suffix = match (ty.is_signed(), ty.bits()) {
+                    (false, 64) => "UL",
+                    (true, 64) => "L",
+                    (false, _) => "U",
+                    (true, _) => "",
+                };
+                format!("{value}{suffix}")
+            }
+            Expr::VectorLit { elem, width, parts } => {
+                let parts_str: Vec<String> = parts.iter().map(|p| self.expr(p)).collect();
+                format!("(({}{})({}))", elem.name(), width.lanes(), parts_str.join(", "))
+            }
+            Expr::Var(name) => name.clone(),
+            Expr::Unary { op, expr } => format!("({}{})", op.symbol(), self.expr(expr)),
+            Expr::Binary { op, lhs, rhs } => {
+                format!("({} {} {})", self.expr(lhs), op.symbol(), self.expr(rhs))
+            }
+            Expr::Assign { op, lhs, rhs } => {
+                format!("{} {} {}", self.expr(lhs), op.symbol(), self.expr(rhs))
+            }
+            Expr::Cond { cond, then_expr, else_expr } => format!(
+                "({} ? {} : {})",
+                self.expr(cond),
+                self.expr(then_expr),
+                self.expr(else_expr)
+            ),
+            Expr::Comma { lhs, rhs } => format!("({} , {})", self.expr(lhs), self.expr(rhs)),
+            Expr::Call { name, args } => {
+                let args_str: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
+                format!("{name}({})", args_str.join(", "))
+            }
+            Expr::BuiltinCall { func, args } => {
+                let args_str: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
+                format!("{}({})", func.name(), args_str.join(", "))
+            }
+            Expr::IdQuery(kind) => self.id_query(*kind),
+            Expr::Index { base, index } => {
+                format!("{}[{}]", self.expr(base), self.expr(index))
+            }
+            Expr::Field { base, field, arrow } => {
+                let sep = if *arrow { "->" } else { "." };
+                format!("{}{sep}{field}", self.expr_grouped(base))
+            }
+            Expr::Deref(p) => format!("(*{})", self.expr(p)),
+            Expr::AddrOf(lv) => format!("(&{})", self.expr(lv)),
+            Expr::Cast { ty, expr } => format!("(({}){})", self.type_name(ty), self.expr(expr)),
+            Expr::Swizzle { base, lanes } => {
+                format!("{}.{}", self.expr_grouped(base), swizzle_suffix(lanes))
+            }
+        }
+    }
+
+    /// Like [`Self::expr`], but guarantees the rendered text binds tighter
+    /// than member access (wraps casts and vector literals in parens).
+    fn expr_grouped(&self, e: &Expr) -> String {
+        match e {
+            Expr::Var(_)
+            | Expr::Index { .. }
+            | Expr::Field { .. }
+            | Expr::Call { .. }
+            | Expr::BuiltinCall { .. } => self.expr(e),
+            _ => format!("({})", self.expr(e)),
+        }
+    }
+
+    fn id_query(&self, kind: IdKind) -> String {
+        match kind {
+            IdKind::GlobalId(d) => format!("get_global_id({})", d.index()),
+            IdKind::LocalId(d) => format!("get_local_id({})", d.index()),
+            IdKind::GroupId(d) => format!("get_group_id({})", d.index()),
+            IdKind::GlobalSize(d) => format!("get_global_size({})", d.index()),
+            IdKind::LocalSize(d) => format!("get_local_size({})", d.index()),
+            IdKind::NumGroups(d) => format!("get_num_groups({})", d.index()),
+            IdKind::GlobalLinearId => "((get_global_id(2) * get_global_size(1) + get_global_id(1)) * get_global_size(0) + get_global_id(0))".to_string(),
+            IdKind::LocalLinearId => "((get_local_id(2) * get_local_size(1) + get_local_id(1)) * get_local_size(0) + get_local_id(0))".to_string(),
+            IdKind::GroupLinearId => "((get_group_id(2) * get_num_groups(1) + get_group_id(1)) * get_num_groups(0) + get_group_id(0))".to_string(),
+            IdKind::LinearGroupSize => "(get_local_size(0) * get_local_size(1) * get_local_size(2))".to_string(),
+            IdKind::LinearGlobalSize => "(get_global_size(0) * get_global_size(1) * get_global_size(2))".to_string(),
+        }
+    }
+}
+
+fn swizzle_suffix(lanes: &[u8]) -> String {
+    const XYZW: [char; 4] = ['x', 'y', 'z', 'w'];
+    if lanes.len() == 1 && (lanes[0] as usize) < 4 {
+        return XYZW[lanes[0] as usize].to_string();
+    }
+    if lanes.iter().all(|&l| (l as usize) < 4) && lanes.len() <= 4 {
+        return lanes.iter().map(|&l| XYZW[l as usize]).collect();
+    }
+    // General form: .s0, .s1, ..., .sf
+    let digits: String = lanes
+        .iter()
+        .map(|&l| std::char::from_digit(l as u32, 16).unwrap_or('0'))
+        .collect();
+    format!("s{digits}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Builtin, Dim};
+    use crate::program::{KernelDef, LaunchConfig, Program};
+    use crate::types::{Field, ScalarType, StructId, VectorWidth};
+
+    fn empty_program() -> Program {
+        Program::new(
+            KernelDef {
+                name: "k".into(),
+                params: Program::standard_clsmith_params(0),
+                body: Block::new(),
+            },
+            LaunchConfig::single_group(4),
+        )
+    }
+
+    #[test]
+    fn literal_suffixes() {
+        let p = empty_program();
+        assert_eq!(print_expr(&Expr::int(5), &p), "5");
+        assert_eq!(print_expr(&Expr::lit(5, ScalarType::UInt), &p), "5U");
+        assert_eq!(print_expr(&Expr::lit(5, ScalarType::ULong), &p), "5UL");
+        assert_eq!(print_expr(&Expr::lit(-1, ScalarType::Long), &p), "-1L");
+    }
+
+    #[test]
+    fn vector_literal_is_unambiguous() {
+        // The paper's §6 front-end issue: (int2)(1,2).y must be emitted as
+        // ((int2)(1, 2)).y so all front-ends agree.
+        let p = empty_program();
+        let lit = Expr::VectorLit {
+            elem: ScalarType::Int,
+            width: VectorWidth::W2,
+            parts: vec![Expr::int(1), Expr::int(2)],
+        };
+        let access = Expr::lane(lit, 1);
+        assert_eq!(print_expr(&access, &p), "(((int2)(1, 2))).y");
+    }
+
+    #[test]
+    fn binary_fully_parenthesised() {
+        let p = empty_program();
+        let e = Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(print_expr(&e, &p), "((a + b) * c)");
+    }
+
+    #[test]
+    fn builtin_and_id_queries() {
+        let p = empty_program();
+        let e = Expr::builtin(Builtin::SafeClamp, vec![Expr::var("x"), Expr::int(0), Expr::int(9)]);
+        assert_eq!(print_expr(&e, &p), "safe_clamp(x, 0, 9)");
+        assert_eq!(
+            print_expr(&Expr::IdQuery(crate::expr::IdKind::GlobalId(Dim::X)), &p),
+            "get_global_id(0)"
+        );
+        assert!(print_expr(&Expr::IdQuery(crate::expr::IdKind::GlobalLinearId), &p)
+            .contains("get_global_size(0)"));
+    }
+
+    #[test]
+    fn struct_and_declarator_rendering() {
+        let mut p = empty_program();
+        let sid = p.add_struct(crate::types::StructDef::new(
+            "S0",
+            vec![
+                Field::new("a", Type::Scalar(ScalarType::Char)),
+                Field::volatile("c", Type::Scalar(ScalarType::Char)),
+                Field::new("f", Type::Scalar(ScalarType::Short).array_of(10)),
+            ],
+        ));
+        p.kernel.body.push(Stmt::decl("s", Type::Struct(sid), None));
+        let src = print_program(&p);
+        assert!(src.contains("struct S0 {"));
+        assert!(src.contains("char a;"));
+        assert!(src.contains("volatile char c;"));
+        assert!(src.contains("short f[10];"));
+        assert!(src.contains("struct S0 s;"));
+        assert!(src.contains("kernel void k(global ulong* out)"));
+    }
+
+    #[test]
+    fn statements_render() {
+        let p = empty_program();
+        let f = Stmt::For {
+            init: Some(Box::new(Stmt::decl(
+                "i",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::int(0)),
+            ))),
+            cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(10))),
+            update: Some(Expr::assign_op(
+                crate::expr::AssignOp::AddAssign,
+                Expr::var("i"),
+                Expr::int(1),
+            )),
+            body: Block::of(vec![Stmt::Barrier(crate::stmt::MemFence::Local)]),
+        };
+        let text = print_stmt(&f, &p);
+        assert!(text.contains("for (int i = 0; (i < 10); i += 1) {"));
+        assert!(text.contains("barrier(CLK_LOCAL_MEM_FENCE);"));
+    }
+
+    #[test]
+    fn emi_block_renders_dead_guard() {
+        let p = empty_program();
+        let emi = Stmt::Emi(crate::stmt::EmiBlock {
+            index: 3,
+            guard: (5, 2),
+            body: Block::of(vec![Stmt::Break]),
+        });
+        let text = print_stmt(&emi, &p);
+        assert!(text.contains("if (dead[5] < dead[2])"));
+        assert!(text.contains("break;"));
+    }
+
+    #[test]
+    fn swizzle_suffixes() {
+        assert_eq!(swizzle_suffix(&[0]), "x");
+        assert_eq!(swizzle_suffix(&[3]), "w");
+        assert_eq!(swizzle_suffix(&[0, 1]), "xy");
+        assert_eq!(swizzle_suffix(&[7]), "s7");
+        assert_eq!(swizzle_suffix(&[10, 15]), "saf");
+    }
+
+    #[test]
+    fn preamble_contains_safe_macros() {
+        let p = empty_program();
+        let src = print_program(&p);
+        assert!(src.contains("#define safe_div"));
+        assert!(src.contains("#define safe_clamp"));
+    }
+
+    #[test]
+    fn permutation_table_rendering() {
+        let mut p = empty_program();
+        p.permutations = vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]];
+        let src = print_program(&p);
+        assert!(src.contains("constant uint permutations[2][4]"));
+        assert!(src.contains("{3, 2, 1, 0},"));
+    }
+
+    #[test]
+    fn unknown_struct_panics_is_not_triggered_for_known() {
+        let mut p = empty_program();
+        let id = p.add_struct(crate::types::StructDef::union(
+            "U0",
+            vec![Field::new("a", Type::Scalar(ScalarType::UInt))],
+        ));
+        assert_eq!(id, StructId(0));
+        p.kernel.body.push(Stmt::decl("u", Type::Struct(id), None));
+        let src = print_program(&p);
+        assert!(src.contains("union U0 {"));
+        assert!(src.contains("union U0 u;"));
+    }
+}

@@ -1,0 +1,1328 @@
+//! The CLsmith random kernel generator (§4 of the paper).
+//!
+//! Programs are generated type-directed and by construction free of
+//! undefined behaviour and nondeterminism:
+//!
+//! * all arithmetic that could overflow, divide by zero or shift out of
+//!   range goes through the safe-math builtins (§4.1);
+//! * work-item ids never appear in generator-chosen expressions — they are
+//!   only used by the fixed communication idioms (§4.2, "Avoiding barrier
+//!   divergence");
+//! * barriers are only emitted at the top level of the kernel body, so no
+//!   divergent control flow can surround them;
+//! * every local variable is initialised at its declaration.
+//!
+//! The per-thread "globals struct" mirrors CLsmith's treatment of Csmith
+//! globals (§4.1): OpenCL has no program-scope variables, so would-be
+//! globals become fields of a struct that is passed by reference to every
+//! helper function.  This is what makes CLsmith programs struct-heavy and
+//! biased towards struct miscompilations, which the paper discusses at
+//! length.
+
+use crate::options::{EmiOptions, GeneratorOptions};
+use clc::expr::{AssignOp, BinOp, Builtin, Expr, IdKind};
+use clc::stmt::{Block, EmiBlock, Initializer, MemFence, Stmt};
+use clc::types::{AddressSpace, Field, ScalarType, StructDef, StructId, Type, VectorWidth};
+use clc::{BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+// Note on ATOMIC SECTION mode: the paper equips each group with a randomly
+// sized pool of (counter, special value) pairs and lets sections pick a pair
+// at random (§4.2).  If two sections share a counter, which section's body a
+// given counter value triggers becomes schedule dependent — almost certainly
+// the "bug in the implementation of atomic sections" that forced the authors
+// to discard 1563 ATOMIC SECTION and 1622 ALL tests (§7.3).  We therefore give
+// every section its own (counter, special value) pair.
+
+/// Generates one random program from the given options.
+///
+/// The same options (including the seed) always produce the same program.
+pub fn generate(options: &GeneratorOptions) -> Program {
+    Generator::new(options.clone()).generate()
+}
+
+/// A convenience wrapper that pairs generation with its options.
+#[derive(Debug)]
+pub struct Generator {
+    opts: GeneratorOptions,
+    rng: StdRng,
+    name_counter: usize,
+}
+
+/// What the current function uses to reach the globals struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GlobalsAccess {
+    /// Kernel scope: a local value named `g`.
+    Direct,
+    /// Helper function scope: a pointer parameter named `gp`.
+    ViaPointer,
+}
+
+/// Generation-time symbol pools for one function body.
+#[derive(Debug, Clone)]
+struct GenCtx {
+    scalars: Vec<(String, ScalarType)>,
+    vectors: Vec<(String, ScalarType, VectorWidth)>,
+    /// Struct-typed locals (name, struct id).
+    structs: Vec<(String, StructId)>,
+    /// Pointer-to-struct locals (name, pointee struct id).
+    struct_ptrs: Vec<(String, StructId)>,
+    globals: GlobalsAccess,
+    /// Whether we are generating inside a helper function (restricts calls).
+    in_helper: bool,
+    /// Whether the statements being generated are inside an EMI block (the
+    /// code is dead, so jumps and heavier nesting are allowed).
+    in_emi: bool,
+    /// Whether we are directly inside a loop (break/continue are legal).
+    in_loop: bool,
+}
+
+impl GenCtx {
+    fn kernel() -> GenCtx {
+        GenCtx {
+            scalars: Vec::new(),
+            vectors: Vec::new(),
+            structs: Vec::new(),
+            struct_ptrs: Vec::new(),
+            globals: GlobalsAccess::Direct,
+            in_helper: false,
+            in_emi: false,
+            in_loop: false,
+        }
+    }
+
+    fn helper() -> GenCtx {
+        GenCtx { globals: GlobalsAccess::ViaPointer, in_helper: true, ..GenCtx::kernel() }
+    }
+
+    fn checkpoint(&self) -> (usize, usize, usize, usize) {
+        (self.scalars.len(), self.vectors.len(), self.structs.len(), self.struct_ptrs.len())
+    }
+
+    fn restore(&mut self, cp: (usize, usize, usize, usize)) {
+        self.scalars.truncate(cp.0);
+        self.vectors.truncate(cp.1);
+        self.structs.truncate(cp.2);
+        self.struct_ptrs.truncate(cp.3);
+    }
+}
+
+/// Description of the globals struct, shared between the kernel and helpers.
+#[derive(Debug, Clone)]
+struct GlobalsInfo {
+    id: StructId,
+    scalar_fields: Vec<(String, ScalarType)>,
+    vector_fields: Vec<(String, ScalarType, VectorWidth)>,
+}
+
+/// How the BARRIER-mode shared array is allocated (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SharedArrayKind {
+    Local,
+    Global,
+}
+
+impl Generator {
+    /// Creates a generator.
+    pub fn new(opts: GeneratorOptions) -> Generator {
+        let rng = StdRng::seed_from_u64(opts.seed);
+        Generator { opts, rng, name_counter: 0 }
+    }
+
+    /// Generates the program.
+    pub fn generate(mut self) -> Program {
+        let launch = self.pick_launch();
+        let mut program = Program::new(
+            KernelDef { name: "entry".into(), params: Vec::new(), body: Block::new() },
+            launch,
+        );
+
+        let globals = self.make_globals_struct(&mut program);
+        let extra_structs = self.make_extra_structs(&mut program);
+        self.make_helper_functions(&mut program, &globals, &extra_structs);
+
+        let mode = self.opts.mode;
+        let w_linear = launch.group_size();
+        let n_linear = launch.total_work_items();
+        let num_groups = launch.total_groups();
+
+        // Decide mode-specific plumbing before building the body.
+        let shared_kind = if mode.uses_barrier_comm() {
+            if self.rng.gen_bool(0.5) {
+                Some(SharedArrayKind::Local)
+            } else {
+                Some(SharedArrayKind::Global)
+            }
+        } else {
+            None
+        };
+        if mode.uses_barrier_comm() {
+            program.permutations = (0..self.opts.permutation_rows)
+                .map(|_| {
+                    let mut perm: Vec<u32> = (0..w_linear as u32).collect();
+                    perm.shuffle(&mut self.rng);
+                    perm
+                })
+                .collect();
+        }
+
+        // Kernel parameters and buffers.
+        let emi = self.opts.emi.clone();
+        let dead_len = emi.as_ref().map(|e| e.dead_len).unwrap_or(0);
+        program.dead_len = dead_len;
+        let mut params = Program::standard_clsmith_params(dead_len);
+        program.buffers.push(BufferSpec::result("out", ScalarType::ULong, n_linear));
+        if dead_len > 0 {
+            program.buffers.push(BufferSpec::new("dead", ScalarType::Int, dead_len, BufferInit::Iota));
+        }
+        if shared_kind == Some(SharedArrayKind::Global) {
+            params.push(Param::new(
+                "A_global",
+                Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
+            ));
+            program.buffers.push(BufferSpec::new(
+                "A_global",
+                ScalarType::UInt,
+                n_linear.max(num_groups * w_linear),
+                BufferInit::Fill(1),
+            ));
+        }
+        let section_slots = self.opts.atomic_sections.max(1);
+        if mode.uses_atomic_sections() {
+            params.push(Param::new(
+                "sec_counters",
+                Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
+            ));
+            params.push(Param::new(
+                "sec_specials",
+                Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
+            ));
+            let len = num_groups * section_slots;
+            program.buffers.push(BufferSpec::new("sec_counters", ScalarType::UInt, len, BufferInit::Zero));
+            program.buffers.push(BufferSpec::new("sec_specials", ScalarType::UInt, len, BufferInit::Zero));
+        }
+        if mode.uses_atomic_reductions() {
+            params.push(Param::new(
+                "red",
+                Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
+            ));
+            program.buffers.push(BufferSpec::new("red", ScalarType::UInt, num_groups, BufferInit::Zero));
+        }
+        program.kernel.params = params;
+
+        // Build the kernel body.
+        let mut ctx = GenCtx::kernel();
+        let mut body = Block::new();
+
+        // Globals struct instance.
+        body.push(self.globals_decl(&globals));
+
+        // Extra struct locals (and pointers to them).
+        for &sid in &extra_structs {
+            let (decl, extras) = self.struct_local_decl(&mut ctx, &program, sid);
+            body.push(decl);
+            for stmt in extras {
+                body.push(stmt);
+            }
+        }
+
+        // A few scalar / vector locals.
+        for _ in 0..3 {
+            body.push(self.scalar_local_decl(&mut ctx));
+        }
+        if mode.uses_vectors() {
+            for _ in 0..2 {
+                body.push(self.vector_local_decl(&mut ctx));
+            }
+        }
+
+        // BARRIER-mode prelude.
+        let shared_lvalue = shared_kind.map(|kind| {
+            let (stmts, lvalue) = self.barrier_prelude(kind, w_linear);
+            for s in stmts {
+                body.push(s);
+            }
+            lvalue
+        });
+
+        // ATOMIC REDUCTION running total.
+        if mode.uses_atomic_reductions() {
+            body.push(Stmt::decl(
+                "total",
+                Type::Scalar(ScalarType::UInt),
+                Some(Expr::lit(0, ScalarType::UInt)),
+            ));
+        }
+
+        // The main statement soup: random statements with the communication
+        // idioms and EMI blocks interleaved at top level.
+        let mut items: Vec<Stmt> = Vec::new();
+        for _ in 0..self.opts.block_statements {
+            let stmt = self.gen_stmt(&mut ctx, &program, &globals, shared_lvalue.as_ref(), 1);
+            items.push(stmt);
+        }
+        if mode.uses_barrier_comm() {
+            let fence = if shared_kind == Some(SharedArrayKind::Local) {
+                MemFence::Local
+            } else {
+                MemFence::Global
+            };
+            for _ in 0..self.opts.barrier_sync_points {
+                let rnd = self.rng.gen_range(0..self.opts.permutation_rows);
+                items.push(Stmt::Barrier(fence));
+                items.push(Stmt::assign(
+                    Expr::var("A_offset"),
+                    Expr::index(
+                        Expr::index(Expr::var("permutations"), Expr::int(rnd as i64)),
+                        Expr::IdQuery(IdKind::LocalLinearId),
+                    ),
+                ));
+            }
+        }
+        if mode.uses_atomic_sections() {
+            for i in 0..self.opts.atomic_sections {
+                items.push(self.atomic_section(i, section_slots, w_linear));
+            }
+        }
+        if mode.uses_atomic_reductions() {
+            for _ in 0..self.opts.atomic_reductions {
+                items.push(self.atomic_reduction(&mut ctx));
+            }
+        }
+        if let Some(emi_opts) = &emi {
+            let emi_opts = emi_opts.clone();
+            let count = self.rng.gen_range(emi_opts.min_blocks..=emi_opts.max_blocks);
+            for index in 0..count {
+                let block = self.gen_emi_block(&mut ctx, &program, &globals, index, &emi_opts);
+                items.push(Stmt::Emi(block));
+            }
+        }
+        items.shuffle(&mut self.rng);
+        for stmt in items {
+            body.push(stmt);
+        }
+
+        // Result accumulation.
+        body.push(Stmt::decl(
+            "result",
+            Type::Scalar(ScalarType::ULong),
+            Some(Expr::lit(0, ScalarType::ULong)),
+        ));
+        let mut hash_exprs: Vec<Expr> = Vec::new();
+        for (name, _) in &globals.scalar_fields {
+            hash_exprs.push(Expr::field(Expr::var("g"), name.clone()));
+        }
+        for (name, _, _) in &globals.vector_fields {
+            hash_exprs.push(Expr::lane(Expr::field(Expr::var("g"), name.clone()), 0));
+            hash_exprs.push(Expr::lane(Expr::field(Expr::var("g"), name.clone()), 1));
+        }
+        for (name, ty) in ctx.scalars.clone() {
+            let _ = ty;
+            hash_exprs.push(Expr::var(name));
+        }
+        for (name, _sid) in ctx.structs.clone() {
+            // Hash the first scalar field of each struct local.
+            let sid = _sid;
+            if let Some(field) = program
+                .struct_def(sid)
+                .fields
+                .iter()
+                .find(|f| f.ty.is_scalar())
+            {
+                hash_exprs.push(Expr::field(Expr::var(name), field.name.clone()));
+            }
+        }
+        if let Some(lvalue) = &shared_lvalue {
+            hash_exprs.push(lvalue.clone());
+        }
+        if mode.uses_atomic_reductions() {
+            hash_exprs.push(Expr::var("total"));
+        }
+        for e in hash_exprs {
+            body.push(Stmt::assign(
+                Expr::var("result"),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(
+                        BinOp::Mul,
+                        Expr::var("result"),
+                        Expr::lit(31, ScalarType::ULong),
+                    ),
+                    Expr::cast(Type::Scalar(ScalarType::ULong), e),
+                ),
+            ));
+        }
+        // ATOMIC SECTION epilogue: after a final barrier, the group leader
+        // folds the per-group special values into its result (§4.2).
+        if mode.uses_atomic_sections() {
+            body.push(Stmt::Barrier(MemFence::Global));
+            let mut leader_block = Block::new();
+            for slot in 0..section_slots {
+                leader_block.push(Stmt::assign(
+                    Expr::var("result"),
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::var("result"),
+                        Expr::cast(
+                            Type::Scalar(ScalarType::ULong),
+                            Expr::index(
+                                Expr::var("sec_specials"),
+                                self.group_slot_index(slot, section_slots),
+                            ),
+                        ),
+                    ),
+                ));
+            }
+            body.push(Stmt::if_then(
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::IdQuery(IdKind::LocalLinearId),
+                    Expr::lit(0, ScalarType::UInt),
+                ),
+                leader_block,
+            ));
+        }
+        body.push(Stmt::assign(
+            Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+            Expr::var("result"),
+        ));
+
+        program.kernel.body = body;
+        program
+    }
+
+    // ----- naming -------------------------------------------------------
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.name_counter += 1;
+        format!("{prefix}_{}", self.name_counter)
+    }
+
+    // ----- launch geometry ----------------------------------------------
+
+    fn pick_launch(&mut self) -> LaunchConfig {
+        let total = self.rng.gen_range(self.opts.min_threads..self.opts.max_threads);
+        // Split `total` into three dimensions by picking random divisors.
+        let nx = *divisors(total).choose(&mut self.rng).unwrap_or(&total);
+        let rest = total / nx;
+        let ny = *divisors(rest).choose(&mut self.rng).unwrap_or(&rest);
+        let nz = rest / ny;
+        let global = [nx, ny, nz];
+        // Pick a work-group size dividing each dimension with product <= max.
+        let mut local = [1usize; 3];
+        let mut budget = self.opts.max_group_size;
+        for d in 0..3 {
+            let candidates: Vec<usize> =
+                divisors(global[d]).into_iter().filter(|w| *w <= budget).collect();
+            local[d] = *candidates.choose(&mut self.rng).unwrap_or(&1);
+            budget /= local[d].max(1);
+        }
+        LaunchConfig::new(global, local).unwrap_or(LaunchConfig {
+            global,
+            local: [1, 1, 1],
+        })
+    }
+
+    // ----- struct construction ------------------------------------------
+
+    fn make_globals_struct(&mut self, program: &mut Program) -> GlobalsInfo {
+        let mut fields = Vec::new();
+        let mut scalar_fields = Vec::new();
+        let mut vector_fields = Vec::new();
+        for i in 0..self.opts.global_fields {
+            if self.opts.mode.uses_vectors() && self.rng.gen_bool(0.3) {
+                let elem = self.pick_scalar_type();
+                let width = *[VectorWidth::W2, VectorWidth::W4, VectorWidth::W8]
+                    .choose(&mut self.rng)
+                    .unwrap();
+                let name = format!("gv{i}");
+                fields.push(Field::new(name.clone(), Type::Vector(elem, width)));
+                vector_fields.push((name, elem, width));
+            } else {
+                let ty = self.pick_scalar_type();
+                let name = format!("gf{i}");
+                fields.push(Field::new(name.clone(), Type::Scalar(ty)));
+                scalar_fields.push((name, ty));
+            }
+        }
+        let id = program.add_struct(StructDef::new("Globals", fields));
+        GlobalsInfo { id, scalar_fields, vector_fields }
+    }
+
+    fn make_extra_structs(&mut self, program: &mut Program) -> Vec<StructId> {
+        let mut ids = Vec::new();
+        for i in 0..self.opts.extra_structs {
+            let mut fields = Vec::new();
+            let field_count = self.rng.gen_range(2..=4);
+            for j in 0..field_count {
+                // Bias the first two fields towards the char-then-wider
+                // layout that trips the AMD struct bug (Figure 1(a)).
+                let ty = if j == 0 && self.rng.gen_bool(0.4) {
+                    ScalarType::Char
+                } else if j == 1 && self.rng.gen_bool(0.4) {
+                    *[ScalarType::Short, ScalarType::Int, ScalarType::Long]
+                        .choose(&mut self.rng)
+                        .unwrap()
+                } else {
+                    self.pick_scalar_type()
+                };
+                let volatile = self.rng.gen_bool(0.1);
+                let field_ty = if self.opts.mode.uses_vectors() && self.rng.gen_bool(0.15) {
+                    Type::Vector(self.pick_scalar_type(), VectorWidth::W2)
+                } else {
+                    Type::Scalar(ty)
+                };
+                let field = if volatile {
+                    Field::volatile(format!("m{j}"), field_ty)
+                } else {
+                    Field::new(format!("m{j}"), field_ty)
+                };
+                fields.push(field);
+            }
+            let is_union = self.rng.gen_bool(0.25);
+            let name = format!("S{i}");
+            let def = if is_union { StructDef::union(name, fields) } else { StructDef::new(name, fields) };
+            ids.push(program.add_struct(def));
+        }
+        ids
+    }
+
+    // ----- helper functions -----------------------------------------------
+
+    fn make_helper_functions(
+        &mut self,
+        program: &mut Program,
+        globals: &GlobalsInfo,
+        _extra: &[StructId],
+    ) {
+        for i in 0..self.opts.helper_functions {
+            let mut ctx = GenCtx::helper();
+            let ret_ty = self.pick_scalar_type();
+            let param_ty = self.pick_scalar_type();
+            ctx.scalars.push(("p0".into(), param_ty));
+            let mut body = Block::new();
+            // A couple of locals.
+            for _ in 0..2 {
+                body.push(self.scalar_local_decl(&mut ctx));
+            }
+            let stmt_count = self.rng.gen_range(2..=self.opts.block_statements.max(3));
+            for _ in 0..stmt_count {
+                let stmt = self.gen_stmt(&mut ctx, program, globals, None, 1);
+                body.push(stmt);
+            }
+            body.push(Stmt::Return(Some(self.gen_scalar_expr(&mut ctx, globals, 0))));
+            let forward_declared = self.rng.gen_bool(0.3);
+            program.functions.push(FunctionDef {
+                name: format!("func_{i}"),
+                ret: Some(Type::Scalar(ret_ty)),
+                params: vec![
+                    Param::new("gp", Type::Struct(globals.id).pointer_to(AddressSpace::Private)),
+                    Param::new("p0", Type::Scalar(param_ty)),
+                ],
+                body,
+                forward_declared,
+                noinline: false,
+            });
+        }
+    }
+
+    // ----- declarations ----------------------------------------------------
+
+    fn globals_decl(&mut self, globals: &GlobalsInfo) -> Stmt {
+        let mut items = Vec::new();
+        for (_, ty) in &globals.scalar_fields {
+            items.push(Initializer::Expr(self.literal(*ty)));
+        }
+        for (_, elem, width) in &globals.vector_fields {
+            let parts = (0..width.lanes()).map(|_| self.literal(*elem)).collect();
+            items.push(Initializer::Expr(Expr::VectorLit { elem: *elem, width: *width, parts }));
+        }
+        // Field order in the struct definition is scalars interleaved with
+        // vectors exactly as constructed in `make_globals_struct`; rebuild
+        // the initialiser in declaration order instead.
+        let mut ordered = Vec::new();
+        let mut si = 0usize;
+        let mut vi = 0usize;
+        for i in 0..self.opts.global_fields {
+            let scalar_name = format!("gf{i}");
+            if globals.scalar_fields.iter().any(|(n, _)| *n == scalar_name) {
+                ordered.push(items[si].clone());
+                si += 1;
+            } else {
+                ordered.push(items[globals.scalar_fields.len() + vi].clone());
+                vi += 1;
+            }
+        }
+        Stmt::decl_init_list("g", Type::Struct(globals.id), Initializer::List(ordered))
+    }
+
+    fn scalar_local_decl(&mut self, ctx: &mut GenCtx) -> Stmt {
+        let ty = self.pick_scalar_type();
+        let name = self.fresh("l");
+        ctx.scalars.push((name.clone(), ty));
+        Stmt::decl(name, Type::Scalar(ty), Some(self.literal(ty)))
+    }
+
+    fn vector_local_decl(&mut self, ctx: &mut GenCtx) -> Stmt {
+        let elem = self.pick_scalar_type();
+        let width = *[VectorWidth::W2, VectorWidth::W4, VectorWidth::W8, VectorWidth::W16]
+            .choose(&mut self.rng)
+            .unwrap();
+        let name = self.fresh("v");
+        ctx.vectors.push((name.clone(), elem, width));
+        let parts = (0..width.lanes()).map(|_| self.literal(elem)).collect();
+        Stmt::decl(
+            name,
+            Type::Vector(elem, width),
+            Some(Expr::VectorLit { elem, width, parts }),
+        )
+    }
+
+    fn struct_local_decl(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        sid: StructId,
+    ) -> (Stmt, Vec<Stmt>) {
+        let def = program.struct_def(sid).clone();
+        let name = self.fresh("s");
+        ctx.structs.push((name.clone(), sid));
+        let init_fields: Vec<Initializer> = if def.is_union {
+            vec![self.field_initializer(&def.fields[0])]
+        } else {
+            def.fields.iter().map(|f| self.field_initializer(f)).collect()
+        };
+        let decl = Stmt::decl_init_list(name.clone(), Type::Struct(sid), Initializer::List(init_fields));
+        let mut extras = Vec::new();
+        // Sometimes add a pointer alias, exercising `->` accesses.
+        if self.rng.gen_bool(0.6) {
+            let pname = self.fresh("p");
+            ctx.struct_ptrs.push((pname.clone(), sid));
+            extras.push(Stmt::decl(
+                pname,
+                Type::Struct(sid).pointer_to(AddressSpace::Private),
+                Some(Expr::addr_of(Expr::var(name.clone()))),
+            ));
+        }
+        // Sometimes declare a sibling of the same type and copy it over,
+        // exercising whole-struct assignment (cf. Figures 1(b) and 1(f)).
+        if self.rng.gen_bool(0.4) {
+            let sibling = self.fresh("t");
+            let init_fields: Vec<Initializer> = if def.is_union {
+                vec![self.field_initializer(&def.fields[0])]
+            } else {
+                def.fields.iter().map(|f| self.field_initializer(f)).collect()
+            };
+            ctx.structs.push((sibling.clone(), sid));
+            extras.push(Stmt::decl_init_list(
+                sibling.clone(),
+                Type::Struct(sid),
+                Initializer::List(init_fields),
+            ));
+            extras.push(Stmt::assign(Expr::var(name), Expr::var(sibling)));
+        }
+        (decl, extras)
+    }
+
+    fn field_initializer(&mut self, field: &Field) -> Initializer {
+        match &field.ty {
+            Type::Scalar(s) => Initializer::Expr(self.literal(*s)),
+            Type::Vector(e, w) => {
+                let parts = (0..w.lanes()).map(|_| self.literal(*e)).collect();
+                Initializer::Expr(Expr::VectorLit { elem: *e, width: *w, parts })
+            }
+            Type::Array(elem, len) => {
+                let inner = Field::new("elem", (**elem).clone());
+                Initializer::List((0..*len).map(|_| self.field_initializer(&inner)).collect())
+            }
+            Type::Struct(_) => Initializer::List(vec![Initializer::Expr(Expr::int(0))]),
+            Type::Pointer(..) => Initializer::Expr(Expr::int(0)),
+        }
+    }
+
+    // ----- communication idioms (§4.2) ------------------------------------
+
+    fn barrier_prelude(&mut self, kind: SharedArrayKind, w_linear: usize) -> (Vec<Stmt>, Expr) {
+        let rnd = self.rng.gen_range(0..self.opts.permutation_rows);
+        let offset_init = Expr::index(
+            Expr::index(Expr::var("permutations"), Expr::int(rnd as i64)),
+            Expr::IdQuery(IdKind::LocalLinearId),
+        );
+        match kind {
+            SharedArrayKind::Local => {
+                let stmts = vec![
+                    Stmt::Decl {
+                        name: "A".into(),
+                        ty: Type::Scalar(ScalarType::UInt).array_of(w_linear),
+                        space: AddressSpace::Local,
+                        volatile: false,
+                        init: None,
+                        init_list: None,
+                    },
+                    Stmt::assign(
+                        Expr::index(Expr::var("A"), Expr::IdQuery(IdKind::LocalLinearId)),
+                        Expr::lit(1, ScalarType::UInt),
+                    ),
+                    Stmt::Barrier(MemFence::Local),
+                    Stmt::decl("A_offset", Type::Scalar(ScalarType::UInt), Some(offset_init)),
+                ];
+                (stmts, Expr::index(Expr::var("A"), Expr::var("A_offset")))
+            }
+            SharedArrayKind::Global => {
+                let base = Expr::binary(
+                    BinOp::Mul,
+                    Expr::IdQuery(IdKind::GroupLinearId),
+                    Expr::lit(w_linear as i128, ScalarType::UInt),
+                );
+                let stmts = vec![Stmt::decl(
+                    "A_offset",
+                    Type::Scalar(ScalarType::UInt),
+                    Some(offset_init),
+                )];
+                (
+                    stmts,
+                    Expr::index(
+                        Expr::var("A_global"),
+                        Expr::binary(BinOp::Add, base, Expr::var("A_offset")),
+                    ),
+                )
+            }
+        }
+    }
+
+    fn group_slot_index(&mut self, slot: usize, section_slots: usize) -> Expr {
+        Expr::binary(
+            BinOp::Add,
+            Expr::binary(
+                BinOp::Mul,
+                Expr::IdQuery(IdKind::GroupLinearId),
+                Expr::lit(section_slots as i128, ScalarType::UInt),
+            ),
+            Expr::lit(slot as i128, ScalarType::UInt),
+        )
+    }
+
+    fn atomic_section(&mut self, index: usize, section_slots: usize, w_linear: usize) -> Stmt {
+        // Each section owns its (counter, special value) pair; see the note
+        // at the top of this file.
+        let slot = index % section_slots;
+        let counter = Expr::addr_of(Expr::index(
+            Expr::var("sec_counters"),
+            self.group_slot_index(slot, section_slots),
+        ));
+        let special = Expr::addr_of(Expr::index(
+            Expr::var("sec_specials"),
+            self.group_slot_index(slot, section_slots),
+        ));
+        // Which arrival rank enters the section.
+        let rnd = self.rng.gen_range(0..w_linear.max(1)) as i128;
+        // The section body: declarations and assignments touching only data
+        // declared inside the section, then a hash folded into the special
+        // value (§4.2 ATOMIC SECTION mode).
+        let mut inner = Block::new();
+        let mut inner_vars: Vec<(String, ScalarType)> = Vec::new();
+        let count = self.rng.gen_range(2..=4);
+        for _ in 0..count {
+            let ty = self.pick_scalar_type();
+            let name = self.fresh(&format!("as{index}"));
+            inner.push(Stmt::decl(name.clone(), Type::Scalar(ty), Some(self.literal(ty))));
+            inner_vars.push((name, ty));
+        }
+        for _ in 0..count {
+            let (target, _) = inner_vars[self.rng.gen_range(0..inner_vars.len())].clone();
+            let expr = self.inner_only_expr(&inner_vars, 2);
+            inner.push(Stmt::assign(Expr::var(target), expr));
+        }
+        let mut hash = Expr::lit(0, ScalarType::UInt);
+        for (name, _) in &inner_vars {
+            hash = Expr::binary(
+                BinOp::Add,
+                Expr::binary(BinOp::Mul, hash, Expr::lit(31, ScalarType::UInt)),
+                Expr::cast(Type::Scalar(ScalarType::UInt), Expr::var(name.clone())),
+            );
+        }
+        inner.push(Stmt::expr(Expr::builtin(Builtin::AtomicAdd, vec![special, hash])));
+        Stmt::if_then(
+            Expr::binary(
+                BinOp::Eq,
+                Expr::builtin(Builtin::AtomicInc, vec![counter]),
+                Expr::lit(rnd, ScalarType::UInt),
+            ),
+            inner,
+        )
+    }
+
+    /// Expression over literals and the given variables only (used inside
+    /// atomic sections to keep their hash thread-independent).
+    fn inner_only_expr(&mut self, vars: &[(String, ScalarType)], depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            return if !vars.is_empty() && self.rng.gen_bool(0.5) {
+                let (name, _) = vars[self.rng.gen_range(0..vars.len())].clone();
+                Expr::var(name)
+            } else {
+                let ty = self.pick_scalar_type();
+                self.literal(ty)
+            };
+        }
+        let lhs = self.inner_only_expr(vars, depth - 1);
+        let rhs = self.inner_only_expr(vars, depth - 1);
+        self.combine_scalars(lhs, rhs)
+    }
+
+    fn atomic_reduction(&mut self, _ctx: &mut GenCtx) -> Stmt {
+        let op = *[
+            Builtin::AtomicAdd,
+            Builtin::AtomicMin,
+            Builtin::AtomicMax,
+            Builtin::AtomicOr,
+            Builtin::AtomicAnd,
+            Builtin::AtomicXor,
+        ]
+        .choose(&mut self.rng)
+        .unwrap();
+        let target = Expr::addr_of(Expr::index(Expr::var("red"), Expr::IdQuery(IdKind::GroupLinearId)));
+        let contribution = self.literal(ScalarType::UInt);
+        Stmt::Block(Block::of(vec![
+            Stmt::expr(Expr::builtin(op, vec![target, contribution])),
+            Stmt::Barrier(MemFence::Global),
+            Stmt::if_then(
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::IdQuery(IdKind::LocalLinearId),
+                    Expr::lit(0, ScalarType::UInt),
+                ),
+                Block::of(vec![Stmt::expr(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var("total"),
+                    Expr::index(Expr::var("red"), Expr::IdQuery(IdKind::GroupLinearId)),
+                ))]),
+            ),
+            Stmt::Barrier(MemFence::Global),
+        ]))
+    }
+
+    // ----- EMI blocks (§5) -------------------------------------------------
+
+    fn gen_emi_block(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        globals: &GlobalsInfo,
+        index: usize,
+        emi: &EmiOptions,
+    ) -> EmiBlock {
+        // Guard dead[a] < dead[b] with b < a so the block is dead under the
+        // host's dead[j] = j initialisation.
+        let a = self.rng.gen_range(1..emi.dead_len);
+        let b = self.rng.gen_range(0..a);
+        let cp = ctx.checkpoint();
+        let was_in_emi = ctx.in_emi;
+        ctx.in_emi = true;
+        let mut body = Block::new();
+        let count = self.rng.gen_range(2..=5);
+        for _ in 0..count {
+            body.push(self.gen_stmt(ctx, program, globals, None, 1));
+        }
+        if emi.allow_infinite_loops && self.rng.gen_bool(0.3) {
+            body.push(Stmt::While { cond: Expr::int(1), body: Block::new() });
+        }
+        ctx.in_emi = was_in_emi;
+        ctx.restore(cp);
+        EmiBlock { index, guard: (a, b), body }
+    }
+
+    // ----- statements ------------------------------------------------------
+
+    fn gen_stmt(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        globals: &GlobalsInfo,
+        shared_lvalue: Option<&Expr>,
+        depth: usize,
+    ) -> Stmt {
+        let max_depth = self.opts.max_block_depth;
+        let roll = self.rng.gen_range(0..100);
+        if depth < max_depth && roll < 18 {
+            // if statement
+            let cond = self.gen_scalar_expr(ctx, globals, 1);
+            let cp = ctx.checkpoint();
+            let then_block = self.gen_block(ctx, program, globals, shared_lvalue, depth + 1);
+            ctx.restore(cp);
+            if self.rng.gen_bool(0.4) {
+                let cp = ctx.checkpoint();
+                let else_block = self.gen_block(ctx, program, globals, shared_lvalue, depth + 1);
+                ctx.restore(cp);
+                Stmt::if_else(cond, then_block, else_block)
+            } else {
+                Stmt::if_then(cond, then_block)
+            }
+        } else if depth < max_depth && roll < 32 {
+            // bounded for loop
+            let loop_var = self.fresh("i");
+            let bound = self.rng.gen_range(1..=10);
+            let cp = ctx.checkpoint();
+            let was_in_loop = ctx.in_loop;
+            ctx.in_loop = true;
+            let mut body = self.gen_block(ctx, program, globals, shared_lvalue, depth + 1);
+            // Occasionally add an early exit guarded by a generated condition.
+            if self.rng.gen_bool(0.25) {
+                let cond = self.gen_scalar_expr(ctx, globals, 1);
+                body.push(Stmt::if_then(cond, Block::of(vec![Stmt::Break])));
+            }
+            ctx.in_loop = was_in_loop;
+            ctx.restore(cp);
+            Stmt::For {
+                init: Some(Box::new(Stmt::decl(
+                    loop_var.clone(),
+                    Type::Scalar(ScalarType::Int),
+                    Some(Expr::int(0)),
+                ))),
+                cond: Some(Expr::binary(BinOp::Lt, Expr::var(loop_var.clone()), Expr::int(bound))),
+                update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var(loop_var), Expr::int(1))),
+                body,
+            }
+        } else if roll < 40 && !ctx.in_helper && !program.functions.is_empty() && !ctx.in_emi {
+            // call a helper function and store its result
+            let idx = self.rng.gen_range(0..program.functions.len());
+            let func = &program.functions[idx];
+            let arg = self.gen_scalar_expr(ctx, globals, 1);
+            let call = Expr::call(func.name.clone(), vec![Expr::addr_of(Expr::var("g")), arg]);
+            match self.pick_scalar_lvalue(ctx, globals, shared_lvalue) {
+                Some(lvalue) => Stmt::assign(lvalue, call),
+                None => Stmt::expr(call),
+            }
+        } else if roll < 45 && depth < max_depth {
+            // nested block with fresh locals
+            let cp = ctx.checkpoint();
+            let mut block = Block::new();
+            block.push(self.scalar_local_decl(ctx));
+            let inner = self.gen_stmt(ctx, program, globals, shared_lvalue, depth + 1);
+            block.push(inner);
+            ctx.restore(cp);
+            Stmt::Block(block)
+        } else if roll < 50 && ctx.in_loop && ctx.in_emi {
+            // jumps are only generated inside (dead) EMI code
+            if self.rng.gen_bool(0.5) {
+                Stmt::Break
+            } else {
+                Stmt::Continue
+            }
+        } else {
+            // assignment
+            self.gen_assignment(ctx, globals, program, shared_lvalue)
+        }
+    }
+
+    fn gen_block(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        globals: &GlobalsInfo,
+        shared_lvalue: Option<&Expr>,
+        depth: usize,
+    ) -> Block {
+        let count = self.rng.gen_range(1..=3);
+        let mut block = Block::new();
+        for _ in 0..count {
+            block.push(self.gen_stmt(ctx, program, globals, shared_lvalue, depth));
+        }
+        block
+    }
+
+    fn gen_assignment(
+        &mut self,
+        ctx: &mut GenCtx,
+        globals: &GlobalsInfo,
+        program: &Program,
+        shared_lvalue: Option<&Expr>,
+    ) -> Stmt {
+        // Vector assignment?
+        if !ctx.vectors.is_empty() && self.rng.gen_bool(0.25) {
+            let (name, elem, width) = ctx.vectors[self.rng.gen_range(0..ctx.vectors.len())].clone();
+            let rhs = self.gen_vector_expr(ctx, elem, width, self.opts.max_expr_depth);
+            return Stmt::assign(Expr::var(name), rhs);
+        }
+        // Whole-struct copy?
+        if ctx.structs.len() >= 2 && self.rng.gen_bool(0.15) {
+            let mut candidates: Vec<(String, StructId)> = ctx.structs.clone();
+            candidates.shuffle(&mut self.rng);
+            for i in 0..candidates.len() {
+                for j in (i + 1)..candidates.len() {
+                    if candidates[i].1 == candidates[j].1 {
+                        return Stmt::assign(
+                            Expr::var(candidates[i].0.clone()),
+                            Expr::var(candidates[j].0.clone()),
+                        );
+                    }
+                }
+            }
+        }
+        let rhs = self.gen_scalar_expr(ctx, globals, self.opts.max_expr_depth);
+        match self.pick_scalar_lvalue_with_structs(ctx, globals, program, shared_lvalue) {
+            Some(lvalue) => {
+                if self.rng.gen_bool(0.25) {
+                    let op = *[AssignOp::AddAssign, AssignOp::SubAssign, AssignOp::XorAssign, AssignOp::OrAssign, AssignOp::AndAssign]
+                        .choose(&mut self.rng)
+                        .unwrap();
+                    Stmt::expr(Expr::assign_op(op, lvalue, rhs))
+                } else {
+                    Stmt::assign(lvalue, rhs)
+                }
+            }
+            None => Stmt::expr(rhs),
+        }
+    }
+
+    fn pick_scalar_lvalue(
+        &mut self,
+        ctx: &GenCtx,
+        globals: &GlobalsInfo,
+        shared_lvalue: Option<&Expr>,
+    ) -> Option<Expr> {
+        let mut options: Vec<Expr> = Vec::new();
+        for (name, _) in &ctx.scalars {
+            options.push(Expr::var(name.clone()));
+        }
+        for (name, _) in &globals.scalar_fields {
+            options.push(self.globals_field(ctx, name));
+        }
+        if let Some(shared) = shared_lvalue {
+            options.push(shared.clone());
+        }
+        if options.is_empty() {
+            None
+        } else {
+            let idx = self.rng.gen_range(0..options.len());
+            Some(options.swap_remove(idx))
+        }
+    }
+
+    fn pick_scalar_lvalue_with_structs(
+        &mut self,
+        ctx: &GenCtx,
+        globals: &GlobalsInfo,
+        program: &Program,
+        shared_lvalue: Option<&Expr>,
+    ) -> Option<Expr> {
+        let mut options: Vec<Expr> = Vec::new();
+        if let Some(base) = self.pick_scalar_lvalue(ctx, globals, shared_lvalue) {
+            options.push(base);
+        }
+        for (name, sid) in &ctx.structs {
+            if let Some(field) =
+                program.struct_def(*sid).fields.iter().find(|f| f.ty.is_scalar())
+            {
+                options.push(Expr::field(Expr::var(name.clone()), field.name.clone()));
+            }
+        }
+        for (name, sid) in &ctx.struct_ptrs {
+            if let Some(field) =
+                program.struct_def(*sid).fields.iter().find(|f| f.ty.is_scalar())
+            {
+                options.push(Expr::arrow(Expr::var(name.clone()), field.name.clone()));
+            }
+        }
+        if options.is_empty() {
+            None
+        } else {
+            let idx = self.rng.gen_range(0..options.len());
+            Some(options.swap_remove(idx))
+        }
+    }
+
+    fn globals_field(&self, ctx: &GenCtx, field: &str) -> Expr {
+        match ctx.globals {
+            GlobalsAccess::Direct => Expr::field(Expr::var("g"), field),
+            GlobalsAccess::ViaPointer => Expr::arrow(Expr::var("gp"), field),
+        }
+    }
+
+    // ----- expressions -----------------------------------------------------
+
+    fn gen_scalar_expr(&mut self, ctx: &mut GenCtx, globals: &GlobalsInfo, depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return self.scalar_leaf(ctx, globals);
+        }
+        match self.rng.gen_range(0..100) {
+            0..=44 => {
+                let lhs = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let rhs = self.gen_scalar_expr(ctx, globals, depth - 1);
+                self.combine_scalars(lhs, rhs)
+            }
+            45..=59 => {
+                let cond = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                Expr::cond(cond, a, b)
+            }
+            60..=72 => {
+                let x = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let lo = self.literal(ScalarType::Int);
+                let hi = self.literal(ScalarType::Int);
+                Expr::builtin(Builtin::SafeClamp, vec![x, lo, hi])
+            }
+            73..=82 => {
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let f = if self.rng.gen_bool(0.5) { Builtin::Min } else { Builtin::Max };
+                Expr::builtin(f, vec![a, b])
+            }
+            83..=90 => {
+                let ty = self.pick_scalar_type();
+                Expr::cast(Type::Scalar(ty), self.gen_scalar_expr(ctx, globals, depth - 1))
+            }
+            91..=95 => {
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                Expr::builtin(Builtin::Rotate, vec![
+                    Expr::cast(Type::Scalar(ScalarType::UInt), a),
+                    Expr::cast(Type::Scalar(ScalarType::UInt), b),
+                ])
+            }
+            _ => {
+                // comma expression (no side effects on the discarded side)
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                Expr::comma(a, b)
+            }
+        }
+    }
+
+    fn combine_scalars(&mut self, lhs: Expr, rhs: Expr) -> Expr {
+        match self.rng.gen_range(0..100) {
+            0..=17 => Expr::builtin(Builtin::SafeAdd, vec![lhs, rhs]),
+            18..=33 => Expr::builtin(Builtin::SafeSub, vec![lhs, rhs]),
+            34..=47 => Expr::builtin(Builtin::SafeMul, vec![lhs, rhs]),
+            48..=55 => Expr::builtin(Builtin::SafeDiv, vec![lhs, rhs]),
+            56..=61 => Expr::builtin(Builtin::SafeMod, vec![lhs, rhs]),
+            62..=67 => Expr::builtin(
+                if self.rng.gen_bool(0.5) { Builtin::SafeLshift } else { Builtin::SafeRshift },
+                vec![lhs, rhs],
+            ),
+            68..=79 => {
+                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor].choose(&mut self.rng).unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+            80..=91 => {
+                let op = *[BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Gt, BinOp::Le, BinOp::Ge]
+                    .choose(&mut self.rng)
+                    .unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+            _ => {
+                let op = *[BinOp::LAnd, BinOp::LOr].choose(&mut self.rng).unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+        }
+    }
+
+    fn scalar_leaf(&mut self, ctx: &mut GenCtx, globals: &GlobalsInfo) -> Expr {
+        let leaf_ty = self.pick_scalar_type();
+        let mut options: Vec<Expr> = vec![self.literal(leaf_ty)];
+        for (name, _) in &ctx.scalars {
+            options.push(Expr::var(name.clone()));
+        }
+        for (name, _) in &globals.scalar_fields {
+            options.push(self.globals_field(ctx, name));
+        }
+        for (name, _, width) in &ctx.vectors {
+            let lane = self.rng.gen_range(0..width.lanes()) as u8;
+            options.push(Expr::lane(Expr::var(name.clone()), lane));
+        }
+        for (name, _, width) in &globals.vector_fields {
+            if ctx.globals == GlobalsAccess::Direct || self.rng.gen_bool(0.5) {
+                let lane = self.rng.gen_range(0..width.lanes()) as u8;
+                options.push(Expr::lane(self.globals_field(ctx, name), lane));
+            }
+        }
+        let idx = self.rng.gen_range(0..options.len());
+        options.swap_remove(idx)
+    }
+
+    fn gen_vector_expr(
+        &mut self,
+        ctx: &mut GenCtx,
+        elem: ScalarType,
+        width: VectorWidth,
+        depth: usize,
+    ) -> Expr {
+        let leaf = |gen: &mut Generator, ctx: &GenCtx| -> Expr {
+            let mut options: Vec<Expr> = Vec::new();
+            for (name, e, w) in &ctx.vectors {
+                if *e == elem && *w == width {
+                    options.push(Expr::var(name.clone()));
+                }
+            }
+            if options.is_empty() || gen.rng.gen_bool(0.5) {
+                let parts = (0..width.lanes()).map(|_| gen.literal(elem)).collect();
+                return Expr::VectorLit { elem, width, parts };
+            }
+            let idx = gen.rng.gen_range(0..options.len());
+            options.swap_remove(idx)
+        };
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            return leaf(self, ctx);
+        }
+        let lhs = self.gen_vector_expr(ctx, elem, width, depth - 1);
+        let rhs = self.gen_vector_expr(ctx, elem, width, depth - 1);
+        match self.rng.gen_range(0..100) {
+            0..=24 => Expr::builtin(Builtin::SafeAdd, vec![lhs, rhs]),
+            25..=44 => Expr::builtin(Builtin::SafeMul, vec![lhs, rhs]),
+            45..=59 => {
+                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor].choose(&mut self.rng).unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+            60..=74 => Expr::builtin(Builtin::Rotate, vec![lhs, rhs]),
+            75..=87 => {
+                let f = if self.rng.gen_bool(0.5) { Builtin::Min } else { Builtin::Max };
+                Expr::builtin(f, vec![lhs, rhs])
+            }
+            _ => {
+                let lo = leaf(self, ctx);
+                Expr::builtin(Builtin::SafeClamp, vec![lhs, lo, rhs])
+            }
+        }
+    }
+
+    fn literal(&mut self, ty: ScalarType) -> Expr {
+        let interesting: [i128; 8] = [0, 1, 2, 7, 31, 255, -1, 65535];
+        let value = if self.rng.gen_bool(0.5) {
+            *interesting.choose(&mut self.rng).unwrap()
+        } else {
+            self.rng.gen_range(-128..=1024)
+        };
+        let clamped = value.clamp(ty.min_value(), ty.max_value());
+        Expr::lit(clamped, ty)
+    }
+
+    fn pick_scalar_type(&mut self) -> ScalarType {
+        *ScalarType::ALL.choose(&mut self.rng).unwrap()
+    }
+}
+
+/// All divisors of `n` (n >= 1), unordered.
+fn divisors(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            out.push(d);
+            if d != n / d {
+                out.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{GenMode, GeneratorOptions};
+
+    #[test]
+    fn divisors_are_correct() {
+        let mut d = divisors(12);
+        d.sort_unstable();
+        assert_eq!(d, vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        let mut p = divisors(97);
+        p.sort_unstable();
+        assert_eq!(p, vec![1, 97]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = GeneratorOptions::new(GenMode::All, 1234).with_emi();
+        let a = generate(&opts);
+        let b = generate(&opts);
+        assert_eq!(a, b);
+        let c = generate(&GeneratorOptions::new(GenMode::All, 1235).with_emi());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn launch_configs_respect_constraints() {
+        for seed in 0..30 {
+            let opts = GeneratorOptions::new(GenMode::Basic, seed);
+            let p = generate(&opts);
+            assert!(p.launch.validate().is_ok(), "seed {seed}: {:?}", p.launch);
+            let total = p.launch.total_work_items();
+            assert!(total >= opts.min_threads && total < opts.max_threads);
+            assert!(p.launch.group_size() <= 256);
+        }
+    }
+
+    #[test]
+    fn generated_programs_typecheck() {
+        for seed in 0..20 {
+            for mode in GenMode::ALL {
+                let opts = GeneratorOptions::new(mode, seed);
+                let p = generate(&opts);
+                if let Err(e) = clc::check_program(&p) {
+                    panic!("seed {seed} mode {mode}: {e}\n{}", clc::print_program(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_modes_emit_barriers_and_basic_does_not() {
+        let barrier = generate(&GeneratorOptions::new(GenMode::Barrier, 7));
+        assert!(barrier.kernel.body.contains_barrier());
+        assert!(!barrier.permutations.is_empty());
+        let basic = generate(&GeneratorOptions::new(GenMode::Basic, 7));
+        assert!(!basic.kernel.body.contains_barrier());
+        assert!(basic.permutations.is_empty());
+    }
+
+    #[test]
+    fn atomic_modes_declare_their_buffers() {
+        let section = generate(&GeneratorOptions::new(GenMode::AtomicSection, 9));
+        assert!(section.buffer_for("sec_counters").is_some());
+        assert!(section.buffer_for("sec_specials").is_some());
+        let reduction = generate(&GeneratorOptions::new(GenMode::AtomicReduction, 9));
+        assert!(reduction.buffer_for("red").is_some());
+        let features = clc::Features::detect(&reduction);
+        assert!(features.atomic_count > 0);
+    }
+
+    #[test]
+    fn emi_blocks_are_dead_by_construction() {
+        for seed in 0..10 {
+            let opts = GeneratorOptions::new(GenMode::All, seed).with_emi();
+            let p = generate(&opts);
+            let blocks = p.emi_blocks();
+            assert!(!blocks.is_empty(), "seed {seed} generated no EMI blocks");
+            assert!(blocks.iter().all(|b| b.is_dead_by_construction()));
+            assert!(p.has_dead_array());
+            assert!(p.buffer_for("dead").is_some());
+        }
+    }
+
+    #[test]
+    fn generated_ids_only_in_controlled_idioms() {
+        // The generator must not emit thread ids in arbitrary expressions:
+        // every id use must be part of a fixed idiom (out index, permutation
+        // lookup, group-slot indexing, leader checks).  We check a weaker
+        // but still useful invariant: no id query appears as an operand of a
+        // generated comparison other than equality-with-zero leader checks.
+        let p = generate(&GeneratorOptions::new(GenMode::All, 21));
+        let features = clc::Features::detect(&p);
+        assert!(!features.group_id_in_comparison);
+    }
+
+    #[test]
+    fn printed_programs_contain_expected_structure() {
+        let p = generate(&GeneratorOptions::new(GenMode::All, 3).with_emi());
+        let src = clc::print_program(&p);
+        assert!(src.contains("struct Globals"));
+        assert!(src.contains("kernel void entry"));
+        assert!(src.contains("out["));
+        assert!(src.contains("dead["));
+        assert!(src.contains("safe_"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Generator modes and options.
+
+use std::fmt;
+
+/// The six CLsmith generation modes (§4 of the paper).
+///
+/// * [`GenMode::Basic`] — "embarrassingly parallel" kernels, no communication.
+/// * [`GenMode::Vector`] — additionally exercises OpenCL vector types and
+///   built-ins.
+/// * [`GenMode::Barrier`] — deterministic intra-group communication through a
+///   shared array whose ownership is re-distributed at barriers.
+/// * [`GenMode::AtomicSection`] — atomic-counter guarded sections whose local
+///   effects are hashed into a per-group "special value".
+/// * [`GenMode::AtomicReduction`] — commutative/associative atomic reductions
+///   followed by barrier-protected accumulation.
+/// * [`GenMode::All`] — everything combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GenMode {
+    /// Embarrassingly parallel kernels (lifted Csmith).
+    Basic,
+    /// BASIC plus vector types and operations.
+    Vector,
+    /// Barrier-based deterministic communication.
+    Barrier,
+    /// Atomic sections.
+    AtomicSection,
+    /// Atomic reductions.
+    AtomicReduction,
+    /// All features combined.
+    All,
+}
+
+impl GenMode {
+    /// All modes, in the order used throughout the paper's tables.
+    pub const ALL: [GenMode; 6] = [
+        GenMode::Basic,
+        GenMode::Vector,
+        GenMode::Barrier,
+        GenMode::AtomicSection,
+        GenMode::AtomicReduction,
+        GenMode::All,
+    ];
+
+    /// The display name used in Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            GenMode::Basic => "BASIC",
+            GenMode::Vector => "VECTOR",
+            GenMode::Barrier => "BARRIER",
+            GenMode::AtomicSection => "ATOMIC SECTION",
+            GenMode::AtomicReduction => "ATOMIC REDUCTION",
+            GenMode::All => "ALL",
+        }
+    }
+
+    /// Whether kernels of this mode use vector types and built-ins.
+    pub fn uses_vectors(self) -> bool {
+        matches!(self, GenMode::Vector | GenMode::All)
+    }
+
+    /// Whether kernels of this mode use the BARRIER communication idiom.
+    pub fn uses_barrier_comm(self) -> bool {
+        matches!(self, GenMode::Barrier | GenMode::All)
+    }
+
+    /// Whether kernels of this mode contain atomic sections.
+    pub fn uses_atomic_sections(self) -> bool {
+        matches!(self, GenMode::AtomicSection | GenMode::All)
+    }
+
+    /// Whether kernels of this mode contain atomic reductions.
+    pub fn uses_atomic_reductions(self) -> bool {
+        matches!(self, GenMode::AtomicReduction | GenMode::All)
+    }
+
+    /// Whether kernels of this mode contain any barrier statements (the
+    /// BARRIER and ATOMIC REDUCTION idioms both synchronise with barriers).
+    pub fn uses_barriers(self) -> bool {
+        self.uses_barrier_comm() || self.uses_atomic_reductions() || self.uses_atomic_sections()
+    }
+}
+
+impl fmt::Display for GenMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options for EMI (dead-by-construction) block generation (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmiOptions {
+    /// Length of the `dead` array parameter.
+    pub dead_len: usize,
+    /// Minimum number of EMI blocks to inject.
+    pub min_blocks: usize,
+    /// Maximum number of EMI blocks to inject.
+    pub max_blocks: usize,
+    /// Whether EMI bodies may contain `while (1)` loops.  The paper had to
+    /// strip these for configuration 8 (Intel HD 4000), whose compiler hangs
+    /// on them (Figure 1(e)).
+    pub allow_infinite_loops: bool,
+}
+
+impl Default for EmiOptions {
+    fn default() -> Self {
+        EmiOptions { dead_len: 16, min_blocks: 1, max_blocks: 5, allow_infinite_loops: false }
+    }
+}
+
+/// Options controlling random program generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorOptions {
+    /// RNG seed; the (seed, options) pair fully determines the program.
+    pub seed: u64,
+    /// Generation mode.
+    pub mode: GenMode,
+    /// Minimum total work-item count (inclusive).  The paper uses 100.
+    pub min_threads: usize,
+    /// Maximum total work-item count (exclusive).  The paper uses 10 000;
+    /// the default here is smaller so that emulated campaigns finish in
+    /// reasonable time (see EXPERIMENTS.md for the scaling discussion).
+    pub max_threads: usize,
+    /// Maximum work-group size (the paper constrains this to 256).
+    pub max_group_size: usize,
+    /// Number of fields in the per-thread globals struct.
+    pub global_fields: usize,
+    /// Number of additional local struct types to define.
+    pub extra_structs: usize,
+    /// Number of helper functions.
+    pub helper_functions: usize,
+    /// Statements per top-level block (roughly).
+    pub block_statements: usize,
+    /// Maximum statement nesting depth.
+    pub max_block_depth: usize,
+    /// Maximum expression depth.
+    pub max_expr_depth: usize,
+    /// Number of barrier synchronisation points (BARRIER mode).
+    pub barrier_sync_points: usize,
+    /// Number of atomic sections (ATOMIC SECTION mode).
+    pub atomic_sections: usize,
+    /// Number of atomic reductions (ATOMIC REDUCTION mode).
+    pub atomic_reductions: usize,
+    /// Number of rows in the BARRIER-mode permutation table (the paper's
+    /// `d`, 10 in practice).
+    pub permutation_rows: usize,
+    /// EMI block injection; `None` disables the `dead` array entirely.
+    pub emi: Option<EmiOptions>,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            seed: 0,
+            mode: GenMode::Basic,
+            min_threads: 64,
+            max_threads: 256,
+            max_group_size: 256,
+            global_fields: 6,
+            extra_structs: 2,
+            helper_functions: 2,
+            block_statements: 8,
+            max_block_depth: 3,
+            max_expr_depth: 4,
+            barrier_sync_points: 3,
+            atomic_sections: 3,
+            atomic_reductions: 3,
+            permutation_rows: 10,
+            emi: None,
+        }
+    }
+}
+
+impl GeneratorOptions {
+    /// Options for a given mode and seed with the default sizes.
+    pub fn new(mode: GenMode, seed: u64) -> GeneratorOptions {
+        GeneratorOptions { seed, mode, ..GeneratorOptions::default() }
+    }
+
+    /// The paper's generation scale: 100–10 000 work-items per kernel and the
+    /// full permutation table.  Campaigns at this scale are slow under
+    /// emulation; the table binaries default to [`GeneratorOptions::new`] and
+    /// accept `--paper-scale` to switch to this.
+    pub fn paper_scale(mode: GenMode, seed: u64) -> GeneratorOptions {
+        GeneratorOptions {
+            seed,
+            mode,
+            min_threads: 100,
+            max_threads: 10_000,
+            block_statements: 12,
+            helper_functions: 3,
+            ..GeneratorOptions::default()
+        }
+    }
+
+    /// Enables EMI block generation with default EMI options.
+    pub fn with_emi(mut self) -> GeneratorOptions {
+        self.emi = Some(EmiOptions::default());
+        self
+    }
+}
+
+/// Probabilities for the three EMI pruning strategies (§5).
+///
+/// `leaf` and `compound` reproduce the strategies of the original EMI work;
+/// `lift` is the paper's novel strategy that promotes the children of a
+/// branch node into its parent.  Because compound and lift both remove branch
+/// nodes and compound is applied first, lifting is performed with the
+/// adjusted probability `lift / (1 - compound)`, which requires
+/// `compound + lift <= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneProbabilities {
+    /// Probability of deleting a leaf statement.
+    pub leaf: f64,
+    /// Probability of deleting a compound statement.
+    pub compound: f64,
+    /// Probability of lifting a compound statement's children.
+    pub lift: f64,
+}
+
+impl PruneProbabilities {
+    /// Creates and validates pruning probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any probability is outside `[0, 1]` or when
+    /// `compound + lift > 1` (the adjusted lift probability would exceed 1).
+    pub fn new(leaf: f64, compound: f64, lift: f64) -> Result<PruneProbabilities, String> {
+        for (name, p) in [("leaf", leaf), ("compound", compound), ("lift", lift)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} probability {p} outside [0, 1]"));
+            }
+        }
+        if compound + lift > 1.0 + 1e-9 {
+            return Err(format!(
+                "compound ({compound}) + lift ({lift}) must not exceed 1"
+            ));
+        }
+        Ok(PruneProbabilities { leaf, compound, lift })
+    }
+
+    /// The adjusted lift probability `lift / (1 - compound)` described in §5.
+    pub fn adjusted_lift(&self) -> f64 {
+        if self.compound >= 1.0 {
+            0.0
+        } else {
+            (self.lift / (1.0 - self.compound)).min(1.0)
+        }
+    }
+
+    /// The 40 probability combinations used for Table 5: every combination of
+    /// `leaf`, `compound`, `lift` over `{0, 0.3, 0.6, 1}` satisfying
+    /// `compound + lift <= 1`.
+    pub fn table5_combinations() -> Vec<PruneProbabilities> {
+        let grid = [0.0, 0.3, 0.6, 1.0];
+        let mut out = Vec::new();
+        for &leaf in &grid {
+            for &compound in &grid {
+                for &lift in &grid {
+                    if let Ok(p) = PruneProbabilities::new(leaf, compound, lift) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_feature_queries() {
+        assert!(!GenMode::Basic.uses_vectors());
+        assert!(GenMode::Vector.uses_vectors());
+        assert!(GenMode::All.uses_vectors());
+        assert!(GenMode::Barrier.uses_barrier_comm());
+        assert!(GenMode::AtomicReduction.uses_barriers());
+        assert!(!GenMode::Basic.uses_barriers());
+        assert_eq!(GenMode::ALL.len(), 6);
+        assert_eq!(GenMode::AtomicSection.name(), "ATOMIC SECTION");
+    }
+
+    #[test]
+    fn prune_probability_validation() {
+        assert!(PruneProbabilities::new(0.5, 0.5, 0.5).is_ok());
+        assert!(PruneProbabilities::new(0.0, 0.6, 0.6).is_err());
+        assert!(PruneProbabilities::new(1.5, 0.0, 0.0).is_err());
+        let p = PruneProbabilities::new(0.0, 0.3, 0.6).unwrap();
+        assert!((p.adjusted_lift() - 0.6 / 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table5_grid_matches_paper_count() {
+        // The paper derives 40 variants per base program from the probability
+        // grid {0, 0.3, 0.6, 1}^3 restricted to compound + lift <= 1.
+        let combos = PruneProbabilities::table5_combinations();
+        assert_eq!(combos.len(), 40);
+        assert!(combos.iter().all(|p| p.compound + p.lift <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let opts = GeneratorOptions::default();
+        assert!(opts.min_threads < opts.max_threads);
+        assert!(opts.max_group_size <= 256);
+        let paper = GeneratorOptions::paper_scale(GenMode::All, 1);
+        assert_eq!(paper.min_threads, 100);
+        assert_eq!(paper.max_threads, 10_000);
+        let emi = GeneratorOptions::new(GenMode::Basic, 3).with_emi();
+        assert!(emi.emi.is_some());
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate validation of the generator against the reference emulator:
+//! the invariants the paper relies on (§4: deterministic output, no undefined
+//! behaviour; §5: EMI variants agree with their base) must hold for every
+//! generated program.
+
+use clc_interp::{launch, LaunchOptions, Schedule};
+use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
+use proptest::prelude::*;
+
+/// Small launch geometry so the emulated NDRange stays fast in tests.
+fn test_options(mode: GenMode, seed: u64) -> GeneratorOptions {
+    GeneratorOptions { min_threads: 16, max_threads: 64, ..GeneratorOptions::new(mode, seed) }
+}
+
+fn run_with(program: &clc::Program, schedule: Schedule, detect_races: bool) -> clc_interp::LaunchResult {
+    let options = LaunchOptions { schedule, detect_races, ..LaunchOptions::default() };
+    match launch(program, &options) {
+        Ok(r) => r,
+        Err(e) => panic!(
+            "generated program must be UB-free but failed: {e}\n{}",
+            clc::print_program(program)
+        ),
+    }
+}
+
+#[test]
+fn all_modes_run_deterministically_across_schedules() {
+    for mode in GenMode::ALL {
+        for seed in 0..6u64 {
+            let program = generate(&test_options(mode, seed));
+            let forward = run_with(&program, Schedule::Forward, false);
+            let reverse = run_with(&program, Schedule::Reverse, false);
+            let shuffled = run_with(&program, Schedule::Shuffled(seed ^ 0xdead), false);
+            assert_eq!(
+                forward.result_string, reverse.result_string,
+                "mode {mode} seed {seed}: schedule changed the result"
+            );
+            assert_eq!(forward.result_string, shuffled.result_string);
+        }
+    }
+}
+
+#[test]
+fn generated_programs_are_race_free() {
+    for mode in GenMode::ALL {
+        for seed in 10..14u64 {
+            let program = generate(&test_options(mode, seed));
+            let result = run_with(&program, Schedule::Forward, true);
+            assert!(
+                result.race.is_none(),
+                "mode {mode} seed {seed}: race {:?}\n{}",
+                result.race,
+                clc::print_program(&program)
+            );
+        }
+    }
+}
+
+#[test]
+fn emi_variants_agree_with_their_base() {
+    for seed in 0..4u64 {
+        let program = generate(&test_options(GenMode::All, seed).with_emi());
+        let base = run_with(&program, Schedule::Forward, false);
+        for (i, probs) in PruneProbabilities::table5_combinations().iter().enumerate().step_by(7) {
+            let variant = prune_variant(&program, probs, i as u64);
+            let result = run_with(&variant, Schedule::Forward, false);
+            assert_eq!(
+                base.result_string, result.result_string,
+                "seed {seed}, pruning {probs:?}: EMI variant diverged from its base"
+            );
+        }
+    }
+}
+
+#[test]
+fn inverting_the_dead_array_exposes_live_emi_blocks() {
+    // §7.4: a candidate base kernel is kept only if inverting the dead array
+    // changes its result (otherwise the blocks were injected into code that
+    // is already dead).  Verify the mechanism: at least some seeds produce
+    // bases whose inverted run differs, and the inverted run still exercises
+    // the EMI bodies without crashing the emulator in most cases.
+    let mut differing = 0;
+    let mut total = 0;
+    for seed in 0..8u64 {
+        let program = generate(&test_options(GenMode::Basic, seed).with_emi());
+        let normal = run_with(&program, Schedule::Forward, false);
+        let mut options = LaunchOptions::default();
+        options.buffer_overrides.insert(
+            "dead".into(),
+            clc::BufferInit::ReverseIota.materialize(program.dead_len),
+        );
+        total += 1;
+        if let Ok(inverted) = launch(&program, &options) {
+            if inverted.result_string != normal.result_string {
+                differing += 1;
+            }
+        } else {
+            // The dead code is allowed to be "wild" (it never executes under
+            // the standard input); an error under inversion still proves the
+            // block is live.
+            differing += 1;
+        }
+    }
+    assert!(total == 8);
+    assert!(
+        differing >= 2,
+        "expected several bases with live EMI blocks, found {differing}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property form of the determinism invariant over random seeds/modes.
+    #[test]
+    fn prop_generated_programs_are_schedule_deterministic(
+        seed in 0u64..10_000,
+        mode_idx in 0usize..6,
+    ) {
+        let mode = GenMode::ALL[mode_idx];
+        let program = generate(&test_options(mode, seed));
+        prop_assert!(clc::check_program(&program).is_ok());
+        let a = run_with(&program, Schedule::Forward, false);
+        let b = run_with(&program, Schedule::Shuffled(seed), false);
+        prop_assert_eq!(a.result_string, b.result_string);
+    }
+
+    /// EMI pruning never produces ill-typed programs and never resurrects
+    /// dead blocks.
+    #[test]
+    fn prop_pruning_preserves_validity(
+        seed in 0u64..10_000,
+        leaf in 0usize..4,
+        compound in 0usize..4,
+        lift in 0usize..4,
+        prune_seed in 0u64..1000,
+    ) {
+        let grid = [0.0, 0.3, 0.6, 1.0];
+        let probs = match PruneProbabilities::new(grid[leaf], grid[compound], grid[lift]) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let program = generate(&test_options(GenMode::All, seed).with_emi());
+        let variant = prune_variant(&program, &probs, prune_seed);
+        prop_assert!(clc::check_program(&variant).is_ok());
+        prop_assert!(clsmith::all_emi_blocks_dead(&variant));
+    }
+}

@@ -1,0 +1,286 @@
+//! Campaign drivers: the initial reliability classification (Table 1, §7.1)
+//! and the per-mode CLsmith campaigns (Table 4, §7.3).
+
+use crate::differential::{classify, run_on_targets, targets_for, TestTarget, Verdict};
+use clsmith::{generate, GenMode, GeneratorOptions};
+use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+
+/// Per-target tallies for a batch of kernels (one cell block of Table 4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TargetStats {
+    /// Wrong-code results (`w`).
+    pub wrong: usize,
+    /// Build failures (`bf`).
+    pub build_failures: usize,
+    /// Runtime crashes (`c`).
+    pub crashes: usize,
+    /// Timeouts (`to`).
+    pub timeouts: usize,
+    /// Results that agreed with the majority (`✓`).
+    pub ok: usize,
+}
+
+impl TargetStats {
+    /// Records one verdict.
+    pub fn record(&mut self, verdict: Verdict) {
+        match verdict {
+            Verdict::Ok => self.ok += 1,
+            Verdict::WrongCode => self.wrong += 1,
+            Verdict::BuildFailure => self.build_failures += 1,
+            Verdict::Crash => self.crashes += 1,
+            Verdict::Timeout => self.timeouts += 1,
+        }
+    }
+
+    /// Total number of kernels recorded.
+    pub fn total(&self) -> usize {
+        self.wrong + self.build_failures + self.crashes + self.timeouts + self.ok
+    }
+
+    /// The paper's *wrong code percentage* `w%`: wrong-code results as a
+    /// percentage of computed (non-{bf, c, to}) results.
+    pub fn wrong_code_percentage(&self) -> f64 {
+        let computed = self.wrong + self.ok;
+        if computed == 0 {
+            0.0
+        } else {
+            100.0 * self.wrong as f64 / computed as f64
+        }
+    }
+
+    /// Fraction of kernels that failed (build failure, crash or wrong code) —
+    /// the quantity the §7.1 reliability threshold is defined over.
+    pub fn failure_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.wrong + self.build_failures + self.crashes) as f64 / total as f64
+        }
+    }
+}
+
+/// Result of a per-mode campaign: one [`TargetStats`] per target, in target
+/// order.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The mode the kernels were generated with.
+    pub mode: GenMode,
+    /// Number of kernels in the batch.
+    pub kernels: usize,
+    /// The targets, in column order.
+    pub targets: Vec<TestTarget>,
+    /// Tallies per target.
+    pub stats: Vec<TargetStats>,
+}
+
+impl CampaignResult {
+    /// Stats for a target by its paper label (e.g. `"12-"`).
+    pub fn stats_for(&self, label: &str) -> Option<&TargetStats> {
+        self.targets.iter().position(|t| t.label() == label).map(|i| &self.stats[i])
+    }
+
+    /// Aggregate wrong-code percentage across all targets (the "Total"
+    /// column of Table 4).
+    pub fn total_wrong_code_percentage(&self) -> f64 {
+        let mut wrong = 0usize;
+        let mut ok = 0usize;
+        for s in &self.stats {
+            wrong += s.wrong;
+            ok += s.ok;
+        }
+        if wrong + ok == 0 {
+            0.0
+        } else {
+            100.0 * wrong as f64 / (wrong + ok) as f64
+        }
+    }
+}
+
+/// Options controlling campaign scale.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Kernels per mode.
+    pub kernels: usize,
+    /// Base generator options (mode and seed are overridden per kernel).
+    pub generator: GeneratorOptions,
+    /// Execution options (step limit maps to the paper's 60 s timeout).
+    pub exec: ExecOptions,
+    /// Seed offset so different campaigns use disjoint kernel sets.
+    pub seed_offset: u64,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            kernels: 30,
+            generator: GeneratorOptions::default(),
+            exec: ExecOptions::default(),
+            seed_offset: 0,
+        }
+    }
+}
+
+/// Runs a CLsmith campaign for one mode against the given configurations
+/// (both optimisation levels), reproducing one row block of Table 4.
+pub fn run_mode_campaign(
+    mode: GenMode,
+    configs: &[Configuration],
+    options: &CampaignOptions,
+) -> CampaignResult {
+    let targets = targets_for(configs);
+    let mut stats = vec![TargetStats::default(); targets.len()];
+    for i in 0..options.kernels {
+        let gen_opts = GeneratorOptions {
+            mode,
+            seed: options.seed_offset + i as u64,
+            ..options.generator.clone()
+        };
+        let program = generate(&gen_opts);
+        let outcomes = run_on_targets(&program, &targets, &options.exec);
+        let verdicts = classify(&outcomes);
+        for (stat, verdict) in stats.iter_mut().zip(verdicts) {
+            stat.record(verdict);
+        }
+    }
+    CampaignResult { mode, kernels: options.kernels, targets, stats }
+}
+
+/// Outcome of the §7.1 initial classification for one configuration.
+#[derive(Debug, Clone)]
+pub struct ReliabilityRow {
+    /// The configuration.
+    pub config: Configuration,
+    /// Failure fraction over the initial kernel set (both optimisation
+    /// levels pooled, as in §7.1).
+    pub failure_fraction: f64,
+    /// Whether the configuration lies above the reliability threshold.
+    pub above_threshold: bool,
+}
+
+/// The §7.1 reliability threshold: at most 25 % of the initial tests may be
+/// build failures, runtime crashes or wrong-code results.
+pub const RELIABILITY_THRESHOLD: f64 = 0.25;
+
+/// Classifies every configuration against the reliability threshold using
+/// `kernels_per_mode` kernels from each of the six modes (the paper uses 100
+/// per mode, i.e. 600 in total).
+pub fn classify_configurations(
+    configs: &[Configuration],
+    kernels_per_mode: usize,
+    options: &CampaignOptions,
+) -> Vec<ReliabilityRow> {
+    let mut per_config = vec![TargetStats::default(); configs.len()];
+    for (mode_index, mode) in GenMode::ALL.iter().enumerate() {
+        let campaign = run_mode_campaign(
+            *mode,
+            configs,
+            &CampaignOptions {
+                kernels: kernels_per_mode,
+                seed_offset: options.seed_offset + (mode_index as u64) * 100_000,
+                generator: options.generator.clone(),
+                exec: options.exec.clone(),
+            },
+        );
+        // Pool the two optimisation levels of each configuration.
+        for (t, stat) in campaign.targets.iter().zip(&campaign.stats) {
+            let idx = configs.iter().position(|c| c.id == t.config.id).expect("config present");
+            per_config[idx].wrong += stat.wrong;
+            per_config[idx].build_failures += stat.build_failures;
+            per_config[idx].crashes += stat.crashes;
+            per_config[idx].timeouts += stat.timeouts;
+            per_config[idx].ok += stat.ok;
+        }
+    }
+    configs
+        .iter()
+        .zip(per_config)
+        .map(|(config, stats)| {
+            let failure_fraction = stats.failure_fraction();
+            // The paper additionally demotes the Xeon Phi (configuration 18)
+            // because of its prohibitively slow compilation; timeouts caused
+            // by compile hangs are counted against the threshold here so the
+            // same judgement falls out of the data.
+            let hang_fraction = stats.timeouts as f64 / stats.total().max(1) as f64;
+            let above_threshold = failure_fraction <= RELIABILITY_THRESHOLD
+                && hang_fraction <= RELIABILITY_THRESHOLD;
+            ReliabilityRow { config: config.clone(), failure_fraction, above_threshold }
+        })
+        .collect()
+}
+
+/// Runs one kernel across the above-threshold targets and returns both raw
+/// outcomes and verdicts (useful to examples and tests).
+pub fn quick_differential(program: &clc::Program) -> (Vec<TestTarget>, Vec<TestOutcome>, Vec<Verdict>) {
+    let configs = opencl_sim::above_threshold_configurations();
+    let targets = targets_for(&configs);
+    let outcomes = run_on_targets(program, &targets, &ExecOptions::default());
+    let verdicts = classify(&outcomes);
+    (targets, outcomes, verdicts)
+}
+
+/// Returns `OptLevel::BOTH` targets for a single configuration (used by the
+/// EMI campaign, which does not compare across configurations).
+pub fn single_config_targets(config: &Configuration) -> Vec<TestTarget> {
+    OptLevel::BOTH.iter().map(|opt| TestTarget::new(config.clone(), *opt)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_derive_percentages() {
+        let mut s = TargetStats::default();
+        for v in [Verdict::Ok, Verdict::Ok, Verdict::WrongCode, Verdict::Crash, Verdict::Timeout] {
+            s.record(v);
+        }
+        assert_eq!(s.total(), 5);
+        assert!((s.wrong_code_percentage() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((s.failure_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_campaign_runs_and_finds_wrong_code_somewhere() {
+        let configs = vec![
+            opencl_sim::configuration(1),
+            opencl_sim::configuration(3),
+            opencl_sim::configuration(9),
+            opencl_sim::configuration(19),
+        ];
+        let options = CampaignOptions {
+            kernels: 6,
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 48,
+                ..GeneratorOptions::default()
+            },
+            ..CampaignOptions::default()
+        };
+        let result = run_mode_campaign(GenMode::Basic, &configs, &options);
+        assert_eq!(result.stats.len(), 8);
+        assert!(result.stats.iter().all(|s| s.total() == 6));
+        assert!(result.stats_for("9+").is_some());
+        assert!(result.stats_for("99+").is_none());
+    }
+
+    #[test]
+    fn classification_separates_reliable_from_unreliable_configs() {
+        // Use a tiny kernel budget: the rates are strong enough that the
+        // Altera FPGA lands below the threshold while NVIDIA stays above.
+        let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(21)];
+        let options = CampaignOptions {
+            kernels: 0, // overridden by kernels_per_mode argument
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 48,
+                ..GeneratorOptions::default()
+            },
+            ..CampaignOptions::default()
+        };
+        let rows = classify_configurations(&configs, 3, &options);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].above_threshold, "NVIDIA should be above the threshold");
+        assert!(!rows[1].above_threshold, "the Altera FPGA should fall below the threshold");
+    }
+}

@@ -1,0 +1,303 @@
+//! CLsmith+EMI testing campaigns (Table 5, §7.4).
+//!
+//! A *base* program is an ALL-mode CLsmith kernel containing 1–5 EMI blocks
+//! that survives the liveness check (inverting the `dead` array changes its
+//! result, §7.4).  From each base a set of variants is derived with the
+//! leaf/compound/lift pruning grid, and every variant is run on a single
+//! (configuration, optimisation level) target: because all variants are
+//! equivalent modulo the standard `dead` input, any disagreement between two
+//! terminating variants indicates a miscompilation — no cross-configuration
+//! comparison is needed, which is the selling point of EMI testing (§3.2).
+
+use crate::campaign::CampaignOptions;
+use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
+use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+use std::collections::HashMap;
+
+/// Per-target tallies over base programs (the rows of Table 5).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmiStats {
+    /// Bases for which no variant terminated with a value ("base fails").
+    pub base_fails: usize,
+    /// Bases with two terminating variants that disagree (`w`).
+    pub wrong: usize,
+    /// Bases with at least one variant that failed to build (`bf`).
+    pub build_failures: usize,
+    /// Bases with at least one variant that crashed (`c`).
+    pub crashes: usize,
+    /// Bases with at least one variant that timed out (`to`).
+    pub timeouts: usize,
+    /// Bases whose variants all terminated with one uniform value ("stable").
+    pub stable: usize,
+}
+
+/// Result of an EMI campaign.
+#[derive(Debug, Clone)]
+pub struct EmiCampaignResult {
+    /// Number of base programs that passed the liveness check.
+    pub bases: usize,
+    /// Number of variants per base.
+    pub variants_per_base: usize,
+    /// Target labels in column order (e.g. `"1-"`, `"1+"`, ...).
+    pub labels: Vec<String>,
+    /// Tallies per target.
+    pub stats: Vec<EmiStats>,
+}
+
+impl EmiCampaignResult {
+    /// Stats for a target label.
+    pub fn stats_for(&self, label: &str) -> Option<&EmiStats> {
+        self.labels.iter().position(|l| l == label).map(|i| &self.stats[i])
+    }
+}
+
+/// Options for the EMI campaign.
+#[derive(Debug, Clone)]
+pub struct EmiCampaignOptions {
+    /// Number of base programs to accept (the paper uses 180 after
+    /// discarding).
+    pub bases: usize,
+    /// How many pruning-probability combinations to use per base (the paper
+    /// uses all 40; smaller values subsample the grid evenly).
+    pub variants_per_base: usize,
+    /// Campaign scale options (generator sizes, execution options).
+    pub campaign: CampaignOptions,
+}
+
+impl Default for EmiCampaignOptions {
+    fn default() -> Self {
+        EmiCampaignOptions {
+            bases: 6,
+            variants_per_base: 10,
+            campaign: CampaignOptions::default(),
+        }
+    }
+}
+
+/// Generates base programs that pass the §7.4 liveness check: the EMI blocks
+/// must not all sit in already-dead code, which is checked by comparing the
+/// reference result with the `dead` array inverted.
+pub fn generate_live_bases(options: &EmiCampaignOptions) -> Vec<clc::Program> {
+    let mut bases = Vec::new();
+    let mut seed = options.campaign.seed_offset;
+    let mut attempts = 0usize;
+    while bases.len() < options.bases && attempts < options.bases * 20 + 50 {
+        attempts += 1;
+        seed += 1;
+        let gen_opts = GeneratorOptions {
+            mode: GenMode::All,
+            seed,
+            ..options.campaign.generator.clone()
+        }
+        .with_emi();
+        let program = generate(&gen_opts);
+        let normal = opencl_sim::reference_execute(&program, &options.campaign.exec);
+        let mut inverted_exec = options.campaign.exec.clone();
+        inverted_exec.buffer_overrides.insert(
+            "dead".into(),
+            clc::BufferInit::ReverseIota.materialize(program.dead_len),
+        );
+        let inverted = opencl_sim::reference_execute(&program, &inverted_exec);
+        let live = match (&normal, &inverted) {
+            (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) => a != b,
+            // An inverted run that fails outright also proves the blocks are
+            // reachable under the inverted input.
+            (TestOutcome::Result { .. }, _) => true,
+            _ => false,
+        };
+        if live {
+            bases.push(program);
+        }
+    }
+    bases
+}
+
+/// The evenly subsampled pruning grid of the requested size.
+pub fn pruning_grid(variants: usize) -> Vec<PruneProbabilities> {
+    let all = PruneProbabilities::table5_combinations();
+    if variants >= all.len() {
+        return all;
+    }
+    let step = (all.len() as f64 / variants as f64).max(1.0);
+    (0..variants)
+        .map(|i| all[((i as f64 * step) as usize).min(all.len() - 1)])
+        .collect()
+}
+
+/// Runs the EMI campaign against each configuration at both optimisation
+/// levels.
+pub fn run_emi_campaign(
+    configs: &[Configuration],
+    options: &EmiCampaignOptions,
+) -> EmiCampaignResult {
+    let bases = generate_live_bases(options);
+    let grid = pruning_grid(options.variants_per_base);
+    let mut labels = Vec::new();
+    for config in configs {
+        for opt in OptLevel::BOTH {
+            labels.push(config.label(opt));
+        }
+    }
+    let mut stats = vec![EmiStats::default(); labels.len()];
+    for (base_index, base) in bases.iter().enumerate() {
+        let variants: Vec<clc::Program> = grid
+            .iter()
+            .enumerate()
+            .map(|(i, probs)| prune_variant(base, probs, (base_index * 1000 + i) as u64))
+            .collect();
+        let mut column = 0usize;
+        for config in configs {
+            for opt in OptLevel::BOTH {
+                let outcome = judge_base(&variants, config, opt, &options.campaign.exec);
+                record_base(&mut stats[column], outcome);
+                column += 1;
+            }
+        }
+    }
+    EmiCampaignResult {
+        bases: bases.len(),
+        variants_per_base: grid.len(),
+        labels,
+        stats,
+    }
+}
+
+/// What a single base program induced on a single target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaseJudgement {
+    /// No variant terminated with a value.
+    pub bad_base: bool,
+    /// Two terminating variants disagreed.
+    pub wrong: bool,
+    /// Some variant failed to build.
+    pub build_failure: bool,
+    /// Some variant crashed.
+    pub crash: bool,
+    /// Some variant timed out.
+    pub timeout: bool,
+    /// All variants terminated with a single uniform value.
+    pub stable: bool,
+}
+
+/// Runs all variants of one base on one target and classifies the base
+/// according to §7.4.
+pub fn judge_base(
+    variants: &[clc::Program],
+    config: &Configuration,
+    opt: OptLevel,
+    exec: &ExecOptions,
+) -> BaseJudgement {
+    let mut hashes: HashMap<u64, usize> = HashMap::new();
+    let mut build_failure = false;
+    let mut crash = false;
+    let mut timeout = false;
+    for variant in variants {
+        match opencl_sim::execute(variant, config, opt, exec) {
+            TestOutcome::Result { hash, .. } => {
+                *hashes.entry(hash).or_insert(0) += 1;
+            }
+            TestOutcome::BuildFailure(_) => build_failure = true,
+            TestOutcome::Crash(_) => crash = true,
+            TestOutcome::Timeout => timeout = true,
+        }
+    }
+    let terminated = hashes.values().sum::<usize>();
+    let bad_base = terminated == 0;
+    let wrong = hashes.len() > 1;
+    let stable = !bad_base && !wrong && terminated == variants.len();
+    BaseJudgement { bad_base, wrong, build_failure, crash, timeout, stable }
+}
+
+fn record_base(stats: &mut EmiStats, j: BaseJudgement) {
+    if j.bad_base {
+        stats.base_fails += 1;
+        return;
+    }
+    if j.wrong {
+        stats.wrong += 1;
+    }
+    if j.build_failure {
+        stats.build_failures += 1;
+    }
+    if j.crash {
+        stats.crashes += 1;
+    }
+    if j.timeout {
+        stats.timeouts += 1;
+    }
+    if j.stable {
+        stats.stable += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clsmith::GeneratorOptions;
+
+    fn small_options(bases: usize) -> EmiCampaignOptions {
+        EmiCampaignOptions {
+            bases,
+            variants_per_base: 6,
+            campaign: CampaignOptions {
+                generator: GeneratorOptions {
+                    min_threads: 16,
+                    max_threads: 48,
+                    ..GeneratorOptions::default()
+                },
+                ..CampaignOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn pruning_grid_subsamples_evenly() {
+        assert_eq!(pruning_grid(40).len(), 40);
+        assert_eq!(pruning_grid(100).len(), 40);
+        let five = pruning_grid(5);
+        assert_eq!(five.len(), 5);
+    }
+
+    #[test]
+    fn live_base_generation_filters_dead_placements() {
+        let bases = generate_live_bases(&small_options(2));
+        assert!(!bases.is_empty());
+        for base in &bases {
+            assert!(base.has_dead_array());
+            assert!(!base.emi_blocks().is_empty());
+        }
+    }
+
+    #[test]
+    fn judging_a_base_on_a_healthy_config_is_stable() {
+        let options = small_options(1);
+        let bases = generate_live_bases(&options);
+        let grid = pruning_grid(4);
+        let variants: Vec<clc::Program> =
+            grid.iter().enumerate().map(|(i, p)| prune_variant(&bases[0], p, i as u64)).collect();
+        // The reference emulator (no injected bugs) must find every base
+        // stable: all variants agree.
+        let mut hashes = std::collections::HashSet::new();
+        for v in &variants {
+            match opencl_sim::reference_execute(&v, &options.campaign.exec) {
+                TestOutcome::Result { hash, .. } => {
+                    hashes.insert(hash);
+                }
+                other => panic!("variant failed on the reference emulator: {other:?}"),
+            }
+        }
+        assert_eq!(hashes.len(), 1);
+    }
+
+    #[test]
+    fn small_emi_campaign_produces_consistent_counts() {
+        let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+        let options = small_options(2);
+        let result = run_emi_campaign(&configs, &options);
+        assert_eq!(result.labels.len(), 4);
+        for stats in &result.stats {
+            // Every base is accounted for: either a bad base or judged.
+            assert!(stats.base_fails + stats.stable + stats.wrong <= result.bases + stats.base_fails);
+        }
+    }
+}

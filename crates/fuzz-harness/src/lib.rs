@@ -1,0 +1,36 @@
+//! # fuzz-harness — differential and EMI testing campaigns
+//!
+//! Orchestration of the paper's testing campaigns over the simulated OpenCL
+//! platform:
+//!
+//! * [`differential`] — run one kernel across many (configuration,
+//!   optimisation level) targets and vote on the results (§3.2);
+//! * [`campaign`] — batch CLsmith campaigns per mode (Table 4) and the
+//!   initial reliability classification (Table 1, §7.1);
+//! * [`emi_campaign`] — CLsmith+EMI campaigns over base programs and their
+//!   pruning variants (Table 5, §7.4);
+//! * [`benchmark_emi`] — EMI testing of existing kernels such as the
+//!   Parboil/Rodinia miniatures (Table 3, §7.2);
+//! * [`report`] — plain-text table rendering used by the reproduction
+//!   binaries in the `bench` crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod benchmark_emi;
+pub mod campaign;
+pub mod differential;
+pub mod emi_campaign;
+pub mod report;
+
+pub use benchmark_emi::{evaluate_benchmark, BenchmarkCell, CellOutcome, EmiBenchmark};
+pub use campaign::{
+    classify_configurations, quick_differential, run_mode_campaign, CampaignOptions,
+    CampaignResult, ReliabilityRow, TargetStats, RELIABILITY_THRESHOLD,
+};
+pub use differential::{classify, differential_test, run_on_targets, targets_for, TestTarget, Verdict};
+pub use emi_campaign::{
+    generate_live_bases, judge_base, pruning_grid, run_emi_campaign, EmiCampaignOptions,
+    EmiCampaignResult, EmiStats,
+};
+pub use report::{percent, render_table};

@@ -1,0 +1,75 @@
+//! Plain-text table rendering for the reproduction binaries.
+
+/// Renders an ASCII table with a header row.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let columns = headers.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; columns];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = widths[i].max(h.len());
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for i in 0..widths.len() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {:width$} |", cell, width = widths[i]));
+        }
+        line
+    };
+    let separator = {
+        let mut line = String::from("+");
+        for w in &widths {
+            line.push_str(&"-".repeat(w + 2));
+            line.push('+');
+        }
+        line
+    };
+    out.push_str(&separator);
+    out.push('\n');
+    out.push_str(&render_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&separator);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out.push_str(&separator);
+    out.push('\n');
+    out
+}
+
+/// Formats a percentage with one decimal, as the paper's `w%` rows do.
+pub fn percent(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_tables() {
+        let headers = vec!["mode".to_string(), "w".to_string(), "w%".to_string()];
+        let rows = vec![
+            vec!["BASIC".to_string(), "12".to_string(), percent(0.123)],
+            vec!["ALL".to_string(), "3".to_string(), percent(12.0)],
+        ];
+        let table = render_table(&headers, &rows);
+        assert!(table.contains("| BASIC | 12 | 0.1"), "{table}");
+        assert!(table.contains("| ALL   | 3  | 12.0"), "{table}");
+        assert!(table.lines().all(|l| l.starts_with('+') || l.starts_with('|')));
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(7.65), "7.7");
+        assert_eq!(percent(0.0), "0.0");
+    }
+}

@@ -1,0 +1,632 @@
+//! The 21 simulated (device, driver) configurations of Table 1.
+//!
+//! Each configuration carries the metadata of the table row (SDK, device,
+//! driver, OpenCL version, OS, device type), the reliability classification
+//! the paper reports in the final column, and a *behaviour model*: the bug
+//! rules of §6 / Figures 1–2 that apply to it plus background outcome rates
+//! that reproduce the statistical shape of Tables 3–5.  Anonymous vendors
+//! are kept anonymous, as in the paper.
+
+use crate::bugs::{
+    self, BugEffect, BugRule, Miscompilation, OptLevel, OptScope, Trigger,
+};
+
+/// Kind of OpenCL device (final classification column group of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// Discrete or integrated GPU.
+    Gpu,
+    /// Multi-core CPU.
+    Cpu,
+    /// Co-processor (Xeon Phi).
+    Accelerator,
+    /// Software emulator (Oclgrind, Altera emulation flow).
+    Emulator,
+    /// FPGA.
+    Fpga,
+}
+
+impl DeviceType {
+    /// Human-readable name as used in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceType::Gpu => "GPU",
+            DeviceType::Cpu => "CPU",
+            DeviceType::Accelerator => "Accelerator",
+            DeviceType::Emulator => "Emulator",
+            DeviceType::Fpga => "FPGA",
+        }
+    }
+}
+
+/// Background outcome rates for one optimisation level.
+///
+/// These model failure modes that are not tied to a single reproducible
+/// feature (driver flakiness, machine crashes during batch testing, slow
+/// compilation): the probability that a given kernel hits each outcome.  The
+/// decision is a deterministic hash of (kernel, configuration, opt level), so
+/// campaigns are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OutcomeRates {
+    /// Probability of a build failure.
+    pub build_failure: f64,
+    /// Probability of a background miscompilation (realised by perturbing a
+    /// literal so that differential/EMI voting can observe it).
+    pub wrong_code: f64,
+    /// Probability of a runtime crash (includes the paper's machine crashes).
+    pub runtime_crash: f64,
+    /// Probability of a timeout (slow compilation or slow execution).
+    pub timeout: f64,
+    /// Extra crash probability for kernels that use barriers (configurations
+    /// 14/15 show a dramatic crash increase on BARRIER / ATOMIC REDUCTION /
+    /// ALL kernels, §7.3).
+    pub barrier_crash_bonus: f64,
+    /// Extra wrong-code probability for kernels that use barriers
+    /// (configurations 12/13 with optimisations disabled, §7.3).
+    pub barrier_wrong_bonus: f64,
+}
+
+/// One simulated OpenCL configuration (a Table 1 row).
+#[derive(Debug, Clone)]
+pub struct Configuration {
+    /// Row number in Table 1 (1–21).
+    pub id: usize,
+    /// SDK column.
+    pub sdk: &'static str,
+    /// Device column.
+    pub device: &'static str,
+    /// Driver / compiler column.
+    pub driver: &'static str,
+    /// OpenCL version column.
+    pub opencl: &'static str,
+    /// Operating system column.
+    pub os: &'static str,
+    /// Device type column.
+    pub device_type: DeviceType,
+    /// The classification the paper reports in the final column
+    /// ("Above threshold?").
+    pub expected_above_threshold: bool,
+    /// Whether the driver's compiler actually optimises (Oclgrind does not,
+    /// which is why its `+` and `−` columns are practically identical).
+    pub optimizes: bool,
+    /// Feature-triggered bug rules.
+    pub rules: Vec<BugRule>,
+    /// Background rates with optimisations disabled.
+    pub rates_opt_off: OutcomeRates,
+    /// Background rates with optimisations enabled.
+    pub rates_opt_on: OutcomeRates,
+}
+
+impl Configuration {
+    /// The background rates for the given optimisation level.
+    pub fn rates(&self, opt: OptLevel) -> &OutcomeRates {
+        match opt {
+            OptLevel::Disabled => &self.rates_opt_off,
+            OptLevel::Enabled => &self.rates_opt_on,
+        }
+    }
+
+    /// Short display name, e.g. `"9+"` for configuration 9 with
+    /// optimisations enabled.
+    pub fn label(&self, opt: OptLevel) -> String {
+        format!("{}{}", self.id, opt.suffix())
+    }
+}
+
+fn rule(
+    name: &'static str,
+    reference: &'static str,
+    opt: OptScope,
+    trigger: Trigger,
+    effect: BugEffect,
+) -> BugRule {
+    BugRule { name, reference, opt, trigger, effect }
+}
+
+/// All 21 configurations, in Table 1 order.
+pub fn all_configurations() -> Vec<Configuration> {
+    use BugEffect::*;
+    use Miscompilation::*;
+    use OptScope::*;
+    use Trigger::Feature;
+
+    let nvidia_gpu = |id: usize, device: &'static str, sdk: &'static str, driver: &'static str, os: &'static str| Configuration {
+        id,
+        sdk,
+        device,
+        driver,
+        opencl: "1.1",
+        os,
+        device_type: DeviceType::Gpu,
+        expected_above_threshold: true,
+        optimizes: true,
+        rules: vec![
+            rule(
+                "union-initializer-garbage",
+                "Figure 2(a)",
+                OnlyDisabled,
+                Feature(bugs::union_in_struct_initializer),
+                Miscompile(UnionInitializerGarbage),
+            ),
+        ],
+        rates_opt_off: OutcomeRates {
+            // "Wrong type for attribute zeroext" and friends (§6, Build
+            // failures): modelled as a background rate of roughly 4 %,
+            // matching the ~396/10000 build failures of Table 4 at `-`.
+            build_failure: 0.04,
+            wrong_code: 0.0012,
+            runtime_crash: 0.045,
+            timeout: 0.018,
+            ..OutcomeRates::default()
+        },
+        rates_opt_on: OutcomeRates {
+            build_failure: 0.0,
+            wrong_code: 0.0028,
+            runtime_crash: 0.055,
+            timeout: 0.0005,
+            ..OutcomeRates::default()
+        },
+    };
+
+    let amd_struct_rules = || {
+        vec![
+            rule(
+                "char-then-wider-struct",
+                "Figure 1(a)",
+                OnlyEnabled,
+                Feature(bugs::has_char_then_wider_struct),
+                Miscompile(ZeroSecondFieldOfCharWiderStructInit),
+            ),
+            rule(
+                "irreducible-cfg-rejection",
+                "§6 (Build failures)",
+                OnlyEnabled,
+                Feature(|f, _| f.loop_count >= 4 && f.function_count >= 2),
+                BuildFailure("error: irreducible control flow detected"),
+            ),
+        ]
+    };
+
+    let intel_hd_rules = || {
+        vec![
+            rule(
+                "infinite-loop-compile-hang",
+                "Figure 1(e)",
+                Any,
+                Feature(bugs::deep_infinite_loop),
+                CompileHang("compiler loops while unrolling"),
+            ),
+            rule(
+                "struct-miscompile",
+                "§6 (Problems with structs)",
+                OnlyEnabled,
+                Feature(bugs::has_char_then_wider_struct),
+                Miscompile(ZeroSecondFieldOfCharWiderStructInit),
+            ),
+        ]
+    };
+
+    vec![
+        nvidia_gpu(1, "NVIDIA GeForce GTX Titan", "NVIDIA 6.5.19", "343.22", "Ubuntu 14.04.1 LTS"),
+        nvidia_gpu(2, "NVIDIA GeForce GTX 770", "NVIDIA 6.5.19", "343.22", "Ubuntu 14.04.1 LTS"),
+        nvidia_gpu(3, "NVIDIA Tesla M2050", "NVIDIA 7.0.28", "346.47", "RHEL Server 6.5"),
+        nvidia_gpu(4, "NVIDIA Tesla K40c", "NVIDIA 7.0.28", "346.47", "RHEL Server 6.5"),
+        Configuration {
+            id: 5,
+            sdk: "AMD 2.9-1",
+            device: "AMD Radeon HD7970 GHz edition",
+            driver: "Catalyst 14.9",
+            opencl: "1.2",
+            os: "Windows 7 Enterprise",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: amd_struct_rules(),
+            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.03, runtime_crash: 0.16, timeout: 0.02, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.05, wrong_code: 0.03, runtime_crash: 0.18, timeout: 0.02, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 6,
+            sdk: "AMD 2.9-1",
+            device: "ATI Radeon HD 6570 650MHz",
+            driver: "Catalyst 14.9",
+            opencl: "1.2",
+            os: "Windows 7 Enterprise",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: amd_struct_rules(),
+            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.03, runtime_crash: 0.18, timeout: 0.03, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.05, wrong_code: 0.03, runtime_crash: 0.2, timeout: 0.03, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 7,
+            sdk: "Intel 4.6",
+            device: "Intel HD Graphics 4600",
+            driver: "10.18.10.3960",
+            opencl: "1.2",
+            os: "Windows 7 Enterprise",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: intel_hd_rules(),
+            rates_opt_off: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.22, timeout: 0.04, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.24, timeout: 0.04, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 8,
+            sdk: "Intel 4.6",
+            device: "Intel HD Graphics 4000",
+            driver: "10.18.10.3412",
+            opencl: "1.2",
+            os: "Windows 8.1 Pro",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: intel_hd_rules(),
+            rates_opt_off: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.24, timeout: 0.06, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.26, timeout: 0.06, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 9,
+            sdk: "Anon. SDK 1",
+            device: "Anon. device 1",
+            driver: "Anon. driver 1c",
+            opencl: "1.1",
+            os: "Linux (anon. version)",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: true,
+            optimizes: true,
+            rules: vec![rule(
+                "group-id-comparison",
+                "Figure 2(e)",
+                OnlyEnabled,
+                Feature(bugs::group_id_compared),
+                Miscompile(GroupIdComparisonsFoldToFalse),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.0, wrong_code: 0.018, runtime_crash: 0.038, timeout: 0.14, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.0, wrong_code: 0.016, runtime_crash: 0.026, timeout: 0.10, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 10,
+            sdk: "Anon. SDK 1",
+            device: "Anon. device 1",
+            driver: "Anon. driver 1b",
+            opencl: "1.1",
+            os: "Linux (anon. version)",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: vec![rule(
+                "struct-copy-unit-x",
+                "Figure 1(b)",
+                OnlyDisabled,
+                Feature(bugs::struct_copy_with_unit_x_dimension),
+                Miscompile(DropWholeStructAssignments),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.05, wrong_code: 0.05, runtime_crash: 0.24, timeout: 0.04, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.05, wrong_code: 0.04, runtime_crash: 0.24, timeout: 0.04, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 11,
+            sdk: "Anon. SDK 1",
+            device: "Anon. device 1",
+            driver: "Anon. driver 1a",
+            opencl: "1.1",
+            os: "Linux (anon. version)",
+            device_type: DeviceType::Gpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: vec![rule(
+                "struct-copy-unit-x",
+                "Figure 1(b)",
+                OnlyDisabled,
+                Feature(bugs::struct_copy_with_unit_x_dimension),
+                Miscompile(DropWholeStructAssignments),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.06, wrong_code: 0.05, runtime_crash: 0.25, timeout: 0.05, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.06, wrong_code: 0.04, runtime_crash: 0.25, timeout: 0.05, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 12,
+            sdk: "Intel 4.6",
+            device: "Intel Core i7-4770 @ 3.40 GHz",
+            driver: "4.6.0.92",
+            opencl: "2.0",
+            os: "Windows 7 Enterprise",
+            device_type: DeviceType::Cpu,
+            expected_above_threshold: true,
+            optimizes: true,
+            rules: vec![rule(
+                "barrier-forward-declared-callee",
+                "Figure 2(c)",
+                OnlyDisabled,
+                Feature(bugs::barrier_in_forward_declared_callee),
+                Miscompile(DropPointerWritesInCallees),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.001, wrong_code: 0.002, runtime_crash: 0.085, timeout: 0.026, barrier_wrong_bonus: 0.018, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.004, wrong_code: 0.0015, runtime_crash: 0.062, timeout: 0.13, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 13,
+            sdk: "Intel 4.6",
+            device: "Intel Core i7-4770 @ 3.40 GHz",
+            driver: "4.2.0.76",
+            opencl: "1.2",
+            os: "Windows 7 Enterprise",
+            device_type: DeviceType::Cpu,
+            expected_above_threshold: true,
+            optimizes: true,
+            rules: vec![rule(
+                "barrier-forward-declared-callee",
+                "Figure 2(c)",
+                OnlyDisabled,
+                Feature(bugs::barrier_in_forward_declared_callee),
+                Miscompile(DropPointerWritesInCallees),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.001, wrong_code: 0.002, runtime_crash: 0.085, timeout: 0.027, barrier_wrong_bonus: 0.018, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.004, wrong_code: 0.0015, runtime_crash: 0.06, timeout: 0.13, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 14,
+            sdk: "Intel 4.6",
+            device: "Intel Core i5-3317U @ 1.70 GHz",
+            driver: "3.0.1.10878",
+            opencl: "1.2",
+            os: "Windows 8.1 Pro",
+            device_type: DeviceType::Cpu,
+            expected_above_threshold: true,
+            optimizes: true,
+            rules: vec![
+                rule(
+                    "rotate-constant-fold",
+                    "Figure 2(b)",
+                    Any,
+                    Feature(bugs::rotate_by_zero),
+                    Miscompile(FoldRotateByZeroToAllOnes),
+                ),
+                rule(
+                    "barrier-callee-segfault",
+                    "Figure 2(c)",
+                    OnlyDisabled,
+                    Feature(bugs::barrier_in_forward_declared_callee),
+                    RuntimeCrash("segmentation fault"),
+                ),
+            ],
+            rates_opt_off: OutcomeRates { build_failure: 0.006, wrong_code: 0.002, runtime_crash: 0.006, timeout: 0.027, barrier_crash_bonus: 0.36, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.007, wrong_code: 0.002, runtime_crash: 0.026, timeout: 0.045, barrier_wrong_bonus: 0.009, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 15,
+            sdk: "Intel XE 2013 R20",
+            device: "Intel Xeon X5650 @ 2.67GHz",
+            driver: "1.2 build 56860",
+            opencl: "1.2",
+            os: "RHEL Server 6.5",
+            device_type: DeviceType::Cpu,
+            expected_above_threshold: true,
+            optimizes: true,
+            rules: vec![
+                rule(
+                    "int-size_t-rejection",
+                    "§6 (Build failures)",
+                    Any,
+                    Feature(bugs::int_mixed_with_size_t),
+                    BuildFailure("error: invalid operands to binary expression ('int' and 'size_t')"),
+                ),
+                rule(
+                    "barrier-callee-segfault",
+                    "Figure 2(c)",
+                    OnlyDisabled,
+                    Feature(bugs::barrier_in_forward_declared_callee),
+                    RuntimeCrash("segmentation fault"),
+                ),
+            ],
+            rates_opt_off: OutcomeRates { build_failure: 0.14, wrong_code: 0.002, runtime_crash: 0.002, timeout: 0.02, barrier_crash_bonus: 0.38, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.14, wrong_code: 0.007, runtime_crash: 0.035, timeout: 0.09, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 16,
+            sdk: "AMD 2.9-1",
+            device: "Intel Xeon E5-2609 v2 @ 2.50GHz",
+            driver: "Catalyst 14.9",
+            opencl: "1.2",
+            os: "Windows 7 Enterprise",
+            device_type: DeviceType::Cpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: amd_struct_rules(),
+            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.04, runtime_crash: 0.1, timeout: 0.02, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.04, wrong_code: 0.04, runtime_crash: 0.1, timeout: 0.02, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 17,
+            sdk: "Anon. SDK 2",
+            device: "Anon. device 2",
+            driver: "Anon. driver 2",
+            opencl: "1.1",
+            os: "Linux (anon. verson)",
+            device_type: DeviceType::Cpu,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: vec![rule(
+                "struct-pointer-store-lost-near-barrier",
+                "Figure 1(d)",
+                Any,
+                Feature(bugs::barrier_and_callee_pointer_store),
+                Miscompile(DropPointerWritesInCallees),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.08, wrong_code: 0.05, runtime_crash: 0.2, timeout: 0.03, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.08, wrong_code: 0.05, runtime_crash: 0.2, timeout: 0.03, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 18,
+            sdk: "Intel XE 2013 R2",
+            device: "Intel Xeon Phi",
+            driver: "5889-14",
+            opencl: "1.2",
+            os: "RHEL Server 6.5",
+            device_type: DeviceType::Accelerator,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: vec![rule(
+                "slow-compilation-large-struct-barrier",
+                "Figure 1(f)",
+                OnlyEnabled,
+                Feature(bugs::large_struct_with_barrier),
+                CompileHang("compilation exceeds 20 seconds"),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.01, runtime_crash: 0.05, timeout: 0.1, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.02, wrong_code: 0.01, runtime_crash: 0.05, timeout: 0.35, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 19,
+            sdk: "Intel 4.6",
+            device: "Oclgrind v14.5",
+            driver: "LLVM 3.2, SPIR 1.2",
+            opencl: "1.2",
+            os: "Ubuntu 14.04",
+            device_type: DeviceType::Emulator,
+            expected_above_threshold: true,
+            optimizes: false,
+            rules: vec![rule(
+                "comma-operator-mishandled",
+                "Figure 2(f)",
+                Any,
+                Feature(bugs::uses_comma_operator),
+                Miscompile(CommaYieldsLhs),
+            )],
+            rates_opt_off: OutcomeRates { build_failure: 0.0, wrong_code: 0.02, runtime_crash: 0.008, timeout: 0.17, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.0, wrong_code: 0.02, runtime_crash: 0.008, timeout: 0.17, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 20,
+            sdk: "Altera 14.0",
+            device: "Altera PCIe-385N D5 (Emulated)",
+            driver: "aoc 14.0 build 200",
+            opencl: "1.0",
+            os: "CentOS 6.5",
+            device_type: DeviceType::Emulator,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: vec![
+                rule(
+                    "vector-in-struct-ice",
+                    "Figure 1(c)",
+                    Any,
+                    Feature(bugs::has_vector_in_struct),
+                    BuildFailure("internal error: LLVM IR generation failed for vector struct member"),
+                ),
+                rule(
+                    "vector-logical-op-rejected",
+                    "§6 (Front-end issues)",
+                    Any,
+                    Feature(bugs::vector_logical_ops),
+                    BuildFailure("error: logical operation on vector type is not supported"),
+                ),
+            ],
+            rates_opt_off: OutcomeRates { build_failure: 0.15, wrong_code: 0.02, runtime_crash: 0.15, timeout: 0.05, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.15, wrong_code: 0.02, runtime_crash: 0.15, timeout: 0.05, ..OutcomeRates::default() },
+        },
+        Configuration {
+            id: 21,
+            sdk: "Altera 14.0",
+            device: "Altera PCIe-385N D5",
+            driver: "aoc 14.0 build 200",
+            opencl: "1.0",
+            os: "CentOS 6.5",
+            device_type: DeviceType::Fpga,
+            expected_above_threshold: false,
+            optimizes: true,
+            rules: vec![
+                rule(
+                    "vector-in-struct-ice",
+                    "Figure 1(c)",
+                    Any,
+                    Feature(bugs::has_vector_in_struct),
+                    BuildFailure("internal error: LLVM IR generation failed for vector struct member"),
+                ),
+                rule(
+                    "vector-logical-op-rejected",
+                    "§6 (Front-end issues)",
+                    Any,
+                    Feature(bugs::vector_logical_ops),
+                    BuildFailure("error: logical operation on vector type is not supported"),
+                ),
+            ],
+            rates_opt_off: OutcomeRates { build_failure: 0.45, wrong_code: 0.02, runtime_crash: 0.3, timeout: 0.1, ..OutcomeRates::default() },
+            rates_opt_on: OutcomeRates { build_failure: 0.45, wrong_code: 0.02, runtime_crash: 0.3, timeout: 0.1, ..OutcomeRates::default() },
+        },
+    ]
+}
+
+/// Looks up a configuration by its Table 1 row number.
+///
+/// # Panics
+///
+/// Panics if `id` is not in `1..=21`.
+pub fn configuration(id: usize) -> Configuration {
+    all_configurations()
+        .into_iter()
+        .find(|c| c.id == id)
+        .unwrap_or_else(|| panic!("configuration id {id} out of range (1..=21)"))
+}
+
+/// The configurations the paper classifies as lying above the reliability
+/// threshold (the ones exercised in Tables 4 and 5).
+pub fn above_threshold_configurations() -> Vec<Configuration> {
+    all_configurations()
+        .into_iter()
+        .filter(|c| c.expected_above_threshold)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_21_configurations() {
+        let configs = all_configurations();
+        assert_eq!(configs.len(), 21);
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(c.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn above_threshold_set_matches_table_1() {
+        let above: Vec<usize> = above_threshold_configurations().iter().map(|c| c.id).collect();
+        assert_eq!(above, vec![1, 2, 3, 4, 9, 12, 13, 14, 15, 19]);
+    }
+
+    #[test]
+    fn device_types_match_table_1() {
+        let configs = all_configurations();
+        assert_eq!(configs[0].device_type, DeviceType::Gpu);
+        assert_eq!(configs[11].device_type, DeviceType::Cpu);
+        assert_eq!(configs[17].device_type, DeviceType::Accelerator);
+        assert_eq!(configs[18].device_type, DeviceType::Emulator);
+        assert_eq!(configs[20].device_type, DeviceType::Fpga);
+        assert_eq!(DeviceType::Fpga.name(), "FPGA");
+    }
+
+    #[test]
+    fn oclgrind_does_not_optimize() {
+        assert!(!configuration(19).optimizes);
+        assert!(configuration(1).optimizes);
+    }
+
+    #[test]
+    fn labels_follow_paper_notation() {
+        let c = configuration(9);
+        assert_eq!(c.label(OptLevel::Enabled), "9+");
+        assert_eq!(c.label(OptLevel::Disabled), "9-");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_configuration_panics() {
+        configuration(42);
+    }
+}

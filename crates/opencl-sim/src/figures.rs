@@ -1,0 +1,720 @@
+//! The bug-exhibiting kernels of Figures 1 and 2 of the paper, rebuilt as
+//! [`clc::Program`]s.
+//!
+//! Each [`FigureKernel`] records the expected (correct) output and which
+//! simulated configurations demonstrate the corresponding bug.  They serve
+//! three purposes: documentation of the bug classes, unit tests of the bug
+//! models in [`crate::bugs`]/[`crate::configs`], and the data behind the
+//! `figures` reproduction binary.
+//!
+//! A few kernels are lightly adapted where the paper's exact program relies
+//! on byte-level layout or on behaviour our cell-based emulator reports as
+//! undefined; every adaptation preserves the bug-triggering feature and is
+//! noted in the kernel's caption.
+
+use crate::bugs::OptLevel;
+use clc::expr::{AssignOp, BinOp, Builtin, Expr, IdKind};
+use clc::stmt::{Block, Initializer, MemFence, Stmt};
+use clc::types::{AddressSpace, Field, ScalarType, StructDef, Type, VectorWidth};
+use clc::{BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program};
+
+/// A figure kernel together with its expected behaviour.
+#[derive(Debug, Clone)]
+pub struct FigureKernel {
+    /// Figure label, e.g. `"1(a)"`.
+    pub id: &'static str,
+    /// Short description (the figure caption, abridged).
+    pub caption: &'static str,
+    /// The kernel.
+    pub program: Program,
+    /// The output a correct implementation produces.
+    pub expected_output: String,
+    /// Configurations (id, optimisation level) that demonstrate the bug,
+    /// together with the observable misbehaviour.
+    pub demonstrates: Vec<(usize, OptLevel, &'static str)>,
+}
+
+fn out_param() -> Param {
+    Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global))
+}
+
+fn kernel_program(params: Vec<Param>, body: Block, threads: usize) -> Program {
+    let mut p = Program::new(
+        KernelDef { name: "k".into(), params, body },
+        LaunchConfig::single_group(threads),
+    );
+    p.buffers.push(BufferSpec::result("out", ScalarType::ULong, threads));
+    p
+}
+
+fn write_out(value: Expr) -> Stmt {
+    Stmt::assign(
+        Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+        value,
+    )
+}
+
+/// Figure 1(a): char-then-wider struct miscompiled by the AMD configurations.
+pub fn figure_1a() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("a", Type::Scalar(ScalarType::Char)),
+            Field::new("b", Type::Scalar(ScalarType::Short)),
+        ],
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "s",
+        Type::Struct(s),
+        Initializer::of_exprs(vec![Expr::int(1), Expr::int(1)]),
+    ));
+    p.kernel.body.push(write_out(Expr::binary(
+        BinOp::Add,
+        Expr::field(Expr::var("s"), "a"),
+        Expr::field(Expr::var("s"), "b"),
+    )));
+    FigureKernel {
+        id: "1(a)",
+        caption: "struct S { char a; short b; } initialised to {1, 1}; out = s.a + s.b",
+        program: p,
+        expected_output: "2,2".into(),
+        demonstrates: vec![
+            (5, OptLevel::Enabled, "yields 1 (expected 2)"),
+            (6, OptLevel::Enabled, "yields 1 (expected 2)"),
+            (16, OptLevel::Enabled, "yields 1 (expected 2)"),
+        ],
+    }
+}
+
+/// Figure 1(b): whole-struct copy read back through a pointer, miscompiled
+/// only when `Nx = 1` (adapted: the destination struct is zero-initialised so
+/// the stale read is well-defined).
+pub fn figure_1b() -> FigureKernel {
+    let mut p = Program::new(
+        KernelDef { name: "k".into(), params: vec![out_param()], body: Block::new() },
+        LaunchConfig::new([1, 2, 1], [1, 2, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 2));
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("a", Type::Scalar(ScalarType::Short)),
+            Field::new("b", Type::Scalar(ScalarType::Int)),
+            Field::volatile("c", Type::Scalar(ScalarType::Char)),
+            Field::new("d", Type::Scalar(ScalarType::Int)),
+            Field::new("e", Type::Scalar(ScalarType::Int)),
+            Field::new("f", Type::Scalar(ScalarType::Short).array_of(10)),
+        ],
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "s",
+        Type::Struct(s),
+        Initializer::of_exprs(vec![Expr::int(0)]),
+    ));
+    p.kernel.body.push(Stmt::decl(
+        "p",
+        Type::Struct(s).pointer_to(AddressSpace::Private),
+        Some(Expr::addr_of(Expr::var("s"))),
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "t",
+        Type::Struct(s),
+        Initializer::List(vec![
+            Initializer::Expr(Expr::int(0)),
+            Initializer::Expr(Expr::int(0)),
+            Initializer::Expr(Expr::int(0)),
+            Initializer::Expr(Expr::int(0)),
+            Initializer::Expr(Expr::int(0)),
+            Initializer::of_exprs(vec![
+                Expr::int(0),
+                Expr::int(0),
+                Expr::int(0),
+                Expr::int(0),
+                Expr::int(0),
+                Expr::int(0),
+                Expr::int(0),
+                Expr::int(1),
+                Expr::int(0),
+                Expr::int(0),
+            ]),
+        ]),
+    ));
+    p.kernel.body.push(Stmt::assign(Expr::var("s"), Expr::var("t")));
+    p.kernel.body.push(write_out(Expr::index(
+        Expr::arrow(Expr::var("p"), "f"),
+        Expr::int(7),
+    )));
+    FigureKernel {
+        id: "1(b)",
+        caption: "struct copy `s = t` then read `p->f[7]` through a pointer; only miscompiled when Nx = 1",
+        program: p,
+        expected_output: "1,1".into(),
+        demonstrates: vec![
+            (10, OptLevel::Disabled, "yields 0 (expected 1)"),
+            (11, OptLevel::Disabled, "yields 0 (expected 1)"),
+        ],
+    }
+}
+
+/// Figure 1(c): a vector inside a struct makes the Altera front end fail.
+pub fn figure_1c() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![Field::new("x", Type::Vector(ScalarType::Int, VectorWidth::W4))],
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "s",
+        Type::Struct(s),
+        Initializer::List(vec![Initializer::Expr(Expr::VectorLit {
+            elem: ScalarType::Int,
+            width: VectorWidth::W4,
+            parts: vec![
+                Expr::VectorLit {
+                    elem: ScalarType::Int,
+                    width: VectorWidth::W2,
+                    parts: vec![Expr::int(1), Expr::int(1)],
+                },
+                Expr::int(1),
+                Expr::int(1),
+            ],
+        })]),
+    ));
+    p.kernel.body.push(write_out(Expr::lane(Expr::field(Expr::var("s"), "x"), 0)));
+    FigureKernel {
+        id: "1(c)",
+        caption: "a vector type used as a struct member",
+        program: p,
+        expected_output: "1,1".into(),
+        demonstrates: vec![
+            (20, OptLevel::Enabled, "internal error during IR generation"),
+            (20, OptLevel::Disabled, "internal error during IR generation"),
+            (21, OptLevel::Enabled, "internal error during IR generation"),
+            (21, OptLevel::Disabled, "internal error during IR generation"),
+        ],
+    }
+}
+
+/// Figure 1(d): a store through a struct pointer inside a helper function is
+/// lost when the kernel also contains a barrier.
+pub fn figure_1d() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("x", Type::Scalar(ScalarType::Int)),
+            Field::new("y", Type::Scalar(ScalarType::Int)),
+        ],
+    ));
+    p.functions.push(FunctionDef::new(
+        "f",
+        None,
+        vec![Param::new("p", Type::Struct(s).pointer_to(AddressSpace::Private))],
+        Block::of(vec![Stmt::assign(Expr::arrow(Expr::var("p"), "x"), Expr::int(2))]),
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "s",
+        Type::Struct(s),
+        Initializer::of_exprs(vec![Expr::int(1), Expr::int(1)]),
+    ));
+    p.kernel.body.push(Stmt::Barrier(MemFence::Local));
+    p.kernel.body.push(Stmt::expr(Expr::call("f", vec![Expr::addr_of(Expr::var("s"))])));
+    p.kernel.body.push(write_out(Expr::binary(
+        BinOp::Add,
+        Expr::field(Expr::var("s"), "x"),
+        Expr::field(Expr::var("s"), "y"),
+    )));
+    FigureKernel {
+        id: "1(d)",
+        caption: "barrier(); f(&s) where f writes p->x = 2; out = s.x + s.y",
+        program: p,
+        expected_output: "3,3".into(),
+        demonstrates: vec![
+            (17, OptLevel::Enabled, "yields 2 (expected 3)"),
+            (17, OptLevel::Disabled, "yields 2 (expected 3)"),
+        ],
+    }
+}
+
+/// Figure 1(e): the Intel HD compilers hang on `while(1)` under a `for` loop
+/// with bound 197.
+pub fn figure_1e() -> FigureKernel {
+    let mut p = kernel_program(
+        vec![
+            out_param(),
+            Param::new("p", Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Global)),
+        ],
+        Block::new(),
+        2,
+    );
+    p.buffers.push(BufferSpec::new("p", ScalarType::Int, 2, BufferInit::Zero));
+    p.kernel.body.push(Stmt::For {
+        init: Some(Box::new(Stmt::decl("i", Type::Scalar(ScalarType::Int), Some(Expr::int(0))))),
+        cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(197))),
+        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("i"), Expr::int(1))),
+        body: Block::of(vec![Stmt::if_then(
+            Expr::deref(Expr::var("p")),
+            Block::of(vec![Stmt::While { cond: Expr::int(1), body: Block::new() }]),
+        )]),
+    });
+    p.kernel.body.push(write_out(Expr::int(0)));
+    FigureKernel {
+        id: "1(e)",
+        caption: "for (i < 197) if (*p) while (1) {} — compiles forever on Intel HD Graphics",
+        program: p,
+        expected_output: "0,0".into(),
+        demonstrates: vec![
+            (7, OptLevel::Enabled, "compiler never terminates (timeout)"),
+            (8, OptLevel::Enabled, "compiler never terminates (timeout)"),
+        ],
+    }
+}
+
+/// Figure 1(f): large struct plus a barrier makes Xeon Phi compilation take
+/// more than 20 seconds.
+pub fn figure_1f() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("a", Type::Scalar(ScalarType::Int)),
+            Field::new("b", Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private)),
+            Field::new(
+                "c",
+                Type::Scalar(ScalarType::ULong).array_of(3).array_of(9).array_of(9),
+            ),
+        ],
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "s",
+        Type::Struct(s),
+        Initializer::of_exprs(vec![Expr::int(0)]),
+    ));
+    p.kernel.body.push(Stmt::decl(
+        "p",
+        Type::Struct(s).pointer_to(AddressSpace::Private),
+        Some(Expr::addr_of(Expr::var("s"))),
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "t",
+        Type::Struct(s),
+        Initializer::List(vec![
+            Initializer::Expr(Expr::int(0)),
+            Initializer::Expr(Expr::addr_of(Expr::arrow(Expr::var("p"), "a"))),
+            Initializer::List(vec![]),
+        ]),
+    ));
+    p.kernel.body.push(Stmt::assign(Expr::var("s"), Expr::var("t")));
+    p.kernel.body.push(Stmt::Barrier(MemFence::Local));
+    p.kernel.body.push(write_out(Expr::index(
+        Expr::index(
+            Expr::index(Expr::arrow(Expr::var("p"), "c"), Expr::int(0)),
+            Expr::int(0),
+        ),
+        Expr::int(1),
+    )));
+    FigureKernel {
+        id: "1(f)",
+        caption: "ulong c[9][9][3] struct member, a struct copy and a barrier: >20 s compile on Xeon Phi",
+        program: p,
+        expected_output: "0,0".into(),
+        demonstrates: vec![(18, OptLevel::Enabled, "compilation exceeds 20 seconds (timeout)")],
+    }
+}
+
+/// Figure 2(a): brace-initialised union inside a struct gets garbage upper
+/// bytes on the NVIDIA configurations without optimisations.
+pub fn figure_2a() -> FigureKernel {
+    let mut p = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: vec![
+                out_param(),
+                Param::new("in", Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Global)),
+            ],
+            body: Block::new(),
+        },
+        LaunchConfig::new([2, 1, 1], [2, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 2));
+    p.buffers.push(BufferSpec::new("in", ScalarType::Int, 2, BufferInit::Iota));
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("c", Type::Scalar(ScalarType::Short)),
+            Field::new("d", Type::Scalar(ScalarType::Long)),
+        ],
+    ));
+    let u = p.add_struct(StructDef::union(
+        "U",
+        vec![
+            Field::new("a", Type::Scalar(ScalarType::UInt)),
+            Field::new("b", Type::Struct(s)),
+        ],
+    ));
+    let t = p.add_struct(StructDef::new(
+        "T",
+        vec![
+            Field::new("u", Type::Struct(u).array_of(1)),
+            Field::new("x", Type::Scalar(ScalarType::ULong)),
+            Field::new("y", Type::Scalar(ScalarType::ULong)),
+        ],
+    ));
+    p.kernel.body.push(Stmt::decl("c", Type::Struct(t), None));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "t",
+        Type::Struct(t),
+        Initializer::List(vec![
+            Initializer::List(vec![Initializer::List(vec![Initializer::Expr(Expr::int(1))])]),
+            Initializer::Expr(Expr::index(
+                Expr::var("in"),
+                Expr::IdQuery(IdKind::GlobalId(clc::Dim::X)),
+            )),
+            Initializer::Expr(Expr::index(
+                Expr::var("in"),
+                Expr::IdQuery(IdKind::GlobalId(clc::Dim::Y)),
+            )),
+        ]),
+    ));
+    p.kernel.body.push(Stmt::assign(Expr::var("c"), Expr::var("t")));
+    p.kernel.body.push(Stmt::decl(
+        "total",
+        Type::Scalar(ScalarType::ULong),
+        Some(Expr::lit(0, ScalarType::ULong)),
+    ));
+    p.kernel.body.push(Stmt::For {
+        init: Some(Box::new(Stmt::decl("i", Type::Scalar(ScalarType::Int), Some(Expr::int(0))))),
+        cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(1))),
+        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("i"), Expr::int(1))),
+        body: Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("total"),
+            Expr::field(
+                Expr::index(Expr::field(Expr::var("c"), "u"), Expr::var("i")),
+                "a",
+            ),
+        ))]),
+    });
+    p.kernel.body.push(write_out(Expr::var("total")));
+    FigureKernel {
+        id: "2(a)",
+        caption: "union member initialised via `{{1}}` inside a struct initialiser",
+        program: p,
+        expected_output: "1,1".into(),
+        demonstrates: vec![
+            (1, OptLevel::Disabled, "yields 4294901761 (0xffff0001; expected 1)"),
+            (2, OptLevel::Disabled, "yields 4294901761 (expected 1)"),
+            (3, OptLevel::Disabled, "yields 4294901761 (expected 1)"),
+            (4, OptLevel::Disabled, "yields 4294901761 (expected 1)"),
+        ],
+    }
+}
+
+/// Figure 2(b): rotate of a vector by zero is constant-folded to all-ones on
+/// the Intel i5 configuration.
+pub fn figure_2b() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    p.kernel.body.push(write_out(Expr::lane(
+        Expr::builtin(
+            Builtin::Rotate,
+            vec![
+                Expr::VectorLit {
+                    elem: ScalarType::UInt,
+                    width: VectorWidth::W2,
+                    parts: vec![Expr::lit(1, ScalarType::UInt), Expr::lit(1, ScalarType::UInt)],
+                },
+                Expr::VectorLit {
+                    elem: ScalarType::UInt,
+                    width: VectorWidth::W2,
+                    parts: vec![Expr::lit(0, ScalarType::UInt), Expr::lit(0, ScalarType::UInt)],
+                },
+            ],
+        ),
+        0,
+    )));
+    FigureKernel {
+        id: "2(b)",
+        caption: "out = rotate((uint2)(1,1), (uint2)(0,0)).x",
+        program: p,
+        expected_output: "1,1".into(),
+        demonstrates: vec![
+            (14, OptLevel::Enabled, "yields 4294967295 (0xffffffff; expected 1)"),
+            (14, OptLevel::Disabled, "yields 4294967295 (expected 1)"),
+        ],
+    }
+}
+
+/// Figure 2(c): a barrier inside a forward-declared callee makes the Intel
+/// CPU drivers lose the store `*p = f()` (and crash outright on 14−/15−).
+pub fn figure_2c() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    let mut f = FunctionDef::new(
+        "f",
+        Some(Type::Scalar(ScalarType::Int)),
+        vec![],
+        Block::of(vec![Stmt::Barrier(MemFence::Local), Stmt::Return(Some(Expr::int(1)))]),
+    );
+    f.forward_declared = true;
+    p.functions.push(f);
+    p.functions.push(FunctionDef::new(
+        "kc",
+        None,
+        vec![Param::new("p", Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private))],
+        Block::of(vec![
+            Stmt::Barrier(MemFence::Local),
+            Stmt::assign(Expr::deref(Expr::var("p")), Expr::call("f", vec![])),
+        ]),
+    ));
+    p.functions.push(FunctionDef::new(
+        "h",
+        None,
+        vec![Param::new("p", Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private))],
+        Block::of(vec![Stmt::expr(Expr::call("kc", vec![Expr::var("p")]))]),
+    ));
+    p.kernel.body.push(Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    p.kernel.body.push(Stmt::expr(Expr::call("h", vec![Expr::addr_of(Expr::var("x"))])));
+    p.kernel.body.push(write_out(Expr::var("x")));
+    FigureKernel {
+        id: "2(c)",
+        caption: "barriers inside a forward-declared callee; *p = f() is lost / crashes",
+        program: p,
+        expected_output: "1,1".into(),
+        demonstrates: vec![
+            (12, OptLevel::Disabled, "a work-item observes 0 (expected 1)"),
+            (13, OptLevel::Disabled, "a work-item observes 0 (expected 1)"),
+            (14, OptLevel::Disabled, "segmentation fault"),
+            (15, OptLevel::Disabled, "segmentation fault"),
+        ],
+    }
+}
+
+/// Figure 2(d): an unreachable loop body containing a barrier confuses the
+/// Intel i5/Xeon drivers.  The wrong-code outcome is modelled statistically
+/// (barrier-dependent crash/wrong-code rates of configurations 14/15), so no
+/// deterministic demonstration is listed.
+pub fn figure_2d() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    let s = p.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("a", Type::Scalar(ScalarType::Int)),
+            Field::new(
+                "b",
+                Type::Scalar(ScalarType::Int)
+                    .pointer_to(AddressSpace::Private)
+                    .pointer_to(AddressSpace::Private),
+            ),
+            Field::new("c", Type::Scalar(ScalarType::Int)),
+        ],
+    ));
+    p.functions.push(FunctionDef::new(
+        "f",
+        None,
+        vec![Param::new("s", Type::Struct(s).pointer_to(AddressSpace::Private))],
+        Block::of(vec![Stmt::For {
+            init: Some(Box::new(Stmt::assign(Expr::arrow(Expr::var("s"), "a"), Expr::int(0)))),
+            cond: Some(Expr::binary(BinOp::Gt, Expr::arrow(Expr::var("s"), "a"), Expr::int(0))),
+            update: Some(Expr::assign(Expr::arrow(Expr::var("s"), "a"), Expr::int(0))),
+            body: Block::of(vec![
+                Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(1))),
+                Stmt::decl(
+                    "p",
+                    Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private),
+                    Some(Expr::addr_of(Expr::arrow(Expr::var("s"), "c"))),
+                ),
+                Stmt::Barrier(MemFence::Local),
+                Stmt::assign(
+                    Expr::arrow(Expr::var("s"), "c"),
+                    Expr::binary(BinOp::Add, Expr::var("x"), Expr::deref(Expr::var("p"))),
+                ),
+            ]),
+        }]),
+    ));
+    p.kernel.body.push(Stmt::decl_init_list(
+        "s",
+        Type::Struct(s),
+        Initializer::of_exprs(vec![Expr::int(1), Expr::int(0), Expr::int(0)]),
+    ));
+    p.kernel.body.push(Stmt::expr(Expr::call("f", vec![Expr::addr_of(Expr::var("s"))])));
+    p.kernel.body.push(write_out(Expr::field(Expr::var("s"), "a")));
+    FigureKernel {
+        id: "2(d)",
+        caption: "unreachable loop body with a barrier; removing the barrier fixes the result",
+        program: p,
+        expected_output: "0,0".into(),
+        demonstrates: vec![],
+    }
+}
+
+/// Figure 2(e): a comparison involving the group id is folded to false on the
+/// anonymous GPU with optimisations (adapted to the minimal guard
+/// `(*p - gx) != 1`, which is the sub-expression the bug folds).
+pub fn figure_2e() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 1);
+    p.functions.push(FunctionDef::new(
+        "f",
+        None,
+        vec![Param::new("p", Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private))],
+        Block::of(vec![Stmt::if_then(
+            Expr::binary(
+                BinOp::Ne,
+                Expr::binary(
+                    BinOp::Sub,
+                    Expr::deref(Expr::var("p")),
+                    Expr::IdQuery(IdKind::GroupId(clc::Dim::X)),
+                ),
+                Expr::int(1),
+            ),
+            Block::of(vec![Stmt::assign(Expr::deref(Expr::var("p")), Expr::int(1))]),
+        )]),
+    ));
+    p.kernel.body.push(Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    p.kernel.body.push(Stmt::expr(Expr::call("f", vec![Expr::addr_of(Expr::var("x"))])));
+    p.kernel.body.push(write_out(Expr::var("x")));
+    FigureKernel {
+        id: "2(e)",
+        caption: "guard comparing (*p - gx) against 1; evaluates to true for a single work-item",
+        program: p,
+        expected_output: "1".into(),
+        demonstrates: vec![(9, OptLevel::Enabled, "yields 0 (expected 1)")],
+    }
+}
+
+/// Figure 2(f): the comma operator is mishandled by Oclgrind (adapted: the
+/// discarded operand is 0 so the mishandling is observable).
+pub fn figure_2f() -> FigureKernel {
+    let mut p = kernel_program(vec![out_param()], Block::new(), 2);
+    p.kernel.body.push(Stmt::decl("x", Type::Scalar(ScalarType::Short), Some(Expr::int(0))));
+    p.kernel.body.push(Stmt::decl(
+        "y",
+        Type::Scalar(ScalarType::UInt),
+        Some(Expr::lit(0, ScalarType::UInt)),
+    ));
+    p.kernel.body.push(Stmt::For {
+        init: Some(Box::new(Stmt::assign(Expr::var("y"), Expr::int(-1)))),
+        cond: Some(Expr::binary(BinOp::Ge, Expr::var("y"), Expr::lit(1, ScalarType::UInt))),
+        update: Some(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("y"),
+            Expr::lit(1, ScalarType::UInt),
+        )),
+        body: Block::of(vec![Stmt::if_then(
+            Expr::comma(Expr::var("x"), Expr::int(1)),
+            Block::of(vec![Stmt::Break]),
+        )]),
+    });
+    p.kernel.body.push(write_out(Expr::var("y")));
+    FigureKernel {
+        id: "2(f)",
+        caption: "for (y = -1; y >= 1; ++y) { if (x, 1) break; } — comma operator mishandled",
+        program: p,
+        expected_output: "4294967295,4294967295".into(),
+        demonstrates: vec![
+            (19, OptLevel::Disabled, "yields 0 (expected 0xffffffff)"),
+            (19, OptLevel::Enabled, "yields 0 (expected 0xffffffff)"),
+        ],
+    }
+}
+
+/// All twelve figure kernels, in paper order.
+pub fn all_figures() -> Vec<FigureKernel> {
+    vec![
+        figure_1a(),
+        figure_1b(),
+        figure_1c(),
+        figure_1d(),
+        figure_1e(),
+        figure_1f(),
+        figure_2a(),
+        figure_2b(),
+        figure_2c(),
+        figure_2d(),
+        figure_2e(),
+        figure_2f(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::configuration;
+    use crate::platform::{execute, reference_execute, ExecOptions, TestOutcome};
+
+    #[test]
+    fn reference_outputs_match_expectations() {
+        for fig in all_figures() {
+            assert!(clc::check_program(&fig.program).is_ok(), "figure {} fails typecheck", fig.id);
+            match reference_execute(&fig.program, &ExecOptions::default()) {
+                TestOutcome::Result { output, .. } => {
+                    assert_eq!(output, fig.expected_output, "figure {}", fig.id)
+                }
+                other => panic!("figure {} reference run failed: {other:?}", fig.id),
+            }
+        }
+    }
+
+    #[test]
+    fn demonstrating_configurations_misbehave() {
+        for fig in all_figures() {
+            for &(config_id, opt, note) in &fig.demonstrates {
+                let config = configuration(config_id);
+                let outcome = execute(&fig.program, &config, opt, &ExecOptions::default());
+                match &outcome {
+                    TestOutcome::Result { output, .. } => {
+                        assert_ne!(
+                            output, &fig.expected_output,
+                            "figure {}: configuration {}{} should misbehave ({note}) but \
+                             produced the correct result",
+                            fig.id, config_id, opt
+                        );
+                    }
+                    // Build failures, crashes and timeouts all demonstrate a
+                    // defect; nothing further to check.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2b_reproduces_the_constant_fold_value() {
+        let fig = figure_2b();
+        let outcome = execute(
+            &fig.program,
+            &configuration(14),
+            OptLevel::Enabled,
+            &ExecOptions::default(),
+        );
+        match outcome {
+            TestOutcome::Result { output, .. } => assert_eq!(output, "4294967295,4294967295"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure_1e_times_out_only_on_intel_hd() {
+        let fig = figure_1e();
+        let hd = execute(&fig.program, &configuration(7), OptLevel::Enabled, &ExecOptions::default());
+        assert_eq!(hd, TestOutcome::Timeout);
+        let nvidia = execute(&fig.program, &configuration(1), OptLevel::Enabled, &ExecOptions::default());
+        assert!(matches!(nvidia, TestOutcome::Result { .. }));
+    }
+
+    #[test]
+    fn figure_2a_union_garbage_value_matches_paper() {
+        let fig = figure_2a();
+        let outcome = execute(
+            &fig.program,
+            &configuration(1),
+            OptLevel::Disabled,
+            &ExecOptions::default(),
+        );
+        match outcome {
+            TestOutcome::Result { output, .. } => {
+                assert_eq!(output, "4294901761,4294901761", "0xffff0001 expected");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

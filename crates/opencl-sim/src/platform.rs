@@ -1,0 +1,301 @@
+//! The simulated OpenCL platform: online compilation followed by NDRange
+//! execution, for a given configuration and optimisation level.
+//!
+//! The flow mirrors what the paper's harness observes when it hands a kernel
+//! to a real driver:
+//!
+//! 1. the front end may reject the program (build failure) or hang
+//!    (timeout);
+//! 2. the optimiser runs (when enabled and when the driver optimises at all)
+//!    and may *miscompile* the program — realised here by applying the
+//!    configuration's triggered miscompilation transforms;
+//! 3. the kernel executes on the device, where it may crash, time out or
+//!    produce a result.
+//!
+//! Only the resulting [`TestOutcome`] is visible to the fuzzing harness.
+
+use crate::bugs::{apply_miscompilation, BugEffect, OptLevel};
+use crate::configs::Configuration;
+use crate::passes;
+use clc::{Features, Program};
+use clc_interp::{LaunchOptions, RuntimeError, Schedule};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Execution options for the simulated platform.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Per-work-item step budget (mapped to the paper's 60 s timeout).
+    pub step_limit: u64,
+    /// Whether to run the data-race detector.
+    pub detect_races: bool,
+    /// Work-item scheduling order.
+    pub schedule: Schedule,
+    /// Extra buffer overrides (e.g. the inverted EMI `dead` array, §7.4).
+    pub buffer_overrides: std::collections::HashMap<String, Vec<i64>>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            step_limit: 2_000_000,
+            detect_races: false,
+            schedule: Schedule::Forward,
+            buffer_overrides: std::collections::HashMap::new(),
+        }
+    }
+}
+
+/// The outcome of compiling and running one kernel on one configuration, as
+/// observed by the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// The kernel built, ran and produced a result.
+    Result {
+        /// FNV-1a hash of the result string (used for voting).
+        hash: u64,
+        /// The comma-separated output the host program would print.
+        output: String,
+    },
+    /// The online compiler rejected the program or crashed.
+    BuildFailure(String),
+    /// The kernel (or the machine) crashed at runtime.
+    Crash(String),
+    /// Compilation or execution exceeded the time budget.
+    Timeout,
+}
+
+impl TestOutcome {
+    /// Whether the outcome carries a computed result.
+    pub fn is_result(&self) -> bool {
+        matches!(self, TestOutcome::Result { .. })
+    }
+
+    /// The result hash, if any.
+    pub fn result_hash(&self) -> Option<u64> {
+        match self {
+            TestOutcome::Result { hash, .. } => Some(*hash),
+            _ => None,
+        }
+    }
+
+    /// One-letter classification used in the paper's tables: `w`/`X` are
+    /// decided by voting at the harness level, so here only `bf`, `c`, `to`
+    /// and `ok` exist.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TestOutcome::Result { .. } => "ok",
+            TestOutcome::BuildFailure(_) => "bf",
+            TestOutcome::Crash(_) => "c",
+            TestOutcome::Timeout => "to",
+        }
+    }
+}
+
+/// Compiles and executes a kernel on a simulated configuration.
+pub fn execute(
+    program: &Program,
+    config: &Configuration,
+    opt: OptLevel,
+    exec: &ExecOptions,
+) -> TestOutcome {
+    let features = Features::detect(program);
+
+    // --- Front end / deterministic bug rules --------------------------------
+    let mut miscompilations = Vec::new();
+    for rule in &config.rules {
+        if !rule.applies(&features, program, opt) {
+            continue;
+        }
+        match &rule.effect {
+            BugEffect::BuildFailure(msg) => {
+                return TestOutcome::BuildFailure(format!("{} [{}]", msg, rule.reference))
+            }
+            BugEffect::CompileHang(_) => return TestOutcome::Timeout,
+            BugEffect::RuntimeCrash(msg) => {
+                return TestOutcome::Crash(format!("{} [{}]", msg, rule.reference))
+            }
+            BugEffect::Miscompile(m) => miscompilations.push(*m),
+        }
+    }
+
+    // --- Background (rate-based) outcomes ------------------------------------
+    let rates = config.rates(opt);
+    let uses_barriers = features.barrier_count > 0;
+    if chance(program, config, opt, "bf") < rates.build_failure {
+        return TestOutcome::BuildFailure("driver rejected the program (background rate)".into());
+    }
+    if chance(program, config, opt, "to") < rates.timeout {
+        return TestOutcome::Timeout;
+    }
+
+    // --- Compilation ----------------------------------------------------------
+    let mut compiled = program.clone();
+    if opt == OptLevel::Enabled && config.optimizes {
+        passes::optimize(&mut compiled);
+    }
+    for m in &miscompilations {
+        apply_miscompilation(&mut compiled, *m);
+    }
+    let wrong_rate = rates.wrong_code
+        + if uses_barriers { rates.barrier_wrong_bonus } else { 0.0 };
+    if chance(program, config, opt, "wc") < wrong_rate {
+        let salt = stable_hash(&(program, config.id, "perturb"));
+        apply_miscompilation(&mut compiled, crate::bugs::Miscompilation::PerturbLiteral(salt));
+    }
+
+    // --- Execution -------------------------------------------------------------
+    let crash_rate = rates.runtime_crash
+        + if uses_barriers { rates.barrier_crash_bonus } else { 0.0 };
+    if chance(program, config, opt, "crash") < crash_rate {
+        return TestOutcome::Crash("kernel execution crashed (background rate)".into());
+    }
+    let options = LaunchOptions {
+        step_limit: exec.step_limit,
+        detect_races: exec.detect_races,
+        schedule: exec.schedule,
+        buffer_overrides: exec.buffer_overrides.clone(),
+        scalar_args: std::collections::HashMap::new(),
+    };
+    match clc_interp::launch(&compiled, &options) {
+        Ok(result) => TestOutcome::Result { hash: result.result_hash, output: result.result_string },
+        Err(RuntimeError::StepLimitExceeded { .. }) => TestOutcome::Timeout,
+        Err(e) => TestOutcome::Crash(e.to_string()),
+    }
+}
+
+/// Executes on the reference emulator with no configuration-specific
+/// behaviour (the oracle used by the harness to sanity-check majorities and
+/// by the reducer).
+pub fn reference_execute(program: &Program, exec: &ExecOptions) -> TestOutcome {
+    let options = LaunchOptions {
+        step_limit: exec.step_limit,
+        detect_races: exec.detect_races,
+        schedule: exec.schedule,
+        buffer_overrides: exec.buffer_overrides.clone(),
+        scalar_args: std::collections::HashMap::new(),
+    };
+    match clc_interp::launch(program, &options) {
+        Ok(result) => TestOutcome::Result { hash: result.result_hash, output: result.result_string },
+        Err(RuntimeError::StepLimitExceeded { .. }) => TestOutcome::Timeout,
+        Err(e) => TestOutcome::Crash(e.to_string()),
+    }
+}
+
+/// Deterministic pseudo-probability in `[0, 1)` derived from the kernel, the
+/// configuration, the optimisation level and a salt.  Using a hash rather
+/// than an RNG keeps every campaign exactly reproducible.
+fn chance(program: &Program, config: &Configuration, opt: OptLevel, salt: &str) -> f64 {
+    let h = stable_hash(&(program, config.id, opt, salt));
+    (h % 1_000_000) as f64 / 1_000_000.0
+}
+
+fn stable_hash<T: Hash>(value: &T) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{all_configurations, configuration};
+    use clc::{BufferSpec, Expr, IdKind, KernelDef, LaunchConfig, ScalarType, Stmt};
+
+    fn trivial_program(value: i64) -> Program {
+        let mut p = Program::new(
+            KernelDef {
+                name: "k".into(),
+                params: Program::standard_clsmith_params(0),
+                body: clc::Block::of(vec![Stmt::assign(
+                    Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+                    Expr::int(value),
+                )]),
+            },
+            LaunchConfig::single_group(4),
+        );
+        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+        p
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        let p = trivial_program(7);
+        for config in all_configurations() {
+            for opt in OptLevel::BOTH {
+                let a = execute(&p, &config, opt, &ExecOptions::default());
+                let b = execute(&p, &config, opt, &ExecOptions::default());
+                assert_eq!(a, b, "config {} {}", config.id, opt);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_execution_matches_source_semantics() {
+        let p = trivial_program(9);
+        match reference_execute(&p, &ExecOptions::default()) {
+            TestOutcome::Result { output, .. } => assert_eq!(output, "9,9,9,9"),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_configs_agree_on_a_trivial_kernel() {
+        // A struct-free, barrier-free, comma-free kernel triggers none of the
+        // deterministic bug rules; any disagreement would have to come from
+        // the background rates, which are per-kernel deterministic, so at
+        // least the NVIDIA configuration with optimisations (rate bf = 0)
+        // must produce the reference answer.
+        let p = trivial_program(3);
+        let reference = reference_execute(&p, &ExecOptions::default());
+        let outcome = execute(&p, &configuration(1), OptLevel::Enabled, &ExecOptions::default());
+        if let (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) =
+            (&reference, &outcome)
+        {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn outcome_kinds_classify() {
+        assert_eq!(TestOutcome::Timeout.kind(), "to");
+        assert_eq!(TestOutcome::BuildFailure("x".into()).kind(), "bf");
+        assert_eq!(TestOutcome::Crash("x".into()).kind(), "c");
+        assert_eq!(
+            TestOutcome::Result { hash: 1, output: "1".into() }.kind(),
+            "ok"
+        );
+        assert!(TestOutcome::Result { hash: 1, output: "1".into() }.is_result());
+        assert_eq!(TestOutcome::Timeout.result_hash(), None);
+    }
+
+    #[test]
+    fn altera_rejects_vectors_in_structs() {
+        use clc::{Field, StructDef, Type, VectorWidth};
+        let mut p = trivial_program(1);
+        p.add_struct(StructDef::new(
+            "S",
+            vec![Field::new("x", Type::Vector(ScalarType::Int, VectorWidth::W4))],
+        ));
+        let outcome = execute(&p, &configuration(20), OptLevel::Enabled, &ExecOptions::default());
+        assert!(matches!(outcome, TestOutcome::BuildFailure(msg) if msg.contains("vector")));
+    }
+
+    #[test]
+    fn oclgrind_miscompiles_comma_kernels() {
+        let mut p = trivial_program(1);
+        p.kernel.body.stmts[0] = Stmt::assign(
+            Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+            Expr::comma(Expr::int(5), Expr::int(1)),
+        );
+        let reference = reference_execute(&p, &ExecOptions::default());
+        let oclgrind = execute(&p, &configuration(19), OptLevel::Disabled, &ExecOptions::default());
+        match (reference, oclgrind) {
+            (TestOutcome::Result { output: r, .. }, TestOutcome::Result { output: o, .. }) => {
+                assert_eq!(r, "1,1,1,1");
+                assert_eq!(o, "5,5,5,5");
+            }
+            other => panic!("unexpected outcomes {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1069 @@
+//! # parboil-rodinia — miniature versions of the Table 2 benchmarks
+//!
+//! The paper evaluates EMI testing on ten kernels from the Parboil and
+//! Rodinia suites (Table 2, §7.2).  The original benchmarks are large,
+//! partly floating-point OpenCL applications; this crate provides faithful
+//! *miniatures*: kernels with the same computational shape (graph traversal,
+//! stencils, dynamic programming, reductions, sparse matrix–vector products,
+//! ...), written against the `clc` AST, using integer / fixed-point
+//! arithmetic so that results are exact — the same reason the paper favours
+//! non-floating-point benchmarks (§7.2).
+//!
+//! Two miniatures intentionally reproduce the defects the paper *discovered
+//! while doing EMI testing* (§2.4): `spmv` and `myocyte` contain data races,
+//! which the emulator's race detector flags and which make their results
+//! schedule dependent.  They are excluded from Table 3 exactly as the paper
+//! excludes them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use clc::expr::{AssignOp, BinOp, Builtin, Expr, IdKind};
+use clc::stmt::{Block, MemFence, Stmt};
+use clc::types::{AddressSpace, ScalarType, Type};
+use clc::{BufferInit, BufferSpec, KernelDef, LaunchConfig, Param, Program};
+
+/// Which suite a benchmark comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Parboil v2.5.
+    Parboil,
+    /// Rodinia v2.8.
+    Rodinia,
+}
+
+impl Suite {
+    /// Suite name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Parboil => "Parboil",
+            Suite::Rodinia => "Rodinia",
+        }
+    }
+}
+
+/// One benchmark: Table 2 metadata plus the miniature kernel.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (Table 2).
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Description (Table 2).
+    pub description: &'static str,
+    /// Number of kernels in the original benchmark (Table 2).
+    pub original_kernels: usize,
+    /// Lines of kernel code in the original benchmark (Table 2).
+    pub original_loc: usize,
+    /// Whether the original uses floating point (Table 2); miniatures always
+    /// use integer arithmetic.
+    pub original_uses_fp: bool,
+    /// Whether the miniature deliberately contains the data race the paper
+    /// discovered (spmv, myocyte).
+    pub has_known_race: bool,
+    /// The miniature kernel.
+    pub program: Program,
+}
+
+fn global_ptr(name: &str, ty: ScalarType) -> Param {
+    Param::new(name, Type::Scalar(ty).pointer_to(AddressSpace::Global))
+}
+
+fn tid() -> Expr {
+    Expr::IdQuery(IdKind::GlobalLinearId)
+}
+
+fn lid() -> Expr {
+    Expr::IdQuery(IdKind::LocalLinearId)
+}
+
+fn out_store(value: Expr) -> Stmt {
+    Stmt::assign(Expr::index(Expr::var("out"), tid()), value)
+}
+
+fn base_program(name: &str, params: Vec<Param>, launch: LaunchConfig) -> Program {
+    let mut p = Program::new(KernelDef { name: name.into(), params, body: Block::new() }, launch);
+    p.buffers.push(BufferSpec::result("out", ScalarType::ULong, launch.total_work_items()));
+    p
+}
+
+fn for_loop(var: &str, bound: i64, body: Block) -> Stmt {
+    Stmt::For {
+        init: Some(Box::new(Stmt::decl(var, Type::Scalar(ScalarType::Int), Some(Expr::int(0))))),
+        cond: Some(Expr::binary(BinOp::Lt, Expr::var(var), Expr::int(bound))),
+        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var(var), Expr::int(1))),
+        body,
+    }
+}
+
+/// Parboil `bfs`: one level of a breadth-first search frontier expansion over
+/// a synthetic ring-with-chords graph held in CSR-like arrays.
+pub fn bfs() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "bfs_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("edges", ScalarType::Int),
+            global_ptr("offsets", ScalarType::Int),
+            global_ptr("cost", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
+    );
+    // offsets[i] = 2*i, edges[2*i] = (i+1) % n, edges[2*i+1] = (i+7) % n,
+    // cost[i] = i % 4.
+    p.buffers.push(BufferSpec::new(
+        "edges",
+        ScalarType::Int,
+        2 * n,
+        BufferInit::Data((0..2 * n as i64).map(|e| {
+            let i = e / 2;
+            if e % 2 == 0 { (i + 1) % n as i64 } else { (i + 7) % n as i64 }
+        }).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "offsets",
+        ScalarType::Int,
+        n + 1,
+        BufferInit::Data((0..=n as i64).map(|i| 2 * i).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "cost",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| i % 4).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl("best", Type::Scalar(ScalarType::Int), Some(Expr::int(1 << 20))));
+    body.push(Stmt::decl(
+        "start",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(Expr::var("offsets"), tid())),
+    ));
+    body.push(Stmt::decl(
+        "end",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(
+            Expr::var("offsets"),
+            Expr::binary(BinOp::Add, tid(), Expr::lit(1, ScalarType::UInt)),
+        )),
+    ));
+    body.push(Stmt::For {
+        init: Some(Box::new(Stmt::decl("e", Type::Scalar(ScalarType::Int), Some(Expr::var("start"))))),
+        cond: Some(Expr::binary(BinOp::Lt, Expr::var("e"), Expr::var("end"))),
+        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("e"), Expr::int(1))),
+        body: Block::of(vec![
+            Stmt::decl(
+                "neighbour",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::index(Expr::var("edges"), Expr::var("e"))),
+            ),
+            Stmt::decl(
+                "candidate",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::binary(
+                    BinOp::Add,
+                    Expr::index(Expr::var("cost"), Expr::var("neighbour")),
+                    Expr::int(1),
+                )),
+            ),
+            Stmt::assign(
+                Expr::var("best"),
+                Expr::builtin(Builtin::Min, vec![Expr::var("best"), Expr::var("candidate")]),
+            ),
+        ]),
+    });
+    body.push(out_store(Expr::var("best")));
+    Benchmark {
+        name: "bfs",
+        suite: Suite::Parboil,
+        description: "Graph breadth-first search",
+        original_kernels: 1,
+        original_loc: 65,
+        original_uses_fp: false,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Parboil `cutcp`: cutoff-limited Coulombic potential accumulation on a
+/// small lattice (fixed point).
+pub fn cutcp() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "cutcp_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("atoms", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [32, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "atoms",
+        ScalarType::Int,
+        32,
+        BufferInit::Data((0..32).map(|i| (i * 37) % 101).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl("potential", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "a",
+        32,
+        Block::of(vec![
+            Stmt::decl(
+                "distance",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::cast(
+                    Type::Scalar(ScalarType::Int),
+                    Expr::builtin(
+                        Builtin::Abs,
+                        vec![Expr::binary(
+                            BinOp::Sub,
+                            Expr::cast(Type::Scalar(ScalarType::Int), tid()),
+                            Expr::index(Expr::var("atoms"), Expr::var("a")),
+                        )],
+                    ),
+                )),
+            ),
+            Stmt::if_then(
+                Expr::binary(BinOp::Lt, Expr::var("distance"), Expr::int(16)),
+                Block::of(vec![Stmt::expr(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var("potential"),
+                    Expr::builtin(
+                        Builtin::SafeDiv,
+                        vec![
+                            Expr::int(1 << 10),
+                            Expr::binary(BinOp::Add, Expr::var("distance"), Expr::int(1)),
+                        ],
+                    ),
+                ))]),
+            ),
+        ]),
+    ));
+    body.push(out_store(Expr::var("potential")));
+    Benchmark {
+        name: "cutcp",
+        suite: Suite::Parboil,
+        description: "Molecular modeling simulation",
+        original_kernels: 1,
+        original_loc: 98,
+        original_uses_fp: true,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Parboil `lbm`: a lattice-Boltzmann style 9-direction collide-and-stream
+/// step over a 1D slice (fixed point).
+pub fn lbm() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "lbm_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("cells", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "cells",
+        ScalarType::Int,
+        n * 9,
+        BufferInit::Data((0..(n * 9) as i64).map(|i| (i * 13) % 97).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl("density", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "d",
+        9,
+        Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("density"),
+            Expr::index(
+                Expr::var("cells"),
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(BinOp::Mul, Expr::cast(Type::Scalar(ScalarType::Int), tid()), Expr::int(9)),
+                    Expr::var("d"),
+                ),
+            ),
+        ))]),
+    ));
+    body.push(Stmt::decl(
+        "equilibrium",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::builtin(Builtin::SafeDiv, vec![Expr::var("density"), Expr::int(9)])),
+    ));
+    body.push(Stmt::decl("relaxed", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "d2",
+        9,
+        Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("relaxed"),
+            Expr::builtin(
+                Builtin::SafeDiv,
+                vec![
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::index(
+                            Expr::var("cells"),
+                            Expr::binary(
+                                BinOp::Add,
+                                Expr::binary(
+                                    BinOp::Mul,
+                                    Expr::cast(Type::Scalar(ScalarType::Int), tid()),
+                                    Expr::int(9),
+                                ),
+                                Expr::var("d2"),
+                            ),
+                        ),
+                        Expr::var("equilibrium"),
+                    ),
+                    Expr::int(2),
+                ],
+            ),
+        ))]),
+    ));
+    body.push(out_store(Expr::var("relaxed")));
+    Benchmark {
+        name: "lbm",
+        suite: Suite::Parboil,
+        description: "Fluid dynamics simulation",
+        original_kernels: 1,
+        original_loc: 139,
+        original_uses_fp: true,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Parboil `sad`: sum-of-absolute-differences over a 16-pixel window, the
+/// core of video motion estimation.
+pub fn sad() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "sad_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("frame", ScalarType::Int),
+            global_ptr("reference", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "frame",
+        ScalarType::Int,
+        n + 16,
+        BufferInit::Data((0..(n + 16) as i64).map(|i| (i * 7) % 251).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "reference",
+        ScalarType::Int,
+        n + 16,
+        BufferInit::Data((0..(n + 16) as i64).map(|i| (i * 11) % 251).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl("sum", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "px",
+        16,
+        Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("sum"),
+            Expr::cast(
+                Type::Scalar(ScalarType::Int),
+                Expr::builtin(
+                    Builtin::Abs,
+                    vec![Expr::binary(
+                        BinOp::Sub,
+                        Expr::index(Expr::var("frame"), Expr::binary(BinOp::Add, tid(), Expr::var("px"))),
+                        Expr::index(
+                            Expr::var("reference"),
+                            Expr::binary(BinOp::Add, tid(), Expr::var("px")),
+                        ),
+                    )],
+                ),
+            ),
+        ))]),
+    ));
+    body.push(out_store(Expr::var("sum")));
+    Benchmark {
+        name: "sad",
+        suite: Suite::Parboil,
+        description: "Video processing (sum of absolute differences)",
+        original_kernels: 3,
+        original_loc: 134,
+        original_uses_fp: false,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Parboil `spmv`: sparse matrix–vector product in a JDS-like layout.
+///
+/// This miniature reproduces the defect the paper found (§2.4): the result
+/// vector is updated with a read–modify–write on a location also written by
+/// a neighbouring work-item — a data race that makes the output schedule
+/// dependent.  The emulator's race detector flags it.
+pub fn spmv() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "spmv_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("values", ScalarType::Int),
+            global_ptr("columns", ScalarType::Int),
+            global_ptr("x", ScalarType::Int),
+            global_ptr("y", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "values",
+        ScalarType::Int,
+        n * 4,
+        BufferInit::Data((0..(n * 4) as i64).map(|i| (i % 9) - 4).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "columns",
+        ScalarType::Int,
+        n * 4,
+        BufferInit::Data((0..(n * 4) as i64).map(|i| (i * 5) % n as i64).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "x",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| i + 1).collect()),
+    ));
+    p.buffers.push(BufferSpec::new("y", ScalarType::Int, n, BufferInit::Zero));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl("acc", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "k",
+        4,
+        Block::of(vec![
+            Stmt::decl(
+                "idx",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(BinOp::Mul, Expr::cast(Type::Scalar(ScalarType::Int), tid()), Expr::int(4)),
+                    Expr::var("k"),
+                )),
+            ),
+            Stmt::expr(Expr::assign_op(
+                AssignOp::AddAssign,
+                Expr::var("acc"),
+                Expr::binary(
+                    BinOp::Mul,
+                    Expr::index(Expr::var("values"), Expr::var("idx")),
+                    Expr::index(Expr::var("x"), Expr::index(Expr::var("columns"), Expr::var("idx"))),
+                ),
+            )),
+        ]),
+    ));
+    // The race: every work-item also "scatters" a correction into its
+    // neighbour's slot of y without synchronisation, then reads its own slot.
+    body.push(Stmt::expr(Expr::assign_op(
+        AssignOp::AddAssign,
+        Expr::index(
+            Expr::var("y"),
+            Expr::builtin(
+                Builtin::SafeMod,
+                vec![
+                    Expr::binary(BinOp::Add, Expr::cast(Type::Scalar(ScalarType::Int), tid()), Expr::int(1)),
+                    Expr::int(n as i64),
+                ],
+            ),
+        ),
+        Expr::var("acc"),
+    )));
+    body.push(out_store(Expr::binary(
+        BinOp::Add,
+        Expr::var("acc"),
+        Expr::index(Expr::var("y"), tid()),
+    )));
+    Benchmark {
+        name: "spmv",
+        suite: Suite::Parboil,
+        description: "Sparse linear algebra (contains the data race reported by the paper)",
+        original_kernels: 1,
+        original_loc: 32,
+        original_uses_fp: true,
+        has_known_race: true,
+        program: p,
+    }
+}
+
+/// Parboil `tpacf`: two-point angular correlation histogramming.
+pub fn tpacf() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "tpacf_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("data", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [32, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "data",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| (i * 29) % 359).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl(
+        "bins",
+        Type::Scalar(ScalarType::Int).array_of(8),
+        None,
+    ));
+    body.push(for_loop(
+        "b",
+        8,
+        Block::of(vec![Stmt::assign(
+            Expr::index(Expr::var("bins"), Expr::var("b")),
+            Expr::int(0),
+        )]),
+    ));
+    body.push(for_loop(
+        "j",
+        32,
+        Block::of(vec![
+            Stmt::decl(
+                "angle",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::cast(
+                    Type::Scalar(ScalarType::Int),
+                    Expr::builtin(
+                        Builtin::Abs,
+                        vec![Expr::binary(
+                            BinOp::Sub,
+                            Expr::index(Expr::var("data"), tid()),
+                            Expr::index(Expr::var("data"), Expr::var("j")),
+                        )],
+                    ),
+                )),
+            ),
+            Stmt::decl(
+                "bin",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::builtin(
+                    Builtin::SafeClamp,
+                    vec![
+                        Expr::builtin(Builtin::SafeDiv, vec![Expr::var("angle"), Expr::int(45)]),
+                        Expr::int(0),
+                        Expr::int(7),
+                    ],
+                )),
+            ),
+            Stmt::expr(Expr::assign_op(
+                AssignOp::AddAssign,
+                Expr::index(Expr::var("bins"), Expr::var("bin")),
+                Expr::int(1),
+            )),
+        ]),
+    ));
+    body.push(Stmt::decl("weighted", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "b2",
+        8,
+        Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("weighted"),
+            Expr::binary(
+                BinOp::Mul,
+                Expr::index(Expr::var("bins"), Expr::var("b2")),
+                Expr::binary(BinOp::Add, Expr::var("b2"), Expr::int(1)),
+            ),
+        ))]),
+    ));
+    body.push(out_store(Expr::var("weighted")));
+    Benchmark {
+        name: "tpacf",
+        suite: Suite::Parboil,
+        description: "Two-point angular correlation function (N-body method)",
+        original_kernels: 1,
+        original_loc: 129,
+        original_uses_fp: true,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Rodinia `heartwall`: window tracking — average intensity in a window
+/// followed by a best-offset search.
+pub fn heartwall() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "heartwall_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("image", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "image",
+        ScalarType::Int,
+        n + 32,
+        BufferInit::Data((0..(n + 32) as i64).map(|i| (i * 17) % 256).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl("mean", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "w",
+        16,
+        Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("mean"),
+            Expr::index(Expr::var("image"), Expr::binary(BinOp::Add, tid(), Expr::var("w"))),
+        ))]),
+    ));
+    body.push(Stmt::assign(
+        Expr::var("mean"),
+        Expr::builtin(Builtin::SafeDiv, vec![Expr::var("mean"), Expr::int(16)]),
+    ));
+    body.push(Stmt::decl("best", Type::Scalar(ScalarType::Int), Some(Expr::int(1 << 20))));
+    body.push(Stmt::decl("best_offset", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(for_loop(
+        "offset",
+        16,
+        Block::of(vec![
+            Stmt::decl(
+                "diff",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::cast(
+                    Type::Scalar(ScalarType::Int),
+                    Expr::builtin(
+                        Builtin::Abs,
+                        vec![Expr::binary(
+                            BinOp::Sub,
+                            Expr::index(
+                                Expr::var("image"),
+                                Expr::binary(BinOp::Add, tid(), Expr::var("offset")),
+                            ),
+                            Expr::var("mean"),
+                        )],
+                    ),
+                )),
+            ),
+            Stmt::if_then(
+                Expr::binary(BinOp::Lt, Expr::var("diff"), Expr::var("best")),
+                Block::of(vec![
+                    Stmt::assign(Expr::var("best"), Expr::var("diff")),
+                    Stmt::assign(Expr::var("best_offset"), Expr::var("offset")),
+                ]),
+            ),
+        ]),
+    ));
+    body.push(out_store(Expr::binary(
+        BinOp::Add,
+        Expr::binary(BinOp::Mul, Expr::var("best"), Expr::int(100)),
+        Expr::var("best_offset"),
+    )));
+    Benchmark {
+        name: "heartwall",
+        suite: Suite::Rodinia,
+        description: "Medical imaging (heart wall tracking)",
+        original_kernels: 1,
+        original_loc: 1060,
+        original_uses_fp: true,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Rodinia `hotspot`: a thermal stencil over a row of cells, using
+/// work-group local memory and a barrier.
+pub fn hotspot() -> Benchmark {
+    let n = 64usize;
+    let group = 16usize;
+    let mut p = base_program(
+        "hotspot_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("temperature", ScalarType::Int),
+            global_ptr("power", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [group, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "temperature",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| 300 + (i * 3) % 40).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "power",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| (i * 7) % 20).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::Decl {
+        name: "tile".into(),
+        ty: Type::Scalar(ScalarType::Int).array_of(group),
+        space: AddressSpace::Local,
+        volatile: false,
+        init: None,
+        init_list: None,
+    });
+    body.push(Stmt::assign(
+        Expr::index(Expr::var("tile"), lid()),
+        Expr::index(Expr::var("temperature"), tid()),
+    ));
+    body.push(Stmt::Barrier(MemFence::Local));
+    body.push(Stmt::decl(
+        "left",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(
+            Expr::var("tile"),
+            Expr::cond(
+                Expr::binary(BinOp::Eq, lid(), Expr::lit(0, ScalarType::UInt)),
+                Expr::lit(0, ScalarType::UInt),
+                Expr::binary(BinOp::Sub, lid(), Expr::lit(1, ScalarType::UInt)),
+            ),
+        )),
+    ));
+    body.push(Stmt::decl(
+        "right",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(
+            Expr::var("tile"),
+            Expr::cond(
+                Expr::binary(BinOp::Eq, lid(), Expr::lit(group as i128 - 1, ScalarType::UInt)),
+                Expr::lit(group as i128 - 1, ScalarType::UInt),
+                Expr::binary(BinOp::Add, lid(), Expr::lit(1, ScalarType::UInt)),
+            ),
+        )),
+    ));
+    body.push(Stmt::decl(
+        "centre",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(Expr::var("tile"), lid())),
+    ));
+    body.push(Stmt::decl(
+        "delta",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::builtin(
+            Builtin::SafeDiv,
+            vec![
+                Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(
+                        BinOp::Sub,
+                        Expr::binary(BinOp::Add, Expr::var("left"), Expr::var("right")),
+                        Expr::binary(BinOp::Mul, Expr::var("centre"), Expr::int(2)),
+                    ),
+                    Expr::index(Expr::var("power"), tid()),
+                ),
+                Expr::int(4),
+            ],
+        )),
+    ));
+    body.push(out_store(Expr::binary(BinOp::Add, Expr::var("centre"), Expr::var("delta"))));
+    Benchmark {
+        name: "hotspot",
+        suite: Suite::Rodinia,
+        description: "Thermal physics simulation (stencil)",
+        original_kernels: 1,
+        original_loc: 89,
+        original_uses_fp: true,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// Rodinia `myocyte`: an ODE-style state update.  Reproduces the race the
+/// paper found: state is shared between work-items of a group without a
+/// barrier between the write and the neighbour's read.
+pub fn myocyte() -> Benchmark {
+    let n = 64usize;
+    let group = 16usize;
+    let mut p = base_program(
+        "myocyte_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("state", ScalarType::Int),
+            global_ptr("rates", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [group, 1, 1]).expect("valid launch"),
+    );
+    p.buffers.push(BufferSpec::new(
+        "state",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| (i * 23) % 71).collect()),
+    ));
+    p.buffers.push(BufferSpec::new(
+        "rates",
+        ScalarType::Int,
+        n,
+        BufferInit::Data((0..n as i64).map(|i| (i % 5) - 2).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::Decl {
+        name: "shared_state".into(),
+        ty: Type::Scalar(ScalarType::Int).array_of(group),
+        space: AddressSpace::Local,
+        volatile: false,
+        init: None,
+        init_list: None,
+    });
+    body.push(Stmt::assign(
+        Expr::index(Expr::var("shared_state"), lid()),
+        Expr::index(Expr::var("state"), tid()),
+    ));
+    // Missing barrier here: the neighbour read below races with the write
+    // above, exactly the class of defect §2.4 reports for myocyte.
+    body.push(Stmt::decl(
+        "neighbour",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(
+            Expr::var("shared_state"),
+            Expr::builtin(
+                Builtin::SafeMod,
+                vec![
+                    Expr::binary(BinOp::Add, Expr::cast(Type::Scalar(ScalarType::Int), lid()), Expr::int(1)),
+                    Expr::int(group as i64),
+                ],
+            ),
+        )),
+    ));
+    body.push(Stmt::decl("value", Type::Scalar(ScalarType::Int), Some(Expr::index(Expr::var("state"), tid()))));
+    body.push(for_loop(
+        "step",
+        8,
+        Block::of(vec![Stmt::expr(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("value"),
+            Expr::builtin(
+                Builtin::SafeDiv,
+                vec![
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::binary(
+                            BinOp::Mul,
+                            Expr::index(Expr::var("rates"), tid()),
+                            Expr::var("value"),
+                        ),
+                        Expr::var("neighbour"),
+                    ),
+                    Expr::int(8),
+                ],
+            ),
+        ))]),
+    ));
+    body.push(out_store(Expr::var("value")));
+    Benchmark {
+        name: "myocyte",
+        suite: Suite::Rodinia,
+        description: "Cardiac myocyte simulation (contains the data race reported by the paper)",
+        original_kernels: 1,
+        original_loc: 1050,
+        original_uses_fp: true,
+        has_known_race: true,
+        program: p,
+    }
+}
+
+/// Rodinia `pathfinder`: dynamic programming over a cost grid.
+pub fn pathfinder() -> Benchmark {
+    let n = 64usize;
+    let mut p = base_program(
+        "pathfinder_kernel",
+        vec![
+            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            global_ptr("wall", ScalarType::Int),
+        ],
+        LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
+    );
+    let rows = 8usize;
+    p.buffers.push(BufferSpec::new(
+        "wall",
+        ScalarType::Int,
+        n * rows,
+        BufferInit::Data((0..(n * rows) as i64).map(|i| (i * 19) % 23).collect()),
+    ));
+    let body = &mut p.kernel.body;
+    body.push(Stmt::decl(
+        "cost",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(Expr::var("wall"), tid())),
+    ));
+    body.push(for_loop(
+        "row",
+        (rows - 1) as i64,
+        Block::of(vec![
+            Stmt::decl(
+                "base",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::binary(
+                    BinOp::Add,
+                    Expr::binary(
+                        BinOp::Mul,
+                        Expr::binary(BinOp::Add, Expr::var("row"), Expr::int(1)),
+                        Expr::int(n as i64),
+                    ),
+                    Expr::cast(Type::Scalar(ScalarType::Int), tid()),
+                )),
+            ),
+            Stmt::decl(
+                "left",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::index(
+                    Expr::var("wall"),
+                    Expr::builtin(
+                        Builtin::SafeClamp,
+                        vec![
+                            Expr::binary(BinOp::Sub, Expr::var("base"), Expr::int(1)),
+                            Expr::binary(
+                                BinOp::Mul,
+                                Expr::binary(BinOp::Add, Expr::var("row"), Expr::int(1)),
+                                Expr::int(n as i64),
+                            ),
+                            Expr::binary(
+                                BinOp::Sub,
+                                Expr::binary(
+                                    BinOp::Mul,
+                                    Expr::binary(BinOp::Add, Expr::var("row"), Expr::int(2)),
+                                    Expr::int(n as i64),
+                                ),
+                                Expr::int(1),
+                            ),
+                        ],
+                    ),
+                )),
+            ),
+            Stmt::decl(
+                "here",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::index(Expr::var("wall"), Expr::var("base"))),
+            ),
+            Stmt::expr(Expr::assign_op(
+                AssignOp::AddAssign,
+                Expr::var("cost"),
+                Expr::builtin(Builtin::Min, vec![Expr::var("left"), Expr::var("here")]),
+            )),
+        ]),
+    ));
+    body.push(out_store(Expr::var("cost")));
+    Benchmark {
+        name: "pathfinder",
+        suite: Suite::Rodinia,
+        description: "Dynamic programming (grid traversal)",
+        original_kernels: 1,
+        original_loc: 102,
+        original_uses_fp: false,
+        has_known_race: false,
+        program: p,
+    }
+}
+
+/// All ten Table 2 benchmarks, in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        bfs(),
+        cutcp(),
+        lbm(),
+        sad(),
+        spmv(),
+        tpacf(),
+        heartwall(),
+        hotspot(),
+        myocyte(),
+        pathfinder(),
+    ]
+}
+
+/// The eight benchmarks used in Table 3 (spmv and myocyte are excluded
+/// because of their data races, §2.4).
+pub fn table3_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks().into_iter().filter(|b| !b.has_known_race).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clc_interp::{launch, LaunchOptions, Schedule};
+
+    #[test]
+    fn there_are_ten_benchmarks_matching_table_2() {
+        let benchmarks = all_benchmarks();
+        assert_eq!(benchmarks.len(), 10);
+        let names: Vec<&str> = benchmarks.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bfs", "cutcp", "lbm", "sad", "spmv", "tpacf", "heartwall", "hotspot", "myocyte",
+                "pathfinder"
+            ]
+        );
+        assert_eq!(benchmarks.iter().filter(|b| b.suite == Suite::Parboil).count(), 6);
+        assert_eq!(benchmarks.iter().filter(|b| b.suite == Suite::Rodinia).count(), 4);
+        assert_eq!(benchmarks.iter().filter(|b| !b.original_uses_fp).count(), 3);
+        assert_eq!(Suite::Parboil.name(), "Parboil");
+    }
+
+    #[test]
+    fn benchmarks_typecheck_and_run() {
+        for b in all_benchmarks() {
+            assert!(clc::check_program(&b.program).is_ok(), "{} fails typecheck", b.name);
+            let result = clc_interp::run(&b.program);
+            assert!(result.is_ok(), "{} failed: {:?}", b.name, result.err());
+            let result = result.unwrap();
+            assert_eq!(result.output.len(), b.program.launch.total_work_items());
+        }
+    }
+
+    #[test]
+    fn race_free_benchmarks_are_schedule_deterministic() {
+        for b in table3_benchmarks() {
+            let forward = clc_interp::run(&b.program).unwrap();
+            let reverse = launch(
+                &b.program,
+                &LaunchOptions { schedule: Schedule::Reverse, ..LaunchOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(forward.result_string, reverse.result_string, "{}", b.name);
+            let raced = launch(
+                &b.program,
+                &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+            )
+            .unwrap();
+            assert!(raced.race.is_none(), "{} unexpectedly races", b.name);
+        }
+    }
+
+    #[test]
+    fn spmv_and_myocyte_reproduce_the_papers_races() {
+        for b in all_benchmarks().into_iter().filter(|b| b.has_known_race) {
+            let raced = launch(
+                &b.program,
+                &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+            )
+            .unwrap();
+            assert!(raced.race.is_some(), "{} should contain a data race", b.name);
+        }
+    }
+
+    #[test]
+    fn benchmark_kernels_have_realistic_structure() {
+        for b in all_benchmarks() {
+            let features = clc::Features::detect(&b.program);
+            assert!(
+                features.loop_count >= 1 || b.name == "hotspot",
+                "{} should contain loops",
+                b.name
+            );
+            assert!(b.program.kernel.body.stmts.len() >= 3, "{} too small", b.name);
+        }
+        // hotspot exercises local memory and barriers.
+        let hotspot = hotspot();
+        assert!(hotspot.program.kernel.body.contains_barrier());
+    }
+}

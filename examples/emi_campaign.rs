@@ -1,0 +1,46 @@
+//! EMI testing end to end: build base kernels with dead-by-construction EMI
+//! blocks, derive pruning variants, and look for variant disagreement on a
+//! single configuration — no cross-compiler comparison needed (§5, §7.4).
+//!
+//! Run with: `cargo run --release --example emi_campaign`
+
+use clsmith::GeneratorOptions;
+use fuzz_harness::{generate_live_bases, judge_base, pruning_grid, CampaignOptions, EmiCampaignOptions};
+use clsmith::prune_variant;
+use opencl_sim::{configuration, ExecOptions, OptLevel};
+
+fn main() {
+    let options = EmiCampaignOptions {
+        bases: 3,
+        variants_per_base: 8,
+        campaign: CampaignOptions {
+            generator: GeneratorOptions { min_threads: 16, max_threads: 48, ..GeneratorOptions::default() },
+            ..CampaignOptions::default()
+        },
+    };
+    let bases = generate_live_bases(&options);
+    println!("accepted {} live base programs", bases.len());
+    let grid = pruning_grid(options.variants_per_base);
+    for (i, base) in bases.iter().enumerate() {
+        let variants: Vec<clc::Program> = grid
+            .iter()
+            .enumerate()
+            .map(|(j, p)| prune_variant(base, p, (i * 100 + j) as u64))
+            .collect();
+        for id in [1usize, 12, 19] {
+            let config = configuration(id);
+            for opt in OptLevel::BOTH {
+                let judgement = judge_base(&variants, &config, opt, &ExecOptions::default());
+                println!(
+                    "base {i} on {:>4}: wrong={} bf={} crash={} timeout={} stable={}",
+                    config.label(opt),
+                    judgement.wrong,
+                    judgement.build_failure,
+                    judgement.crash,
+                    judgement.timeout,
+                    judgement.stable
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Test-case reduction: find a kernel that a simulated configuration
+//! miscompiles, then shrink it while the miscompilation persists (§8).
+//!
+//! Run with: `cargo run --release --example reduce_bug`
+
+use clreduce::{reduce, ReduceOptions};
+use opencl_sim::{configuration, execute, reference_execute, ExecOptions, OptLevel, TestOutcome};
+
+fn main() {
+    // The Figure 1(a) kernel is miscompiled by the AMD configuration; use a
+    // CLsmith kernel that triggers the same struct bug and reduce it.
+    let config = configuration(5);
+    let exec = ExecOptions::default();
+    let mut found = None;
+    for seed in 0..200u64 {
+        let program = clsmith::generate(&clsmith::GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..clsmith::GeneratorOptions::new(clsmith::GenMode::Basic, seed)
+        });
+        let reference = reference_execute(&program, &exec);
+        let observed = execute(&program, &config, OptLevel::Enabled, &exec);
+        if let (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) = (&reference, &observed) {
+            if a != b {
+                found = Some(program);
+                break;
+            }
+        }
+    }
+    let Some(program) = found else {
+        println!("no miscompiled kernel found in 200 seeds — try more seeds");
+        return;
+    };
+    println!("found a miscompiled kernel with {} statements", program.statement_count());
+    let mut interesting = |candidate: &clc::Program| {
+        let reference = reference_execute(candidate, &exec);
+        let observed = execute(candidate, &config, OptLevel::Enabled, &exec);
+        matches!(
+            (reference, observed),
+            (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) if a != b
+        )
+    };
+    let (reduced, stats) = reduce(&program, &mut interesting, &ReduceOptions::default());
+    println!(
+        "reduced from {} to {} statements ({} candidates tried, {} accepted)",
+        stats.initial_statements, stats.final_statements, stats.candidates_tried, stats.candidates_accepted
+    );
+    println!("=== reduced kernel ===\n{}", clc::print_program(&reduced));
+}
