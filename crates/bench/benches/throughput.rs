@@ -1,98 +1,194 @@
-//! Criterion benchmarks: throughput of the generator, the emulator, the
-//! simulated compiler pipeline, the EMI pruner and the differential harness.
+//! Throughput benchmarks (dependency-free, `harness = false`): generator and
+//! emulator hot paths, plus the headline measurement for the parallel
+//! campaign engine — how mode-campaign wall-clock scales with worker count,
+//! together with a byte-identity check of the rendered table at 1 vs 8
+//! workers.
 //!
-//! These are performance benchmarks (the tables/figures of the paper are
-//! regenerated by the binaries in `src/bin/`); they also serve as ablation
-//! measurements for the design choices listed in DESIGN.md (per-mode
-//! generation cost, race-detection overhead, voting cost).
+//! Run with `cargo bench -p bench` (add `-- --quick` for a faster pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
 use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
+use fuzz_harness::{
+    render_campaign_table, run_mode_campaign_with, CampaignOptions, Job, Scheduler,
+};
 use opencl_sim::{configuration, execute, ExecOptions, OptLevel};
 
 fn small_opts(mode: GenMode, seed: u64) -> GeneratorOptions {
-    GeneratorOptions { min_threads: 16, max_threads: 48, ..GeneratorOptions::new(mode, seed) }
-}
-
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generation");
-    group.sample_size(20);
-    for mode in GenMode::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &mode, |b, &mode| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                generate(&small_opts(mode, seed))
-            });
-        });
+    GeneratorOptions {
+        min_threads: 16,
+        max_threads: 48,
+        ..GeneratorOptions::new(mode, seed)
     }
-    group.finish();
 }
 
-fn bench_emulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("emulation");
-    group.sample_size(15);
+/// Times `iters` runs of `f` and returns the mean per-iteration duration.
+fn time<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters.max(1) as u32
+}
+
+fn bench_generation(iters: usize) {
+    println!("generation (mean over {iters} kernels per mode)");
+    for mode in GenMode::ALL {
+        let mut seed = 0u64;
+        let per = time(iters, || {
+            seed += 1;
+            std::hint::black_box(generate(&small_opts(mode, seed)));
+        });
+        println!("  {:<18} {:>10.1?}/kernel", mode.name(), per);
+    }
+}
+
+fn bench_emulation(iters: usize) {
+    println!("emulation (mean over {iters} runs)");
     for (label, detect_races) in [("plain", false), ("race-detect", true)] {
         let program = generate(&small_opts(GenMode::All, 7));
-        group.bench_function(label, |b| {
-            b.iter(|| {
+        let per = time(iters, || {
+            std::hint::black_box(
                 clc_interp::launch(
                     &program,
-                    &clc_interp::LaunchOptions { detect_races, ..clc_interp::LaunchOptions::default() },
+                    &clc_interp::LaunchOptions {
+                        detect_races,
+                        ..clc_interp::LaunchOptions::default()
+                    },
                 )
-                .unwrap()
-            });
+                .unwrap(),
+            );
         });
+        println!("  {label:<18} {per:>10.1?}/run");
     }
-    group.finish();
 }
 
-fn bench_simulated_compile_and_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated-platform");
-    group.sample_size(15);
+fn bench_simulated_platform(iters: usize) {
+    println!("simulated platform (compile+run, mean over {iters} runs)");
     let program = generate(&small_opts(GenMode::Barrier, 3));
     for id in [1usize, 12, 19] {
         let config = configuration(id);
-        group.bench_with_input(BenchmarkId::from_parameter(id), &config, |b, config| {
-            b.iter(|| execute(&program, config, OptLevel::Enabled, &ExecOptions::default()));
+        let per = time(iters, || {
+            std::hint::black_box(execute(
+                &program,
+                &config,
+                OptLevel::Enabled,
+                &ExecOptions::default(),
+            ));
         });
+        println!("  config {id:<11} {per:>10.1?}/run");
     }
-    group.finish();
 }
 
-fn bench_emi_pruning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("emi-pruning");
-    group.sample_size(30);
+fn bench_emi_pruning(iters: usize) {
+    println!("emi pruning (mean over {iters} variants)");
     let base = generate(&small_opts(GenMode::All, 11).with_emi());
     let probs = PruneProbabilities::new(0.3, 0.3, 0.3).unwrap();
-    group.bench_function("prune-variant", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            prune_variant(&base, &probs, seed)
-        });
+    let mut seed = 0u64;
+    let per = time(iters, || {
+        seed += 1;
+        std::hint::black_box(prune_variant(&base, &probs, seed));
     });
-    group.finish();
+    println!("  prune-variant      {per:>10.1?}/variant");
 }
 
-fn bench_differential_vote(c: &mut Criterion) {
-    let mut group = c.benchmark_group("differential");
-    group.sample_size(10);
-    let program = generate(&small_opts(GenMode::Basic, 21));
-    let configs = vec![configuration(1), configuration(9), configuration(19)];
-    let targets = fuzz_harness::targets_for(&configs);
-    group.bench_function("vote-6-targets", |b| {
-        b.iter(|| fuzz_harness::differential_test(&program, &targets, &ExecOptions::default()));
-    });
-    group.finish();
+/// The campaign-engine scaling measurement: the same fixed-seed mode campaign
+/// at 1, 2, 4 and 8 workers.  Prints wall-clock and speedup per worker count
+/// and asserts that the rendered table is byte-identical at 1 and 8 workers.
+fn bench_campaign_scaling(kernels: usize) {
+    let configs = vec![
+        configuration(1),
+        configuration(9),
+        configuration(14),
+        configuration(19),
+    ];
+    let options = CampaignOptions {
+        kernels,
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..GeneratorOptions::default()
+        },
+        exec: ExecOptions::default(),
+        seed_offset: 0xBEEF,
+    };
+    println!("campaign scaling (BARRIER mode, {kernels} kernels, 8 targets)");
+    let mut baseline: Option<Duration> = None;
+    let mut tables: Vec<(usize, String)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let scheduler = Scheduler::new(workers);
+        let start = Instant::now();
+        let result = run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options);
+        let elapsed = start.elapsed();
+        let speedup = baseline
+            .map(|b| b.as_secs_f64() / elapsed.as_secs_f64())
+            .unwrap_or(1.0);
+        baseline.get_or_insert(elapsed);
+        println!("  {workers} worker(s)        {elapsed:>10.1?}   speedup ×{speedup:.2}");
+        tables.push((workers, render_campaign_table(&result)));
+    }
+    let one = &tables.iter().find(|(w, _)| *w == 1).unwrap().1;
+    let eight = &tables.iter().find(|(w, _)| *w == 8).unwrap().1;
+    assert_eq!(one, eight, "tables diverged between 1 and 8 workers");
+    println!(
+        "  tables at 1 and 8 workers: byte-identical ({} bytes)",
+        one.len()
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_generation,
-    bench_emulation,
-    bench_simulated_compile_and_run,
-    bench_emi_pruning,
-    bench_differential_vote
-);
-criterion_main!(benches);
+/// A fixed-latency job, standing in for campaign work whose cost is
+/// wall-clock rather than CPU (e.g. driving a real OpenCL device, where the
+/// harness waits on the GPU).
+struct LatencyJob(Duration);
+
+impl Job for LatencyJob {
+    type Output = ();
+    fn run(self) {
+        std::thread::sleep(self.0);
+    }
+}
+
+/// Demonstrates that the scheduler genuinely overlaps job execution: 16
+/// fixed-latency jobs at 4 workers must finish at least twice as fast as at
+/// 1 worker.  Unlike [`bench_campaign_scaling`] this holds on any machine —
+/// including single-core CI boxes, where a CPU-bound campaign cannot
+/// physically speed up no matter how it is scheduled.
+fn bench_scheduler_overlap() {
+    println!("scheduler overlap (16 jobs × 25ms latency)");
+    let jobs = || {
+        (0..16)
+            .map(|_| LatencyJob(Duration::from_millis(25)))
+            .collect::<Vec<_>>()
+    };
+    let mut baseline: Option<Duration> = None;
+    for workers in [1usize, 4] {
+        let scheduler = Scheduler::new(workers);
+        let start = Instant::now();
+        scheduler.run_all(jobs());
+        let elapsed = start.elapsed();
+        let speedup = baseline
+            .map(|b| b.as_secs_f64() / elapsed.as_secs_f64())
+            .unwrap_or(1.0);
+        baseline.get_or_insert(elapsed);
+        println!("  {workers} worker(s)        {elapsed:>10.1?}   speedup ×{speedup:.2}");
+        if workers == 4 {
+            assert!(
+                speedup >= 2.0,
+                "4 workers should overlap latency at least 2x (got ×{speedup:.2})"
+            );
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (iters, campaign_kernels) = if quick { (5, 16) } else { (20, 48) };
+    bench_generation(iters);
+    bench_emulation(iters);
+    bench_simulated_platform(iters);
+    bench_emi_pruning(iters.max(30));
+    bench_scheduler_overlap();
+    // CPU-bound scaling: speedup tracks the machine's core count (×1.0 on a
+    // single-core box); the byte-identity assertion holds everywhere.
+    bench_campaign_scaling(campaign_kernels);
+}

@@ -2,7 +2,9 @@
 //! outputs, and what each affected simulated configuration actually does.
 
 use fuzz_harness::render_table;
-use opencl_sim::{all_figures, configuration, execute, reference_execute, ExecOptions, TestOutcome};
+use opencl_sim::{
+    all_figures, configuration, execute, reference_execute, ExecOptions, TestOutcome,
+};
 
 fn describe(outcome: &TestOutcome) -> String {
     match outcome {
@@ -22,10 +24,17 @@ fn describe(outcome: &TestOutcome) -> String {
 
 fn main() {
     let exec = ExecOptions::default();
-    let headers: Vec<String> = ["Figure", "Kernel", "Expected", "Configuration", "Observed", "Paper's observation"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Figure",
+        "Kernel",
+        "Expected",
+        "Configuration",
+        "Observed",
+        "Paper's observation",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for fig in all_figures() {
         let reference = reference_execute(&fig.program, &exec);

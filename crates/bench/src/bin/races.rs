@@ -7,20 +7,49 @@ use fuzz_harness::render_table;
 use parboil_rodinia::all_benchmarks;
 
 fn main() {
-    let headers: Vec<String> = ["Benchmark", "Race detected", "Schedule-dependent result", "Paper"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Benchmark",
+        "Race detected",
+        "Schedule-dependent result",
+        "Paper",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for b in all_benchmarks() {
-        let raced = launch(&b.program, &LaunchOptions { detect_races: true, ..LaunchOptions::default() }).unwrap();
+        let raced = launch(
+            &b.program,
+            &LaunchOptions {
+                detect_races: true,
+                ..LaunchOptions::default()
+            },
+        )
+        .unwrap();
         let forward = launch(&b.program, &LaunchOptions::default()).unwrap();
-        let reverse = launch(&b.program, &LaunchOptions { schedule: Schedule::Reverse, ..LaunchOptions::default() }).unwrap();
+        let reverse = launch(
+            &b.program,
+            &LaunchOptions {
+                schedule: Schedule::Reverse,
+                ..LaunchOptions::default()
+            },
+        )
+        .unwrap();
         rows.push(vec![
             b.name.to_string(),
             if raced.race.is_some() { "yes" } else { "no" }.to_string(),
-            if forward.result_string != reverse.result_string { "yes" } else { "no" }.to_string(),
-            if b.has_known_race { "race reported by the paper" } else { "-" }.to_string(),
+            if forward.result_string != reverse.result_string {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+            if b.has_known_race {
+                "race reported by the paper"
+            } else {
+                "-"
+            }
+            .to_string(),
         ]);
     }
     println!("Data races in the benchmark miniatures (§2.4)\n");

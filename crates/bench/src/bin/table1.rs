@@ -2,28 +2,40 @@
 //! against the §7.1 reliability threshold (25 % failures over the initial
 //! kernel set).
 //!
-//! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode]`
+//! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode] [--threads N]`
 //! (the paper uses 100 per mode; the default here is 8 so the emulated run
 //! finishes quickly).
 
 use clsmith::GeneratorOptions;
-use fuzz_harness::{classify_configurations, render_table, CampaignOptions};
+use fuzz_harness::{classify_configurations_with, render_table, CampaignOptions};
 
 fn main() {
-    let kernels_per_mode: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let (args, scheduler) = bench::cli_scheduler();
+    let kernels_per_mode: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
     let configs = opencl_sim::all_configurations();
     let options = CampaignOptions {
-        generator: GeneratorOptions { min_threads: 16, max_threads: 64, ..GeneratorOptions::default() },
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 64,
+            ..GeneratorOptions::default()
+        },
         ..CampaignOptions::default()
     };
-    let rows = classify_configurations(&configs, kernels_per_mode, &options);
-    let headers: Vec<String> = ["Conf.", "SDK", "Device", "Driver/compiler", "OpenCL", "Device type", "Failure %", "Above threshold?", "Paper"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let rows = classify_configurations_with(&scheduler, &configs, kernels_per_mode, &options);
+    let headers: Vec<String> = [
+        "Conf.",
+        "SDK",
+        "Device",
+        "Driver/compiler",
+        "OpenCL",
+        "Device type",
+        "Failure %",
+        "Above threshold?",
+        "Paper",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut table = Vec::new();
     let mut agreements = 0usize;
     for row in &rows {
@@ -40,11 +52,23 @@ fn main() {
             row.config.device_type.name().to_string(),
             format!("{:.1}", row.failure_fraction * 100.0),
             if row.above_threshold { "yes" } else { "no" }.to_string(),
-            if row.config.expected_above_threshold { "yes" } else { "no" }.to_string(),
+            if row.config.expected_above_threshold {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     println!("Table 1 — configurations and reliability classification");
-    println!("({kernels_per_mode} kernels per mode, {} total per configuration)\n", kernels_per_mode * 6);
+    println!("({} scheduler worker(s))", scheduler.threads());
+    println!(
+        "({kernels_per_mode} kernels per mode, {} total per configuration)\n",
+        kernels_per_mode * 6
+    );
     print!("{}", render_table(&headers, &table));
-    println!("\nClassification agrees with the paper for {agreements}/{} configurations.", rows.len());
+    println!(
+        "\nClassification agrees with the paper for {agreements}/{} configurations.",
+        rows.len()
+    );
 }

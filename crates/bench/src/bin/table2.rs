@@ -5,11 +5,19 @@ use fuzz_harness::render_table;
 use parboil_rodinia::all_benchmarks;
 
 fn main() {
-    let headers: Vec<String> =
-        ["Suite", "Benchmark", "Description", "Kernels (orig.)", "LoC (orig.)", "Uses FP (orig.)", "Miniature stmts", "Known race"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let headers: Vec<String> = [
+        "Suite",
+        "Benchmark",
+        "Description",
+        "Kernels (orig.)",
+        "LoC (orig.)",
+        "Uses FP (orig.)",
+        "Miniature stmts",
+        "Known race",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for b in all_benchmarks() {
         rows.push(vec![

@@ -1,19 +1,17 @@
 //! Reproduces Table 3: EMI testing of the Parboil/Rodinia miniatures across
 //! the configurations (spmv and myocyte excluded because of their races).
 //!
-//! Usage: `cargo run --release -p bench --bin table3 -- [emi-bodies]`
+//! Usage: `cargo run --release -p bench --bin table3 -- [emi-bodies] [--threads N]`
 //! (number of EMI block bodies per benchmark; the paper uses 125).
 
 use clsmith::{generate, GenMode, GeneratorOptions};
-use fuzz_harness::{evaluate_benchmark, render_table, EmiBenchmark};
+use fuzz_harness::{evaluate_benchmark_with, render_table, EmiBenchmark};
 use opencl_sim::ExecOptions;
 use parboil_rodinia::table3_benchmarks;
 
 fn main() {
-    let bodies_per_benchmark: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let (args, scheduler) = bench::cli_scheduler();
+    let bodies_per_benchmark: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
     let configs = opencl_sim::all_configurations();
     let exec = ExecOptions::default();
     let headers: Vec<String> = std::iter::once("Benchmark".to_string())
@@ -25,8 +23,12 @@ fn main() {
         let bodies: Vec<clc::Block> = (0..bodies_per_benchmark)
             .map(|i| {
                 let donor = generate(
-                    &GeneratorOptions { min_threads: 16, max_threads: 32, ..GeneratorOptions::new(GenMode::Basic, 900 + i as u64) }
-                        .with_emi(),
+                    &GeneratorOptions {
+                        min_threads: 16,
+                        max_threads: 32,
+                        ..GeneratorOptions::new(GenMode::Basic, 900 + i as u64)
+                    }
+                    .with_emi(),
                 );
                 donor
                     .emi_blocks()
@@ -43,13 +45,15 @@ fn main() {
         };
         let mut row = vec![bench.name.to_string()];
         for config in &configs {
-            let cell = evaluate_benchmark(&emi_bench, config, &exec);
+            let cell = evaluate_benchmark_with(&scheduler, &emi_bench, config, &exec);
             row.push(cell.render());
         }
         rows.push(row);
     }
     println!("Table 3 — EMI testing over the Parboil/Rodinia miniatures");
     println!("(letters: w = wrong code, c = crash/build failure, to = timeout, ng = cannot run benchmark, ok = no mismatch;");
-    println!(" superscripts: e = needs substitutions, d = needs substitutions disabled, ? = either)\n");
+    println!(
+        " superscripts: e = needs substitutions, d = needs substitutions disabled, ? = either)\n"
+    );
     print!("{}", render_table(&headers, &rows));
 }

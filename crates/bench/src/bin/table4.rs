@@ -2,60 +2,35 @@
 //! configurations, with w / bf / c / to / ok counts and the wrong-code
 //! percentage per (configuration, optimisation level).
 //!
-//! Usage: `cargo run --release -p bench --bin table4 -- [kernels-per-mode]`
+//! Usage: `cargo run --release -p bench --bin table4 -- [kernels-per-mode] [--threads N]`
 //! (the paper uses 10 000 per mode; default here is 20).
 
 use clsmith::{GenMode, GeneratorOptions};
-use fuzz_harness::{percent, render_table, run_mode_campaign, CampaignOptions};
+use fuzz_harness::{render_campaign_table, run_mode_campaign_with, CampaignOptions};
 
 fn main() {
-    let kernels: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let (args, scheduler) = bench::cli_scheduler();
+    let kernels: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20);
     let configs = opencl_sim::above_threshold_configurations();
     let options = CampaignOptions {
         kernels,
-        generator: GeneratorOptions { min_threads: 16, max_threads: 64, ..GeneratorOptions::default() },
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 64,
+            ..GeneratorOptions::default()
+        },
         ..CampaignOptions::default()
     };
     println!("Table 4 — CLsmith campaigns over the above-threshold configurations");
-    println!("({kernels} kernels per mode; the paper uses 10 000)\n");
+    println!(
+        "({} kernels per mode over {} worker(s); the paper uses 10 000)\n",
+        kernels,
+        scheduler.threads()
+    );
     for mode in GenMode::ALL {
-        let result = run_mode_campaign(mode, &configs, &options);
-        let headers: Vec<String> = std::iter::once("".to_string())
-            .chain(result.targets.iter().map(|t| t.label()))
-            .chain(std::iter::once("Total".to_string()))
-            .collect();
-        let mut rows = Vec::new();
-        for (key, pick) in [
-            ("w", 0usize),
-            ("bf", 1),
-            ("c", 2),
-            ("to", 3),
-            ("ok", 4),
-        ] {
-            let mut row = vec![key.to_string()];
-            let mut total = 0usize;
-            for stat in &result.stats {
-                let value = match pick {
-                    0 => stat.wrong,
-                    1 => stat.build_failures,
-                    2 => stat.crashes,
-                    3 => stat.timeouts,
-                    _ => stat.ok,
-                };
-                total += value;
-                row.push(value.to_string());
-            }
-            row.push(total.to_string());
-            rows.push(row);
-        }
-        let mut wpct = vec!["w%".to_string()];
-        for stat in &result.stats {
-            wpct.push(percent(stat.wrong_code_percentage()));
-        }
-        wpct.push(percent(result.total_wrong_code_percentage()));
-        rows.push(wpct);
+        let result = run_mode_campaign_with(&scheduler, mode, &configs, &options);
         println!("{} ({} kernels)", mode.name(), result.kernels);
-        print!("{}", render_table(&headers, &rows));
+        print!("{}", render_campaign_table(&result));
         println!();
     }
 }

@@ -1,50 +1,36 @@
 //! Reproduces Table 5: CLsmith+EMI testing — base programs, their pruning
 //! variants, and per-target base-level outcomes.
 //!
-//! Usage: `cargo run --release -p bench --bin table5 -- [bases] [variants]`
+//! Usage: `cargo run --release -p bench --bin table5 -- [bases] [variants] [--threads N]`
 //! (the paper uses 180 bases and 40 variants; defaults here are 4 and 10).
 
 use clsmith::GeneratorOptions;
-use fuzz_harness::{render_table, run_emi_campaign, CampaignOptions, EmiCampaignOptions};
+use fuzz_harness::{render_emi_table, run_emi_campaign_with, CampaignOptions, EmiCampaignOptions};
 
 fn main() {
-    let bases: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let variants: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let (args, scheduler) = bench::cli_scheduler();
+    let bases: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let variants: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     let configs = opencl_sim::above_threshold_configurations();
     let options = EmiCampaignOptions {
         bases,
         variants_per_base: variants,
         campaign: CampaignOptions {
-            generator: GeneratorOptions { min_threads: 16, max_threads: 64, ..GeneratorOptions::default() },
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 64,
+                ..GeneratorOptions::default()
+            },
             ..CampaignOptions::default()
         },
     };
-    let result = run_emi_campaign(&configs, &options);
+    let result = run_emi_campaign_with(&scheduler, &configs, &options);
     println!("Table 5 — CLsmith+EMI results over the above-threshold configurations");
-    println!("({} live base programs, {} pruning variants each)\n", result.bases, result.variants_per_base);
-    let headers: Vec<String> = std::iter::once("".to_string()).chain(result.labels.iter().cloned()).collect();
-    let mut rows = Vec::new();
-    for (name, pick) in [
-        ("base fails", 0usize),
-        ("w", 1),
-        ("bf", 2),
-        ("c", 3),
-        ("to", 4),
-        ("stable", 5),
-    ] {
-        let mut row = vec![name.to_string()];
-        for stat in &result.stats {
-            let value = match pick {
-                0 => stat.base_fails,
-                1 => stat.wrong,
-                2 => stat.build_failures,
-                3 => stat.crashes,
-                4 => stat.timeouts,
-                _ => stat.stable,
-            };
-            row.push(value.to_string());
-        }
-        rows.push(row);
-    }
-    print!("{}", render_table(&headers, &rows));
+    println!(
+        "({} live base programs, {} pruning variants each, {} worker(s))\n",
+        result.bases,
+        result.variants_per_base,
+        scheduler.threads()
+    );
+    print!("{}", render_emi_table(&result));
 }

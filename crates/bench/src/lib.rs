@@ -2,5 +2,47 @@
 //!
 //! The binaries in `src/bin/` regenerate every table and figure of the
 //! paper's evaluation (see DESIGN.md for the per-experiment index); the
-//! Criterion benchmarks in `benches/` measure the throughput of the
-//! generator, the emulator and the simulated compiler pipeline.
+//! benchmark in `benches/throughput.rs` measures generator/emulator/campaign
+//! throughput, including how campaign wall-clock scales with the worker
+//! count of the `fuzz_harness::exec` scheduler.
+//!
+//! Every table binary accepts `--threads N` to pin the scheduler's worker
+//! count (default: `FUZZ_THREADS` or the machine's available parallelism).
+//! Thread count never changes the produced tables — only how fast they
+//! appear.
+
+use fuzz_harness::Scheduler;
+
+/// Parses command-line arguments shared by the table binaries: extracts
+/// `--threads N` (or `--threads=N`) and returns the remaining positional
+/// arguments plus the scheduler to run campaigns on.
+pub fn cli_scheduler() -> (Vec<String>, Scheduler) {
+    let mut positional = Vec::new();
+    let mut threads: Option<usize> = None;
+    let parse = |value: Option<String>| -> usize {
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!(
+                    "error: --threads requires a non-negative integer, got {:?}",
+                    value.as_deref().unwrap_or("nothing")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = Some(parse(args.next()));
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            threads = Some(parse(Some(value.to_string())));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let scheduler = threads
+        .map(Scheduler::new)
+        .unwrap_or_else(Scheduler::from_env);
+    (positional, scheduler)
+}

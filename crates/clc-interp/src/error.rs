@@ -93,7 +93,11 @@ impl fmt::Display for RuntimeError {
                 r.offset,
                 r.first_thread,
                 r.second_thread,
-                if r.same_group { "same group" } else { "different groups" }
+                if r.same_group {
+                    "same group"
+                } else {
+                    "different groups"
+                }
             ),
             RuntimeError::UninitializedRead { object } => {
                 write!(f, "read of uninitialised memory in `{object}`")

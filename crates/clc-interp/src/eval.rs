@@ -89,7 +89,9 @@ pub struct Env {
 impl Env {
     /// An environment with a single (outermost) scope.
     pub fn new() -> Env {
-        Env { scopes: vec![Scope::default()] }
+        Env {
+            scopes: vec![Scope::default()],
+        }
     }
 
     /// Pushes a nested scope.
@@ -135,7 +137,10 @@ impl Env {
 
     /// Resolves a name, innermost scope first.
     pub fn lookup(&self, name: &str) -> Option<ObjId> {
-        self.scopes.iter().rev().find_map(|s| s.vars.get(name).copied())
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.vars.get(name).copied())
     }
 }
 
@@ -192,7 +197,9 @@ impl<'a, 'p> Ctx<'a, 'p> {
     fn bump(&mut self, n: u64) -> Result<(), RuntimeError> {
         *self.steps += n;
         if *self.steps > self.step_limit {
-            Err(RuntimeError::StepLimitExceeded { limit: self.step_limit })
+            Err(RuntimeError::StepLimitExceeded {
+                limit: self.step_limit,
+            })
         } else {
             Ok(())
         }
@@ -206,7 +213,14 @@ impl<'a, 'p> Ctx<'a, 'p> {
             let thread = self.ids.linear_global();
             let group = self.ids.linear_group();
             for i in 0..cells.max(1) {
-                races.record(place.obj, place.offset + i, thread, group, self.ids.interval, kind);
+                races.record(
+                    place.obj,
+                    place.offset + i,
+                    thread,
+                    group,
+                    self.ids.interval,
+                    kind,
+                );
             }
         }
     }
@@ -261,8 +275,10 @@ pub fn eval_expr(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Va
                     let selected: Result<Vec<u64>, RuntimeError> = lanes
                         .iter()
                         .map(|&l| {
-                            data.get(l as usize).copied().ok_or_else(|| RuntimeError::TypeMismatch {
-                                detail: format!("swizzle lane {l} out of range"),
+                            data.get(l as usize).copied().ok_or_else(|| {
+                                RuntimeError::TypeMismatch {
+                                    detail: format!("swizzle lane {l} out of range"),
+                                }
                             })
                         })
                         .collect();
@@ -318,7 +334,11 @@ pub fn eval_expr(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Va
             store_place(ctx, &place, new_value.clone())?;
             Ok(new_value)
         }
-        Expr::Cond { cond, then_expr, else_expr } => {
+        Expr::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             let c = eval_expr(ctx, env, cond)?;
             let taken = c.is_true().ok_or_else(|| RuntimeError::TypeMismatch {
                 detail: "conditional guard is not scalar".into(),
@@ -356,23 +376,39 @@ pub fn eval_expr(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Va
 }
 
 /// Resolves an lvalue expression to a storage location.
-pub fn eval_place(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Place, RuntimeError> {
+pub fn eval_place(
+    ctx: &mut Ctx<'_, '_>,
+    env: &mut Env,
+    expr: &Expr,
+) -> Result<Place, RuntimeError> {
     ctx.bump(1)?;
     match expr {
         Expr::Var(name) => {
             let obj = lookup_var(ctx, env, name)?;
             let object = ctx.memory.object(obj)?;
-            Ok(Place { obj, offset: 0, ty: object.ty.clone(), space: object.space })
+            Ok(Place {
+                obj,
+                offset: 0,
+                ty: object.ty.clone(),
+                space: object.space,
+            })
         }
         Expr::Deref(inner) => {
             let ptr = eval_pointer(ctx, env, inner)?;
-            Ok(Place { obj: ptr.obj, offset: ptr.offset, ty: ptr.pointee, space: ptr.space })
+            Ok(Place {
+                obj: ptr.obj,
+                offset: ptr.offset,
+                ty: ptr.pointee,
+                space: ptr.space,
+            })
         }
         Expr::Index { base, index } => {
             let idx_value = eval_expr(ctx, env, index)?;
             let idx = idx_value
                 .as_scalar()
-                .ok_or_else(|| RuntimeError::TypeMismatch { detail: "index is not scalar".into() })?
+                .ok_or_else(|| RuntimeError::TypeMismatch {
+                    detail: "index is not scalar".into(),
+                })?
                 .as_i64();
             let base_place = resolve_indexable(ctx, env, base)?;
             let (elem_ty, stride_base) = match &base_place.ty {
@@ -402,7 +438,12 @@ pub fn eval_place(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<P
         Expr::Field { base, field, arrow } => {
             let base_place = if *arrow {
                 let ptr = eval_pointer(ctx, env, base)?;
-                Place { obj: ptr.obj, offset: ptr.offset, ty: ptr.pointee, space: ptr.space }
+                Place {
+                    obj: ptr.obj,
+                    offset: ptr.offset,
+                    ty: ptr.pointee,
+                    space: ptr.space,
+                }
             } else {
                 eval_place(ctx, env, base)?
             };
@@ -482,7 +523,12 @@ fn resolve_indexable(
                     })
                 }
             };
-            Ok(Place { obj: ptr.obj, offset: ptr.offset, ty: ptr.pointee, space: ptr.space })
+            Ok(Place {
+                obj: ptr.obj,
+                offset: ptr.offset,
+                ty: ptr.pointee,
+                space: ptr.space,
+            })
         }
         _ => Ok(place),
     }
@@ -507,15 +553,25 @@ pub fn load_place(ctx: &mut Ctx<'_, '_>, place: &Place) -> Result<Value, Runtime
     let cells = place.ty.cell_count(ctx.structs());
     ctx.record_access(place, cells, AccessKind::Read);
     match &place.ty {
-        Type::Scalar(s) => Ok(Value::Scalar(ctx.memory.read_scalar(place.obj, place.offset, *s)?)),
+        Type::Scalar(s) => Ok(Value::Scalar(ctx.memory.read_scalar(
+            place.obj,
+            place.offset,
+            *s,
+        )?)),
         Type::Vector(s, w) => {
             let mut lanes = Vec::with_capacity(w.lanes());
             for i in 0..w.lanes() {
-                lanes.push(ctx.memory.read_scalar(place.obj, place.offset + i, *s)?.bits);
+                lanes.push(
+                    ctx.memory
+                        .read_scalar(place.obj, place.offset + i, *s)?
+                        .bits,
+                );
             }
             Ok(Value::Vector(*s, lanes))
         }
-        Type::Pointer(..) => Ok(Value::Pointer(ctx.memory.read_pointer(place.obj, place.offset)?)),
+        Type::Pointer(..) => Ok(Value::Pointer(
+            ctx.memory.read_pointer(place.obj, place.offset)?,
+        )),
         Type::Array(elem, _) => {
             // Array-to-pointer decay: an array used as a value becomes a
             // pointer to its first element.
@@ -544,7 +600,8 @@ pub fn store_place(ctx: &mut Ctx<'_, '_>, place: &Place, value: Value) -> Result
         (Type::Scalar(s), Value::Pointer(_)) => {
             // Storing a pointer into an integer is unusual but appears in
             // hand-written kernels via casts; store a stable token (0).
-            ctx.memory.write_scalar(place.obj, place.offset, Scalar::zero(*s), *s)
+            ctx.memory
+                .write_scalar(place.obj, place.offset, Scalar::zero(*s), *s)
         }
         (Type::Vector(s, w), Value::Vector(_, lanes)) => {
             if lanes.len() != w.lanes() {
@@ -565,7 +622,8 @@ pub fn store_place(ctx: &mut Ctx<'_, '_>, place: &Place, value: Value) -> Result
         (Type::Vector(s, w), Value::Scalar(v)) => {
             // Broadcast store.
             for i in 0..w.lanes() {
-                ctx.memory.write_scalar(place.obj, place.offset + i, v, *s)?;
+                ctx.memory
+                    .write_scalar(place.obj, place.offset + i, v, *s)?;
             }
             Ok(())
         }
@@ -575,7 +633,8 @@ pub fn store_place(ctx: &mut Ctx<'_, '_>, place: &Place, value: Value) -> Result
         // A scalar zero stored into a pointer location is the C null-pointer
         // constant; dereferencing it later is caught as an invalid access.
         (Type::Pointer(..), Value::Scalar(v)) if v.bits == 0 => {
-            ctx.memory.write_cell(place.obj, place.offset, Cell::Bits(0))
+            ctx.memory
+                .write_cell(place.obj, place.offset, Cell::Bits(0))
         }
         (Type::Struct(_) | Type::Array(..), Value::Aggregate(_, data)) => {
             if data.len() != cells {
@@ -703,7 +762,11 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
                     r.convert(ea).bits
                 });
             }
-            let elem = if op.is_comparison() { ea.to_signed() } else { ea };
+            let elem = if op.is_comparison() {
+                ea.to_signed()
+            } else {
+                ea
+            };
             Ok(Value::Vector(elem, out))
         }
         (Value::Vector(ea, la), Value::Scalar(b)) => {
@@ -715,7 +778,7 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
             value_binop(op, lhs_vec, Value::Vector(eb, lb))
         }
         (Value::Pointer(p), Value::Scalar(s)) if matches!(op, BinOp::Add | BinOp::Sub) => {
-            let stride = 1usize.max(1);
+            let stride = 1;
             let delta = s.as_i64();
             let offset = if op == BinOp::Add {
                 p.offset as i64 + delta * stride as i64
@@ -727,7 +790,10 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
                     detail: "pointer arithmetic below object start".into(),
                 });
             }
-            Ok(Value::Pointer(PointerValue { offset: offset as usize, ..p }))
+            Ok(Value::Pointer(PointerValue {
+                offset: offset as usize,
+                ..p
+            }))
         }
         (Value::Pointer(a), Value::Pointer(b)) if op.is_comparison() => {
             let equal = a.obj == b.obj && a.offset == b.offset;
@@ -946,13 +1012,18 @@ fn scalar_builtin(func: Builtin, args: &[Scalar]) -> Result<Scalar, RuntimeError
         }
         Builtin::SafeLshift | Builtin::SafeRshift => {
             let masked = Scalar::from_i128((arg(1).as_u64() & 31) as i128, ScalarType::Int);
-            let op = if func == Builtin::SafeLshift { BinOp::Shl } else { BinOp::Shr };
+            let op = if func == Builtin::SafeLshift {
+                BinOp::Shl
+            } else {
+                BinOp::Shr
+            };
             scalar_binop(op, arg(0), masked)
         }
         Builtin::SafeUnaryMinus => Ok(scalar_unop(UnOp::Neg, arg(0))),
         Builtin::Clamp | Builtin::SafeClamp => {
             let (x, lo, hi) = (arg(0), arg(1), arg(2));
-            let common = x.ty.usual_arithmetic_conversion(lo.ty.usual_arithmetic_conversion(hi.ty));
+            let common =
+                x.ty.usual_arithmetic_conversion(lo.ty.usual_arithmetic_conversion(hi.ty));
             let cmp = |a: Scalar, b: Scalar| -> std::cmp::Ordering {
                 if common.is_signed() {
                     a.convert(common).as_i64().cmp(&b.convert(common).as_i64())
@@ -998,7 +1069,11 @@ fn scalar_builtin(func: Builtin, args: &[Scalar]) -> Result<Scalar, RuntimeError
             } else {
                 a.convert(common).as_u64() <= b.convert(common).as_u64()
             };
-            let pick_a = if func == Builtin::Min { a_first } else { !a_first };
+            let pick_a = if func == Builtin::Min {
+                a_first
+            } else {
+                !a_first
+            };
             Ok(if pick_a { a } else { b })
         }
         Builtin::Abs => {
@@ -1009,7 +1084,10 @@ fn scalar_builtin(func: Builtin, args: &[Scalar]) -> Result<Scalar, RuntimeError
                 a.ty.to_unsigned(),
             ))
         }
-        _ => Err(RuntimeError::Unsupported(format!("builtin {}", func.name()))),
+        _ => Err(RuntimeError::Unsupported(format!(
+            "builtin {}",
+            func.name()
+        ))),
     }
 }
 
@@ -1044,15 +1122,21 @@ fn eval_atomic(
             })
         }
     };
-    let place = Place { obj: ptr.obj, offset: ptr.offset, ty: Type::Scalar(elem), space: ptr.space };
+    let place = Place {
+        obj: ptr.obj,
+        offset: ptr.offset,
+        ty: Type::Scalar(elem),
+        space: ptr.space,
+    };
     ctx.record_access(&place, 1, AccessKind::Atomic);
     let old = ctx.memory.read_scalar(place.obj, place.offset, elem)?;
-    let operand = |ctx: &mut Ctx<'_, '_>, env: &mut Env, i: usize| -> Result<Scalar, RuntimeError> {
-        let v = eval_expr(ctx, env, &args[i])?;
-        v.as_scalar().ok_or_else(|| RuntimeError::TypeMismatch {
-            detail: "atomic operand is not scalar".into(),
-        })
-    };
+    let operand =
+        |ctx: &mut Ctx<'_, '_>, env: &mut Env, i: usize| -> Result<Scalar, RuntimeError> {
+            let v = eval_expr(ctx, env, &args[i])?;
+            v.as_scalar().ok_or_else(|| RuntimeError::TypeMismatch {
+                detail: "atomic operand is not scalar".into(),
+            })
+        };
     let new = match func {
         Builtin::AtomicInc => scalar_binop(BinOp::Add, old, Scalar::from_i128(1, elem))?,
         Builtin::AtomicDec => scalar_binop(BinOp::Sub, old, Scalar::from_i128(1, elem))?,
@@ -1081,7 +1165,8 @@ fn eval_atomic(
         }
         _ => unreachable!("non-atomic builtin routed to eval_atomic"),
     };
-    ctx.memory.write_scalar(place.obj, place.offset, new, elem)?;
+    ctx.memory
+        .write_scalar(place.obj, place.offset, new, elem)?;
     Ok(Value::Scalar(old.convert(elem)))
 }
 
@@ -1100,7 +1185,11 @@ fn call_function(
         .ok_or_else(|| RuntimeError::UnknownFunction(name.to_string()))?;
     if args.len() != func.params.len() {
         return Err(RuntimeError::TypeMismatch {
-            detail: format!("call to `{name}` with {} args, expected {}", args.len(), func.params.len()),
+            detail: format!(
+                "call to `{name}` with {} args, expected {}",
+                args.len(),
+                func.params.len()
+            ),
         });
     }
     // Evaluate arguments in the caller's environment.
@@ -1120,7 +1209,12 @@ fn call_function(
         );
         callee_env.bind_owned(param.name.clone(), obj);
         let object_ty = ctx.memory.object(obj)?.ty.clone();
-        let place = Place { obj, offset: 0, ty: object_ty, space: AddressSpace::Private };
+        let place = Place {
+            obj,
+            offset: 0,
+            ty: object_ty,
+            space: AddressSpace::Private,
+        };
         store_place(ctx, &place, value)?;
     }
     ctx.call_depth += 1;
@@ -1138,7 +1232,11 @@ fn call_function(
 
 /// Executes a block recursively (used for helper function bodies and for
 /// kernel-body statements that contain no barrier).
-pub fn exec_block(ctx: &mut Ctx<'_, '_>, env: &mut Env, block: &Block) -> Result<Flow, RuntimeError> {
+pub fn exec_block(
+    ctx: &mut Ctx<'_, '_>,
+    env: &mut Env,
+    block: &Block,
+) -> Result<Flow, RuntimeError> {
     env.push_scope();
     let result = exec_block_inner(ctx, env, block);
     env.pop_scope(ctx.memory);
@@ -1171,7 +1269,11 @@ pub fn exec_stmt(ctx: &mut Ctx<'_, '_>, env: &mut Env, stmt: &Stmt) -> Result<Fl
             eval_expr(ctx, env, e)?;
             Ok(Flow::Normal)
         }
-        Stmt::If { cond, then_block, else_block } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             let c = eval_expr(ctx, env, cond)?;
             let taken = c.is_true().ok_or_else(|| RuntimeError::TypeMismatch {
                 detail: "if condition is not scalar".into(),
@@ -1184,7 +1286,12 @@ pub fn exec_stmt(ctx: &mut Ctx<'_, '_>, env: &mut Env, stmt: &Stmt) -> Result<Fl
                 Ok(Flow::Normal)
             }
         }
-        Stmt::For { init, cond, update, body } => {
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
             env.push_scope();
             let result = (|| -> Result<Flow, RuntimeError> {
                 if let Some(init) = init {
@@ -1265,8 +1372,18 @@ pub fn emi_guard_is_true(
 
 /// Executes a declaration statement, allocating storage and binding the name.
 pub fn declare_var(ctx: &mut Ctx<'_, '_>, env: &mut Env, stmt: &Stmt) -> Result<(), RuntimeError> {
-    let Stmt::Decl { name, ty, space, init, init_list, .. } = stmt else {
-        return Err(RuntimeError::TypeMismatch { detail: "declare_var on non-declaration".into() });
+    let Stmt::Decl {
+        name,
+        ty,
+        space,
+        init,
+        init_list,
+        ..
+    } = stmt
+    else {
+        return Err(RuntimeError::TypeMismatch {
+            detail: "declare_var on non-declaration".into(),
+        });
     };
     match space {
         AddressSpace::Local => {
@@ -1294,16 +1411,27 @@ pub fn declare_var(ctx: &mut Ctx<'_, '_>, env: &mut Env, stmt: &Stmt) -> Result<
             Ok(())
         }
         _ => {
-            let obj = ctx.memory.alloc(name.clone(), ty.clone(), AddressSpace::Private, ctx.structs());
+            let obj = ctx.memory.alloc(
+                name.clone(),
+                ty.clone(),
+                AddressSpace::Private,
+                ctx.structs(),
+            );
             env.bind_owned(name.clone(), obj);
             if let Some(e) = init {
                 let v = eval_expr(ctx, env, e)?;
-                let place = Place { obj, offset: 0, ty: ty.clone(), space: AddressSpace::Private };
+                let place = Place {
+                    obj,
+                    offset: 0,
+                    ty: ty.clone(),
+                    space: AddressSpace::Private,
+                };
                 store_place(ctx, &place, v)?;
             } else if let Some(list) = init_list {
                 // Brace initialisation zero-fills unspecified members.
                 let cells = ty.cell_count(ctx.structs());
-                ctx.memory.write_cells(obj, 0, &vec![Cell::Bits(0); cells])?;
+                ctx.memory
+                    .write_cells(obj, 0, &vec![Cell::Bits(0); cells])?;
                 apply_initializer(ctx, env, obj, 0, ty, list)?;
             }
             Ok(())
@@ -1322,7 +1450,12 @@ fn apply_initializer(
     match (ty, init) {
         (_, Initializer::Expr(e)) => {
             let v = eval_expr(ctx, env, e)?;
-            let place = Place { obj, offset, ty: ty.clone(), space: AddressSpace::Private };
+            let place = Place {
+                obj,
+                offset,
+                ty: ty.clone(),
+                space: AddressSpace::Private,
+            };
             store_place(ctx, &place, v)
         }
         (Type::Array(elem, len), Initializer::List(items)) => {
@@ -1480,9 +1613,19 @@ mod tests {
         let mut h = Harness::new(empty_program());
         let mut env = Env::new();
         let raw = Expr::binary(BinOp::Div, Expr::int(5), Expr::int(0));
-        assert!(matches!(h.eval(&mut env, &raw), Err(RuntimeError::DivisionByZero)));
+        assert!(matches!(
+            h.eval(&mut env, &raw),
+            Err(RuntimeError::DivisionByZero)
+        ));
         let safe = Expr::builtin(Builtin::SafeDiv, vec![Expr::int(5), Expr::int(0)]);
-        assert_eq!(h.eval(&mut env, &safe).unwrap().as_scalar().unwrap().as_i64(), 5);
+        assert_eq!(
+            h.eval(&mut env, &safe)
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_i64(),
+            5
+        );
     }
 
     #[test]
@@ -1497,18 +1640,27 @@ mod tests {
                     Expr::VectorLit {
                         elem: ScalarType::UInt,
                         width: clc::VectorWidth::W2,
-                        parts: vec![Expr::lit(1, ScalarType::UInt), Expr::lit(1, ScalarType::UInt)],
+                        parts: vec![
+                            Expr::lit(1, ScalarType::UInt),
+                            Expr::lit(1, ScalarType::UInt),
+                        ],
                     },
                     Expr::VectorLit {
                         elem: ScalarType::UInt,
                         width: clc::VectorWidth::W2,
-                        parts: vec![Expr::lit(0, ScalarType::UInt), Expr::lit(0, ScalarType::UInt)],
+                        parts: vec![
+                            Expr::lit(0, ScalarType::UInt),
+                            Expr::lit(0, ScalarType::UInt),
+                        ],
                     },
                 ],
             ),
             0,
         );
-        assert_eq!(h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_u64(), 1);
+        assert_eq!(
+            h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_u64(),
+            1
+        );
     }
 
     #[test]
@@ -1517,9 +1669,15 @@ mod tests {
         let mut env = Env::new();
         let e = Expr::builtin(
             Builtin::Rotate,
-            vec![Expr::lit(0x8000_0001, ScalarType::UInt), Expr::lit(1, ScalarType::UInt)],
+            vec![
+                Expr::lit(0x8000_0001, ScalarType::UInt),
+                Expr::lit(1, ScalarType::UInt),
+            ],
         );
-        assert_eq!(h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_u64(), 3);
+        assert_eq!(
+            h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_u64(),
+            3
+        );
     }
 
     #[test]
@@ -1527,20 +1685,34 @@ mod tests {
         let mut h = Harness::new(empty_program());
         let mut env = Env::new();
         let e = Expr::comma(Expr::int(5), Expr::int(9));
-        assert_eq!(h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_i64(), 9);
+        assert_eq!(
+            h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_i64(),
+            9
+        );
     }
 
     #[test]
     fn declarations_assignments_and_loops() {
         let mut h = Harness::new(empty_program());
         let mut env = Env::new();
-        h.exec(&mut env, &Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))))
-            .unwrap();
+        h.exec(
+            &mut env,
+            &Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))),
+        )
+        .unwrap();
         // for (int i = 0; i < 10; i += 1) x = x + i;
         let loop_stmt = Stmt::For {
-            init: Some(Box::new(Stmt::decl("i", Type::Scalar(ScalarType::Int), Some(Expr::int(0))))),
+            init: Some(Box::new(Stmt::decl(
+                "i",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::int(0)),
+            ))),
             cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(10))),
-            update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("i"), Expr::int(1))),
+            update: Some(Expr::assign_op(
+                AssignOp::AddAssign,
+                Expr::var("i"),
+                Expr::int(1),
+            )),
             body: Block::of(vec![Stmt::assign(
                 Expr::var("x"),
                 Expr::binary(BinOp::Add, Expr::var("x"), Expr::var("i")),
@@ -1572,9 +1744,11 @@ mod tests {
             ),
         )
         .unwrap();
-        h.exec(&mut env, &Stmt::decl("t", Type::Struct(sid), None)).unwrap();
+        h.exec(&mut env, &Stmt::decl("t", Type::Struct(sid), None))
+            .unwrap();
         // t = s; then read t.y through a pointer.
-        h.exec(&mut env, &Stmt::assign(Expr::var("t"), Expr::var("s"))).unwrap();
+        h.exec(&mut env, &Stmt::assign(Expr::var("t"), Expr::var("s")))
+            .unwrap();
         h.exec(
             &mut env,
             &Stmt::decl(
@@ -1626,8 +1800,14 @@ mod tests {
         program.functions.push(clc::FunctionDef::new(
             "f",
             None,
-            vec![clc::Param::new("p", Type::Struct(sid).pointer_to(AddressSpace::Private))],
-            Block::of(vec![Stmt::assign(Expr::arrow(Expr::var("p"), "x"), Expr::int(2))]),
+            vec![clc::Param::new(
+                "p",
+                Type::Struct(sid).pointer_to(AddressSpace::Private),
+            )],
+            Block::of(vec![Stmt::assign(
+                Expr::arrow(Expr::var("p"), "x"),
+                Expr::int(2),
+            )]),
         ));
         let mut h = Harness::new(program);
         let mut env = Env::new();
@@ -1663,16 +1843,26 @@ mod tests {
     fn step_limit_catches_infinite_loops() {
         let mut h = Harness::new(empty_program());
         let mut env = Env::new();
-        let inf = Stmt::While { cond: Expr::int(1), body: Block::new() };
+        let inf = Stmt::While {
+            cond: Expr::int(1),
+            body: Block::new(),
+        };
         let result = h.exec(&mut env, &inf);
-        assert!(matches!(result, Err(RuntimeError::StepLimitExceeded { .. })));
+        assert!(matches!(
+            result,
+            Err(RuntimeError::StepLimitExceeded { .. })
+        ));
     }
 
     #[test]
     fn uninitialised_reads_are_flagged() {
         let mut h = Harness::new(empty_program());
         let mut env = Env::new();
-        h.exec(&mut env, &Stmt::decl("x", Type::Scalar(ScalarType::Int), None)).unwrap();
+        h.exec(
+            &mut env,
+            &Stmt::decl("x", Type::Scalar(ScalarType::Int), None),
+        )
+        .unwrap();
         assert!(matches!(
             h.eval(&mut env, &Expr::var("x")),
             Err(RuntimeError::UninitializedRead { .. })
@@ -1689,7 +1879,10 @@ mod tests {
             Expr::int(0),
             Expr::binary(BinOp::Div, Expr::int(1), Expr::int(0)),
         );
-        assert_eq!(h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_i64(), 0);
+        assert_eq!(
+            h.eval(&mut env, &e).unwrap().as_scalar().unwrap().as_i64(),
+            0
+        );
     }
 
     #[test]
@@ -1717,8 +1910,11 @@ mod tests {
             })],
         );
         env.bind("dead", param_obj);
-        h.exec(&mut env, &Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))))
-            .unwrap();
+        h.exec(
+            &mut env,
+            &Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))),
+        )
+        .unwrap();
         let emi = Stmt::Emi(clc::EmiBlock {
             index: 0,
             guard: (3, 1),
@@ -1726,7 +1922,14 @@ mod tests {
         });
         h.exec(&mut env, &emi).unwrap();
         // Guard dead[3] < dead[1] is false, so x stays 0.
-        assert_eq!(h.eval(&mut env, &Expr::var("x")).unwrap().as_scalar().unwrap().as_i64(), 0);
+        assert_eq!(
+            h.eval(&mut env, &Expr::var("x"))
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_i64(),
+            0
+        );
     }
 
     #[test]
@@ -1735,13 +1938,28 @@ mod tests {
         let mut env = Env::new();
         h.exec(
             &mut env,
-            &Stmt::decl("c", Type::Scalar(ScalarType::UInt), Some(Expr::lit(5, ScalarType::UInt))),
+            &Stmt::decl(
+                "c",
+                Type::Scalar(ScalarType::UInt),
+                Some(Expr::lit(5, ScalarType::UInt)),
+            ),
         )
         .unwrap();
         let inc = Expr::builtin(Builtin::AtomicInc, vec![Expr::addr_of(Expr::var("c"))]);
-        assert_eq!(h.eval(&mut env, &inc).unwrap().as_scalar().unwrap().as_u64(), 5);
         assert_eq!(
-            h.eval(&mut env, &Expr::var("c")).unwrap().as_scalar().unwrap().as_u64(),
+            h.eval(&mut env, &inc)
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_u64(),
+            5
+        );
+        assert_eq!(
+            h.eval(&mut env, &Expr::var("c"))
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_u64(),
             6
         );
         let cmpxchg = Expr::builtin(
@@ -1752,9 +1970,20 @@ mod tests {
                 Expr::lit(42, ScalarType::UInt),
             ],
         );
-        assert_eq!(h.eval(&mut env, &cmpxchg).unwrap().as_scalar().unwrap().as_u64(), 6);
         assert_eq!(
-            h.eval(&mut env, &Expr::var("c")).unwrap().as_scalar().unwrap().as_u64(),
+            h.eval(&mut env, &cmpxchg)
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_u64(),
+            6
+        );
+        assert_eq!(
+            h.eval(&mut env, &Expr::var("c"))
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_u64(),
             42
         );
     }
@@ -1795,11 +2024,33 @@ mod tests {
     fn clamp_ub_and_safe_clamp() {
         let mut h = Harness::new(empty_program());
         let mut env = Env::new();
-        let bad = Expr::builtin(Builtin::Clamp, vec![Expr::int(5), Expr::int(9), Expr::int(1)]);
-        assert!(matches!(h.eval(&mut env, &bad), Err(RuntimeError::InvalidClamp)));
-        let safe = Expr::builtin(Builtin::SafeClamp, vec![Expr::int(5), Expr::int(9), Expr::int(1)]);
-        assert_eq!(h.eval(&mut env, &safe).unwrap().as_scalar().unwrap().as_i64(), 5);
-        let ok = Expr::builtin(Builtin::Clamp, vec![Expr::int(5), Expr::int(0), Expr::int(3)]);
-        assert_eq!(h.eval(&mut env, &ok).unwrap().as_scalar().unwrap().as_i64(), 3);
+        let bad = Expr::builtin(
+            Builtin::Clamp,
+            vec![Expr::int(5), Expr::int(9), Expr::int(1)],
+        );
+        assert!(matches!(
+            h.eval(&mut env, &bad),
+            Err(RuntimeError::InvalidClamp)
+        ));
+        let safe = Expr::builtin(
+            Builtin::SafeClamp,
+            vec![Expr::int(5), Expr::int(9), Expr::int(1)],
+        );
+        assert_eq!(
+            h.eval(&mut env, &safe)
+                .unwrap()
+                .as_scalar()
+                .unwrap()
+                .as_i64(),
+            5
+        );
+        let ok = Expr::builtin(
+            Builtin::Clamp,
+            vec![Expr::int(5), Expr::int(0), Expr::int(3)],
+        );
+        assert_eq!(
+            h.eval(&mut env, &ok).unwrap().as_scalar().unwrap().as_i64(),
+            3
+        );
     }
 }

@@ -101,7 +101,11 @@ pub fn launch(program: &Program, options: &LaunchOptions) -> Result<LaunchResult
         .validate()
         .map_err(|detail| RuntimeError::InvalidAccess { detail })?;
     let mut memory = Memory::new();
-    let mut races = if options.detect_races { Some(RaceDetector::new()) } else { None };
+    let mut races = if options.detect_races {
+        Some(RaceDetector::new())
+    } else {
+        None
+    };
 
     // Allocate buffer objects for pointer parameters.
     let mut buffer_objects: HashMap<String, (ObjId, ScalarType, usize)> = HashMap::new();
@@ -119,7 +123,12 @@ pub fn launch(program: &Program, options: &LaunchOptions) -> Result<LaunchResult
             .map(|&v| Cell::Bits(Scalar::from_i128(v as i128, spec.elem).bits))
             .collect();
         let ty = Type::Scalar(spec.elem).array_of(spec.len);
-        let obj = memory.alloc_with_cells(format!("buf_{}", spec.param), ty, AddressSpace::Global, cells);
+        let obj = memory.alloc_with_cells(
+            format!("buf_{}", spec.param),
+            ty,
+            AddressSpace::Global,
+            cells,
+        );
         if let Some(r) = races.as_mut() {
             r.name_object(obj, &spec.param);
         }
@@ -167,23 +176,23 @@ pub fn launch(program: &Program, options: &LaunchOptions) -> Result<LaunchResult
     }
 
     // Read back the result buffer.
-    let (output, result_string) = match program.result_param() {
-        Some(name) => {
-            let (obj, elem, len) = buffer_objects
-                .get(name)
-                .copied()
-                .ok_or_else(|| RuntimeError::InvalidAccess {
-                    detail: format!("result parameter `{name}` has no buffer"),
+    let (output, result_string) =
+        match program.result_param() {
+            Some(name) => {
+                let (obj, elem, len) = buffer_objects.get(name).copied().ok_or_else(|| {
+                    RuntimeError::InvalidAccess {
+                        detail: format!("result parameter `{name}` has no buffer"),
+                    }
                 })?;
-            let mut values = Vec::with_capacity(len);
-            for i in 0..len {
-                values.push(memory.read_scalar(obj, i, elem)?);
+                let mut values = Vec::with_capacity(len);
+                for i in 0..len {
+                    values.push(memory.read_scalar(obj, i, elem)?);
+                }
+                let rendered: Vec<String> = values.iter().map(|s| s.render()).collect();
+                (values, rendered.join(","))
             }
-            let rendered: Vec<String> = values.iter().map(|s| s.render()).collect();
-            (values, rendered.join(","))
-        }
-        None => (Vec::new(), String::new()),
-    };
+            None => (Vec::new(), String::new()),
+        };
     let result_hash = fnv1a(result_string.as_bytes());
     Ok(LaunchResult {
         output,
@@ -280,14 +289,15 @@ fn run_group<'p>(
                 for param in &program.kernel.params {
                     let obj = match &param.ty {
                         Type::Pointer(inner, space) => {
-                            let (buf, _, _) = buffer_objects.get(&param.name).copied().ok_or_else(
-                                || RuntimeError::InvalidAccess {
-                                    detail: format!(
-                                        "kernel parameter `{}` has no buffer specification",
-                                        param.name
-                                    ),
-                                },
-                            )?;
+                            let (buf, _, _) =
+                                buffer_objects.get(&param.name).copied().ok_or_else(|| {
+                                    RuntimeError::InvalidAccess {
+                                        detail: format!(
+                                            "kernel parameter `{}` has no buffer specification",
+                                            param.name
+                                        ),
+                                    }
+                                })?;
                             memory.alloc_with_cells(
                                 param.name.clone(),
                                 param.ty.clone(),
@@ -301,11 +311,7 @@ fn run_group<'p>(
                             )
                         }
                         other => {
-                            let value = options
-                                .scalar_args
-                                .get(&param.name)
-                                .copied()
-                                .unwrap_or(0);
+                            let value = options.scalar_args.get(&param.name).copied().unwrap_or(0);
                             let elem = other.scalar_elem().unwrap_or(ScalarType::Int);
                             memory.alloc_with_cells(
                                 param.name.clone(),
@@ -341,7 +347,14 @@ fn run_group<'p>(
         let order = schedule_order(options.schedule, n, round);
         for &i in &order {
             if items[i].status == Status::Ready {
-                run_item(program, options, memory, races, &mut group_locals, &mut items[i]);
+                run_item(
+                    program,
+                    options,
+                    memory,
+                    races,
+                    &mut group_locals,
+                    &mut items[i],
+                );
             }
         }
         // Classify.
@@ -369,7 +382,9 @@ fn run_group<'p>(
         if waiting.is_empty() {
             // All remaining are Ready (should not happen: run_item always
             // leaves a non-Ready status) — guard against livelock.
-            return Err(RuntimeError::Unsupported("scheduler made no progress".into()));
+            return Err(RuntimeError::Unsupported(
+                "scheduler made no progress".into(),
+            ));
         }
         if done > 0 {
             return Err(RuntimeError::BarrierDivergence {
@@ -417,7 +432,8 @@ fn schedule_order(schedule: Schedule, n: usize, round: u64) -> Vec<usize> {
         Schedule::Reverse => (0..n).rev().collect(),
         Schedule::Shuffled(seed) => {
             let mut order: Vec<usize> = (0..n).collect();
-            let mut state = seed ^ (round.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ 0x2545_f491_4f6c_dd1d;
+            let mut state =
+                seed ^ (round.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ 0x2545_f491_4f6c_dd1d;
             for i in (1..n).rev() {
                 // xorshift64*
                 state ^= state >> 12;
@@ -471,7 +487,9 @@ fn step_item<'p>(
     if frame.idx >= frame.block.stmts.len() {
         let kind_is_loop = matches!(frame.kind, FrameKind::Loop { .. });
         if kind_is_loop {
-            let FrameKind::Loop { stmt } = frame.kind else { unreachable!() };
+            let FrameKind::Loop { stmt } = frame.kind else {
+                unreachable!()
+            };
             let mut ctx = make_ctx(
                 program,
                 options,
@@ -488,13 +506,17 @@ fn step_item<'p>(
                         eval_expr(&mut ctx, &mut item.env, u)?;
                     }
                     let again = match cond {
-                        Some(c) => eval_expr(&mut ctx, &mut item.env, c)?.is_true().unwrap_or(false),
+                        Some(c) => eval_expr(&mut ctx, &mut item.env, c)?
+                            .is_true()
+                            .unwrap_or(false),
                         None => true,
                     };
                     finish_or_repeat(item, memory, again);
                 }
                 Stmt::While { cond, .. } => {
-                    let again = eval_expr(&mut ctx, &mut item.env, cond)?.is_true().unwrap_or(false);
+                    let again = eval_expr(&mut ctx, &mut item.env, cond)?
+                        .is_true()
+                        .unwrap_or(false);
                     finish_or_repeat(item, memory, again);
                 }
                 _ => unreachable!("loop frame over non-loop statement"),
@@ -541,7 +563,11 @@ fn step_item<'p>(
     // Compound statement containing a barrier: open it up so the barrier
     // becomes visible to the machine.
     match stmt {
-        Stmt::If { cond, then_block, else_block } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             let mut ctx = make_ctx(
                 program,
                 options,
@@ -552,8 +578,14 @@ fn step_item<'p>(
                 &mut item.steps,
                 &mut item.soft_barriers,
             );
-            let taken = eval_expr(&mut ctx, &mut item.env, cond)?.is_true().unwrap_or(false);
-            let block = if taken { Some(then_block) } else { else_block.as_ref() };
+            let taken = eval_expr(&mut ctx, &mut item.env, cond)?
+                .is_true()
+                .unwrap_or(false);
+            let block = if taken {
+                Some(then_block)
+            } else {
+                else_block.as_ref()
+            };
             if let Some(block) = block {
                 push_seq_frame(item, block);
             }
@@ -580,7 +612,9 @@ fn step_item<'p>(
             }
             Ok(true)
         }
-        Stmt::For { init, cond, body, .. } => {
+        Stmt::For {
+            init, cond, body, ..
+        } => {
             let scope_depth = item.env.depth();
             item.env.push_scope();
             let mut ctx = make_ctx(
@@ -601,11 +635,18 @@ fn step_item<'p>(
                 }
             }
             let enter = match cond {
-                Some(c) => eval_expr(&mut ctx, &mut item.env, c)?.is_true().unwrap_or(false),
+                Some(c) => eval_expr(&mut ctx, &mut item.env, c)?
+                    .is_true()
+                    .unwrap_or(false),
                 None => true,
             };
             if enter {
-                item.frames.push(Frame { block: body, idx: 0, kind: FrameKind::Loop { stmt }, scope_depth });
+                item.frames.push(Frame {
+                    block: body,
+                    idx: 0,
+                    kind: FrameKind::Loop { stmt },
+                    scope_depth,
+                });
             } else {
                 item.env.pop_to_depth(scope_depth, memory);
             }
@@ -624,9 +665,16 @@ fn step_item<'p>(
                 &mut item.steps,
                 &mut item.soft_barriers,
             );
-            let enter = eval_expr(&mut ctx, &mut item.env, cond)?.is_true().unwrap_or(false);
+            let enter = eval_expr(&mut ctx, &mut item.env, cond)?
+                .is_true()
+                .unwrap_or(false);
             if enter {
-                item.frames.push(Frame { block: body, idx: 0, kind: FrameKind::Loop { stmt }, scope_depth });
+                item.frames.push(Frame {
+                    block: body,
+                    idx: 0,
+                    kind: FrameKind::Loop { stmt },
+                    scope_depth,
+                });
             } else {
                 item.env.pop_to_depth(scope_depth, memory);
             }
@@ -653,7 +701,12 @@ fn step_item<'p>(
 fn push_seq_frame<'p>(item: &mut WorkItem<'p>, block: &'p Block) {
     let scope_depth = item.env.depth();
     item.env.push_scope();
-    item.frames.push(Frame { block, idx: 0, kind: FrameKind::Seq, scope_depth });
+    item.frames.push(Frame {
+        block,
+        idx: 0,
+        kind: FrameKind::Seq,
+        scope_depth,
+    });
 }
 
 fn finish_or_repeat(item: &mut WorkItem<'_>, memory: &mut Memory, again: bool) {
@@ -786,7 +839,8 @@ mod tests {
             },
             LaunchConfig::single_group(n),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, n));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, n));
         p
     }
 
@@ -814,7 +868,10 @@ mod tests {
         let mut p = simple_program(8, 0);
         p.launch = LaunchConfig::new([8, 1, 1], [4, 1, 1]).unwrap();
         let result = run(&p).unwrap();
-        assert_eq!(result.output.iter().map(|s| s.as_u64()).collect::<Vec<_>>(), (0..8).collect::<Vec<u64>>());
+        assert_eq!(
+            result.output.iter().map(|s| s.as_u64()).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<u64>>()
+        );
     }
 
     /// Barrier-based intra-group communication: thread l writes its id into
@@ -859,7 +916,8 @@ mod tests {
             },
             LaunchConfig::single_group(n),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, n));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, n));
         p
     }
 
@@ -869,12 +927,18 @@ mod tests {
         let forward = run(&p).unwrap();
         let reverse = launch(
             &p,
-            &LaunchOptions { schedule: Schedule::Reverse, ..LaunchOptions::default() },
+            &LaunchOptions {
+                schedule: Schedule::Reverse,
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         let shuffled = launch(
             &p,
-            &LaunchOptions { schedule: Schedule::Shuffled(42), ..LaunchOptions::default() },
+            &LaunchOptions {
+                schedule: Schedule::Shuffled(42),
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(forward.result_string, "1,2,3,4,5,6,7,0");
@@ -886,17 +950,26 @@ mod tests {
     fn race_detector_flags_unsynchronised_sharing() {
         // Same as barrier_program but without the barrier: a read/write race.
         let mut p = barrier_program(4);
-        p.kernel.body.stmts.retain(|s| !matches!(s, Stmt::Barrier(_)));
+        p.kernel
+            .body
+            .stmts
+            .retain(|s| !matches!(s, Stmt::Barrier(_)));
         let result = launch(
             &p,
-            &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+            &LaunchOptions {
+                detect_races: true,
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         assert!(result.race.is_some());
         // And the barrier version is race free.
         let clean = launch(
             &barrier_program(4),
-            &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+            &LaunchOptions {
+                detect_races: true,
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         assert!(clean.race.is_none());
@@ -928,7 +1001,8 @@ mod tests {
             },
             LaunchConfig::single_group(n),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, n));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, n));
         let err = run(&p).unwrap_err();
         assert!(matches!(err, RuntimeError::BarrierDivergence { .. }));
     }
@@ -942,8 +1016,14 @@ mod tests {
             KernelDef {
                 name: "k".into(),
                 params: vec![
-                    Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
-                    Param::new("r", Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global)),
+                    Param::new(
+                        "out",
+                        Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+                    ),
+                    Param::new(
+                        "r",
+                        Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
+                    ),
                 ],
                 body: Block::of(vec![
                     Stmt::expr(Expr::builtin(
@@ -967,12 +1047,17 @@ mod tests {
             },
             LaunchConfig::single_group(n),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 1));
-        p.buffers.push(BufferSpec::new("r", ScalarType::UInt, 1, BufferInit::Zero));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 1));
+        p.buffers
+            .push(BufferSpec::new("r", ScalarType::UInt, 1, BufferInit::Zero));
         let forward = run(&p).unwrap();
         let shuffled = launch(
             &p,
-            &LaunchOptions { schedule: Schedule::Shuffled(7), ..LaunchOptions::default() },
+            &LaunchOptions {
+                schedule: Schedule::Shuffled(7),
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(forward.result_string, "48");
@@ -984,10 +1069,19 @@ mod tests {
         let mut p = simple_program(2, 0);
         p.kernel.body.stmts.insert(
             0,
-            Stmt::While { cond: Expr::int(1), body: Block::of(vec![Stmt::expr(Expr::int(0))]) },
+            Stmt::While {
+                cond: Expr::int(1),
+                body: Block::of(vec![Stmt::expr(Expr::int(0))]),
+            },
         );
-        let err = launch(&p, &LaunchOptions { step_limit: 10_000, ..LaunchOptions::default() })
-            .unwrap_err();
+        let err = launch(
+            &p,
+            &LaunchOptions {
+                step_limit: 10_000,
+                ..LaunchOptions::default()
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, RuntimeError::StepLimitExceeded { .. }));
     }
 
@@ -1020,7 +1114,11 @@ mod tests {
                             Some(Expr::int(0)),
                         ))),
                         cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(4))),
-                        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("i"), Expr::int(1))),
+                        update: Some(Expr::assign_op(
+                            AssignOp::AddAssign,
+                            Expr::var("i"),
+                            Expr::int(1),
+                        )),
                         body: Block::of(vec![
                             Stmt::expr(Expr::assign_op(
                                 AssignOp::AddAssign,
@@ -1048,14 +1146,18 @@ mod tests {
             },
             LaunchConfig::single_group(n),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, n));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, n));
         let result = run(&p).unwrap();
         // Thread 3's counter is 1, 2, 3, 4 at the four barriers: 1+2+3+4 = 10.
         assert_eq!(result.output[0].as_u64(), 10);
         // Determinism across schedules.
         let reverse = launch(
             &p,
-            &LaunchOptions { schedule: Schedule::Reverse, ..LaunchOptions::default() },
+            &LaunchOptions {
+                schedule: Schedule::Reverse,
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(result.result_string, reverse.result_string);
@@ -1084,13 +1186,20 @@ mod tests {
             LaunchConfig::single_group(n),
         );
         p.dead_len = 8;
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, n));
-        p.buffers.push(BufferSpec::new("dead", ScalarType::Int, 8, BufferInit::Iota));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, n));
+        p.buffers.push(BufferSpec::new(
+            "dead",
+            ScalarType::Int,
+            8,
+            BufferInit::Iota,
+        ));
         let normal = run(&p).unwrap();
         assert_eq!(normal.output[0].as_u64(), 1);
         // Inverting the dead array (ReverseIota) makes the guard true.
         let mut opts = LaunchOptions::default();
-        opts.buffer_overrides.insert("dead".into(), BufferInit::ReverseIota.materialize(8));
+        opts.buffer_overrides
+            .insert("dead".into(), BufferInit::ReverseIota.materialize(8));
         let inverted = launch(&p, &opts).unwrap();
         assert_eq!(inverted.output[0].as_u64(), 99);
     }

@@ -74,7 +74,13 @@ impl Memory {
         space: AddressSpace,
         cells: Vec<Cell>,
     ) -> ObjId {
-        let object = Object { name: name.into(), ty, space, cells, live: true };
+        let object = Object {
+            name: name.into(),
+            ty,
+            space,
+            cells,
+            live: true,
+        };
         if let Some(slot) = self.free_list.pop() {
             self.objects[slot] = object;
             ObjId(slot)
@@ -108,7 +114,9 @@ impl Memory {
             Some(o) => Err(RuntimeError::InvalidAccess {
                 detail: format!("use of freed object `{}`", o.name),
             }),
-            None => Err(RuntimeError::InvalidAccess { detail: format!("bad object id {}", id.0) }),
+            None => Err(RuntimeError::InvalidAccess {
+                detail: format!("bad object id {}", id.0),
+            }),
         }
     }
 
@@ -118,7 +126,9 @@ impl Memory {
             Some(o) => Err(RuntimeError::InvalidAccess {
                 detail: format!("use of freed object `{}`", o.name),
             }),
-            None => Err(RuntimeError::InvalidAccess { detail: format!("bad object id {}", id.0) }),
+            None => Err(RuntimeError::InvalidAccess {
+                detail: format!("bad object id {}", id.0),
+            }),
         }
     }
 
@@ -143,13 +153,18 @@ impl Memory {
     ///
     /// Fails on out-of-bounds offsets, reads of uninitialised cells and
     /// reads of pointer cells at scalar type.
-    pub fn read_scalar(&self, id: ObjId, offset: usize, ty: ScalarType) -> Result<Scalar, RuntimeError> {
+    pub fn read_scalar(
+        &self,
+        id: ObjId,
+        offset: usize,
+        ty: ScalarType,
+    ) -> Result<Scalar, RuntimeError> {
         let obj = self.object(id)?;
         match obj.cells.get(offset) {
             Some(Cell::Bits(bits)) => Ok(Scalar::from_bits(*bits, ty)),
-            Some(Cell::Uninit) => {
-                Err(RuntimeError::UninitializedRead { object: obj.name.clone() })
-            }
+            Some(Cell::Uninit) => Err(RuntimeError::UninitializedRead {
+                object: obj.name.clone(),
+            }),
             Some(Cell::Ptr(_)) => Err(RuntimeError::TypeMismatch {
                 detail: format!("reading pointer cell of `{}` as scalar", obj.name),
             }),
@@ -164,9 +179,9 @@ impl Memory {
         let obj = self.object(id)?;
         match obj.cells.get(offset) {
             Some(Cell::Ptr(p)) => Ok(p.clone()),
-            Some(Cell::Uninit) => {
-                Err(RuntimeError::UninitializedRead { object: obj.name.clone() })
-            }
+            Some(Cell::Uninit) => Err(RuntimeError::UninitializedRead {
+                object: obj.name.clone(),
+            }),
             Some(Cell::Bits(_)) => Err(RuntimeError::TypeMismatch {
                 detail: format!("reading scalar cell of `{}` as pointer", obj.name),
             }),
@@ -226,7 +241,12 @@ impl Memory {
 
     /// Reads `count` cells as a vector of cells (used to build aggregate
     /// rvalues).
-    pub fn read_cells(&self, id: ObjId, offset: usize, count: usize) -> Result<Vec<Cell>, RuntimeError> {
+    pub fn read_cells(
+        &self,
+        id: ObjId,
+        offset: usize,
+        count: usize,
+    ) -> Result<Vec<Cell>, RuntimeError> {
         let mut out = Vec::with_capacity(count);
         for i in 0..count {
             out.push(self.read_cell(id, offset + i)?);
@@ -235,7 +255,12 @@ impl Memory {
     }
 
     /// Writes a slice of cells starting at `offset`.
-    pub fn write_cells(&mut self, id: ObjId, offset: usize, cells: &[Cell]) -> Result<(), RuntimeError> {
+    pub fn write_cells(
+        &mut self,
+        id: ObjId,
+        offset: usize,
+        cells: &[Cell],
+    ) -> Result<(), RuntimeError> {
         for (i, cell) in cells.iter().enumerate() {
             self.write_cell(id, offset + i, cell.clone())?;
         }
@@ -251,16 +276,32 @@ mod tests {
     #[test]
     fn alloc_read_write_roundtrip() {
         let mut m = Memory::new();
-        let id = m.alloc_zeroed("x", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        let id = m.alloc_zeroed(
+            "x",
+            Type::Scalar(ScalarType::Int),
+            AddressSpace::Private,
+            &[],
+        );
         assert_eq!(m.read_scalar(id, 0, ScalarType::Int).unwrap().as_i64(), 0);
-        m.write_scalar(id, 0, Scalar::from_i128(-7, ScalarType::Int), ScalarType::Int).unwrap();
+        m.write_scalar(
+            id,
+            0,
+            Scalar::from_i128(-7, ScalarType::Int),
+            ScalarType::Int,
+        )
+        .unwrap();
         assert_eq!(m.read_scalar(id, 0, ScalarType::Int).unwrap().as_i64(), -7);
     }
 
     #[test]
     fn uninitialised_reads_are_errors() {
         let mut m = Memory::new();
-        let id = m.alloc("x", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        let id = m.alloc(
+            "x",
+            Type::Scalar(ScalarType::Int),
+            AddressSpace::Private,
+            &[],
+        );
         assert!(matches!(
             m.read_scalar(id, 0, ScalarType::Int),
             Err(RuntimeError::UninitializedRead { .. })
@@ -278,16 +319,28 @@ mod tests {
         );
         assert!(m.read_scalar(id, 3, ScalarType::Int).is_ok());
         assert!(m.read_scalar(id, 4, ScalarType::Int).is_err());
-        assert!(m.write_scalar(id, 9, Scalar::zero(ScalarType::Int), ScalarType::Int).is_err());
+        assert!(m
+            .write_scalar(id, 9, Scalar::zero(ScalarType::Int), ScalarType::Int)
+            .is_err());
     }
 
     #[test]
     fn freed_objects_are_detected_and_reused() {
         let mut m = Memory::new();
-        let a = m.alloc_zeroed("a", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        let a = m.alloc_zeroed(
+            "a",
+            Type::Scalar(ScalarType::Int),
+            AddressSpace::Private,
+            &[],
+        );
         m.free(a);
         assert!(m.read_scalar(a, 0, ScalarType::Int).is_err());
-        let b = m.alloc_zeroed("b", Type::Scalar(ScalarType::Int), AddressSpace::Private, &[]);
+        let b = m.alloc_zeroed(
+            "b",
+            Type::Scalar(ScalarType::Int),
+            AddressSpace::Private,
+            &[],
+        );
         // Slot is recycled.
         assert_eq!(a.0, b.0);
         assert_eq!(m.live_objects(), 1);
@@ -309,8 +362,13 @@ mod tests {
             &[],
         );
         for i in 0..3 {
-            m.write_scalar(src, i, Scalar::from_i128(i as i128 + 1, ScalarType::Int), ScalarType::Int)
-                .unwrap();
+            m.write_scalar(
+                src,
+                i,
+                Scalar::from_i128(i as i128 + 1, ScalarType::Int),
+                ScalarType::Int,
+            )
+            .unwrap();
         }
         m.copy_cells(src, 0, dst, 0, 3).unwrap();
         assert_eq!(m.read_scalar(dst, 2, ScalarType::Int).unwrap().as_i64(), 3);
@@ -319,8 +377,22 @@ mod tests {
     #[test]
     fn scalar_writes_convert_to_declared_type() {
         let mut m = Memory::new();
-        let id = m.alloc_zeroed("c", Type::Scalar(ScalarType::UChar), AddressSpace::Private, &[]);
-        m.write_scalar(id, 0, Scalar::from_i128(300, ScalarType::Int), ScalarType::UChar).unwrap();
-        assert_eq!(m.read_scalar(id, 0, ScalarType::UChar).unwrap().as_u64(), 44);
+        let id = m.alloc_zeroed(
+            "c",
+            Type::Scalar(ScalarType::UChar),
+            AddressSpace::Private,
+            &[],
+        );
+        m.write_scalar(
+            id,
+            0,
+            Scalar::from_i128(300, ScalarType::Int),
+            ScalarType::UChar,
+        )
+        .unwrap();
+        assert_eq!(
+            m.read_scalar(id, 0, ScalarType::UChar).unwrap().as_u64(),
+            44
+        );
     }
 }

@@ -66,7 +66,10 @@ pub struct RaceDetector {
 impl RaceDetector {
     /// Creates a detector.
     pub fn new() -> RaceDetector {
-        RaceDetector { per_cell_cap: 64, ..RaceDetector::default() }
+        RaceDetector {
+            per_cell_cap: 64,
+            ..RaceDetector::default()
+        }
     }
 
     /// Registers a friendly name for an object (used in reports).
@@ -124,7 +127,12 @@ impl RaceDetector {
             }
         }
         if entry.len() < self.per_cell_cap {
-            entry.push(Access { thread, group, interval, kind });
+            entry.push(Access {
+                thread,
+                group,
+                interval,
+                kind,
+            });
         }
     }
 

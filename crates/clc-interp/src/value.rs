@@ -23,12 +23,18 @@ impl Scalar {
     /// Creates a scalar from a (possibly out-of-range) signed value,
     /// wrapping to the type's width.
     pub fn from_i128(value: i128, ty: ScalarType) -> Scalar {
-        Scalar { ty, bits: mask(value as u64, ty) }
+        Scalar {
+            ty,
+            bits: mask(value as u64, ty),
+        }
     }
 
     /// Creates a scalar from raw bits (masked to width).
     pub fn from_bits(bits: u64, ty: ScalarType) -> Scalar {
-        Scalar { ty, bits: mask(bits, ty) }
+        Scalar {
+            ty,
+            bits: mask(bits, ty),
+        }
     }
 
     /// A zero of the given type.
@@ -220,7 +226,10 @@ mod tests {
     #[test]
     fn rendering_respects_signedness() {
         assert_eq!(Scalar::from_i128(-1, ScalarType::Int).render(), "-1");
-        assert_eq!(Scalar::from_i128(-1, ScalarType::UInt).render(), "4294967295");
+        assert_eq!(
+            Scalar::from_i128(-1, ScalarType::UInt).render(),
+            "4294967295"
+        );
         assert_eq!(
             Scalar::from_bits(0xffff_0001, ScalarType::ULong).render(),
             "4294901761"
@@ -231,8 +240,12 @@ mod tests {
     fn truthiness() {
         assert!(Value::int(3).is_true().unwrap());
         assert!(!Value::int(0).is_true().unwrap());
-        assert!(Value::Vector(ScalarType::Int, vec![0, 0, 1, 0]).is_true().unwrap());
-        assert!(!Value::Vector(ScalarType::Int, vec![0, 0]).is_true().unwrap());
+        assert!(Value::Vector(ScalarType::Int, vec![0, 0, 1, 0])
+            .is_true()
+            .unwrap());
+        assert!(!Value::Vector(ScalarType::Int, vec![0, 0])
+            .is_true()
+            .unwrap());
     }
 
     #[test]

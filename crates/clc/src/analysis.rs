@@ -111,7 +111,11 @@ struct Detector<'p> {
 
 impl<'p> Detector<'p> {
     fn new(program: &'p Program) -> Detector<'p> {
-        Detector { program, features: Features::default(), var_types: HashMap::new() }
+        Detector {
+            program,
+            features: Features::default(),
+            var_types: HashMap::new(),
+        }
     }
 
     fn run(mut self) -> Features {
@@ -161,7 +165,11 @@ impl<'p> Detector<'p> {
                 }
             }
             let cells = Type::Struct(crate::types::StructId(
-                self.program.structs.iter().position(|d| std::ptr::eq(d, def)).unwrap_or(0),
+                self.program
+                    .structs
+                    .iter()
+                    .position(|d| std::ptr::eq(d, def))
+                    .unwrap_or(0),
             ))
             .cell_count(&self.program.structs);
             self.features.max_struct_cells = self.features.max_struct_cells.max(cells);
@@ -179,7 +187,10 @@ impl<'p> Detector<'p> {
         }
         let mut decls: Vec<(String, Type)> = Vec::new();
         self.program.for_each_stmt(&mut |s| {
-            if let Stmt::Decl { name, ty, volatile, .. } = s {
+            if let Stmt::Decl {
+                name, ty, volatile, ..
+            } = s
+            {
                 decls.push((name.clone(), ty.clone()));
                 let _ = volatile;
             }
@@ -222,7 +233,12 @@ impl<'p> Detector<'p> {
         }
     }
 
-    fn scan_block_stmts(&mut self, block: &crate::stmt::Block, in_callee: bool, forward_declared: bool) {
+    fn scan_block_stmts(
+        &mut self,
+        block: &crate::stmt::Block,
+        in_callee: bool,
+        forward_declared: bool,
+    ) {
         for s in block.iter() {
             self.scan_stmt(s, in_callee, forward_declared, false, None);
         }
@@ -237,7 +253,13 @@ impl<'p> Detector<'p> {
         enclosing_for_bound: Option<i128>,
     ) {
         match stmt {
-            Stmt::Decl { ty, volatile, init, init_list, .. } => {
+            Stmt::Decl {
+                ty,
+                volatile,
+                init,
+                init_list,
+                ..
+            } => {
                 if *volatile {
                     self.features.uses_volatile = true;
                 }
@@ -252,21 +274,42 @@ impl<'p> Detector<'p> {
                 }
             }
             Stmt::Expr(e) => self.scan_expr(e, false),
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.scan_expr(cond, true);
                 for s in then_block.iter() {
                     self.scan_stmt(s, in_callee, forward_declared, in_loop, enclosing_for_bound);
                 }
                 if let Some(b) = else_block {
                     for s in b.iter() {
-                        self.scan_stmt(s, in_callee, forward_declared, in_loop, enclosing_for_bound);
+                        self.scan_stmt(
+                            s,
+                            in_callee,
+                            forward_declared,
+                            in_loop,
+                            enclosing_for_bound,
+                        );
                     }
                 }
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 self.features.loop_count += 1;
                 if let Some(init) = init {
-                    self.scan_stmt(init, in_callee, forward_declared, in_loop, enclosing_for_bound);
+                    self.scan_stmt(
+                        init,
+                        in_callee,
+                        forward_declared,
+                        in_loop,
+                        enclosing_for_bound,
+                    );
                 }
                 let bound = cond.as_ref().and_then(extract_literal_bound);
                 if let Some(c) = cond {
@@ -276,7 +319,13 @@ impl<'p> Detector<'p> {
                     self.scan_expr(u, false);
                 }
                 for s in body.iter() {
-                    self.scan_stmt(s, in_callee, forward_declared, true, bound.or(enclosing_for_bound));
+                    self.scan_stmt(
+                        s,
+                        in_callee,
+                        forward_declared,
+                        true,
+                        bound.or(enclosing_for_bound),
+                    );
                 }
             }
             Stmt::While { cond, body } => {
@@ -357,7 +406,11 @@ impl<'p> Detector<'p> {
             Expr::BuiltinCall { func, args } => {
                 matches!(
                     func,
-                    Builtin::Rotate | Builtin::Clamp | Builtin::SafeClamp | Builtin::Min | Builtin::Max
+                    Builtin::Rotate
+                        | Builtin::Clamp
+                        | Builtin::SafeClamp
+                        | Builtin::Min
+                        | Builtin::Max
                 ) && args.iter().any(|a| self.is_vector_expr(a))
             }
             Expr::Binary { lhs, rhs, .. } => self.is_vector_expr(lhs) || self.is_vector_expr(rhs),
@@ -401,10 +454,8 @@ impl<'p> Detector<'p> {
                 self.scan_expr(rhs, false);
             }
             Expr::Assign { op, lhs, rhs } => {
-                if op.binop().is_some() {
-                    if is_identity_query(rhs) && self.is_signed_int_expr(lhs) {
-                        self.features.id_mixed_with_int = true;
-                    }
+                if op.binop().is_some() && is_identity_query(rhs) && self.is_signed_int_expr(lhs) {
+                    self.features.id_mixed_with_int = true;
                 }
                 if self.is_struct_expr(lhs) && self.is_struct_expr(rhs) {
                     self.features.whole_struct_assignment = true;
@@ -420,7 +471,11 @@ impl<'p> Detector<'p> {
                 self.scan_expr(lhs, false);
                 self.scan_expr(rhs, false);
             }
-            Expr::Cond { cond, then_expr, else_expr } => {
+            Expr::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.scan_expr(cond, true);
                 self.scan_expr(then_expr, false);
                 self.scan_expr(else_expr, false);
@@ -500,7 +555,10 @@ impl<'p> Detector<'p> {
 
 fn is_group_id(e: &Expr) -> bool {
     fn direct(e: &Expr) -> bool {
-        matches!(e, Expr::IdQuery(IdKind::GroupId(_)) | Expr::IdQuery(IdKind::GroupLinearId))
+        matches!(
+            e,
+            Expr::IdQuery(IdKind::GroupId(_)) | Expr::IdQuery(IdKind::GroupLinearId)
+        )
     }
     // Only a *shallow* occurrence counts: the operand is itself a group id,
     // or a unary/cast/arithmetic node with a group id as a direct child
@@ -588,10 +646,16 @@ mod tests {
     #[test]
     fn detects_vector_in_struct_and_unions() {
         let mut p = base_program();
-        p.add_struct(StructDef::union("U", vec![Field::new("x", Type::Scalar(ScalarType::UInt))]));
+        p.add_struct(StructDef::union(
+            "U",
+            vec![Field::new("x", Type::Scalar(ScalarType::UInt))],
+        ));
         p.add_struct(StructDef::new(
             "S",
-            vec![Field::new("v", Type::Vector(ScalarType::Int, VectorWidth::W4))],
+            vec![Field::new(
+                "v",
+                Type::Vector(ScalarType::Int, VectorWidth::W4),
+            )],
         ));
         let f = Features::detect(&p);
         assert!(f.uses_unions);
@@ -605,7 +669,10 @@ mod tests {
             name: "f".into(),
             ret: Some(Type::Scalar(ScalarType::Int)),
             params: vec![],
-            body: Block::of(vec![Stmt::Barrier(MemFence::Local), Stmt::Return(Some(Expr::int(1)))]),
+            body: Block::of(vec![
+                Stmt::Barrier(MemFence::Local),
+                Stmt::Return(Some(Expr::int(1))),
+            ]),
             forward_declared: true,
             noinline: false,
         });
@@ -631,12 +698,18 @@ mod tests {
                 Expr::VectorLit {
                     elem: ScalarType::UInt,
                     width: VectorWidth::W2,
-                    parts: vec![Expr::lit(1, ScalarType::UInt), Expr::lit(1, ScalarType::UInt)],
+                    parts: vec![
+                        Expr::lit(1, ScalarType::UInt),
+                        Expr::lit(1, ScalarType::UInt),
+                    ],
                 },
                 Expr::VectorLit {
                     elem: ScalarType::UInt,
                     width: VectorWidth::W2,
-                    parts: vec![Expr::lit(0, ScalarType::UInt), Expr::lit(0, ScalarType::UInt)],
+                    parts: vec![
+                        Expr::lit(0, ScalarType::UInt),
+                        Expr::lit(0, ScalarType::UInt),
+                    ],
                 },
             ],
         )));
@@ -655,11 +728,19 @@ mod tests {
     #[test]
     fn detects_group_id_comparison_and_int_size_t_mixing() {
         let mut p = base_program();
-        p.kernel.body.push(Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+        p.kernel.body.push(Stmt::decl(
+            "x",
+            Type::Scalar(ScalarType::Int),
+            Some(Expr::int(0)),
+        ));
         p.kernel.body.push(Stmt::if_then(
             Expr::binary(
                 BinOp::Ne,
-                Expr::binary(BinOp::Sub, Expr::var("x"), Expr::IdQuery(IdKind::GroupId(Dim::X))),
+                Expr::binary(
+                    BinOp::Sub,
+                    Expr::var("x"),
+                    Expr::IdQuery(IdKind::GroupId(Dim::X)),
+                ),
                 Expr::int(1),
             ),
             Block::new(),
@@ -684,10 +765,17 @@ mod tests {
                 Some(Expr::int(0)),
             ))),
             cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(197))),
-            update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("i"), Expr::int(1))),
+            update: Some(Expr::assign_op(
+                AssignOp::AddAssign,
+                Expr::var("i"),
+                Expr::int(1),
+            )),
             body: Block::of(vec![Stmt::if_then(
                 Expr::deref(Expr::var("p")),
-                Block::of(vec![Stmt::While { cond: Expr::int(1), body: Block::new() }]),
+                Block::of(vec![Stmt::While {
+                    cond: Expr::int(1),
+                    body: Block::new(),
+                }]),
             )]),
         });
         let f = Features::detect(&p);
@@ -701,13 +789,22 @@ mod tests {
         let mut p = base_program();
         let sid = p.add_struct(StructDef::new(
             "S",
-            vec![Field::new("x", Type::Scalar(ScalarType::Int)), Field::new("y", Type::Scalar(ScalarType::Int))],
+            vec![
+                Field::new("x", Type::Scalar(ScalarType::Int)),
+                Field::new("y", Type::Scalar(ScalarType::Int)),
+            ],
         ));
         p.functions.push(crate::program::FunctionDef::new(
             "f",
             None,
-            vec![Param::new("p", Type::Struct(sid).pointer_to(AddressSpace::Private))],
-            Block::of(vec![Stmt::assign(Expr::arrow(Expr::var("p"), "x"), Expr::int(2))]),
+            vec![Param::new(
+                "p",
+                Type::Struct(sid).pointer_to(AddressSpace::Private),
+            )],
+            Block::of(vec![Stmt::assign(
+                Expr::arrow(Expr::var("p"), "x"),
+                Expr::int(2),
+            )]),
         ));
         let f = Features::detect(&p);
         assert!(f.struct_written_through_pointer_param);
@@ -718,10 +815,15 @@ mod tests {
     #[test]
     fn detects_whole_struct_assignment() {
         let mut p = base_program();
-        let sid = p.add_struct(StructDef::new("S", vec![Field::new("a", Type::Scalar(ScalarType::Int))]));
+        let sid = p.add_struct(StructDef::new(
+            "S",
+            vec![Field::new("a", Type::Scalar(ScalarType::Int))],
+        ));
         p.kernel.body.push(Stmt::decl("s", Type::Struct(sid), None));
         p.kernel.body.push(Stmt::decl("t", Type::Struct(sid), None));
-        p.kernel.body.push(Stmt::assign(Expr::var("s"), Expr::var("t")));
+        p.kernel
+            .body
+            .push(Stmt::assign(Expr::var("s"), Expr::var("t")));
         let f = Features::detect(&p);
         assert!(f.whole_struct_assignment);
     }
@@ -761,7 +863,9 @@ mod tests {
             "t",
             Type::Struct(tid),
             Initializer::List(vec![
-                Initializer::List(vec![Initializer::List(vec![Initializer::Expr(Expr::int(1))])]),
+                Initializer::List(vec![Initializer::List(vec![Initializer::Expr(Expr::int(
+                    1,
+                ))])]),
                 Initializer::Expr(Expr::int(0)),
             ]),
         ));

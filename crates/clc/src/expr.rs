@@ -512,7 +512,10 @@ pub enum Expr {
 impl Expr {
     /// An `int` literal.
     pub fn int(value: i64) -> Expr {
-        Expr::IntLit { value: value as i128, ty: ScalarType::Int }
+        Expr::IntLit {
+            value: value as i128,
+            ty: ScalarType::Int,
+        }
     }
 
     /// A literal of a specific scalar type.
@@ -527,37 +530,63 @@ impl Expr {
 
     /// A binary operation.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// A unary operation.
     pub fn unary(op: UnOp, expr: Expr) -> Expr {
-        Expr::Unary { op, expr: Box::new(expr) }
+        Expr::Unary {
+            op,
+            expr: Box::new(expr),
+        }
     }
 
     /// A simple assignment `lhs = rhs`.
     pub fn assign(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Assign { op: AssignOp::Assign, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Assign {
+            op: AssignOp::Assign,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// A compound assignment.
     pub fn assign_op(op: AssignOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Indexing `base[index]`.
     pub fn index(base: Expr, index: Expr) -> Expr {
-        Expr::Index { base: Box::new(base), index: Box::new(index) }
+        Expr::Index {
+            base: Box::new(base),
+            index: Box::new(index),
+        }
     }
 
     /// Field access `base.field`.
     pub fn field(base: Expr, field: impl Into<String>) -> Expr {
-        Expr::Field { base: Box::new(base), field: field.into(), arrow: false }
+        Expr::Field {
+            base: Box::new(base),
+            field: field.into(),
+            arrow: false,
+        }
     }
 
     /// Field access through a pointer, `base->field`.
     pub fn arrow(base: Expr, field: impl Into<String>) -> Expr {
-        Expr::Field { base: Box::new(base), field: field.into(), arrow: true }
+        Expr::Field {
+            base: Box::new(base),
+            field: field.into(),
+            arrow: true,
+        }
     }
 
     /// Dereference `*p`.
@@ -572,12 +601,18 @@ impl Expr {
 
     /// Cast to a type.
     pub fn cast(ty: Type, expr: Expr) -> Expr {
-        Expr::Cast { ty, expr: Box::new(expr) }
+        Expr::Cast {
+            ty,
+            expr: Box::new(expr),
+        }
     }
 
     /// Call to a user function.
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Call { name: name.into(), args }
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
     }
 
     /// Call to a builtin.
@@ -596,12 +631,18 @@ impl Expr {
 
     /// Comma expression.
     pub fn comma(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Comma { lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Comma {
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Swizzle with a single lane (`.x`, `.y`, ...).
     pub fn lane(base: Expr, lane: u8) -> Expr {
-        Expr::Swizzle { base: Box::new(base), lanes: vec![lane] }
+        Expr::Swizzle {
+            base: Box::new(base),
+            lanes: vec![lane],
+        }
     }
 
     /// Whether this expression is a syntactically valid assignment target.
@@ -616,7 +657,10 @@ impl Expr {
     }
 
     fn is_pointer_like(&self) -> bool {
-        matches!(self, Expr::Var(_) | Expr::Field { .. } | Expr::Index { .. } | Expr::Deref(_))
+        matches!(
+            self,
+            Expr::Var(_) | Expr::Field { .. } | Expr::Index { .. } | Expr::Deref(_)
+        )
     }
 
     /// Number of AST nodes in the expression (used for size accounting and
@@ -641,7 +685,11 @@ impl Expr {
                 lhs.for_each(f);
                 rhs.for_each(f);
             }
-            Expr::Cond { cond, then_expr, else_expr } => {
+            Expr::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.for_each(f);
                 then_expr.for_each(f);
                 else_expr.for_each(f);
@@ -673,7 +721,11 @@ impl Expr {
                 lhs.for_each_mut(f);
                 rhs.for_each_mut(f);
             }
-            Expr::Cond { cond, then_expr, else_expr } => {
+            Expr::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.for_each_mut(f);
                 then_expr.for_each_mut(f);
                 else_expr.for_each_mut(f);
@@ -803,9 +855,17 @@ mod tests {
 
     #[test]
     fn identity_and_side_effect_queries() {
-        let e = Expr::binary(BinOp::Add, Expr::IdQuery(IdKind::GlobalLinearId), Expr::int(1));
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::IdQuery(IdKind::GlobalLinearId),
+            Expr::int(1),
+        );
         assert!(e.uses_thread_identity());
-        let f = Expr::binary(BinOp::Add, Expr::IdQuery(IdKind::LocalSize(Dim::X)), Expr::int(1));
+        let f = Expr::binary(
+            BinOp::Add,
+            Expr::IdQuery(IdKind::LocalSize(Dim::X)),
+            Expr::int(1),
+        );
         assert!(!f.uses_thread_identity());
         let g = Expr::comma(Expr::assign(Expr::var("x"), Expr::int(1)), Expr::var("x"));
         assert!(g.has_side_effects());

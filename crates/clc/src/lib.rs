@@ -61,9 +61,7 @@ pub mod types;
 pub use analysis::Features;
 pub use expr::{AssignOp, BinOp, Builtin, Dim, Expr, IdKind, UnOp};
 pub use printer::{print_expr, print_program, print_stmt};
-pub use program::{
-    BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program,
-};
+pub use program::{BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program};
 pub use stmt::{Block, EmiBlock, Initializer, MemFence, Stmt};
 pub use typecheck::{check_program, type_of_expr_in_kernel, TypeError};
 pub use types::{AddressSpace, Field, ScalarType, StructDef, StructId, Type, VectorWidth};

@@ -123,7 +123,11 @@ impl<'p> Printer<'p> {
         let _ = writeln!(out, "{kw} {} {{", def.name);
         for field in &def.fields {
             let vol = if field.volatile { "volatile " } else { "" };
-            let _ = writeln!(out, "{INDENT}{vol}{};", self.declarator(&field.ty, &field.name));
+            let _ = writeln!(
+                out,
+                "{INDENT}{vol}{};",
+                self.declarator(&field.ty, &field.name)
+            );
         }
         out.push_str("};\n\n");
     }
@@ -200,7 +204,14 @@ impl<'p> Printer<'p> {
     fn stmt(&self, out: &mut String, stmt: &Stmt, level: usize) {
         let pad = INDENT.repeat(level);
         match stmt {
-            Stmt::Decl { name, ty, space, volatile, init, init_list } => {
+            Stmt::Decl {
+                name,
+                ty,
+                space,
+                volatile,
+                init,
+                init_list,
+            } => {
                 let mut line = String::new();
                 let q = space.qualifier();
                 if !q.is_empty() && *space != AddressSpace::Private {
@@ -221,7 +232,11 @@ impl<'p> Printer<'p> {
             Stmt::Expr(e) => {
                 let _ = writeln!(out, "{pad}{};", self.expr(e));
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let _ = writeln!(out, "{pad}if ({}) {{", self.expr(cond));
                 self.block_body(out, then_block, level + 1);
                 match else_block {
@@ -235,7 +250,12 @@ impl<'p> Printer<'p> {
                     }
                 }
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 let init_str = match init {
                     Some(s) => {
                         let mut tmp = String::new();
@@ -310,7 +330,12 @@ impl<'p> Printer<'p> {
             }
             Expr::VectorLit { elem, width, parts } => {
                 let parts_str: Vec<String> = parts.iter().map(|p| self.expr(p)).collect();
-                format!("(({}{})({}))", elem.name(), width.lanes(), parts_str.join(", "))
+                format!(
+                    "(({}{})({}))",
+                    elem.name(),
+                    width.lanes(),
+                    parts_str.join(", ")
+                )
             }
             Expr::Var(name) => name.clone(),
             Expr::Unary { op, expr } => format!("({}{})", op.symbol(), self.expr(expr)),
@@ -320,7 +345,11 @@ impl<'p> Printer<'p> {
             Expr::Assign { op, lhs, rhs } => {
                 format!("{} {} {}", self.expr(lhs), op.symbol(), self.expr(rhs))
             }
-            Expr::Cond { cond, then_expr, else_expr } => format!(
+            Expr::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => format!(
                 "({} ? {} : {})",
                 self.expr(cond),
                 self.expr(then_expr),
@@ -453,14 +482,19 @@ mod tests {
     #[test]
     fn builtin_and_id_queries() {
         let p = empty_program();
-        let e = Expr::builtin(Builtin::SafeClamp, vec![Expr::var("x"), Expr::int(0), Expr::int(9)]);
+        let e = Expr::builtin(
+            Builtin::SafeClamp,
+            vec![Expr::var("x"), Expr::int(0), Expr::int(9)],
+        );
         assert_eq!(print_expr(&e, &p), "safe_clamp(x, 0, 9)");
         assert_eq!(
             print_expr(&Expr::IdQuery(crate::expr::IdKind::GlobalId(Dim::X)), &p),
             "get_global_id(0)"
         );
-        assert!(print_expr(&Expr::IdQuery(crate::expr::IdKind::GlobalLinearId), &p)
-            .contains("get_global_size(0)"));
+        assert!(
+            print_expr(&Expr::IdQuery(crate::expr::IdKind::GlobalLinearId), &p)
+                .contains("get_global_size(0)")
+        );
     }
 
     #[test]

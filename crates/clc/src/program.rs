@@ -23,7 +23,10 @@ pub struct Param {
 impl Param {
     /// Creates a parameter.
     pub fn new(name: impl Into<String>, ty: Type) -> Param {
-        Param { name: name.into(), ty }
+        Param {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -55,7 +58,14 @@ impl FunctionDef {
         params: Vec<Param>,
         body: Block,
     ) -> FunctionDef {
-        FunctionDef { name: name.into(), ret, params, body, forward_declared: false, noinline: false }
+        FunctionDef {
+            name: name.into(),
+            ret,
+            params,
+            body,
+            forward_declared: false,
+            noinline: false,
+        }
     }
 }
 
@@ -100,7 +110,10 @@ impl LaunchConfig {
 
     /// A single work-group of `n` work-items in the x dimension.
     pub fn single_group(n: usize) -> LaunchConfig {
-        LaunchConfig { global: [n, 1, 1], local: [n, 1, 1] }
+        LaunchConfig {
+            global: [n, 1, 1],
+            local: [n, 1, 1],
+        }
     }
 
     /// Validates the divisibility and size constraints.
@@ -113,7 +126,7 @@ impl LaunchConfig {
             if self.global[d] == 0 || self.local[d] == 0 {
                 return Err(format!("dimension {d} has zero size"));
             }
-            if self.global[d] % self.local[d] != 0 {
+            if !self.global[d].is_multiple_of(self.local[d]) {
                 return Err(format!(
                     "work-group size {} does not divide global size {} in dimension {d}",
                     self.local[d], self.global[d]
@@ -207,13 +220,30 @@ pub struct BufferSpec {
 
 impl BufferSpec {
     /// Creates a buffer specification that is not part of the result.
-    pub fn new(param: impl Into<String>, elem: ScalarType, len: usize, init: BufferInit) -> BufferSpec {
-        BufferSpec { param: param.into(), elem, len, init, is_result: false }
+    pub fn new(
+        param: impl Into<String>,
+        elem: ScalarType,
+        len: usize,
+        init: BufferInit,
+    ) -> BufferSpec {
+        BufferSpec {
+            param: param.into(),
+            elem,
+            len,
+            init,
+            is_result: false,
+        }
     }
 
     /// Creates the result (output) buffer specification.
     pub fn result(param: impl Into<String>, elem: ScalarType, len: usize) -> BufferSpec {
-        BufferSpec { param: param.into(), elem, len, init: BufferInit::Zero, is_result: true }
+        BufferSpec {
+            param: param.into(),
+            elem,
+            len,
+            init: BufferInit::Zero,
+            is_result: true,
+        }
     }
 }
 
@@ -274,7 +304,10 @@ impl Program {
 
     /// The name of the result buffer parameter (CLsmith's `out`), if any.
     pub fn result_param(&self) -> Option<&str> {
-        self.buffers.iter().find(|b| b.is_result).map(|b| b.param.as_str())
+        self.buffers
+            .iter()
+            .find(|b| b.is_result)
+            .map(|b| b.param.as_str())
     }
 
     /// Whether the kernel has an EMI `dead` array parameter.
@@ -292,7 +325,11 @@ impl Program {
                         out.push(emi);
                         walk(&emi.body, out);
                     }
-                    crate::stmt::Stmt::If { then_block, else_block, .. } => {
+                    crate::stmt::Stmt::If {
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
                         walk(then_block, out);
                         if let Some(b) = else_block {
                             walk(b, out);
@@ -323,7 +360,11 @@ impl Program {
     /// Total number of statement nodes across the kernel and all helpers.
     pub fn statement_count(&self) -> usize {
         self.kernel.body.node_count()
-            + self.functions.iter().map(|f| f.body.node_count()).sum::<usize>()
+            + self
+                .functions
+                .iter()
+                .map(|f| f.body.node_count())
+                .sum::<usize>()
     }
 
     /// Calls `f` on every expression in the program (kernel and helpers).
@@ -361,14 +402,19 @@ impl Program {
         fn walk(block: &mut Block, f: &mut impl FnMut(&mut Block)) {
             for s in &mut block.stmts {
                 match s {
-                    crate::stmt::Stmt::If { then_block, else_block, .. } => {
+                    crate::stmt::Stmt::If {
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
                         walk(then_block, f);
                         if let Some(b) = else_block {
                             walk(b, f);
                         }
                     }
-                    crate::stmt::Stmt::For { body, .. }
-                    | crate::stmt::Stmt::While { body, .. } => walk(body, f),
+                    crate::stmt::Stmt::For { body, .. } | crate::stmt::Stmt::While { body, .. } => {
+                        walk(body, f)
+                    }
                     crate::stmt::Stmt::Block(b) => walk(b, f),
                     crate::stmt::Stmt::Emi(emi) => walk(&mut emi.body, f),
                     _ => {}
@@ -444,7 +490,8 @@ mod tests {
         let mut p = Program::new(trivial_kernel(), LaunchConfig::single_group(4));
         let id = p.add_struct(StructDef::new("S0", vec![]));
         assert_eq!(p.struct_def(id).name, "S0");
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 4));
         assert_eq!(p.result_param(), Some("out"));
         assert!(p.buffer_for("out").is_some());
         assert!(p.buffer_for("missing").is_none());
@@ -455,7 +502,11 @@ mod tests {
     fn emi_block_collection_is_recursive() {
         let mut p = Program::new(trivial_kernel(), LaunchConfig::single_group(4));
         p.dead_len = 8;
-        let inner = EmiBlock { index: 1, guard: (5, 2), body: Block::new() };
+        let inner = EmiBlock {
+            index: 1,
+            guard: (5, 2),
+            body: Block::new(),
+        };
         let outer = EmiBlock {
             index: 0,
             guard: (4, 1),

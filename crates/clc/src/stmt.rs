@@ -153,12 +153,20 @@ impl Stmt {
 
     /// Shorthand for `if (cond) { then }`.
     pub fn if_then(cond: Expr, then_block: Block) -> Stmt {
-        Stmt::If { cond, then_block, else_block: None }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block: None,
+        }
     }
 
     /// Shorthand for `if (cond) { then } else { else }`.
     pub fn if_else(cond: Expr, then_block: Block, else_block: Block) -> Stmt {
-        Stmt::If { cond, then_block, else_block: Some(else_block) }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block: Some(else_block),
+        }
     }
 
     /// Whether the statement is "compound" in the EMI pruning sense (§5):
@@ -188,7 +196,11 @@ impl Stmt {
     pub fn for_each(&self, f: &mut impl FnMut(&Stmt)) {
         f(self);
         match self {
-            Stmt::If { then_block, else_block, .. } => {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 then_block.for_each(f);
                 if let Some(b) = else_block {
                     b.for_each(f);
@@ -211,7 +223,9 @@ impl Stmt {
     /// descending into nested statements' expressions unless `recursive`).
     pub fn for_each_expr(&self, recursive: bool, f: &mut impl FnMut(&Expr)) {
         let visit_own = |s: &Stmt, f: &mut dyn FnMut(&Expr)| match s {
-            Stmt::Decl { init, init_list, .. } => {
+            Stmt::Decl {
+                init, init_list, ..
+            } => {
                 if let Some(e) = init {
                     e.for_each(&mut |x| f(x));
                 }
@@ -244,7 +258,9 @@ impl Stmt {
     /// and, recursively, by nested statements.
     pub fn for_each_expr_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
         match self {
-            Stmt::Decl { init, init_list, .. } => {
+            Stmt::Decl {
+                init, init_list, ..
+            } => {
                 if let Some(e) = init {
                     e.for_each_mut(f);
                 }
@@ -253,14 +269,23 @@ impl Stmt {
                 }
             }
             Stmt::Expr(e) => e.for_each_mut(f),
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 cond.for_each_mut(f);
                 then_block.for_each_expr_mut(f);
                 if let Some(b) = else_block {
                     b.for_each_expr_mut(f);
                 }
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 if let Some(s) = init {
                     s.for_each_expr_mut(f);
                 }
@@ -392,7 +417,9 @@ impl Block {
 
 impl FromIterator<Stmt> for Block {
     fn from_iter<T: IntoIterator<Item = Stmt>>(iter: T) -> Self {
-        Block { stmts: iter.into_iter().collect() }
+        Block {
+            stmts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -428,9 +455,17 @@ mod tests {
 
     #[test]
     fn emi_block_deadness() {
-        let dead = EmiBlock { index: 0, guard: (3, 1), body: Block::new() };
+        let dead = EmiBlock {
+            index: 0,
+            guard: (3, 1),
+            body: Block::new(),
+        };
         assert!(dead.is_dead_by_construction());
-        let live = EmiBlock { index: 0, guard: (1, 3), body: Block::new() };
+        let live = EmiBlock {
+            index: 0,
+            guard: (1, 3),
+            body: Block::new(),
+        };
         assert!(!live.is_dead_by_construction());
     }
 
@@ -490,7 +525,10 @@ mod tests {
     #[test]
     fn fence_rendering() {
         assert_eq!(MemFence::Local.render(), "CLK_LOCAL_MEM_FENCE");
-        assert_eq!(MemFence::Both.render(), "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE");
+        assert_eq!(
+            MemFence::Both.render(),
+            "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE"
+        );
     }
 
     #[test]

@@ -80,15 +80,26 @@ impl<'p> Checker<'p> {
             .map(|f| {
                 (
                     f.name.clone(),
-                    (f.ret.clone(), f.params.iter().map(|p| p.ty.clone()).collect()),
+                    (
+                        f.ret.clone(),
+                        f.params.iter().map(|p| p.ty.clone()).collect(),
+                    ),
                 )
             })
             .collect();
-        Checker { program, vars: HashMap::new(), current: String::new(), functions }
+        Checker {
+            program,
+            vars: HashMap::new(),
+            current: String::new(),
+            functions,
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, TypeError> {
-        Err(TypeError { message: message.into(), in_function: self.current.clone() })
+        Err(TypeError {
+            message: message.into(),
+            in_function: self.current.clone(),
+        })
     }
 
     fn enter_function(&mut self, name: &str, params: &[crate::program::Param]) {
@@ -137,7 +148,14 @@ impl<'p> Checker<'p> {
 
     fn check_stmt(&mut self, stmt: &Stmt, ret: Option<&Type>) -> Result<(), TypeError> {
         match stmt {
-            Stmt::Decl { name, ty, init, init_list, space, .. } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                init_list,
+                space,
+                ..
+            } => {
                 if *space == AddressSpace::Constant {
                     return self.err(format!("local declaration `{name}` cannot be constant"));
                 }
@@ -155,7 +173,11 @@ impl<'p> Checker<'p> {
                 self.type_of(e)?;
                 Ok(())
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.check_condition(cond)?;
                 self.check_block(then_block, ret)?;
                 if let Some(b) = else_block {
@@ -163,7 +185,12 @@ impl<'p> Checker<'p> {
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 if let Some(init) = init {
                     self.check_stmt(init, ret)?;
                 }
@@ -229,9 +256,7 @@ impl<'p> Checker<'p> {
             }
             (Type::Array(elem, len), Initializer::List(items)) => {
                 if items.len() > *len {
-                    return self.err(format!(
-                        "too many initialisers for array of length {len}"
-                    ));
+                    return self.err(format!("too many initialisers for array of length {len}"));
                 }
                 for item in items {
                     self.check_initializer(elem, item)?;
@@ -306,9 +331,8 @@ impl<'p> Checker<'p> {
                         Type::Scalar(_) => lanes += 1,
                         Type::Vector(pe, pw) => {
                             if pe != *elem {
-                                return self.err(
-                                    "vector literal component has mismatched element type",
-                                );
+                                return self
+                                    .err("vector literal component has mismatched element type");
                             }
                             lanes += pw.lanes();
                         }
@@ -365,7 +389,11 @@ impl<'p> Checker<'p> {
                 self.check_assignable(&lt, &rt, "assignment")?;
                 Ok(lt)
             }
-            Expr::Cond { cond, then_expr, else_expr } => {
+            Expr::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let ct = self.type_of(cond)?;
                 if !(ct.is_scalar() || ct.is_pointer()) {
                     return self.err("conditional guard must be scalar");
@@ -688,9 +716,14 @@ mod tests {
             vec![Field::new("a", Type::Scalar(ScalarType::Int))],
         ));
         p.kernel.body.push(Stmt::decl("s", Type::Struct(sid), None));
-        p.kernel.body.push(Stmt::assign(Expr::field(Expr::var("s"), "a"), Expr::int(1)));
+        p.kernel
+            .body
+            .push(Stmt::assign(Expr::field(Expr::var("s"), "a"), Expr::int(1)));
         assert!(check_program(&p).is_ok());
-        p.kernel.body.push(Stmt::assign(Expr::field(Expr::var("s"), "zz"), Expr::int(1)));
+        p.kernel.body.push(Stmt::assign(
+            Expr::field(Expr::var("s"), "zz"),
+            Expr::int(1),
+        ));
         assert!(check_program(&p).is_err());
     }
 
@@ -703,9 +736,14 @@ mod tests {
             vec![Param::new("x", Type::Scalar(ScalarType::Int))],
             Block::of(vec![Stmt::Return(Some(Expr::var("x")))]),
         ));
-        p.kernel.body.push(Stmt::expr(Expr::call("f", vec![Expr::int(1)])));
+        p.kernel
+            .body
+            .push(Stmt::expr(Expr::call("f", vec![Expr::int(1)])));
         assert!(check_program(&p).is_ok());
-        p.kernel.body.push(Stmt::expr(Expr::call("f", vec![Expr::int(1), Expr::int(2)])));
+        p.kernel.body.push(Stmt::expr(Expr::call(
+            "f",
+            vec![Expr::int(1), Expr::int(2)],
+        )));
         assert!(check_program(&p).is_err());
     }
 
@@ -732,10 +770,17 @@ mod tests {
                 Some(Expr::VectorLit {
                     elem: ScalarType::UInt,
                     width: VectorWidth::W2,
-                    parts: vec![Expr::lit(1, ScalarType::UInt), Expr::lit(1, ScalarType::UInt)],
+                    parts: vec![
+                        Expr::lit(1, ScalarType::UInt),
+                        Expr::lit(1, ScalarType::UInt),
+                    ],
                 }),
             ),
-            Stmt::decl("s", Type::Scalar(ScalarType::UInt), Some(Expr::lane(Expr::var("v"), 0))),
+            Stmt::decl(
+                "s",
+                Type::Scalar(ScalarType::UInt),
+                Some(Expr::lane(Expr::var("v"), 0)),
+            ),
         ]);
         assert!(check_program(&program_with_body(body)).is_ok());
         let bad = Block::of(vec![
@@ -744,7 +789,11 @@ mod tests {
                 Type::Vector(ScalarType::UInt, VectorWidth::W2),
                 Some(Expr::lit(0, ScalarType::UInt)),
             ),
-            Stmt::decl("s", Type::Scalar(ScalarType::UInt), Some(Expr::lane(Expr::var("v"), 5))),
+            Stmt::decl(
+                "s",
+                Type::Scalar(ScalarType::UInt),
+                Some(Expr::lane(Expr::var("v"), 5)),
+            ),
         ]);
         assert!(check_program(&program_with_body(bad)).is_err());
     }
@@ -756,9 +805,15 @@ mod tests {
             "c",
             Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
         ));
-        p.kernel.body.push(Stmt::expr(Expr::builtin(Builtin::AtomicInc, vec![Expr::var("c")])));
+        p.kernel.body.push(Stmt::expr(Expr::builtin(
+            Builtin::AtomicInc,
+            vec![Expr::var("c")],
+        )));
         assert!(check_program(&p).is_ok());
-        p.kernel.body.push(Stmt::expr(Expr::builtin(Builtin::AtomicInc, vec![Expr::int(3)])));
+        p.kernel.body.push(Stmt::expr(Expr::builtin(
+            Builtin::AtomicInc,
+            vec![Expr::int(3)],
+        )));
         assert!(check_program(&p).is_err());
     }
 

@@ -277,12 +277,20 @@ pub struct Field {
 impl Field {
     /// Creates a non-volatile field.
     pub fn new(name: impl Into<String>, ty: Type) -> Field {
-        Field { name: name.into(), ty, volatile: false }
+        Field {
+            name: name.into(),
+            ty,
+            volatile: false,
+        }
     }
 
     /// Creates a `volatile` field.
     pub fn volatile(name: impl Into<String>, ty: Type) -> Field {
-        Field { name: name.into(), ty, volatile: true }
+        Field {
+            name: name.into(),
+            ty,
+            volatile: true,
+        }
     }
 }
 
@@ -300,12 +308,20 @@ pub struct StructDef {
 impl StructDef {
     /// Creates a struct definition.
     pub fn new(name: impl Into<String>, fields: Vec<Field>) -> StructDef {
-        StructDef { name: name.into(), fields, is_union: false }
+        StructDef {
+            name: name.into(),
+            fields,
+            is_union: false,
+        }
     }
 
     /// Creates a union definition.
     pub fn union(name: impl Into<String>, fields: Vec<Field>) -> StructDef {
-        StructDef { name: name.into(), fields, is_union: true }
+        StructDef {
+            name: name.into(),
+            fields,
+            is_union: true,
+        }
     }
 
     /// Looks up a field by name.

@@ -34,7 +34,11 @@ pub struct ReduceOptions {
 
 impl Default for ReduceOptions {
     fn default() -> Self {
-        ReduceOptions { max_passes: 6, step_limit: 2_000_000, check_races: true }
+        ReduceOptions {
+            max_passes: 6,
+            step_limit: 2_000_000,
+            check_races: true,
+        }
     }
 }
 
@@ -244,7 +248,8 @@ mod tests {
             },
             LaunchConfig::single_group(4),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 4));
         // Everyone writes out[0] (a cross-work-item write/write race), then a
         // barrier so it is not also divergence.
         p.kernel.body.push(Stmt::assign(

@@ -14,12 +14,11 @@
 //!    compiler configuration indicates a miscompilation.
 
 use crate::options::PruneProbabilities;
+use crate::rng::Rng;
 use clc::expr::Expr;
 use clc::stmt::{Block, EmiBlock, Stmt};
 use clc::types::{ScalarType, Type};
 use clc::{BufferInit, BufferSpec, Param, Program};
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use std::collections::HashMap;
 
 /// Derives an EMI variant of `base` by pruning the statements inside its EMI
@@ -28,7 +27,7 @@ use std::collections::HashMap;
 /// Statements *outside* EMI blocks are never touched, so the variant is
 /// guaranteed to be equivalent to the base modulo the standard `dead` input.
 pub fn prune_variant(base: &Program, probs: &PruneProbabilities, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut variant = base.clone();
     variant.for_each_block_mut(&mut |block| {
         for stmt in &mut block.stmts {
@@ -48,7 +47,7 @@ pub fn prune_variant(base: &Program, probs: &PruneProbabilities, seed: u64) -> P
 /// differ in dynamically dead behaviour).  Whole compound statements that
 /// contain declarations are still removable because their uses are scoped
 /// inside them.
-fn prune_block(block: &Block, probs: &PruneProbabilities, rng: &mut StdRng) -> Block {
+fn prune_block(block: &Block, probs: &PruneProbabilities, rng: &mut Rng) -> Block {
     let mut out = Block::new();
     for stmt in block.iter() {
         if stmt.is_compound() {
@@ -61,7 +60,10 @@ fn prune_block(block: &Block, probs: &PruneProbabilities, rng: &mut StdRng) -> B
                 for lifted in lift_statement(stmt) {
                     // Lifted children are themselves subject to pruning.
                     match lifted {
-                        Stmt::If { .. } | Stmt::For { .. } | Stmt::While { .. } | Stmt::Block(_) => {
+                        Stmt::If { .. }
+                        | Stmt::For { .. }
+                        | Stmt::While { .. }
+                        | Stmt::Block(_) => {
                             let nested = prune_block(&Block::of(vec![lifted]), probs, rng);
                             out.stmts.extend(nested.stmts);
                         }
@@ -88,14 +90,23 @@ fn prune_block(block: &Block, probs: &PruneProbabilities, rng: &mut StdRng) -> B
     out
 }
 
-fn prune_inside(stmt: &Stmt, probs: &PruneProbabilities, rng: &mut StdRng) -> Stmt {
+fn prune_inside(stmt: &Stmt, probs: &PruneProbabilities, rng: &mut Rng) -> Stmt {
     match stmt {
-        Stmt::If { cond, then_block, else_block } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => Stmt::If {
             cond: cond.clone(),
             then_block: prune_block(then_block, probs, rng),
             else_block: else_block.as_ref().map(|b| prune_block(b, probs, rng)),
         },
-        Stmt::For { init, cond, update, body } => Stmt::For {
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => Stmt::For {
             init: init.clone(),
             cond: cond.clone(),
             update: update.clone(),
@@ -122,7 +133,11 @@ fn prune_inside(stmt: &Stmt, probs: &PruneProbabilities, rng: &mut StdRng) -> St
 /// syntactically valid.
 pub fn lift_statement(stmt: &Stmt) -> Vec<Stmt> {
     match stmt {
-        Stmt::If { then_block, else_block, .. } => {
+        Stmt::If {
+            then_block,
+            else_block,
+            ..
+        } => {
             let mut out = then_block.stmts.clone();
             if let Some(e) = else_block {
                 out.extend(e.stmts.clone());
@@ -152,7 +167,11 @@ fn strip_outer_jumps(body: &Block) -> Vec<Stmt> {
         for s in block.iter() {
             match s {
                 Stmt::Break | Stmt::Continue => {}
-                Stmt::If { cond, then_block, else_block } => out.push(Stmt::If {
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                } => out.push(Stmt::If {
                     cond: cond.clone(),
                     then_block: strip_block(then_block),
                     else_block: else_block.as_ref().map(strip_block),
@@ -184,7 +203,12 @@ pub struct InjectionOptions {
 
 impl Default for InjectionOptions {
     fn default() -> Self {
-        InjectionOptions { dead_len: 16, injection_points: 1, substitutions: false, seed: 0 }
+        InjectionOptions {
+            dead_len: 16,
+            injection_points: 1,
+            substitutions: false,
+            seed: 0,
+        }
     }
 }
 
@@ -201,12 +225,8 @@ impl Default for InjectionOptions {
 /// renamed, where possible, to scalar variables already in scope in the host
 /// kernel — the paper's hypothesis being that this lets the compiler
 /// (erroneously) optimise across the block boundary.
-pub fn inject_emi_blocks(
-    base: &Program,
-    bodies: &[Block],
-    options: &InjectionOptions,
-) -> Program {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+pub fn inject_emi_blocks(base: &Program, bodies: &[Block], options: &InjectionOptions) -> Program {
+    let mut rng = Rng::seed_from_u64(options.seed);
     let mut program = base.clone();
     if bodies.is_empty() || options.injection_points == 0 {
         return program;
@@ -269,7 +289,7 @@ pub fn inject_emi_blocks(
 
 /// Substitutes some of the block's own scalar declarations with host
 /// variables: the declaration is dropped and all uses renamed.
-fn substitute_free_scalars(block: &Block, host_scalars: &[String], rng: &mut StdRng) -> Block {
+fn substitute_free_scalars(block: &Block, host_scalars: &[String], rng: &mut Rng) -> Block {
     // Collect the block's own top-level scalar declarations.
     let mut renames: HashMap<String, String> = HashMap::new();
     let mut kept = Block::new();
@@ -299,13 +319,20 @@ fn substitute_free_scalars(block: &Block, host_scalars: &[String], rng: &mut Std
 
 /// Checks whether every EMI block in the program is dead by construction.
 pub fn all_emi_blocks_dead(program: &Program) -> bool {
-    program.emi_blocks().iter().all(|b| b.is_dead_by_construction())
+    program
+        .emi_blocks()
+        .iter()
+        .all(|b| b.is_dead_by_construction())
 }
 
 /// Total number of statements inside EMI blocks (a measure of how much
 /// prunable material a base program has).
 pub fn emi_statement_count(program: &Program) -> usize {
-    program.emi_blocks().iter().map(|b| b.body.node_count()).sum()
+    program
+        .emi_blocks()
+        .iter()
+        .map(|b| b.body.node_count())
+        .sum()
 }
 
 #[cfg(test)]
@@ -357,7 +384,10 @@ mod tests {
     fn pruning_is_deterministic_in_the_seed() {
         let base = emi_base(14);
         let probs = PruneProbabilities::new(0.3, 0.3, 0.3).unwrap();
-        assert_eq!(prune_variant(&base, &probs, 5), prune_variant(&base, &probs, 5));
+        assert_eq!(
+            prune_variant(&base, &probs, 5),
+            prune_variant(&base, &probs, 5)
+        );
     }
 
     #[test]
@@ -371,13 +401,20 @@ mod tests {
         assert_eq!(lifted.len(), 3);
 
         let loop_stmt = Stmt::For {
-            init: Some(Box::new(Stmt::decl("i", Type::Scalar(ScalarType::Int), Some(Expr::int(0))))),
+            init: Some(Box::new(Stmt::decl(
+                "i",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::int(0)),
+            ))),
             cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(3))),
             update: None,
             body: Block::of(vec![
                 Stmt::Break,
                 Stmt::expr(Expr::int(5)),
-                Stmt::While { cond: Expr::int(0), body: Block::of(vec![Stmt::Continue]) },
+                Stmt::While {
+                    cond: Expr::int(0),
+                    body: Block::of(vec![Stmt::Continue]),
+                },
             ]),
         };
         let lifted = lift_statement(&loop_stmt);
@@ -400,24 +437,29 @@ mod tests {
                 params: Program::standard_clsmith_params(0),
                 body: Block::of(vec![
                     Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(1))),
-                    Stmt::assign(
-                        Expr::index(Expr::var("out"), Expr::int(0)),
-                        Expr::var("x"),
-                    ),
+                    Stmt::assign(Expr::index(Expr::var("out"), Expr::int(0)), Expr::var("x")),
                 ]),
             },
             LaunchConfig::single_group(4),
         );
-        host.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+        host.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 4));
 
         let body = Block::of(vec![
             Stmt::decl("e0", Type::Scalar(ScalarType::Int), Some(Expr::int(3))),
-            Stmt::assign(Expr::var("e0"), Expr::binary(BinOp::Add, Expr::var("e0"), Expr::int(1))),
+            Stmt::assign(
+                Expr::var("e0"),
+                Expr::binary(BinOp::Add, Expr::var("e0"), Expr::int(1)),
+            ),
         ]);
         let injected = inject_emi_blocks(
             &host,
-            &[body.clone()],
-            &InjectionOptions { injection_points: 2, substitutions: false, ..Default::default() },
+            std::slice::from_ref(&body),
+            &InjectionOptions {
+                injection_points: 2,
+                substitutions: false,
+                ..Default::default()
+            },
         );
         assert!(injected.has_dead_array());
         assert_eq!(injected.emi_blocks().len(), 2);
@@ -443,9 +485,12 @@ mod tests {
     fn substitution_renames_uses_consistently() {
         let block = Block::of(vec![
             Stmt::decl("e0", Type::Scalar(ScalarType::Int), Some(Expr::int(3))),
-            Stmt::assign(Expr::var("e0"), Expr::binary(BinOp::Add, Expr::var("e0"), Expr::int(1))),
+            Stmt::assign(
+                Expr::var("e0"),
+                Expr::binary(BinOp::Add, Expr::var("e0"), Expr::int(1)),
+            ),
         ]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let hosts = vec!["hostvar".to_string()];
         // Try a few seeds until the 60% substitution coin lands.
         let mut substituted = None;

@@ -20,12 +20,11 @@
 //! length.
 
 use crate::options::{EmiOptions, GeneratorOptions};
+use crate::rng::{Rng, SliceRandom};
 use clc::expr::{AssignOp, BinOp, Builtin, Expr, IdKind};
 use clc::stmt::{Block, EmiBlock, Initializer, MemFence, Stmt};
 use clc::types::{AddressSpace, Field, ScalarType, StructDef, StructId, Type, VectorWidth};
 use clc::{BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program};
-use rand::prelude::*;
-use rand::rngs::StdRng;
 
 // Note on ATOMIC SECTION mode: the paper equips each group with a randomly
 // sized pool of (counter, special value) pairs and lets sections pick a pair
@@ -46,7 +45,7 @@ pub fn generate(options: &GeneratorOptions) -> Program {
 #[derive(Debug)]
 pub struct Generator {
     opts: GeneratorOptions,
-    rng: StdRng,
+    rng: Rng,
     name_counter: usize,
 }
 
@@ -93,11 +92,20 @@ impl GenCtx {
     }
 
     fn helper() -> GenCtx {
-        GenCtx { globals: GlobalsAccess::ViaPointer, in_helper: true, ..GenCtx::kernel() }
+        GenCtx {
+            globals: GlobalsAccess::ViaPointer,
+            in_helper: true,
+            ..GenCtx::kernel()
+        }
     }
 
     fn checkpoint(&self) -> (usize, usize, usize, usize) {
-        (self.scalars.len(), self.vectors.len(), self.structs.len(), self.struct_ptrs.len())
+        (
+            self.scalars.len(),
+            self.vectors.len(),
+            self.structs.len(),
+            self.struct_ptrs.len(),
+        )
     }
 
     fn restore(&mut self, cp: (usize, usize, usize, usize)) {
@@ -126,15 +134,23 @@ enum SharedArrayKind {
 impl Generator {
     /// Creates a generator.
     pub fn new(opts: GeneratorOptions) -> Generator {
-        let rng = StdRng::seed_from_u64(opts.seed);
-        Generator { opts, rng, name_counter: 0 }
+        let rng = Rng::seed_from_u64(opts.seed);
+        Generator {
+            opts,
+            rng,
+            name_counter: 0,
+        }
     }
 
     /// Generates the program.
     pub fn generate(mut self) -> Program {
         let launch = self.pick_launch();
         let mut program = Program::new(
-            KernelDef { name: "entry".into(), params: Vec::new(), body: Block::new() },
+            KernelDef {
+                name: "entry".into(),
+                params: Vec::new(),
+                body: Block::new(),
+            },
             launch,
         );
 
@@ -172,9 +188,16 @@ impl Generator {
         let dead_len = emi.as_ref().map(|e| e.dead_len).unwrap_or(0);
         program.dead_len = dead_len;
         let mut params = Program::standard_clsmith_params(dead_len);
-        program.buffers.push(BufferSpec::result("out", ScalarType::ULong, n_linear));
+        program
+            .buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, n_linear));
         if dead_len > 0 {
-            program.buffers.push(BufferSpec::new("dead", ScalarType::Int, dead_len, BufferInit::Iota));
+            program.buffers.push(BufferSpec::new(
+                "dead",
+                ScalarType::Int,
+                dead_len,
+                BufferInit::Iota,
+            ));
         }
         if shared_kind == Some(SharedArrayKind::Global) {
             params.push(Param::new(
@@ -199,15 +222,30 @@ impl Generator {
                 Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
             ));
             let len = num_groups * section_slots;
-            program.buffers.push(BufferSpec::new("sec_counters", ScalarType::UInt, len, BufferInit::Zero));
-            program.buffers.push(BufferSpec::new("sec_specials", ScalarType::UInt, len, BufferInit::Zero));
+            program.buffers.push(BufferSpec::new(
+                "sec_counters",
+                ScalarType::UInt,
+                len,
+                BufferInit::Zero,
+            ));
+            program.buffers.push(BufferSpec::new(
+                "sec_specials",
+                ScalarType::UInt,
+                len,
+                BufferInit::Zero,
+            ));
         }
         if mode.uses_atomic_reductions() {
             params.push(Param::new(
                 "red",
                 Type::Scalar(ScalarType::UInt).pointer_to(AddressSpace::Global),
             ));
-            program.buffers.push(BufferSpec::new("red", ScalarType::UInt, num_groups, BufferInit::Zero));
+            program.buffers.push(BufferSpec::new(
+                "red",
+                ScalarType::UInt,
+                num_groups,
+                BufferInit::Zero,
+            ));
         }
         program.kernel.params = params;
 
@@ -292,7 +330,9 @@ impl Generator {
         }
         if let Some(emi_opts) = &emi {
             let emi_opts = emi_opts.clone();
-            let count = self.rng.gen_range(emi_opts.min_blocks..=emi_opts.max_blocks);
+            let count = self
+                .rng
+                .gen_range(emi_opts.min_blocks..=emi_opts.max_blocks);
             for index in 0..count {
                 let block = self.gen_emi_block(&mut ctx, &program, &globals, index, &emi_opts);
                 items.push(Stmt::Emi(block));
@@ -402,7 +442,9 @@ impl Generator {
     // ----- launch geometry ----------------------------------------------
 
     fn pick_launch(&mut self) -> LaunchConfig {
-        let total = self.rng.gen_range(self.opts.min_threads..self.opts.max_threads);
+        let total = self
+            .rng
+            .gen_range(self.opts.min_threads..self.opts.max_threads);
         // Split `total` into three dimensions by picking random divisors.
         let nx = *divisors(total).choose(&mut self.rng).unwrap_or(&total);
         let rest = total / nx;
@@ -413,8 +455,10 @@ impl Generator {
         let mut local = [1usize; 3];
         let mut budget = self.opts.max_group_size;
         for d in 0..3 {
-            let candidates: Vec<usize> =
-                divisors(global[d]).into_iter().filter(|w| *w <= budget).collect();
+            let candidates: Vec<usize> = divisors(global[d])
+                .into_iter()
+                .filter(|w| *w <= budget)
+                .collect();
             local[d] = *candidates.choose(&mut self.rng).unwrap_or(&1);
             budget /= local[d].max(1);
         }
@@ -447,7 +491,11 @@ impl Generator {
             }
         }
         let id = program.add_struct(StructDef::new("Globals", fields));
-        GlobalsInfo { id, scalar_fields, vector_fields }
+        GlobalsInfo {
+            id,
+            scalar_fields,
+            vector_fields,
+        }
     }
 
     fn make_extra_structs(&mut self, program: &mut Program) -> Vec<StructId> {
@@ -482,7 +530,11 @@ impl Generator {
             }
             let is_union = self.rng.gen_bool(0.25);
             let name = format!("S{i}");
-            let def = if is_union { StructDef::union(name, fields) } else { StructDef::new(name, fields) };
+            let def = if is_union {
+                StructDef::union(name, fields)
+            } else {
+                StructDef::new(name, fields)
+            };
             ids.push(program.add_struct(def));
         }
         ids
@@ -511,13 +563,18 @@ impl Generator {
                 let stmt = self.gen_stmt(&mut ctx, program, globals, None, 1);
                 body.push(stmt);
             }
-            body.push(Stmt::Return(Some(self.gen_scalar_expr(&mut ctx, globals, 0))));
+            body.push(Stmt::Return(Some(
+                self.gen_scalar_expr(&mut ctx, globals, 0),
+            )));
             let forward_declared = self.rng.gen_bool(0.3);
             program.functions.push(FunctionDef {
                 name: format!("func_{i}"),
                 ret: Some(Type::Scalar(ret_ty)),
                 params: vec![
-                    Param::new("gp", Type::Struct(globals.id).pointer_to(AddressSpace::Private)),
+                    Param::new(
+                        "gp",
+                        Type::Struct(globals.id).pointer_to(AddressSpace::Private),
+                    ),
                     Param::new("p0", Type::Scalar(param_ty)),
                 ],
                 body,
@@ -536,7 +593,11 @@ impl Generator {
         }
         for (_, elem, width) in &globals.vector_fields {
             let parts = (0..width.lanes()).map(|_| self.literal(*elem)).collect();
-            items.push(Initializer::Expr(Expr::VectorLit { elem: *elem, width: *width, parts }));
+            items.push(Initializer::Expr(Expr::VectorLit {
+                elem: *elem,
+                width: *width,
+                parts,
+            }));
         }
         // Field order in the struct definition is scalars interleaved with
         // vectors exactly as constructed in `make_globals_struct`; rebuild
@@ -566,9 +627,14 @@ impl Generator {
 
     fn vector_local_decl(&mut self, ctx: &mut GenCtx) -> Stmt {
         let elem = self.pick_scalar_type();
-        let width = *[VectorWidth::W2, VectorWidth::W4, VectorWidth::W8, VectorWidth::W16]
-            .choose(&mut self.rng)
-            .unwrap();
+        let width = *[
+            VectorWidth::W2,
+            VectorWidth::W4,
+            VectorWidth::W8,
+            VectorWidth::W16,
+        ]
+        .choose(&mut self.rng)
+        .unwrap();
         let name = self.fresh("v");
         ctx.vectors.push((name.clone(), elem, width));
         let parts = (0..width.lanes()).map(|_| self.literal(elem)).collect();
@@ -591,9 +657,16 @@ impl Generator {
         let init_fields: Vec<Initializer> = if def.is_union {
             vec![self.field_initializer(&def.fields[0])]
         } else {
-            def.fields.iter().map(|f| self.field_initializer(f)).collect()
+            def.fields
+                .iter()
+                .map(|f| self.field_initializer(f))
+                .collect()
         };
-        let decl = Stmt::decl_init_list(name.clone(), Type::Struct(sid), Initializer::List(init_fields));
+        let decl = Stmt::decl_init_list(
+            name.clone(),
+            Type::Struct(sid),
+            Initializer::List(init_fields),
+        );
         let mut extras = Vec::new();
         // Sometimes add a pointer alias, exercising `->` accesses.
         if self.rng.gen_bool(0.6) {
@@ -612,7 +685,10 @@ impl Generator {
             let init_fields: Vec<Initializer> = if def.is_union {
                 vec![self.field_initializer(&def.fields[0])]
             } else {
-                def.fields.iter().map(|f| self.field_initializer(f)).collect()
+                def.fields
+                    .iter()
+                    .map(|f| self.field_initializer(f))
+                    .collect()
             };
             ctx.structs.push((sibling.clone(), sid));
             extras.push(Stmt::decl_init_list(
@@ -630,7 +706,11 @@ impl Generator {
             Type::Scalar(s) => Initializer::Expr(self.literal(*s)),
             Type::Vector(e, w) => {
                 let parts = (0..w.lanes()).map(|_| self.literal(*e)).collect();
-                Initializer::Expr(Expr::VectorLit { elem: *e, width: *w, parts })
+                Initializer::Expr(Expr::VectorLit {
+                    elem: *e,
+                    width: *w,
+                    parts,
+                })
             }
             Type::Array(elem, len) => {
                 let inner = Field::new("elem", (**elem).clone());
@@ -665,7 +745,11 @@ impl Generator {
                         Expr::lit(1, ScalarType::UInt),
                     ),
                     Stmt::Barrier(MemFence::Local),
-                    Stmt::decl("A_offset", Type::Scalar(ScalarType::UInt), Some(offset_init)),
+                    Stmt::decl(
+                        "A_offset",
+                        Type::Scalar(ScalarType::UInt),
+                        Some(offset_init),
+                    ),
                 ];
                 (stmts, Expr::index(Expr::var("A"), Expr::var("A_offset")))
             }
@@ -726,7 +810,11 @@ impl Generator {
         for _ in 0..count {
             let ty = self.pick_scalar_type();
             let name = self.fresh(&format!("as{index}"));
-            inner.push(Stmt::decl(name.clone(), Type::Scalar(ty), Some(self.literal(ty))));
+            inner.push(Stmt::decl(
+                name.clone(),
+                Type::Scalar(ty),
+                Some(self.literal(ty)),
+            ));
             inner_vars.push((name, ty));
         }
         for _ in 0..count {
@@ -742,7 +830,10 @@ impl Generator {
                 Expr::cast(Type::Scalar(ScalarType::UInt), Expr::var(name.clone())),
             );
         }
-        inner.push(Stmt::expr(Expr::builtin(Builtin::AtomicAdd, vec![special, hash])));
+        inner.push(Stmt::expr(Expr::builtin(
+            Builtin::AtomicAdd,
+            vec![special, hash],
+        )));
         Stmt::if_then(
             Expr::binary(
                 BinOp::Eq,
@@ -781,7 +872,10 @@ impl Generator {
         ]
         .choose(&mut self.rng)
         .unwrap();
-        let target = Expr::addr_of(Expr::index(Expr::var("red"), Expr::IdQuery(IdKind::GroupLinearId)));
+        let target = Expr::addr_of(Expr::index(
+            Expr::var("red"),
+            Expr::IdQuery(IdKind::GroupLinearId),
+        ));
         let contribution = self.literal(ScalarType::UInt);
         Stmt::Block(Block::of(vec![
             Stmt::expr(Expr::builtin(op, vec![target, contribution])),
@@ -825,11 +919,18 @@ impl Generator {
             body.push(self.gen_stmt(ctx, program, globals, None, 1));
         }
         if emi.allow_infinite_loops && self.rng.gen_bool(0.3) {
-            body.push(Stmt::While { cond: Expr::int(1), body: Block::new() });
+            body.push(Stmt::While {
+                cond: Expr::int(1),
+                body: Block::new(),
+            });
         }
         ctx.in_emi = was_in_emi;
         ctx.restore(cp);
-        EmiBlock { index, guard: (a, b), body }
+        EmiBlock {
+            index,
+            guard: (a, b),
+            body,
+        }
     }
 
     // ----- statements ------------------------------------------------------
@@ -861,7 +962,7 @@ impl Generator {
         } else if depth < max_depth && roll < 32 {
             // bounded for loop
             let loop_var = self.fresh("i");
-            let bound = self.rng.gen_range(1..=10);
+            let bound = self.rng.gen_range(1i64..=10);
             let cp = ctx.checkpoint();
             let was_in_loop = ctx.in_loop;
             ctx.in_loop = true;
@@ -879,8 +980,16 @@ impl Generator {
                     Type::Scalar(ScalarType::Int),
                     Some(Expr::int(0)),
                 ))),
-                cond: Some(Expr::binary(BinOp::Lt, Expr::var(loop_var.clone()), Expr::int(bound))),
-                update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var(loop_var), Expr::int(1))),
+                cond: Some(Expr::binary(
+                    BinOp::Lt,
+                    Expr::var(loop_var.clone()),
+                    Expr::int(bound),
+                )),
+                update: Some(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var(loop_var),
+                    Expr::int(1),
+                )),
                 body,
             }
         } else if roll < 40 && !ctx.in_helper && !program.functions.is_empty() && !ctx.in_emi {
@@ -963,9 +1072,15 @@ impl Generator {
         match self.pick_scalar_lvalue_with_structs(ctx, globals, program, shared_lvalue) {
             Some(lvalue) => {
                 if self.rng.gen_bool(0.25) {
-                    let op = *[AssignOp::AddAssign, AssignOp::SubAssign, AssignOp::XorAssign, AssignOp::OrAssign, AssignOp::AndAssign]
-                        .choose(&mut self.rng)
-                        .unwrap();
+                    let op = *[
+                        AssignOp::AddAssign,
+                        AssignOp::SubAssign,
+                        AssignOp::XorAssign,
+                        AssignOp::OrAssign,
+                        AssignOp::AndAssign,
+                    ]
+                    .choose(&mut self.rng)
+                    .unwrap();
                     Stmt::expr(Expr::assign_op(op, lvalue, rhs))
                 } else {
                     Stmt::assign(lvalue, rhs)
@@ -1011,15 +1126,21 @@ impl Generator {
             options.push(base);
         }
         for (name, sid) in &ctx.structs {
-            if let Some(field) =
-                program.struct_def(*sid).fields.iter().find(|f| f.ty.is_scalar())
+            if let Some(field) = program
+                .struct_def(*sid)
+                .fields
+                .iter()
+                .find(|f| f.ty.is_scalar())
             {
                 options.push(Expr::field(Expr::var(name.clone()), field.name.clone()));
             }
         }
         for (name, sid) in &ctx.struct_ptrs {
-            if let Some(field) =
-                program.struct_def(*sid).fields.iter().find(|f| f.ty.is_scalar())
+            if let Some(field) = program
+                .struct_def(*sid)
+                .fields
+                .iter()
+                .find(|f| f.ty.is_scalar())
             {
                 options.push(Expr::arrow(Expr::var(name.clone()), field.name.clone()));
             }
@@ -1066,20 +1187,30 @@ impl Generator {
             73..=82 => {
                 let a = self.gen_scalar_expr(ctx, globals, depth - 1);
                 let b = self.gen_scalar_expr(ctx, globals, depth - 1);
-                let f = if self.rng.gen_bool(0.5) { Builtin::Min } else { Builtin::Max };
+                let f = if self.rng.gen_bool(0.5) {
+                    Builtin::Min
+                } else {
+                    Builtin::Max
+                };
                 Expr::builtin(f, vec![a, b])
             }
             83..=90 => {
                 let ty = self.pick_scalar_type();
-                Expr::cast(Type::Scalar(ty), self.gen_scalar_expr(ctx, globals, depth - 1))
+                Expr::cast(
+                    Type::Scalar(ty),
+                    self.gen_scalar_expr(ctx, globals, depth - 1),
+                )
             }
             91..=95 => {
                 let a = self.gen_scalar_expr(ctx, globals, depth - 1);
                 let b = self.gen_scalar_expr(ctx, globals, depth - 1);
-                Expr::builtin(Builtin::Rotate, vec![
-                    Expr::cast(Type::Scalar(ScalarType::UInt), a),
-                    Expr::cast(Type::Scalar(ScalarType::UInt), b),
-                ])
+                Expr::builtin(
+                    Builtin::Rotate,
+                    vec![
+                        Expr::cast(Type::Scalar(ScalarType::UInt), a),
+                        Expr::cast(Type::Scalar(ScalarType::UInt), b),
+                    ],
+                )
             }
             _ => {
                 // comma expression (no side effects on the discarded side)
@@ -1098,17 +1229,30 @@ impl Generator {
             48..=55 => Expr::builtin(Builtin::SafeDiv, vec![lhs, rhs]),
             56..=61 => Expr::builtin(Builtin::SafeMod, vec![lhs, rhs]),
             62..=67 => Expr::builtin(
-                if self.rng.gen_bool(0.5) { Builtin::SafeLshift } else { Builtin::SafeRshift },
+                if self.rng.gen_bool(0.5) {
+                    Builtin::SafeLshift
+                } else {
+                    Builtin::SafeRshift
+                },
                 vec![lhs, rhs],
             ),
             68..=79 => {
-                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor].choose(&mut self.rng).unwrap();
+                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor]
+                    .choose(&mut self.rng)
+                    .unwrap();
                 Expr::binary(op, lhs, rhs)
             }
             80..=91 => {
-                let op = *[BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Gt, BinOp::Le, BinOp::Ge]
-                    .choose(&mut self.rng)
-                    .unwrap();
+                let op = *[
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Gt,
+                    BinOp::Le,
+                    BinOp::Ge,
+                ]
+                .choose(&mut self.rng)
+                .unwrap();
                 Expr::binary(op, lhs, rhs)
             }
             _ => {
@@ -1171,12 +1315,18 @@ impl Generator {
             0..=24 => Expr::builtin(Builtin::SafeAdd, vec![lhs, rhs]),
             25..=44 => Expr::builtin(Builtin::SafeMul, vec![lhs, rhs]),
             45..=59 => {
-                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor].choose(&mut self.rng).unwrap();
+                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor]
+                    .choose(&mut self.rng)
+                    .unwrap();
                 Expr::binary(op, lhs, rhs)
             }
             60..=74 => Expr::builtin(Builtin::Rotate, vec![lhs, rhs]),
             75..=87 => {
-                let f = if self.rng.gen_bool(0.5) { Builtin::Min } else { Builtin::Max };
+                let f = if self.rng.gen_bool(0.5) {
+                    Builtin::Min
+                } else {
+                    Builtin::Max
+                };
                 Expr::builtin(f, vec![lhs, rhs])
             }
             _ => {
@@ -1191,7 +1341,7 @@ impl Generator {
         let value = if self.rng.gen_bool(0.5) {
             *interesting.choose(&mut self.rng).unwrap()
         } else {
-            self.rng.gen_range(-128..=1024)
+            self.rng.gen_range(-128i128..=1024)
         };
         let clamped = value.clamp(ty.min_value(), ty.max_value());
         Expr::lit(clamped, ty)
@@ -1207,7 +1357,7 @@ fn divisors(n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
             if d != n / d {
                 out.push(n / d);

@@ -33,7 +33,9 @@
 pub mod emi;
 pub mod generator;
 pub mod options;
+pub mod rng;
 
 pub use emi::{all_emi_blocks_dead, inject_emi_blocks, prune_variant, InjectionOptions};
 pub use generator::{generate, Generator};
 pub use options::{EmiOptions, GenMode, GeneratorOptions, PruneProbabilities};
+pub use rng::{job_seed, Rng};

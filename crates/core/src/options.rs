@@ -103,7 +103,12 @@ pub struct EmiOptions {
 
 impl Default for EmiOptions {
     fn default() -> Self {
-        EmiOptions { dead_len: 16, min_blocks: 1, max_blocks: 5, allow_infinite_loops: false }
+        EmiOptions {
+            dead_len: 16,
+            min_blocks: 1,
+            max_blocks: 5,
+            allow_infinite_loops: false,
+        }
     }
 }
 
@@ -173,7 +178,11 @@ impl Default for GeneratorOptions {
 impl GeneratorOptions {
     /// Options for a given mode and seed with the default sizes.
     pub fn new(mode: GenMode, seed: u64) -> GeneratorOptions {
-        GeneratorOptions { seed, mode, ..GeneratorOptions::default() }
+        GeneratorOptions {
+            seed,
+            mode,
+            ..GeneratorOptions::default()
+        }
     }
 
     /// The paper's generation scale: 100–10 000 work-items per kernel and the
@@ -235,7 +244,11 @@ impl PruneProbabilities {
                 "compound ({compound}) + lift ({lift}) must not exceed 1"
             ));
         }
-        Ok(PruneProbabilities { leaf, compound, lift })
+        Ok(PruneProbabilities {
+            leaf,
+            compound,
+            lift,
+        })
     }
 
     /// The adjusted lift probability `lift / (1 - compound)` described in §5.

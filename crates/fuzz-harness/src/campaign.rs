@@ -2,8 +2,10 @@
 //! and the per-mode CLsmith campaigns (Table 4, §7.3).
 
 use crate::differential::{classify, run_on_targets, targets_for, TestTarget, Verdict};
+use crate::exec::{job_seed, Job, Scheduler};
 use clsmith::{generate, GenMode, GeneratorOptions};
 use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+use std::sync::Arc;
 
 /// Per-target tallies for a batch of kernels (one cell block of Table 4).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -74,10 +76,30 @@ pub struct CampaignResult {
     pub stats: Vec<TargetStats>,
 }
 
+impl PartialEq for CampaignResult {
+    /// Semantic equality: same mode, same batch size, same target columns
+    /// (by label) and identical tallies.  Used by the scheduler determinism
+    /// tests to compare campaigns run at different worker counts.
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode
+            && self.kernels == other.kernels
+            && self.stats == other.stats
+            && self.targets.len() == other.targets.len()
+            && self
+                .targets
+                .iter()
+                .zip(&other.targets)
+                .all(|(a, b)| a.label() == b.label())
+    }
+}
+
 impl CampaignResult {
     /// Stats for a target by its paper label (e.g. `"12-"`).
     pub fn stats_for(&self, label: &str) -> Option<&TargetStats> {
-        self.targets.iter().position(|t| t.label() == label).map(|i| &self.stats[i])
+        self.targets
+            .iter()
+            .position(|t| t.label() == label)
+            .map(|i| &self.stats[i])
     }
 
     /// Aggregate wrong-code percentage across all targets (the "Total"
@@ -121,29 +143,85 @@ impl Default for CampaignOptions {
     }
 }
 
+/// One kernel's worth of campaign work: generate the kernel from its
+/// job-derived seed, run it on every target, vote.  The target list is
+/// shared read-only state behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct KernelJob {
+    /// Generation mode.
+    pub mode: GenMode,
+    /// The per-job seed (`job_seed(campaign_seed, job_index)`).
+    pub seed: u64,
+    /// Base generator options (mode/seed overridden by the fields above).
+    pub generator: GeneratorOptions,
+    /// Execution options.
+    pub exec: ExecOptions,
+    /// The targets, shared across the whole batch.
+    pub targets: Arc<Vec<TestTarget>>,
+}
+
+impl Job for KernelJob {
+    type Output = Vec<Verdict>;
+
+    fn run(self) -> Vec<Verdict> {
+        let gen_opts = GeneratorOptions {
+            mode: self.mode,
+            seed: self.seed,
+            ..self.generator
+        };
+        let program = generate(&gen_opts);
+        let outcomes = run_on_targets(&program, &self.targets, &self.exec);
+        classify(&outcomes)
+    }
+}
+
 /// Runs a CLsmith campaign for one mode against the given configurations
 /// (both optimisation levels), reproducing one row block of Table 4.
+///
+/// Parallelised over the default scheduler; see [`run_mode_campaign_with`].
 pub fn run_mode_campaign(
     mode: GenMode,
     configs: &[Configuration],
     options: &CampaignOptions,
 ) -> CampaignResult {
-    let targets = targets_for(configs);
-    let mut stats = vec![TargetStats::default(); targets.len()];
-    for i in 0..options.kernels {
-        let gen_opts = GeneratorOptions {
+    run_mode_campaign_with(&Scheduler::from_env(), mode, configs, options)
+}
+
+/// [`run_mode_campaign`] on an explicit scheduler.
+///
+/// Every kernel is an independent [`KernelJob`] seeded from
+/// `(options.seed_offset, kernel index)`, and per-kernel verdict shards are
+/// folded into [`TargetStats`] in job-index order, so the result is
+/// bit-identical at any worker count.
+pub fn run_mode_campaign_with(
+    scheduler: &Scheduler,
+    mode: GenMode,
+    configs: &[Configuration],
+    options: &CampaignOptions,
+) -> CampaignResult {
+    let targets = Arc::new(targets_for(configs));
+    let jobs: Vec<KernelJob> = (0..options.kernels)
+        .map(|i| KernelJob {
             mode,
-            seed: options.seed_offset + i as u64,
-            ..options.generator.clone()
-        };
-        let program = generate(&gen_opts);
-        let outcomes = run_on_targets(&program, &targets, &options.exec);
-        let verdicts = classify(&outcomes);
+            seed: job_seed(options.seed_offset, i as u64),
+            generator: options.generator.clone(),
+            exec: options.exec.clone(),
+            targets: Arc::clone(&targets),
+        })
+        .collect();
+    let mut stats = vec![TargetStats::default(); targets.len()];
+    for verdicts in scheduler.run_all(jobs) {
         for (stat, verdict) in stats.iter_mut().zip(verdicts) {
             stat.record(verdict);
         }
     }
-    CampaignResult { mode, kernels: options.kernels, targets, stats }
+    let targets = Arc::try_unwrap(targets).unwrap_or_else(|shared| (*shared).clone());
+    CampaignResult {
+        mode,
+        kernels: options.kernels,
+        targets,
+        stats,
+    }
 }
 
 /// Outcome of the §7.1 initial classification for one configuration.
@@ -165,14 +243,30 @@ pub const RELIABILITY_THRESHOLD: f64 = 0.25;
 /// Classifies every configuration against the reliability threshold using
 /// `kernels_per_mode` kernels from each of the six modes (the paper uses 100
 /// per mode, i.e. 600 in total).
+///
+/// Parallelised over the default scheduler; see
+/// [`classify_configurations_with`].
 pub fn classify_configurations(
+    configs: &[Configuration],
+    kernels_per_mode: usize,
+    options: &CampaignOptions,
+) -> Vec<ReliabilityRow> {
+    classify_configurations_with(&Scheduler::from_env(), configs, kernels_per_mode, options)
+}
+
+/// [`classify_configurations`] on an explicit scheduler: six per-mode
+/// campaigns, each fanned out over the scheduler's workers, pooled per
+/// configuration in mode order.
+pub fn classify_configurations_with(
+    scheduler: &Scheduler,
     configs: &[Configuration],
     kernels_per_mode: usize,
     options: &CampaignOptions,
 ) -> Vec<ReliabilityRow> {
     let mut per_config = vec![TargetStats::default(); configs.len()];
     for (mode_index, mode) in GenMode::ALL.iter().enumerate() {
-        let campaign = run_mode_campaign(
+        let campaign = run_mode_campaign_with(
+            scheduler,
             *mode,
             configs,
             &CampaignOptions {
@@ -184,7 +278,10 @@ pub fn classify_configurations(
         );
         // Pool the two optimisation levels of each configuration.
         for (t, stat) in campaign.targets.iter().zip(&campaign.stats) {
-            let idx = configs.iter().position(|c| c.id == t.config.id).expect("config present");
+            let idx = configs
+                .iter()
+                .position(|c| c.id == t.config.id)
+                .expect("config present");
             per_config[idx].wrong += stat.wrong;
             per_config[idx].build_failures += stat.build_failures;
             per_config[idx].crashes += stat.crashes;
@@ -202,16 +299,22 @@ pub fn classify_configurations(
             // by compile hangs are counted against the threshold here so the
             // same judgement falls out of the data.
             let hang_fraction = stats.timeouts as f64 / stats.total().max(1) as f64;
-            let above_threshold = failure_fraction <= RELIABILITY_THRESHOLD
-                && hang_fraction <= RELIABILITY_THRESHOLD;
-            ReliabilityRow { config: config.clone(), failure_fraction, above_threshold }
+            let above_threshold =
+                failure_fraction <= RELIABILITY_THRESHOLD && hang_fraction <= RELIABILITY_THRESHOLD;
+            ReliabilityRow {
+                config: config.clone(),
+                failure_fraction,
+                above_threshold,
+            }
         })
         .collect()
 }
 
 /// Runs one kernel across the above-threshold targets and returns both raw
 /// outcomes and verdicts (useful to examples and tests).
-pub fn quick_differential(program: &clc::Program) -> (Vec<TestTarget>, Vec<TestOutcome>, Vec<Verdict>) {
+pub fn quick_differential(
+    program: &clc::Program,
+) -> (Vec<TestTarget>, Vec<TestOutcome>, Vec<Verdict>) {
     let configs = opencl_sim::above_threshold_configurations();
     let targets = targets_for(&configs);
     let outcomes = run_on_targets(program, &targets, &ExecOptions::default());
@@ -222,7 +325,10 @@ pub fn quick_differential(program: &clc::Program) -> (Vec<TestTarget>, Vec<TestO
 /// Returns `OptLevel::BOTH` targets for a single configuration (used by the
 /// EMI campaign, which does not compare across configurations).
 pub fn single_config_targets(config: &Configuration) -> Vec<TestTarget> {
-    OptLevel::BOTH.iter().map(|opt| TestTarget::new(config.clone(), *opt)).collect()
+    OptLevel::BOTH
+        .iter()
+        .map(|opt| TestTarget::new(config.clone(), *opt))
+        .collect()
 }
 
 #[cfg(test)]
@@ -232,7 +338,13 @@ mod tests {
     #[test]
     fn stats_accumulate_and_derive_percentages() {
         let mut s = TargetStats::default();
-        for v in [Verdict::Ok, Verdict::Ok, Verdict::WrongCode, Verdict::Crash, Verdict::Timeout] {
+        for v in [
+            Verdict::Ok,
+            Verdict::Ok,
+            Verdict::WrongCode,
+            Verdict::Crash,
+            Verdict::Timeout,
+        ] {
             s.record(v);
         }
         assert_eq!(s.total(), 5);
@@ -280,7 +392,13 @@ mod tests {
         };
         let rows = classify_configurations(&configs, 3, &options);
         assert_eq!(rows.len(), 2);
-        assert!(rows[0].above_threshold, "NVIDIA should be above the threshold");
-        assert!(!rows[1].above_threshold, "the Altera FPGA should fall below the threshold");
+        assert!(
+            rows[0].above_threshold,
+            "NVIDIA should be above the threshold"
+        );
+        assert!(
+            !rows[1].above_threshold,
+            "the Altera FPGA should fall below the threshold"
+        );
     }
 }

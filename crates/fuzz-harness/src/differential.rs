@@ -2,7 +2,7 @@
 //! optimisation level) targets and vote on the result (§3.2, §7.3).
 
 use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One column of Table 4: a configuration at a fixed optimisation level.
 #[derive(Debug, Clone)]
@@ -87,18 +87,31 @@ pub const MAJORITY_THRESHOLD: usize = 3;
 
 /// Applies the paper's majority-vote rule to a set of outcomes, returning one
 /// verdict per outcome.
+///
+/// Tie-breaking between equal-count value classes is *stable*: the class
+/// with the numerically smallest result hash wins.  (A `HashMap` here would
+/// make the verdict depend on iteration order — and therefore on nothing
+/// reproducible — whenever two value classes tie at the majority count,
+/// which would break the campaign engine's bit-identical-at-any-thread-count
+/// guarantee.)
 pub fn classify(outcomes: &[TestOutcome]) -> Vec<Verdict> {
-    let mut counts: HashMap<u64, usize> = HashMap::new();
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
     for outcome in outcomes {
         if let Some(hash) = outcome.result_hash() {
             *counts.entry(hash).or_insert(0) += 1;
         }
     }
-    let majority = counts
-        .iter()
-        .max_by_key(|(_, count)| **count)
-        .filter(|(_, count)| **count >= MAJORITY_THRESHOLD)
-        .map(|(hash, _)| *hash);
+    // `counts` iterates in ascending hash order, so taking a *strictly*
+    // greater count keeps the smallest hash among tied classes.
+    let mut majority: Option<(u64, usize)> = None;
+    for (&hash, &count) in &counts {
+        if majority.is_none_or(|(_, best)| count > best) {
+            majority = Some((hash, count));
+        }
+    }
+    let majority = majority
+        .filter(|(_, count)| *count >= MAJORITY_THRESHOLD)
+        .map(|(hash, _)| hash);
     outcomes
         .iter()
         .map(|outcome| match outcome {
@@ -127,16 +140,31 @@ mod tests {
     use super::*;
 
     fn result(hash: u64) -> TestOutcome {
-        TestOutcome::Result { hash, output: hash.to_string() }
+        TestOutcome::Result {
+            hash,
+            output: hash.to_string(),
+        }
     }
 
     #[test]
     fn majority_voting_flags_the_deviant() {
-        let outcomes = vec![result(1), result(1), result(1), result(2), TestOutcome::Timeout];
+        let outcomes = vec![
+            result(1),
+            result(1),
+            result(1),
+            result(2),
+            TestOutcome::Timeout,
+        ];
         let verdicts = classify(&outcomes);
         assert_eq!(
             verdicts,
-            vec![Verdict::Ok, Verdict::Ok, Verdict::Ok, Verdict::WrongCode, Verdict::Timeout]
+            vec![
+                Verdict::Ok,
+                Verdict::Ok,
+                Verdict::Ok,
+                Verdict::WrongCode,
+                Verdict::Timeout
+            ]
         );
     }
 
@@ -149,6 +177,32 @@ mod tests {
     }
 
     #[test]
+    fn tied_majorities_break_towards_the_smallest_hash() {
+        // Three against three at the majority threshold: the verdict must
+        // not depend on map iteration order.  The stable rule elects the
+        // smaller hash (2), so the larger class (5) is the deviant.
+        let outcomes = vec![
+            result(5),
+            result(2),
+            result(5),
+            result(2),
+            result(5),
+            result(2),
+        ];
+        let expected = vec![
+            Verdict::WrongCode,
+            Verdict::Ok,
+            Verdict::WrongCode,
+            Verdict::Ok,
+            Verdict::WrongCode,
+            Verdict::Ok,
+        ];
+        for _ in 0..32 {
+            assert_eq!(classify(&outcomes), expected);
+        }
+    }
+
+    #[test]
     fn failures_map_to_their_buckets() {
         let outcomes = vec![
             TestOutcome::BuildFailure("x".into()),
@@ -156,7 +210,10 @@ mod tests {
             TestOutcome::Timeout,
         ];
         let verdicts = classify(&outcomes);
-        assert_eq!(verdicts, vec![Verdict::BuildFailure, Verdict::Crash, Verdict::Timeout]);
+        assert_eq!(
+            verdicts,
+            vec![Verdict::BuildFailure, Verdict::Crash, Verdict::Timeout]
+        );
         assert_eq!(Verdict::BuildFailure.key(), "bf");
     }
 

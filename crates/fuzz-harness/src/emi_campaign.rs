@@ -10,9 +10,11 @@
 //! comparison is needed, which is the selling point of EMI testing (§3.2).
 
 use crate::campaign::CampaignOptions;
+use crate::exec::{job_seed, Job, Scheduler};
 use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
 use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-target tallies over base programs (the rows of Table 5).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -32,7 +34,7 @@ pub struct EmiStats {
 }
 
 /// Result of an EMI campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmiCampaignResult {
     /// Number of base programs that passed the liveness check.
     pub bases: usize,
@@ -47,7 +49,10 @@ pub struct EmiCampaignResult {
 impl EmiCampaignResult {
     /// Stats for a target label.
     pub fn stats_for(&self, label: &str) -> Option<&EmiStats> {
-        self.labels.iter().position(|l| l == label).map(|i| &self.stats[i])
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| &self.stats[i])
     }
 }
 
@@ -74,25 +79,32 @@ impl Default for EmiCampaignOptions {
     }
 }
 
-/// Generates base programs that pass the §7.4 liveness check: the EMI blocks
-/// must not all sit in already-dead code, which is checked by comparing the
-/// reference result with the `dead` array inverted.
-pub fn generate_live_bases(options: &EmiCampaignOptions) -> Vec<clc::Program> {
-    let mut bases = Vec::new();
-    let mut seed = options.campaign.seed_offset;
-    let mut attempts = 0usize;
-    while bases.len() < options.bases && attempts < options.bases * 20 + 50 {
-        attempts += 1;
-        seed += 1;
+/// One candidate-base probe: generate an ALL-mode EMI kernel from the
+/// job-derived seed and apply the §7.4 liveness check (inverting the `dead`
+/// array must change the result).
+#[derive(Debug, Clone)]
+pub struct LivenessProbeJob {
+    /// The candidate's generator seed.
+    pub seed: u64,
+    /// Base generator options (mode/seed/EMI overridden).
+    pub generator: GeneratorOptions,
+    /// Execution options for the two reference runs.
+    pub exec: ExecOptions,
+}
+
+impl Job for LivenessProbeJob {
+    type Output = Option<clc::Program>;
+
+    fn run(self) -> Option<clc::Program> {
         let gen_opts = GeneratorOptions {
             mode: GenMode::All,
-            seed,
-            ..options.campaign.generator.clone()
+            seed: self.seed,
+            ..self.generator
         }
         .with_emi();
         let program = generate(&gen_opts);
-        let normal = opencl_sim::reference_execute(&program, &options.campaign.exec);
-        let mut inverted_exec = options.campaign.exec.clone();
+        let normal = opencl_sim::reference_execute(&program, &self.exec);
+        let mut inverted_exec = self.exec.clone();
         inverted_exec.buffer_overrides.insert(
             "dead".into(),
             clc::BufferInit::ReverseIota.materialize(program.dead_len),
@@ -105,9 +117,52 @@ pub fn generate_live_bases(options: &EmiCampaignOptions) -> Vec<clc::Program> {
             (TestOutcome::Result { .. }, _) => true,
             _ => false,
         };
-        if live {
-            bases.push(program);
+        live.then_some(program)
+    }
+}
+
+/// Generates base programs that pass the §7.4 liveness check: the EMI blocks
+/// must not all sit in already-dead code, which is checked by comparing the
+/// reference result with the `dead` array inverted.
+///
+/// Parallelised over the default scheduler; see [`generate_live_bases_with`].
+pub fn generate_live_bases(options: &EmiCampaignOptions) -> Vec<clc::Program> {
+    generate_live_bases_with(&Scheduler::from_env(), options)
+}
+
+/// [`generate_live_bases`] on an explicit scheduler.
+///
+/// Probes are evaluated in chunks of candidate seeds, but acceptance scans
+/// candidates strictly in index order and keeps the first `options.bases`
+/// live ones — exactly the set the sequential loop accepts — so the base
+/// list is independent of both the worker count and the chunk size.
+pub fn generate_live_bases_with(
+    scheduler: &Scheduler,
+    options: &EmiCampaignOptions,
+) -> Vec<clc::Program> {
+    let max_attempts = options.bases * 20 + 50;
+    let mut bases = Vec::new();
+    let mut attempt = 0usize;
+    while bases.len() < options.bases && attempt < max_attempts {
+        // Probe only about as many candidates as are still missing (with a
+        // floor that keeps every worker busy), so a nearly-complete campaign
+        // does not burn a full-sized chunk for its last base.
+        let missing = options.bases - bases.len();
+        let chunk = missing.max(scheduler.threads() * 4);
+        let upper = (attempt + chunk).min(max_attempts);
+        let jobs: Vec<LivenessProbeJob> = (attempt..upper)
+            .map(|candidate| LivenessProbeJob {
+                seed: job_seed(options.campaign.seed_offset, candidate as u64),
+                generator: options.campaign.generator.clone(),
+                exec: options.campaign.exec.clone(),
+            })
+            .collect();
+        for program in scheduler.run_all(jobs).into_iter().flatten() {
+            if bases.len() < options.bases {
+                bases.push(program);
+            }
         }
+        attempt = upper;
     }
     bases
 }
@@ -124,38 +179,96 @@ pub fn pruning_grid(variants: usize) -> Vec<PruneProbabilities> {
         .collect()
 }
 
+/// One base program's worth of EMI campaign work: derive every pruning
+/// variant (seeded from the base index, not the worker), judge the base on
+/// every (configuration, optimisation level) column.  The pruning grid and
+/// configuration list are shared read-only state behind [`Arc`]s.
+#[derive(Debug, Clone)]
+pub struct EmiBaseJob {
+    /// The live base program.
+    pub base: clc::Program,
+    /// Index of the base in the campaign (drives variant seeding).
+    pub base_index: usize,
+    /// The campaign seed (`options.campaign.seed_offset`).
+    pub campaign_seed: u64,
+    /// The pruning-probability grid, shared across the batch.
+    pub grid: Arc<Vec<PruneProbabilities>>,
+    /// The configurations, shared across the batch.
+    pub configs: Arc<Vec<Configuration>>,
+    /// Execution options.
+    pub exec: ExecOptions,
+}
+
+impl Job for EmiBaseJob {
+    type Output = Vec<BaseJudgement>;
+
+    fn run(self) -> Vec<BaseJudgement> {
+        let base_seed = job_seed(self.campaign_seed, self.base_index as u64);
+        let variants: Vec<clc::Program> = self
+            .grid
+            .iter()
+            .enumerate()
+            .map(|(i, probs)| prune_variant(&self.base, probs, job_seed(base_seed, i as u64)))
+            .collect();
+        let mut judgements = Vec::with_capacity(self.configs.len() * OptLevel::BOTH.len());
+        for config in self.configs.iter() {
+            for opt in OptLevel::BOTH {
+                judgements.push(judge_base(&variants, config, opt, &self.exec));
+            }
+        }
+        judgements
+    }
+}
+
 /// Runs the EMI campaign against each configuration at both optimisation
 /// levels.
+///
+/// Parallelised over the default scheduler; see [`run_emi_campaign_with`].
 pub fn run_emi_campaign(
     configs: &[Configuration],
     options: &EmiCampaignOptions,
 ) -> EmiCampaignResult {
-    let bases = generate_live_bases(options);
-    let grid = pruning_grid(options.variants_per_base);
+    run_emi_campaign_with(&Scheduler::from_env(), configs, options)
+}
+
+/// [`run_emi_campaign`] on an explicit scheduler: one [`EmiBaseJob`] per
+/// live base, judgement shards folded into the per-target [`EmiStats`] in
+/// base-index order.
+pub fn run_emi_campaign_with(
+    scheduler: &Scheduler,
+    configs: &[Configuration],
+    options: &EmiCampaignOptions,
+) -> EmiCampaignResult {
+    let bases = generate_live_bases_with(scheduler, options);
+    let grid = Arc::new(pruning_grid(options.variants_per_base));
+    let shared_configs = Arc::new(configs.to_vec());
     let mut labels = Vec::new();
     for config in configs {
         for opt in OptLevel::BOTH {
             labels.push(config.label(opt));
         }
     }
+    let base_count = bases.len();
+    let jobs: Vec<EmiBaseJob> = bases
+        .into_iter()
+        .enumerate()
+        .map(|(base_index, base)| EmiBaseJob {
+            base,
+            base_index,
+            campaign_seed: options.campaign.seed_offset,
+            grid: Arc::clone(&grid),
+            configs: Arc::clone(&shared_configs),
+            exec: options.campaign.exec.clone(),
+        })
+        .collect();
     let mut stats = vec![EmiStats::default(); labels.len()];
-    for (base_index, base) in bases.iter().enumerate() {
-        let variants: Vec<clc::Program> = grid
-            .iter()
-            .enumerate()
-            .map(|(i, probs)| prune_variant(base, probs, (base_index * 1000 + i) as u64))
-            .collect();
-        let mut column = 0usize;
-        for config in configs {
-            for opt in OptLevel::BOTH {
-                let outcome = judge_base(&variants, config, opt, &options.campaign.exec);
-                record_base(&mut stats[column], outcome);
-                column += 1;
-            }
+    for judgements in scheduler.run_all(jobs) {
+        for (column, judgement) in judgements.into_iter().enumerate() {
+            record_base(&mut stats[column], judgement);
         }
     }
     EmiCampaignResult {
-        bases: bases.len(),
+        bases: base_count,
         variants_per_base: grid.len(),
         labels,
         stats,
@@ -187,7 +300,10 @@ pub fn judge_base(
     opt: OptLevel,
     exec: &ExecOptions,
 ) -> BaseJudgement {
-    let mut hashes: HashMap<u64, usize> = HashMap::new();
+    // A BTreeMap keeps the tally independent of hash iteration order (the
+    // verdict only reads set size and totals today, but stable ordering is
+    // the crate-wide rule after the `classify` tie-break fix).
+    let mut hashes: BTreeMap<u64, usize> = BTreeMap::new();
     let mut build_failure = false;
     let mut crash = false;
     let mut timeout = false;
@@ -205,7 +321,14 @@ pub fn judge_base(
     let bad_base = terminated == 0;
     let wrong = hashes.len() > 1;
     let stable = !bad_base && !wrong && terminated == variants.len();
-    BaseJudgement { bad_base, wrong, build_failure, crash, timeout, stable }
+    BaseJudgement {
+        bad_base,
+        wrong,
+        build_failure,
+        crash,
+        timeout,
+        stable,
+    }
 }
 
 fn record_base(stats: &mut EmiStats, j: BaseJudgement) {
@@ -273,13 +396,16 @@ mod tests {
         let options = small_options(1);
         let bases = generate_live_bases(&options);
         let grid = pruning_grid(4);
-        let variants: Vec<clc::Program> =
-            grid.iter().enumerate().map(|(i, p)| prune_variant(&bases[0], p, i as u64)).collect();
+        let variants: Vec<clc::Program> = grid
+            .iter()
+            .enumerate()
+            .map(|(i, p)| prune_variant(&bases[0], p, i as u64))
+            .collect();
         // The reference emulator (no injected bugs) must find every base
         // stable: all variants agree.
         let mut hashes = std::collections::HashSet::new();
         for v in &variants {
-            match opencl_sim::reference_execute(&v, &options.campaign.exec) {
+            match opencl_sim::reference_execute(v, &options.campaign.exec) {
                 TestOutcome::Result { hash, .. } => {
                     hashes.insert(hash);
                 }
@@ -297,7 +423,9 @@ mod tests {
         assert_eq!(result.labels.len(), 4);
         for stats in &result.stats {
             // Every base is accounted for: either a bad base or judged.
-            assert!(stats.base_fails + stats.stable + stats.wrong <= result.bases + stats.base_fails);
+            assert!(
+                stats.base_fails + stats.stable + stats.wrong <= result.bases + stats.base_fails
+            );
         }
     }
 }

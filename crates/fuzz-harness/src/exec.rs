@@ -1,0 +1,395 @@
+//! The parallel campaign engine: a deterministic work scheduler that every
+//! fuzzing driver in this crate runs on.
+//!
+//! The paper's campaigns are embarrassingly parallel at the test-case level —
+//! each kernel (or EMI base, or benchmark variant) is generated, compiled and
+//! executed independently — but naive parallelisation destroys the property
+//! that makes fuzzing campaigns debuggable: reproducibility.  The scheduler
+//! therefore enforces three invariants:
+//!
+//! 1. **Per-job seeding** — every job derives its RNG seed as
+//!    `campaign_seed → splitmix → job_seed` ([`job_seed`]), a pure function
+//!    of the campaign seed and the job *index*, never of the worker thread
+//!    or completion order.
+//! 2. **Index-ordered aggregation** — results are merged in job-index order
+//!    ([`Scheduler::run`] returns them that way), so any fold over them is
+//!    oblivious to scheduling.
+//! 3. **Contained failures** — a panicking job is caught on the worker,
+//!    surfaced as [`JobResult::Failed`], and never wedges the queue; the
+//!    remaining jobs still complete.
+//!
+//! Together these guarantee the headline property (exercised by the
+//! `scheduler_determinism` integration tests): for a fixed campaign seed the
+//! rendered tables are **bit-identical at any thread count**.
+//!
+//! Mechanically this is a bounded-queue thread pool: jobs are fed through an
+//! [`mpsc::sync_channel`] whose capacity bounds the number of in-flight
+//! jobs, workers created with [`std::thread::scope`] pull from the shared
+//! receiver whenever they go idle (the channel acts as the work-distribution
+//! deque), and results flow back over an unbounded channel tagged with their
+//! job index.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+pub use clsmith::rng::job_seed;
+
+/// A unit of campaign work: owns everything it needs (inputs by value,
+/// shared read-only state behind [`Arc`]) and produces a result shard that
+/// the driver merges in job-index order.
+pub trait Job: Send {
+    /// The per-job result shard.
+    type Output: Send;
+
+    /// Executes the job.  Runs on a worker thread; panics are contained and
+    /// reported as [`JobResult::Failed`].
+    fn run(self) -> Self::Output;
+}
+
+/// What became of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobResult<T> {
+    /// The job ran to completion.
+    Completed(T),
+    /// The job panicked on its worker; the queue kept draining.
+    Failed(JobFailure),
+}
+
+impl<T> JobResult<T> {
+    /// The completed value, or `None` for a failed job.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            JobResult::Completed(v) => Some(v),
+            JobResult::Failed(_) => None,
+        }
+    }
+}
+
+/// Description of a contained job panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the failed job in the submitted batch.
+    pub index: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Unwraps a batch of results, panicking (deterministically, on the lowest
+/// failed job index) if any job failed.
+///
+/// The campaign drivers use this to preserve their historical semantics:
+/// a panic inside kernel generation or execution still aborts the campaign,
+/// but it does so identically at every thread count instead of tearing down
+/// whichever worker happened to run the job.
+pub fn expect_completed<T>(results: Vec<JobResult<T>>) -> Vec<T> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            JobResult::Completed(v) => v,
+            JobResult::Failed(failure) => panic!("{failure}"),
+        })
+        .collect()
+}
+
+/// A fixed-size worker pool with a bounded work queue and index-ordered
+/// result aggregation.
+///
+/// `Scheduler` is cheap to construct and carries no OS resources: threads
+/// are scoped to each [`Scheduler::run`] call, so a sequential fallback
+/// (`threads == 1`) spawns nothing at all.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    threads: usize,
+    queue_capacity: usize,
+}
+
+impl Scheduler {
+    /// A scheduler with `threads` workers (clamped to at least 1).  The
+    /// work queue is bounded at four jobs per worker, enough to keep
+    /// workers busy without materialising a whole campaign up front.
+    pub fn new(threads: usize) -> Scheduler {
+        let threads = threads.max(1);
+        Scheduler {
+            threads,
+            queue_capacity: threads * 4,
+        }
+    }
+
+    /// A single-worker scheduler that runs every job inline, in order.
+    pub fn sequential() -> Scheduler {
+        Scheduler::new(1)
+    }
+
+    /// The default scheduler: `FUZZ_THREADS` from the environment if set,
+    /// otherwise the machine's available parallelism.  Campaign results do
+    /// not depend on the choice — only wall-clock time does.
+    pub fn from_env() -> Scheduler {
+        let threads = std::env::var("FUZZ_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Scheduler::new(threads)
+    }
+
+    /// Overrides the bound on in-flight jobs (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Scheduler {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a batch of jobs and returns one [`JobResult`] per job, **in
+    /// job-index order**, regardless of which workers ran what and in which
+    /// order they finished.
+    pub fn run<J: Job>(&self, jobs: Vec<J>) -> Vec<JobResult<J::Output>> {
+        let count = jobs.len();
+        if self.threads == 1 || count <= 1 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| run_one(i, job))
+                .collect();
+        }
+
+        let workers = self.threads.min(count);
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, J)>(self.queue_capacity);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, JobResult<J::Output>)>();
+
+        let mut slots: Vec<Option<JobResult<J::Output>>> = Vec::with_capacity(count);
+        slots.resize_with(count, || None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&job_rx);
+                let tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only to pull the next job; execution is
+                    // fully concurrent.  `recv` returning Err means the
+                    // sender is gone and the queue is drained.
+                    let next = rx.lock().expect("job queue lock poisoned").recv();
+                    match next {
+                        Ok((index, job)) => {
+                            if tx.send((index, run_one(index, job))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            drop(result_tx);
+
+            // Feed the bounded queue from this thread; back-pressure blocks
+            // the send when all workers are busy and the queue is full.
+            for item in jobs.into_iter().enumerate() {
+                job_tx
+                    .send(item)
+                    .expect("all workers exited with jobs pending");
+            }
+            drop(job_tx);
+
+            // Collect exactly `count` results.  Every job sends exactly one
+            // result — even a panicking job, because the panic is caught
+            // around `Job::run` — so this cannot hang.
+            for (index, result) in result_rx.iter() {
+                debug_assert!(slots[index].is_none(), "job {index} reported twice");
+                slots[index] = Some(result);
+            }
+        });
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} produced no result")))
+            .collect()
+    }
+
+    /// Runs a batch and unwraps every result (see [`expect_completed`]).
+    pub fn run_all<J: Job>(&self, jobs: Vec<J>) -> Vec<J::Output> {
+        expect_completed(self.run(jobs))
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::from_env()
+    }
+}
+
+/// Executes one job with panic containment.
+fn run_one<J: Job>(index: usize, job: J) -> JobResult<J::Output> {
+    match catch_unwind(AssertUnwindSafe(move || job.run())) {
+        Ok(value) => JobResult::Completed(value),
+        Err(payload) => {
+            // `&*payload` reborrows the payload itself; a plain `&payload`
+            // would coerce the `Box` into the trait object and defeat the
+            // downcasts below.
+            JobResult::Failed(JobFailure {
+                index,
+                message: panic_message(&*payload),
+            })
+        }
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial job for exercising the pool.
+    struct Square(u64);
+
+    impl Job for Square {
+        type Output = u64;
+        fn run(self) -> u64 {
+            if self.0 == u64::MAX {
+                panic!("poisoned job");
+            }
+            self.0 * self.0
+        }
+    }
+
+    /// The platform/AST types that jobs move across threads must be
+    /// thread-safe; this is the compile-time audit the `opencl-sim` and
+    /// `core` layers are held to.
+    #[test]
+    fn shared_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<clc::Program>();
+        assert_send_sync::<clsmith::GeneratorOptions>();
+        assert_send_sync::<clsmith::Rng>();
+        assert_send_sync::<opencl_sim::Configuration>();
+        assert_send_sync::<opencl_sim::ExecOptions>();
+        assert_send_sync::<opencl_sim::TestOutcome>();
+        assert_send_sync::<crate::TestTarget>();
+        assert_send_sync::<Scheduler>();
+    }
+
+    #[test]
+    fn results_come_back_in_job_index_order_at_any_thread_count() {
+        let jobs = |n: u64| (0..n).map(Square).collect::<Vec<_>>();
+        let expected: Vec<u64> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let scheduler = Scheduler::new(threads);
+            assert_eq!(scheduler.run_all(jobs(97)), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_batches_work() {
+        let scheduler = Scheduler::new(4);
+        assert_eq!(scheduler.run_all(Vec::<Square>::new()), Vec::<u64>::new());
+        assert_eq!(scheduler.run_all(vec![Square(3)]), vec![9]);
+    }
+
+    #[test]
+    fn panics_are_contained_and_surfaced_as_job_failures() {
+        // A panicking job must neither hang the queue nor take down its
+        // worker pool: all other jobs still complete, and the failure
+        // reports the correct index and message.
+        for threads in [1, 4] {
+            let scheduler = Scheduler::new(threads);
+            let mut jobs: Vec<Square> = (0..16).map(Square).collect();
+            jobs[5] = Square(u64::MAX);
+            let results = scheduler.run(jobs);
+            assert_eq!(results.len(), 16);
+            for (i, result) in results.iter().enumerate() {
+                if i == 5 {
+                    assert_eq!(
+                        *result,
+                        JobResult::Failed(JobFailure {
+                            index: 5,
+                            message: "poisoned job".to_string()
+                        })
+                    );
+                } else {
+                    assert_eq!(*result, JobResult::Completed((i * i) as u64), "job {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "job 2 panicked: poisoned job")]
+    fn expect_completed_reraises_the_failure_deterministically() {
+        let scheduler = Scheduler::new(4);
+        let jobs = vec![Square(1), Square(2), Square(u64::MAX), Square(4)];
+        scheduler.run_all(jobs);
+    }
+
+    #[test]
+    fn queue_capacity_is_respected_without_deadlock() {
+        // A queue bound smaller than the batch exercises back-pressure.
+        let scheduler = Scheduler::new(2).with_queue_capacity(1);
+        let got = scheduler.run_all((0..64).map(Square).collect::<Vec<_>>());
+        assert_eq!(got.len(), 64);
+    }
+
+    /// A fixed-latency job (wall-clock cost, no CPU cost).
+    struct Sleep(std::time::Duration);
+
+    impl Job for Sleep {
+        type Output = ();
+        fn run(self) {
+            std::thread::sleep(self.0);
+        }
+    }
+
+    #[test]
+    fn workers_overlap_job_execution() {
+        // 8 jobs × 30ms: one worker needs ≥240ms, four workers ≥60ms.  The
+        // ≥2× margin keeps this robust on loaded machines while still
+        // proving jobs run concurrently (this holds even on a single core,
+        // because the cost here is latency, not CPU).
+        let jobs = || {
+            (0..8)
+                .map(|_| Sleep(std::time::Duration::from_millis(30)))
+                .collect()
+        };
+        let start = std::time::Instant::now();
+        Scheduler::new(1).run_all(jobs());
+        let sequential = start.elapsed();
+        let start = std::time::Instant::now();
+        Scheduler::new(4).run_all(jobs());
+        let parallel = start.elapsed();
+        assert!(
+            sequential.as_secs_f64() >= 2.0 * parallel.as_secs_f64(),
+            "4 workers did not overlap: sequential {sequential:?}, parallel {parallel:?}"
+        );
+    }
+
+    #[test]
+    fn from_env_and_default_produce_at_least_one_worker() {
+        assert!(Scheduler::from_env().threads() >= 1);
+        assert!(Scheduler::default().threads() >= 1);
+        assert_eq!(Scheduler::sequential().threads(), 1);
+        assert_eq!(Scheduler::new(0).threads(), 1);
+    }
+}

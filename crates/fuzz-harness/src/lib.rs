@@ -12,7 +12,17 @@
 //! * [`benchmark_emi`] — EMI testing of existing kernels such as the
 //!   Parboil/Rodinia miniatures (Table 3, §7.2);
 //! * [`report`] — plain-text table rendering used by the reproduction
-//!   binaries in the `bench` crate.
+//!   binaries in the `bench` crate;
+//! * [`exec`] — the parallel campaign engine every driver above runs on: a
+//!   bounded-queue worker pool with per-job deterministic seeding and
+//!   index-ordered aggregation, so that for a fixed campaign seed the
+//!   rendered tables are bit-identical at any thread count.
+//!
+//! Every driver comes in two forms: the historical signature (e.g.
+//! [`run_mode_campaign`]), which fans out over [`exec::Scheduler::from_env`]
+//! (`FUZZ_THREADS` or the machine's available parallelism), and an explicit
+//! `*_with(&Scheduler, ...)` form for callers that manage their own worker
+//! pool.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,16 +31,25 @@ pub mod benchmark_emi;
 pub mod campaign;
 pub mod differential;
 pub mod emi_campaign;
+pub mod exec;
 pub mod report;
 
-pub use benchmark_emi::{evaluate_benchmark, BenchmarkCell, CellOutcome, EmiBenchmark};
+pub use benchmark_emi::{
+    evaluate_benchmark, evaluate_benchmark_with, BenchmarkBodyJob, BenchmarkCell, CellOutcome,
+    EmiBenchmark,
+};
 pub use campaign::{
-    classify_configurations, quick_differential, run_mode_campaign, CampaignOptions,
-    CampaignResult, ReliabilityRow, TargetStats, RELIABILITY_THRESHOLD,
+    classify_configurations, classify_configurations_with, quick_differential, run_mode_campaign,
+    run_mode_campaign_with, CampaignOptions, CampaignResult, KernelJob, ReliabilityRow,
+    TargetStats, RELIABILITY_THRESHOLD,
 };
-pub use differential::{classify, differential_test, run_on_targets, targets_for, TestTarget, Verdict};
+pub use differential::{
+    classify, differential_test, run_on_targets, targets_for, TestTarget, Verdict,
+};
 pub use emi_campaign::{
-    generate_live_bases, judge_base, pruning_grid, run_emi_campaign, EmiCampaignOptions,
-    EmiCampaignResult, EmiStats,
+    generate_live_bases, generate_live_bases_with, judge_base, pruning_grid, run_emi_campaign,
+    run_emi_campaign_with, EmiBaseJob, EmiCampaignOptions, EmiCampaignResult, EmiStats,
+    LivenessProbeJob,
 };
-pub use report::{percent, render_table};
+pub use exec::{expect_completed, job_seed, Job, JobFailure, JobResult, Scheduler};
+pub use report::{percent, render_campaign_table, render_emi_table, render_table};

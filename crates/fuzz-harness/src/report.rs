@@ -1,8 +1,20 @@
 //! Plain-text table rendering for the reproduction binaries.
+//!
+//! The campaign-specific renderers ([`render_campaign_table`],
+//! [`render_emi_table`]) are the *single* source of the Table 4 / Table 5
+//! artefacts: the `table4`/`table5` binaries print them, and the scheduler
+//! determinism tests and throughput benchmark compare them byte for byte
+//! across worker counts — so any rendering change stays under the
+//! bit-identical-at-any-thread-count guarantee automatically.
+
+use crate::campaign::CampaignResult;
+use crate::emi_campaign::EmiCampaignResult;
 
 /// Renders an ASCII table with a header row.
 pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
-    let columns = headers.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let columns = headers
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
     let mut widths = vec![0usize; columns];
     for (i, h) in headers.iter().enumerate() {
         widths[i] = widths[i].max(h.len());
@@ -15,10 +27,10 @@ pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let render_row = |cells: &[String], widths: &[usize]| -> String {
         let mut line = String::from("|");
-        for i in 0..widths.len() {
+        for (i, width) in widths.iter().enumerate() {
             let empty = String::new();
             let cell = cells.get(i).unwrap_or(&empty);
-            line.push_str(&format!(" {:width$} |", cell, width = widths[i]));
+            line.push_str(&format!(" {cell:width$} |"));
         }
         line
     };
@@ -50,6 +62,72 @@ pub fn percent(value: f64) -> String {
     format!("{value:.1}")
 }
 
+/// Renders one mode block of Table 4 from a [`CampaignResult`]: per-target
+/// `w`/`bf`/`c`/`to`/`ok` counts, a `Total` column, and the `w%` row.
+pub fn render_campaign_table(result: &CampaignResult) -> String {
+    let headers: Vec<String> = std::iter::once(String::new())
+        .chain(result.targets.iter().map(|t| t.label()))
+        .chain(std::iter::once("Total".to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    for (key, pick) in [("w", 0usize), ("bf", 1), ("c", 2), ("to", 3), ("ok", 4)] {
+        let mut row = vec![key.to_string()];
+        let mut total = 0usize;
+        for stat in &result.stats {
+            let value = match pick {
+                0 => stat.wrong,
+                1 => stat.build_failures,
+                2 => stat.crashes,
+                3 => stat.timeouts,
+                _ => stat.ok,
+            };
+            total += value;
+            row.push(value.to_string());
+        }
+        row.push(total.to_string());
+        rows.push(row);
+    }
+    let mut wpct = vec!["w%".to_string()];
+    for stat in &result.stats {
+        wpct.push(percent(stat.wrong_code_percentage()));
+    }
+    wpct.push(percent(result.total_wrong_code_percentage()));
+    rows.push(wpct);
+    render_table(&headers, &rows)
+}
+
+/// Renders Table 5 from an [`EmiCampaignResult`]: per-target base-level
+/// outcome counts.
+pub fn render_emi_table(result: &EmiCampaignResult) -> String {
+    let headers: Vec<String> = std::iter::once(String::new())
+        .chain(result.labels.iter().cloned())
+        .collect();
+    let mut rows = Vec::new();
+    for (name, pick) in [
+        ("base fails", 0usize),
+        ("w", 1),
+        ("bf", 2),
+        ("c", 3),
+        ("to", 4),
+        ("stable", 5),
+    ] {
+        let mut row = vec![name.to_string()];
+        for stat in &result.stats {
+            let value = match pick {
+                0 => stat.base_fails,
+                1 => stat.wrong,
+                2 => stat.build_failures,
+                3 => stat.crashes,
+                4 => stat.timeouts,
+                _ => stat.stable,
+            };
+            row.push(value.to_string());
+        }
+        rows.push(row);
+    }
+    render_table(&headers, &rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,7 +142,9 @@ mod tests {
         let table = render_table(&headers, &rows);
         assert!(table.contains("| BASIC | 12 | 0.1"), "{table}");
         assert!(table.contains("| ALL   | 3  | 12.0"), "{table}");
-        assert!(table.lines().all(|l| l.starts_with('+') || l.starts_with('|')));
+        assert!(table
+            .lines()
+            .all(|l| l.starts_with('+') || l.starts_with('|')));
     }
 
     #[test]

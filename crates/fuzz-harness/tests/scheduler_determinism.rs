@@ -1,0 +1,189 @@
+//! The campaign engine's headline guarantee: for a fixed campaign seed,
+//! every driver produces **bit-identical** results — including the rendered
+//! report tables — at any worker count.
+
+use clsmith::{GenMode, GeneratorOptions};
+use fuzz_harness::{
+    classify_configurations_with, evaluate_benchmark_with, generate_live_bases_with, percent,
+    render_campaign_table, render_emi_table, run_emi_campaign_with, run_mode_campaign_with,
+    CampaignOptions, EmiBenchmark, EmiCampaignOptions, Scheduler,
+};
+use opencl_sim::ExecOptions;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn small_campaign_options(seed_offset: u64) -> CampaignOptions {
+    CampaignOptions {
+        kernels: 10,
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..GeneratorOptions::default()
+        },
+        exec: ExecOptions::default(),
+        seed_offset,
+    }
+}
+
+#[test]
+fn mode_campaign_is_bit_identical_at_any_worker_count() {
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(9),
+        opencl_sim::configuration(14),
+        opencl_sim::configuration(19),
+    ];
+    let options = small_campaign_options(0xC0FFEE);
+    let reference = run_mode_campaign_with(
+        &Scheduler::sequential(),
+        GenMode::Barrier,
+        &configs,
+        &options,
+    );
+    let reference_table = render_campaign_table(&reference);
+    assert!(reference.stats.iter().any(|s| s.total() == options.kernels));
+    for workers in WORKER_COUNTS {
+        let result = run_mode_campaign_with(
+            &Scheduler::new(workers),
+            GenMode::Barrier,
+            &configs,
+            &options,
+        );
+        assert_eq!(
+            result, reference,
+            "{workers} workers changed the campaign result"
+        );
+        assert_eq!(
+            render_campaign_table(&result),
+            reference_table,
+            "{workers} workers changed the rendered table"
+        );
+    }
+}
+
+#[test]
+fn emi_campaign_is_bit_identical_at_any_worker_count() {
+    let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+    let options = EmiCampaignOptions {
+        bases: 3,
+        variants_per_base: 6,
+        campaign: small_campaign_options(7),
+    };
+    let reference = run_emi_campaign_with(&Scheduler::sequential(), &configs, &options);
+    let reference_table = render_emi_table(&reference);
+    assert!(reference.bases > 0, "liveness filtering accepted no bases");
+    for workers in WORKER_COUNTS {
+        let result = run_emi_campaign_with(&Scheduler::new(workers), &configs, &options);
+        assert_eq!(
+            result, reference,
+            "{workers} workers changed the EMI campaign result"
+        );
+        assert_eq!(
+            render_emi_table(&result),
+            reference_table,
+            "{workers} workers changed the rendered table"
+        );
+    }
+}
+
+#[test]
+fn live_base_acceptance_is_independent_of_worker_count_and_chunking() {
+    let options = EmiCampaignOptions {
+        bases: 3,
+        variants_per_base: 4,
+        campaign: small_campaign_options(21),
+    };
+    let reference = generate_live_bases_with(&Scheduler::sequential(), &options);
+    assert!(!reference.is_empty());
+    for workers in WORKER_COUNTS {
+        // Different worker counts probe candidates in different chunk sizes;
+        // the accepted set must still be the first N live candidates.
+        let bases = generate_live_bases_with(&Scheduler::new(workers), &options);
+        assert_eq!(
+            bases, reference,
+            "{workers} workers changed the accepted base set"
+        );
+    }
+}
+
+#[test]
+fn reliability_classification_is_bit_identical_at_any_worker_count() {
+    let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(21)];
+    let options = small_campaign_options(0);
+    let describe = |scheduler: &Scheduler| -> Vec<(usize, String, bool)> {
+        classify_configurations_with(scheduler, &configs, 3, &options)
+            .into_iter()
+            .map(|row| {
+                (
+                    row.config.id,
+                    percent(row.failure_fraction * 100.0),
+                    row.above_threshold,
+                )
+            })
+            .collect()
+    };
+    let reference = describe(&Scheduler::sequential());
+    for workers in WORKER_COUNTS {
+        assert_eq!(
+            describe(&Scheduler::new(workers)),
+            reference,
+            "{workers} workers"
+        );
+    }
+}
+
+#[test]
+fn benchmark_emi_cell_is_bit_identical_at_any_worker_count() {
+    let donor = clsmith::generate(
+        &GeneratorOptions {
+            min_threads: 16,
+            max_threads: 32,
+            ..GeneratorOptions::new(GenMode::Basic, 123)
+        }
+        .with_emi(),
+    );
+    let bodies: Vec<clc::Block> = donor
+        .emi_blocks()
+        .iter()
+        .map(|b| b.body.clone())
+        .take(4)
+        .collect();
+    assert!(!bodies.is_empty());
+    let bench = parboil();
+    let emi = EmiBenchmark {
+        name: bench.0,
+        program: bench.1,
+        bodies,
+        injection_points: 1,
+    };
+    let config = opencl_sim::configuration(12);
+    let exec = ExecOptions::default();
+    let reference = evaluate_benchmark_with(&Scheduler::sequential(), &emi, &config, &exec);
+    for workers in WORKER_COUNTS {
+        let cell = evaluate_benchmark_with(&Scheduler::new(workers), &emi, &config, &exec);
+        assert_eq!(cell.render(), reference.render(), "{workers} workers");
+        assert_eq!(cell.variants, reference.variants, "{workers} workers");
+    }
+}
+
+/// A small deterministic host kernel for the Table 3 cell test.
+fn parboil() -> (String, clc::Program) {
+    use clc::{BufferSpec, Expr, IdKind, KernelDef, LaunchConfig, ScalarType, Stmt, Type};
+    let mut p = clc::Program::new(
+        KernelDef {
+            name: "bench".into(),
+            params: clc::Program::standard_clsmith_params(0),
+            body: clc::Block::of(vec![
+                Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(3))),
+                Stmt::assign(
+                    Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+                    Expr::var("x"),
+                ),
+            ]),
+        },
+        LaunchConfig::single_group(4),
+    );
+    p.buffers
+        .push(BufferSpec::result("out", ScalarType::ULong, 4));
+    ("tiny".to_string(), p)
+}

@@ -183,7 +183,12 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
             }
             program.for_each_block_mut(&mut |block| {
                 for stmt in &mut block.stmts {
-                    if let Stmt::Decl { ty: Type::Struct(id), init_list: Some(Initializer::List(items)), .. } = stmt {
+                    if let Stmt::Decl {
+                        ty: Type::Struct(id),
+                        init_list: Some(Initializer::List(items)),
+                        ..
+                    } = stmt
+                    {
                         if victims.contains(id) {
                             if let Some(second) = items.get_mut(1) {
                                 *second = Initializer::Expr(Expr::int(0));
@@ -198,7 +203,12 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
             // struct type.
             let mut struct_vars = std::collections::HashSet::new();
             program.for_each_stmt(&mut |s| {
-                if let Stmt::Decl { name, ty: Type::Struct(_), .. } = s {
+                if let Stmt::Decl {
+                    name,
+                    ty: Type::Struct(_),
+                    ..
+                } = s
+                {
                     struct_vars.insert(name.clone());
                 }
             });
@@ -227,19 +237,22 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
             let union_field_types: Vec<Type> = unions.iter().map(|id| Type::Struct(*id)).collect();
             program.for_each_block_mut(&mut |block| {
                 for stmt in &mut block.stmts {
-                    if let Stmt::Decl { ty, init_list: Some(list), .. } = stmt {
-                        corrupt_union_inits(ty, list, &union_field_types, program_structs());
+                    if let Stmt::Decl {
+                        ty,
+                        init_list: Some(list),
+                        ..
+                    } = stmt
+                    {
+                        corrupt_union_inits(ty, list, &union_field_types);
                     }
                 }
             });
 
-            // Helper: the structs table is needed to recurse through struct
-            // initialisers, but `for_each_block_mut` holds a mutable borrow of
-            // the program, so the corrupting walk is structural only: it uses
+            // Helper: `for_each_block_mut` holds a mutable borrow of the
+            // program, so the corrupting walk is structural only: it uses
             // the type stored in the declaration (sufficient because nested
             // aggregate types are spelled out in the declaration type).
-            fn program_structs() -> () {}
-            fn corrupt_union_inits(ty: &Type, init: &mut Initializer, unions: &[Type], _: ()) {
+            fn corrupt_union_inits(ty: &Type, init: &mut Initializer, unions: &[Type]) {
                 match (ty, init) {
                     (t, Initializer::List(items)) if unions.contains(t) => {
                         if let Some(Initializer::Expr(e)) = items.first_mut() {
@@ -252,7 +265,7 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
                     }
                     (Type::Array(elem, _), Initializer::List(items)) => {
                         for item in items {
-                            corrupt_union_inits(elem, item, unions, ());
+                            corrupt_union_inits(elem, item, unions);
                         }
                     }
                     (Type::Struct(_), Initializer::List(items)) => {
@@ -281,10 +294,15 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
         }
         Miscompilation::FoldRotateByZeroToAllOnes => {
             program.for_each_expr_mut(&mut |e| {
-                if let Expr::BuiltinCall { func: Builtin::Rotate, args } = e {
+                if let Expr::BuiltinCall {
+                    func: Builtin::Rotate,
+                    args,
+                } = e
+                {
                     if args.len() == 2 && is_zero_valued(&args[1]) {
                         let x = args[0].clone();
-                        *e = Expr::binary(BinOp::BitOr, x, Expr::lit(0xffff_ffff, ScalarType::UInt));
+                        *e =
+                            Expr::binary(BinOp::BitOr, x, Expr::lit(0xffff_ffff, ScalarType::UInt));
                     }
                 }
             });
@@ -317,7 +335,11 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
                 });
                 for stmt in &mut block.stmts {
                     match stmt {
-                        Stmt::If { then_block, else_block, .. } => {
+                        Stmt::If {
+                            then_block,
+                            else_block,
+                            ..
+                        } => {
                             strip_pointer_param_stores(then_block, params);
                             if let Some(e) = else_block {
                                 strip_pointer_param_stores(e, params);
@@ -334,7 +356,10 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
 
             fn assigns_through(lhs: &Expr, params: &[String]) -> bool {
                 match lhs {
-                    Expr::Field { base, arrow: true, .. } | Expr::Deref(base) => {
+                    Expr::Field {
+                        base, arrow: true, ..
+                    }
+                    | Expr::Deref(base) => {
                         matches!(base.as_ref(), Expr::Var(n) if params.contains(n))
                     }
                     Expr::Index { base, .. } => {
@@ -362,7 +387,11 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
         }
         Miscompilation::SkipClampNearBarriers => {
             program.for_each_expr_mut(&mut |e| {
-                if let Expr::BuiltinCall { func: Builtin::SafeClamp, args } = e {
+                if let Expr::BuiltinCall {
+                    func: Builtin::SafeClamp,
+                    args,
+                } = e
+                {
                     if let Some(x) = args.first() {
                         *e = x.clone();
                     }
@@ -400,7 +429,10 @@ pub fn apply_miscompilation(program: &mut Program, bug: Miscompilation) {
 fn mentions_group_id(e: &Expr) -> bool {
     use clc::IdKind;
     fn direct(e: &Expr) -> bool {
-        matches!(e, Expr::IdQuery(IdKind::GroupId(_)) | Expr::IdQuery(IdKind::GroupLinearId))
+        matches!(
+            e,
+            Expr::IdQuery(IdKind::GroupId(_)) | Expr::IdQuery(IdKind::GroupLinearId)
+        )
     }
     match e {
         _ if direct(e) => true,
@@ -518,7 +550,8 @@ mod tests {
             },
             LaunchConfig::single_group(2),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 2));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 2));
         p
     }
 
@@ -568,20 +601,31 @@ mod tests {
     fn rotate_by_zero_folds_to_all_ones() {
         let mut e = Expr::builtin(
             Builtin::Rotate,
-            vec![Expr::lit(1, ScalarType::UInt), Expr::lit(0, ScalarType::UInt)],
+            vec![
+                Expr::lit(1, ScalarType::UInt),
+                Expr::lit(0, ScalarType::UInt),
+            ],
         );
         let mut p = base();
-        p.kernel.body.push(Stmt::assign(Expr::index(Expr::var("out"), Expr::int(0)), e.clone()));
+        p.kernel.body.push(Stmt::assign(
+            Expr::index(Expr::var("out"), Expr::int(0)),
+            e.clone(),
+        ));
         apply_miscompilation(&mut p, Miscompilation::FoldRotateByZeroToAllOnes);
         let buggy = clc_interp::run(&p).unwrap();
         assert_eq!(buggy.output[0].as_u64(), 0xffff_ffff);
         // Non-zero rotations are untouched.
         e = Expr::builtin(
             Builtin::Rotate,
-            vec![Expr::lit(1, ScalarType::UInt), Expr::lit(3, ScalarType::UInt)],
+            vec![
+                Expr::lit(1, ScalarType::UInt),
+                Expr::lit(3, ScalarType::UInt),
+            ],
         );
         let mut q = base();
-        q.kernel.body.push(Stmt::assign(Expr::index(Expr::var("out"), Expr::int(0)), e));
+        q.kernel
+            .body
+            .push(Stmt::assign(Expr::index(Expr::var("out"), Expr::int(0)), e));
         apply_miscompilation(&mut q, Miscompilation::FoldRotateByZeroToAllOnes);
         assert_eq!(clc_interp::run(&q).unwrap().output[0].as_u64(), 8);
     }
@@ -601,7 +645,11 @@ mod tests {
     #[test]
     fn group_id_comparison_folds_to_false() {
         let mut p = base();
-        p.kernel.body.push(Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+        p.kernel.body.push(Stmt::decl(
+            "x",
+            Type::Scalar(ScalarType::Int),
+            Some(Expr::int(0)),
+        ));
         p.kernel.body.push(Stmt::if_then(
             Expr::binary(
                 BinOp::Ne,

@@ -7,9 +7,7 @@
 //! that reproduce the statistical shape of Tables 3–5.  Anonymous vendors
 //! are kept anonymous, as in the paper.
 
-use crate::bugs::{
-    self, BugEffect, BugRule, Miscompilation, OptLevel, OptScope, Trigger,
-};
+use crate::bugs::{self, BugEffect, BugRule, Miscompilation, OptLevel, OptScope, Trigger};
 
 /// Kind of OpenCL device (final classification column group of Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,7 +118,13 @@ fn rule(
     trigger: Trigger,
     effect: BugEffect,
 ) -> BugRule {
-    BugRule { name, reference, opt, trigger, effect }
+    BugRule {
+        name,
+        reference,
+        opt,
+        trigger,
+        effect,
+    }
 }
 
 /// All 21 configurations, in Table 1 order.
@@ -130,7 +134,11 @@ pub fn all_configurations() -> Vec<Configuration> {
     use OptScope::*;
     use Trigger::Feature;
 
-    let nvidia_gpu = |id: usize, device: &'static str, sdk: &'static str, driver: &'static str, os: &'static str| Configuration {
+    let nvidia_gpu = |id: usize,
+                      device: &'static str,
+                      sdk: &'static str,
+                      driver: &'static str,
+                      os: &'static str| Configuration {
         id,
         sdk,
         device,
@@ -140,15 +148,13 @@ pub fn all_configurations() -> Vec<Configuration> {
         device_type: DeviceType::Gpu,
         expected_above_threshold: true,
         optimizes: true,
-        rules: vec![
-            rule(
-                "union-initializer-garbage",
-                "Figure 2(a)",
-                OnlyDisabled,
-                Feature(bugs::union_in_struct_initializer),
-                Miscompile(UnionInitializerGarbage),
-            ),
-        ],
+        rules: vec![rule(
+            "union-initializer-garbage",
+            "Figure 2(a)",
+            OnlyDisabled,
+            Feature(bugs::union_in_struct_initializer),
+            Miscompile(UnionInitializerGarbage),
+        )],
         rates_opt_off: OutcomeRates {
             // "Wrong type for attribute zeroext" and friends (§6, Build
             // failures): modelled as a background rate of roughly 4 %,
@@ -207,10 +213,34 @@ pub fn all_configurations() -> Vec<Configuration> {
     };
 
     vec![
-        nvidia_gpu(1, "NVIDIA GeForce GTX Titan", "NVIDIA 6.5.19", "343.22", "Ubuntu 14.04.1 LTS"),
-        nvidia_gpu(2, "NVIDIA GeForce GTX 770", "NVIDIA 6.5.19", "343.22", "Ubuntu 14.04.1 LTS"),
-        nvidia_gpu(3, "NVIDIA Tesla M2050", "NVIDIA 7.0.28", "346.47", "RHEL Server 6.5"),
-        nvidia_gpu(4, "NVIDIA Tesla K40c", "NVIDIA 7.0.28", "346.47", "RHEL Server 6.5"),
+        nvidia_gpu(
+            1,
+            "NVIDIA GeForce GTX Titan",
+            "NVIDIA 6.5.19",
+            "343.22",
+            "Ubuntu 14.04.1 LTS",
+        ),
+        nvidia_gpu(
+            2,
+            "NVIDIA GeForce GTX 770",
+            "NVIDIA 6.5.19",
+            "343.22",
+            "Ubuntu 14.04.1 LTS",
+        ),
+        nvidia_gpu(
+            3,
+            "NVIDIA Tesla M2050",
+            "NVIDIA 7.0.28",
+            "346.47",
+            "RHEL Server 6.5",
+        ),
+        nvidia_gpu(
+            4,
+            "NVIDIA Tesla K40c",
+            "NVIDIA 7.0.28",
+            "346.47",
+            "RHEL Server 6.5",
+        ),
         Configuration {
             id: 5,
             sdk: "AMD 2.9-1",
@@ -222,8 +252,20 @@ pub fn all_configurations() -> Vec<Configuration> {
             expected_above_threshold: false,
             optimizes: true,
             rules: amd_struct_rules(),
-            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.03, runtime_crash: 0.16, timeout: 0.02, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.05, wrong_code: 0.03, runtime_crash: 0.18, timeout: 0.02, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.02,
+                wrong_code: 0.03,
+                runtime_crash: 0.16,
+                timeout: 0.02,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.05,
+                wrong_code: 0.03,
+                runtime_crash: 0.18,
+                timeout: 0.02,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 6,
@@ -236,8 +278,20 @@ pub fn all_configurations() -> Vec<Configuration> {
             expected_above_threshold: false,
             optimizes: true,
             rules: amd_struct_rules(),
-            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.03, runtime_crash: 0.18, timeout: 0.03, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.05, wrong_code: 0.03, runtime_crash: 0.2, timeout: 0.03, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.02,
+                wrong_code: 0.03,
+                runtime_crash: 0.18,
+                timeout: 0.03,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.05,
+                wrong_code: 0.03,
+                runtime_crash: 0.2,
+                timeout: 0.03,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 7,
@@ -250,8 +304,20 @@ pub fn all_configurations() -> Vec<Configuration> {
             expected_above_threshold: false,
             optimizes: true,
             rules: intel_hd_rules(),
-            rates_opt_off: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.22, timeout: 0.04, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.24, timeout: 0.04, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.03,
+                wrong_code: 0.02,
+                runtime_crash: 0.22,
+                timeout: 0.04,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.03,
+                wrong_code: 0.02,
+                runtime_crash: 0.24,
+                timeout: 0.04,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 8,
@@ -264,8 +330,20 @@ pub fn all_configurations() -> Vec<Configuration> {
             expected_above_threshold: false,
             optimizes: true,
             rules: intel_hd_rules(),
-            rates_opt_off: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.24, timeout: 0.06, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.03, wrong_code: 0.02, runtime_crash: 0.26, timeout: 0.06, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.03,
+                wrong_code: 0.02,
+                runtime_crash: 0.24,
+                timeout: 0.06,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.03,
+                wrong_code: 0.02,
+                runtime_crash: 0.26,
+                timeout: 0.06,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 9,
@@ -284,8 +362,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::group_id_compared),
                 Miscompile(GroupIdComparisonsFoldToFalse),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.0, wrong_code: 0.018, runtime_crash: 0.038, timeout: 0.14, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.0, wrong_code: 0.016, runtime_crash: 0.026, timeout: 0.10, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.0,
+                wrong_code: 0.018,
+                runtime_crash: 0.038,
+                timeout: 0.14,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.0,
+                wrong_code: 0.016,
+                runtime_crash: 0.026,
+                timeout: 0.10,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 10,
@@ -304,8 +394,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::struct_copy_with_unit_x_dimension),
                 Miscompile(DropWholeStructAssignments),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.05, wrong_code: 0.05, runtime_crash: 0.24, timeout: 0.04, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.05, wrong_code: 0.04, runtime_crash: 0.24, timeout: 0.04, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.05,
+                wrong_code: 0.05,
+                runtime_crash: 0.24,
+                timeout: 0.04,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.05,
+                wrong_code: 0.04,
+                runtime_crash: 0.24,
+                timeout: 0.04,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 11,
@@ -324,8 +426,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::struct_copy_with_unit_x_dimension),
                 Miscompile(DropWholeStructAssignments),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.06, wrong_code: 0.05, runtime_crash: 0.25, timeout: 0.05, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.06, wrong_code: 0.04, runtime_crash: 0.25, timeout: 0.05, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.06,
+                wrong_code: 0.05,
+                runtime_crash: 0.25,
+                timeout: 0.05,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.06,
+                wrong_code: 0.04,
+                runtime_crash: 0.25,
+                timeout: 0.05,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 12,
@@ -344,8 +458,21 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::barrier_in_forward_declared_callee),
                 Miscompile(DropPointerWritesInCallees),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.001, wrong_code: 0.002, runtime_crash: 0.085, timeout: 0.026, barrier_wrong_bonus: 0.018, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.004, wrong_code: 0.0015, runtime_crash: 0.062, timeout: 0.13, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.001,
+                wrong_code: 0.002,
+                runtime_crash: 0.085,
+                timeout: 0.026,
+                barrier_wrong_bonus: 0.018,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.004,
+                wrong_code: 0.0015,
+                runtime_crash: 0.062,
+                timeout: 0.13,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 13,
@@ -364,8 +491,21 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::barrier_in_forward_declared_callee),
                 Miscompile(DropPointerWritesInCallees),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.001, wrong_code: 0.002, runtime_crash: 0.085, timeout: 0.027, barrier_wrong_bonus: 0.018, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.004, wrong_code: 0.0015, runtime_crash: 0.06, timeout: 0.13, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.001,
+                wrong_code: 0.002,
+                runtime_crash: 0.085,
+                timeout: 0.027,
+                barrier_wrong_bonus: 0.018,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.004,
+                wrong_code: 0.0015,
+                runtime_crash: 0.06,
+                timeout: 0.13,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 14,
@@ -393,8 +533,22 @@ pub fn all_configurations() -> Vec<Configuration> {
                     RuntimeCrash("segmentation fault"),
                 ),
             ],
-            rates_opt_off: OutcomeRates { build_failure: 0.006, wrong_code: 0.002, runtime_crash: 0.006, timeout: 0.027, barrier_crash_bonus: 0.36, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.007, wrong_code: 0.002, runtime_crash: 0.026, timeout: 0.045, barrier_wrong_bonus: 0.009, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.006,
+                wrong_code: 0.002,
+                runtime_crash: 0.006,
+                timeout: 0.027,
+                barrier_crash_bonus: 0.36,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.007,
+                wrong_code: 0.002,
+                runtime_crash: 0.026,
+                timeout: 0.045,
+                barrier_wrong_bonus: 0.009,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 15,
@@ -412,7 +566,9 @@ pub fn all_configurations() -> Vec<Configuration> {
                     "§6 (Build failures)",
                     Any,
                     Feature(bugs::int_mixed_with_size_t),
-                    BuildFailure("error: invalid operands to binary expression ('int' and 'size_t')"),
+                    BuildFailure(
+                        "error: invalid operands to binary expression ('int' and 'size_t')",
+                    ),
                 ),
                 rule(
                     "barrier-callee-segfault",
@@ -422,8 +578,21 @@ pub fn all_configurations() -> Vec<Configuration> {
                     RuntimeCrash("segmentation fault"),
                 ),
             ],
-            rates_opt_off: OutcomeRates { build_failure: 0.14, wrong_code: 0.002, runtime_crash: 0.002, timeout: 0.02, barrier_crash_bonus: 0.38, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.14, wrong_code: 0.007, runtime_crash: 0.035, timeout: 0.09, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.14,
+                wrong_code: 0.002,
+                runtime_crash: 0.002,
+                timeout: 0.02,
+                barrier_crash_bonus: 0.38,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.14,
+                wrong_code: 0.007,
+                runtime_crash: 0.035,
+                timeout: 0.09,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 16,
@@ -436,8 +605,20 @@ pub fn all_configurations() -> Vec<Configuration> {
             expected_above_threshold: false,
             optimizes: true,
             rules: amd_struct_rules(),
-            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.04, runtime_crash: 0.1, timeout: 0.02, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.04, wrong_code: 0.04, runtime_crash: 0.1, timeout: 0.02, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.02,
+                wrong_code: 0.04,
+                runtime_crash: 0.1,
+                timeout: 0.02,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.04,
+                wrong_code: 0.04,
+                runtime_crash: 0.1,
+                timeout: 0.02,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 17,
@@ -456,8 +637,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::barrier_and_callee_pointer_store),
                 Miscompile(DropPointerWritesInCallees),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.08, wrong_code: 0.05, runtime_crash: 0.2, timeout: 0.03, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.08, wrong_code: 0.05, runtime_crash: 0.2, timeout: 0.03, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.08,
+                wrong_code: 0.05,
+                runtime_crash: 0.2,
+                timeout: 0.03,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.08,
+                wrong_code: 0.05,
+                runtime_crash: 0.2,
+                timeout: 0.03,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 18,
@@ -476,8 +669,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::large_struct_with_barrier),
                 CompileHang("compilation exceeds 20 seconds"),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.02, wrong_code: 0.01, runtime_crash: 0.05, timeout: 0.1, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.02, wrong_code: 0.01, runtime_crash: 0.05, timeout: 0.35, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.02,
+                wrong_code: 0.01,
+                runtime_crash: 0.05,
+                timeout: 0.1,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.02,
+                wrong_code: 0.01,
+                runtime_crash: 0.05,
+                timeout: 0.35,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 19,
@@ -496,8 +701,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                 Feature(bugs::uses_comma_operator),
                 Miscompile(CommaYieldsLhs),
             )],
-            rates_opt_off: OutcomeRates { build_failure: 0.0, wrong_code: 0.02, runtime_crash: 0.008, timeout: 0.17, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.0, wrong_code: 0.02, runtime_crash: 0.008, timeout: 0.17, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.0,
+                wrong_code: 0.02,
+                runtime_crash: 0.008,
+                timeout: 0.17,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.0,
+                wrong_code: 0.02,
+                runtime_crash: 0.008,
+                timeout: 0.17,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 20,
@@ -515,7 +732,9 @@ pub fn all_configurations() -> Vec<Configuration> {
                     "Figure 1(c)",
                     Any,
                     Feature(bugs::has_vector_in_struct),
-                    BuildFailure("internal error: LLVM IR generation failed for vector struct member"),
+                    BuildFailure(
+                        "internal error: LLVM IR generation failed for vector struct member",
+                    ),
                 ),
                 rule(
                     "vector-logical-op-rejected",
@@ -525,8 +744,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                     BuildFailure("error: logical operation on vector type is not supported"),
                 ),
             ],
-            rates_opt_off: OutcomeRates { build_failure: 0.15, wrong_code: 0.02, runtime_crash: 0.15, timeout: 0.05, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.15, wrong_code: 0.02, runtime_crash: 0.15, timeout: 0.05, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.15,
+                wrong_code: 0.02,
+                runtime_crash: 0.15,
+                timeout: 0.05,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.15,
+                wrong_code: 0.02,
+                runtime_crash: 0.15,
+                timeout: 0.05,
+                ..OutcomeRates::default()
+            },
         },
         Configuration {
             id: 21,
@@ -544,7 +775,9 @@ pub fn all_configurations() -> Vec<Configuration> {
                     "Figure 1(c)",
                     Any,
                     Feature(bugs::has_vector_in_struct),
-                    BuildFailure("internal error: LLVM IR generation failed for vector struct member"),
+                    BuildFailure(
+                        "internal error: LLVM IR generation failed for vector struct member",
+                    ),
                 ),
                 rule(
                     "vector-logical-op-rejected",
@@ -554,8 +787,20 @@ pub fn all_configurations() -> Vec<Configuration> {
                     BuildFailure("error: logical operation on vector type is not supported"),
                 ),
             ],
-            rates_opt_off: OutcomeRates { build_failure: 0.45, wrong_code: 0.02, runtime_crash: 0.3, timeout: 0.1, ..OutcomeRates::default() },
-            rates_opt_on: OutcomeRates { build_failure: 0.45, wrong_code: 0.02, runtime_crash: 0.3, timeout: 0.1, ..OutcomeRates::default() },
+            rates_opt_off: OutcomeRates {
+                build_failure: 0.45,
+                wrong_code: 0.02,
+                runtime_crash: 0.3,
+                timeout: 0.1,
+                ..OutcomeRates::default()
+            },
+            rates_opt_on: OutcomeRates {
+                build_failure: 0.45,
+                wrong_code: 0.02,
+                runtime_crash: 0.3,
+                timeout: 0.1,
+                ..OutcomeRates::default()
+            },
         },
     ]
 }
@@ -596,7 +841,10 @@ mod tests {
 
     #[test]
     fn above_threshold_set_matches_table_1() {
-        let above: Vec<usize> = above_threshold_configurations().iter().map(|c| c.id).collect();
+        let above: Vec<usize> = above_threshold_configurations()
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert_eq!(above, vec![1, 2, 3, 4, 9, 12, 13, 14, 15, 19]);
     }
 

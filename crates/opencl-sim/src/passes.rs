@@ -39,27 +39,32 @@ fn literal_value(e: &Expr) -> Option<Scalar> {
 }
 
 fn scalar_to_expr(s: Scalar) -> Expr {
-    Expr::IntLit { value: if s.ty.is_signed() { s.as_i64() as i128 } else { s.as_u64() as i128 }, ty: s.ty }
+    Expr::IntLit {
+        value: if s.ty.is_signed() {
+            s.as_i64() as i128
+        } else {
+            s.as_u64() as i128
+        },
+        ty: s.ty,
+    }
 }
 
 fn fold_expr(e: &mut Expr) {
     let replacement = match e {
-        Expr::Binary { op, lhs, rhs } => {
-            match (literal_value(lhs), literal_value(rhs)) {
-                (Some(a), Some(b)) => {
-                    if op.is_logical() {
-                        let v = match op {
-                            BinOp::LAnd => a.is_true() && b.is_true(),
-                            _ => a.is_true() || b.is_true(),
-                        };
-                        Some(Expr::int(i64::from(v)))
-                    } else {
-                        scalar_binop(*op, a, b).ok().map(scalar_to_expr)
-                    }
+        Expr::Binary { op, lhs, rhs } => match (literal_value(lhs), literal_value(rhs)) {
+            (Some(a), Some(b)) => {
+                if op.is_logical() {
+                    let v = match op {
+                        BinOp::LAnd => a.is_true() && b.is_true(),
+                        _ => a.is_true() || b.is_true(),
+                    };
+                    Some(Expr::int(i64::from(v)))
+                } else {
+                    scalar_binop(*op, a, b).ok().map(scalar_to_expr)
                 }
-                _ => None,
             }
-        }
+            _ => None,
+        },
         Expr::Unary { op, expr } => literal_value(expr).map(|v| {
             let folded = match op {
                 UnOp::Neg => Scalar::from_i128(-(v.as_i64() as i128), v.ty.promoted()),
@@ -81,12 +86,21 @@ fn fold_expr(e: &mut Expr) {
                 _ => None,
             }
         }
-        Expr::Cond { cond, then_expr, else_expr } => literal_value(cond).map(|c| {
-            if c.is_true() { (**then_expr).clone() } else { (**else_expr).clone() }
+        Expr::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => literal_value(cond).map(|c| {
+            if c.is_true() {
+                (**then_expr).clone()
+            } else {
+                (**else_expr).clone()
+            }
         }),
-        Expr::Cast { ty: Type::Scalar(target), expr } => {
-            literal_value(expr).map(|v| scalar_to_expr(v.convert(*target)))
-        }
+        Expr::Cast {
+            ty: Type::Scalar(target),
+            expr,
+        } => literal_value(expr).map(|v| scalar_to_expr(v.convert(*target))),
         Expr::Comma { lhs, rhs } => {
             // The discarded operand can be dropped when it has no side
             // effects; the comma then folds to its right operand.
@@ -114,20 +128,33 @@ pub fn eliminate_dead_code(program: &mut Program) {
                 continue;
             }
             match stmt {
-                Stmt::If { cond, then_block, else_block } => match literal_value(&cond) {
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                } => match literal_value(&cond) {
                     Some(c) if c.is_true() => out.push(Stmt::Block(then_block)),
                     Some(_) => {
                         if let Some(e) = else_block {
                             out.push(Stmt::Block(e));
                         }
                     }
-                    None => out.push(Stmt::If { cond, then_block, else_block }),
+                    None => out.push(Stmt::If {
+                        cond,
+                        then_block,
+                        else_block,
+                    }),
                 },
                 Stmt::While { cond, body } => match literal_value(&cond) {
                     Some(c) if !c.is_true() => {}
                     _ => out.push(Stmt::While { cond, body }),
                 },
-                Stmt::For { init, cond, update, body } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                } => {
                     let never_runs = cond
                         .as_ref()
                         .and_then(literal_value)
@@ -142,7 +169,12 @@ pub fn eliminate_dead_code(program: &mut Program) {
                             }
                         }
                     } else {
-                        out.push(Stmt::For { init, cond, update, body });
+                        out.push(Stmt::For {
+                            init,
+                            cond,
+                            update,
+                            body,
+                        });
                     }
                 }
                 Stmt::Return(_) | Stmt::Break | Stmt::Continue => {
@@ -174,15 +206,25 @@ pub fn simplify(program: &mut Program) {
                         out.extend(inner.stmts);
                     }
                 }
-                Stmt::If { cond, then_block, else_block } => {
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
                     let else_empty = else_block.as_ref().map(Block::is_empty).unwrap_or(true);
                     if then_block.is_empty() && else_empty && !cond.has_side_effects() {
                         // if (c) {} with a pure condition: drop entirely.
                     } else {
-                        out.push(Stmt::If { cond, then_block, else_block });
+                        out.push(Stmt::If {
+                            cond,
+                            then_block,
+                            else_block,
+                        });
                     }
                 }
-                Stmt::Expr(Expr::Assign { op, lhs, rhs }) if *lhs == *rhs && op.binop().is_none() => {
+                Stmt::Expr(Expr::Assign { op, lhs, rhs })
+                    if *lhs == *rhs && op.binop().is_none() =>
+                {
                     // self-assignment x = x
                 }
                 other => out.push(other),
@@ -207,7 +249,8 @@ mod tests {
             },
             LaunchConfig::single_group(4),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 4));
         p
     }
 
@@ -249,7 +292,10 @@ mod tests {
                 Block::of(vec![Stmt::assign(Expr::var("x"), Expr::int(1))]),
                 Block::of(vec![Stmt::assign(Expr::var("x"), Expr::int(2))]),
             ),
-            Stmt::While { cond: Expr::int(0), body: Block::of(vec![Stmt::Break]) },
+            Stmt::While {
+                cond: Expr::int(0),
+                body: Block::of(vec![Stmt::Break]),
+            },
             Stmt::Return(None),
             Stmt::assign(Expr::var("x"), Expr::int(9)),
         ]));
@@ -277,7 +323,12 @@ mod tests {
     fn full_pipeline_preserves_semantics_on_generated_programs() {
         use clsmith::{generate, GenMode, GeneratorOptions};
         for seed in 0..8u64 {
-            for mode in [GenMode::Basic, GenMode::Vector, GenMode::Barrier, GenMode::All] {
+            for mode in [
+                GenMode::Basic,
+                GenMode::Vector,
+                GenMode::Barrier,
+                GenMode::All,
+            ] {
                 let opts = GeneratorOptions {
                     min_threads: 16,
                     max_threads: 48,

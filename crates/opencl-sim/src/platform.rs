@@ -138,15 +138,26 @@ pub fn execute(
         apply_miscompilation(&mut compiled, *m);
     }
     let wrong_rate = rates.wrong_code
-        + if uses_barriers { rates.barrier_wrong_bonus } else { 0.0 };
+        + if uses_barriers {
+            rates.barrier_wrong_bonus
+        } else {
+            0.0
+        };
     if chance(program, config, opt, "wc") < wrong_rate {
         let salt = stable_hash(&(program, config.id, "perturb"));
-        apply_miscompilation(&mut compiled, crate::bugs::Miscompilation::PerturbLiteral(salt));
+        apply_miscompilation(
+            &mut compiled,
+            crate::bugs::Miscompilation::PerturbLiteral(salt),
+        );
     }
 
     // --- Execution -------------------------------------------------------------
     let crash_rate = rates.runtime_crash
-        + if uses_barriers { rates.barrier_crash_bonus } else { 0.0 };
+        + if uses_barriers {
+            rates.barrier_crash_bonus
+        } else {
+            0.0
+        };
     if chance(program, config, opt, "crash") < crash_rate {
         return TestOutcome::Crash("kernel execution crashed (background rate)".into());
     }
@@ -158,7 +169,10 @@ pub fn execute(
         scalar_args: std::collections::HashMap::new(),
     };
     match clc_interp::launch(&compiled, &options) {
-        Ok(result) => TestOutcome::Result { hash: result.result_hash, output: result.result_string },
+        Ok(result) => TestOutcome::Result {
+            hash: result.result_hash,
+            output: result.result_string,
+        },
         Err(RuntimeError::StepLimitExceeded { .. }) => TestOutcome::Timeout,
         Err(e) => TestOutcome::Crash(e.to_string()),
     }
@@ -176,7 +190,10 @@ pub fn reference_execute(program: &Program, exec: &ExecOptions) -> TestOutcome {
         scalar_args: std::collections::HashMap::new(),
     };
     match clc_interp::launch(program, &options) {
-        Ok(result) => TestOutcome::Result { hash: result.result_hash, output: result.result_string },
+        Ok(result) => TestOutcome::Result {
+            hash: result.result_hash,
+            output: result.result_string,
+        },
         Err(RuntimeError::StepLimitExceeded { .. }) => TestOutcome::Timeout,
         Err(e) => TestOutcome::Crash(e.to_string()),
     }
@@ -214,7 +231,8 @@ mod tests {
             },
             LaunchConfig::single_group(4),
         );
-        p.buffers.push(BufferSpec::result("out", ScalarType::ULong, 4));
+        p.buffers
+            .push(BufferSpec::result("out", ScalarType::ULong, 4));
         p
     }
 
@@ -248,7 +266,12 @@ mod tests {
         // must produce the reference answer.
         let p = trivial_program(3);
         let reference = reference_execute(&p, &ExecOptions::default());
-        let outcome = execute(&p, &configuration(1), OptLevel::Enabled, &ExecOptions::default());
+        let outcome = execute(
+            &p,
+            &configuration(1),
+            OptLevel::Enabled,
+            &ExecOptions::default(),
+        );
         if let (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) =
             (&reference, &outcome)
         {
@@ -262,10 +285,18 @@ mod tests {
         assert_eq!(TestOutcome::BuildFailure("x".into()).kind(), "bf");
         assert_eq!(TestOutcome::Crash("x".into()).kind(), "c");
         assert_eq!(
-            TestOutcome::Result { hash: 1, output: "1".into() }.kind(),
+            TestOutcome::Result {
+                hash: 1,
+                output: "1".into()
+            }
+            .kind(),
             "ok"
         );
-        assert!(TestOutcome::Result { hash: 1, output: "1".into() }.is_result());
+        assert!(TestOutcome::Result {
+            hash: 1,
+            output: "1".into()
+        }
+        .is_result());
         assert_eq!(TestOutcome::Timeout.result_hash(), None);
     }
 
@@ -275,9 +306,17 @@ mod tests {
         let mut p = trivial_program(1);
         p.add_struct(StructDef::new(
             "S",
-            vec![Field::new("x", Type::Vector(ScalarType::Int, VectorWidth::W4))],
+            vec![Field::new(
+                "x",
+                Type::Vector(ScalarType::Int, VectorWidth::W4),
+            )],
         ));
-        let outcome = execute(&p, &configuration(20), OptLevel::Enabled, &ExecOptions::default());
+        let outcome = execute(
+            &p,
+            &configuration(20),
+            OptLevel::Enabled,
+            &ExecOptions::default(),
+        );
         assert!(matches!(outcome, TestOutcome::BuildFailure(msg) if msg.contains("vector")));
     }
 
@@ -289,7 +328,12 @@ mod tests {
             Expr::comma(Expr::int(5), Expr::int(1)),
         );
         let reference = reference_execute(&p, &ExecOptions::default());
-        let oclgrind = execute(&p, &configuration(19), OptLevel::Disabled, &ExecOptions::default());
+        let oclgrind = execute(
+            &p,
+            &configuration(19),
+            OptLevel::Disabled,
+            &ExecOptions::default(),
+        );
         match (reference, oclgrind) {
             (TestOutcome::Result { output: r, .. }, TestOutcome::Result { output: o, .. }) => {
                 assert_eq!(r, "1,1,1,1");

@@ -82,16 +82,35 @@ fn out_store(value: Expr) -> Stmt {
 }
 
 fn base_program(name: &str, params: Vec<Param>, launch: LaunchConfig) -> Program {
-    let mut p = Program::new(KernelDef { name: name.into(), params, body: Block::new() }, launch);
-    p.buffers.push(BufferSpec::result("out", ScalarType::ULong, launch.total_work_items()));
+    let mut p = Program::new(
+        KernelDef {
+            name: name.into(),
+            params,
+            body: Block::new(),
+        },
+        launch,
+    );
+    p.buffers.push(BufferSpec::result(
+        "out",
+        ScalarType::ULong,
+        launch.total_work_items(),
+    ));
     p
 }
 
 fn for_loop(var: &str, bound: i64, body: Block) -> Stmt {
     Stmt::For {
-        init: Some(Box::new(Stmt::decl(var, Type::Scalar(ScalarType::Int), Some(Expr::int(0))))),
+        init: Some(Box::new(Stmt::decl(
+            var,
+            Type::Scalar(ScalarType::Int),
+            Some(Expr::int(0)),
+        ))),
         cond: Some(Expr::binary(BinOp::Lt, Expr::var(var), Expr::int(bound))),
-        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var(var), Expr::int(1))),
+        update: Some(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var(var),
+            Expr::int(1),
+        )),
         body,
     }
 }
@@ -103,7 +122,10 @@ pub fn bfs() -> Benchmark {
     let mut p = base_program(
         "bfs_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("edges", ScalarType::Int),
             global_ptr("offsets", ScalarType::Int),
             global_ptr("cost", ScalarType::Int),
@@ -116,10 +138,18 @@ pub fn bfs() -> Benchmark {
         "edges",
         ScalarType::Int,
         2 * n,
-        BufferInit::Data((0..2 * n as i64).map(|e| {
-            let i = e / 2;
-            if e % 2 == 0 { (i + 1) % n as i64 } else { (i + 7) % n as i64 }
-        }).collect()),
+        BufferInit::Data(
+            (0..2 * n as i64)
+                .map(|e| {
+                    let i = e / 2;
+                    if e % 2 == 0 {
+                        (i + 1) % n as i64
+                    } else {
+                        (i + 7) % n as i64
+                    }
+                })
+                .collect(),
+        ),
     ));
     p.buffers.push(BufferSpec::new(
         "offsets",
@@ -134,7 +164,11 @@ pub fn bfs() -> Benchmark {
         BufferInit::Data((0..n as i64).map(|i| i % 4).collect()),
     ));
     let body = &mut p.kernel.body;
-    body.push(Stmt::decl("best", Type::Scalar(ScalarType::Int), Some(Expr::int(1 << 20))));
+    body.push(Stmt::decl(
+        "best",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(1 << 20)),
+    ));
     body.push(Stmt::decl(
         "start",
         Type::Scalar(ScalarType::Int),
@@ -149,9 +183,17 @@ pub fn bfs() -> Benchmark {
         )),
     ));
     body.push(Stmt::For {
-        init: Some(Box::new(Stmt::decl("e", Type::Scalar(ScalarType::Int), Some(Expr::var("start"))))),
+        init: Some(Box::new(Stmt::decl(
+            "e",
+            Type::Scalar(ScalarType::Int),
+            Some(Expr::var("start")),
+        ))),
         cond: Some(Expr::binary(BinOp::Lt, Expr::var("e"), Expr::var("end"))),
-        update: Some(Expr::assign_op(AssignOp::AddAssign, Expr::var("e"), Expr::int(1))),
+        update: Some(Expr::assign_op(
+            AssignOp::AddAssign,
+            Expr::var("e"),
+            Expr::int(1),
+        )),
         body: Block::of(vec![
             Stmt::decl(
                 "neighbour",
@@ -169,7 +211,10 @@ pub fn bfs() -> Benchmark {
             ),
             Stmt::assign(
                 Expr::var("best"),
-                Expr::builtin(Builtin::Min, vec![Expr::var("best"), Expr::var("candidate")]),
+                Expr::builtin(
+                    Builtin::Min,
+                    vec![Expr::var("best"), Expr::var("candidate")],
+                ),
             ),
         ]),
     });
@@ -193,7 +238,10 @@ pub fn cutcp() -> Benchmark {
     let mut p = base_program(
         "cutcp_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("atoms", ScalarType::Int),
         ],
         LaunchConfig::new([n, 1, 1], [32, 1, 1]).expect("valid launch"),
@@ -205,7 +253,11 @@ pub fn cutcp() -> Benchmark {
         BufferInit::Data((0..32).map(|i| (i * 37) % 101).collect()),
     ));
     let body = &mut p.kernel.body;
-    body.push(Stmt::decl("potential", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "potential",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "a",
         32,
@@ -261,7 +313,10 @@ pub fn lbm() -> Benchmark {
     let mut p = base_program(
         "lbm_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("cells", ScalarType::Int),
         ],
         LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
@@ -273,7 +328,11 @@ pub fn lbm() -> Benchmark {
         BufferInit::Data((0..(n * 9) as i64).map(|i| (i * 13) % 97).collect()),
     ));
     let body = &mut p.kernel.body;
-    body.push(Stmt::decl("density", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "density",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "d",
         9,
@@ -284,7 +343,11 @@ pub fn lbm() -> Benchmark {
                 Expr::var("cells"),
                 Expr::binary(
                     BinOp::Add,
-                    Expr::binary(BinOp::Mul, Expr::cast(Type::Scalar(ScalarType::Int), tid()), Expr::int(9)),
+                    Expr::binary(
+                        BinOp::Mul,
+                        Expr::cast(Type::Scalar(ScalarType::Int), tid()),
+                        Expr::int(9),
+                    ),
                     Expr::var("d"),
                 ),
             ),
@@ -293,9 +356,16 @@ pub fn lbm() -> Benchmark {
     body.push(Stmt::decl(
         "equilibrium",
         Type::Scalar(ScalarType::Int),
-        Some(Expr::builtin(Builtin::SafeDiv, vec![Expr::var("density"), Expr::int(9)])),
+        Some(Expr::builtin(
+            Builtin::SafeDiv,
+            vec![Expr::var("density"), Expr::int(9)],
+        )),
     ));
-    body.push(Stmt::decl("relaxed", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "relaxed",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "d2",
         9,
@@ -346,7 +416,10 @@ pub fn sad() -> Benchmark {
     let mut p = base_program(
         "sad_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("frame", ScalarType::Int),
             global_ptr("reference", ScalarType::Int),
         ],
@@ -365,7 +438,11 @@ pub fn sad() -> Benchmark {
         BufferInit::Data((0..(n + 16) as i64).map(|i| (i * 11) % 251).collect()),
     ));
     let body = &mut p.kernel.body;
-    body.push(Stmt::decl("sum", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "sum",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "px",
         16,
@@ -378,7 +455,10 @@ pub fn sad() -> Benchmark {
                     Builtin::Abs,
                     vec![Expr::binary(
                         BinOp::Sub,
-                        Expr::index(Expr::var("frame"), Expr::binary(BinOp::Add, tid(), Expr::var("px"))),
+                        Expr::index(
+                            Expr::var("frame"),
+                            Expr::binary(BinOp::Add, tid(), Expr::var("px")),
+                        ),
                         Expr::index(
                             Expr::var("reference"),
                             Expr::binary(BinOp::Add, tid(), Expr::var("px")),
@@ -412,7 +492,10 @@ pub fn spmv() -> Benchmark {
     let mut p = base_program(
         "spmv_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("values", ScalarType::Int),
             global_ptr("columns", ScalarType::Int),
             global_ptr("x", ScalarType::Int),
@@ -438,9 +521,14 @@ pub fn spmv() -> Benchmark {
         n,
         BufferInit::Data((0..n as i64).map(|i| i + 1).collect()),
     ));
-    p.buffers.push(BufferSpec::new("y", ScalarType::Int, n, BufferInit::Zero));
+    p.buffers
+        .push(BufferSpec::new("y", ScalarType::Int, n, BufferInit::Zero));
     let body = &mut p.kernel.body;
-    body.push(Stmt::decl("acc", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "acc",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "k",
         4,
@@ -450,7 +538,11 @@ pub fn spmv() -> Benchmark {
                 Type::Scalar(ScalarType::Int),
                 Some(Expr::binary(
                     BinOp::Add,
-                    Expr::binary(BinOp::Mul, Expr::cast(Type::Scalar(ScalarType::Int), tid()), Expr::int(4)),
+                    Expr::binary(
+                        BinOp::Mul,
+                        Expr::cast(Type::Scalar(ScalarType::Int), tid()),
+                        Expr::int(4),
+                    ),
                     Expr::var("k"),
                 )),
             ),
@@ -460,7 +552,10 @@ pub fn spmv() -> Benchmark {
                 Expr::binary(
                     BinOp::Mul,
                     Expr::index(Expr::var("values"), Expr::var("idx")),
-                    Expr::index(Expr::var("x"), Expr::index(Expr::var("columns"), Expr::var("idx"))),
+                    Expr::index(
+                        Expr::var("x"),
+                        Expr::index(Expr::var("columns"), Expr::var("idx")),
+                    ),
                 ),
             )),
         ]),
@@ -474,7 +569,11 @@ pub fn spmv() -> Benchmark {
             Expr::builtin(
                 Builtin::SafeMod,
                 vec![
-                    Expr::binary(BinOp::Add, Expr::cast(Type::Scalar(ScalarType::Int), tid()), Expr::int(1)),
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::cast(Type::Scalar(ScalarType::Int), tid()),
+                        Expr::int(1),
+                    ),
                     Expr::int(n as i64),
                 ],
             ),
@@ -504,7 +603,10 @@ pub fn tpacf() -> Benchmark {
     let mut p = base_program(
         "tpacf_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("data", ScalarType::Int),
         ],
         LaunchConfig::new([n, 1, 1], [32, 1, 1]).expect("valid launch"),
@@ -567,7 +669,11 @@ pub fn tpacf() -> Benchmark {
             )),
         ]),
     ));
-    body.push(Stmt::decl("weighted", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "weighted",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "b2",
         8,
@@ -601,7 +707,10 @@ pub fn heartwall() -> Benchmark {
     let mut p = base_program(
         "heartwall_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("image", ScalarType::Int),
         ],
         LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
@@ -613,22 +722,37 @@ pub fn heartwall() -> Benchmark {
         BufferInit::Data((0..(n + 32) as i64).map(|i| (i * 17) % 256).collect()),
     ));
     let body = &mut p.kernel.body;
-    body.push(Stmt::decl("mean", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "mean",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "w",
         16,
         Block::of(vec![Stmt::expr(Expr::assign_op(
             AssignOp::AddAssign,
             Expr::var("mean"),
-            Expr::index(Expr::var("image"), Expr::binary(BinOp::Add, tid(), Expr::var("w"))),
+            Expr::index(
+                Expr::var("image"),
+                Expr::binary(BinOp::Add, tid(), Expr::var("w")),
+            ),
         ))]),
     ));
     body.push(Stmt::assign(
         Expr::var("mean"),
         Expr::builtin(Builtin::SafeDiv, vec![Expr::var("mean"), Expr::int(16)]),
     ));
-    body.push(Stmt::decl("best", Type::Scalar(ScalarType::Int), Some(Expr::int(1 << 20))));
-    body.push(Stmt::decl("best_offset", Type::Scalar(ScalarType::Int), Some(Expr::int(0))));
+    body.push(Stmt::decl(
+        "best",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(1 << 20)),
+    ));
+    body.push(Stmt::decl(
+        "best_offset",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
     body.push(for_loop(
         "offset",
         16,
@@ -685,7 +809,10 @@ pub fn hotspot() -> Benchmark {
     let mut p = base_program(
         "hotspot_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("temperature", ScalarType::Int),
             global_ptr("power", ScalarType::Int),
         ],
@@ -735,7 +862,11 @@ pub fn hotspot() -> Benchmark {
         Some(Expr::index(
             Expr::var("tile"),
             Expr::cond(
-                Expr::binary(BinOp::Eq, lid(), Expr::lit(group as i128 - 1, ScalarType::UInt)),
+                Expr::binary(
+                    BinOp::Eq,
+                    lid(),
+                    Expr::lit(group as i128 - 1, ScalarType::UInt),
+                ),
                 Expr::lit(group as i128 - 1, ScalarType::UInt),
                 Expr::binary(BinOp::Add, lid(), Expr::lit(1, ScalarType::UInt)),
             ),
@@ -765,7 +896,11 @@ pub fn hotspot() -> Benchmark {
             ],
         )),
     ));
-    body.push(out_store(Expr::binary(BinOp::Add, Expr::var("centre"), Expr::var("delta"))));
+    body.push(out_store(Expr::binary(
+        BinOp::Add,
+        Expr::var("centre"),
+        Expr::var("delta"),
+    )));
     Benchmark {
         name: "hotspot",
         suite: Suite::Rodinia,
@@ -787,7 +922,10 @@ pub fn myocyte() -> Benchmark {
     let mut p = base_program(
         "myocyte_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("state", ScalarType::Int),
             global_ptr("rates", ScalarType::Int),
         ],
@@ -828,13 +966,21 @@ pub fn myocyte() -> Benchmark {
             Expr::builtin(
                 Builtin::SafeMod,
                 vec![
-                    Expr::binary(BinOp::Add, Expr::cast(Type::Scalar(ScalarType::Int), lid()), Expr::int(1)),
+                    Expr::binary(
+                        BinOp::Add,
+                        Expr::cast(Type::Scalar(ScalarType::Int), lid()),
+                        Expr::int(1),
+                    ),
                     Expr::int(group as i64),
                 ],
             ),
         )),
     ));
-    body.push(Stmt::decl("value", Type::Scalar(ScalarType::Int), Some(Expr::index(Expr::var("state"), tid()))));
+    body.push(Stmt::decl(
+        "value",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::index(Expr::var("state"), tid())),
+    ));
     body.push(for_loop(
         "step",
         8,
@@ -877,7 +1023,10 @@ pub fn pathfinder() -> Benchmark {
     let mut p = base_program(
         "pathfinder_kernel",
         vec![
-            Param::new("out", Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global)),
+            Param::new(
+                "out",
+                Type::Scalar(ScalarType::ULong).pointer_to(AddressSpace::Global),
+            ),
             global_ptr("wall", ScalarType::Int),
         ],
         LaunchConfig::new([n, 1, 1], [16, 1, 1]).expect("valid launch"),
@@ -983,7 +1132,10 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
 /// The eight benchmarks used in Table 3 (spmv and myocyte are excluded
 /// because of their data races, §2.4).
 pub fn table3_benchmarks() -> Vec<Benchmark> {
-    all_benchmarks().into_iter().filter(|b| !b.has_known_race).collect()
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| !b.has_known_race)
+        .collect()
 }
 
 #[cfg(test)]
@@ -999,12 +1151,32 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "bfs", "cutcp", "lbm", "sad", "spmv", "tpacf", "heartwall", "hotspot", "myocyte",
+                "bfs",
+                "cutcp",
+                "lbm",
+                "sad",
+                "spmv",
+                "tpacf",
+                "heartwall",
+                "hotspot",
+                "myocyte",
                 "pathfinder"
             ]
         );
-        assert_eq!(benchmarks.iter().filter(|b| b.suite == Suite::Parboil).count(), 6);
-        assert_eq!(benchmarks.iter().filter(|b| b.suite == Suite::Rodinia).count(), 4);
+        assert_eq!(
+            benchmarks
+                .iter()
+                .filter(|b| b.suite == Suite::Parboil)
+                .count(),
+            6
+        );
+        assert_eq!(
+            benchmarks
+                .iter()
+                .filter(|b| b.suite == Suite::Rodinia)
+                .count(),
+            4
+        );
         assert_eq!(benchmarks.iter().filter(|b| !b.original_uses_fp).count(), 3);
         assert_eq!(Suite::Parboil.name(), "Parboil");
     }
@@ -1012,7 +1184,11 @@ mod tests {
     #[test]
     fn benchmarks_typecheck_and_run() {
         for b in all_benchmarks() {
-            assert!(clc::check_program(&b.program).is_ok(), "{} fails typecheck", b.name);
+            assert!(
+                clc::check_program(&b.program).is_ok(),
+                "{} fails typecheck",
+                b.name
+            );
             let result = clc_interp::run(&b.program);
             assert!(result.is_ok(), "{} failed: {:?}", b.name, result.err());
             let result = result.unwrap();
@@ -1026,13 +1202,19 @@ mod tests {
             let forward = clc_interp::run(&b.program).unwrap();
             let reverse = launch(
                 &b.program,
-                &LaunchOptions { schedule: Schedule::Reverse, ..LaunchOptions::default() },
+                &LaunchOptions {
+                    schedule: Schedule::Reverse,
+                    ..LaunchOptions::default()
+                },
             )
             .unwrap();
             assert_eq!(forward.result_string, reverse.result_string, "{}", b.name);
             let raced = launch(
                 &b.program,
-                &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+                &LaunchOptions {
+                    detect_races: true,
+                    ..LaunchOptions::default()
+                },
             )
             .unwrap();
             assert!(raced.race.is_none(), "{} unexpectedly races", b.name);
@@ -1044,10 +1226,17 @@ mod tests {
         for b in all_benchmarks().into_iter().filter(|b| b.has_known_race) {
             let raced = launch(
                 &b.program,
-                &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+                &LaunchOptions {
+                    detect_races: true,
+                    ..LaunchOptions::default()
+                },
             )
             .unwrap();
-            assert!(raced.race.is_some(), "{} should contain a data race", b.name);
+            assert!(
+                raced.race.is_some(),
+                "{} should contain a data race",
+                b.name
+            );
         }
     }
 
@@ -1060,7 +1249,11 @@ mod tests {
                 "{} should contain loops",
                 b.name
             );
-            assert!(b.program.kernel.body.stmts.len() >= 3, "{} too small", b.name);
+            assert!(
+                b.program.kernel.body.stmts.len() >= 3,
+                "{} too small",
+                b.name
+            );
         }
         // hotspot exercises local memory and barriers.
         let hotspot = hotspot();

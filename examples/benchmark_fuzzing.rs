@@ -13,7 +13,10 @@ fn main() {
     for bench in all_benchmarks() {
         let raced = launch(
             &bench.program,
-            &LaunchOptions { detect_races: true, ..LaunchOptions::default() },
+            &LaunchOptions {
+                detect_races: true,
+                ..LaunchOptions::default()
+            },
         )
         .unwrap();
         if let Some(race) = raced.race {
@@ -21,18 +24,30 @@ fn main() {
             continue;
         }
         let donor = generate(
-            &GeneratorOptions { min_threads: 16, max_threads: 32, ..GeneratorOptions::new(GenMode::Basic, 77) }
-                .with_emi(),
+            &GeneratorOptions {
+                min_threads: 16,
+                max_threads: 32,
+                ..GeneratorOptions::new(GenMode::Basic, 77)
+            }
+            .with_emi(),
         );
-        let bodies: Vec<clc::Block> =
-            donor.emi_blocks().iter().map(|b| b.body.clone()).take(2).collect();
+        let bodies: Vec<clc::Block> = donor
+            .emi_blocks()
+            .iter()
+            .map(|b| b.body.clone())
+            .take(2)
+            .collect();
         let emi = EmiBenchmark {
             name: bench.name.to_string(),
             program: bench.program.clone(),
             bodies,
             injection_points: 1,
         };
-        let cell = evaluate_benchmark(&emi, &opencl_sim::configuration(12), &ExecOptions::default());
+        let cell = evaluate_benchmark(
+            &emi,
+            &opencl_sim::configuration(12),
+            &ExecOptions::default(),
+        );
         println!("{:<11} on config 12: {}", bench.name, cell.render());
     }
 }

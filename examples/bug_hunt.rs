@@ -8,24 +8,35 @@ use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::{run_mode_campaign, CampaignOptions};
 
 fn main() {
-    let kernels: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let kernels: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let configs = opencl_sim::above_threshold_configurations();
     let options = CampaignOptions {
         kernels,
-        generator: GeneratorOptions { min_threads: 16, max_threads: 48, ..GeneratorOptions::default() },
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..GeneratorOptions::default()
+        },
         ..CampaignOptions::default()
     };
     for mode in GenMode::ALL {
         let result = run_mode_campaign(mode, &configs, &options);
-        println!("mode {:<16} total w% = {:.2}", mode.name(), result.total_wrong_code_percentage());
+        println!(
+            "mode {:<16} total w% = {:.2}",
+            mode.name(),
+            result.total_wrong_code_percentage()
+        );
         for (target, stats) in result.targets.iter().zip(&result.stats) {
             if stats.wrong > 0 {
                 println!(
-                    "    {:>4}: {} wrong-code kernels out of {} ({}%)",
+                    "    {:>4}: {} wrong-code kernels out of {} ({:.1}%)",
                     target.label(),
                     stats.wrong,
                     stats.total(),
-                    format!("{:.1}", stats.wrong_code_percentage()),
+                    stats.wrong_code_percentage(),
                 );
             }
         }

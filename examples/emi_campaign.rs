@@ -4,9 +4,11 @@
 //!
 //! Run with: `cargo run --release --example emi_campaign`
 
-use clsmith::GeneratorOptions;
-use fuzz_harness::{generate_live_bases, judge_base, pruning_grid, CampaignOptions, EmiCampaignOptions};
 use clsmith::prune_variant;
+use clsmith::GeneratorOptions;
+use fuzz_harness::{
+    generate_live_bases, judge_base, pruning_grid, CampaignOptions, EmiCampaignOptions,
+};
 use opencl_sim::{configuration, ExecOptions, OptLevel};
 
 fn main() {
@@ -14,7 +16,11 @@ fn main() {
         bases: 3,
         variants_per_base: 8,
         campaign: CampaignOptions {
-            generator: GeneratorOptions { min_threads: 16, max_threads: 48, ..GeneratorOptions::default() },
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 48,
+                ..GeneratorOptions::default()
+            },
             ..CampaignOptions::default()
         },
     };

@@ -15,18 +15,27 @@ fn main() {
         ..GeneratorOptions::new(GenMode::All, 2026)
     };
     let program = generate(&options);
-    println!("=== Generated OpenCL C ===\n{}", clc::print_program(&program));
+    println!(
+        "=== Generated OpenCL C ===\n{}",
+        clc::print_program(&program)
+    );
 
     // 2. Run it on the reference emulator (the repository's Oclgrind stand-in).
     let reference = clc_interp::run(&program).expect("generated kernels are UB-free");
     println!("reference result hash: {:#018x}", reference.result_hash);
-    println!("first outputs: {}", &reference.result_string[..reference.result_string.len().min(60)]);
+    println!(
+        "first outputs: {}",
+        &reference.result_string[..reference.result_string.len().min(60)]
+    );
 
     // 3. Differential-test it across the above-threshold configurations.
     let (targets, _outcomes, verdicts) = quick_differential(&program);
     for (target, verdict) in targets.iter().zip(&verdicts) {
         println!("  config {:>4}: {:?}", target.label(), verdict);
     }
-    let wrong = verdicts.iter().filter(|v| matches!(v, fuzz_harness::Verdict::WrongCode)).count();
+    let wrong = verdicts
+        .iter()
+        .filter(|v| matches!(v, fuzz_harness::Verdict::WrongCode))
+        .count();
     println!("{wrong} configuration(s) miscompiled this kernel.");
 }

@@ -20,7 +20,9 @@ fn main() {
         });
         let reference = reference_execute(&program, &exec);
         let observed = execute(&program, &config, OptLevel::Enabled, &exec);
-        if let (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) = (&reference, &observed) {
+        if let (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) =
+            (&reference, &observed)
+        {
             if a != b {
                 found = Some(program);
                 break;
@@ -31,7 +33,10 @@ fn main() {
         println!("no miscompiled kernel found in 200 seeds — try more seeds");
         return;
     };
-    println!("found a miscompiled kernel with {} statements", program.statement_count());
+    println!(
+        "found a miscompiled kernel with {} statements",
+        program.statement_count()
+    );
     let mut interesting = |candidate: &clc::Program| {
         let reference = reference_execute(candidate, &exec);
         let observed = execute(candidate, &config, OptLevel::Enabled, &exec);
@@ -43,7 +48,10 @@ fn main() {
     let (reduced, stats) = reduce(&program, &mut interesting, &ReduceOptions::default());
     println!(
         "reduced from {} to {} statements ({} candidates tried, {} accepted)",
-        stats.initial_statements, stats.final_statements, stats.candidates_tried, stats.candidates_accepted
+        stats.initial_statements,
+        stats.final_statements,
+        stats.candidates_tried,
+        stats.candidates_accepted
     );
     println!("=== reduced kernel ===\n{}", clc::print_program(&reduced));
 }

@@ -1,0 +1,27 @@
+//! # many-core-fuzzing — reproduction of *Many-Core Compiler Fuzzing* (PLDI 2015)
+//!
+//! This root crate exists to give the workspace-level integration tests
+//! (`tests/`) and runnable walkthroughs (`examples/`) a Cargo home.  The
+//! actual functionality lives in the member crates:
+//!
+//! * [`clc`] — the OpenCL C subset: AST, types, printer, analyses;
+//! * [`clc_interp`] — the NDRange reference emulator;
+//! * [`clsmith`] — the random kernel generator and EMI machinery;
+//! * [`opencl_sim`] — the 21 simulated Table-1 configurations;
+//! * [`fuzz_harness`] — campaign drivers and the parallel [`fuzz_harness::exec`]
+//!   scheduler;
+//! * [`clreduce`] — concurrency-aware test-case reduction;
+//! * [`parboil_rodinia`] — the Table-2 benchmark miniatures.
+//!
+//! See the repository `README.md` for a map and usage instructions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use clc;
+pub use clc_interp;
+pub use clreduce;
+pub use clsmith;
+pub use fuzz_harness;
+pub use opencl_sim;
+pub use parboil_rodinia;
