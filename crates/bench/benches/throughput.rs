@@ -1,10 +1,13 @@
 //! Throughput benchmarks (dependency-free, `harness = false`): generator and
-//! emulator hot paths, plus the headline measurement for the parallel
-//! campaign engine — how mode-campaign wall-clock scales with worker count,
-//! together with a byte-identity check of the rendered table at 1 vs 8
-//! workers.
+//! emulator hot paths — including the execution-tier axis (tree-walk vs
+//! bytecode) with a cross-tier result-hash check — plus the headline
+//! measurement for the parallel campaign engine: how mode-campaign
+//! wall-clock scales with worker count, together with a byte-identity check
+//! of the rendered table at 1 vs 8 workers.
 //!
-//! Run with `cargo bench -p bench` (add `-- --quick` for a faster pass).
+//! Run with `cargo bench -p bench` (add `-- --quick` for a faster pass, and
+//! `-- --json PATH` to dump every recorded metric as a flat JSON object for
+//! CI artifacts and the `BENCH_*` trajectory).
 
 use std::time::{Duration, Instant};
 
@@ -12,7 +15,31 @@ use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabili
 use fuzz_harness::{
     render_campaign_table, run_mode_campaign_with, CampaignOptions, Job, Scheduler,
 };
-use opencl_sim::{configuration, execute, ExecOptions, OptLevel};
+use opencl_sim::{configuration, execute, ExecOptions, ExecutionTier, OptLevel};
+
+/// Flat metric sink rendered to JSON at the end of the run (no external
+/// serialisation dependencies, so the values are written by hand).
+#[derive(Default)]
+struct Metrics {
+    entries: Vec<(String, f64)>,
+}
+
+impl Metrics {
+    fn record(&mut self, key: impl Into<String>, value: f64) {
+        self.entries.push((key.into(), value));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            // Keys are bench-internal identifiers (no quoting hazards).
+            out.push_str(&format!("  \"{key}\": {value}{sep}\n"));
+        }
+        out.push('}');
+        out
+    }
+}
 
 fn small_opts(mode: GenMode, seed: u64) -> GeneratorOptions {
     GeneratorOptions {
@@ -31,7 +58,7 @@ fn time<F: FnMut()>(iters: usize, mut f: F) -> Duration {
     start.elapsed() / iters.max(1) as u32
 }
 
-fn bench_generation(iters: usize) {
+fn bench_generation(iters: usize, metrics: &mut Metrics) {
     println!("generation (mean over {iters} kernels per mode)");
     for mode in GenMode::ALL {
         let mut seed = 0u64;
@@ -40,27 +67,57 @@ fn bench_generation(iters: usize) {
             std::hint::black_box(generate(&small_opts(mode, seed)));
         });
         println!("  {:<18} {:>10.1?}/kernel", mode.name(), per);
+        metrics.record(
+            format!("generation_{}_us", mode.name().replace(' ', "_")),
+            per.as_secs_f64() * 1e6,
+        );
     }
 }
 
-fn bench_emulation(iters: usize) {
-    println!("emulation (mean over {iters} runs)");
-    for (label, detect_races) in [("plain", false), ("race-detect", true)] {
-        let program = generate(&small_opts(GenMode::All, 7));
-        let per = time(iters, || {
-            std::hint::black_box(
-                clc_interp::launch(
-                    &program,
-                    &clc_interp::LaunchOptions {
-                        detect_races,
-                        ..clc_interp::LaunchOptions::default()
-                    },
-                )
-                .unwrap(),
+/// The emulator hot path across the execution-tier axis: mean latency and
+/// kernels/sec per tier on the default workload, with and without race
+/// detection, plus the bytecode-over-tree-walk speedup.  Also asserts the
+/// tiers produce the same result hash, so CI catches tier regressions even
+/// in the smoke configuration.
+fn bench_emulation(iters: usize, metrics: &mut Metrics) {
+    println!("emulation (mean over {iters} runs, per execution tier)");
+    let program = generate(&small_opts(GenMode::All, 7));
+    let mut plain_latency = [Duration::ZERO; 2];
+    let mut reference_hash: Option<u64> = None;
+    for (t, tier) in ExecutionTier::ALL.into_iter().enumerate() {
+        for (label, detect_races) in [("plain", false), ("race-detect", true)] {
+            let options = clc_interp::LaunchOptions {
+                detect_races,
+                tier,
+                ..clc_interp::LaunchOptions::default()
+            };
+            let hash = clc_interp::launch(&program, &options).unwrap().result_hash;
+            match reference_hash {
+                None => reference_hash = Some(hash),
+                Some(h) => assert_eq!(h, hash, "tiers disagree on the bench kernel"),
+            }
+            let per = time(iters, || {
+                std::hint::black_box(clc_interp::launch(&program, &options).unwrap());
+            });
+            println!("  {:<11} {label:<12} {per:>10.1?}/run", tier.name());
+            let key = format!(
+                "emulation_{}_{}_us",
+                tier.name().replace('-', "_"),
+                label.replace('-', "_")
             );
-        });
-        println!("  {label:<18} {per:>10.1?}/run");
+            metrics.record(key, per.as_secs_f64() * 1e6);
+            if !detect_races {
+                plain_latency[t] = per;
+                metrics.record(
+                    format!("kernels_per_sec_{}", tier.name().replace('-', "_")),
+                    1.0 / per.as_secs_f64(),
+                );
+            }
+        }
     }
+    let speedup = plain_latency[0].as_secs_f64() / plain_latency[1].as_secs_f64();
+    println!("  bytecode speedup over tree-walk: ×{speedup:.2}");
+    metrics.record("tier_speedup_bytecode_over_tree_walk", speedup);
 }
 
 fn bench_simulated_platform(iters: usize) {
@@ -95,7 +152,7 @@ fn bench_emi_pruning(iters: usize) {
 /// The campaign-engine scaling measurement: the same fixed-seed mode campaign
 /// at 1, 2, 4 and 8 workers.  Prints wall-clock and speedup per worker count
 /// and asserts that the rendered table is byte-identical at 1 and 8 workers.
-fn bench_campaign_scaling(kernels: usize) {
+fn bench_campaign_scaling(kernels: usize, metrics: &mut Metrics) {
     let configs = vec![
         configuration(1),
         configuration(9),
@@ -125,6 +182,10 @@ fn bench_campaign_scaling(kernels: usize) {
             .unwrap_or(1.0);
         baseline.get_or_insert(elapsed);
         println!("  {workers} worker(s)        {elapsed:>10.1?}   speedup ×{speedup:.2}");
+        metrics.record(
+            format!("campaign_{workers}_workers_ms"),
+            elapsed.as_secs_f64() * 1e3,
+        );
         tables.push((workers, render_campaign_table(&result)));
     }
     let one = &tables.iter().find(|(w, _)| *w == 1).unwrap().1;
@@ -181,14 +242,25 @@ fn bench_scheduler_overlap() {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let (iters, campaign_kernels) = if quick { (5, 16) } else { (20, 48) };
-    bench_generation(iters);
-    bench_emulation(iters);
+    let mut metrics = Metrics::default();
+    bench_generation(iters, &mut metrics);
+    bench_emulation(iters, &mut metrics);
     bench_simulated_platform(iters);
     bench_emi_pruning(iters.max(30));
     bench_scheduler_overlap();
     // CPU-bound scaling: speedup tracks the machine's core count (×1.0 on a
     // single-core box); the byte-identity assertion holds everywhere.
-    bench_campaign_scaling(campaign_kernels);
+    bench_campaign_scaling(campaign_kernels, &mut metrics);
+    if let Some(path) = json_path {
+        std::fs::write(&path, metrics.to_json()).expect("write bench JSON");
+        println!("metrics written to {path}");
+    }
 }

@@ -206,27 +206,196 @@ impl<'a, 'p> Ctx<'a, 'p> {
     }
 
     fn record_access(&mut self, place: &Place, cells: usize, kind: AccessKind) {
-        if !place.space.is_shared() {
-            return;
-        }
-        if let Some(races) = self.races.as_deref_mut() {
-            let thread = self.ids.linear_global();
-            let group = self.ids.linear_group();
-            for i in 0..cells.max(1) {
-                races.record(
-                    place.obj,
-                    place.offset + i,
-                    thread,
-                    group,
-                    self.ids.interval,
-                    kind,
-                );
-            }
+        self.access().record(place, cells, kind);
+    }
+
+    /// The memory-access view of this context, shared with the bytecode VM so
+    /// that both tiers load, store and record races identically.
+    pub(crate) fn access(&mut self) -> AccessCtx<'_> {
+        AccessCtx {
+            memory: self.memory,
+            races: self.races.as_deref_mut(),
+            ids: self.ids,
+            structs: &self.program.structs,
         }
     }
 
     fn structs(&self) -> &'p [clc::StructDef] {
         &self.program.structs
+    }
+}
+
+/// The minimal state needed to perform a typed memory access with race
+/// recording.  Both execution tiers (the tree-walking evaluator and the
+/// bytecode VM) route every load and store through this type, which is what
+/// guarantees their bit-for-bit agreement on memory and race semantics.
+pub(crate) struct AccessCtx<'a> {
+    /// The launch-wide object store.
+    pub memory: &'a mut Memory,
+    /// Optional race detector.
+    pub races: Option<&'a mut RaceDetector>,
+    /// Identity of the executing work-item.
+    pub ids: ThreadIds,
+    /// Struct definitions (for cell counts).
+    pub structs: &'a [clc::StructDef],
+}
+
+impl AccessCtx<'_> {
+    pub(crate) fn record(&mut self, place: &Place, cells: usize, kind: AccessKind) {
+        if !place.space.is_shared() {
+            return;
+        }
+        record_shared(
+            self.races.as_deref_mut(),
+            &self.ids,
+            place.obj,
+            place.offset,
+            cells,
+            kind,
+        );
+    }
+
+    /// Loads the value stored at a place (recording the read).
+    pub(crate) fn load(&mut self, place: &Place) -> Result<Value, RuntimeError> {
+        let cells = place.ty.cell_count(self.structs);
+        self.record(place, cells, AccessKind::Read);
+        read_value(
+            self.memory,
+            self.structs,
+            place.obj,
+            place.offset,
+            &place.ty,
+            place.space,
+        )
+    }
+
+    /// Stores a value into a place (recording the write), converting scalars
+    /// to the place's type.
+    pub(crate) fn store(&mut self, place: &Place, value: Value) -> Result<(), RuntimeError> {
+        let cells = place.ty.cell_count(self.structs);
+        self.record(place, cells, AccessKind::Write);
+        write_value(
+            self.memory,
+            self.structs,
+            place.obj,
+            place.offset,
+            &place.ty,
+            value,
+        )
+    }
+}
+
+/// Records a shared-memory access on the race detector (both tiers route
+/// every shared access through this).
+pub(crate) fn record_shared(
+    races: Option<&mut RaceDetector>,
+    ids: &ThreadIds,
+    obj: ObjId,
+    offset: usize,
+    cells: usize,
+    kind: AccessKind,
+) {
+    if let Some(races) = races {
+        let thread = ids.linear_global();
+        let group = ids.linear_group();
+        for i in 0..cells.max(1) {
+            races.record(obj, offset + i, thread, group, ids.interval, kind);
+        }
+    }
+}
+
+/// Reads a value of type `ty` at an explicit location (the race recording
+/// is the caller's responsibility — see [`AccessCtx::load`]).
+pub(crate) fn read_value(
+    memory: &Memory,
+    structs: &[clc::StructDef],
+    obj: ObjId,
+    offset: usize,
+    ty: &Type,
+    space: AddressSpace,
+) -> Result<Value, RuntimeError> {
+    match ty {
+        Type::Scalar(s) => Ok(Value::Scalar(memory.read_scalar(obj, offset, *s)?)),
+        Type::Vector(s, w) => {
+            let mut lanes = Vec::with_capacity(w.lanes());
+            for i in 0..w.lanes() {
+                lanes.push(memory.read_scalar(obj, offset + i, *s)?.bits);
+            }
+            Ok(Value::Vector(*s, lanes))
+        }
+        Type::Pointer(..) => Ok(Value::Pointer(memory.read_pointer(obj, offset)?)),
+        Type::Array(elem, _) => {
+            // Array-to-pointer decay: an array used as a value becomes a
+            // pointer to its first element.
+            Ok(Value::Pointer(PointerValue {
+                obj,
+                offset,
+                pointee: (**elem).clone(),
+                space,
+            }))
+        }
+        Type::Struct(_) => {
+            let cells = ty.cell_count(structs);
+            let data = memory.read_cells(obj, offset, cells)?;
+            Ok(Value::Aggregate(ty.clone(), data))
+        }
+    }
+}
+
+/// Stores a value of type `ty` at an explicit location, converting scalars
+/// to `ty` (race recording is the caller's responsibility — see
+/// [`AccessCtx::store`]).
+pub(crate) fn write_value(
+    memory: &mut Memory,
+    structs: &[clc::StructDef],
+    obj: ObjId,
+    offset: usize,
+    ty: &Type,
+    value: Value,
+) -> Result<(), RuntimeError> {
+    match (ty, value) {
+        (Type::Scalar(s), Value::Scalar(v)) => memory.write_scalar(obj, offset, v, *s),
+        (Type::Scalar(s), Value::Pointer(_)) => {
+            // Storing a pointer into an integer is unusual but appears in
+            // hand-written kernels via casts; store a stable token (0).
+            memory.write_scalar(obj, offset, Scalar::zero(*s), *s)
+        }
+        (Type::Vector(s, w), Value::Vector(_, lanes)) => {
+            if lanes.len() != w.lanes() {
+                return Err(RuntimeError::TypeMismatch {
+                    detail: "vector store with mismatched lane count".into(),
+                });
+            }
+            for (i, lane) in lanes.iter().enumerate() {
+                memory.write_scalar(obj, offset + i, Scalar::from_bits(*lane, *s), *s)?;
+            }
+            Ok(())
+        }
+        (Type::Vector(s, w), Value::Scalar(v)) => {
+            // Broadcast store.
+            for i in 0..w.lanes() {
+                memory.write_scalar(obj, offset + i, v, *s)?;
+            }
+            Ok(())
+        }
+        (Type::Pointer(..), Value::Pointer(p)) => memory.write_cell(obj, offset, Cell::Ptr(p)),
+        // A scalar zero stored into a pointer location is the C null-pointer
+        // constant; dereferencing it later is caught as an invalid access.
+        (Type::Pointer(..), Value::Scalar(v)) if v.bits == 0 => {
+            memory.write_cell(obj, offset, Cell::Bits(0))
+        }
+        (Type::Struct(_) | Type::Array(..), Value::Aggregate(_, data)) => {
+            let cells = ty.cell_count(structs);
+            if data.len() != cells {
+                return Err(RuntimeError::TypeMismatch {
+                    detail: "aggregate store with mismatched size".into(),
+                });
+            }
+            memory.write_cells(obj, offset, &data)
+        }
+        (ty, v) => Err(RuntimeError::TypeMismatch {
+            detail: format!("cannot store {} into {:?}", v.kind(), ty),
+        }),
     }
 }
 
@@ -270,29 +439,7 @@ pub fn eval_expr(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Va
         }
         Expr::Swizzle { base, lanes } => {
             let value = eval_expr(ctx, env, base)?;
-            match value {
-                Value::Vector(elem, data) => {
-                    let selected: Result<Vec<u64>, RuntimeError> = lanes
-                        .iter()
-                        .map(|&l| {
-                            data.get(l as usize).copied().ok_or_else(|| {
-                                RuntimeError::TypeMismatch {
-                                    detail: format!("swizzle lane {l} out of range"),
-                                }
-                            })
-                        })
-                        .collect();
-                    let selected = selected?;
-                    if selected.len() == 1 {
-                        Ok(Value::Scalar(Scalar::from_bits(selected[0], elem)))
-                    } else {
-                        Ok(Value::Vector(elem, selected))
-                    }
-                }
-                other => Err(RuntimeError::TypeMismatch {
-                    detail: format!("swizzle applied to {}", other.kind()),
-                }),
-            }
+            swizzle_value(value, lanes)
         }
         Expr::Unary { op, expr } => {
             let v = eval_expr(ctx, env, expr)?;
@@ -550,102 +697,37 @@ fn eval_pointer(
 
 /// Loads the value stored at a place.
 pub fn load_place(ctx: &mut Ctx<'_, '_>, place: &Place) -> Result<Value, RuntimeError> {
-    let cells = place.ty.cell_count(ctx.structs());
-    ctx.record_access(place, cells, AccessKind::Read);
-    match &place.ty {
-        Type::Scalar(s) => Ok(Value::Scalar(ctx.memory.read_scalar(
-            place.obj,
-            place.offset,
-            *s,
-        )?)),
-        Type::Vector(s, w) => {
-            let mut lanes = Vec::with_capacity(w.lanes());
-            for i in 0..w.lanes() {
-                lanes.push(
-                    ctx.memory
-                        .read_scalar(place.obj, place.offset + i, *s)?
-                        .bits,
-                );
-            }
-            Ok(Value::Vector(*s, lanes))
-        }
-        Type::Pointer(..) => Ok(Value::Pointer(
-            ctx.memory.read_pointer(place.obj, place.offset)?,
-        )),
-        Type::Array(elem, _) => {
-            // Array-to-pointer decay: an array used as a value becomes a
-            // pointer to its first element.
-            Ok(Value::Pointer(PointerValue {
-                obj: place.obj,
-                offset: place.offset,
-                pointee: (**elem).clone(),
-                space: place.space,
-            }))
-        }
-        Type::Struct(_) => {
-            let data = ctx.memory.read_cells(place.obj, place.offset, cells)?;
-            Ok(Value::Aggregate(place.ty.clone(), data))
-        }
-    }
+    ctx.access().load(place)
 }
 
 /// Stores a value into a place, converting scalars to the place's type.
 pub fn store_place(ctx: &mut Ctx<'_, '_>, place: &Place, value: Value) -> Result<(), RuntimeError> {
-    let cells = place.ty.cell_count(ctx.structs());
-    ctx.record_access(place, cells, AccessKind::Write);
-    match (&place.ty, value) {
-        (Type::Scalar(s), Value::Scalar(v)) => {
-            ctx.memory.write_scalar(place.obj, place.offset, v, *s)
-        }
-        (Type::Scalar(s), Value::Pointer(_)) => {
-            // Storing a pointer into an integer is unusual but appears in
-            // hand-written kernels via casts; store a stable token (0).
-            ctx.memory
-                .write_scalar(place.obj, place.offset, Scalar::zero(*s), *s)
-        }
-        (Type::Vector(s, w), Value::Vector(_, lanes)) => {
-            if lanes.len() != w.lanes() {
-                return Err(RuntimeError::TypeMismatch {
-                    detail: "vector store with mismatched lane count".into(),
-                });
+    ctx.access().store(place, value)
+}
+
+/// Applies a swizzle / component selection to an already-evaluated value.
+pub(crate) fn swizzle_value(value: Value, lanes: &[u8]) -> Result<Value, RuntimeError> {
+    match value {
+        Value::Vector(elem, data) => {
+            let selected: Result<Vec<u64>, RuntimeError> = lanes
+                .iter()
+                .map(|&l| {
+                    data.get(l as usize)
+                        .copied()
+                        .ok_or_else(|| RuntimeError::TypeMismatch {
+                            detail: format!("swizzle lane {l} out of range"),
+                        })
+                })
+                .collect();
+            let selected = selected?;
+            if selected.len() == 1 {
+                Ok(Value::Scalar(Scalar::from_bits(selected[0], elem)))
+            } else {
+                Ok(Value::Vector(elem, selected))
             }
-            for (i, lane) in lanes.iter().enumerate() {
-                ctx.memory.write_scalar(
-                    place.obj,
-                    place.offset + i,
-                    Scalar::from_bits(*lane, *s),
-                    *s,
-                )?;
-            }
-            Ok(())
         }
-        (Type::Vector(s, w), Value::Scalar(v)) => {
-            // Broadcast store.
-            for i in 0..w.lanes() {
-                ctx.memory
-                    .write_scalar(place.obj, place.offset + i, v, *s)?;
-            }
-            Ok(())
-        }
-        (Type::Pointer(..), Value::Pointer(p)) => {
-            ctx.memory.write_cell(place.obj, place.offset, Cell::Ptr(p))
-        }
-        // A scalar zero stored into a pointer location is the C null-pointer
-        // constant; dereferencing it later is caught as an invalid access.
-        (Type::Pointer(..), Value::Scalar(v)) if v.bits == 0 => {
-            ctx.memory
-                .write_cell(place.obj, place.offset, Cell::Bits(0))
-        }
-        (Type::Struct(_) | Type::Array(..), Value::Aggregate(_, data)) => {
-            if data.len() != cells {
-                return Err(RuntimeError::TypeMismatch {
-                    detail: "aggregate store with mismatched size".into(),
-                });
-            }
-            ctx.memory.write_cells(place.obj, place.offset, &data)
-        }
-        (ty, v) => Err(RuntimeError::TypeMismatch {
-            detail: format!("cannot store {} into {:?}", v.kind(), ty),
+        other => Err(RuntimeError::TypeMismatch {
+            detail: format!("swizzle applied to {}", other.kind()),
         }),
     }
 }
@@ -660,7 +742,7 @@ fn lookup_var(ctx: &mut Ctx<'_, '_>, env: &Env, name: &str) -> Result<ObjId, Run
     Err(RuntimeError::UnknownVariable(name.to_string()))
 }
 
-fn id_query_value(ids: &ThreadIds, kind: IdKind) -> u64 {
+pub(crate) fn id_query_value(ids: &ThreadIds, kind: IdKind) -> u64 {
     let dim = |d: Dim| d.index();
     (match kind {
         IdKind::GlobalId(d) => ids.global[dim(d)],
@@ -677,7 +759,11 @@ fn id_query_value(ids: &ThreadIds, kind: IdKind) -> u64 {
     }) as u64
 }
 
-fn cast_value(ty: &Type, value: Value, structs: &[clc::StructDef]) -> Result<Value, RuntimeError> {
+pub(crate) fn cast_value(
+    ty: &Type,
+    value: Value,
+    structs: &[clc::StructDef],
+) -> Result<Value, RuntimeError> {
     match (ty, value) {
         (Type::Scalar(s), Value::Scalar(v)) => Ok(Value::Scalar(v.convert(*s))),
         (Type::Scalar(s), Value::Pointer(_)) => Ok(Value::Scalar(Scalar::zero(*s))),
@@ -706,7 +792,7 @@ fn cast_value(ty: &Type, value: Value, structs: &[clc::StructDef]) -> Result<Val
     }
 }
 
-fn unary_op(op: UnOp, value: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn unary_op(op: UnOp, value: Value) -> Result<Value, RuntimeError> {
     match value {
         Value::Scalar(s) => Ok(Value::Scalar(scalar_unop(op, s))),
         Value::Vector(elem, lanes) => {
@@ -859,7 +945,9 @@ pub fn scalar_binop(op: BinOp, lhs: Scalar, rhs: Scalar) -> Result<Scalar, Runti
         let ty = lhs.ty.promoted();
         let a = lhs.convert(ty);
         let amount = rhs.as_i64();
-        if amount < 0 || amount as u32 >= ty.bits() {
+        // Compare at full width: truncating the amount to u32 first would let
+        // amounts like 1 << 32 slip past the guard as 0.
+        if amount < 0 || amount as u64 >= u64::from(ty.bits()) {
             return Err(RuntimeError::InvalidShift { amount });
         }
         let bits = match op {
@@ -990,7 +1078,7 @@ pub fn lift_builtin(func: Builtin, values: &[Value]) -> Result<Value, RuntimeErr
     }
 }
 
-fn scalar_builtin(func: Builtin, args: &[Scalar]) -> Result<Scalar, RuntimeError> {
+pub(crate) fn scalar_builtin(func: Builtin, args: &[Scalar]) -> Result<Scalar, RuntimeError> {
     let arg = |i: usize| args[i];
     match func {
         Builtin::SafeAdd => scalar_binop(BinOp::Add, arg(0), arg(1)),
@@ -1074,15 +1162,29 @@ fn scalar_builtin(func: Builtin, args: &[Scalar]) -> Result<Scalar, RuntimeError
             } else {
                 !a_first
             };
-            Ok(if pick_a { a } else { b })
+            // The result has the usual-arithmetic-conversion type; returning
+            // the unconverted winning operand would make the result's type
+            // (and hence downstream conversions) depend on which side won.
+            Ok(if pick_a {
+                a.convert(common)
+            } else {
+                b.convert(common)
+            })
         }
         Builtin::Abs => {
             let a = arg(0);
-            let v = a.as_i64();
-            Ok(Scalar::from_i128(
-                (v as i128).unsigned_abs() as i128,
-                a.ty.to_unsigned(),
-            ))
+            if a.ty.is_signed() {
+                let v = a.as_i64();
+                Ok(Scalar::from_i128(
+                    (v as i128).unsigned_abs() as i128,
+                    a.ty.to_unsigned(),
+                ))
+            } else {
+                // OpenCL `abs` on an unsigned operand is the identity; routing
+                // it through the signed interpretation would fold the upper
+                // half of the range onto the lower.
+                Ok(a)
+            }
         }
         _ => Err(RuntimeError::Unsupported(format!(
             "builtin {}",
@@ -2052,5 +2154,78 @@ mod tests {
             h.eval(&mut env, &ok).unwrap().as_scalar().unwrap().as_i64(),
             3
         );
+    }
+
+    /// Regression: `min`/`max` must return the winning operand *converted* to
+    /// the usual-arithmetic-conversion type, not the raw operand, so that the
+    /// result's type does not depend on which side won.
+    #[test]
+    fn min_max_convert_to_common_type() {
+        // max(-1, 1u): common type is uint, (uint)-1 = 0xFFFFFFFF wins.
+        let r = scalar_builtin(
+            Builtin::Max,
+            &[
+                Scalar::from_i128(-1, ScalarType::Int),
+                Scalar::from_i128(1, ScalarType::UInt),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.ty, ScalarType::UInt);
+        assert_eq!(r.as_u64(), 0xFFFF_FFFF);
+        // min(int, long): winner keeps the common (long) type.
+        let r = scalar_builtin(
+            Builtin::Min,
+            &[
+                Scalar::from_i128(-2, ScalarType::Int),
+                Scalar::from_i128(3, ScalarType::Long),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.ty, ScalarType::Long);
+        assert_eq!(r.as_i64(), -2);
+    }
+
+    /// Regression: `abs` on unsigned operands is the identity (OpenCL defines
+    /// `abs` on unsigned types as such); it must not be routed through the
+    /// signed interpretation of the bits.
+    #[test]
+    fn abs_on_unsigned_is_identity() {
+        let r = scalar_builtin(
+            Builtin::Abs,
+            &[Scalar::from_bits(u64::MAX, ScalarType::ULong)],
+        )
+        .unwrap();
+        assert_eq!(r.ty, ScalarType::ULong);
+        assert_eq!(r.as_u64(), u64::MAX);
+        // Signed behaviour is unchanged: abs(INT_MIN) wraps into uint.
+        let r = scalar_builtin(
+            Builtin::Abs,
+            &[Scalar::from_i128(i128::from(i32::MIN), ScalarType::Int)],
+        )
+        .unwrap();
+        assert_eq!(r.ty, ScalarType::UInt);
+        assert_eq!(r.as_u64(), 0x8000_0000);
+    }
+
+    /// Regression: the shift guard must compare the amount at full width; a
+    /// 64-bit amount like `1 << 32` used to be truncated to 0 and slip past.
+    #[test]
+    fn oversized_shift_amounts_are_rejected_untruncated() {
+        let big = Scalar::from_i128(1i128 << 32, ScalarType::Long);
+        for op in [BinOp::Shl, BinOp::Shr] {
+            let r = scalar_binop(op, Scalar::from_i128(1, ScalarType::Int), big);
+            assert!(
+                matches!(r, Err(RuntimeError::InvalidShift { amount }) if amount == 1i64 << 32),
+                "{op:?} accepted an oversized shift amount"
+            );
+        }
+        // In-range amounts still work.
+        let r = scalar_binop(
+            BinOp::Shl,
+            Scalar::from_i128(1, ScalarType::Int),
+            Scalar::from_i128(31, ScalarType::Long),
+        )
+        .unwrap();
+        assert_eq!(r.as_u64(), 0x8000_0000);
     }
 }

@@ -38,6 +38,58 @@ pub enum Schedule {
     Shuffled(u64),
 }
 
+/// Which execution engine runs the kernel.
+///
+/// Both tiers share the same [`Memory`], race detector, barrier/scheduling
+/// machinery and [`RuntimeError`] surface, and are required (and tested) to
+/// agree bit-for-bit on results, errors and race verdicts.  The bytecode tier
+/// lowers the kernel once ([`crate::compile`]) and then executes a flat
+/// instruction stream ([`crate::vm`]), which avoids the per-statement
+/// name-lookup and AST-traversal costs of the tree walker.
+///
+/// The one intentionally tier-specific quantity is **step accounting**: the
+/// tree walker counts evaluated AST nodes while the VM counts executed
+/// instructions (typically fewer, since fused instructions cover several
+/// nodes).  [`LaunchOptions::step_limit`] is enforced against each tier's
+/// own count, so a kernel whose cost sits within a small factor of the
+/// budget can time out on one tier but not the other; CLsmith-generated
+/// kernels terminate far below the default budget, where the tiers agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionTier {
+    /// The original recursive AST evaluator ([`crate::eval`]).
+    TreeWalk,
+    /// The compiled bytecode VM (the default).
+    #[default]
+    Bytecode,
+}
+
+impl ExecutionTier {
+    /// All tiers, for benchmarks and equivalence tests.
+    pub const ALL: [ExecutionTier; 2] = [ExecutionTier::TreeWalk, ExecutionTier::Bytecode];
+
+    /// A short name for table axes and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionTier::TreeWalk => "tree-walk",
+            ExecutionTier::Bytecode => "bytecode",
+        }
+    }
+
+    /// The tier selected by the `CLC_INTERP_TIER` environment variable
+    /// (`tree` / `treewalk` / `tree-walk` select the tree walker, anything
+    /// else — including unset — selects the bytecode tier).  The variable is
+    /// read once per process.
+    pub fn from_env() -> ExecutionTier {
+        static TIER: std::sync::OnceLock<ExecutionTier> = std::sync::OnceLock::new();
+        *TIER.get_or_init(|| match std::env::var("CLC_INTERP_TIER").as_deref() {
+            Ok("tree") | Ok("treewalk") | Ok("tree-walk") | Ok("tree_walk") => {
+                ExecutionTier::TreeWalk
+            }
+            _ => ExecutionTier::Bytecode,
+        })
+    }
+}
+
 /// Options controlling a kernel launch.
 #[derive(Debug, Clone)]
 pub struct LaunchOptions {
@@ -53,6 +105,9 @@ pub struct LaunchOptions {
     pub buffer_overrides: HashMap<String, Vec<i64>>,
     /// Values for scalar (non-pointer) kernel parameters.
     pub scalar_args: HashMap<String, i64>,
+    /// Which execution engine to use (defaults to the bytecode tier, with a
+    /// `CLC_INTERP_TIER` environment override).
+    pub tier: ExecutionTier,
 }
 
 impl Default for LaunchOptions {
@@ -63,6 +118,7 @@ impl Default for LaunchOptions {
             schedule: Schedule::Forward,
             buffer_overrides: HashMap::new(),
             scalar_args: HashMap::new(),
+            tier: ExecutionTier::from_env(),
         }
     }
 }
@@ -156,21 +212,39 @@ pub fn launch(program: &Program, options: &LaunchOptions) -> Result<LaunchResult
     let mut total_steps = 0u64;
     let mut soft_barriers = 0u64;
 
+    let compiled = match options.tier {
+        ExecutionTier::Bytecode => Some(crate::compile::compile(program)),
+        ExecutionTier::TreeWalk => None,
+    };
     for gz in 0..groups[2] {
         for gy in 0..groups[1] {
             for gx in 0..groups[0] {
                 let group = [gx, gy, gz];
-                run_group(
-                    program,
-                    options,
-                    &mut memory,
-                    &mut races,
-                    &buffer_objects,
-                    permutations_obj,
-                    group,
-                    &mut total_steps,
-                    &mut soft_barriers,
-                )?;
+                match &compiled {
+                    Some(compiled) => crate::vm::run_group(
+                        program,
+                        compiled,
+                        options,
+                        &mut memory,
+                        &mut races,
+                        &buffer_objects,
+                        permutations_obj,
+                        group,
+                        &mut total_steps,
+                        &mut soft_barriers,
+                    )?,
+                    None => run_group(
+                        program,
+                        options,
+                        &mut memory,
+                        &mut races,
+                        &buffer_objects,
+                        permutations_obj,
+                        group,
+                        &mut total_steps,
+                        &mut soft_barriers,
+                    )?,
+                }
             }
         }
     }
@@ -214,13 +288,170 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Execution status of one work-item.
+/// Execution status of one work-item.  Shared by both execution tiers; the
+/// barrier `site` identifies the syntactic barrier a work-item waits at
+/// (block address + statement index for the tree walker, instruction address
+/// for the bytecode VM) so that barrier divergence is detected identically.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Status {
+pub(crate) enum Status {
     Ready,
     AtBarrier { site: (usize, usize) },
     Done,
     Failed(RuntimeError),
+}
+
+/// A work-item that can be cooperatively scheduled by [`drive_group`].
+///
+/// Implemented by both tiers' work-item states, so the barrier-interval /
+/// divergence machinery is written exactly once.
+pub(crate) trait CoopItem {
+    /// Current status.
+    fn status(&self) -> &Status;
+    /// Releases the item from a barrier: the barrier interval advances and
+    /// the item becomes ready again.
+    fn release_barrier(&mut self);
+}
+
+/// The per-group cooperative scheduler shared by both execution tiers: runs
+/// ready work-items in schedule order until all finish, detecting barrier
+/// divergence and propagating the first failure.
+pub(crate) fn drive_group<T: CoopItem>(
+    items: &mut [T],
+    schedule: Schedule,
+    group_linear: usize,
+    mut run: impl FnMut(&mut T),
+) -> Result<(), RuntimeError> {
+    let n = items.len();
+    let mut round = 0u64;
+    loop {
+        let order = schedule_order(schedule, n, round);
+        for &i in &order {
+            if *items[i].status() == Status::Ready {
+                run(&mut items[i]);
+            }
+        }
+        // Classify.
+        let mut any_failed: Option<RuntimeError> = None;
+        let mut done = 0usize;
+        let mut waiting: Vec<usize> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item.status() {
+                Status::Done => done += 1,
+                Status::AtBarrier { .. } => waiting.push(i),
+                Status::Failed(e) => {
+                    if any_failed.is_none() {
+                        any_failed = Some(e.clone());
+                    }
+                }
+                Status::Ready => {}
+            }
+        }
+        if let Some(e) = any_failed {
+            return Err(e);
+        }
+        if done == n {
+            return Ok(());
+        }
+        if waiting.is_empty() {
+            // All remaining are Ready (should not happen: `run` always leaves
+            // a non-Ready status) — guard against livelock.
+            return Err(RuntimeError::Unsupported(
+                "scheduler made no progress".into(),
+            ));
+        }
+        if done > 0 {
+            return Err(RuntimeError::BarrierDivergence {
+                group: group_linear,
+            });
+        }
+        // All work-items must be waiting at the same barrier site.
+        let first_site = match items[waiting[0]].status() {
+            Status::AtBarrier { site } => *site,
+            _ => unreachable!(),
+        };
+        for &i in &waiting[1..] {
+            match items[i].status() {
+                Status::AtBarrier { site } if *site == first_site => {}
+                _ => {
+                    return Err(RuntimeError::BarrierDivergence {
+                        group: group_linear,
+                    })
+                }
+            }
+        }
+        // Release the barrier.
+        for item in items.iter_mut() {
+            item.release_barrier();
+        }
+        round += 1;
+    }
+}
+
+/// Allocates the per-work-item object backing one kernel parameter: a
+/// pointer cell aimed at the parameter's buffer, or a scalar cell fed from
+/// `scalar_args`.  Shared by both execution tiers.
+pub(crate) fn alloc_param_object(
+    memory: &mut Memory,
+    buffer_objects: &HashMap<String, (ObjId, ScalarType, usize)>,
+    options: &LaunchOptions,
+    param: &clc::Param,
+) -> Result<ObjId, RuntimeError> {
+    match &param.ty {
+        Type::Pointer(inner, space) => {
+            let (buf, _, _) = buffer_objects.get(&param.name).copied().ok_or_else(|| {
+                RuntimeError::InvalidAccess {
+                    detail: format!(
+                        "kernel parameter `{}` has no buffer specification",
+                        param.name
+                    ),
+                }
+            })?;
+            Ok(memory.alloc_with_cells(
+                param.name.clone(),
+                param.ty.clone(),
+                AddressSpace::Private,
+                vec![Cell::Ptr(PointerValue {
+                    obj: buf,
+                    offset: 0,
+                    pointee: (**inner).clone(),
+                    space: *space,
+                })],
+            ))
+        }
+        other => {
+            let value = options.scalar_args.get(&param.name).copied().unwrap_or(0);
+            let elem = other.scalar_elem().unwrap_or(ScalarType::Int);
+            Ok(memory.alloc_with_cells(
+                param.name.clone(),
+                param.ty.clone(),
+                AddressSpace::Private,
+                vec![Cell::Bits(Scalar::from_i128(value as i128, elem).bits)],
+            ))
+        }
+    }
+}
+
+/// Builds the [`ThreadIds`] for the work-item at local coordinates
+/// `(lx, ly, lz)` of `group`.  Shared by both execution tiers.
+pub(crate) fn thread_ids(
+    cfg: &clc::LaunchConfig,
+    group: [usize; 3],
+    local_coord: [usize; 3],
+) -> ThreadIds {
+    let local = cfg.local;
+    ThreadIds {
+        global: [
+            group[0] * local[0] + local_coord[0],
+            group[1] * local[1] + local_coord[1],
+            group[2] * local[2] + local_coord[2],
+        ],
+        local: local_coord,
+        group,
+        global_size: cfg.global,
+        local_size: local,
+        num_groups: cfg.groups(),
+        interval: 0,
+    }
 }
 
 #[derive(Debug)]
@@ -246,6 +477,17 @@ struct WorkItem<'p> {
     soft_barriers: u64,
 }
 
+impl CoopItem for WorkItem<'_> {
+    fn status(&self) -> &Status {
+        &self.status
+    }
+
+    fn release_barrier(&mut self) {
+        self.ids.interval += 1;
+        self.status = Status::Ready;
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_group<'p>(
     program: &'p Program,
@@ -268,59 +510,14 @@ fn run_group<'p>(
     for lz in 0..local[2] {
         for ly in 0..local[1] {
             for lx in 0..local[0] {
-                let ids = ThreadIds {
-                    global: [
-                        group[0] * local[0] + lx,
-                        group[1] * local[1] + ly,
-                        group[2] * local[2] + lz,
-                    ],
-                    local: [lx, ly, lz],
-                    group,
-                    global_size: cfg.global,
-                    local_size: local,
-                    num_groups,
-                    interval: 0,
-                };
+                let ids = thread_ids(cfg, group, [lx, ly, lz]);
                 let mut env = Env::new();
                 if let Some(perm) = permutations_obj {
                     env.bind("permutations", perm);
                 }
                 // Bind kernel parameters.
                 for param in &program.kernel.params {
-                    let obj = match &param.ty {
-                        Type::Pointer(inner, space) => {
-                            let (buf, _, _) =
-                                buffer_objects.get(&param.name).copied().ok_or_else(|| {
-                                    RuntimeError::InvalidAccess {
-                                        detail: format!(
-                                            "kernel parameter `{}` has no buffer specification",
-                                            param.name
-                                        ),
-                                    }
-                                })?;
-                            memory.alloc_with_cells(
-                                param.name.clone(),
-                                param.ty.clone(),
-                                AddressSpace::Private,
-                                vec![Cell::Ptr(PointerValue {
-                                    obj: buf,
-                                    offset: 0,
-                                    pointee: (**inner).clone(),
-                                    space: *space,
-                                })],
-                            )
-                        }
-                        other => {
-                            let value = options.scalar_args.get(&param.name).copied().unwrap_or(0);
-                            let elem = other.scalar_elem().unwrap_or(ScalarType::Int);
-                            memory.alloc_with_cells(
-                                param.name.clone(),
-                                param.ty.clone(),
-                                AddressSpace::Private,
-                                vec![Cell::Bits(Scalar::from_i128(value as i128, elem).bits)],
-                            )
-                        }
-                    };
+                    let obj = alloc_param_object(memory, buffer_objects, options, param)?;
                     env.bind_owned(param.name.clone(), obj);
                 }
                 let scope_depth = env.depth();
@@ -341,78 +538,12 @@ fn run_group<'p>(
         }
     }
 
-    let n = items.len();
-    let mut round = 0u64;
-    loop {
-        let order = schedule_order(options.schedule, n, round);
-        for &i in &order {
-            if items[i].status == Status::Ready {
-                run_item(
-                    program,
-                    options,
-                    memory,
-                    races,
-                    &mut group_locals,
-                    &mut items[i],
-                );
-            }
-        }
-        // Classify.
-        let mut any_failed: Option<RuntimeError> = None;
-        let mut done = 0usize;
-        let mut waiting: Vec<usize> = Vec::new();
-        for (i, item) in items.iter().enumerate() {
-            match &item.status {
-                Status::Done => done += 1,
-                Status::AtBarrier { .. } => waiting.push(i),
-                Status::Failed(e) => {
-                    if any_failed.is_none() {
-                        any_failed = Some(e.clone());
-                    }
-                }
-                Status::Ready => {}
-            }
-        }
-        if let Some(e) = any_failed {
-            return Err(e);
-        }
-        if done == n {
-            break;
-        }
-        if waiting.is_empty() {
-            // All remaining are Ready (should not happen: run_item always
-            // leaves a non-Ready status) — guard against livelock.
-            return Err(RuntimeError::Unsupported(
-                "scheduler made no progress".into(),
-            ));
-        }
-        if done > 0 {
-            return Err(RuntimeError::BarrierDivergence {
-                group: group_linear(group, num_groups),
-            });
-        }
-        // All work-items must be waiting at the same barrier site.
-        let first_site = match &items[waiting[0]].status {
-            Status::AtBarrier { site } => *site,
-            _ => unreachable!(),
-        };
-        for &i in &waiting[1..] {
-            match &items[i].status {
-                Status::AtBarrier { site } if *site == first_site => {}
-                _ => {
-                    return Err(RuntimeError::BarrierDivergence {
-                        group: group_linear(group, num_groups),
-                    })
-                }
-            }
-        }
-        // Release the barrier.
-        for item in &mut items {
-            item.ids.interval += 1;
-            item.status = Status::Ready;
-        }
-        round += 1;
-    }
+    drive_group(
+        &mut items,
+        options.schedule,
+        group_linear(group, num_groups),
+        |item| run_item(program, options, memory, races, &mut group_locals, item),
+    )?;
 
     for item in &mut items {
         *total_steps += item.steps;
@@ -422,7 +553,7 @@ fn run_group<'p>(
     Ok(())
 }
 
-fn group_linear(group: [usize; 3], num_groups: [usize; 3]) -> usize {
+pub(crate) fn group_linear(group: [usize; 3], num_groups: [usize; 3]) -> usize {
     (group[2] * num_groups[1] + group[1]) * num_groups[0] + group[0]
 }
 

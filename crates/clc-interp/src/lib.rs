@@ -23,6 +23,19 @@
 //!   the paper's callee-barrier examples (Figures 1(d), 2(c), 2(d)) do not
 //!   depend on callee barriers for cross-thread communication.
 //!
+//! ## Execution tiers
+//!
+//! Two engines implement this model and are required to agree bit-for-bit
+//! on results, errors and race verdicts:
+//!
+//! * [`ExecutionTier::TreeWalk`] — the recursive AST evaluator in [`eval`];
+//! * [`ExecutionTier::Bytecode`] (the default) — [`compile`](compile())
+//!   lowers each kernel into a flat instruction stream with resolved
+//!   variable slots and jump-target control flow, and [`vm`] executes it.
+//!
+//! Select a tier per launch via [`LaunchOptions::tier`] or process-wide with
+//! the `CLC_INTERP_TIER` environment variable (`tree` or `bytecode`).
+//!
 //! ## Example
 //!
 //! ```
@@ -50,16 +63,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod memory;
 pub mod race;
 pub mod value;
+pub mod vm;
 
+pub use compile::{compile, CompiledProgram};
 pub use error::{RaceReport, RuntimeError};
 pub use eval::{Ctx, Env, Flow, ThreadIds};
-pub use exec::{fnv1a, launch, run, LaunchOptions, LaunchResult, Schedule};
+pub use exec::{fnv1a, launch, run, ExecutionTier, LaunchOptions, LaunchResult, Schedule};
 pub use memory::{Memory, Object};
 pub use race::{AccessKind, RaceDetector};
 pub use value::{Cell, ObjId, PointerValue, Scalar, Value};

@@ -120,7 +120,7 @@ impl Memory {
         }
     }
 
-    fn object_mut(&mut self, id: ObjId) -> Result<&mut Object, RuntimeError> {
+    pub(crate) fn object_mut(&mut self, id: ObjId) -> Result<&mut Object, RuntimeError> {
         match self.objects.get_mut(id.0) {
             Some(o) if o.live => Ok(o),
             Some(o) => Err(RuntimeError::InvalidAccess {

@@ -1,0 +1,290 @@
+//! Differential testing of the two execution tiers.
+//!
+//! The repository's own methodology is the oracle: the tree-walking
+//! evaluator and the bytecode VM execute the same seeded CLsmith-style
+//! kernels and must agree bit-for-bit on results, runtime errors and race
+//! verdicts.  Any semantic drift in the compiler/VM pair shows up here as a
+//! differential.  (`total_steps` is deliberately excluded: step accounting
+//! is tier-specific — AST nodes vs executed instructions — and the step
+//! limit is enforced against each tier's own count; see
+//! [`clc_interp::ExecutionTier`].)
+//!
+//! Also pins the three scalar-semantics bugfixes (mixed-type `min`/`max`,
+//! `abs` on unsigned operands, the full-width shift guard) on *both* tiers.
+
+use clc::expr::{BinOp, Builtin, Expr, IdKind};
+use clc::{BufferSpec, KernelDef, LaunchConfig, Program, ScalarType, Stmt};
+use clc_interp::{launch, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
+use clsmith::{generate, GenMode, GeneratorOptions};
+
+fn options_for(tier: ExecutionTier, detect_races: bool, schedule: Schedule) -> LaunchOptions {
+    LaunchOptions {
+        tier,
+        detect_races,
+        schedule,
+        ..LaunchOptions::default()
+    }
+}
+
+/// Runs `program` on both tiers and asserts the observable outcomes are
+/// identical: result hash and string, runtime error, and race verdict.
+fn assert_tiers_agree(program: &Program, detect_races: bool, schedule: Schedule, label: &str) {
+    let tree = launch(
+        program,
+        &options_for(ExecutionTier::TreeWalk, detect_races, schedule),
+    );
+    let bytecode = launch(
+        program,
+        &options_for(ExecutionTier::Bytecode, detect_races, schedule),
+    );
+    match (tree, bytecode) {
+        (Ok(t), Ok(b)) => {
+            assert_eq!(t.result_hash, b.result_hash, "result hash differs: {label}");
+            assert_eq!(
+                t.result_string, b.result_string,
+                "result string differs: {label}"
+            );
+            assert_eq!(t.race, b.race, "race verdict differs: {label}");
+            assert_eq!(
+                t.soft_barriers, b.soft_barriers,
+                "soft barrier count differs: {label}"
+            );
+        }
+        (Err(t), Err(b)) => assert_eq!(t, b, "errors differ: {label}"),
+        (t, b) => panic!("tier outcomes diverge for {label}:\n tree: {t:?}\n vm:   {b:?}"),
+    }
+}
+
+/// ≥50 seeded kernels across every generation mode and several option
+/// presets, all compared across tiers with race detection enabled.
+#[test]
+fn tiers_agree_on_seeded_kernels() {
+    let mut checked = 0usize;
+    for mode in GenMode::ALL {
+        for seed in 0..7 {
+            let opts = GeneratorOptions {
+                min_threads: 8,
+                max_threads: 32,
+                ..GeneratorOptions::new(mode, 0x7133 + seed)
+            };
+            let program = generate(&opts);
+            assert_tiers_agree(
+                &program,
+                true,
+                Schedule::Forward,
+                &format!("{} seed {seed}", mode.name()),
+            );
+            checked += 1;
+        }
+    }
+    // EMI-enabled preset: exercises the `dead` array guards on both tiers.
+    for seed in 0..6 {
+        let opts = GeneratorOptions {
+            min_threads: 8,
+            max_threads: 32,
+            ..GeneratorOptions::new(GenMode::All, 0xE31 + seed)
+        }
+        .with_emi();
+        let program = generate(&opts);
+        assert_tiers_agree(
+            &program,
+            true,
+            Schedule::Forward,
+            &format!("ALL+emi seed {seed}"),
+        );
+        checked += 1;
+    }
+    // Default-size preset (larger NDRanges, helper functions, structs).
+    for seed in 0..6 {
+        let program = generate(&GeneratorOptions::new(GenMode::All, 0xD0_0D + seed));
+        assert_tiers_agree(
+            &program,
+            true,
+            Schedule::Forward,
+            &format!("ALL default-size seed {seed}"),
+        );
+        checked += 1;
+    }
+    assert!(checked >= 50, "only {checked} kernels checked");
+}
+
+/// The tiers must also agree under non-default work-item schedules (the
+/// harness uses schedule variation to classify races).
+#[test]
+fn tiers_agree_across_schedules() {
+    for (i, schedule) in [Schedule::Reverse, Schedule::Shuffled(0xABCD)]
+        .into_iter()
+        .enumerate()
+    {
+        for mode in [GenMode::Barrier, GenMode::AtomicReduction, GenMode::All] {
+            let opts = GeneratorOptions {
+                min_threads: 8,
+                max_threads: 32,
+                ..GeneratorOptions::new(mode, 0x5C_0001 + i as u64)
+            };
+            let program = generate(&opts);
+            assert_tiers_agree(
+                &program,
+                true,
+                schedule,
+                &format!("{} schedule {schedule:?}", mode.name()),
+            );
+        }
+    }
+}
+
+/// A kernel that writes `expr` (converted to `ulong`) into every `out` slot.
+fn kernel_of(expr: Expr) -> Program {
+    let mut p = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::of(vec![Stmt::assign(
+                Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+                expr,
+            )]),
+        },
+        LaunchConfig::single_group(2),
+    );
+    p.buffers
+        .push(BufferSpec::result("out", ScalarType::ULong, 2));
+    p
+}
+
+/// Regression (both tiers): in a barrier-containing kernel loop, loop-body
+/// declarations live in the loop-level scope (the resumable machine's
+/// semantics), so a pointer captured in one iteration still refers to that
+/// iteration's object in the next.
+#[test]
+fn barrier_loop_body_locals_survive_iterations() {
+    use clc::expr::{AssignOp, BinOp};
+    use clc::stmt::MemFence;
+    use clc::types::{AddressSpace, Type};
+    let mut p = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::of(vec![
+                Stmt::decl(
+                    "p",
+                    Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private),
+                    None,
+                ),
+                Stmt::For {
+                    init: Some(Box::new(Stmt::decl(
+                        "i",
+                        Type::Scalar(ScalarType::Int),
+                        Some(Expr::int(0)),
+                    ))),
+                    cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(2))),
+                    update: Some(Expr::assign_op(
+                        AssignOp::AddAssign,
+                        Expr::var("i"),
+                        Expr::int(1),
+                    )),
+                    body: clc::Block::of(vec![
+                        Stmt::decl(
+                            "x",
+                            Type::Scalar(ScalarType::Int),
+                            Some(Expr::binary(BinOp::Add, Expr::var("i"), Expr::int(5))),
+                        ),
+                        Stmt::If {
+                            cond: Expr::binary(BinOp::Eq, Expr::var("i"), Expr::int(1)),
+                            then_block: clc::Block::of(vec![Stmt::assign(
+                                Expr::index(
+                                    Expr::var("out"),
+                                    Expr::IdQuery(IdKind::GlobalLinearId),
+                                ),
+                                Expr::deref(Expr::var("p")),
+                            )]),
+                            else_block: None,
+                        },
+                        Stmt::assign(Expr::var("p"), Expr::addr_of(Expr::var("x"))),
+                        Stmt::Barrier(MemFence::Local),
+                    ]),
+                },
+            ]),
+        },
+        LaunchConfig::single_group(2),
+    );
+    p.buffers
+        .push(BufferSpec::result("out", ScalarType::ULong, 2));
+    for tier in ExecutionTier::ALL {
+        let result = launch(&p, &options_for(tier, false, Schedule::Forward))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", tier.name()));
+        // Iteration 1 reads the pointer captured in iteration 0, whose
+        // object (x = 0 + 5) must still be live.
+        assert_eq!(
+            result.output[0].as_u64(),
+            5,
+            "cross-iteration pointer read on the {} tier",
+            tier.name()
+        );
+    }
+    assert_tiers_agree(&p, true, Schedule::Forward, "barrier-loop locals");
+}
+
+/// Regression (both tiers): `max(-1, 1u)` converts the winner to the common
+/// `uint` type, so storing it into a `ulong` buffer zero-extends rather than
+/// sign-extends.
+#[test]
+fn min_max_mixed_signedness_regression() {
+    let program = kernel_of(Expr::builtin(
+        Builtin::Max,
+        vec![Expr::int(-1), Expr::lit(1, ScalarType::UInt)],
+    ));
+    for tier in ExecutionTier::ALL {
+        let result = launch(&program, &options_for(tier, false, Schedule::Forward))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", tier.name()));
+        assert_eq!(
+            result.output[0].as_u64(),
+            0xFFFF_FFFF,
+            "max(-1, 1u) must be (uint)-1 on the {} tier",
+            tier.name()
+        );
+    }
+}
+
+/// Regression (both tiers): `abs` on a `ulong` operand is the identity.
+#[test]
+fn abs_unsigned_identity_regression() {
+    let program = kernel_of(Expr::builtin(
+        Builtin::Abs,
+        vec![Expr::lit(u64::MAX as i128, ScalarType::ULong)],
+    ));
+    for tier in ExecutionTier::ALL {
+        let result = launch(&program, &options_for(tier, false, Schedule::Forward))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", tier.name()));
+        assert_eq!(
+            result.output[0].as_u64(),
+            u64::MAX,
+            "abs((ulong)MAX) must be the identity on the {} tier",
+            tier.name()
+        );
+    }
+}
+
+/// Regression (both tiers): a shift amount of `1 << 32` is out of range for
+/// every promoted type and must be rejected, not truncated to zero (or, on
+/// the signed right-shift path, fed untruncated into a debug-panicking
+/// shift).
+#[test]
+fn oversized_shift_regression() {
+    for op in [BinOp::Shl, BinOp::Shr] {
+        let program = kernel_of(Expr::binary(
+            op,
+            Expr::int(1),
+            Expr::lit(1i128 << 32, ScalarType::Long),
+        ));
+        for tier in ExecutionTier::ALL {
+            let err = launch(&program, &options_for(tier, false, Schedule::Forward))
+                .expect_err("oversized shift must fail");
+            assert_eq!(
+                err,
+                RuntimeError::InvalidShift { amount: 1i64 << 32 },
+                "{op:?} on the {} tier",
+                tier.name()
+            );
+        }
+    }
+}

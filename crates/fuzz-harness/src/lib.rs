@@ -52,4 +52,5 @@ pub use emi_campaign::{
     LivenessProbeJob,
 };
 pub use exec::{expect_completed, job_seed, Job, JobFailure, JobResult, Scheduler};
+pub use opencl_sim::ExecutionTier;
 pub use report::{percent, render_campaign_table, render_emi_table, render_table};

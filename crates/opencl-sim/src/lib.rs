@@ -34,6 +34,7 @@ pub mod passes;
 pub mod platform;
 
 pub use bugs::{BugEffect, BugRule, Miscompilation, OptLevel, OptScope, Trigger};
+pub use clc_interp::ExecutionTier;
 pub use configs::{
     above_threshold_configurations, all_configurations, configuration, Configuration, DeviceType,
     OutcomeRates,

@@ -18,7 +18,7 @@ use crate::bugs::{apply_miscompilation, BugEffect, OptLevel};
 use crate::configs::Configuration;
 use crate::passes;
 use clc::{Features, Program};
-use clc_interp::{LaunchOptions, RuntimeError, Schedule};
+use clc_interp::{ExecutionTier, LaunchOptions, RuntimeError, Schedule};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
@@ -33,6 +33,9 @@ pub struct ExecOptions {
     pub schedule: Schedule,
     /// Extra buffer overrides (e.g. the inverted EMI `dead` array, §7.4).
     pub buffer_overrides: std::collections::HashMap<String, Vec<i64>>,
+    /// Which emulator execution tier runs the kernels (defaults to the
+    /// bytecode tier, `CLC_INTERP_TIER` overrides process-wide).
+    pub tier: ExecutionTier,
 }
 
 impl Default for ExecOptions {
@@ -42,6 +45,7 @@ impl Default for ExecOptions {
             detect_races: false,
             schedule: Schedule::Forward,
             buffer_overrides: std::collections::HashMap::new(),
+            tier: ExecutionTier::from_env(),
         }
     }
 }
@@ -167,6 +171,7 @@ pub fn execute(
         schedule: exec.schedule,
         buffer_overrides: exec.buffer_overrides.clone(),
         scalar_args: std::collections::HashMap::new(),
+        tier: exec.tier,
     };
     match clc_interp::launch(&compiled, &options) {
         Ok(result) => TestOutcome::Result {
@@ -188,6 +193,7 @@ pub fn reference_execute(program: &Program, exec: &ExecOptions) -> TestOutcome {
         schedule: exec.schedule,
         buffer_overrides: exec.buffer_overrides.clone(),
         scalar_args: std::collections::HashMap::new(),
+        tier: exec.tier,
     };
     match clc_interp::launch(program, &options) {
         Ok(result) => TestOutcome::Result {
