@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 
 use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
 use fuzz_harness::{
-    render_campaign_table, run_mode_campaign_with, CampaignOptions, Job, Scheduler,
+    render_campaign_table, run_mode_campaign_with, run_on_targets, targets_for, CampaignOptions,
+    Job, Scheduler,
 };
 use opencl_sim::{configuration, execute, ExecOptions, ExecutionTier, OptLevel};
 
@@ -197,6 +198,65 @@ fn bench_campaign_scaling(kernels: usize, metrics: &mut Metrics) {
     );
 }
 
+/// The deduplicated-differential-execution measurement: the default
+/// differential workload (every Table 1 configuration at both optimisation
+/// levels — the full 42-target fan-out) with the execution memo off and on.
+/// Reports kernels/sec both ways, the dedupe speedup, real emulator
+/// launches per kernel and the compile-cache hit rate, and asserts that the
+/// deduplicated outcomes hash-match the uncached baseline — so CI's smoke
+/// run catches both cache-correctness and dedupe regressions.
+fn bench_differential_dedupe(kernels: usize, metrics: &mut Metrics) {
+    println!("differential dedupe ({kernels} kernels × 42 targets, memo off vs on)");
+    let configs = opencl_sim::all_configurations();
+    let targets = targets_for(&configs);
+    let programs: Vec<clc::Program> = (0..kernels)
+        .map(|i| generate(&small_opts(GenMode::All, 0x5EED + i as u64)))
+        .collect();
+    let mut hashes: Vec<u64> = Vec::new();
+    let mut kernels_per_sec = [0.0f64; 2];
+    for (m, memoize) in [false, true].into_iter().enumerate() {
+        let exec = ExecOptions {
+            memoize,
+            ..ExecOptions::default()
+        };
+        opencl_sim::reset_process_cache_stats();
+        let start = Instant::now();
+        let mut outcome_hash = 0u64;
+        for program in &programs {
+            for outcome in run_on_targets(program, &targets, &exec) {
+                // Order-sensitive running hash over every outcome.
+                let h = clc_interp::fnv1a(format!("{outcome:?}").as_bytes());
+                outcome_hash = outcome_hash.rotate_left(7) ^ h;
+            }
+        }
+        let elapsed = start.elapsed();
+        let stats = opencl_sim::process_cache_stats();
+        hashes.push(outcome_hash);
+        kernels_per_sec[m] = kernels as f64 / elapsed.as_secs_f64();
+        let label = if memoize { "memo on " } else { "memo off" };
+        let launches_per_kernel = stats.launches as f64 / kernels as f64;
+        println!(
+            "  {label}   {:>10.1?} total   {:>7.2} kernels/sec   {launches_per_kernel:>5.1} launches/kernel   compile hit rate {:.2}",
+            elapsed,
+            kernels_per_sec[m],
+            stats.compile_hit_rate(),
+        );
+        let key = if memoize { "memo_on" } else { "memo_off" };
+        metrics.record(format!("dedupe_{key}_kernels_per_sec"), kernels_per_sec[m]);
+        if memoize {
+            metrics.record("launches_per_kernel", launches_per_kernel);
+            metrics.record("compile_cache_hit_rate", stats.compile_hit_rate());
+        }
+    }
+    assert_eq!(
+        hashes[0], hashes[1],
+        "deduplicated outcomes diverged from the uncached baseline"
+    );
+    let speedup = kernels_per_sec[1] / kernels_per_sec[0];
+    println!("  dedupe speedup over cold execution: ×{speedup:.2} (outcomes hash-match)");
+    metrics.record("dedupe_speedup", speedup);
+}
+
 /// A fixed-latency job, standing in for campaign work whose cost is
 /// wall-clock rather than CPU (e.g. driving a real OpenCL device, where the
 /// harness waits on the GPU).
@@ -255,6 +315,7 @@ fn main() {
     bench_emulation(iters, &mut metrics);
     bench_simulated_platform(iters);
     bench_emi_pruning(iters.max(30));
+    bench_differential_dedupe(if quick { 4 } else { 12 }, &mut metrics);
     bench_scheduler_overlap();
     // CPU-bound scaling: speedup tracks the machine's core count (×1.0 on a
     // single-core box); the byte-identity assertion holds everywhere.

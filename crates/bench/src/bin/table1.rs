@@ -2,26 +2,32 @@
 //! against the §7.1 reliability threshold (25 % failures over the initial
 //! kernel set).
 //!
-//! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode] [--threads N]`
-//! (the paper uses 100 per mode; the default here is 8 so the emulated run
-//! finishes quickly).
+//! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode]
+//! [--threads N] [--paper-scale]` (the paper uses 100 per mode; the default
+//! here is 8 so the emulated run finishes quickly, and `--paper-scale`
+//! generates kernels at the paper's 100–10 000 work-item scale).
 
 use clsmith::GeneratorOptions;
 use fuzz_harness::{classify_configurations_with, render_table, CampaignOptions};
 
 fn main() {
-    let (args, scheduler) = bench::cli_scheduler();
-    let kernels_per_mode: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cli = bench::cli();
+    let scheduler = &cli.scheduler;
+    let kernels_per_mode: usize = cli
+        .positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let configs = opencl_sim::all_configurations();
     let options = CampaignOptions {
-        generator: GeneratorOptions {
+        generator: cli.generator_or(GeneratorOptions {
             min_threads: 16,
             max_threads: 64,
             ..GeneratorOptions::default()
-        },
+        }),
         ..CampaignOptions::default()
     };
-    let rows = classify_configurations_with(&scheduler, &configs, kernels_per_mode, &options);
+    let rows = classify_configurations_with(scheduler, &configs, kernels_per_mode, &options);
     let headers: Vec<String> = [
         "Conf.",
         "SDK",

@@ -1,8 +1,10 @@
 //! Reproduces Table 3: EMI testing of the Parboil/Rodinia miniatures across
 //! the configurations (spmv and myocyte excluded because of their races).
 //!
-//! Usage: `cargo run --release -p bench --bin table3 -- [emi-bodies] [--threads N]`
-//! (number of EMI block bodies per benchmark; the paper uses 125).
+//! Usage: `cargo run --release -p bench --bin table3 -- [emi-bodies]
+//! [--threads N] [--paper-scale]` (number of EMI block bodies per
+//! benchmark; the paper uses 125.  `--paper-scale` draws the donor kernels
+//! the bodies are taken from at the paper's generation scale).
 
 use clsmith::{generate, GenMode, GeneratorOptions};
 use fuzz_harness::{evaluate_benchmark_with, render_table, EmiBenchmark};
@@ -10,8 +12,13 @@ use opencl_sim::ExecOptions;
 use parboil_rodinia::table3_benchmarks;
 
 fn main() {
-    let (args, scheduler) = bench::cli_scheduler();
-    let bodies_per_benchmark: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cli = bench::cli();
+    let scheduler = &cli.scheduler;
+    let bodies_per_benchmark: usize = cli
+        .positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let configs = opencl_sim::all_configurations();
     let exec = ExecOptions::default();
     let headers: Vec<String> = std::iter::once("Benchmark".to_string())
@@ -24,9 +31,13 @@ fn main() {
             .map(|i| {
                 let donor = generate(
                     &GeneratorOptions {
-                        min_threads: 16,
-                        max_threads: 32,
-                        ..GeneratorOptions::new(GenMode::Basic, 900 + i as u64)
+                        mode: GenMode::Basic,
+                        seed: 900 + i as u64,
+                        ..cli.generator_or(GeneratorOptions {
+                            min_threads: 16,
+                            max_threads: 32,
+                            ..GeneratorOptions::default()
+                        })
                     }
                     .with_emi(),
                 );
@@ -45,7 +56,7 @@ fn main() {
         };
         let mut row = vec![bench.name.to_string()];
         for config in &configs {
-            let cell = evaluate_benchmark_with(&scheduler, &emi_bench, config, &exec);
+            let cell = evaluate_benchmark_with(scheduler, &emi_bench, config, &exec);
             row.push(cell.render());
         }
         rows.push(row);

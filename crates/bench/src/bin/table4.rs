@@ -2,23 +2,30 @@
 //! configurations, with w / bf / c / to / ok counts and the wrong-code
 //! percentage per (configuration, optimisation level).
 //!
-//! Usage: `cargo run --release -p bench --bin table4 -- [kernels-per-mode] [--threads N]`
-//! (the paper uses 10 000 per mode; default here is 20).
+//! Usage: `cargo run --release -p bench --bin table4 -- [kernels-per-mode]
+//! [--threads N] [--paper-scale]` (the paper uses 10 000 per mode; default
+//! here is 20, and `--paper-scale` generates kernels at the paper's
+//! 100–10 000 work-item scale).
 
 use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::{render_campaign_table, run_mode_campaign_with, CampaignOptions};
 
 fn main() {
-    let (args, scheduler) = bench::cli_scheduler();
-    let kernels: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let cli = bench::cli();
+    let scheduler = &cli.scheduler;
+    let kernels: usize = cli
+        .positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let configs = opencl_sim::above_threshold_configurations();
     let options = CampaignOptions {
         kernels,
-        generator: GeneratorOptions {
+        generator: cli.generator_or(GeneratorOptions {
             min_threads: 16,
             max_threads: 64,
             ..GeneratorOptions::default()
-        },
+        }),
         ..CampaignOptions::default()
     };
     println!("Table 4 — CLsmith campaigns over the above-threshold configurations");
@@ -28,7 +35,7 @@ fn main() {
         scheduler.threads()
     );
     for mode in GenMode::ALL {
-        let result = run_mode_campaign_with(&scheduler, mode, &configs, &options);
+        let result = run_mode_campaign_with(scheduler, mode, &configs, &options);
         println!("{} ({} kernels)", mode.name(), result.kernels);
         print!("{}", render_campaign_table(&result));
         println!();

@@ -1,30 +1,41 @@
 //! Reproduces Table 5: CLsmith+EMI testing — base programs, their pruning
 //! variants, and per-target base-level outcomes.
 //!
-//! Usage: `cargo run --release -p bench --bin table5 -- [bases] [variants] [--threads N]`
-//! (the paper uses 180 bases and 40 variants; defaults here are 4 and 10).
+//! Usage: `cargo run --release -p bench --bin table5 -- [bases] [variants]
+//! [--threads N] [--paper-scale]` (the paper uses 180 bases and 40
+//! variants; defaults here are 4 and 10, and `--paper-scale` generates base
+//! kernels at the paper's 100–10 000 work-item scale).
 
 use clsmith::GeneratorOptions;
 use fuzz_harness::{render_emi_table, run_emi_campaign_with, CampaignOptions, EmiCampaignOptions};
 
 fn main() {
-    let (args, scheduler) = bench::cli_scheduler();
-    let bases: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
-    let variants: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let cli = bench::cli();
+    let scheduler = &cli.scheduler;
+    let bases: usize = cli
+        .positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let variants: usize = cli
+        .positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let configs = opencl_sim::above_threshold_configurations();
     let options = EmiCampaignOptions {
         bases,
         variants_per_base: variants,
         campaign: CampaignOptions {
-            generator: GeneratorOptions {
+            generator: cli.generator_or(GeneratorOptions {
                 min_threads: 16,
                 max_threads: 64,
                 ..GeneratorOptions::default()
-            },
+            }),
             ..CampaignOptions::default()
         },
     };
-    let result = run_emi_campaign_with(&scheduler, &configs, &options);
+    let result = run_emi_campaign_with(scheduler, &configs, &options);
     println!("Table 5 — CLsmith+EMI results over the above-threshold configurations");
     println!(
         "({} live base programs, {} pruning variants each, {} worker(s))\n",

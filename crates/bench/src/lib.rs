@@ -11,14 +11,43 @@
 //! Thread count never changes the produced tables — only how fast they
 //! appear.
 
+use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::Scheduler;
 
-/// Parses command-line arguments shared by the table binaries: extracts
-/// `--threads N` (or `--threads=N`) and returns the remaining positional
-/// arguments plus the scheduler to run campaigns on.
-pub fn cli_scheduler() -> (Vec<String>, Scheduler) {
+/// Command-line options shared by the table binaries.
+pub struct Cli {
+    /// Positional arguments (after flags are extracted).
+    pub positional: Vec<String>,
+    /// The scheduler campaigns run on (`--threads N`, `FUZZ_THREADS`, or
+    /// the machine's available parallelism).
+    pub scheduler: Scheduler,
+    /// Whether `--paper-scale` was given: generate kernels at the paper's
+    /// scale (100–10 000 work-items, full permutation tables) instead of
+    /// the fast emulation-friendly default.
+    pub paper_scale: bool,
+}
+
+impl Cli {
+    /// The base generator options selected by the flags: the paper's
+    /// generation scale under `--paper-scale`, otherwise the given fast
+    /// default.  Mode and seed are overridden per kernel by the campaign
+    /// drivers either way.
+    pub fn generator_or(&self, fast_default: GeneratorOptions) -> GeneratorOptions {
+        if self.paper_scale {
+            GeneratorOptions::paper_scale(GenMode::All, 0)
+        } else {
+            fast_default
+        }
+    }
+}
+
+/// Parses the command-line arguments shared by the table binaries:
+/// extracts `--threads N` (or `--threads=N`) and `--paper-scale`, and
+/// returns them with the remaining positional arguments.
+pub fn cli() -> Cli {
     let mut positional = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut paper_scale = false;
     let parse = |value: Option<String>| -> usize {
         match value.as_deref().map(str::parse::<usize>) {
             Some(Ok(n)) => n,
@@ -37,6 +66,8 @@ pub fn cli_scheduler() -> (Vec<String>, Scheduler) {
             threads = Some(parse(args.next()));
         } else if let Some(value) = arg.strip_prefix("--threads=") {
             threads = Some(parse(Some(value.to_string())));
+        } else if arg == "--paper-scale" {
+            paper_scale = true;
         } else {
             positional.push(arg);
         }
@@ -44,5 +75,9 @@ pub fn cli_scheduler() -> (Vec<String>, Scheduler) {
     let scheduler = threads
         .map(Scheduler::new)
         .unwrap_or_else(Scheduler::from_env);
-    (positional, scheduler)
+    Cli {
+        positional,
+        scheduler,
+        paper_scale,
+    }
 }

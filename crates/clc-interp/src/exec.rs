@@ -21,12 +21,13 @@ use clc::stmt::{Block, Stmt};
 use clc::types::{AddressSpace, ScalarType, Type};
 use clc::Program;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Order in which ready work-items of a group are scheduled in each barrier
 /// interval.  Varying the schedule is how the harness checks that kernels
 /// are schedule-deterministic and how it exposes the data races the paper
 /// found in Parboil `spmv` and Rodinia `myocyte`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Schedule {
     /// Ascending local id (the natural order).
     #[default]
@@ -54,7 +55,7 @@ pub enum Schedule {
 /// own count, so a kernel whose cost sits within a small factor of the
 /// budget can time out on one tier but not the other; CLsmith-generated
 /// kernels terminate far below the default budget, where the tiers agree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecutionTier {
     /// The original recursive AST evaluator ([`crate::eval`]).
     TreeWalk,
@@ -101,8 +102,10 @@ pub struct LaunchOptions {
     /// Work-item scheduling order.
     pub schedule: Schedule,
     /// Replaces the initial contents of named buffers (used to invert the
-    /// EMI `dead` array, §7.4).
-    pub buffer_overrides: HashMap<String, Vec<i64>>,
+    /// EMI `dead` array, §7.4).  Behind an [`Arc`] so that per-target
+    /// [`LaunchOptions`] can be derived from shared execution options
+    /// without cloning the override data; use [`Arc::make_mut`] to edit.
+    pub buffer_overrides: Arc<HashMap<String, Vec<i64>>>,
     /// Values for scalar (non-pointer) kernel parameters.
     pub scalar_args: HashMap<String, i64>,
     /// Which execution engine to use (defaults to the bytecode tier, with a
@@ -116,7 +119,7 @@ impl Default for LaunchOptions {
             step_limit: 2_000_000,
             detect_races: false,
             schedule: Schedule::Forward,
-            buffer_overrides: HashMap::new(),
+            buffer_overrides: Arc::new(HashMap::new()),
             scalar_args: HashMap::new(),
             tier: ExecutionTier::from_env(),
         }
@@ -152,6 +155,74 @@ pub struct LaunchResult {
 /// missing buffers).  Data races are reported in the result rather than as
 /// errors so that the harness can distinguish them from crashes.
 pub fn launch(program: &Program, options: &LaunchOptions) -> Result<LaunchResult, RuntimeError> {
+    match options.tier {
+        ExecutionTier::Bytecode => {
+            launch_with(program, Some(&crate::compile::compile(program)), options)
+        }
+        ExecutionTier::TreeWalk => launch_with(program, None, options),
+    }
+}
+
+/// A kernel prepared for repeated launching: the program plus its lazily
+/// lowered bytecode module.
+///
+/// The historical entry point [`launch`] re-lowers the program to bytecode
+/// on every call; `CompiledKernel` splits that into an explicit
+/// compile-once / launch-many shape, so a differential harness that runs
+/// one compiled program under many launch options (schedules, buffer
+/// overrides, race detection on and off) pays the lowering exactly once.
+/// Lowering happens on the first bytecode-tier launch, so a kernel that is
+/// only ever tree-walked never pays it at all.
+///
+/// Launches are pure: for fixed options, [`CompiledKernel::launch`] returns
+/// the same result every time (the emulator is deterministic), which is what
+/// makes outcome memoisation above this layer sound.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    program: Program,
+    bytecode: OnceLock<crate::compile::CompiledProgram>,
+}
+
+impl CompiledKernel {
+    /// Takes ownership of a program and prepares it for repeated launching.
+    pub fn compile(program: Program) -> CompiledKernel {
+        CompiledKernel {
+            program,
+            bytecode: OnceLock::new(),
+        }
+    }
+
+    /// The program this kernel was compiled from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes the kernel over its NDRange, reusing the lowered bytecode
+    /// across calls.
+    ///
+    /// # Errors
+    ///
+    /// See [`launch`].
+    pub fn launch(&self, options: &LaunchOptions) -> Result<LaunchResult, RuntimeError> {
+        let compiled = match options.tier {
+            ExecutionTier::Bytecode => Some(
+                self.bytecode
+                    .get_or_init(|| crate::compile::compile(&self.program)),
+            ),
+            ExecutionTier::TreeWalk => None,
+        };
+        launch_with(&self.program, compiled, options)
+    }
+}
+
+/// The shared launch body: executes `program` with an optional pre-lowered
+/// bytecode module (present exactly when the tier is
+/// [`ExecutionTier::Bytecode`]).
+fn launch_with(
+    program: &Program,
+    compiled: Option<&crate::compile::CompiledProgram>,
+    options: &LaunchOptions,
+) -> Result<LaunchResult, RuntimeError> {
     program
         .launch
         .validate()
@@ -212,15 +283,11 @@ pub fn launch(program: &Program, options: &LaunchOptions) -> Result<LaunchResult
     let mut total_steps = 0u64;
     let mut soft_barriers = 0u64;
 
-    let compiled = match options.tier {
-        ExecutionTier::Bytecode => Some(crate::compile::compile(program)),
-        ExecutionTier::TreeWalk => None,
-    };
     for gz in 0..groups[2] {
         for gy in 0..groups[1] {
             for gx in 0..groups[0] {
                 let group = [gx, gy, gz];
-                match &compiled {
+                match compiled {
                     Some(compiled) => crate::vm::run_group(
                         program,
                         compiled,
@@ -1329,7 +1396,7 @@ mod tests {
         assert_eq!(normal.output[0].as_u64(), 1);
         // Inverting the dead array (ReverseIota) makes the guard true.
         let mut opts = LaunchOptions::default();
-        opts.buffer_overrides
+        Arc::make_mut(&mut opts.buffer_overrides)
             .insert("dead".into(), BufferInit::ReverseIota.materialize(8));
         let inverted = launch(&p, &opts).unwrap();
         assert_eq!(inverted.output[0].as_u64(), 99);

@@ -75,7 +75,9 @@ pub mod vm;
 pub use compile::{compile, CompiledProgram};
 pub use error::{RaceReport, RuntimeError};
 pub use eval::{Ctx, Env, Flow, ThreadIds};
-pub use exec::{fnv1a, launch, run, ExecutionTier, LaunchOptions, LaunchResult, Schedule};
+pub use exec::{
+    fnv1a, launch, run, CompiledKernel, ExecutionTier, LaunchOptions, LaunchResult, Schedule,
+};
 pub use memory::{Memory, Object};
 pub use race::{AccessKind, RaceDetector};
 pub use value::{Cell, ObjId, PointerValue, Scalar, Value};

@@ -52,6 +52,7 @@
 
 pub mod analysis;
 pub mod expr;
+pub mod fingerprint;
 pub mod printer;
 pub mod program;
 pub mod stmt;
@@ -60,6 +61,7 @@ pub mod types;
 
 pub use analysis::Features;
 pub use expr::{AssignOp, BinOp, Builtin, Dim, Expr, IdKind, UnOp};
+pub use fingerprint::{Fingerprint, ProgramHasher};
 pub use printer::{print_expr, print_program, print_stmt};
 pub use program::{BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program};
 pub use stmt::{Block, EmiBlock, Initializer, MemFence, Stmt};

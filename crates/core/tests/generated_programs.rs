@@ -100,7 +100,7 @@ fn inverting_the_dead_array_exposes_live_emi_blocks() {
         let program = generate(&test_options(GenMode::Basic, seed).with_emi());
         let normal = run_with(&program, Schedule::Forward, false);
         let mut options = LaunchOptions::default();
-        options.buffer_overrides.insert(
+        std::sync::Arc::make_mut(&mut options.buffer_overrides).insert(
             "dead".into(),
             clc::BufferInit::ReverseIota.materialize(program.dead_len),
         );

@@ -254,39 +254,43 @@ pub fn classify_configurations(
     classify_configurations_with(&Scheduler::from_env(), configs, kernels_per_mode, options)
 }
 
-/// [`classify_configurations`] on an explicit scheduler: six per-mode
-/// campaigns, each fanned out over the scheduler's workers, pooled per
-/// configuration in mode order.
+/// [`classify_configurations`] on an explicit scheduler.
+///
+/// All six modes' kernel jobs are submitted as **one** scheduler batch
+/// (mode-major job order), so the pool drains a single queue instead of
+/// barriering five times between per-mode campaigns.  Each job keeps the
+/// exact seed it had under the historical per-mode submission
+/// (`job_seed(seed_offset + mode_index * 100_000, kernel_index)`), and
+/// verdicts are folded in job-index — i.e. mode — order, so the pooled
+/// per-configuration tallies are bit-identical to the barriered form at any
+/// worker count.
 pub fn classify_configurations_with(
     scheduler: &Scheduler,
     configs: &[Configuration],
     kernels_per_mode: usize,
     options: &CampaignOptions,
 ) -> Vec<ReliabilityRow> {
-    let mut per_config = vec![TargetStats::default(); configs.len()];
+    let targets = Arc::new(targets_for(configs));
+    let mut jobs = Vec::with_capacity(GenMode::ALL.len() * kernels_per_mode);
     for (mode_index, mode) in GenMode::ALL.iter().enumerate() {
-        let campaign = run_mode_campaign_with(
-            scheduler,
-            *mode,
-            configs,
-            &CampaignOptions {
-                kernels: kernels_per_mode,
-                seed_offset: options.seed_offset + (mode_index as u64) * 100_000,
+        let seed_offset = options.seed_offset + (mode_index as u64) * 100_000;
+        for i in 0..kernels_per_mode {
+            jobs.push(KernelJob {
+                mode: *mode,
+                seed: job_seed(seed_offset, i as u64),
                 generator: options.generator.clone(),
                 exec: options.exec.clone(),
-            },
-        );
-        // Pool the two optimisation levels of each configuration.
-        for (t, stat) in campaign.targets.iter().zip(&campaign.stats) {
-            let idx = configs
-                .iter()
-                .position(|c| c.id == t.config.id)
-                .expect("config present");
-            per_config[idx].wrong += stat.wrong;
-            per_config[idx].build_failures += stat.build_failures;
-            per_config[idx].crashes += stat.crashes;
-            per_config[idx].timeouts += stat.timeouts;
-            per_config[idx].ok += stat.ok;
+                targets: Arc::clone(&targets),
+            });
+        }
+    }
+    // Pool the two optimisation levels of each configuration: target
+    // column 2k is configuration k at `-`, column 2k+1 at `+`
+    // (`targets_for` enumerates both levels per configuration in order).
+    let mut per_config = vec![TargetStats::default(); configs.len()];
+    for verdicts in scheduler.run_all(jobs) {
+        for (column, verdict) in verdicts.into_iter().enumerate() {
+            per_config[column / OptLevel::BOTH.len()].record(verdict);
         }
     }
     configs

@@ -1,7 +1,7 @@
 //! Random differential testing: run one kernel across many (configuration,
 //! optimisation level) targets and vote on the result (§3.2, §7.3).
 
-use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+use opencl_sim::{Configuration, ExecOptions, OptLevel, Session, TestOutcome};
 use std::collections::BTreeMap;
 
 /// One column of Table 4: a configuration at a fixed optimisation level.
@@ -69,15 +69,28 @@ impl Verdict {
     }
 }
 
-/// Runs one kernel on every target.
+/// Runs one kernel on every target through a fresh per-kernel
+/// [`Session`], so targets that compile the program to a bit-identical AST
+/// share a single emulator launch.
 pub fn run_on_targets(
     program: &clc::Program,
     targets: &[TestTarget],
     exec: &ExecOptions,
 ) -> Vec<TestOutcome> {
+    run_on_targets_session(&Session::new(program), targets, exec)
+}
+
+/// [`run_on_targets`] over an existing session — used when the caller wants
+/// to share the session's memo with other executions of the same kernel job
+/// or to read the cache counters afterwards.
+pub fn run_on_targets_session(
+    session: &Session<'_>,
+    targets: &[TestTarget],
+    exec: &ExecOptions,
+) -> Vec<TestOutcome> {
     targets
         .iter()
-        .map(|t| opencl_sim::execute(program, &t.config, t.opt, exec))
+        .map(|t| session.execute(&t.config, t.opt, exec))
         .collect()
 }
 

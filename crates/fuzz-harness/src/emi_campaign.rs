@@ -12,8 +12,9 @@
 use crate::campaign::CampaignOptions;
 use crate::exec::{job_seed, Job, Scheduler};
 use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
-use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+use opencl_sim::{Configuration, ExecMemo, ExecOptions, OptLevel, Session, TestOutcome};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Per-target tallies over base programs (the rows of Table 5).
@@ -103,13 +104,17 @@ impl Job for LivenessProbeJob {
         }
         .with_emi();
         let program = generate(&gen_opts);
-        let normal = opencl_sim::reference_execute(&program, &self.exec);
+        // One session for both reference runs: the normal and inverted
+        // executions differ only in buffer overrides, so they share a
+        // single lowered kernel (distinct outcome-cache lines).
+        let session = Session::new(&program);
+        let normal = session.reference_execute(&self.exec);
         let mut inverted_exec = self.exec.clone();
-        inverted_exec.buffer_overrides.insert(
+        Arc::make_mut(&mut inverted_exec.buffer_overrides).insert(
             "dead".into(),
             clc::BufferInit::ReverseIota.materialize(program.dead_len),
         );
-        let inverted = opencl_sim::reference_execute(&program, &inverted_exec);
+        let inverted = session.reference_execute(&inverted_exec);
         let live = match (&normal, &inverted) {
             (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) => a != b,
             // An inverted run that fails outright also proves the blocks are
@@ -210,10 +215,21 @@ impl Job for EmiBaseJob {
             .enumerate()
             .map(|(i, probs)| prune_variant(&self.base, probs, job_seed(base_seed, i as u64)))
             .collect();
+        // One session per variant, all behind one memo spanning the whole
+        // (config × opt) judging grid: gently pruned variants are often
+        // bit-identical to each other (or compile identically on
+        // non-optimising targets across both opt levels), so the unpruned
+        // AST is no longer re-executed per target — the Table 5
+        // deduplication the ROADMAP called for.
+        let memo = Rc::new(ExecMemo::new());
+        let sessions: Vec<Session<'_>> = variants
+            .iter()
+            .map(|v| Session::with_memo(v, Rc::clone(&memo)))
+            .collect();
         let mut judgements = Vec::with_capacity(self.configs.len() * OptLevel::BOTH.len());
         for config in self.configs.iter() {
             for opt in OptLevel::BOTH {
-                judgements.push(judge_base(&variants, config, opt, &self.exec));
+                judgements.push(judge_base_sessions(&sessions, config, opt, &self.exec));
             }
         }
         judgements
@@ -294,8 +310,25 @@ pub struct BaseJudgement {
 
 /// Runs all variants of one base on one target and classifies the base
 /// according to §7.4.
+///
+/// One-shot form of [`judge_base_sessions`]: each variant gets a private
+/// session, so nothing is shared across the variant set.  The campaign
+/// driver uses the session form to share one memo over the whole judging
+/// grid.
 pub fn judge_base(
     variants: &[clc::Program],
+    config: &Configuration,
+    opt: OptLevel,
+    exec: &ExecOptions,
+) -> BaseJudgement {
+    let sessions: Vec<Session<'_>> = variants.iter().map(Session::new).collect();
+    judge_base_sessions(&sessions, config, opt, exec)
+}
+
+/// [`judge_base`] over pre-built variant [`Session`]s (typically sharing an
+/// [`ExecMemo`]).
+pub fn judge_base_sessions(
+    variants: &[Session<'_>],
     config: &Configuration,
     opt: OptLevel,
     exec: &ExecOptions,
@@ -308,7 +341,7 @@ pub fn judge_base(
     let mut crash = false;
     let mut timeout = false;
     for variant in variants {
-        match opencl_sim::execute(variant, config, opt, exec) {
+        match variant.execute(config, opt, exec) {
             TestOutcome::Result { hash, .. } => {
                 *hashes.entry(hash).or_insert(0) += 1;
             }

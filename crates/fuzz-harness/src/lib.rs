@@ -4,7 +4,10 @@
 //! platform:
 //!
 //! * [`differential`] — run one kernel across many (configuration,
-//!   optimisation level) targets and vote on the results (§3.2);
+//!   optimisation level) targets and vote on the results (§3.2); each
+//!   kernel's fan-out goes through a per-kernel `opencl_sim::Session`, so
+//!   targets that compile the kernel to a bit-identical AST share one
+//!   emulator launch;
 //! * [`campaign`] — batch CLsmith campaigns per mode (Table 4) and the
 //!   initial reliability classification (Table 1, §7.1);
 //! * [`emi_campaign`] — CLsmith+EMI campaigns over base programs and their
@@ -44,12 +47,13 @@ pub use campaign::{
     TargetStats, RELIABILITY_THRESHOLD,
 };
 pub use differential::{
-    classify, differential_test, run_on_targets, targets_for, TestTarget, Verdict,
+    classify, differential_test, run_on_targets, run_on_targets_session, targets_for, TestTarget,
+    Verdict,
 };
 pub use emi_campaign::{
-    generate_live_bases, generate_live_bases_with, judge_base, pruning_grid, run_emi_campaign,
-    run_emi_campaign_with, EmiBaseJob, EmiCampaignOptions, EmiCampaignResult, EmiStats,
-    LivenessProbeJob,
+    generate_live_bases, generate_live_bases_with, judge_base, judge_base_sessions, pruning_grid,
+    run_emi_campaign, run_emi_campaign_with, EmiBaseJob, EmiCampaignOptions, EmiCampaignResult,
+    EmiStats, LivenessProbeJob,
 };
 pub use exec::{expect_completed, job_seed, Job, JobFailure, JobResult, Scheduler};
 pub use opencl_sim::ExecutionTier;

@@ -40,4 +40,7 @@ pub use configs::{
     OutcomeRates,
 };
 pub use figures::{all_figures, FigureKernel};
-pub use platform::{execute, reference_execute, ExecOptions, TestOutcome};
+pub use platform::{
+    execute, process_cache_stats, reference_execute, reset_process_cache_stats, CacheStats,
+    CompiledProgram, ExecMemo, ExecOptions, Session, TestOutcome,
+};

@@ -13,14 +13,46 @@
 //!    produce a result.
 //!
 //! Only the resulting [`TestOutcome`] is visible to the fuzzing harness.
+//!
+//! ## Deduplicated differential execution
+//!
+//! A differential harness runs the *same* kernel on dozens of
+//! (configuration, optimisation level) targets, and most targets compile it
+//! to a bit-identical AST; since the emulator is deterministic, those
+//! targets provably share one outcome.  The platform is therefore split
+//! into two phases:
+//!
+//! * the **front end** ([`Session::compile`]) — deterministic bug rules,
+//!   background-rate rolls, optimisation passes and triggered
+//!   miscompilations, producing a [`CompiledProgram`]: either an outcome
+//!   decided without execution, or a compiled AST tagged with its
+//!   structural [`Fingerprint`];
+//! * the **execution phase** — memoised in an [`ExecMemo`] by
+//!   `(fingerprint, exec-relevant options)`: each distinct compiled program
+//!   is lowered once (a shared [`clc_interp::CompiledKernel`]) and launched
+//!   once per distinct execution-option set, with every further target
+//!   served from the outcome cache.
+//!
+//! A [`Session`] carries the per-kernel state both phases reuse across
+//! targets (detected [`Features`], the captured program hasher, the
+//! optimised AST); a fan-out over 42 targets typically collapses to a
+//! handful of real emulator launches.  Memoisation never changes results —
+//! the `cache_equivalence` integration test pins campaign tables
+//! bit-identical with the memo forced off.
 
-use crate::bugs::{apply_miscompilation, BugEffect, OptLevel};
+use crate::bugs::{apply_miscompilation, BugEffect, Miscompilation, OptLevel};
 use crate::configs::Configuration;
 use crate::passes;
-use clc::{Features, Program};
-use clc_interp::{ExecutionTier, LaunchOptions, RuntimeError, Schedule};
-use std::collections::hash_map::DefaultHasher;
+use clc::{Features, Fingerprint, Program, ProgramHasher};
+use clc_interp::{CompiledKernel, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
+use std::borrow::Cow;
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Execution options for the simulated platform.
 #[derive(Debug, Clone)]
@@ -32,10 +64,17 @@ pub struct ExecOptions {
     /// Work-item scheduling order.
     pub schedule: Schedule,
     /// Extra buffer overrides (e.g. the inverted EMI `dead` array, §7.4).
-    pub buffer_overrides: std::collections::HashMap<String, Vec<i64>>,
+    /// Behind an [`Arc`] so deriving per-launch options never copies the
+    /// override data; use [`Arc::make_mut`] to edit.
+    pub buffer_overrides: Arc<HashMap<String, Vec<i64>>>,
     /// Which emulator execution tier runs the kernels (defaults to the
     /// bytecode tier, `CLC_INTERP_TIER` overrides process-wide).
     pub tier: ExecutionTier,
+    /// Whether [`Session`]s may serve repeated executions of an identical
+    /// compiled program from the outcome cache (on by default).  Turning
+    /// this off forces a cold compile + launch per target — outcomes are
+    /// identical either way; only wall-clock changes.
+    pub memoize: bool,
 }
 
 impl Default for ExecOptions {
@@ -44,8 +83,9 @@ impl Default for ExecOptions {
             step_limit: 2_000_000,
             detect_races: false,
             schedule: Schedule::Forward,
-            buffer_overrides: std::collections::HashMap::new(),
+            buffer_overrides: Arc::new(HashMap::new()),
             tier: ExecutionTier::from_env(),
+            memoize: true,
         }
     }
 }
@@ -96,106 +136,448 @@ impl TestOutcome {
     }
 }
 
+/// What the simulated online compiler's front end produced for one
+/// (configuration, optimisation level) target.
+///
+/// Not to be confused with [`clc_interp::CompiledProgram`], the emulator's
+/// lowered bytecode module: this is the *platform-level* compile result —
+/// the (possibly transformed) AST the device would run, or an outcome the
+/// front end already decided.
+#[derive(Debug)]
+pub enum CompiledProgram<'s> {
+    /// The outcome was decided without running the kernel: a deterministic
+    /// bug rule or a background rate produced a build failure, compile
+    /// hang, or crash.
+    Decided(TestOutcome),
+    /// The kernel must run.  `program` borrows the session's (possibly
+    /// optimised) AST when no target-specific transform applied, and is
+    /// owned otherwise; `fingerprint` is its structural hash, the key the
+    /// execution phase memoises on.
+    Execute {
+        /// The compiled AST the device executes.
+        program: Cow<'s, Program>,
+        /// Structural fingerprint of that AST.
+        fingerprint: Fingerprint,
+    },
+}
+
+/// Execution-phase caches shared by one or more [`Session`]s.
+///
+/// Holds the compiled-kernel cache (fingerprint → lazily lowered
+/// [`CompiledKernel`]) and the outcome cache
+/// (`(fingerprint, exec-option key)` → [`TestOutcome`]), plus hit/launch
+/// counters.  Cheap to create; share one memo (via [`Rc`]) across the
+/// sessions of related programs — e.g. the pruning variants of one EMI base,
+/// where structurally identical variants then collapse to one launch — and
+/// drop it with the job so cache footprint stays bounded.
+#[derive(Debug, Default)]
+pub struct ExecMemo {
+    kernels: RefCell<HashMap<Fingerprint, Rc<CompiledKernel>>>,
+    outcomes: RefCell<HashMap<(Fingerprint, u64), TestOutcome>>,
+    stats: MemoCounters,
+}
+
+#[derive(Debug, Default)]
+struct MemoCounters {
+    requests: Cell<u64>,
+    launches: Cell<u64>,
+    compiles: Cell<u64>,
+    outcome_hits: Cell<u64>,
+    kernel_hits: Cell<u64>,
+}
+
+/// Counter snapshot for a memo (or the whole process, see
+/// [`process_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Target executions requested ([`Session::execute`] /
+    /// [`Session::reference_execute`] calls).
+    pub requests: u64,
+    /// Real emulator launches performed.
+    pub launches: u64,
+    /// Kernels lowered (compiled-kernel cache misses, plus every launch
+    /// when memoisation is off).
+    pub compiles: u64,
+    /// Executions served from the outcome cache.
+    pub outcome_hits: u64,
+    /// Launches that reused an already-compiled kernel.
+    pub kernel_hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of executions that reused an already-compiled kernel — via
+    /// the outcome cache (which skips the launch entirely) or the
+    /// compiled-kernel cache (which skips only the lowering).
+    pub fn compile_hit_rate(&self) -> f64 {
+        let cached = self.outcome_hits + self.kernel_hits;
+        let lookups = cached + self.compiles;
+        if lookups == 0 {
+            0.0
+        } else {
+            cached as f64 / lookups as f64
+        }
+    }
+}
+
+/// The cache-counter kinds.  Doubles as the index into the process-wide
+/// atomic array, so the per-memo cell and the global counter cannot drift
+/// apart.
+#[derive(Clone, Copy)]
+enum Counter {
+    Requests = 0,
+    Launches = 1,
+    Compiles = 2,
+    OutcomeHits = 3,
+    KernelHits = 4,
+}
+
+/// Process-wide counters aggregated across every memo (all threads), for
+/// benchmark and CI reporting — indexed by [`Counter`].
+static PROCESS: [AtomicU64; 5] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+fn process_count(counter: Counter) -> u64 {
+    PROCESS[counter as usize].load(Ordering::Relaxed)
+}
+
+impl MemoCounters {
+    fn bump(&self, counter: Counter) {
+        let cell = match counter {
+            Counter::Requests => &self.requests,
+            Counter::Launches => &self.launches,
+            Counter::Compiles => &self.compiles,
+            Counter::OutcomeHits => &self.outcome_hits,
+            Counter::KernelHits => &self.kernel_hits,
+        };
+        cell.set(cell.get() + 1);
+        PROCESS[counter as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ExecMemo {
+    /// An empty memo.
+    pub fn new() -> ExecMemo {
+        ExecMemo::default()
+    }
+
+    /// Counter snapshot for this memo.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            requests: self.stats.requests.get(),
+            launches: self.stats.launches.get(),
+            compiles: self.stats.compiles.get(),
+            outcome_hits: self.stats.outcome_hits.get(),
+            kernel_hits: self.stats.kernel_hits.get(),
+        }
+    }
+}
+
+/// Process-wide cache counters summed over every memo on every thread since
+/// start (or the last [`reset_process_cache_stats`]).  Benchmarks use this
+/// to report `launches_per_kernel` and `compile_cache_hit_rate` across a
+/// whole campaign.
+pub fn process_cache_stats() -> CacheStats {
+    CacheStats {
+        requests: process_count(Counter::Requests),
+        launches: process_count(Counter::Launches),
+        compiles: process_count(Counter::Compiles),
+        outcome_hits: process_count(Counter::OutcomeHits),
+        kernel_hits: process_count(Counter::KernelHits),
+    }
+}
+
+/// Zeroes the process-wide cache counters (benchmark bracketing; not
+/// synchronised with concurrently running campaigns).
+pub fn reset_process_cache_stats() {
+    for counter in &PROCESS {
+        counter.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A per-kernel differential execution session.
+///
+/// Construction performs the per-kernel work exactly once — a single hash
+/// pass capturing reusable hasher state ([`ProgramHasher`]); feature
+/// detection and the optimised AST are computed lazily, also at most once —
+/// and every [`Session::execute`] call reuses it.  The execution phase is
+/// memoised through the session's [`ExecMemo`]: targets whose front end
+/// produces a bit-identical compiled AST (and identical execution-relevant
+/// options) share a single emulator launch.
+///
+/// Sessions are single-threaded by design (the campaign engine runs one
+/// kernel job per worker); share state *across* jobs at your own peril —
+/// the memo is [`Rc`]-based precisely so it cannot leave its thread.
+pub struct Session<'p> {
+    program: &'p Program,
+    hasher: ProgramHasher,
+    base_fingerprint: Fingerprint,
+    features: OnceCell<Features>,
+    optimized: OnceCell<(Program, Fingerprint)>,
+    memo: Rc<ExecMemo>,
+}
+
+impl<'p> Session<'p> {
+    /// A session over `program` with a fresh private memo.
+    pub fn new(program: &'p Program) -> Session<'p> {
+        Session::with_memo(program, Rc::new(ExecMemo::new()))
+    }
+
+    /// A session over `program` sharing `memo` with other sessions (e.g.
+    /// the pruning variants of one EMI base within one kernel job).
+    pub fn with_memo(program: &'p Program, memo: Rc<ExecMemo>) -> Session<'p> {
+        let hasher = ProgramHasher::new(program);
+        let base_fingerprint = hasher.fingerprint();
+        Session {
+            program,
+            hasher,
+            base_fingerprint,
+            features: OnceCell::new(),
+            optimized: OnceCell::new(),
+            memo,
+        }
+    }
+
+    /// The program under test.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The unoptimised program's structural fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.base_fingerprint
+    }
+
+    /// The program's detected features (computed on first use).
+    pub fn features(&self) -> &Features {
+        self.features.get_or_init(|| Features::detect(self.program))
+    }
+
+    /// The session's memo (shared caches and counters).
+    pub fn memo(&self) -> &ExecMemo {
+        &self.memo
+    }
+
+    /// Deterministic pseudo-probability in `[0, 1)` for a background
+    /// outcome roll: bit-identical to hashing
+    /// `(program, config.id, opt, salt)` from scratch, but reusing the
+    /// captured program prefix.
+    fn chance(&self, config: &Configuration, opt: OptLevel, salt: &str) -> f64 {
+        let h = self.hasher.chain(&(config.id, opt, salt));
+        (h % 1_000_000) as f64 / 1_000_000.0
+    }
+
+    /// The passes-optimised AST and its fingerprint (computed once and
+    /// shared by every optimising target).
+    fn optimized(&self) -> (&Program, Fingerprint) {
+        let (program, fingerprint) = self.optimized.get_or_init(|| {
+            let mut optimized = self.program.clone();
+            passes::optimize(&mut optimized);
+            let fingerprint = optimized.fingerprint();
+            (optimized, fingerprint)
+        });
+        (program, *fingerprint)
+    }
+
+    /// The front-end phase: deterministic bug rules, background-rate rolls,
+    /// optimisation passes and triggered miscompilations for one target.
+    ///
+    /// Pure per target — it touches no cache except the session's shared
+    /// optimised AST — and returns either a decided outcome or the compiled
+    /// AST with its fingerprint.
+    pub fn compile(&self, config: &Configuration, opt: OptLevel) -> CompiledProgram<'_> {
+        // --- Deterministic bug rules --------------------------------------
+        let mut miscompilations = Vec::new();
+        for rule in &config.rules {
+            if !rule.applies(self.features(), self.program, opt) {
+                continue;
+            }
+            match &rule.effect {
+                BugEffect::BuildFailure(msg) => {
+                    return CompiledProgram::Decided(TestOutcome::BuildFailure(format!(
+                        "{} [{}]",
+                        msg, rule.reference
+                    )))
+                }
+                BugEffect::CompileHang(_) => return CompiledProgram::Decided(TestOutcome::Timeout),
+                BugEffect::RuntimeCrash(msg) => {
+                    return CompiledProgram::Decided(TestOutcome::Crash(format!(
+                        "{} [{}]",
+                        msg, rule.reference
+                    )))
+                }
+                BugEffect::Miscompile(m) => miscompilations.push(*m),
+            }
+        }
+
+        // --- Background (rate-based) outcomes -----------------------------
+        // All rolls are independent hashes of (program, config, opt, salt),
+        // so rolling the crash rate here — before compilation rather than
+        // after, where the historical code drew it — decides exactly the
+        // same outcomes in the same precedence order.
+        let rates = config.rates(opt);
+        let uses_barriers = self.features().barrier_count > 0;
+        if self.chance(config, opt, "bf") < rates.build_failure {
+            return CompiledProgram::Decided(TestOutcome::BuildFailure(
+                "driver rejected the program (background rate)".into(),
+            ));
+        }
+        if self.chance(config, opt, "to") < rates.timeout {
+            return CompiledProgram::Decided(TestOutcome::Timeout);
+        }
+        let wrong_rate = rates.wrong_code
+            + if uses_barriers {
+                rates.barrier_wrong_bonus
+            } else {
+                0.0
+            };
+        let perturb = self.chance(config, opt, "wc") < wrong_rate;
+        let crash_rate = rates.runtime_crash
+            + if uses_barriers {
+                rates.barrier_crash_bonus
+            } else {
+                0.0
+            };
+        if self.chance(config, opt, "crash") < crash_rate {
+            return CompiledProgram::Decided(TestOutcome::Crash(
+                "kernel execution crashed (background rate)".into(),
+            ));
+        }
+
+        // --- Compilation --------------------------------------------------
+        let (base, base_fingerprint) = if opt == OptLevel::Enabled && config.optimizes {
+            self.optimized()
+        } else {
+            (self.program, self.base_fingerprint)
+        };
+        if miscompilations.is_empty() && !perturb {
+            return CompiledProgram::Execute {
+                program: Cow::Borrowed(base),
+                fingerprint: base_fingerprint,
+            };
+        }
+        let mut compiled = base.clone();
+        for m in &miscompilations {
+            apply_miscompilation(&mut compiled, *m);
+        }
+        if perturb {
+            let salt = self.hasher.chain(&(config.id, "perturb"));
+            apply_miscompilation(&mut compiled, Miscompilation::PerturbLiteral(salt));
+        }
+        let fingerprint = compiled.fingerprint();
+        CompiledProgram::Execute {
+            program: Cow::Owned(compiled),
+            fingerprint,
+        }
+    }
+
+    /// Compiles and executes the kernel on one target, sharing front-end
+    /// state and (when `exec.memoize` is on) emulator launches with every
+    /// other target of this session's memo.
+    pub fn execute(
+        &self,
+        config: &Configuration,
+        opt: OptLevel,
+        exec: &ExecOptions,
+    ) -> TestOutcome {
+        self.memo.stats.bump(Counter::Requests);
+        match self.compile(config, opt) {
+            CompiledProgram::Decided(outcome) => outcome,
+            CompiledProgram::Execute {
+                program,
+                fingerprint,
+            } => self.run(program, fingerprint, exec),
+        }
+    }
+
+    /// Executes on the reference emulator with no configuration-specific
+    /// behaviour, through the same memoised execution phase — so e.g. the
+    /// two runs of an EMI liveness probe share one lowered kernel.
+    pub fn reference_execute(&self, exec: &ExecOptions) -> TestOutcome {
+        self.memo.stats.bump(Counter::Requests);
+        self.run(Cow::Borrowed(self.program), self.base_fingerprint, exec)
+    }
+
+    /// The execution phase: launch a compiled program, memoised by
+    /// `(fingerprint, exec-relevant options)`.
+    fn run(
+        &self,
+        program: Cow<'_, Program>,
+        fingerprint: Fingerprint,
+        exec: &ExecOptions,
+    ) -> TestOutcome {
+        let options = launch_options(exec);
+        if !exec.memoize {
+            self.memo.stats.bump(Counter::Compiles);
+            self.memo.stats.bump(Counter::Launches);
+            return launch_outcome(clc_interp::launch(&program, &options));
+        }
+        let key = (fingerprint, exec_key(exec));
+        if let Some(hit) = self.memo.outcomes.borrow().get(&key) {
+            self.memo.stats.bump(Counter::OutcomeHits);
+            return hit.clone();
+        }
+        let kernel = {
+            let mut kernels = self.memo.kernels.borrow_mut();
+            match kernels.entry(fingerprint) {
+                Entry::Occupied(entry) => {
+                    self.memo.stats.bump(Counter::KernelHits);
+                    Rc::clone(entry.get())
+                }
+                Entry::Vacant(entry) => {
+                    self.memo.stats.bump(Counter::Compiles);
+                    Rc::clone(entry.insert(Rc::new(CompiledKernel::compile(program.into_owned()))))
+                }
+            }
+        };
+        self.memo.stats.bump(Counter::Launches);
+        let outcome = launch_outcome(kernel.launch(&options));
+        self.memo.outcomes.borrow_mut().insert(key, outcome.clone());
+        outcome
+    }
+}
+
 /// Compiles and executes a kernel on a simulated configuration.
+///
+/// One-shot form of [`Session::execute`]; a caller fanning the same kernel
+/// over many targets should hold a [`Session`] so compiled programs and
+/// outcomes are shared across the fan-out.
 pub fn execute(
     program: &Program,
     config: &Configuration,
     opt: OptLevel,
     exec: &ExecOptions,
 ) -> TestOutcome {
-    let features = Features::detect(program);
-
-    // --- Front end / deterministic bug rules --------------------------------
-    let mut miscompilations = Vec::new();
-    for rule in &config.rules {
-        if !rule.applies(&features, program, opt) {
-            continue;
-        }
-        match &rule.effect {
-            BugEffect::BuildFailure(msg) => {
-                return TestOutcome::BuildFailure(format!("{} [{}]", msg, rule.reference))
-            }
-            BugEffect::CompileHang(_) => return TestOutcome::Timeout,
-            BugEffect::RuntimeCrash(msg) => {
-                return TestOutcome::Crash(format!("{} [{}]", msg, rule.reference))
-            }
-            BugEffect::Miscompile(m) => miscompilations.push(*m),
-        }
-    }
-
-    // --- Background (rate-based) outcomes ------------------------------------
-    let rates = config.rates(opt);
-    let uses_barriers = features.barrier_count > 0;
-    if chance(program, config, opt, "bf") < rates.build_failure {
-        return TestOutcome::BuildFailure("driver rejected the program (background rate)".into());
-    }
-    if chance(program, config, opt, "to") < rates.timeout {
-        return TestOutcome::Timeout;
-    }
-
-    // --- Compilation ----------------------------------------------------------
-    let mut compiled = program.clone();
-    if opt == OptLevel::Enabled && config.optimizes {
-        passes::optimize(&mut compiled);
-    }
-    for m in &miscompilations {
-        apply_miscompilation(&mut compiled, *m);
-    }
-    let wrong_rate = rates.wrong_code
-        + if uses_barriers {
-            rates.barrier_wrong_bonus
-        } else {
-            0.0
-        };
-    if chance(program, config, opt, "wc") < wrong_rate {
-        let salt = stable_hash(&(program, config.id, "perturb"));
-        apply_miscompilation(
-            &mut compiled,
-            crate::bugs::Miscompilation::PerturbLiteral(salt),
-        );
-    }
-
-    // --- Execution -------------------------------------------------------------
-    let crash_rate = rates.runtime_crash
-        + if uses_barriers {
-            rates.barrier_crash_bonus
-        } else {
-            0.0
-        };
-    if chance(program, config, opt, "crash") < crash_rate {
-        return TestOutcome::Crash("kernel execution crashed (background rate)".into());
-    }
-    let options = LaunchOptions {
-        step_limit: exec.step_limit,
-        detect_races: exec.detect_races,
-        schedule: exec.schedule,
-        buffer_overrides: exec.buffer_overrides.clone(),
-        scalar_args: std::collections::HashMap::new(),
-        tier: exec.tier,
-    };
-    match clc_interp::launch(&compiled, &options) {
-        Ok(result) => TestOutcome::Result {
-            hash: result.result_hash,
-            output: result.result_string,
-        },
-        Err(RuntimeError::StepLimitExceeded { .. }) => TestOutcome::Timeout,
-        Err(e) => TestOutcome::Crash(e.to_string()),
-    }
+    Session::new(program).execute(config, opt, exec)
 }
 
 /// Executes on the reference emulator with no configuration-specific
 /// behaviour (the oracle used by the harness to sanity-check majorities and
 /// by the reducer).
 pub fn reference_execute(program: &Program, exec: &ExecOptions) -> TestOutcome {
-    let options = LaunchOptions {
+    let options = launch_options(exec);
+    launch_outcome(clc_interp::launch(program, &options))
+}
+
+/// Derives the emulator launch options for one execution.
+fn launch_options(exec: &ExecOptions) -> LaunchOptions {
+    LaunchOptions {
         step_limit: exec.step_limit,
         detect_races: exec.detect_races,
         schedule: exec.schedule,
-        buffer_overrides: exec.buffer_overrides.clone(),
-        scalar_args: std::collections::HashMap::new(),
+        buffer_overrides: Arc::clone(&exec.buffer_overrides),
+        scalar_args: HashMap::new(),
         tier: exec.tier,
-    };
-    match clc_interp::launch(program, &options) {
+    }
+}
+
+/// Maps an emulator result onto the platform outcome surface.
+fn launch_outcome(result: Result<clc_interp::LaunchResult, RuntimeError>) -> TestOutcome {
+    match result {
         Ok(result) => TestOutcome::Result {
             hash: result.result_hash,
             output: result.result_string,
@@ -205,18 +587,22 @@ pub fn reference_execute(program: &Program, exec: &ExecOptions) -> TestOutcome {
     }
 }
 
-/// Deterministic pseudo-probability in `[0, 1)` derived from the kernel, the
-/// configuration, the optimisation level and a salt.  Using a hash rather
-/// than an RNG keeps every campaign exactly reproducible.
-fn chance(program: &Program, config: &Configuration, opt: OptLevel, salt: &str) -> f64 {
-    let h = stable_hash(&(program, config.id, opt, salt));
-    (h % 1_000_000) as f64 / 1_000_000.0
-}
-
-fn stable_hash<T: Hash>(value: &T) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    value.hash(&mut hasher);
-    hasher.finish()
+/// Hash of every execution option that can change a launch outcome — the
+/// second half of the outcome-cache key.  Buffer overrides are folded in
+/// key-sorted order so the value is independent of map iteration order.
+fn exec_key(exec: &ExecOptions) -> u64 {
+    let mut h = DefaultHasher::new();
+    exec.step_limit.hash(&mut h);
+    exec.detect_races.hash(&mut h);
+    exec.schedule.hash(&mut h);
+    exec.tier.hash(&mut h);
+    let mut names: Vec<&String> = exec.buffer_overrides.keys().collect();
+    names.sort();
+    for name in names {
+        name.hash(&mut h);
+        exec.buffer_overrides[name].hash(&mut h);
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -347,5 +733,102 @@ mod tests {
             }
             other => panic!("unexpected outcomes {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_fan_out_collapses_identical_compiles_to_few_launches() {
+        let p = trivial_program(5);
+        let session = Session::new(&p);
+        let exec = ExecOptions::default();
+        let mut outcomes = Vec::new();
+        for config in all_configurations() {
+            for opt in OptLevel::BOTH {
+                outcomes.push(session.execute(&config, opt, &exec));
+            }
+        }
+        let stats = session.memo().stats();
+        assert_eq!(stats.requests, 42);
+        assert!(
+            stats.launches < stats.requests / 2,
+            "expected heavy deduplication, got {stats:?}"
+        );
+        assert!(stats.launches >= 1);
+        assert_eq!(stats.compiles, stats.launches, "one compile per launch: each distinct outcome-cache miss here is a distinct compiled AST");
+        // Every computed result must be reproduced by the cold path.
+        for (i, (config, opt)) in all_configurations()
+            .iter()
+            .flat_map(|c| OptLevel::BOTH.map(|o| (c.clone(), o)))
+            .enumerate()
+        {
+            let cold = ExecOptions {
+                memoize: false,
+                ..ExecOptions::default()
+            };
+            assert_eq!(
+                outcomes[i],
+                execute(&p, &config, opt, &cold),
+                "config {} {opt} diverged under memoisation",
+                config.id
+            );
+        }
+    }
+
+    #[test]
+    fn session_memoisation_matches_cold_execution_for_generated_outcomes() {
+        // The memo key must separate different exec options for the same
+        // fingerprint: the same program with a different schedule or step
+        // limit is a different cache line.
+        let p = trivial_program(2);
+        let session = Session::new(&p);
+        let fast = ExecOptions::default();
+        let strict = ExecOptions {
+            step_limit: 1, // tiny budget: the kernel times out
+            ..ExecOptions::default()
+        };
+        let ok = session.reference_execute(&fast);
+        let starved = session.reference_execute(&strict);
+        assert!(ok.is_result());
+        assert_eq!(starved, TestOutcome::Timeout);
+        // Same options again: served from cache, same value.
+        assert_eq!(session.reference_execute(&fast), ok);
+        let stats = session.memo().stats();
+        assert_eq!(stats.launches, 2, "two distinct exec-option sets");
+        assert_eq!(stats.outcome_hits, 1);
+        assert_eq!(stats.compiles, 1, "one lowered kernel serves both");
+    }
+
+    #[test]
+    fn shared_memo_deduplicates_across_sessions_of_identical_programs() {
+        // Two structurally identical programs behind one memo — the EMI
+        // variant case — must share both the compile and the launch.
+        let a = trivial_program(4);
+        let b = trivial_program(4);
+        let memo = Rc::new(ExecMemo::new());
+        let sa = Session::with_memo(&a, Rc::clone(&memo));
+        let sb = Session::with_memo(&b, Rc::clone(&memo));
+        let exec = ExecOptions::default();
+        assert_eq!(sa.reference_execute(&exec), sb.reference_execute(&exec));
+        let stats = memo.stats();
+        assert_eq!(stats.launches, 1);
+        assert_eq!(stats.outcome_hits, 1);
+    }
+
+    #[test]
+    fn front_end_reuses_the_optimised_ast_across_targets() {
+        let p = trivial_program(6);
+        let session = Session::new(&p);
+        // Two optimising configurations at the enabled level: both borrow
+        // the session's optimised AST (same fingerprint) unless a
+        // miscompilation or perturbation applies.
+        let mut fingerprints = Vec::new();
+        for id in [1usize, 3] {
+            if let CompiledProgram::Execute { fingerprint, .. } =
+                session.compile(&configuration(id), OptLevel::Enabled)
+            {
+                fingerprints.push(fingerprint);
+            }
+        }
+        assert_eq!(fingerprints.len(), 2);
+        assert_eq!(fingerprints[0], fingerprints[1]);
     }
 }

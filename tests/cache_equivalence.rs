@@ -1,0 +1,111 @@
+//! The deduplicated execution layer's headline guarantee: memoising the
+//! execution phase by `(fingerprint, exec-relevant options)` NEVER changes
+//! campaign results.  Every campaign family is run with the memo forced off
+//! (a cold compile + launch per target, the historical behaviour) and with
+//! it on, and the rendered tables must be **bit-identical**.
+
+use clsmith::{GenMode, GeneratorOptions};
+use fuzz_harness::{
+    classify_configurations_with, render_campaign_table, render_emi_table, run_emi_campaign_with,
+    run_mode_campaign_with, CampaignOptions, EmiCampaignOptions, Scheduler,
+};
+use opencl_sim::ExecOptions;
+
+fn options(memoize: bool, seed_offset: u64) -> CampaignOptions {
+    CampaignOptions {
+        kernels: 8,
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..GeneratorOptions::default()
+        },
+        exec: ExecOptions {
+            memoize,
+            ..ExecOptions::default()
+        },
+        seed_offset,
+    }
+}
+
+#[test]
+fn table4_mode_campaign_is_bit_identical_with_memo_off_and_on() {
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(9),
+        opencl_sim::configuration(14),
+        opencl_sim::configuration(19),
+    ];
+    let scheduler = Scheduler::sequential();
+    let cold = run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options(false, 42));
+    let memoized =
+        run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options(true, 42));
+    assert_eq!(cold, memoized, "memoisation changed the campaign result");
+    assert_eq!(
+        render_campaign_table(&cold),
+        render_campaign_table(&memoized),
+        "memoisation changed the rendered Table 4"
+    );
+}
+
+#[test]
+fn table1_classification_is_bit_identical_with_memo_off_and_on() {
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(12),
+        opencl_sim::configuration(21),
+    ];
+    let scheduler = Scheduler::sequential();
+    let cold = classify_configurations_with(&scheduler, &configs, 2, &options(false, 7));
+    let memoized = classify_configurations_with(&scheduler, &configs, 2, &options(true, 7));
+    assert_eq!(cold.len(), memoized.len());
+    for (c, m) in cold.iter().zip(&memoized) {
+        assert_eq!(c.config.id, m.config.id);
+        assert_eq!(
+            c.failure_fraction.to_bits(),
+            m.failure_fraction.to_bits(),
+            "memoisation changed configuration {}'s failure fraction",
+            c.config.id
+        );
+        assert_eq!(c.above_threshold, m.above_threshold);
+    }
+}
+
+#[test]
+fn table5_emi_campaign_is_bit_identical_with_memo_off_and_on() {
+    let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+    let emi_options = |memoize: bool| EmiCampaignOptions {
+        bases: 2,
+        variants_per_base: 6,
+        campaign: options(memoize, 11),
+    };
+    let cold = run_emi_campaign_with(&Scheduler::sequential(), &configs, &emi_options(false));
+    let memoized = run_emi_campaign_with(&Scheduler::sequential(), &configs, &emi_options(true));
+    assert_eq!(cold, memoized, "memoisation changed the EMI campaign");
+    assert_eq!(
+        render_emi_table(&cold),
+        render_emi_table(&memoized),
+        "memoisation changed the rendered Table 5"
+    );
+}
+
+#[test]
+fn memoised_campaigns_actually_deduplicate_launches() {
+    // Not just correct — the memo must also *work*: across a small
+    // single-kernel fan-out over every configuration, real launches must
+    // fall well below the target count.
+    let program = clsmith::generate(&GeneratorOptions {
+        min_threads: 16,
+        max_threads: 32,
+        ..GeneratorOptions::new(GenMode::Basic, 5)
+    });
+    let targets = fuzz_harness::targets_for(&opencl_sim::all_configurations());
+    assert_eq!(targets.len(), 42);
+    let session = opencl_sim::Session::new(&program);
+    fuzz_harness::run_on_targets_session(&session, &targets, &ExecOptions::default());
+    let stats = session.memo().stats();
+    assert_eq!(stats.requests, 42);
+    assert!(
+        stats.launches <= stats.requests / 2,
+        "expected ≤ half the targets to need a real launch, got {stats:?}"
+    );
+}
