@@ -12,9 +12,10 @@
 use std::time::{Duration, Instant};
 
 use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
+use fuzz_harness::shard::{JournalOptions, Mergeable, ShardSelect};
 use fuzz_harness::{
-    render_campaign_table, run_mode_campaign_with, run_on_targets, targets_for, CampaignOptions,
-    Job, Scheduler,
+    render_campaign_table, run_mode_campaign_with, run_modes_campaign_sharded, run_on_targets,
+    targets_for, CampaignOptions, Job, MultiModeTally, Scheduler,
 };
 use opencl_sim::{configuration, execute, ExecOptions, ExecutionTier, OptLevel};
 
@@ -257,6 +258,130 @@ fn bench_differential_dedupe(kernels: usize, metrics: &mut Metrics) {
     metrics.record("dedupe_speedup", speedup);
 }
 
+/// The shard/journal layer measurement: a fixed-seed mode campaign run
+/// three ways — single process, 3 shards merged, and killed-then-resumed —
+/// with the journaling overhead and resume bookkeeping reported next to
+/// the `dedupe_*` axes (`jobs_resumed`, `jobs_replayed`, `journal_bytes`,
+/// `shard_count` in the JSON).  Asserts all three rendered tables are
+/// byte-identical, so CI's smoke run pins the shard/merge/resume
+/// invariant too.
+fn bench_shard_resume(kernels: usize, metrics: &mut Metrics) {
+    println!("shard/resume (BARRIER mode, {kernels} kernels, 3 shards + kill/resume)");
+    let configs = vec![configuration(1), configuration(19)];
+    let options = CampaignOptions {
+        kernels,
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..GeneratorOptions::default()
+        },
+        exec: ExecOptions::default(),
+        seed_offset: 0x54A2D,
+    };
+    let modes = [GenMode::Barrier];
+    let scheduler = Scheduler::new(4);
+    let temp = |name: &str| {
+        std::env::temp_dir().join(format!("clfuzz-bench-{}-{name}.log", std::process::id()))
+    };
+
+    // Reference: the plain single-process campaign.
+    let start = Instant::now();
+    let single = run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options);
+    let plain = start.elapsed();
+    let reference = render_campaign_table(&single);
+
+    // 3 journaled shards, merged in memory.
+    let mut paths = Vec::new();
+    let mut tally: Option<MultiModeTally> = None;
+    let mut journal_bytes = 0u64;
+    let start = Instant::now();
+    for index in 0..3u32 {
+        let path = temp(&format!("shard{index}"));
+        let shard = run_modes_campaign_sharded(
+            &scheduler,
+            &modes,
+            &configs,
+            &options,
+            ShardSelect { index, count: 3 },
+            Some(&JournalOptions::create(&path)),
+        )
+        .expect("sharded campaign");
+        journal_bytes += shard.metrics.journal_bytes;
+        match &mut tally {
+            None => tally = Some(shard.tally),
+            Some(t) => t.merge(shard.tally),
+        }
+        paths.push(path);
+    }
+    let sharded_elapsed = start.elapsed();
+    let tally = tally.expect("shards ran");
+    let merged = fuzz_harness::CampaignResult {
+        mode: GenMode::Barrier,
+        kernels: tally.per_mode[0].kernels(),
+        targets: targets_for(&configs),
+        stats: tally.per_mode[0].per_target.clone(),
+    };
+    assert_eq!(
+        render_campaign_table(&merged),
+        reference,
+        "3-shard merge diverged from the single run"
+    );
+
+    // Kill after half the jobs (torn final record), resume from the journal.
+    let journal = temp("resume");
+    run_modes_campaign_sharded(
+        &scheduler,
+        &modes,
+        &configs,
+        &options,
+        ShardSelect::whole(),
+        Some(&JournalOptions::create(&journal)),
+    )
+    .expect("full journaled campaign");
+    let keep = kernels / 2;
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    let bytes: usize = text.lines().take(1 + keep).map(|l| l.len() + 1).sum();
+    let mut raw = text.into_bytes();
+    raw.truncate(bytes + 11); // a torn half-record survives the kill
+    std::fs::write(&journal, raw).expect("truncate journal");
+    let start = Instant::now();
+    let resumed = run_modes_campaign_sharded(
+        &scheduler,
+        &modes,
+        &configs,
+        &options,
+        ShardSelect::whole(),
+        Some(&JournalOptions::resume(&journal)),
+    )
+    .expect("resumed campaign");
+    let resume_elapsed = start.elapsed();
+    assert_eq!(
+        render_campaign_table(&resumed.results[0]),
+        reference,
+        "resumed campaign diverged from the single run"
+    );
+    assert_eq!(resumed.metrics.jobs_resumed, keep as u64);
+
+    println!(
+        "  plain              {plain:>10.1?}   sharded(3) {sharded_elapsed:>10.1?}   resume({}/{kernels} journaled) {resume_elapsed:>10.1?}",
+        keep
+    );
+    println!(
+        "  journal overhead: {journal_bytes} byte(s) across 3 shard journals; tables byte-identical"
+    );
+    metrics.record("shard_count", 3.0);
+    metrics.record("jobs_resumed", resumed.metrics.jobs_resumed as f64);
+    metrics.record("jobs_replayed", resumed.metrics.jobs_replayed as f64);
+    metrics.record(
+        "journal_bytes",
+        (journal_bytes + resumed.metrics.journal_bytes) as f64,
+    );
+    paths.push(journal);
+    for path in paths {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 /// A fixed-latency job, standing in for campaign work whose cost is
 /// wall-clock rather than CPU (e.g. driving a real OpenCL device, where the
 /// harness waits on the GPU).
@@ -316,6 +441,7 @@ fn main() {
     bench_simulated_platform(iters);
     bench_emi_pruning(iters.max(30));
     bench_differential_dedupe(if quick { 4 } else { 12 }, &mut metrics);
+    bench_shard_resume(if quick { 8 } else { 24 }, &mut metrics);
     bench_scheduler_overlap();
     // CPU-bound scaling: speedup tracks the machine's core count (×1.0 on a
     // single-core box); the byte-identity assertion holds everywhere.

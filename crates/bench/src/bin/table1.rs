@@ -3,22 +3,54 @@
 //! kernel set).
 //!
 //! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode]
-//! [--threads N] [--paper-scale]` (the paper uses 100 per mode; the default
-//! here is 8 so the emulated run finishes quickly, and `--paper-scale`
-//! generates kernels at the paper's 100–10 000 work-item scale).
+//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! (the paper uses 100 per mode; the default here is 8 so the emulated run
+//! finishes quickly, and `--paper-scale` generates kernels at the paper's
+//! 100–10 000 work-item scale).
+//!
+//! `table1 merge J1 [J2 ...]` refolds shard journals into the table
+//! without re-running any job.
 
 use clsmith::GeneratorOptions;
-use fuzz_harness::{classify_configurations_with, render_table, CampaignOptions};
+use fuzz_harness::{
+    classify_configurations_sharded, merge_classification_journals, render_reliability_table,
+    CampaignOptions, ReliabilityRow,
+};
+
+fn print_table(rows: &[ReliabilityRow]) {
+    print!("{}", render_reliability_table(rows));
+    let judged: Vec<&ReliabilityRow> = rows.iter().filter(|r| r.kernels > 0).collect();
+    let agreements = judged
+        .iter()
+        .filter(|r| r.above_threshold == r.config.expected_above_threshold)
+        .count();
+    println!(
+        "\nClassification agrees with the paper for {agreements}/{} configurations.",
+        judged.len()
+    );
+}
 
 fn main() {
     let cli = bench::cli();
+    let configs = opencl_sim::all_configurations();
+
+    if let Some(paths) = &cli.merge {
+        let (rows, summary) =
+            merge_classification_journals(paths, &configs).unwrap_or_else(|e| bench::fail(e));
+        bench::report_refold_summary(&summary);
+        println!(
+            "Table 1 — configurations and reliability classification (merged from journals)\n"
+        );
+        print_table(&rows);
+        return;
+    }
+
     let scheduler = &cli.scheduler;
     let kernels_per_mode: usize = cli
         .positional
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
-    let configs = opencl_sim::all_configurations();
     let options = CampaignOptions {
         generator: cli.generator_or(GeneratorOptions {
             min_threads: 16,
@@ -27,54 +59,30 @@ fn main() {
         }),
         ..CampaignOptions::default()
     };
-    let rows = classify_configurations_with(scheduler, &configs, kernels_per_mode, &options);
-    let headers: Vec<String> = [
-        "Conf.",
-        "SDK",
-        "Device",
-        "Driver/compiler",
-        "OpenCL",
-        "Device type",
-        "Failure %",
-        "Above threshold?",
-        "Paper",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
-    let mut table = Vec::new();
-    let mut agreements = 0usize;
-    for row in &rows {
-        let agree = row.above_threshold == row.config.expected_above_threshold;
-        if agree {
-            agreements += 1;
-        }
-        table.push(vec![
-            row.config.id.to_string(),
-            row.config.sdk.to_string(),
-            row.config.device.to_string(),
-            row.config.driver.to_string(),
-            row.config.opencl.to_string(),
-            row.config.device_type.name().to_string(),
-            format!("{:.1}", row.failure_fraction * 100.0),
-            if row.above_threshold { "yes" } else { "no" }.to_string(),
-            if row.config.expected_above_threshold {
-                "yes"
-            } else {
-                "no"
-            }
-            .to_string(),
-        ]);
-    }
+    let sharded = classify_configurations_sharded(
+        scheduler,
+        &configs,
+        kernels_per_mode,
+        &options,
+        cli.shard,
+        cli.journal_options().as_ref(),
+    )
+    .unwrap_or_else(|e| bench::fail(e));
+    bench::report_shard_metrics(&cli, &sharded.metrics);
     println!("Table 1 — configurations and reliability classification");
     println!("({} scheduler worker(s))", scheduler.threads());
-    println!(
-        "({kernels_per_mode} kernels per mode, {} total per configuration)\n",
-        kernels_per_mode * 6
-    );
-    print!("{}", render_table(&headers, &table));
-    println!(
-        "\nClassification agrees with the paper for {agreements}/{} configurations.",
-        rows.len()
-    );
+    if cli.is_sharded() {
+        println!(
+            "(shard {} — PARTIAL table over {} of {} jobs)\n",
+            cli.shard,
+            sharded.metrics.jobs_resumed + sharded.metrics.jobs_replayed,
+            kernels_per_mode * 6
+        );
+    } else {
+        println!(
+            "({kernels_per_mode} kernels per mode, {} total per configuration)\n",
+            kernels_per_mode * 6
+        );
+    }
+    print_table(&sharded.rows);
 }

@@ -3,22 +3,49 @@
 //! percentage per (configuration, optimisation level).
 //!
 //! Usage: `cargo run --release -p bench --bin table4 -- [kernels-per-mode]
-//! [--threads N] [--paper-scale]` (the paper uses 10 000 per mode; default
-//! here is 20, and `--paper-scale` generates kernels at the paper's
-//! 100–10 000 work-item scale).
+//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! (the paper uses 10 000 per mode; default here is 20, and `--paper-scale`
+//! generates kernels at the paper's 100–10 000 work-item scale).
+//!
+//! All six modes form one mode-major job space, so a `--shard I/N` split
+//! carves the whole table, not a single mode.  `table4 merge J1 [J2 ...]`
+//! refolds shard journals into the per-mode blocks without re-running
+//! anything.
 
 use clsmith::{GenMode, GeneratorOptions};
-use fuzz_harness::{render_campaign_table, run_mode_campaign_with, CampaignOptions};
+use fuzz_harness::{
+    merge_mode_campaign_journals, render_campaign_table, run_modes_campaign_sharded,
+    CampaignOptions, CampaignResult,
+};
+
+fn print_blocks(results: &[CampaignResult]) {
+    for result in results {
+        println!("{} ({} kernels)", result.mode.name(), result.kernels);
+        print!("{}", render_campaign_table(result));
+        println!();
+    }
+}
 
 fn main() {
     let cli = bench::cli();
+    let configs = opencl_sim::above_threshold_configurations();
+
+    if let Some(paths) = &cli.merge {
+        let (results, summary) =
+            merge_mode_campaign_journals(paths, &configs).unwrap_or_else(|e| bench::fail(e));
+        bench::report_refold_summary(&summary);
+        println!("Table 4 — CLsmith campaigns over the above-threshold configurations");
+        println!("(merged from journals)\n");
+        print_blocks(&results);
+        return;
+    }
+
     let scheduler = &cli.scheduler;
     let kernels: usize = cli
         .positional
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
-    let configs = opencl_sim::above_threshold_configurations();
     let options = CampaignOptions {
         kernels,
         generator: cli.generator_or(GeneratorOptions {
@@ -28,16 +55,31 @@ fn main() {
         }),
         ..CampaignOptions::default()
     };
+    let sharded = run_modes_campaign_sharded(
+        scheduler,
+        &GenMode::ALL,
+        &configs,
+        &options,
+        cli.shard,
+        cli.journal_options().as_ref(),
+    )
+    .unwrap_or_else(|e| bench::fail(e));
+    bench::report_shard_metrics(&cli, &sharded.metrics);
     println!("Table 4 — CLsmith campaigns over the above-threshold configurations");
-    println!(
-        "({} kernels per mode over {} worker(s); the paper uses 10 000)\n",
-        kernels,
-        scheduler.threads()
-    );
-    for mode in GenMode::ALL {
-        let result = run_mode_campaign_with(scheduler, mode, &configs, &options);
-        println!("{} ({} kernels)", mode.name(), result.kernels);
-        print!("{}", render_campaign_table(&result));
-        println!();
+    if cli.is_sharded() {
+        println!(
+            "(shard {} — PARTIAL tables over {} of {} jobs, {} worker(s))\n",
+            cli.shard,
+            sharded.metrics.jobs_resumed + sharded.metrics.jobs_replayed,
+            kernels * GenMode::ALL.len(),
+            scheduler.threads()
+        );
+    } else {
+        println!(
+            "({} kernels per mode over {} worker(s); the paper uses 10 000)\n",
+            kernels,
+            scheduler.threads()
+        );
     }
+    print_blocks(&sharded.results);
 }

@@ -2,15 +2,39 @@
 //! variants, and per-target base-level outcomes.
 //!
 //! Usage: `cargo run --release -p bench --bin table5 -- [bases] [variants]
-//! [--threads N] [--paper-scale]` (the paper uses 180 bases and 40
-//! variants; defaults here are 4 and 10, and `--paper-scale` generates base
-//! kernels at the paper's 100–10 000 work-item scale).
+//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! (the paper uses 180 bases and 40 variants; defaults here are 4 and 10,
+//! and `--paper-scale` generates base kernels at the paper's 100–10 000
+//! work-item scale).
+//!
+//! The job space is the live-base index space (every shard regenerates the
+//! cheap base list deterministically, then judges only its slice).
+//! `table5 merge J1 [J2 ...]` refolds shard journals into the table
+//! without re-judging anything.
 
 use clsmith::GeneratorOptions;
-use fuzz_harness::{render_emi_table, run_emi_campaign_with, CampaignOptions, EmiCampaignOptions};
+use fuzz_harness::{
+    merge_emi_campaign_journals, render_emi_table, run_emi_campaign_sharded, CampaignOptions,
+    EmiCampaignOptions,
+};
 
 fn main() {
     let cli = bench::cli();
+    let configs = opencl_sim::above_threshold_configurations();
+
+    if let Some(paths) = &cli.merge {
+        let (result, summary) =
+            merge_emi_campaign_journals(paths, &configs).unwrap_or_else(|e| bench::fail(e));
+        bench::report_refold_summary(&summary);
+        println!("Table 5 — CLsmith+EMI results over the above-threshold configurations");
+        println!(
+            "({} live base programs, {} pruning variants each, merged from journals)\n",
+            result.bases, result.variants_per_base
+        );
+        print!("{}", render_emi_table(&result));
+        return;
+    }
+
     let scheduler = &cli.scheduler;
     let bases: usize = cli
         .positional
@@ -22,7 +46,6 @@ fn main() {
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
-    let configs = opencl_sim::above_threshold_configurations();
     let options = EmiCampaignOptions {
         bases,
         variants_per_base: variants,
@@ -35,13 +58,32 @@ fn main() {
             ..CampaignOptions::default()
         },
     };
-    let result = run_emi_campaign_with(scheduler, &configs, &options);
+    let sharded = run_emi_campaign_sharded(
+        scheduler,
+        &configs,
+        &options,
+        cli.shard,
+        cli.journal_options().as_ref(),
+    )
+    .unwrap_or_else(|e| bench::fail(e));
+    bench::report_shard_metrics(&cli, &sharded.metrics);
     println!("Table 5 — CLsmith+EMI results over the above-threshold configurations");
-    println!(
-        "({} live base programs, {} pruning variants each, {} worker(s))\n",
-        result.bases,
-        result.variants_per_base,
-        scheduler.threads()
-    );
-    print!("{}", render_emi_table(&result));
+    if cli.is_sharded() {
+        println!(
+            "(shard {} — PARTIAL table over {} of {} live bases, {} variants each, {} worker(s))\n",
+            cli.shard,
+            sharded.result.bases,
+            sharded.total_bases,
+            sharded.result.variants_per_base,
+            scheduler.threads()
+        );
+    } else {
+        println!(
+            "({} live base programs, {} pruning variants each, {} worker(s))\n",
+            sharded.result.bases,
+            sharded.result.variants_per_base,
+            scheduler.threads()
+        );
+    }
+    print!("{}", render_emi_table(&sharded.result));
 }

@@ -10,8 +10,26 @@
 //! count (default: `FUZZ_THREADS` or the machine's available parallelism).
 //! Thread count never changes the produced tables — only how fast they
 //! appear.
+//!
+//! The campaign binaries (`table1`, `table3`, `table4`, `table5`)
+//! additionally speak the shard/journal layer:
+//!
+//! * `--shard I/N` runs shard `I` of an `N`-way split of the campaign's
+//!   job space (any subset of shards is independently computable — on any
+//!   machine — because job seeds derive from the job index);
+//! * `--journal PATH` records every completed job to a resumable journal;
+//! * `--resume` skips the jobs already in the journal (a half-written
+//!   record from a mid-write kill is detected by checksum and dropped);
+//! * `<binary> merge J1 [J2 ...]` refolds any subset of shard journals
+//!   into the (full or partial) table without re-running anything.
+//!
+//! Tables go to stdout; shard/resume/merge progress lines go to stderr, so
+//! merged outputs can be diffed byte for byte.
+
+use std::path::PathBuf;
 
 use clsmith::{GenMode, GeneratorOptions};
+use fuzz_harness::shard::{JournalOptions, RefoldSummary, ShardMetrics, ShardSelect};
 use fuzz_harness::Scheduler;
 
 /// Command-line options shared by the table binaries.
@@ -25,6 +43,16 @@ pub struct Cli {
     /// scale (100–10 000 work-items, full permutation tables) instead of
     /// the fast emulation-friendly default.
     pub paper_scale: bool,
+    /// Which shard of the campaign's job space to run (`--shard I/N`;
+    /// defaults to the whole space).
+    pub shard: ShardSelect,
+    /// Journal path (`--journal PATH`).
+    pub journal: Option<PathBuf>,
+    /// Whether `--resume` was given (requires `--journal`).
+    pub resume: bool,
+    /// Journal paths of the `merge` subcommand, when invoked as
+    /// `<binary> merge J1 [J2 ...]`.
+    pub merge: Option<Vec<PathBuf>>,
 }
 
 impl Cli {
@@ -39,25 +67,97 @@ impl Cli {
             fast_default
         }
     }
+
+    /// The shard executor's journal configuration implied by `--journal` /
+    /// `--resume`.
+    pub fn journal_options(&self) -> Option<JournalOptions> {
+        self.journal.as_ref().map(|path| JournalOptions {
+            path: path.clone(),
+            resume: self.resume,
+        })
+    }
+
+    /// Whether this run covers only part of the job space (so the printed
+    /// table is partial).
+    pub fn is_sharded(&self) -> bool {
+        self.shard.count > 1
+    }
+}
+
+/// Prints a parse/validation error and exits with status 2.
+pub fn usage_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Prints a campaign/journal error and exits with status 1.
+pub fn fail(err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(1);
+}
+
+/// Reports a sharded run's resume/journal metrics on stderr (stdout is
+/// reserved for the table, which merge outputs diff byte for byte).
+pub fn report_shard_metrics(cli: &Cli, metrics: &ShardMetrics) {
+    if cli.journal.is_none() && !cli.is_sharded() {
+        return;
+    }
+    eprintln!(
+        "shard {}: {} job(s) resumed from the journal, {} executed, journal {} byte(s){}",
+        cli.shard,
+        metrics.jobs_resumed,
+        metrics.jobs_replayed,
+        metrics.journal_bytes,
+        if metrics.dropped_bytes > 0 {
+            format!(", {} corrupt tail byte(s) dropped", metrics.dropped_bytes)
+        } else {
+            String::new()
+        }
+    );
+}
+
+/// Reports what a `merge` covered on stderr.
+pub fn report_refold_summary(summary: &RefoldSummary) {
+    eprintln!(
+        "merged {} journal(s): {}/{} job(s) of campaign {:?} (seed {:016x}){}",
+        summary.journals,
+        summary.jobs_folded,
+        summary.total_jobs,
+        summary.campaign,
+        summary.campaign_seed,
+        if summary.complete {
+            " — complete".to_string()
+        } else {
+            " — PARTIAL table".to_string()
+        }
+    );
 }
 
 /// Parses the command-line arguments shared by the table binaries:
-/// extracts `--threads N` (or `--threads=N`) and `--paper-scale`, and
-/// returns them with the remaining positional arguments.
+/// extracts `--threads N` (or `--threads=N`), `--paper-scale`,
+/// `--shard I/N`, `--journal PATH` and `--resume`, recognises the `merge`
+/// subcommand, and returns them with the remaining positional arguments.
 pub fn cli() -> Cli {
     let mut positional = Vec::new();
     let mut threads: Option<usize> = None;
     let mut paper_scale = false;
+    let mut shard = ShardSelect::whole();
+    let mut journal: Option<PathBuf> = None;
+    let mut resume = false;
     let parse = |value: Option<String>| -> usize {
         match value.as_deref().map(str::parse::<usize>) {
             Some(Ok(n)) => n,
-            _ => {
-                eprintln!(
-                    "error: --threads requires a non-negative integer, got {:?}",
-                    value.as_deref().unwrap_or("nothing")
-                );
-                std::process::exit(2);
-            }
+            _ => usage_error(format!(
+                "--threads requires a non-negative integer, got {:?}",
+                value.as_deref().unwrap_or("nothing")
+            )),
+        }
+    };
+    let parse_shard = |value: Option<String>| -> ShardSelect {
+        match value.as_deref().map(ShardSelect::parse) {
+            Some(Ok(s)) => s,
+            Some(Err(e)) => usage_error(e),
+            None => usage_error("--shard requires an I/N argument"),
         }
     };
     let mut args = std::env::args().skip(1);
@@ -68,16 +168,52 @@ pub fn cli() -> Cli {
             threads = Some(parse(Some(value.to_string())));
         } else if arg == "--paper-scale" {
             paper_scale = true;
+        } else if arg == "--shard" {
+            shard = parse_shard(args.next());
+        } else if let Some(value) = arg.strip_prefix("--shard=") {
+            shard = parse_shard(Some(value.to_string()));
+        } else if arg == "--journal" {
+            match args.next() {
+                Some(path) => journal = Some(PathBuf::from(path)),
+                None => usage_error("--journal requires a path"),
+            }
+        } else if let Some(value) = arg.strip_prefix("--journal=") {
+            journal = Some(PathBuf::from(value));
+        } else if arg == "--resume" {
+            resume = true;
         } else {
             positional.push(arg);
         }
+    }
+    let merge = if positional.first().map(String::as_str) == Some("merge") {
+        let paths: Vec<PathBuf> = positional[1..].iter().map(PathBuf::from).collect();
+        if paths.is_empty() {
+            usage_error("merge requires at least one journal path");
+        }
+        Some(paths)
+    } else {
+        None
+    };
+    if resume && journal.is_none() {
+        usage_error("--resume requires --journal PATH");
+    }
+    if merge.is_some() && (journal.is_some() || resume || shard.count > 1) {
+        usage_error("merge takes only journal paths (no --shard/--journal/--resume)");
     }
     let scheduler = threads
         .map(Scheduler::new)
         .unwrap_or_else(Scheduler::from_env);
     Cli {
-        positional,
+        positional: if merge.is_some() {
+            Vec::new()
+        } else {
+            positional
+        },
         scheduler,
         paper_scale,
+        shard,
+        journal,
+        resume,
+        merge,
     }
 }

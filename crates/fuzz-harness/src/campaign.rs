@@ -3,8 +3,14 @@
 
 use crate::differential::{classify, run_on_targets, targets_for, TestTarget, Verdict};
 use crate::exec::{job_seed, Job, Scheduler};
+use crate::journal::{checksum, JournalError};
+use crate::shard::{
+    parse_fields, refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable,
+    RefoldSummary, ShardMetrics, ShardSelect, ShardSpec,
+};
 use clsmith::{generate, GenMode, GeneratorOptions};
 use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Per-target tallies for a batch of kernels (one cell block of Table 4).
@@ -59,6 +65,174 @@ impl TargetStats {
         } else {
             (self.wrong + self.build_failures + self.crashes) as f64 / total as f64
         }
+    }
+}
+
+impl TargetStats {
+    /// Serializes to the journal's comma-separated count form
+    /// (`w,bf,c,to,ok`).
+    fn to_token(&self) -> String {
+        format!(
+            "{},{},{},{},{}",
+            self.wrong, self.build_failures, self.crashes, self.timeouts, self.ok
+        )
+    }
+
+    fn from_token(token: &str) -> Result<TargetStats, JournalError> {
+        let fields = parse_fields::<usize>(token, ',', "target stats")?;
+        if fields.len() != 5 {
+            return Err(JournalError::Format(format!(
+                "expected 5 target-stat counts, got {token:?}"
+            )));
+        }
+        Ok(TargetStats {
+            wrong: fields[0],
+            build_failures: fields[1],
+            crashes: fields[2],
+            timeouts: fields[3],
+            ok: fields[4],
+        })
+    }
+
+    fn absorb(&mut self, other: &TargetStats) {
+        self.wrong += other.wrong;
+        self.build_failures += other.build_failures;
+        self.crashes += other.crashes;
+        self.timeouts += other.timeouts;
+        self.ok += other.ok;
+    }
+}
+
+/// Serializes a row of per-target stats as `;`-joined count tokens (the
+/// shared backbone of the [`Mergeable`] campaign aggregates).
+fn stats_row_token(stats: &[TargetStats]) -> String {
+    if stats.is_empty() {
+        return "-".to_string();
+    }
+    stats
+        .iter()
+        .map(TargetStats::to_token)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn stats_row_from_token(token: &str) -> Result<Vec<TargetStats>, JournalError> {
+    if token == "-" {
+        return Ok(Vec::new());
+    }
+    token.split(';').map(TargetStats::from_token).collect()
+}
+
+fn merge_stats_rows(into: &mut [TargetStats], from: &[TargetStats]) {
+    assert_eq!(
+        into.len(),
+        from.len(),
+        "cannot merge tallies with different target counts"
+    );
+    for (a, b) in into.iter_mut().zip(from) {
+        a.absorb(b);
+    }
+}
+
+/// The aggregation state of one mode's campaign: per-target verdict tallies,
+/// folded from per-kernel verdict shards and mergeable across campaign
+/// shards (counts sum elementwise, so the merge is associative and
+/// commutative — any shard grouping folds to the same state).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModeTally {
+    /// Tallies per target, in target order.
+    pub per_target: Vec<TargetStats>,
+}
+
+impl ModeTally {
+    /// An empty tally over `targets` columns.
+    pub fn new(targets: usize) -> ModeTally {
+        ModeTally {
+            per_target: vec![TargetStats::default(); targets],
+        }
+    }
+
+    /// Folds one kernel's verdict shard in.
+    pub fn record(&mut self, verdicts: &[Verdict]) {
+        assert_eq!(verdicts.len(), self.per_target.len());
+        for (stat, verdict) in self.per_target.iter_mut().zip(verdicts) {
+            stat.record(*verdict);
+        }
+    }
+
+    /// Number of kernels folded in (every kernel contributes one verdict to
+    /// every target).
+    pub fn kernels(&self) -> usize {
+        self.per_target.first().map_or(0, TargetStats::total)
+    }
+}
+
+impl Mergeable for ModeTally {
+    fn merge(&mut self, other: ModeTally) {
+        merge_stats_rows(&mut self.per_target, &other.per_target);
+    }
+
+    fn serialize(&self) -> String {
+        stats_row_token(&self.per_target)
+    }
+
+    fn deserialize(text: &str) -> Result<ModeTally, JournalError> {
+        Ok(ModeTally {
+            per_target: stats_row_from_token(text)?,
+        })
+    }
+}
+
+/// The aggregation state of a multi-mode campaign (Table 4: all six modes):
+/// one [`ModeTally`] per mode, in mode order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiModeTally {
+    /// One tally per mode, in the order the campaign was submitted.
+    pub per_mode: Vec<ModeTally>,
+}
+
+impl MultiModeTally {
+    /// An empty tally for `modes` modes over `targets` columns each.
+    pub fn new(modes: usize, targets: usize) -> MultiModeTally {
+        MultiModeTally {
+            per_mode: vec![ModeTally::new(targets); modes],
+        }
+    }
+}
+
+impl Mergeable for MultiModeTally {
+    fn merge(&mut self, other: MultiModeTally) {
+        assert_eq!(
+            self.per_mode.len(),
+            other.per_mode.len(),
+            "cannot merge tallies with different mode counts"
+        );
+        for (a, b) in self.per_mode.iter_mut().zip(other.per_mode) {
+            a.merge(b);
+        }
+    }
+
+    fn serialize(&self) -> String {
+        if self.per_mode.is_empty() {
+            return "-".to_string();
+        }
+        self.per_mode
+            .iter()
+            .map(Mergeable::serialize)
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    fn deserialize(text: &str) -> Result<MultiModeTally, JournalError> {
+        if text == "-" {
+            return Ok(MultiModeTally::default());
+        }
+        Ok(MultiModeTally {
+            per_mode: text
+                .split('|')
+                .map(Mergeable::deserialize)
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -175,6 +349,227 @@ impl Job for KernelJob {
     }
 }
 
+/// One kernel's journal payload: its per-target verdict row, one letter per
+/// target (`k`/`w`/`b`/`c`/`t`).
+impl JournalPayload for Vec<Verdict> {
+    fn encode(&self) -> String {
+        if self.is_empty() {
+            return "-".to_string();
+        }
+        self.iter()
+            .map(|v| match v {
+                Verdict::Ok => 'k',
+                Verdict::WrongCode => 'w',
+                Verdict::BuildFailure => 'b',
+                Verdict::Crash => 'c',
+                Verdict::Timeout => 't',
+            })
+            .collect()
+    }
+
+    fn decode(text: &str) -> Result<Self, JournalError> {
+        if text == "-" {
+            return Ok(Vec::new());
+        }
+        text.chars()
+            .map(|c| match c {
+                'k' => Ok(Verdict::Ok),
+                'w' => Ok(Verdict::WrongCode),
+                'b' => Ok(Verdict::BuildFailure),
+                'c' => Ok(Verdict::Crash),
+                't' => Ok(Verdict::Timeout),
+                other => Err(JournalError::Format(format!(
+                    "unknown verdict letter {other:?} in {text:?}"
+                ))),
+            })
+            .collect()
+    }
+}
+
+/// A short fingerprint of the target column set, embedded in campaign
+/// descriptors so journals from runs over different configuration lists
+/// refuse to merge.
+fn target_fingerprint(targets: &[TestTarget]) -> u64 {
+    let labels: Vec<String> = targets.iter().map(TestTarget::label).collect();
+    checksum(labels.join("\n").as_bytes())
+}
+
+/// A mode name as a descriptor token (Table 4 names contain spaces).
+fn mode_token(mode: GenMode) -> String {
+    mode.name().replace(' ', "_")
+}
+
+fn mode_from_token(token: &str) -> Result<GenMode, JournalError> {
+    GenMode::ALL
+        .into_iter()
+        .find(|m| mode_token(*m) == token)
+        .ok_or_else(|| JournalError::Format(format!("unknown generation mode token {token:?}")))
+}
+
+/// A fingerprint of the base generator options, embedded in campaign
+/// descriptors so shards or resumes run at different generation scales
+/// (e.g. one with `--paper-scale`, one without) refuse to combine.
+/// `GeneratorOptions` is a flat value struct, so its `Debug` form is a
+/// stable serialization.
+pub(crate) fn generator_fingerprint(generator: &GeneratorOptions) -> u64 {
+    checksum(format!("{generator:?}").as_bytes())
+}
+
+/// The self-describing campaign descriptor of a (multi-)mode campaign
+/// journal: the modes, kernels per mode, and fingerprints of the generator
+/// options and target columns.
+pub fn mode_campaign_descriptor(
+    modes: &[GenMode],
+    kernels: usize,
+    generator: &GeneratorOptions,
+    targets: &[TestTarget],
+) -> String {
+    let names: Vec<String> = modes.iter().map(|m| mode_token(*m)).collect();
+    format!(
+        "modes:{}:k{kernels}:gen{:016x}:cfg{:016x}",
+        names.join("+"),
+        generator_fingerprint(generator),
+        target_fingerprint(targets)
+    )
+}
+
+/// Parses a [`mode_campaign_descriptor`] back into (modes, kernels per
+/// mode), validating the target fingerprint against `targets`.  (The
+/// generator fingerprint is not re-validated here — a merge has no
+/// generator options; journals only merge when their descriptors agree
+/// verbatim, which pins it across shards.)
+fn parse_mode_campaign_descriptor(
+    descriptor: &str,
+    targets: &[TestTarget],
+) -> Result<(Vec<GenMode>, usize), JournalError> {
+    let fields: Vec<&str> = descriptor.split(':').collect();
+    let bad = || JournalError::Format(format!("bad mode-campaign descriptor {descriptor:?}"));
+    if fields.len() != 5 || fields[0] != "modes" || !fields[3].starts_with("gen") {
+        return Err(bad());
+    }
+    let modes: Vec<GenMode> = fields[1]
+        .split('+')
+        .map(mode_from_token)
+        .collect::<Result<_, _>>()?;
+    let kernels: usize = fields[2]
+        .strip_prefix('k')
+        .ok_or_else(bad)?
+        .parse()
+        .map_err(|_| bad())?;
+    let expected = format!("cfg{:016x}", target_fingerprint(targets));
+    if fields[4] != expected {
+        return Err(JournalError::Mismatch(format!(
+            "journal was recorded over a different target set ({} vs {expected})",
+            fields[4]
+        )));
+    }
+    Ok((modes, kernels))
+}
+
+/// A sharded (multi-)mode campaign's outcome: per-mode partial results over
+/// this shard's slice, the mergeable tally behind them, and resume/journal
+/// metrics.
+#[derive(Debug)]
+pub struct ShardedModeCampaign {
+    /// One partial [`CampaignResult`] per submitted mode (tallies cover
+    /// only this shard's job slice).
+    pub results: Vec<CampaignResult>,
+    /// The underlying aggregation state ([`Mergeable`], one tally per
+    /// mode) — merge shards' tallies and rebuild results for a full table.
+    pub tally: MultiModeTally,
+    /// Shard/resume metrics.
+    pub metrics: ShardMetrics,
+}
+
+/// Builds per-mode results from a tally (used by sharded runs and journal
+/// merges alike, so both render through the identical path).
+fn mode_results_from_tally(
+    modes: &[GenMode],
+    targets: &[TestTarget],
+    tally: &MultiModeTally,
+) -> Vec<CampaignResult> {
+    modes
+        .iter()
+        .zip(&tally.per_mode)
+        .map(|(mode, mode_tally)| CampaignResult {
+            mode: *mode,
+            kernels: mode_tally.kernels(),
+            targets: targets.to_vec(),
+            stats: mode_tally.per_target.clone(),
+        })
+        .collect()
+}
+
+/// Runs one shard of a (multi-)mode campaign (Table 4 submits all six
+/// modes as one job space) with an optional resumable journal.
+///
+/// The job space is mode-major: job `g` is kernel `g % kernels` of mode
+/// `g / kernels`, seeded `job_seed(options.seed_offset, g % kernels)` —
+/// exactly the seed each kernel had under the historical per-mode
+/// campaigns, so sharded, resumed and merged runs reproduce their tallies
+/// bit for bit.
+pub fn run_modes_campaign_sharded(
+    scheduler: &Scheduler,
+    modes: &[GenMode],
+    configs: &[Configuration],
+    options: &CampaignOptions,
+    select: ShardSelect,
+    journal: Option<&JournalOptions>,
+) -> Result<ShardedModeCampaign, JournalError> {
+    let targets = Arc::new(targets_for(configs));
+    let kernels = options.kernels;
+    let descriptor = mode_campaign_descriptor(modes, kernels, &options.generator, &targets);
+    let total_jobs = (modes.len() * kernels) as u64;
+    let spec = ShardSpec::select(options.seed_offset, total_jobs, select);
+    let run = run_sharded::<KernelJob, _>(scheduler, &spec, &descriptor, journal, |g| {
+        let mode = modes[(g / kernels as u64) as usize];
+        let seed = job_seed(options.seed_offset, g % kernels as u64);
+        (
+            seed,
+            KernelJob {
+                mode,
+                seed,
+                generator: options.generator.clone(),
+                exec: options.exec.clone(),
+                targets: Arc::clone(&targets),
+            },
+        )
+    })?;
+    let mut tally = MultiModeTally::new(modes.len(), targets.len());
+    for (g, verdicts) in &run.outputs {
+        tally.per_mode[(g / kernels as u64) as usize].record(verdicts);
+    }
+    Ok(ShardedModeCampaign {
+        results: mode_results_from_tally(modes, &targets, &tally),
+        tally,
+        metrics: run.metrics,
+    })
+}
+
+/// Merges any subset of a mode campaign's shard journals back into per-mode
+/// results — the full Table 4 when the journals cover the whole job space,
+/// a partial one otherwise.
+pub fn merge_mode_campaign_journals(
+    paths: &[PathBuf],
+    configs: &[Configuration],
+) -> Result<(Vec<CampaignResult>, RefoldSummary), JournalError> {
+    let targets = targets_for(configs);
+    let first = paths.first().ok_or_else(|| {
+        JournalError::Mismatch("no journals to merge (expected at least one path)".into())
+    })?;
+    let header = crate::journal::load_journal(first)?.header;
+    let (modes, kernels) = parse_mode_campaign_descriptor(&header.campaign, &targets)?;
+    let (tally, summary) = refold_journals::<Vec<Verdict>, MultiModeTally>(
+        paths,
+        |campaign| campaign == header.campaign,
+        |_| Ok(MultiModeTally::new(modes.len(), targets.len())),
+        |tally, g, verdicts| {
+            tally.per_mode[(g / kernels as u64) as usize].record(&verdicts);
+        },
+    )?;
+    Ok((mode_results_from_tally(&modes, &targets, &tally), summary))
+}
+
 /// Runs a CLsmith campaign for one mode against the given configurations
 /// (both optimisation levels), reproducing one row block of Table 4.
 ///
@@ -187,7 +582,9 @@ pub fn run_mode_campaign(
     run_mode_campaign_with(&Scheduler::from_env(), mode, configs, options)
 }
 
-/// [`run_mode_campaign`] on an explicit scheduler.
+/// [`run_mode_campaign`] on an explicit scheduler — a thin fold over the
+/// shard executor ([`run_modes_campaign_sharded`]) covering the whole job
+/// space with no journal.
 ///
 /// Every kernel is an independent [`KernelJob`] seeded from
 /// `(options.seed_offset, kernel index)`, and per-kernel verdict shards are
@@ -199,29 +596,24 @@ pub fn run_mode_campaign_with(
     configs: &[Configuration],
     options: &CampaignOptions,
 ) -> CampaignResult {
-    let targets = Arc::new(targets_for(configs));
-    let jobs: Vec<KernelJob> = (0..options.kernels)
-        .map(|i| KernelJob {
-            mode,
-            seed: job_seed(options.seed_offset, i as u64),
-            generator: options.generator.clone(),
-            exec: options.exec.clone(),
-            targets: Arc::clone(&targets),
-        })
-        .collect();
-    let mut stats = vec![TargetStats::default(); targets.len()];
-    for verdicts in scheduler.run_all(jobs) {
-        for (stat, verdict) in stats.iter_mut().zip(verdicts) {
-            stat.record(verdict);
-        }
-    }
-    let targets = Arc::try_unwrap(targets).unwrap_or_else(|shared| (*shared).clone());
-    CampaignResult {
-        mode,
-        kernels: options.kernels,
-        targets,
-        stats,
-    }
+    let sharded = run_modes_campaign_sharded(
+        scheduler,
+        &[mode],
+        configs,
+        options,
+        ShardSelect::whole(),
+        None,
+    )
+    .expect("journal-less campaigns cannot fail");
+    let mut result = sharded
+        .results
+        .into_iter()
+        .next()
+        .expect("one mode was submitted");
+    // Historical signature: the result reports the requested batch size
+    // even for the degenerate zero-target case.
+    result.kernels = options.kernels;
+    result
 }
 
 /// Outcome of the §7.1 initial classification for one configuration.
@@ -234,6 +626,9 @@ pub struct ReliabilityRow {
     pub failure_fraction: f64,
     /// Whether the configuration lies above the reliability threshold.
     pub above_threshold: bool,
+    /// How many results were tallied for this configuration (0 in a
+    /// partial table that has not reached it yet — rendered as `–`).
+    pub kernels: usize,
 }
 
 /// The §7.1 reliability threshold: at most 25 % of the initial tests may be
@@ -254,7 +649,9 @@ pub fn classify_configurations(
     classify_configurations_with(&Scheduler::from_env(), configs, kernels_per_mode, options)
 }
 
-/// [`classify_configurations`] on an explicit scheduler.
+/// [`classify_configurations`] on an explicit scheduler — a thin fold over
+/// the shard executor ([`classify_configurations_sharded`]) covering the
+/// whole job space with no journal.
 ///
 /// All six modes' kernel jobs are submitted as **one** scheduler batch
 /// (mode-major job order), so the pool drains a single queue instead of
@@ -270,32 +667,72 @@ pub fn classify_configurations_with(
     kernels_per_mode: usize,
     options: &CampaignOptions,
 ) -> Vec<ReliabilityRow> {
-    let targets = Arc::new(targets_for(configs));
-    let mut jobs = Vec::with_capacity(GenMode::ALL.len() * kernels_per_mode);
-    for (mode_index, mode) in GenMode::ALL.iter().enumerate() {
-        let seed_offset = options.seed_offset + (mode_index as u64) * 100_000;
-        for i in 0..kernels_per_mode {
-            jobs.push(KernelJob {
-                mode: *mode,
-                seed: job_seed(seed_offset, i as u64),
-                generator: options.generator.clone(),
-                exec: options.exec.clone(),
-                targets: Arc::clone(&targets),
-            });
+    classify_configurations_sharded(
+        scheduler,
+        configs,
+        kernels_per_mode,
+        options,
+        ShardSelect::whole(),
+        None,
+    )
+    .expect("journal-less campaigns cannot fail")
+    .rows
+}
+
+/// The aggregation state of the §7.1 reliability classification: one pooled
+/// [`TargetStats`] per configuration (both optimisation levels folded
+/// together, as the paper does).  Counts sum elementwise, so shard merges
+/// are associative and commutative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassificationTally {
+    /// Pooled tallies per configuration, in configuration order.
+    pub per_config: Vec<TargetStats>,
+}
+
+impl ClassificationTally {
+    /// An empty tally over `configs` configurations.
+    pub fn new(configs: usize) -> ClassificationTally {
+        ClassificationTally {
+            per_config: vec![TargetStats::default(); configs],
         }
     }
-    // Pool the two optimisation levels of each configuration: target
-    // column 2k is configuration k at `-`, column 2k+1 at `+`
-    // (`targets_for` enumerates both levels per configuration in order).
-    let mut per_config = vec![TargetStats::default(); configs.len()];
-    for verdicts in scheduler.run_all(jobs) {
-        for (column, verdict) in verdicts.into_iter().enumerate() {
-            per_config[column / OptLevel::BOTH.len()].record(verdict);
+
+    /// Folds one kernel's per-target verdict row in, pooling the two
+    /// optimisation levels of each configuration (target column `2k` is
+    /// configuration `k` at `-`, column `2k+1` at `+`).
+    pub fn record(&mut self, verdicts: &[Verdict]) {
+        assert_eq!(verdicts.len(), self.per_config.len() * OptLevel::BOTH.len());
+        for (column, verdict) in verdicts.iter().enumerate() {
+            self.per_config[column / OptLevel::BOTH.len()].record(*verdict);
         }
     }
+}
+
+impl Mergeable for ClassificationTally {
+    fn merge(&mut self, other: ClassificationTally) {
+        merge_stats_rows(&mut self.per_config, &other.per_config);
+    }
+
+    fn serialize(&self) -> String {
+        stats_row_token(&self.per_config)
+    }
+
+    fn deserialize(text: &str) -> Result<ClassificationTally, JournalError> {
+        Ok(ClassificationTally {
+            per_config: stats_row_from_token(text)?,
+        })
+    }
+}
+
+/// Derives the §7.1 reliability rows from a classification tally — shared
+/// by live runs and journal merges so both render identically.
+pub fn reliability_rows(
+    configs: &[Configuration],
+    tally: &ClassificationTally,
+) -> Vec<ReliabilityRow> {
     configs
         .iter()
-        .zip(per_config)
+        .zip(&tally.per_config)
         .map(|(config, stats)| {
             let failure_fraction = stats.failure_fraction();
             // The paper additionally demotes the Xeon Phi (configuration 18)
@@ -309,9 +746,121 @@ pub fn classify_configurations_with(
                 config: config.clone(),
                 failure_fraction,
                 above_threshold,
+                kernels: stats.total(),
             }
         })
         .collect()
+}
+
+/// The self-describing campaign descriptor of a classification journal.
+pub fn classification_descriptor(
+    kernels_per_mode: usize,
+    generator: &GeneratorOptions,
+    targets: &[TestTarget],
+) -> String {
+    format!(
+        "classify:k{kernels_per_mode}:gen{:016x}:cfg{:016x}",
+        generator_fingerprint(generator),
+        target_fingerprint(targets)
+    )
+}
+
+fn validate_classification_descriptor(
+    descriptor: &str,
+    targets: &[TestTarget],
+) -> Result<usize, JournalError> {
+    let fields: Vec<&str> = descriptor.split(':').collect();
+    let bad = || JournalError::Format(format!("bad classification descriptor {descriptor:?}"));
+    if fields.len() != 4 || fields[0] != "classify" || !fields[2].starts_with("gen") {
+        return Err(bad());
+    }
+    let kernels: usize = fields[1]
+        .strip_prefix('k')
+        .ok_or_else(bad)?
+        .parse()
+        .map_err(|_| bad())?;
+    let expected = format!("cfg{:016x}", target_fingerprint(targets));
+    if fields[3] != expected {
+        return Err(JournalError::Mismatch(format!(
+            "journal was recorded over a different configuration set ({} vs {expected})",
+            fields[3]
+        )));
+    }
+    Ok(kernels)
+}
+
+/// A sharded classification run: partial rows over this shard's slice, the
+/// mergeable tally behind them, and resume/journal metrics.
+#[derive(Debug)]
+pub struct ShardedClassification {
+    /// Reliability rows derived from this shard's (partial) tally.
+    pub rows: Vec<ReliabilityRow>,
+    /// The underlying aggregation state.
+    pub tally: ClassificationTally,
+    /// Shard/resume metrics.
+    pub metrics: ShardMetrics,
+}
+
+/// Runs one shard of the §7.1 classification with an optional resumable
+/// journal.  The job space is mode-major over all six modes
+/// (`GenMode::ALL.len() * kernels_per_mode` jobs); seeds keep the
+/// historical derivation `job_seed(seed_offset + mode_index * 100_000,
+/// kernel_index)`.
+pub fn classify_configurations_sharded(
+    scheduler: &Scheduler,
+    configs: &[Configuration],
+    kernels_per_mode: usize,
+    options: &CampaignOptions,
+    select: ShardSelect,
+    journal: Option<&JournalOptions>,
+) -> Result<ShardedClassification, JournalError> {
+    let targets = Arc::new(targets_for(configs));
+    let descriptor = classification_descriptor(kernels_per_mode, &options.generator, &targets);
+    let total_jobs = (GenMode::ALL.len() * kernels_per_mode) as u64;
+    let spec = ShardSpec::select(options.seed_offset, total_jobs, select);
+    let run = run_sharded::<KernelJob, _>(scheduler, &spec, &descriptor, journal, |g| {
+        let mode_index = (g / kernels_per_mode as u64) as usize;
+        let seed_offset = options.seed_offset + (mode_index as u64) * 100_000;
+        let seed = job_seed(seed_offset, g % kernels_per_mode as u64);
+        (
+            seed,
+            KernelJob {
+                mode: GenMode::ALL[mode_index],
+                seed,
+                generator: options.generator.clone(),
+                exec: options.exec.clone(),
+                targets: Arc::clone(&targets),
+            },
+        )
+    })?;
+    let mut tally = ClassificationTally::new(configs.len());
+    for (_, verdicts) in &run.outputs {
+        tally.record(verdicts);
+    }
+    Ok(ShardedClassification {
+        rows: reliability_rows(configs, &tally),
+        tally,
+        metrics: run.metrics,
+    })
+}
+
+/// Merges any subset of a classification campaign's shard journals back
+/// into reliability rows.
+pub fn merge_classification_journals(
+    paths: &[PathBuf],
+    configs: &[Configuration],
+) -> Result<(Vec<ReliabilityRow>, RefoldSummary), JournalError> {
+    let targets = targets_for(configs);
+    let (tally, summary) = refold_journals::<Vec<Verdict>, ClassificationTally>(
+        paths,
+        |campaign| campaign.starts_with("classify:"),
+        |header| {
+            validate_classification_descriptor(&header.campaign, &targets)?;
+            Ok(ClassificationTally::new(configs.len()))
+        },
+        |tally, _, verdicts| tally.record(&verdicts),
+    )?;
+    Ok((reliability_rows(configs, &tally), summary))
 }
 
 /// Runs one kernel across the above-threshold targets and returns both raw
@@ -378,6 +927,131 @@ mod tests {
         assert!(result.stats.iter().all(|s| s.total() == 6));
         assert!(result.stats_for("9+").is_some());
         assert!(result.stats_for("99+").is_none());
+    }
+
+    #[test]
+    fn verdict_rows_and_tallies_round_trip_through_the_journal_forms() {
+        let row = vec![
+            Verdict::Ok,
+            Verdict::WrongCode,
+            Verdict::BuildFailure,
+            Verdict::Crash,
+            Verdict::Timeout,
+        ];
+        assert_eq!(row.encode(), "kwbct");
+        assert_eq!(Vec::<Verdict>::decode("kwbct").unwrap(), row);
+        assert_eq!(Vec::<Verdict>::decode("-").unwrap(), Vec::new());
+        assert!(Vec::<Verdict>::decode("kxz").is_err());
+
+        let mut tally = ModeTally::new(5);
+        tally.record(&row);
+        tally.record(&row);
+        let round = ModeTally::deserialize(&tally.serialize()).unwrap();
+        assert_eq!(round, tally);
+        assert_eq!(round.kernels(), 2);
+
+        let mut multi = MultiModeTally::new(2, 5);
+        multi.per_mode[0].record(&row);
+        multi.per_mode[1].record(&row);
+        let round = MultiModeTally::deserialize(&multi.serialize()).unwrap();
+        assert_eq!(round, multi);
+    }
+
+    #[test]
+    fn tally_merge_is_associative_and_matches_a_single_fold() {
+        let rows: Vec<Vec<Verdict>> = (0..12)
+            .map(|i| {
+                vec![
+                    if i % 3 == 0 {
+                        Verdict::WrongCode
+                    } else {
+                        Verdict::Ok
+                    },
+                    if i % 4 == 0 {
+                        Verdict::Crash
+                    } else {
+                        Verdict::Timeout
+                    },
+                ]
+            })
+            .collect();
+        let mut whole = ModeTally::new(2);
+        for row in &rows {
+            whole.record(row);
+        }
+        // Fold the same rows in three shards, merge in two groupings.
+        let shard = |range: std::ops::Range<usize>| {
+            let mut t = ModeTally::new(2);
+            for row in &rows[range] {
+                t.record(row);
+            }
+            t
+        };
+        let (a, b, c) = (shard(0..5), shard(5..8), shard(8..12));
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+        let mut right = b;
+        right.merge(c);
+        let mut right_first = a;
+        right_first.merge(right);
+        assert_eq!(left, whole);
+        assert_eq!(right_first, whole);
+    }
+
+    #[test]
+    fn mode_campaign_descriptor_round_trips_and_pins_the_target_set() {
+        let targets = targets_for(&[opencl_sim::configuration(1), opencl_sim::configuration(9)]);
+        let generator = GeneratorOptions::default();
+        let descriptor = mode_campaign_descriptor(&GenMode::ALL, 20, &generator, &targets);
+        let (modes, kernels) = parse_mode_campaign_descriptor(&descriptor, &targets).unwrap();
+        assert_eq!(modes, GenMode::ALL.to_vec());
+        assert_eq!(kernels, 20);
+        // A different target set refuses the descriptor.
+        let other = targets_for(&[opencl_sim::configuration(1)]);
+        assert!(parse_mode_campaign_descriptor(&descriptor, &other).is_err());
+        // Different generator options change the descriptor (so resumes
+        // across e.g. --paper-scale runs refuse to combine).
+        let paper = GeneratorOptions::paper_scale(GenMode::All, 0);
+        assert_ne!(
+            descriptor,
+            mode_campaign_descriptor(&GenMode::ALL, 20, &paper, &targets)
+        );
+    }
+
+    #[test]
+    fn sharded_mode_campaign_merges_to_the_single_run() {
+        let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(9)];
+        let options = CampaignOptions {
+            kernels: 7,
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 32,
+                ..GeneratorOptions::default()
+            },
+            seed_offset: 0xABCD,
+            ..CampaignOptions::default()
+        };
+        let scheduler = Scheduler::new(2);
+        let single = run_mode_campaign_with(&scheduler, GenMode::Basic, &configs, &options);
+        let mut merged: Option<MultiModeTally> = None;
+        for index in 0..3u32 {
+            let shard = run_modes_campaign_sharded(
+                &scheduler,
+                &[GenMode::Basic],
+                &configs,
+                &options,
+                crate::shard::ShardSelect { index, count: 3 },
+                None,
+            )
+            .unwrap();
+            match &mut merged {
+                None => merged = Some(shard.tally),
+                Some(t) => t.merge(shard.tally),
+            }
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.per_mode[0].per_target, single.stats);
     }
 
     #[test]

@@ -11,9 +11,15 @@
 
 use crate::campaign::CampaignOptions;
 use crate::exec::{job_seed, Job, Scheduler};
+use crate::journal::{checksum, JournalError};
+use crate::shard::{
+    refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable, RefoldSummary,
+    ShardMetrics, ShardSelect, ShardSpec,
+};
 use clsmith::{generate, prune_variant, GenMode, GeneratorOptions, PruneProbabilities};
 use opencl_sim::{Configuration, ExecMemo, ExecOptions, OptLevel, Session, TestOutcome};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -32,6 +38,20 @@ pub struct EmiStats {
     pub timeouts: usize,
     /// Bases whose variants all terminated with one uniform value ("stable").
     pub stable: usize,
+}
+
+impl EmiStats {
+    /// Whether no base has been tallied yet — a streaming/partial table
+    /// renders such columns as `–` rather than a misleading row of zeros.
+    pub fn is_empty(&self) -> bool {
+        self.base_fails
+            + self.wrong
+            + self.build_failures
+            + self.crashes
+            + self.timeouts
+            + self.stable
+            == 0
+    }
 }
 
 /// Result of an EMI campaign.
@@ -247,48 +267,309 @@ pub fn run_emi_campaign(
     run_emi_campaign_with(&Scheduler::from_env(), configs, options)
 }
 
-/// [`run_emi_campaign`] on an explicit scheduler: one [`EmiBaseJob`] per
-/// live base, judgement shards folded into the per-target [`EmiStats`] in
-/// base-index order.
+/// [`run_emi_campaign`] on an explicit scheduler — a thin fold over the
+/// shard executor ([`run_emi_campaign_sharded`]) covering the whole job
+/// space with no journal: one [`EmiBaseJob`] per live base, judgement
+/// shards folded into the per-target [`EmiStats`] in base-index order.
 pub fn run_emi_campaign_with(
     scheduler: &Scheduler,
     configs: &[Configuration],
     options: &EmiCampaignOptions,
 ) -> EmiCampaignResult {
-    let bases = generate_live_bases_with(scheduler, options);
-    let grid = Arc::new(pruning_grid(options.variants_per_base));
-    let shared_configs = Arc::new(configs.to_vec());
-    let mut labels = Vec::new();
+    run_emi_campaign_sharded(scheduler, configs, options, ShardSelect::whole(), None)
+        .expect("journal-less campaigns cannot fail")
+        .result
+}
+
+/// The aggregation state of an EMI campaign: per-target base-level tallies,
+/// folded from per-base judgement rows.  Counts sum elementwise, so shard
+/// merges are associative and commutative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EmiTally {
+    /// Tallies per (configuration, optimisation level) column.
+    pub per_target: Vec<EmiStats>,
+}
+
+impl EmiTally {
+    /// An empty tally over `targets` columns.
+    pub fn new(targets: usize) -> EmiTally {
+        EmiTally {
+            per_target: vec![EmiStats::default(); targets],
+        }
+    }
+
+    /// Folds one base's per-target judgement row in.
+    pub fn record(&mut self, judgements: &[BaseJudgement]) {
+        assert_eq!(judgements.len(), self.per_target.len());
+        for (stats, judgement) in self.per_target.iter_mut().zip(judgements) {
+            record_base(stats, *judgement);
+        }
+    }
+}
+
+impl Mergeable for EmiTally {
+    fn merge(&mut self, other: EmiTally) {
+        assert_eq!(
+            self.per_target.len(),
+            other.per_target.len(),
+            "cannot merge tallies with different target counts"
+        );
+        for (a, b) in self.per_target.iter_mut().zip(other.per_target) {
+            a.base_fails += b.base_fails;
+            a.wrong += b.wrong;
+            a.build_failures += b.build_failures;
+            a.crashes += b.crashes;
+            a.timeouts += b.timeouts;
+            a.stable += b.stable;
+        }
+    }
+
+    fn serialize(&self) -> String {
+        if self.per_target.is_empty() {
+            return "-".to_string();
+        }
+        self.per_target
+            .iter()
+            .map(|s| {
+                format!(
+                    "{},{},{},{},{},{}",
+                    s.base_fails, s.wrong, s.build_failures, s.crashes, s.timeouts, s.stable
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    fn deserialize(text: &str) -> Result<EmiTally, JournalError> {
+        if text == "-" {
+            return Ok(EmiTally::default());
+        }
+        let per_target = text
+            .split(';')
+            .map(|token| {
+                let fields = crate::shard::parse_fields::<usize>(token, ',', "EMI stats")?;
+                if fields.len() != 6 {
+                    return Err(JournalError::Format(format!(
+                        "expected 6 EMI counts, got {token:?}"
+                    )));
+                }
+                Ok(EmiStats {
+                    base_fails: fields[0],
+                    wrong: fields[1],
+                    build_failures: fields[2],
+                    crashes: fields[3],
+                    timeouts: fields[4],
+                    stable: fields[5],
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(EmiTally { per_target })
+    }
+}
+
+/// One base's journal payload: its per-target judgement row, two lowercase
+/// hex digits per column (a six-bit mask of
+/// `bad_base/wrong/build_failure/crash/timeout/stable`).
+impl JournalPayload for Vec<BaseJudgement> {
+    fn encode(&self) -> String {
+        if self.is_empty() {
+            return "-".to_string();
+        }
+        self.iter()
+            .map(|j| {
+                let bits = (j.bad_base as u8)
+                    | (j.wrong as u8) << 1
+                    | (j.build_failure as u8) << 2
+                    | (j.crash as u8) << 3
+                    | (j.timeout as u8) << 4
+                    | (j.stable as u8) << 5;
+                format!("{bits:02x}")
+            })
+            .collect()
+    }
+
+    fn decode(text: &str) -> Result<Self, JournalError> {
+        if text == "-" {
+            return Ok(Vec::new());
+        }
+        if !text.len().is_multiple_of(2) {
+            return Err(JournalError::Format(format!(
+                "judgement row has odd length: {text:?}"
+            )));
+        }
+        // Chunk over bytes, not `&text[..]` slices: a foreign journal's
+        // payload may hold multi-byte characters, and slicing at a
+        // non-boundary would panic instead of reporting the corruption.
+        text.as_bytes()
+            .chunks(2)
+            .map(|pair| {
+                let bits = std::str::from_utf8(pair)
+                    .ok()
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+                    .ok_or_else(|| {
+                        JournalError::Format(format!("bad judgement byte in {text:?}"))
+                    })?;
+                if bits >= 64 {
+                    return Err(JournalError::Format(format!(
+                        "judgement bits out of range in {text:?}"
+                    )));
+                }
+                Ok(BaseJudgement {
+                    bad_base: bits & 1 != 0,
+                    wrong: bits & 2 != 0,
+                    build_failure: bits & 4 != 0,
+                    crash: bits & 8 != 0,
+                    timeout: bits & 16 != 0,
+                    stable: bits & 32 != 0,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Column labels of an EMI campaign over `configs` (e.g. `1-`, `1+`, ...).
+fn emi_labels(configs: &[Configuration]) -> Vec<String> {
+    let mut labels = Vec::with_capacity(configs.len() * OptLevel::BOTH.len());
     for config in configs {
         for opt in OptLevel::BOTH {
             labels.push(config.label(opt));
         }
     }
-    let base_count = bases.len();
-    let jobs: Vec<EmiBaseJob> = bases
-        .into_iter()
-        .enumerate()
-        .map(|(base_index, base)| EmiBaseJob {
-            base,
-            base_index,
-            campaign_seed: options.campaign.seed_offset,
-            grid: Arc::clone(&grid),
-            configs: Arc::clone(&shared_configs),
-            exec: options.campaign.exec.clone(),
-        })
-        .collect();
-    let mut stats = vec![EmiStats::default(); labels.len()];
-    for judgements in scheduler.run_all(jobs) {
-        for (column, judgement) in judgements.into_iter().enumerate() {
-            record_base(&mut stats[column], judgement);
-        }
+    labels
+}
+
+/// The self-describing campaign descriptor of an EMI campaign journal:
+/// requested bases, variants per base, and a fingerprint of the target
+/// columns.
+pub fn emi_campaign_descriptor(options: &EmiCampaignOptions, configs: &[Configuration]) -> String {
+    let labels = emi_labels(configs);
+    format!(
+        "emi:b{}:v{}:gen{:016x}:cfg{:016x}",
+        options.bases,
+        pruning_grid(options.variants_per_base).len(),
+        crate::campaign::generator_fingerprint(&options.campaign.generator),
+        checksum(labels.join("\n").as_bytes())
+    )
+}
+
+fn parse_emi_descriptor(
+    descriptor: &str,
+    configs: &[Configuration],
+) -> Result<usize, JournalError> {
+    let fields: Vec<&str> = descriptor.split(':').collect();
+    let bad = || JournalError::Format(format!("bad EMI campaign descriptor {descriptor:?}"));
+    if fields.len() != 5 || fields[0] != "emi" || !fields[3].starts_with("gen") {
+        return Err(bad());
     }
-    EmiCampaignResult {
-        bases: base_count,
-        variants_per_base: grid.len(),
+    let variants: usize = fields[2]
+        .strip_prefix('v')
+        .ok_or_else(bad)?
+        .parse()
+        .map_err(|_| bad())?;
+    let labels = emi_labels(configs);
+    let expected = format!("cfg{:016x}", checksum(labels.join("\n").as_bytes()));
+    if fields[4] != expected {
+        return Err(JournalError::Mismatch(format!(
+            "journal was recorded over a different target set ({} vs {expected})",
+            fields[4]
+        )));
+    }
+    Ok(variants)
+}
+
+/// A sharded EMI campaign's outcome: the partial result over this shard's
+/// base slice, the mergeable tally behind it, and resume/journal metrics.
+#[derive(Debug)]
+pub struct ShardedEmiCampaign {
+    /// Partial [`EmiCampaignResult`] (its `bases` counts only this shard's
+    /// slice; `variants_per_base` and labels are campaign-global).
+    pub result: EmiCampaignResult,
+    /// The underlying aggregation state.
+    pub tally: EmiTally,
+    /// Shard/resume metrics.
+    pub metrics: ShardMetrics,
+    /// Live bases found across the whole campaign (the global job space).
+    pub total_bases: usize,
+}
+
+/// Runs one shard of the EMI campaign with an optional resumable journal.
+///
+/// Every shard regenerates the full live-base list (generation is a small
+/// fraction of judging cost, and acceptance scans candidates in index
+/// order, so all shards agree on the list bit for bit), then judges only
+/// the bases in its slice; the job space is the base index space.
+pub fn run_emi_campaign_sharded(
+    scheduler: &Scheduler,
+    configs: &[Configuration],
+    options: &EmiCampaignOptions,
+    select: ShardSelect,
+    journal: Option<&JournalOptions>,
+) -> Result<ShardedEmiCampaign, JournalError> {
+    let bases = Arc::new(generate_live_bases_with(scheduler, options));
+    let grid = Arc::new(pruning_grid(options.variants_per_base));
+    let shared_configs = Arc::new(configs.to_vec());
+    let labels = emi_labels(configs);
+    let campaign_seed = options.campaign.seed_offset;
+    let descriptor = emi_campaign_descriptor(options, configs);
+    let spec = ShardSpec::select(campaign_seed, bases.len() as u64, select);
+    let run = run_sharded::<EmiBaseJob, _>(scheduler, &spec, &descriptor, journal, |g| {
+        let base_index = g as usize;
+        (
+            job_seed(campaign_seed, g),
+            EmiBaseJob {
+                base: bases[base_index].clone(),
+                base_index,
+                campaign_seed,
+                grid: Arc::clone(&grid),
+                configs: Arc::clone(&shared_configs),
+                exec: options.campaign.exec.clone(),
+            },
+        )
+    })?;
+    let mut tally = EmiTally::new(labels.len());
+    let judged = run.outputs.len();
+    for (_, judgements) in &run.outputs {
+        tally.record(judgements);
+    }
+    Ok(ShardedEmiCampaign {
+        result: EmiCampaignResult {
+            bases: judged,
+            variants_per_base: grid.len(),
+            labels,
+            stats: tally.per_target.clone(),
+        },
+        tally,
+        metrics: run.metrics,
+        total_bases: bases.len(),
+    })
+}
+
+/// Merges any subset of an EMI campaign's shard journals back into an
+/// [`EmiCampaignResult`] — the full Table 5 when the journals cover every
+/// base, a partial one otherwise.
+pub fn merge_emi_campaign_journals(
+    paths: &[PathBuf],
+    configs: &[Configuration],
+) -> Result<(EmiCampaignResult, RefoldSummary), JournalError> {
+    let labels = emi_labels(configs);
+    let first = paths.first().ok_or_else(|| {
+        JournalError::Mismatch("no journals to merge (expected at least one path)".into())
+    })?;
+    let header = crate::journal::load_journal(first)?.header;
+    let variants_per_base = parse_emi_descriptor(&header.campaign, configs)?;
+    let (tally, summary) = refold_journals::<Vec<BaseJudgement>, EmiTally>(
+        paths,
+        |campaign| campaign == header.campaign,
+        |_| Ok(EmiTally::new(labels.len())),
+        |tally, _, judgements| tally.record(&judgements),
+    )?;
+    let result = EmiCampaignResult {
+        bases: summary.jobs_folded as usize,
+        variants_per_base,
         labels,
-        stats,
-    }
+        stats: tally.per_target.clone(),
+    };
+    Ok((result, summary))
 }
 
 /// What a single base program induced on a single target.
@@ -412,6 +693,73 @@ mod tests {
         assert_eq!(pruning_grid(100).len(), 40);
         let five = pruning_grid(5);
         assert_eq!(five.len(), 5);
+    }
+
+    #[test]
+    fn judgement_rows_and_emi_tallies_round_trip_through_the_journal_forms() {
+        let row = vec![
+            BaseJudgement {
+                bad_base: false,
+                wrong: true,
+                build_failure: false,
+                crash: true,
+                timeout: false,
+                stable: false,
+            },
+            BaseJudgement {
+                bad_base: false,
+                wrong: false,
+                build_failure: false,
+                crash: false,
+                timeout: false,
+                stable: true,
+            },
+        ];
+        let encoded = row.encode();
+        assert_eq!(encoded, "0a20");
+        assert_eq!(Vec::<BaseJudgement>::decode(&encoded).unwrap(), row);
+        assert_eq!(Vec::<BaseJudgement>::decode("-").unwrap(), Vec::new());
+        assert!(Vec::<BaseJudgement>::decode("0a2").is_err());
+        assert!(Vec::<BaseJudgement>::decode("ff").is_err());
+        // Multi-byte characters in a corrupted/foreign journal must surface
+        // as a format error, not a char-boundary panic.
+        assert!(Vec::<BaseJudgement>::decode("\u{1D11E}").is_err());
+
+        let mut tally = EmiTally::new(2);
+        tally.record(&row);
+        let round = EmiTally::deserialize(&tally.serialize()).unwrap();
+        assert_eq!(round, tally);
+        let mut doubled = tally.clone();
+        doubled.merge(tally.clone());
+        assert_eq!(doubled.per_target[0].wrong, 2 * tally.per_target[0].wrong);
+    }
+
+    #[test]
+    fn sharded_emi_campaign_merges_to_the_single_run() {
+        let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+        let options = small_options(3);
+        let scheduler = Scheduler::new(2);
+        let single = run_emi_campaign_with(&scheduler, &configs, &options);
+        let mut merged: Option<EmiTally> = None;
+        let mut judged = 0usize;
+        for index in 0..2u32 {
+            let shard = run_emi_campaign_sharded(
+                &scheduler,
+                &configs,
+                &options,
+                crate::shard::ShardSelect { index, count: 2 },
+                None,
+            )
+            .unwrap();
+            judged += shard.result.bases;
+            assert_eq!(shard.total_bases, single.bases);
+            match &mut merged {
+                None => merged = Some(shard.tally),
+                Some(t) => t.merge(shard.tally),
+            }
+        }
+        assert_eq!(judged, single.bases);
+        assert_eq!(merged.unwrap().per_target, single.stats);
     }
 
     #[test]

@@ -157,12 +157,35 @@ impl Scheduler {
     /// job-index order**, regardless of which workers ran what and in which
     /// order they finished.
     pub fn run<J: Job>(&self, jobs: Vec<J>) -> Vec<JobResult<J::Output>> {
+        self.run_streaming(jobs, |_, _| {})
+    }
+
+    /// [`Scheduler::run`] with a completion-order observer: `on_result` is
+    /// invoked on the collecting thread for every job **as it finishes**
+    /// (not in index order), before the batch-wide index-ordered result
+    /// vector is assembled.
+    ///
+    /// This is the seam the shard layer's journal hangs off: the observer
+    /// forwards each completed record to the journal writer thread while
+    /// the batch is still executing (feeding and collection overlap on
+    /// separate threads), so a process killed mid-batch has journaled
+    /// everything that finished more than a moment earlier — and workers
+    /// never touch IO.
+    pub fn run_streaming<J: Job>(
+        &self,
+        jobs: Vec<J>,
+        mut on_result: impl FnMut(usize, &JobResult<J::Output>),
+    ) -> Vec<JobResult<J::Output>> {
         let count = jobs.len();
         if self.threads == 1 || count <= 1 {
             return jobs
                 .into_iter()
                 .enumerate()
-                .map(|(i, job)| run_one(i, job))
+                .map(|(i, job)| {
+                    let result = run_one(i, job);
+                    on_result(i, &result);
+                    result
+                })
                 .collect();
         }
 
@@ -195,20 +218,28 @@ impl Scheduler {
             }
             drop(result_tx);
 
-            // Feed the bounded queue from this thread; back-pressure blocks
-            // the send when all workers are busy and the queue is full.
-            for item in jobs.into_iter().enumerate() {
-                job_tx
-                    .send(item)
-                    .expect("all workers exited with jobs pending");
-            }
-            drop(job_tx);
+            // Feed the bounded queue from its own thread (back-pressure
+            // blocks the send when all workers are busy and the queue is
+            // full) so that this thread collects — and hands to
+            // `on_result` — each result as it completes.  Feeding and
+            // collecting must overlap: a journal observer that only ran
+            // after the whole batch was enqueued would leave every
+            // already-finished result stranded in memory until the end of
+            // the campaign, exactly what the journal exists to prevent.
+            scope.spawn(move || {
+                for item in jobs.into_iter().enumerate() {
+                    job_tx
+                        .send(item)
+                        .expect("all workers exited with jobs pending");
+                }
+            });
 
             // Collect exactly `count` results.  Every job sends exactly one
             // result — even a panicking job, because the panic is caught
             // around `Job::run` — so this cannot hang.
             for (index, result) in result_rx.iter() {
                 debug_assert!(slots[index].is_none(), "job {index} reported twice");
+                on_result(index, &result);
                 slots[index] = Some(result);
             }
         });
@@ -303,6 +334,26 @@ mod tests {
     }
 
     #[test]
+    fn run_streaming_observes_every_result_exactly_once() {
+        // The observer fires in completion order (any order), on the
+        // collecting thread, once per job — the contract the campaign
+        // journal relies on.
+        for threads in [1usize, 4] {
+            let scheduler = Scheduler::new(threads);
+            let mut seen = Vec::new();
+            let results =
+                scheduler.run_streaming((0..32).map(Square).collect::<Vec<_>>(), |i, r| {
+                    assert_eq!(*r, JobResult::Completed((i * i) as u64));
+                    seen.push(i);
+                });
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "{threads} threads");
+            assert_eq!(results.len(), 32);
+        }
+    }
+
+    #[test]
     fn empty_and_single_batches_work() {
         let scheduler = Scheduler::new(4);
         assert_eq!(scheduler.run_all(Vec::<Square>::new()), Vec::<u64>::new());
@@ -360,6 +411,32 @@ mod tests {
         fn run(self) {
             std::thread::sleep(self.0);
         }
+    }
+
+    #[test]
+    fn run_streaming_delivers_results_while_the_batch_is_still_running() {
+        // The journal's crash guarantee rests on results reaching the
+        // observer as they finish, not after the whole batch is enqueued:
+        // with 8 × 30ms jobs on 2 workers (queue bound 1), the first
+        // callback must arrive well before the ~120ms total — if feeding
+        // and collection were sequential, every callback would fire at the
+        // very end.
+        let jobs: Vec<Sleep> = (0..8)
+            .map(|_| Sleep(std::time::Duration::from_millis(30)))
+            .collect();
+        let scheduler = Scheduler::new(2).with_queue_capacity(1);
+        let start = std::time::Instant::now();
+        let mut first_callback = None;
+        scheduler.run_streaming(jobs, |_, _| {
+            first_callback.get_or_insert_with(|| start.elapsed());
+        });
+        let total = start.elapsed();
+        let first = first_callback.expect("observer ran");
+        assert!(
+            first.as_secs_f64() <= 0.5 * total.as_secs_f64(),
+            "first result reached the observer only at {first:?} of {total:?} — \
+             collection is not overlapping execution"
+        );
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! The resumable on-disk campaign journal.
+//!
+//! A journal is an append-only text file recording, for one shard of one
+//! campaign, the outcome of every completed job.  It is the persistence
+//! substrate of the shard layer ([`crate::shard`]): kill a campaign at any
+//! point and the journal holds everything completed so far; point a resumed
+//! run (or the `merge` subcommand of a table binary) at it and the campaign
+//! continues — or renders a partial table — without re-executing a single
+//! journaled job.
+//!
+//! ## Format (version [`JOURNAL_FORMAT_VERSION`])
+//!
+//! One line per entry, space-separated single-token fields, every line
+//! carrying its own checksum ([`checksum`], FNV-1a 64):
+//!
+//! ```text
+//! CLFUZZ-JOURNAL 1 <campaign> <seed:016x> <total_jobs> <shard>/<of> <crc:016x>
+//! R <job_index> <job_seed:016x> <digest:016x> <payload> <crc:016x>
+//! R ...
+//! ```
+//!
+//! * The header is self-describing: format version, a campaign descriptor
+//!   (a single token encoding the driver and its scale parameters, used to
+//!   reject resumes/merges against the wrong campaign), the campaign seed,
+//!   the size of the job index space, and which shard of it this journal
+//!   covers.
+//! * Each record names its job index, the job's derived RNG seed, a digest
+//!   of the payload (the job's outcome digest, checked again on load), the
+//!   serialized per-job tally contribution, and the line checksum.
+//! * Payloads are produced by [`crate::shard::JournalPayload`] encoders and
+//!   must not contain whitespace or newlines; the writer enforces this.
+//!
+//! ## Robustness at the edges
+//!
+//! A process killed mid-write leaves a truncated final line.  [`load_journal`]
+//! verifies every line's checksum and **stops at the first invalid line**,
+//! reporting the byte offset of the last valid record so a resumed run can
+//! truncate the corrupt tail and append from there — a half-written record
+//! is dropped (and its job re-executed), never allowed to poison the
+//! campaign.
+//!
+//! ## Writer thread
+//!
+//! [`JournalWriter`] owns the file on a dedicated thread fed over an
+//! unbounded channel: the scheduler's collector hands completed records over
+//! as they arrive (completion order — the journal is an unordered set, the
+//! fold re-sorts by job index) and no worker ever blocks on journal IO.
+//! Each record is flushed as it is written, so a kill loses at most the
+//! few jobs still in flight (one per worker, plus whatever sits in the
+//! writer's channel and the line being written); everything already
+//! collected is on disk and a resumed run skips it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Version tag of the on-disk journal format.  Bump when the line format
+/// changes; [`load_journal`] rejects journals written by other versions.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Magic token opening every journal header line.
+pub const JOURNAL_MAGIC: &str = "CLFUZZ-JOURNAL";
+
+/// The checksum protecting every journal line: FNV-1a 64 over the line's
+/// bytes up to (and excluding) the trailing checksum field.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Errors surfaced by the journal and shard layer.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// A malformed header, record or payload.
+    Format(String),
+    /// A structurally valid journal that belongs to a different campaign,
+    /// shard or format version than the caller expected.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal IO error: {e}"),
+            JournalError::Format(msg) => write!(f, "malformed journal: {msg}"),
+            JournalError::Mismatch(msg) => write!(f, "journal mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The self-describing first line of a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Single-token campaign descriptor (driver kind + scale parameters,
+    /// e.g. `modes:BARRIER:k20:cfg1a2b3c4d`).  Resume and merge reject
+    /// journals whose descriptor does not match.
+    pub campaign: String,
+    /// The campaign seed every job seed derives from.
+    pub campaign_seed: u64,
+    /// Size of the campaign's job index space (across *all* shards).
+    pub total_jobs: u64,
+    /// Which shard of the job space this journal covers.
+    pub shard_index: u32,
+    /// How many shards the job space was partitioned into.
+    pub shard_count: u32,
+}
+
+impl JournalHeader {
+    fn render(&self) -> Result<String, JournalError> {
+        require_token("campaign descriptor", &self.campaign)?;
+        let body = format!(
+            "{JOURNAL_MAGIC} {JOURNAL_FORMAT_VERSION} {} {:016x} {} {}/{}",
+            self.campaign, self.campaign_seed, self.total_jobs, self.shard_index, self.shard_count
+        );
+        Ok(format!("{body} {:016x}", checksum(body.as_bytes())))
+    }
+
+    fn parse(line: &str) -> Option<JournalHeader> {
+        let body = verify_line_checksum(line)?;
+        let fields: Vec<&str> = body.split(' ').collect();
+        if fields.len() != 6 || fields[0] != JOURNAL_MAGIC {
+            return None;
+        }
+        if fields[1].parse::<u32>().ok()? != JOURNAL_FORMAT_VERSION {
+            return None;
+        }
+        let (shard_index, shard_count) = fields[5].split_once('/')?;
+        Some(JournalHeader {
+            campaign: fields[2].to_string(),
+            campaign_seed: u64::from_str_radix(fields[3], 16).ok()?,
+            total_jobs: fields[4].parse().ok()?,
+            shard_index: shard_index.parse().ok()?,
+            shard_count: shard_count.parse().ok()?,
+        })
+    }
+}
+
+/// One journaled job: its index in the campaign's job space, its derived
+/// RNG seed, the digest of its payload, and the serialized per-job tally
+/// contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Index of the job in the campaign's global job space.
+    pub job_index: u64,
+    /// The job's derived RNG seed (`job_seed(campaign_seed, index)` or the
+    /// driver's historical derivation), recorded for post-hoc analysis.
+    pub job_seed: u64,
+    /// Outcome digest: [`checksum`] of the payload bytes, stored separately
+    /// from the line checksum so merges can cross-check duplicate records.
+    pub digest: u64,
+    /// The serialized per-job contribution (a single whitespace-free token).
+    pub payload: String,
+}
+
+impl JournalRecord {
+    /// Builds a record for a payload, computing its outcome digest.
+    pub fn new(job_index: u64, job_seed: u64, payload: String) -> JournalRecord {
+        let digest = checksum(payload.as_bytes());
+        JournalRecord {
+            job_index,
+            job_seed,
+            digest,
+            payload,
+        }
+    }
+
+    fn render(&self) -> Result<String, JournalError> {
+        require_token("record payload", &self.payload)?;
+        let body = format!(
+            "R {} {:016x} {:016x} {}",
+            self.job_index, self.job_seed, self.digest, self.payload
+        );
+        Ok(format!("{body} {:016x}", checksum(body.as_bytes())))
+    }
+
+    fn parse(line: &str) -> Option<JournalRecord> {
+        let body = verify_line_checksum(line)?;
+        let fields: Vec<&str> = body.split(' ').collect();
+        if fields.len() != 5 || fields[0] != "R" {
+            return None;
+        }
+        let record = JournalRecord {
+            job_index: fields[1].parse().ok()?,
+            job_seed: u64::from_str_radix(fields[2], 16).ok()?,
+            digest: u64::from_str_radix(fields[3], 16).ok()?,
+            payload: fields[4].to_string(),
+        };
+        // The digest is an independent check on the payload itself (the line
+        // checksum already covered it, but merges compare digests across
+        // journals, so a record whose digest lies about its payload is
+        // corrupt).
+        (checksum(record.payload.as_bytes()) == record.digest).then_some(record)
+    }
+}
+
+/// Rejects tokens that would break the space-separated line format.
+fn require_token(what: &str, token: &str) -> Result<(), JournalError> {
+    if token.is_empty() || token.contains(char::is_whitespace) {
+        return Err(JournalError::Format(format!(
+            "{what} must be a non-empty whitespace-free token, got {token:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Splits `line` into (body, crc) and verifies the checksum; returns the
+/// body on success.
+fn verify_line_checksum(line: &str) -> Option<&str> {
+    let (body, crc) = line.rsplit_once(' ')?;
+    let crc = u64::from_str_radix(crc, 16).ok()?;
+    (checksum(body.as_bytes()) == crc).then_some(body)
+}
+
+/// A journal read back from disk: the header, every valid record, and how
+/// much of the file they account for.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The parsed header.
+    pub header: JournalHeader,
+    /// Every record whose checksum verified, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Byte offset just past the last valid line — a resumed writer
+    /// truncates the file here before appending.
+    pub valid_bytes: u64,
+    /// Bytes past `valid_bytes` (a truncated or corrupt tail, dropped).
+    pub dropped_bytes: u64,
+}
+
+/// Reads a journal, verifying every line's checksum and dropping the
+/// corrupt tail a mid-write kill leaves behind (see the module docs).
+///
+/// Returns `Format` if the header itself is missing or invalid — an empty
+/// or headerless file is not a journal.
+pub fn load_journal(path: &Path) -> Result<LoadedJournal, JournalError> {
+    let mut file = File::open(path)?;
+    let mut raw = Vec::new();
+    file.read_to_end(&mut raw)?;
+    let mut offset = 0usize;
+    let mut header: Option<JournalHeader> = None;
+    let mut records = Vec::new();
+    let mut valid_bytes = 0usize;
+    while offset < raw.len() {
+        // A line is only complete (and only checksummed) once its newline
+        // is on disk; anything after the last newline is in-flight tail.
+        let Some(nl) = raw[offset..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let Ok(line) = std::str::from_utf8(&raw[offset..offset + nl]) else {
+            break;
+        };
+        if header.is_none() {
+            match JournalHeader::parse(line) {
+                Some(h) => header = Some(h),
+                None => break,
+            }
+        } else {
+            match JournalRecord::parse(line) {
+                Some(r) => records.push(r),
+                None => break,
+            }
+        }
+        offset += nl + 1;
+        valid_bytes = offset;
+    }
+    let header = header.ok_or_else(|| {
+        JournalError::Format(format!("{} has no valid journal header", path.display()))
+    })?;
+    Ok(LoadedJournal {
+        header,
+        records,
+        valid_bytes: valid_bytes as u64,
+        dropped_bytes: (raw.len() - valid_bytes) as u64,
+    })
+}
+
+/// Message protocol between the shard executor and the writer thread.
+enum WriterMessage {
+    Record(JournalRecord),
+    Finish,
+}
+
+/// The journal writer: a dedicated IO thread owning the file, fed over an
+/// unbounded channel so the scheduler (and its workers) never block on disk.
+#[derive(Debug)]
+pub struct JournalWriter {
+    tx: mpsc::Sender<WriterMessage>,
+    handle: Option<JoinHandle<Result<u64, JournalError>>>,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) the journal at `path` and writes the header.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<JournalWriter, JournalError> {
+        let header_line = header.render()?;
+        let mut file = File::create(path)?;
+        file.write_all(header_line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(JournalWriter::spawn(path, file))
+    }
+
+    /// Reopens an existing journal for appending, first truncating it to
+    /// `valid_bytes` (dropping the corrupt tail reported by
+    /// [`load_journal`]).
+    pub fn append(path: &Path, valid_bytes: u64) -> Result<JournalWriter, JournalError> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_bytes)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(JournalWriter::spawn(path, file))
+    }
+
+    fn spawn(path: &Path, file: File) -> JournalWriter {
+        let (tx, rx) = mpsc::channel::<WriterMessage>();
+        let handle = std::thread::spawn(move || -> Result<u64, JournalError> {
+            let mut out = BufWriter::new(file);
+            while let Ok(WriterMessage::Record(record)) = rx.recv() {
+                out.write_all(record.render()?.as_bytes())?;
+                out.write_all(b"\n")?;
+                // Flush per record: a kill at any job boundary then loses at
+                // most the (incomplete, checksummed-out) line in flight.
+                out.flush()?;
+            }
+            let mut file = out.into_inner().map_err(|e| JournalError::Io(e.into()))?;
+            file.flush()?;
+            Ok(file.seek(SeekFrom::End(0))?)
+        });
+        JournalWriter {
+            tx,
+            handle: Some(handle),
+            path: path.to_path_buf(),
+        }
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Queues one record for writing.  Never blocks on IO; the write happens
+    /// on the writer thread.
+    pub fn record(&self, record: JournalRecord) {
+        // A send can only fail if the writer thread died (e.g. disk full);
+        // the error surfaces from `finish`, which owns the thread's result.
+        let _ = self.tx.send(WriterMessage::Record(record));
+    }
+
+    /// Stops the writer thread, flushes, and returns the final file size in
+    /// bytes.
+    pub fn finish(mut self) -> Result<u64, JournalError> {
+        let _ = self.tx.send(WriterMessage::Finish);
+        let handle = self.handle.take().expect("journal writer already finished");
+        handle
+            .join()
+            .unwrap_or_else(|_| Err(JournalError::Format("journal writer panicked".into())))
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WriterMessage::Finish);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "clfuzz-journal-test-{}-{}-{name}.log",
+            std::process::id(),
+            // Distinct per test invocation within a process.
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-"),
+        ))
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            campaign: "test:k4".into(),
+            campaign_seed: 0xC0FFEE,
+            total_jobs: 4,
+            shard_index: 0,
+            shard_count: 1,
+        }
+    }
+
+    fn write_journal(path: &Path, records: usize) {
+        let writer = JournalWriter::create(path, &header()).unwrap();
+        for i in 0..records {
+            writer.record(JournalRecord::new(
+                i as u64,
+                100 + i as u64,
+                format!("p{i}"),
+            ));
+        }
+        writer.finish().unwrap();
+    }
+
+    #[test]
+    fn header_and_records_round_trip() {
+        let path = temp_path("roundtrip");
+        write_journal(&path, 4);
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.header, header());
+        assert_eq!(loaded.records.len(), 4);
+        assert_eq!(loaded.dropped_bytes, 0);
+        for (i, r) in loaded.records.iter().enumerate() {
+            assert_eq!(r.job_index, i as u64);
+            assert_eq!(r.job_seed, 100 + i as u64);
+            assert_eq!(r.payload, format!("p{i}"));
+            assert_eq!(r.digest, checksum(r.payload.as_bytes()));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_final_record_is_detected_and_dropped() {
+        // Simulate a mid-write kill: chop the file inside its last record.
+        let path = temp_path("truncated");
+        write_journal(&path, 4);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.valid_bytes, full);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 7)
+            .unwrap();
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(
+            loaded.records.len(),
+            3,
+            "the half-written record must be dropped"
+        );
+        assert!(loaded.dropped_bytes > 0);
+        // The reported valid prefix ends exactly after record 3's newline, so
+        // a resumed writer can truncate there and append record 3 afresh.
+        let writer = JournalWriter::append(&path, loaded.valid_bytes).unwrap();
+        writer.record(JournalRecord::new(3, 103, "p3".into()));
+        writer.finish().unwrap();
+        let healed = load_journal(&path).unwrap();
+        assert_eq!(healed.records.len(), 4);
+        assert_eq!(healed.records[3].payload, "p3");
+        assert_eq!(healed.dropped_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_byte_invalidates_the_checksum() {
+        // Flip one payload byte in the middle of the file: that record and
+        // everything after it are dropped (an append-only journal is only
+        // ever trusted up to its first bad line).
+        let path = temp_path("bitflip");
+        write_journal(&path, 4);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let target = text.find("p2").unwrap();
+        bytes[target + 1] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_or_invalid_header_is_an_error() {
+        let path = temp_path("noheader");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        assert!(matches!(load_journal(&path), Err(JournalError::Format(_))));
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(load_journal(&path), Err(JournalError::Format(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn payload_tokens_are_validated() {
+        assert!(JournalRecord::new(0, 0, "a b".into()).render().is_err());
+        assert!(JournalRecord::new(0, 0, String::new()).render().is_err());
+        assert!(JournalRecord::new(0, 0, "ok".into()).render().is_ok());
+    }
+
+    #[test]
+    fn wrong_format_version_is_rejected() {
+        let path = temp_path("version");
+        // Hand-craft a header claiming version 999 with a valid checksum.
+        let body = format!("{JOURNAL_MAGIC} 999 c:1 {:016x} 4 0/1", 7u64);
+        let line = format!("{body} {:016x}\n", checksum(body.as_bytes()));
+        std::fs::write(&path, line).unwrap();
+        assert!(load_journal(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -35,26 +35,43 @@ pub mod campaign;
 pub mod differential;
 pub mod emi_campaign;
 pub mod exec;
+pub mod journal;
 pub mod report;
+pub mod shard;
 
 pub use benchmark_emi::{
-    evaluate_benchmark, evaluate_benchmark_with, BenchmarkBodyJob, BenchmarkCell, CellOutcome,
-    EmiBenchmark,
+    evaluate_benchmark, evaluate_benchmark_with, BenchmarkBodyJob, BenchmarkCell, BodyShard,
+    CellOutcome, CellTally, EmiBenchmark,
 };
 pub use campaign::{
-    classify_configurations, classify_configurations_with, quick_differential, run_mode_campaign,
-    run_mode_campaign_with, CampaignOptions, CampaignResult, KernelJob, ReliabilityRow,
-    TargetStats, RELIABILITY_THRESHOLD,
+    classification_descriptor, classify_configurations, classify_configurations_sharded,
+    classify_configurations_with, merge_classification_journals, merge_mode_campaign_journals,
+    mode_campaign_descriptor, quick_differential, reliability_rows, run_mode_campaign,
+    run_mode_campaign_with, run_modes_campaign_sharded, CampaignOptions, CampaignResult,
+    ClassificationTally, KernelJob, ModeTally, MultiModeTally, ReliabilityRow,
+    ShardedClassification, ShardedModeCampaign, TargetStats, RELIABILITY_THRESHOLD,
 };
 pub use differential::{
     classify, differential_test, run_on_targets, run_on_targets_session, targets_for, TestTarget,
     Verdict,
 };
 pub use emi_campaign::{
-    generate_live_bases, generate_live_bases_with, judge_base, judge_base_sessions, pruning_grid,
-    run_emi_campaign, run_emi_campaign_with, EmiBaseJob, EmiCampaignOptions, EmiCampaignResult,
-    EmiStats, LivenessProbeJob,
+    emi_campaign_descriptor, generate_live_bases, generate_live_bases_with, judge_base,
+    judge_base_sessions, merge_emi_campaign_journals, pruning_grid, run_emi_campaign,
+    run_emi_campaign_sharded, run_emi_campaign_with, EmiBaseJob, EmiCampaignOptions,
+    EmiCampaignResult, EmiStats, EmiTally, LivenessProbeJob, ShardedEmiCampaign,
 };
 pub use exec::{expect_completed, job_seed, Job, JobFailure, JobResult, Scheduler};
+pub use journal::{
+    checksum, load_journal, JournalError, JournalHeader, JournalRecord, JournalWriter,
+    LoadedJournal, JOURNAL_FORMAT_VERSION, JOURNAL_MAGIC,
+};
 pub use opencl_sim::ExecutionTier;
-pub use report::{percent, render_campaign_table, render_emi_table, render_table};
+pub use report::{
+    percent, render_campaign_table, render_emi_table, render_reliability_table, render_table,
+    EMPTY_CELL,
+};
+pub use shard::{
+    refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable, RefoldSummary,
+    ShardMetrics, ShardRun, ShardSelect, ShardSpec,
+};

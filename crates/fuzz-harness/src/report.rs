@@ -1,27 +1,39 @@
 //! Plain-text table rendering for the reproduction binaries.
 //!
 //! The campaign-specific renderers ([`render_campaign_table`],
-//! [`render_emi_table`]) are the *single* source of the Table 4 / Table 5
-//! artefacts: the `table4`/`table5` binaries print them, and the scheduler
-//! determinism tests and throughput benchmark compare them byte for byte
-//! across worker counts — so any rendering change stays under the
-//! bit-identical-at-any-thread-count guarantee automatically.
+//! [`render_emi_table`], [`render_reliability_table`]) are the *single*
+//! source of the Table 1 / Table 4 / Table 5 artefacts: the table binaries
+//! print them, and the scheduler determinism, cache equivalence and shard
+//! equivalence tests (plus the throughput benchmark) compare them byte for
+//! byte — so any rendering change stays under the bit-identical guarantees
+//! automatically.
+//!
+//! All three renderers accept **partial** tallies — the streaming tables a
+//! shard, a journal prefix, or a subset of shard journals produces.  A
+//! target column (or Table 1 row) that no job has reached yet renders as
+//! [`EMPTY_CELL`] (`–`) instead of a misleading row of zeros, so a partial
+//! table is readable at a glance.
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{CampaignResult, ReliabilityRow};
 use crate::emi_campaign::EmiCampaignResult;
+
+/// What a cell with no tallied data renders as in partial tables.
+pub const EMPTY_CELL: &str = "–";
 
 /// Renders an ASCII table with a header row.
 pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
     let columns = headers
         .len()
         .max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    // Widths count chars, not bytes: `format!`'s padding is char-based, and
+    // the EMPTY_CELL dash is multi-byte.
     let mut widths = vec![0usize; columns];
     for (i, h) in headers.iter().enumerate() {
-        widths[i] = widths[i].max(h.len());
+        widths[i] = widths[i].max(h.chars().count());
     }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            widths[i] = widths[i].max(cell.len());
+            widths[i] = widths[i].max(cell.chars().count());
         }
     }
     let mut out = String::new();
@@ -64,11 +76,16 @@ pub fn percent(value: f64) -> String {
 
 /// Renders one mode block of Table 4 from a [`CampaignResult`]: per-target
 /// `w`/`bf`/`c`/`to`/`ok` counts, a `Total` column, and the `w%` row.
+///
+/// Streaming-aware: a target that no tallied kernel has reached (its stats
+/// total 0 — e.g. in a table refolded from an empty journal prefix)
+/// renders as [`EMPTY_CELL`] down its whole column.
 pub fn render_campaign_table(result: &CampaignResult) -> String {
     let headers: Vec<String> = std::iter::once(String::new())
         .chain(result.targets.iter().map(|t| t.label()))
         .chain(std::iter::once("Total".to_string()))
         .collect();
+    let any_data = result.stats.iter().any(|s| s.total() > 0);
     let mut rows = Vec::new();
     for (key, pick) in [("w", 0usize), ("bf", 1), ("c", 2), ("to", 3), ("ok", 4)] {
         let mut row = vec![key.to_string()];
@@ -82,22 +99,41 @@ pub fn render_campaign_table(result: &CampaignResult) -> String {
                 _ => stat.ok,
             };
             total += value;
-            row.push(value.to_string());
+            if stat.total() == 0 {
+                row.push(EMPTY_CELL.to_string());
+            } else {
+                row.push(value.to_string());
+            }
         }
-        row.push(total.to_string());
+        row.push(if any_data {
+            total.to_string()
+        } else {
+            EMPTY_CELL.to_string()
+        });
         rows.push(row);
     }
     let mut wpct = vec!["w%".to_string()];
     for stat in &result.stats {
-        wpct.push(percent(stat.wrong_code_percentage()));
+        if stat.total() == 0 {
+            wpct.push(EMPTY_CELL.to_string());
+        } else {
+            wpct.push(percent(stat.wrong_code_percentage()));
+        }
     }
-    wpct.push(percent(result.total_wrong_code_percentage()));
+    wpct.push(if any_data {
+        percent(result.total_wrong_code_percentage())
+    } else {
+        EMPTY_CELL.to_string()
+    });
     rows.push(wpct);
     render_table(&headers, &rows)
 }
 
 /// Renders Table 5 from an [`EmiCampaignResult`]: per-target base-level
 /// outcome counts.
+///
+/// Streaming-aware: a target with no judged base yet renders as
+/// [`EMPTY_CELL`] down its whole column.
 pub fn render_emi_table(result: &EmiCampaignResult) -> String {
     let headers: Vec<String> = std::iter::once(String::new())
         .chain(result.labels.iter().cloned())
@@ -113,6 +149,10 @@ pub fn render_emi_table(result: &EmiCampaignResult) -> String {
     ] {
         let mut row = vec![name.to_string()];
         for stat in &result.stats {
+            if stat.is_empty() {
+                row.push(EMPTY_CELL.to_string());
+                continue;
+            }
             let value = match pick {
                 0 => stat.base_fails,
                 1 => stat.wrong,
@@ -126,6 +166,57 @@ pub fn render_emi_table(result: &EmiCampaignResult) -> String {
         rows.push(row);
     }
     render_table(&headers, &rows)
+}
+
+/// Renders Table 1 from §7.1 reliability rows: configuration metadata, the
+/// measured failure percentage, the threshold judgement, and the paper's
+/// own judgement for comparison.
+///
+/// Streaming-aware: a configuration with no tallied kernels yet renders
+/// [`EMPTY_CELL`] in its data columns.
+pub fn render_reliability_table(rows: &[ReliabilityRow]) -> String {
+    let headers: Vec<String> = [
+        "Conf.",
+        "SDK",
+        "Device",
+        "Driver/compiler",
+        "OpenCL",
+        "Device type",
+        "Failure %",
+        "Above threshold?",
+        "Paper",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut table = Vec::new();
+    for row in rows {
+        let (failure, above) = if row.kernels == 0 {
+            (EMPTY_CELL.to_string(), EMPTY_CELL.to_string())
+        } else {
+            (
+                format!("{:.1}", row.failure_fraction * 100.0),
+                if row.above_threshold { "yes" } else { "no" }.to_string(),
+            )
+        };
+        table.push(vec![
+            row.config.id.to_string(),
+            row.config.sdk.to_string(),
+            row.config.device.to_string(),
+            row.config.driver.to_string(),
+            row.config.opencl.to_string(),
+            row.config.device_type.name().to_string(),
+            failure,
+            above,
+            if row.config.expected_above_threshold {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+        ]);
+    }
+    render_table(&headers, &table)
 }
 
 #[cfg(test)]
@@ -151,5 +242,100 @@ mod tests {
     fn percent_formatting() {
         assert_eq!(percent(7.65), "7.7");
         assert_eq!(percent(0.0), "0.0");
+    }
+
+    #[test]
+    fn partial_campaign_table_renders_empty_columns_explicitly() {
+        // Snapshot: a streaming Table 4 block where the second target has
+        // not been reached yet — its column reads `–`, not zeros.
+        use crate::campaign::TargetStats;
+        use crate::differential::TestTarget;
+        use opencl_sim::OptLevel;
+        let config = opencl_sim::configuration(1);
+        let result = CampaignResult {
+            mode: clsmith::GenMode::Basic,
+            kernels: 2,
+            targets: vec![
+                TestTarget::new(config.clone(), OptLevel::Disabled),
+                TestTarget::new(config, OptLevel::Enabled),
+            ],
+            stats: vec![
+                TargetStats {
+                    wrong: 1,
+                    ok: 1,
+                    ..TargetStats::default()
+                },
+                TargetStats::default(),
+            ],
+        };
+        let expected = "\
++----+------+----+-------+
+|    | 1-   | 1+ | Total |
++----+------+----+-------+
+| w  | 1    | –  | 1     |
+| bf | 0    | –  | 0     |
+| c  | 0    | –  | 0     |
+| to | 0    | –  | 0     |
+| ok | 1    | –  | 1     |
+| w% | 50.0 | –  | 50.0  |
++----+------+----+-------+
+";
+        assert_eq!(render_campaign_table(&result), expected);
+    }
+
+    #[test]
+    fn partial_emi_table_renders_empty_columns_explicitly() {
+        use crate::emi_campaign::EmiStats;
+        let result = EmiCampaignResult {
+            bases: 1,
+            variants_per_base: 4,
+            labels: vec!["1-".to_string(), "1+".to_string()],
+            stats: vec![
+                EmiStats::default(),
+                EmiStats {
+                    stable: 1,
+                    ..EmiStats::default()
+                },
+            ],
+        };
+        let expected = "\
++------------+----+----+
+|            | 1- | 1+ |
++------------+----+----+
+| base fails | –  | 0  |
+| w          | –  | 0  |
+| bf         | –  | 0  |
+| c          | –  | 0  |
+| to         | –  | 0  |
+| stable     | –  | 1  |
++------------+----+----+
+";
+        assert_eq!(render_emi_table(&result), expected);
+    }
+
+    #[test]
+    fn partial_reliability_table_renders_untallied_rows_explicitly() {
+        use crate::campaign::{reliability_rows, ClassificationTally};
+        let configs = vec![opencl_sim::configuration(1)];
+        let rows = reliability_rows(&configs, &ClassificationTally::new(1));
+        let table = render_reliability_table(&rows);
+        let data_line = table
+            .lines()
+            .find(|l| l.starts_with("| 1 "))
+            .expect("row for configuration 1");
+        assert!(
+            data_line.contains("| – "),
+            "untallied failure% must render as –: {data_line}"
+        );
+        // Once data arrives the same renderer shows the numbers.
+        let mut tally = ClassificationTally::new(1);
+        tally.record(&[
+            crate::differential::Verdict::Ok,
+            crate::differential::Verdict::Ok,
+        ]);
+        let rows = reliability_rows(&configs, &tally);
+        let table = render_reliability_table(&rows);
+        assert!(table.contains("| 0.0 "), "{table}");
+        assert!(table.contains("| yes "), "{table}");
     }
 }

@@ -1,0 +1,743 @@
+//! The shard/merge layer: every campaign driver runs as a set of **shards**
+//! over an explicit, serializable job index space, with an optional
+//! resumable journal ([`crate::journal`]) and deterministic merge.
+//!
+//! Three pieces:
+//!
+//! * [`ShardSpec`] / [`ShardSelect`] — a campaign's job space is
+//!   `0..total_jobs`; a spec names one contiguous slice of it (shard `i` of
+//!   `n`).  Because every job's seed is a pure function of the campaign
+//!   seed and the job *index* (`campaign_seed → splitmix → job_seed`), any
+//!   slice is independently computable on any machine.
+//! * [`run_sharded`] — the shared shard executor the drivers' `*_with`
+//!   forms are thin folds over: it resolves which jobs in the slice still
+//!   need to run (skipping journaled ones on `--resume`), executes them on
+//!   a [`Scheduler`], streams each completed record to the journal's writer
+//!   thread in completion order, and hands back every (index, output) pair
+//!   of the slice in job-index order.
+//! * [`Mergeable`] + [`refold_journals`] — aggregation states
+//!   (`ModeTally`, classification tables, EMI verdicts, benchmark rows)
+//!   serialize, deserialize and merge associatively, and any subset of
+//!   shard journals refolds into one aggregate for full or partial tables.
+//!
+//! The invariant the `shard_equivalence` integration test pins: for a fixed
+//! campaign seed, *(single process)* ≡ *(N shards merged)* ≡ *(killed at
+//! any job boundary, then resumed)* — bit-identical rendered tables.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::exec::{Job, JobResult, Scheduler};
+use crate::journal::{
+    load_journal, JournalError, JournalHeader, JournalRecord, JournalWriter, LoadedJournal,
+};
+
+/// A shard's slice of a campaign: the campaign seed, the size of the global
+/// job index space, and which contiguous slice of it this shard covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The campaign seed every job seed derives from.
+    pub campaign_seed: u64,
+    /// Size of the global job index space.
+    pub total_jobs: u64,
+    /// Index of this shard.
+    pub shard_index: u32,
+    /// Total number of shards the job space is partitioned into.
+    pub shard_count: u32,
+}
+
+impl ShardSpec {
+    /// The whole job space as a single shard.
+    pub fn full(campaign_seed: u64, total_jobs: u64) -> ShardSpec {
+        ShardSpec {
+            campaign_seed,
+            total_jobs,
+            shard_index: 0,
+            shard_count: 1,
+        }
+    }
+
+    /// Shard `select.index` of `select.count` over `0..total_jobs`.
+    pub fn select(campaign_seed: u64, total_jobs: u64, select: ShardSelect) -> ShardSpec {
+        ShardSpec {
+            campaign_seed,
+            total_jobs,
+            shard_index: select.index,
+            shard_count: select.count,
+        }
+    }
+
+    /// The contiguous job-index slice this shard covers.  The partition is
+    /// exact: consecutive shards tile `0..total_jobs` without gaps or
+    /// overlaps, and sizes differ by at most one job.
+    pub fn job_range(&self) -> Range<u64> {
+        let total = self.total_jobs as u128;
+        let count = self.shard_count.max(1) as u128;
+        let index = (self.shard_index as u128).min(count - 1);
+        let start = (total * index / count) as u64;
+        let end = (total * (index + 1) / count) as u64;
+        start..end
+    }
+
+    /// Number of jobs in this shard's slice.
+    pub fn jobs(&self) -> u64 {
+        let range = self.job_range();
+        range.end - range.start
+    }
+
+    /// The header a journal for this shard carries.
+    pub fn header(&self, campaign: &str) -> JournalHeader {
+        JournalHeader {
+            campaign: campaign.to_string(),
+            campaign_seed: self.campaign_seed,
+            total_jobs: self.total_jobs,
+            shard_index: self.shard_index,
+            shard_count: self.shard_count,
+        }
+    }
+}
+
+/// Which shard of how many — the `--shard I/N` selector of the table
+/// binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSelect {
+    /// Shard index, `0 <= index < count`.
+    pub index: u32,
+    /// Total shard count, at least 1.
+    pub count: u32,
+}
+
+impl ShardSelect {
+    /// The degenerate selector covering the whole job space.
+    pub fn whole() -> ShardSelect {
+        ShardSelect { index: 0, count: 1 }
+    }
+
+    /// Parses `"I/N"` (e.g. `"0/3"`), validating `I < N` and `N >= 1`.
+    pub fn parse(text: &str) -> Result<ShardSelect, String> {
+        let invalid = || format!("expected --shard I/N with I < N, got {text:?}");
+        let (index, count) = text.split_once('/').ok_or_else(invalid)?;
+        let index: u32 = index.parse().map_err(|_| invalid())?;
+        let count: u32 = count.parse().map_err(|_| invalid())?;
+        if count == 0 || index >= count {
+            return Err(invalid());
+        }
+        Ok(ShardSelect { index, count })
+    }
+}
+
+impl std::fmt::Display for ShardSelect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// An aggregation state that campaign shards fold into: it serializes to a
+/// single whitespace-free token, deserializes back, and merges
+/// **associatively** (merging per-shard aggregates in any grouping yields
+/// the same state as folding every job into one aggregate).
+pub trait Mergeable: Sized {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+    /// Serializes to a single whitespace-free token.
+    fn serialize(&self) -> String;
+    /// Parses a token produced by [`Mergeable::serialize`].
+    fn deserialize(text: &str) -> Result<Self, JournalError>;
+}
+
+/// A per-job output that can be journaled: encodes to a single
+/// whitespace-free token and decodes back to an identical value, so a
+/// resumed campaign folds journaled jobs bit-identically to executed ones.
+pub trait JournalPayload: Sized {
+    /// Encodes to a single whitespace-free token.
+    fn encode(&self) -> String;
+    /// Parses a token produced by [`JournalPayload::encode`].
+    fn decode(text: &str) -> Result<Self, JournalError>;
+}
+
+/// Where (and whether) a sharded run journals its progress.
+#[derive(Debug, Clone)]
+pub struct JournalOptions {
+    /// Journal file path.
+    pub path: PathBuf,
+    /// Resume: load the journal first, skip its jobs, and append; without
+    /// it the journal is created afresh (truncating any existing file).
+    pub resume: bool,
+}
+
+impl JournalOptions {
+    /// A fresh journal at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> JournalOptions {
+        JournalOptions {
+            path: path.into(),
+            resume: false,
+        }
+    }
+
+    /// Resume from (and append to) the journal at `path`.
+    pub fn resume(path: impl Into<PathBuf>) -> JournalOptions {
+        JournalOptions {
+            path: path.into(),
+            resume: true,
+        }
+    }
+}
+
+/// What a sharded run did: how much came from the journal, how much ran,
+/// and how big the journal grew.  Surfaced in the throughput bench JSON
+/// next to the `dedupe_*` axes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Jobs restored from the journal instead of executed.
+    pub jobs_resumed: u64,
+    /// Jobs executed by this run (after any resume skip).
+    pub jobs_replayed: u64,
+    /// Final size of the journal file in bytes (0 without a journal).
+    pub journal_bytes: u64,
+    /// Corrupt tail bytes dropped on resume (a mid-write kill's residue).
+    pub dropped_bytes: u64,
+    /// Shard count of the spec the run executed under.
+    pub shard_count: u32,
+}
+
+/// Output of [`run_sharded`]: every (job index, output) pair of the
+/// shard's slice in job-index order, plus run metrics.
+#[derive(Debug)]
+pub struct ShardRun<T> {
+    /// (global job index, job output) in ascending index order.
+    pub outputs: Vec<(u64, T)>,
+    /// Resume/journal metrics.
+    pub metrics: ShardMetrics,
+}
+
+/// Validates that a loaded journal belongs to the campaign and shard the
+/// caller is about to run.
+fn validate_header(
+    loaded: &JournalHeader,
+    expected: &JournalHeader,
+    path: &Path,
+) -> Result<(), JournalError> {
+    if loaded != expected {
+        return Err(JournalError::Mismatch(format!(
+            "{} was written by campaign {:?} (seed {:016x}, {} jobs, shard {}/{}), \
+             expected {:?} (seed {:016x}, {} jobs, shard {}/{})",
+            path.display(),
+            loaded.campaign,
+            loaded.campaign_seed,
+            loaded.total_jobs,
+            loaded.shard_index,
+            loaded.shard_count,
+            expected.campaign,
+            expected.campaign_seed,
+            expected.total_jobs,
+            expected.shard_index,
+            expected.shard_count,
+        )));
+    }
+    Ok(())
+}
+
+/// The shared shard executor (see the module docs).
+///
+/// `make_job` maps a global job index to its derived seed and job; it is
+/// called once per job the shard still needs to execute.  Completed jobs
+/// stream to the journal writer thread in completion order; outputs are
+/// returned in job-index order, so the caller's fold is oblivious to both
+/// scheduling and resumption.
+///
+/// A panicking job is re-raised deterministically (lowest failed index)
+/// *after* every completed job of the batch has been journaled — so even a
+/// campaign aborted by a poisoned job resumes from everything that
+/// finished.
+pub fn run_sharded<J, F>(
+    scheduler: &Scheduler,
+    spec: &ShardSpec,
+    campaign: &str,
+    journal: Option<&JournalOptions>,
+    make_job: F,
+) -> Result<ShardRun<J::Output>, JournalError>
+where
+    J: Job,
+    J::Output: JournalPayload,
+    F: Fn(u64) -> (u64, J),
+{
+    let range = spec.job_range();
+    let expected_header = spec.header(campaign);
+
+    // Phase 1: restore journaled outputs on resume.
+    let mut resumed: BTreeMap<u64, J::Output> = BTreeMap::new();
+    let mut dropped_bytes = 0u64;
+    let mut resume_from: Option<u64> = None;
+    if let Some(options) = journal {
+        if options.resume && options.path.exists() {
+            let LoadedJournal {
+                header,
+                records,
+                valid_bytes,
+                dropped_bytes: dropped,
+            } = load_journal(&options.path)?;
+            validate_header(&header, &expected_header, &options.path)?;
+            dropped_bytes = dropped;
+            resume_from = Some(valid_bytes);
+            for record in records {
+                if !range.contains(&record.job_index) {
+                    return Err(JournalError::Mismatch(format!(
+                        "{} contains job {} outside shard range {}..{}",
+                        options.path.display(),
+                        record.job_index,
+                        range.start,
+                        range.end
+                    )));
+                }
+                resumed.insert(record.job_index, J::Output::decode(&record.payload)?);
+            }
+        }
+    }
+
+    // Phase 2: build the jobs the shard still needs.
+    let mut pending: Vec<(u64, u64, J)> = Vec::new();
+    for index in range.clone() {
+        if !resumed.contains_key(&index) {
+            let (seed, job) = make_job(index);
+            pending.push((index, seed, job));
+        }
+    }
+
+    // Phase 3: execute, streaming completed records to the writer thread.
+    let writer = match journal {
+        Some(options) => Some(match resume_from {
+            Some(valid_bytes) => JournalWriter::append(&options.path, valid_bytes)?,
+            None => JournalWriter::create(&options.path, &expected_header)?,
+        }),
+        None => None,
+    };
+    let meta: Vec<(u64, u64)> = pending.iter().map(|(i, s, _)| (*i, *s)).collect();
+    let jobs: Vec<J> = pending.into_iter().map(|(_, _, job)| job).collect();
+    let results = scheduler.run_streaming(jobs, |batch_index, result| {
+        if let (Some(writer), JobResult::Completed(output)) = (&writer, result) {
+            let (index, seed) = meta[batch_index];
+            writer.record(JournalRecord::new(index, seed, output.encode()));
+        }
+    });
+    let journal_bytes = match writer {
+        Some(writer) => writer.finish()?,
+        None => 0,
+    };
+
+    // Phase 4: re-raise contained panics (after journaling), then merge
+    // fresh and resumed outputs in job-index order.
+    let fresh = crate::exec::expect_completed(results);
+    let jobs_resumed = resumed.len() as u64;
+    let jobs_replayed = fresh.len() as u64;
+    let mut outputs: BTreeMap<u64, J::Output> = resumed;
+    for ((index, _), output) in meta.into_iter().zip(fresh) {
+        outputs.insert(index, output);
+    }
+    Ok(ShardRun {
+        outputs: outputs.into_iter().collect(),
+        metrics: ShardMetrics {
+            jobs_resumed,
+            jobs_replayed,
+            journal_bytes,
+            dropped_bytes,
+            shard_count: spec.shard_count,
+        },
+    })
+}
+
+/// What a refold over a set of journals covered.
+#[derive(Debug, Clone)]
+pub struct RefoldSummary {
+    /// The campaign header shared by every journal (shard fields taken from
+    /// the first journal; they differ across shards by design).
+    pub campaign: String,
+    /// The campaign seed.
+    pub campaign_seed: u64,
+    /// Size of the global job space.
+    pub total_jobs: u64,
+    /// Distinct jobs folded.
+    pub jobs_folded: u64,
+    /// Whether every job of the space was present (a complete table).
+    pub complete: bool,
+    /// Total bytes across the journal files.
+    pub journal_bytes: u64,
+    /// Number of journal files merged.
+    pub journals: usize,
+}
+
+/// Refolds any subset of a campaign's shard journals into one aggregate:
+/// loads every journal, validates they belong to the same campaign, sorts
+/// all records by job index (duplicate indices must carry identical
+/// digests — overlapping shards are fine, conflicting ones are corrupt),
+/// and folds each payload in index order.
+///
+/// `expect_campaign` filters which campaigns the caller can consume (e.g. a
+/// `table4` merge rejects `emi:*` journals); `init` builds the empty
+/// aggregate from the validated header.
+pub fn refold_journals<P, T>(
+    paths: &[PathBuf],
+    expect_campaign: impl Fn(&str) -> bool,
+    init: impl FnOnce(&JournalHeader) -> Result<T, JournalError>,
+    mut fold: impl FnMut(&mut T, u64, P),
+) -> Result<(T, RefoldSummary), JournalError>
+where
+    P: JournalPayload,
+{
+    if paths.is_empty() {
+        return Err(JournalError::Mismatch(
+            "no journals to merge (expected at least one path)".into(),
+        ));
+    }
+    let mut reference: Option<JournalHeader> = None;
+    let mut records: BTreeMap<u64, JournalRecord> = BTreeMap::new();
+    let mut journal_bytes = 0u64;
+    for path in paths {
+        let loaded = load_journal(path)?;
+        if !expect_campaign(&loaded.header.campaign) {
+            return Err(JournalError::Mismatch(format!(
+                "{} holds campaign {:?}, which this merge cannot consume",
+                path.display(),
+                loaded.header.campaign
+            )));
+        }
+        match &reference {
+            None => reference = Some(loaded.header.clone()),
+            Some(first) => {
+                if loaded.header.campaign != first.campaign
+                    || loaded.header.campaign_seed != first.campaign_seed
+                    || loaded.header.total_jobs != first.total_jobs
+                {
+                    return Err(JournalError::Mismatch(format!(
+                        "{} belongs to campaign {:?} seed {:016x} ({} jobs); \
+                         the first journal holds {:?} seed {:016x} ({} jobs)",
+                        path.display(),
+                        loaded.header.campaign,
+                        loaded.header.campaign_seed,
+                        loaded.header.total_jobs,
+                        first.campaign,
+                        first.campaign_seed,
+                        first.total_jobs,
+                    )));
+                }
+            }
+        }
+        journal_bytes += loaded.valid_bytes;
+        for record in loaded.records {
+            match records.get(&record.job_index) {
+                Some(existing) if existing.digest != record.digest => {
+                    return Err(JournalError::Mismatch(format!(
+                        "job {} appears with conflicting digests across journals \
+                         ({:016x} vs {:016x})",
+                        record.job_index, existing.digest, record.digest
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    records.insert(record.job_index, record);
+                }
+            }
+        }
+    }
+    let header = reference.expect("at least one journal was loaded");
+    let mut aggregate = init(&header)?;
+    let jobs_folded = records.len() as u64;
+    for (index, record) in records {
+        fold(&mut aggregate, index, P::decode(&record.payload)?);
+    }
+    Ok((
+        aggregate,
+        RefoldSummary {
+            complete: jobs_folded == header.total_jobs,
+            campaign: header.campaign,
+            campaign_seed: header.campaign_seed,
+            total_jobs: header.total_jobs,
+            jobs_folded,
+            journal_bytes,
+            journals: paths.len(),
+        },
+    ))
+}
+
+/// Splits `value` on `sep` and parses each piece — the small-deserializer
+/// helper every [`Mergeable`]/[`JournalPayload`] implementation in the
+/// driver modules shares.
+pub(crate) fn parse_fields<T: std::str::FromStr>(
+    text: &str,
+    sep: char,
+    what: &str,
+) -> Result<Vec<T>, JournalError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(sep)
+        .map(|piece| {
+            piece.parse::<T>().map_err(|_| {
+                JournalError::Format(format!("bad {what} field {piece:?} in {text:?}"))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Job;
+
+    #[test]
+    fn shard_ranges_tile_the_job_space_exactly() {
+        for total in [0u64, 1, 2, 7, 97, 1000] {
+            for count in [1u32, 2, 3, 5, 8, 13] {
+                let mut covered = 0u64;
+                let mut next = 0u64;
+                for index in 0..count {
+                    let spec = ShardSpec {
+                        campaign_seed: 0,
+                        total_jobs: total,
+                        shard_index: index,
+                        shard_count: count,
+                    };
+                    let range = spec.job_range();
+                    assert_eq!(range.start, next, "gap/overlap at shard {index}/{count}");
+                    next = range.end;
+                    covered += spec.jobs();
+                    // Balanced partition: sizes differ by at most one.
+                    let ideal = total / count as u64;
+                    assert!(spec.jobs() == ideal || spec.jobs() == ideal + 1);
+                }
+                assert_eq!(next, total);
+                assert_eq!(covered, total);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_select_parses_and_validates() {
+        assert_eq!(
+            ShardSelect::parse("0/3").unwrap(),
+            ShardSelect { index: 0, count: 3 }
+        );
+        assert_eq!(ShardSelect::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["3/3", "1/0", "x/2", "1", "", "1/2/3", "-1/2"] {
+            assert!(ShardSelect::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    /// A trivial journalable job for executor tests.
+    #[derive(Debug)]
+    struct Double(u64);
+
+    impl Job for Double {
+        type Output = u64;
+        fn run(self) -> u64 {
+            self.0 * 2
+        }
+    }
+
+    impl JournalPayload for u64 {
+        fn encode(&self) -> String {
+            self.to_string()
+        }
+        fn decode(text: &str) -> Result<Self, JournalError> {
+            text.parse()
+                .map_err(|_| JournalError::Format(format!("bad u64 payload {text:?}")))
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "clfuzz-shard-test-{}-{name}.log",
+            std::process::id()
+        ))
+    }
+
+    fn make_job(index: u64) -> (u64, Double) {
+        (1000 + index, Double(index))
+    }
+
+    #[test]
+    fn sharded_outputs_cover_the_slice_in_index_order() {
+        let scheduler = Scheduler::new(4);
+        let spec = ShardSpec::select(9, 20, ShardSelect { index: 1, count: 3 });
+        let run = run_sharded(&scheduler, &spec, "test:exec", None, make_job).unwrap();
+        let range = spec.job_range();
+        assert_eq!(run.outputs.len(), spec.jobs() as usize);
+        for (offset, (index, output)) in run.outputs.iter().enumerate() {
+            assert_eq!(*index, range.start + offset as u64);
+            assert_eq!(*output, index * 2);
+        }
+        assert_eq!(run.metrics.jobs_resumed, 0);
+        assert_eq!(run.metrics.jobs_replayed, spec.jobs());
+        assert_eq!(run.metrics.shard_count, 3);
+    }
+
+    #[test]
+    fn journal_then_resume_skips_completed_jobs() {
+        let path = temp_path("resume");
+        let scheduler = Scheduler::new(2);
+        let spec = ShardSpec::full(5, 10);
+        let first = run_sharded::<Double, _>(
+            &scheduler,
+            &spec,
+            "test:resume",
+            Some(&JournalOptions::create(&path)),
+            make_job,
+        )
+        .unwrap();
+        assert_eq!(first.metrics.jobs_replayed, 10);
+        assert!(first.metrics.journal_bytes > 0);
+
+        // Chop the journal down to its first 4 records plus half of the
+        // fifth (a mid-write kill).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: usize = text
+            .lines()
+            .take(5) // header + 4 records
+            .map(|l| l.len() + 1)
+            .sum();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len((keep + 9) as u64)
+            .unwrap();
+
+        let resumed = run_sharded::<Double, _>(
+            &scheduler,
+            &spec,
+            "test:resume",
+            Some(&JournalOptions::resume(&path)),
+            make_job,
+        )
+        .unwrap();
+        assert_eq!(resumed.metrics.jobs_resumed, 4);
+        assert_eq!(resumed.metrics.jobs_replayed, 6);
+        assert!(resumed.metrics.dropped_bytes > 0);
+        assert_eq!(resumed.outputs, first.outputs);
+
+        // The healed journal now covers the full job space.
+        let loaded = load_journal(&path).unwrap();
+        assert_eq!(loaded.records.len(), 10);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_another_campaign() {
+        let path = temp_path("mismatch");
+        let scheduler = Scheduler::sequential();
+        let spec = ShardSpec::full(5, 4);
+        run_sharded::<Double, _>(
+            &scheduler,
+            &spec,
+            "test:a",
+            Some(&JournalOptions::create(&path)),
+            make_job,
+        )
+        .unwrap();
+        let err = run_sharded::<Double, _>(
+            &scheduler,
+            &spec,
+            "test:b",
+            Some(&JournalOptions::resume(&path)),
+            make_job,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)), "{err}");
+        // Same campaign but different seed: also rejected.
+        let err = run_sharded::<Double, _>(
+            &scheduler,
+            &ShardSpec::full(6, 4),
+            "test:a",
+            Some(&JournalOptions::resume(&path)),
+            make_job,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refold_merges_shard_journals_into_one_aggregate() {
+        let scheduler = Scheduler::new(3);
+        let mut paths = Vec::new();
+        for index in 0..3u32 {
+            let path = temp_path(&format!("merge-{index}"));
+            let spec = ShardSpec::select(7, 11, ShardSelect { index, count: 3 });
+            run_sharded::<Double, _>(
+                &scheduler,
+                &spec,
+                "test:merge",
+                Some(&JournalOptions::create(&path)),
+                make_job,
+            )
+            .unwrap();
+            paths.push(path);
+        }
+        let (sum, summary) = refold_journals::<u64, u64>(
+            &paths,
+            |c| c == "test:merge",
+            |_| Ok(0u64),
+            |acc, _, payload| *acc += payload,
+        )
+        .unwrap();
+        assert_eq!(sum, (0..11u64).map(|i| i * 2).sum::<u64>());
+        assert!(summary.complete);
+        assert_eq!(summary.jobs_folded, 11);
+        assert_eq!(summary.journals, 3);
+
+        // A subset of shards refolds too — partial, not complete.
+        let (partial_sum, summary) = refold_journals::<u64, u64>(
+            &paths[..2],
+            |c| c == "test:merge",
+            |_| Ok(0u64),
+            |acc, _, payload| *acc += payload,
+        )
+        .unwrap();
+        assert!(!summary.complete);
+        assert!(partial_sum < sum);
+        for path in &paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn refold_rejects_foreign_and_mixed_campaigns() {
+        let scheduler = Scheduler::sequential();
+        let a = temp_path("mixed-a");
+        let b = temp_path("mixed-b");
+        run_sharded::<Double, _>(
+            &scheduler,
+            &ShardSpec::full(1, 3),
+            "test:one",
+            Some(&JournalOptions::create(&a)),
+            make_job,
+        )
+        .unwrap();
+        run_sharded::<Double, _>(
+            &scheduler,
+            &ShardSpec::full(1, 3),
+            "test:two",
+            Some(&JournalOptions::create(&b)),
+            make_job,
+        )
+        .unwrap();
+        let err = refold_journals::<u64, u64>(
+            &[a.clone(), b.clone()],
+            |_| true,
+            |_| Ok(0u64),
+            |acc, _, p| *acc += p,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)));
+        let err = refold_journals::<u64, u64>(
+            std::slice::from_ref(&a),
+            |c| c == "test:two",
+            |_| Ok(0u64),
+            |acc, _, p| *acc += p,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)));
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+}

@@ -1,0 +1,375 @@
+//! The shard/merge layer's headline guarantee: for a fixed campaign seed,
+//!
+//! * a **single-process** campaign,
+//! * the same campaign split into **N shards and merged** (via in-memory
+//!   tallies *and* via the on-disk journals), and
+//! * the same campaign **killed at a job boundary and resumed** from its
+//!   journal (including a half-written final record, which the checksum
+//!   drops)
+//!
+//! all produce **byte-identical** rendered Table 1 / Table 4 / Table 5
+//! output — at every worker count.
+
+use clsmith::{GenMode, GeneratorOptions};
+use fuzz_harness::shard::{JournalOptions, Mergeable, ShardSelect};
+use fuzz_harness::{
+    classify_configurations_sharded, classify_configurations_with, load_journal,
+    merge_classification_journals, merge_emi_campaign_journals, merge_mode_campaign_journals,
+    render_campaign_table, render_emi_table, render_reliability_table, run_emi_campaign_sharded,
+    run_emi_campaign_with, run_mode_campaign_with, run_modes_campaign_sharded, CampaignOptions,
+    EmiCampaignOptions, EmiTally, MultiModeTally, Scheduler,
+};
+use std::path::PathBuf;
+
+const WORKER_COUNTS: [usize; 2] = [1, 3];
+const SHARDS: u32 = 3;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "clfuzz-shard-equiv-{}-{name}.log",
+        std::process::id()
+    ))
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for path in paths {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Simulates a kill mid-campaign: keep the header plus `records` complete
+/// records, then a torn half-record of garbage (as a process dying inside
+/// `write` would leave).
+fn kill_after(path: &PathBuf, records: usize) {
+    let text = std::fs::read_to_string(path).expect("journal exists");
+    let keep: usize = text.lines().take(1 + records).map(|l| l.len() + 1).sum();
+    assert!(
+        text.lines().count() > 1 + records,
+        "journal too short to truncate at {records} records"
+    );
+    let mut bytes = text.into_bytes();
+    bytes.truncate(keep);
+    bytes.extend_from_slice(b"R 999 deadbeef");
+    std::fs::write(path, bytes).expect("rewrite truncated journal");
+}
+
+fn campaign_options(seed_offset: u64) -> CampaignOptions {
+    CampaignOptions {
+        kernels: 8,
+        generator: GeneratorOptions {
+            min_threads: 16,
+            max_threads: 48,
+            ..GeneratorOptions::default()
+        },
+        seed_offset,
+        ..CampaignOptions::default()
+    }
+}
+
+#[test]
+fn table4_single_sharded_and_resumed_runs_are_byte_identical() {
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(9),
+        opencl_sim::configuration(19),
+    ];
+    let options = campaign_options(0x7AB1E4);
+    let modes = [GenMode::Barrier];
+    for workers in WORKER_COUNTS {
+        let scheduler = Scheduler::new(workers);
+        let reference = render_campaign_table(&run_mode_campaign_with(
+            &scheduler,
+            GenMode::Barrier,
+            &configs,
+            &options,
+        ));
+
+        // N shards, merged two ways: in-memory tallies and journal refold.
+        let mut tally: Option<MultiModeTally> = None;
+        let mut paths = Vec::new();
+        for index in 0..SHARDS {
+            let path = temp_path(&format!("t4-{workers}-{index}"));
+            let shard = run_modes_campaign_sharded(
+                &scheduler,
+                &modes,
+                &configs,
+                &options,
+                ShardSelect {
+                    index,
+                    count: SHARDS,
+                },
+                Some(&JournalOptions::create(&path)),
+            )
+            .expect("sharded campaign");
+            assert_eq!(shard.metrics.shard_count, SHARDS);
+            match &mut tally {
+                None => tally = Some(shard.tally),
+                Some(t) => t.merge(shard.tally),
+            }
+            paths.push(path);
+        }
+        let merged_tally = tally.expect("at least one shard ran");
+        let merged_result = fuzz_harness::CampaignResult {
+            mode: GenMode::Barrier,
+            kernels: merged_tally.per_mode[0].kernels(),
+            targets: fuzz_harness::targets_for(&configs),
+            stats: merged_tally.per_mode[0].per_target.clone(),
+        };
+        assert_eq!(
+            render_campaign_table(&merged_result),
+            reference,
+            "{workers} workers: merged shard tallies diverged from the single run"
+        );
+        let (from_journals, summary) =
+            merge_mode_campaign_journals(&paths, &configs).expect("journal merge");
+        assert!(summary.complete, "{SHARDS} shards must cover the job space");
+        assert_eq!(
+            render_campaign_table(&from_journals[0]),
+            reference,
+            "{workers} workers: journal-refolded tables diverged from the single run"
+        );
+
+        // Kill after 3 jobs (with a torn half-record), then resume.
+        let journal = temp_path(&format!("t4-{workers}-resume"));
+        run_modes_campaign_sharded(
+            &scheduler,
+            &modes,
+            &configs,
+            &options,
+            ShardSelect::whole(),
+            Some(&JournalOptions::create(&journal)),
+        )
+        .expect("full journaled campaign");
+        kill_after(&journal, 3);
+        let resumed = run_modes_campaign_sharded(
+            &scheduler,
+            &modes,
+            &configs,
+            &options,
+            ShardSelect::whole(),
+            Some(&JournalOptions::resume(&journal)),
+        )
+        .expect("resumed campaign");
+        assert_eq!(resumed.metrics.jobs_resumed, 3, "{workers} workers");
+        assert_eq!(
+            resumed.metrics.jobs_replayed,
+            options.kernels as u64 - 3,
+            "{workers} workers"
+        );
+        assert!(resumed.metrics.dropped_bytes > 0, "torn record not dropped");
+        assert_eq!(
+            render_campaign_table(&resumed.results[0]),
+            reference,
+            "{workers} workers: resumed campaign diverged from the single run"
+        );
+        // The healed journal alone now reproduces the full table too.
+        let (healed, summary) =
+            merge_mode_campaign_journals(std::slice::from_ref(&journal), &configs)
+                .expect("healed merge");
+        assert!(summary.complete);
+        assert_eq!(render_campaign_table(&healed[0]), reference);
+        paths.push(journal);
+        cleanup(&paths);
+    }
+}
+
+#[test]
+fn table1_single_sharded_and_resumed_runs_are_byte_identical() {
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(12),
+        opencl_sim::configuration(21),
+    ];
+    let options = campaign_options(0x7AB1E1);
+    let kernels_per_mode = 2;
+    let total_jobs = (GenMode::ALL.len() * kernels_per_mode) as u64;
+    for workers in WORKER_COUNTS {
+        let scheduler = Scheduler::new(workers);
+        let reference = render_reliability_table(&classify_configurations_with(
+            &scheduler,
+            &configs,
+            kernels_per_mode,
+            &options,
+        ));
+
+        let mut paths = Vec::new();
+        for index in 0..SHARDS {
+            let path = temp_path(&format!("t1-{workers}-{index}"));
+            classify_configurations_sharded(
+                &scheduler,
+                &configs,
+                kernels_per_mode,
+                &options,
+                ShardSelect {
+                    index,
+                    count: SHARDS,
+                },
+                Some(&JournalOptions::create(&path)),
+            )
+            .expect("sharded classification");
+            paths.push(path);
+        }
+        let (rows, summary) =
+            merge_classification_journals(&paths, &configs).expect("journal merge");
+        assert!(summary.complete);
+        assert_eq!(
+            render_reliability_table(&rows),
+            reference,
+            "{workers} workers: merged shard journals diverged from the single run"
+        );
+
+        // Kill mid-campaign, resume, compare.
+        let journal = temp_path(&format!("t1-{workers}-resume"));
+        classify_configurations_sharded(
+            &scheduler,
+            &configs,
+            kernels_per_mode,
+            &options,
+            ShardSelect::whole(),
+            Some(&JournalOptions::create(&journal)),
+        )
+        .expect("full journaled classification");
+        kill_after(&journal, 5);
+        let resumed = classify_configurations_sharded(
+            &scheduler,
+            &configs,
+            kernels_per_mode,
+            &options,
+            ShardSelect::whole(),
+            Some(&JournalOptions::resume(&journal)),
+        )
+        .expect("resumed classification");
+        assert_eq!(resumed.metrics.jobs_resumed, 5);
+        assert_eq!(resumed.metrics.jobs_replayed, total_jobs - 5);
+        assert_eq!(
+            render_reliability_table(&resumed.rows),
+            reference,
+            "{workers} workers: resumed classification diverged from the single run"
+        );
+        paths.push(journal);
+        cleanup(&paths);
+    }
+}
+
+#[test]
+fn table5_single_sharded_and_resumed_runs_are_byte_identical() {
+    let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+    let options = EmiCampaignOptions {
+        bases: 3,
+        variants_per_base: 4,
+        campaign: campaign_options(0x7AB1E5),
+    };
+    for workers in WORKER_COUNTS {
+        let scheduler = Scheduler::new(workers);
+        let single = run_emi_campaign_with(&scheduler, &configs, &options);
+        assert!(single.bases > 0, "liveness filtering accepted no bases");
+        let reference = render_emi_table(&single);
+
+        let mut tally: Option<EmiTally> = None;
+        let mut paths = Vec::new();
+        for index in 0..SHARDS.min(single.bases as u32) {
+            let count = SHARDS.min(single.bases as u32);
+            let path = temp_path(&format!("t5-{workers}-{index}"));
+            let shard = run_emi_campaign_sharded(
+                &scheduler,
+                &configs,
+                &options,
+                ShardSelect { index, count },
+                Some(&JournalOptions::create(&path)),
+            )
+            .expect("sharded EMI campaign");
+            assert_eq!(shard.total_bases, single.bases);
+            match &mut tally {
+                None => tally = Some(shard.tally),
+                Some(t) => t.merge(shard.tally),
+            }
+            paths.push(path);
+        }
+        let merged = fuzz_harness::EmiCampaignResult {
+            bases: single.bases,
+            variants_per_base: single.variants_per_base,
+            labels: single.labels.clone(),
+            stats: tally.expect("shards ran").per_target,
+        };
+        assert_eq!(
+            render_emi_table(&merged),
+            reference,
+            "{workers} workers: merged shard tallies diverged from the single run"
+        );
+        let (from_journals, summary) =
+            merge_emi_campaign_journals(&paths, &configs).expect("journal merge");
+        assert!(summary.complete);
+        assert_eq!(from_journals.bases, single.bases);
+        assert_eq!(from_journals.variants_per_base, single.variants_per_base);
+        assert_eq!(
+            render_emi_table(&from_journals),
+            reference,
+            "{workers} workers: journal-refolded tables diverged from the single run"
+        );
+
+        // Kill after the first judged base, resume, compare.
+        let journal = temp_path(&format!("t5-{workers}-resume"));
+        run_emi_campaign_sharded(
+            &scheduler,
+            &configs,
+            &options,
+            ShardSelect::whole(),
+            Some(&JournalOptions::create(&journal)),
+        )
+        .expect("full journaled EMI campaign");
+        kill_after(&journal, 1);
+        let resumed = run_emi_campaign_sharded(
+            &scheduler,
+            &configs,
+            &options,
+            ShardSelect::whole(),
+            Some(&JournalOptions::resume(&journal)),
+        )
+        .expect("resumed EMI campaign");
+        assert_eq!(resumed.metrics.jobs_resumed, 1);
+        assert_eq!(
+            resumed.metrics.jobs_resumed + resumed.metrics.jobs_replayed,
+            single.bases as u64
+        );
+        assert_eq!(
+            render_emi_table(&resumed.result),
+            reference,
+            "{workers} workers: resumed EMI campaign diverged from the single run"
+        );
+        paths.push(journal);
+        cleanup(&paths);
+    }
+}
+
+#[test]
+fn journals_are_self_describing_and_versioned() {
+    // A journal written by a campaign driver carries the format version,
+    // campaign descriptor, seed, job-space size and shard coordinates.
+    let configs = vec![opencl_sim::configuration(1)];
+    let options = campaign_options(0xD0C);
+    let path = temp_path("header");
+    run_modes_campaign_sharded(
+        &Scheduler::sequential(),
+        &[GenMode::Basic],
+        &configs,
+        &options,
+        ShardSelect { index: 1, count: 2 },
+        Some(&JournalOptions::create(&path)),
+    )
+    .expect("journaled campaign");
+    let loaded = load_journal(&path).expect("load journal");
+    assert!(loaded.header.campaign.starts_with("modes:BASIC:k8:"));
+    assert_eq!(loaded.header.campaign_seed, 0xD0C);
+    assert_eq!(loaded.header.total_jobs, options.kernels as u64);
+    assert_eq!(loaded.header.shard_index, 1);
+    assert_eq!(loaded.header.shard_count, 2);
+    assert_eq!(loaded.records.len(), 4, "shard 1/2 of 8 jobs holds 4");
+    let first_line = std::fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+    assert!(first_line.starts_with("CLFUZZ-JOURNAL 1 "));
+    cleanup(&[path]);
+}
