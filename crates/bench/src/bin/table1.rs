@@ -3,7 +3,8 @@
 //! kernel set).
 //!
 //! Usage: `cargo run --release -p bench --bin table1 -- [kernels-per-mode]
-//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! [--threads N] [--pipeline] [--paper-scale] [--shard I/N]
+//! [--journal PATH] [--resume]`
 //! (the paper uses 100 per mode; the default here is 8 so the emulated run
 //! finishes quickly, and `--paper-scale` generates kernels at the paper's
 //! 100–10 000 work-item scale).

@@ -2,7 +2,8 @@
 //! the configurations (spmv and myocyte excluded because of their races).
 //!
 //! Usage: `cargo run --release -p bench --bin table3 -- [emi-bodies]
-//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! [--threads N] [--pipeline] [--paper-scale] [--shard I/N]
+//! [--journal PATH] [--resume]`
 //! (number of EMI block bodies per benchmark; the paper uses 125.
 //! `--paper-scale` draws the donor kernels the bodies are taken from at the
 //! paper's generation scale).
@@ -18,31 +19,44 @@ use std::sync::Arc;
 use clsmith::{generate, GenMode, GeneratorOptions};
 use fuzz_harness::shard::{refold_journals, run_sharded, ShardSpec};
 use fuzz_harness::{
-    checksum, evaluate_benchmark_with, render_table, BenchmarkCell, EmiBenchmark, Job, Scheduler,
-    EMPTY_CELL,
+    checksum, evaluate_benchmark_with, render_table, BenchmarkCell, EmiBenchmark, Scheduler,
+    StagedJob, EMPTY_CELL,
 };
 use opencl_sim::{Configuration, ExecOptions};
 use parboil_rodinia::table3_benchmarks;
 
 /// One Table 3 cell: a benchmark evaluated on one configuration.  The
 /// inner body fan-out runs sequentially — the cell grid itself is the
-/// parallel (and shardable) job space.
+/// parallel (and shardable) job space.  A cell's input is prebuilt and its
+/// verdict is folded inside the evaluation, so the whole cell is one
+/// execute stage (generate and judge pass through); `--pipeline` still
+/// overlaps cells freely because execute tasks queue independently.
 struct CellJob {
     benchmark: Arc<EmiBenchmark>,
     config: Configuration,
     exec: ExecOptions,
 }
 
-impl Job for CellJob {
+impl StagedJob for CellJob {
+    type Generated = CellJob;
+    type Executed = BenchmarkCell;
     type Output = BenchmarkCell;
 
-    fn run(self) -> BenchmarkCell {
+    fn generate(self) -> CellJob {
+        self
+    }
+
+    fn execute(cell: CellJob) -> BenchmarkCell {
         evaluate_benchmark_with(
             &Scheduler::sequential(),
-            &self.benchmark,
-            &self.config,
-            &self.exec,
+            &cell.benchmark,
+            &cell.config,
+            &cell.exec,
         )
+    }
+
+    fn judge(cell: BenchmarkCell) -> BenchmarkCell {
+        cell
     }
 }
 

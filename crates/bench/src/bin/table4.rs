@@ -3,7 +3,8 @@
 //! percentage per (configuration, optimisation level).
 //!
 //! Usage: `cargo run --release -p bench --bin table4 -- [kernels-per-mode]
-//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! [--threads N] [--pipeline] [--paper-scale] [--shard I/N]
+//! [--journal PATH] [--resume]`
 //! (the paper uses 10 000 per mode; default here is 20, and `--paper-scale`
 //! generates kernels at the paper's 100–10 000 work-item scale).
 //!

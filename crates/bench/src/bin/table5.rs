@@ -2,7 +2,8 @@
 //! variants, and per-target base-level outcomes.
 //!
 //! Usage: `cargo run --release -p bench --bin table5 -- [bases] [variants]
-//! [--threads N] [--paper-scale] [--shard I/N] [--journal PATH] [--resume]`
+//! [--threads N] [--pipeline] [--paper-scale] [--shard I/N]
+//! [--journal PATH] [--resume]`
 //! (the paper uses 180 bases and 40 variants; defaults here are 4 and 10,
 //! and `--paper-scale` generates base kernels at the paper's 100–10 000
 //! work-item scale).

@@ -7,9 +7,12 @@
 //! count of the `fuzz_harness::exec` scheduler.
 //!
 //! Every table binary accepts `--threads N` to pin the scheduler's worker
-//! count (default: `FUZZ_THREADS` or the machine's available parallelism).
-//! Thread count never changes the produced tables — only how fast they
-//! appear.
+//! count (default: `FUZZ_THREADS` or the machine's available parallelism;
+//! `N` must be at least 1 — a zero-worker pool could never drain its queue)
+//! and `--pipeline` to run campaign jobs as overlapping
+//! generate → execute → judge stages (default: `FUZZ_PIPELINE`, else whole
+//! jobs).  Neither flag ever changes the produced tables — only how fast
+//! they appear.
 //!
 //! The campaign binaries (`table1`, `table3`, `table4`, `table5`)
 //! additionally speak the shard/journal layer:
@@ -30,7 +33,7 @@ use std::path::PathBuf;
 
 use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::shard::{JournalOptions, RefoldSummary, ShardMetrics, ShardSelect};
-use fuzz_harness::Scheduler;
+use fuzz_harness::{Scheduler, SchedulerMode};
 
 /// Command-line options shared by the table binaries.
 pub struct Cli {
@@ -103,8 +106,9 @@ pub fn report_shard_metrics(cli: &Cli, metrics: &ShardMetrics) {
         return;
     }
     eprintln!(
-        "shard {}: {} job(s) resumed from the journal, {} executed, journal {} byte(s){}",
+        "shard {} ({} scheduler): {} job(s) resumed from the journal, {} executed, journal {} byte(s){}",
         cli.shard,
+        cli.scheduler.mode().name(),
         metrics.jobs_resumed,
         metrics.jobs_replayed,
         metrics.journal_bytes,
@@ -133,25 +137,36 @@ pub fn report_refold_summary(summary: &RefoldSummary) {
     );
 }
 
+/// Parses a `--threads` argument value: a positive integer (zero is
+/// rejected — a zero-worker scheduler could never drain its queue, so the
+/// historical "accept 0, build a stuck pool" behaviour is now an error).
+pub fn parse_threads(value: Option<&str>) -> Result<usize, String> {
+    match value.map(str::parse::<usize>) {
+        Some(Ok(0)) => Err("--threads must be at least 1 (got 0); \
+             omit the flag to use every core"
+            .to_string()),
+        Some(Ok(n)) => Ok(n),
+        _ => Err(format!(
+            "--threads requires a positive integer, got {:?}",
+            value.unwrap_or("nothing")
+        )),
+    }
+}
+
 /// Parses the command-line arguments shared by the table binaries:
-/// extracts `--threads N` (or `--threads=N`), `--paper-scale`,
+/// extracts `--threads N` (or `--threads=N`), `--pipeline`, `--paper-scale`,
 /// `--shard I/N`, `--journal PATH` and `--resume`, recognises the `merge`
 /// subcommand, and returns them with the remaining positional arguments.
 pub fn cli() -> Cli {
     let mut positional = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut pipeline = false;
     let mut paper_scale = false;
     let mut shard = ShardSelect::whole();
     let mut journal: Option<PathBuf> = None;
     let mut resume = false;
     let parse = |value: Option<String>| -> usize {
-        match value.as_deref().map(str::parse::<usize>) {
-            Some(Ok(n)) => n,
-            _ => usage_error(format!(
-                "--threads requires a non-negative integer, got {:?}",
-                value.as_deref().unwrap_or("nothing")
-            )),
-        }
+        parse_threads(value.as_deref()).unwrap_or_else(|e| usage_error(e))
     };
     let parse_shard = |value: Option<String>| -> ShardSelect {
         match value.as_deref().map(ShardSelect::parse) {
@@ -166,6 +181,8 @@ pub fn cli() -> Cli {
             threads = Some(parse(args.next()));
         } else if let Some(value) = arg.strip_prefix("--threads=") {
             threads = Some(parse(Some(value.to_string())));
+        } else if arg == "--pipeline" {
+            pipeline = true;
         } else if arg == "--paper-scale" {
             paper_scale = true;
         } else if arg == "--shard" {
@@ -200,9 +217,14 @@ pub fn cli() -> Cli {
     if merge.is_some() && (journal.is_some() || resume || shard.count > 1) {
         usage_error("merge takes only journal paths (no --shard/--journal/--resume)");
     }
-    let scheduler = threads
-        .map(Scheduler::new)
+    // `--threads N` pins the worker count but still honours `FUZZ_PIPELINE`;
+    // `--pipeline` then forces the pipelined mode either way.
+    let mut scheduler = threads
+        .map(|n| Scheduler::new(n).with_mode(SchedulerMode::from_env()))
         .unwrap_or_else(Scheduler::from_env);
+    if pipeline {
+        scheduler = scheduler.with_mode(SchedulerMode::Pipelined);
+    }
     Cli {
         positional: if merge.is_some() {
             Vec::new()
@@ -215,5 +237,20 @@ pub fn cli() -> Cli {
         journal,
         resume,
         merge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_argument_rejects_zero_and_garbage() {
+        assert_eq!(parse_threads(Some("1")), Ok(1));
+        assert_eq!(parse_threads(Some("16")), Ok(16));
+        assert!(parse_threads(Some("0")).unwrap_err().contains("at least 1"));
+        assert!(parse_threads(Some("-3")).is_err());
+        assert!(parse_threads(Some("two")).is_err());
+        assert!(parse_threads(None).is_err());
     }
 }

@@ -46,12 +46,11 @@ pub enum RuntimeError {
         detail: String,
     },
     /// Division or remainder by zero outside the safe-math wrappers.
+    ///
+    /// (There is deliberately no shift-amount error: OpenCL C §6.3(j)
+    /// defines out-of-range shifts as taking the amount modulo the promoted
+    /// left-operand width, so no shift can fail at runtime.)
     DivisionByZero,
-    /// Shift amount outside `[0, width)` outside the safe-math wrappers.
-    InvalidShift {
-        /// The offending shift amount.
-        amount: i64,
-    },
     /// `clamp` with `lo > hi` (undefined behaviour per §3.1).
     InvalidClamp,
     /// Call depth exceeded (runaway recursion).
@@ -107,7 +106,6 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
             RuntimeError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
-            RuntimeError::InvalidShift { amount } => write!(f, "invalid shift amount {amount}"),
             RuntimeError::InvalidClamp => write!(f, "clamp with lo > hi"),
             RuntimeError::CallDepthExceeded => write!(f, "call depth exceeded"),
             RuntimeError::Unsupported(what) => write!(f, "unsupported construct: {what}"),

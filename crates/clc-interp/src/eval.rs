@@ -823,6 +823,45 @@ fn scalar_unop(op: UnOp, s: Scalar) -> Scalar {
     }
 }
 
+/// Shifts `a` by `amount`, masking the amount modulo `a`'s width.
+///
+/// OpenCL C §6.3(j): unlike C, out-of-range shifts are not undefined — only
+/// the low log2(width) bits of the amount are used.  That also defines
+/// negative amounts: `x << -1` masks the amount's two's complement bit
+/// pattern (so it shifts by width-1).  Masking the raw bits equals masking
+/// the sign-extended value because every scalar is at least 8 bits wide and
+/// the mask needs at most the low 6.
+fn shift_masked(op: BinOp, a: Scalar, amount: Scalar) -> Scalar {
+    let ty = a.ty;
+    let amount = (amount.as_u64() & u64::from(ty.bits() - 1)) as u32;
+    let bits = match op {
+        BinOp::Shl => a.bits.wrapping_shl(amount),
+        BinOp::Shr => {
+            if ty.is_signed() {
+                (a.as_i64() >> amount) as u64
+            } else {
+                a.bits >> amount
+            }
+        }
+        _ => unreachable!(),
+    };
+    Scalar::from_bits(bits, ty)
+}
+
+/// One vector lane's binary operation, shared by both execution tiers'
+/// vector paths: §6.3(j) exempts vector operands from integer promotion, so
+/// lane shifts keep the element type and mask the amount by the **element**
+/// width (a `char` lane shifts modulo 8, where the scalar `char` shift
+/// promotes to `int` and masks modulo 32); every other operator goes
+/// through [`scalar_binop`] unchanged.
+pub(crate) fn vector_lane_binop(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, RuntimeError> {
+    if op.is_shift() {
+        Ok(shift_masked(op, a, b))
+    } else {
+        scalar_binop(op, a, b)
+    }
+}
+
 /// Applies a binary operator to two values, lifting over vectors.
 pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeError> {
     match (lhs, rhs) {
@@ -835,7 +874,7 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
             }
             let mut out = Vec::with_capacity(la.len());
             for (&a, &b) in la.iter().zip(&lb) {
-                let r = scalar_binop(op, Scalar::from_bits(a, ea), Scalar::from_bits(b, eb))?;
+                let r = vector_lane_binop(op, Scalar::from_bits(a, ea), Scalar::from_bits(b, eb))?;
                 out.push(if op.is_comparison() {
                     // OpenCL vector comparisons produce -1 (all bits set) for
                     // true, 0 for false.
@@ -900,9 +939,10 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
     }
 }
 
-/// Applies a binary operator to two scalars with C99 semantics (usual
+/// Applies a binary operator to two scalars with OpenCL C semantics (usual
 /// arithmetic conversions, wrapping on overflow, UB detection for raw
-/// division by zero and out-of-range shifts).
+/// division by zero; shift amounts are defined for every value — masked
+/// modulo the promoted left-operand width per §6.3(j), never an error).
 pub fn scalar_binop(op: BinOp, lhs: Scalar, rhs: Scalar) -> Result<Scalar, RuntimeError> {
     if op.is_comparison() {
         let common = lhs.ty.usual_arithmetic_conversion(rhs.ty);
@@ -941,27 +981,12 @@ pub fn scalar_binop(op: BinOp, lhs: Scalar, rhs: Scalar) -> Result<Scalar, Runti
         return Ok(Scalar::from_i128(i128::from(result), ScalarType::Int));
     }
     if op.is_shift() {
-        // Shift result has the (promoted) type of the left operand.
+        // Scalar shift: the result has the *promoted* type of the left
+        // operand, and the amount is masked by that promoted width
+        // (vector lanes are exempt from promotion and mask by the element
+        // width instead — see [`vector_lane_binop`]).
         let ty = lhs.ty.promoted();
-        let a = lhs.convert(ty);
-        let amount = rhs.as_i64();
-        // Compare at full width: truncating the amount to u32 first would let
-        // amounts like 1 << 32 slip past the guard as 0.
-        if amount < 0 || amount as u64 >= u64::from(ty.bits()) {
-            return Err(RuntimeError::InvalidShift { amount });
-        }
-        let bits = match op {
-            BinOp::Shl => a.bits.wrapping_shl(amount as u32),
-            BinOp::Shr => {
-                if ty.is_signed() {
-                    (a.as_i64() >> amount) as u64
-                } else {
-                    a.bits >> amount
-                }
-            }
-            _ => unreachable!(),
-        };
-        return Ok(Scalar::from_bits(bits, ty));
+        return Ok(shift_masked(op, lhs.convert(ty), rhs));
     }
     let common = lhs.ty.usual_arithmetic_conversion(rhs.ty);
     let a = lhs.convert(common);
@@ -2207,25 +2232,113 @@ mod tests {
         assert_eq!(r.as_u64(), 0x8000_0000);
     }
 
-    /// Regression: the shift guard must compare the amount at full width; a
-    /// 64-bit amount like `1 << 32` used to be truncated to 0 and slip past.
+    /// Regression: OpenCL C §6.3(j) — a shift amount is taken modulo the
+    /// promoted left-operand width instead of raising a runtime error (the
+    /// old `InvalidShift` behaviour was C semantics, not OpenCL's).
     #[test]
-    fn oversized_shift_amounts_are_rejected_untruncated() {
-        let big = Scalar::from_i128(1i128 << 32, ScalarType::Long);
-        for op in [BinOp::Shl, BinOp::Shr] {
-            let r = scalar_binop(op, Scalar::from_i128(1, ScalarType::Int), big);
-            assert!(
-                matches!(r, Err(RuntimeError::InvalidShift { amount }) if amount == 1i64 << 32),
-                "{op:?} accepted an oversized shift amount"
-            );
+    fn shift_amounts_wrap_modulo_the_promoted_width() {
+        let shl = |lhs: Scalar, rhs: Scalar| scalar_binop(BinOp::Shl, lhs, rhs).unwrap();
+        let shr = |lhs: Scalar, rhs: Scalar| scalar_binop(BinOp::Shr, lhs, rhs).unwrap();
+        let int = |v: i128| Scalar::from_i128(v, ScalarType::Int);
+        let long = |v: i128| Scalar::from_i128(v, ScalarType::Long);
+
+        // 1 << 33 on int: 33 mod 32 = 1.
+        assert_eq!(shl(int(1), long(33)).as_u64(), 2);
+        // 1 << 32 on int: exactly the width wraps to 0 — including when the
+        // 64-bit amount's low 32 bits are zero (`1 << 32` must not slip
+        // through a u32 truncation as a shift by 0... it IS a shift by 0
+        // now, by specification).
+        assert_eq!(shl(int(1), long(1i128 << 32)).as_u64(), 1);
+        // The promoted width is the LEFT operand's: 1L << 64 wraps to 0.
+        assert_eq!(shl(long(1), long(64)).as_u64(), 1);
+        assert_eq!(shl(long(1), long(65)).as_u64(), 2);
+        // char/short promote to int, so the modulus is 32, not 8/16.
+        let ch = Scalar::from_i128(1, ScalarType::Char);
+        let r = shl(ch, int(9));
+        assert_eq!(r.ty, ScalarType::Int);
+        assert_eq!(r.as_u64(), 1 << 9);
+        assert_eq!(shl(ch, int(33)).as_u64(), 2);
+
+        // Negative amounts mask their two's complement bit pattern:
+        // -1 & 31 = 31, -5 & 31 = 27 — on both raw shift directions.
+        assert_eq!(shl(int(1), int(-1)).as_u64(), 0x8000_0000);
+        assert_eq!(shl(int(1), int(-5)).as_u64(), 1 << 27);
+        assert_eq!(shr(int(i32::MIN as i128), int(-1)).as_i64(), -1);
+        // A negative char amount sign-extends before masking against a
+        // 64-bit left operand: (char)-5 is ...1111011, & 63 = 59.
+        let neg_char = Scalar::from_i128(-5, ScalarType::Char);
+        assert_eq!(shl(long(1), neg_char).as_u64(), 1u64 << 59);
+
+        // Signed right shifts stay arithmetic; unsigned stay logical.
+        assert_eq!(shr(int(-8), int(34)).as_i64(), -2);
+        let uns = Scalar::from_bits(0x8000_0000, ScalarType::UInt);
+        assert_eq!(shr(uns, int(33)).as_u64(), 0x4000_0000);
+
+        // In-range amounts are untouched.
+        assert_eq!(shl(int(1), long(31)).as_u64(), 0x8000_0000);
+    }
+
+    /// §6.3(j) applies lane-wise to vector shifts too — but vector operands
+    /// are exempt from integer promotion, so every lane's amount wraps
+    /// modulo the **element** width (8 for char lanes, not the scalar
+    /// rule's promoted 32).
+    #[test]
+    fn vector_shift_amounts_wrap_modulo_the_element_width() {
+        // char lanes mask modulo 8: 1<<9 is 1<<1, 1<<8 is 1<<0, a -1
+        // amount masks to 7, and overflow stays within the 8-bit lane.
+        let lanes = Value::Vector(ScalarType::Char, vec![1, 1, 1, 0x40]);
+        let amounts = Value::Vector(
+            ScalarType::Char,
+            vec![9, 8, Scalar::from_i128(-1, ScalarType::Char).bits, 1],
+        );
+        let shifted = value_binop(BinOp::Shl, lanes, amounts).unwrap();
+        match shifted {
+            Value::Vector(elem, lanes) => {
+                assert_eq!(elem, ScalarType::Char, "vector lanes must not promote");
+                assert_eq!(lanes, vec![2, 1, 0x80, 0x80]);
+            }
+            other => panic!("vector shift produced {other:?}"),
         }
-        // In-range amounts still work.
-        let r = scalar_binop(
+        // Contrast with the scalar rule: a scalar char promotes to int, so
+        // the same 1 << 9 computes 512 there.
+        let scalar = scalar_binop(
             BinOp::Shl,
-            Scalar::from_i128(1, ScalarType::Int),
-            Scalar::from_i128(31, ScalarType::Long),
+            Scalar::from_i128(1, ScalarType::Char),
+            Scalar::from_i128(9, ScalarType::Char),
         )
         .unwrap();
-        assert_eq!(r.as_u64(), 0x8000_0000);
+        assert_eq!(scalar.ty, ScalarType::Int);
+        assert_eq!(scalar.as_u64(), 512);
+        let lanes = Value::Vector(ScalarType::Int, vec![1, 2, 4, 8]);
+        let amounts = Value::Vector(
+            ScalarType::Int,
+            vec![
+                33,                                          // 33 mod 32 = 1
+                32,                                          // wraps to 0
+                Scalar::from_i128(-1, ScalarType::Int).bits, // -1 & 31 = 31
+                1,
+            ],
+        );
+        let shifted = value_binop(BinOp::Shl, lanes, amounts).unwrap();
+        match shifted {
+            Value::Vector(elem, lanes) => {
+                assert_eq!(elem, ScalarType::Int);
+                // 1<<1, 2<<0, 4<<31 (overflow masks to 0 at 32 bits), 8<<1.
+                assert_eq!(lanes, vec![2, 2, 0, 16]);
+            }
+            other => panic!("vector shift produced {other:?}"),
+        }
+        // A scalar amount broadcasts, wrapping identically on every lane.
+        let lanes = Value::Vector(ScalarType::Int, vec![1, 2, 3, 4]);
+        let shifted = value_binop(
+            BinOp::Shl,
+            lanes,
+            Value::Scalar(Scalar::from_i128(33, ScalarType::Int)),
+        )
+        .unwrap();
+        match shifted {
+            Value::Vector(_, lanes) => assert_eq!(lanes, vec![2, 4, 6, 8]),
+            other => panic!("vector shift produced {other:?}"),
+        }
     }
 }

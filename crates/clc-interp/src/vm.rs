@@ -20,8 +20,8 @@ use crate::compile::{BranchKind, CompiledProgram, Instr, LeafTy, KERNEL_FUNC};
 use crate::error::RuntimeError;
 use crate::eval::{
     cast_value, id_query_value, lift_builtin, read_value, record_shared, scalar_binop,
-    scalar_builtin, swizzle_value, unary_op, value_binop, write_value, AccessCtx, Place, ThreadIds,
-    MAX_CALL_DEPTH,
+    scalar_builtin, swizzle_value, unary_op, value_binop, vector_lane_binop, write_value,
+    AccessCtx, Place, ThreadIds, MAX_CALL_DEPTH,
 };
 use crate::exec::{
     alloc_param_object, drive_group, group_linear, thread_ids, CoopItem, LaunchOptions, Status,
@@ -1069,7 +1069,7 @@ fn vm_value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeErr
                 });
             }
             for (a, &b) in la.iter_mut().zip(&lb) {
-                let r = scalar_binop(op, Scalar::from_bits(*a, ea), Scalar::from_bits(b, eb))?;
+                let r = vector_lane_binop(op, Scalar::from_bits(*a, ea), Scalar::from_bits(b, eb))?;
                 *a = vector_lane_result(op, r, ea);
             }
             Ok(Value::Vector(comparison_elem(op, ea), la))
@@ -1077,7 +1077,7 @@ fn vm_value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeErr
         (Value::Vector(ea, mut la), Value::Scalar(b)) => {
             let b = b.convert(ea);
             for a in la.iter_mut() {
-                let r = scalar_binop(op, Scalar::from_bits(*a, ea), b)?;
+                let r = vector_lane_binop(op, Scalar::from_bits(*a, ea), b)?;
                 *a = vector_lane_result(op, r, ea);
             }
             Ok(Value::Vector(comparison_elem(op, ea), la))
@@ -1085,7 +1085,7 @@ fn vm_value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeErr
         (Value::Scalar(a), Value::Vector(eb, mut lb)) => {
             let a = a.convert(eb);
             for b in lb.iter_mut() {
-                let r = scalar_binop(op, a, Scalar::from_bits(*b, eb))?;
+                let r = vector_lane_binop(op, a, Scalar::from_bits(*b, eb))?;
                 *b = vector_lane_result(op, r, eb);
             }
             Ok(Value::Vector(comparison_elem(op, eb), lb))

@@ -9,12 +9,13 @@
 //! limit is enforced against each tier's own count; see
 //! [`clc_interp::ExecutionTier`].)
 //!
-//! Also pins the three scalar-semantics bugfixes (mixed-type `min`/`max`,
-//! `abs` on unsigned operands, the full-width shift guard) on *both* tiers.
+//! Also pins the scalar-semantics bugfixes (mixed-type `min`/`max`, `abs`
+//! on unsigned operands, shift amounts taken modulo the promoted width per
+//! OpenCL C §6.3(j)) on *both* tiers.
 
 use clc::expr::{BinOp, Builtin, Expr, IdKind};
 use clc::{BufferSpec, KernelDef, LaunchConfig, Program, ScalarType, Stmt};
-use clc_interp::{launch, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
+use clc_interp::{launch, ExecutionTier, LaunchOptions, Schedule};
 use clsmith::{generate, GenMode, GeneratorOptions};
 
 fn options_for(tier: ExecutionTier, detect_races: bool, schedule: Schedule) -> LaunchOptions {
@@ -264,27 +265,39 @@ fn abs_unsigned_identity_regression() {
     }
 }
 
-/// Regression (both tiers): a shift amount of `1 << 32` is out of range for
-/// every promoted type and must be rejected, not truncated to zero (or, on
-/// the signed right-shift path, fed untruncated into a debug-panicking
-/// shift).
+/// Regression (both tiers): OpenCL C §6.3(j) defines out-of-range shift
+/// amounts as taken modulo the promoted left-operand width — they are never
+/// runtime errors.  `1 << 33` on an `int` shifts by 1; `1 << (1 << 32)`
+/// shifts by 0 (the amount's low 32 bits are zero); `1 << -1` shifts by 31
+/// (the amount's two's complement bit pattern is masked).
 #[test]
-fn oversized_shift_regression() {
-    for op in [BinOp::Shl, BinOp::Shr] {
-        let program = kernel_of(Expr::binary(
-            op,
-            Expr::int(1),
-            Expr::lit(1i128 << 32, ScalarType::Long),
-        ));
+fn shift_amount_modulo_width_regression() {
+    let cases: [(BinOp, i128, ScalarType, u64); 5] = [
+        (BinOp::Shl, 33, ScalarType::Long, 2),
+        (BinOp::Shl, 1i128 << 32, ScalarType::Long, 1),
+        // 1 << 31 = INT_MIN, sign-extended by the store into the ulong
+        // result buffer.
+        (BinOp::Shl, -1, ScalarType::Int, 0xFFFF_FFFF_8000_0000),
+        (BinOp::Shr, 32, ScalarType::Int, 1),
+        (BinOp::Shr, 33, ScalarType::Int, 0),
+    ];
+    for (op, amount, amount_ty, expected) in cases {
+        let program = kernel_of(Expr::binary(op, Expr::int(1), Expr::lit(amount, amount_ty)));
         for tier in ExecutionTier::ALL {
-            let err = launch(&program, &options_for(tier, false, Schedule::Forward))
-                .expect_err("oversized shift must fail");
+            let result = launch(&program, &options_for(tier, false, Schedule::Forward))
+                .unwrap_or_else(|e| panic!("{op:?} by {amount} failed on {}: {e}", tier.name()));
             assert_eq!(
-                err,
-                RuntimeError::InvalidShift { amount: 1i64 << 32 },
-                "{op:?} on the {} tier",
+                result.output[0].as_u64(),
+                expected,
+                "1 {op:?} {amount} on the {} tier",
                 tier.name()
             );
         }
+        assert_tiers_agree(
+            &program,
+            false,
+            Schedule::Forward,
+            &format!("shift {op:?} by {amount}"),
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! and the per-mode CLsmith campaigns (Table 4, §7.3).
 
 use crate::differential::{classify, run_on_targets, targets_for, TestTarget, Verdict};
-use crate::exec::{job_seed, Job, Scheduler};
+use crate::exec::{job_seed, PipelineMetrics, Scheduler, StagedJob};
 use crate::journal::{checksum, JournalError};
 use crate::shard::{
     parse_fields, refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable,
@@ -320,6 +320,10 @@ impl Default for CampaignOptions {
 /// One kernel's worth of campaign work: generate the kernel from its
 /// job-derived seed, run it on every target, vote.  The target list is
 /// shared read-only state behind an [`Arc`].
+///
+/// A [`StagedJob`]: under the scheduler's pipelined mode the three stages
+/// below run on whichever worker is free, so one worker can execute kernel
+/// *k* while another generates kernel *k+1*.
 #[derive(Debug, Clone)]
 pub struct KernelJob {
     /// Generation mode.
@@ -334,17 +338,41 @@ pub struct KernelJob {
     pub targets: Arc<Vec<TestTarget>>,
 }
 
-impl Job for KernelJob {
+/// Stage-1 output of a [`KernelJob`]: the generated kernel plus the
+/// execution context the later stages need.
+#[derive(Debug)]
+pub struct GeneratedKernel {
+    /// The generated kernel.
+    pub program: clc::Program,
+    /// The targets, shared across the whole batch.
+    pub targets: Arc<Vec<TestTarget>>,
+    /// Execution options.
+    pub exec: ExecOptions,
+}
+
+impl StagedJob for KernelJob {
+    type Generated = GeneratedKernel;
+    type Executed = Vec<TestOutcome>;
     type Output = Vec<Verdict>;
 
-    fn run(self) -> Vec<Verdict> {
+    fn generate(self) -> GeneratedKernel {
         let gen_opts = GeneratorOptions {
             mode: self.mode,
             seed: self.seed,
             ..self.generator
         };
-        let program = generate(&gen_opts);
-        let outcomes = run_on_targets(&program, &self.targets, &self.exec);
+        GeneratedKernel {
+            program: generate(&gen_opts),
+            targets: self.targets,
+            exec: self.exec,
+        }
+    }
+
+    fn execute(generated: GeneratedKernel) -> Vec<TestOutcome> {
+        run_on_targets(&generated.program, &generated.targets, &generated.exec)
+    }
+
+    fn judge(outcomes: Vec<TestOutcome>) -> Vec<Verdict> {
         classify(&outcomes)
     }
 }
@@ -479,6 +507,8 @@ pub struct ShardedModeCampaign {
     pub tally: MultiModeTally,
     /// Shard/resume metrics.
     pub metrics: ShardMetrics,
+    /// Stage timing/hand-off metrics of the underlying staged run.
+    pub pipeline: PipelineMetrics,
 }
 
 /// Builds per-mode results from a tally (used by sharded runs and journal
@@ -543,6 +573,7 @@ pub fn run_modes_campaign_sharded(
         results: mode_results_from_tally(modes, &targets, &tally),
         tally,
         metrics: run.metrics,
+        pipeline: run.pipeline,
     })
 }
 
@@ -799,6 +830,8 @@ pub struct ShardedClassification {
     pub tally: ClassificationTally,
     /// Shard/resume metrics.
     pub metrics: ShardMetrics,
+    /// Stage timing/hand-off metrics of the underlying staged run.
+    pub pipeline: PipelineMetrics,
 }
 
 /// Runs one shard of the §7.1 classification with an optional resumable
@@ -841,6 +874,7 @@ pub fn classify_configurations_sharded(
         rows: reliability_rows(configs, &tally),
         tally,
         metrics: run.metrics,
+        pipeline: run.pipeline,
     })
 }
 

@@ -10,7 +10,7 @@
 //! comparison is needed, which is the selling point of EMI testing (§3.2).
 
 use crate::campaign::CampaignOptions;
-use crate::exec::{job_seed, Job, Scheduler};
+use crate::exec::{job_seed, PipelineMetrics, Scheduler, StagedJob};
 use crate::journal::{checksum, JournalError};
 use crate::shard::{
     refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable, RefoldSummary,
@@ -113,36 +113,74 @@ pub struct LivenessProbeJob {
     pub exec: ExecOptions,
 }
 
-impl Job for LivenessProbeJob {
+/// Stage-1 output of a [`LivenessProbeJob`]: the candidate base kernel plus
+/// the execution options for the two reference runs.
+#[derive(Debug)]
+pub struct LivenessCandidate {
+    /// The generated EMI candidate.
+    pub program: clc::Program,
+    /// Execution options for the reference runs.
+    pub exec: ExecOptions,
+}
+
+/// Stage-2 output of a [`LivenessProbeJob`]: the candidate and its two
+/// reference outcomes (normal and `dead`-inverted).
+#[derive(Debug)]
+pub struct LivenessOutcomes {
+    /// The candidate under probe.
+    pub program: clc::Program,
+    /// Reference outcome with the standard `dead` input.
+    pub normal: TestOutcome,
+    /// Reference outcome with the `dead` array inverted.
+    pub inverted: TestOutcome,
+}
+
+impl StagedJob for LivenessProbeJob {
+    type Generated = LivenessCandidate;
+    type Executed = LivenessOutcomes;
     type Output = Option<clc::Program>;
 
-    fn run(self) -> Option<clc::Program> {
+    fn generate(self) -> LivenessCandidate {
         let gen_opts = GeneratorOptions {
             mode: GenMode::All,
             seed: self.seed,
             ..self.generator
         }
         .with_emi();
-        let program = generate(&gen_opts);
+        LivenessCandidate {
+            program: generate(&gen_opts),
+            exec: self.exec,
+        }
+    }
+
+    fn execute(candidate: LivenessCandidate) -> LivenessOutcomes {
         // One session for both reference runs: the normal and inverted
         // executions differ only in buffer overrides, so they share a
         // single lowered kernel (distinct outcome-cache lines).
-        let session = Session::new(&program);
-        let normal = session.reference_execute(&self.exec);
-        let mut inverted_exec = self.exec.clone();
+        let session = Session::new(&candidate.program);
+        let normal = session.reference_execute(&candidate.exec);
+        let mut inverted_exec = candidate.exec.clone();
         Arc::make_mut(&mut inverted_exec.buffer_overrides).insert(
             "dead".into(),
-            clc::BufferInit::ReverseIota.materialize(program.dead_len),
+            clc::BufferInit::ReverseIota.materialize(candidate.program.dead_len),
         );
         let inverted = session.reference_execute(&inverted_exec);
-        let live = match (&normal, &inverted) {
+        LivenessOutcomes {
+            program: candidate.program,
+            normal,
+            inverted,
+        }
+    }
+
+    fn judge(outcomes: LivenessOutcomes) -> Option<clc::Program> {
+        let live = match (&outcomes.normal, &outcomes.inverted) {
             (TestOutcome::Result { hash: a, .. }, TestOutcome::Result { hash: b, .. }) => a != b,
             // An inverted run that fails outright also proves the blocks are
             // reachable under the inverted input.
             (TestOutcome::Result { .. }, _) => true,
             _ => false,
         };
-        live.then_some(program)
+        live.then_some(outcomes.program)
     }
 }
 
@@ -182,7 +220,7 @@ pub fn generate_live_bases_with(
                 exec: options.campaign.exec.clone(),
             })
             .collect();
-        for program in scheduler.run_all(jobs).into_iter().flatten() {
+        for program in scheduler.run_staged_all(jobs).into_iter().flatten() {
             if bases.len() < options.bases {
                 bases.push(program);
             }
@@ -224,10 +262,32 @@ pub struct EmiBaseJob {
     pub exec: ExecOptions,
 }
 
-impl Job for EmiBaseJob {
+/// Stage-1 output of an [`EmiBaseJob`]: the base's pruning-variant grid
+/// plus the judging context.  Variant seeding depends only on the campaign
+/// seed and the base index, never on which worker pruned — the staged
+/// hand-off preserves that.
+#[derive(Debug)]
+pub struct EmiVariantGrid {
+    /// The derived pruning variants, in grid order.
+    pub variants: Vec<clc::Program>,
+    /// The configurations, shared across the batch.
+    pub configs: Arc<Vec<Configuration>>,
+    /// Execution options.
+    pub exec: ExecOptions,
+}
+
+/// Stage-2 output of an [`EmiBaseJob`]: one outcome row per
+/// (configuration, optimisation level) column, each row holding every
+/// variant's outcome on that column, in variant order.
+pub type EmiOutcomeGrid = Vec<Vec<TestOutcome>>;
+
+impl StagedJob for EmiBaseJob {
+    type Generated = EmiVariantGrid;
+    type Executed = EmiOutcomeGrid;
     type Output = Vec<BaseJudgement>;
 
-    fn run(self) -> Vec<BaseJudgement> {
+    /// Variant pruning (stage 1).
+    fn generate(self) -> EmiVariantGrid {
         let base_seed = job_seed(self.campaign_seed, self.base_index as u64);
         let variants: Vec<clc::Program> = self
             .grid
@@ -235,24 +295,46 @@ impl Job for EmiBaseJob {
             .enumerate()
             .map(|(i, probs)| prune_variant(&self.base, probs, job_seed(base_seed, i as u64)))
             .collect();
-        // One session per variant, all behind one memo spanning the whole
-        // (config × opt) judging grid: gently pruned variants are often
-        // bit-identical to each other (or compile identically on
-        // non-optimising targets across both opt levels), so the unpruned
-        // AST is no longer re-executed per target — the Table 5
-        // deduplication the ROADMAP called for.
+        EmiVariantGrid {
+            variants,
+            configs: self.configs,
+            exec: self.exec,
+        }
+    }
+
+    /// The memoised judging grid (stage 2): one session per variant, all
+    /// behind one [`ExecMemo`] spanning the whole (config × opt) grid —
+    /// gently pruned variants are often bit-identical to each other (or
+    /// compile identically on non-optimising targets across both opt
+    /// levels), so the unpruned AST is executed once, not once per target.
+    /// The memo is [`Rc`]-based and deliberately never crosses the stage
+    /// boundary: it lives and dies with this stage, on whichever worker
+    /// runs it.
+    fn execute(grid: EmiVariantGrid) -> EmiOutcomeGrid {
         let memo = Rc::new(ExecMemo::new());
-        let sessions: Vec<Session<'_>> = variants
+        let sessions: Vec<Session<'_>> = grid
+            .variants
             .iter()
             .map(|v| Session::with_memo(v, Rc::clone(&memo)))
             .collect();
-        let mut judgements = Vec::with_capacity(self.configs.len() * OptLevel::BOTH.len());
-        for config in self.configs.iter() {
+        let mut rows = Vec::with_capacity(grid.configs.len() * OptLevel::BOTH.len());
+        for config in grid.configs.iter() {
             for opt in OptLevel::BOTH {
-                judgements.push(judge_base_sessions(&sessions, config, opt, &self.exec));
+                rows.push(
+                    sessions
+                        .iter()
+                        .map(|s| s.execute(config, opt, &grid.exec))
+                        .collect(),
+                );
             }
         }
-        judgements
+        rows
+    }
+
+    /// Row classification (stage 3): §7.4's per-target verdict over each
+    /// outcome row.
+    fn judge(rows: EmiOutcomeGrid) -> Vec<BaseJudgement> {
+        rows.iter().map(|row| judge_outcomes(row)).collect()
     }
 }
 
@@ -488,6 +570,8 @@ pub struct ShardedEmiCampaign {
     pub tally: EmiTally,
     /// Shard/resume metrics.
     pub metrics: ShardMetrics,
+    /// Stage timing/hand-off metrics of the judging run.
+    pub pipeline: PipelineMetrics,
     /// Live bases found across the whole campaign (the global job space).
     pub total_bases: usize,
 }
@@ -540,6 +624,7 @@ pub fn run_emi_campaign_sharded(
         },
         tally,
         metrics: run.metrics,
+        pipeline: run.pipeline,
         total_bases: bases.len(),
     })
 }
@@ -614,6 +699,17 @@ pub fn judge_base_sessions(
     opt: OptLevel,
     exec: &ExecOptions,
 ) -> BaseJudgement {
+    let outcomes: Vec<TestOutcome> = variants
+        .iter()
+        .map(|variant| variant.execute(config, opt, exec))
+        .collect();
+    judge_outcomes(&outcomes)
+}
+
+/// Classifies one outcome row — every variant of a base on one target —
+/// according to §7.4.  This is the judge stage of [`EmiBaseJob`], factored
+/// out so the one-shot helpers above apply the identical rule.
+pub fn judge_outcomes(outcomes: &[TestOutcome]) -> BaseJudgement {
     // A BTreeMap keeps the tally independent of hash iteration order (the
     // verdict only reads set size and totals today, but stable ordering is
     // the crate-wide rule after the `classify` tie-break fix).
@@ -621,10 +717,10 @@ pub fn judge_base_sessions(
     let mut build_failure = false;
     let mut crash = false;
     let mut timeout = false;
-    for variant in variants {
-        match variant.execute(config, opt, exec) {
+    for outcome in outcomes {
+        match outcome {
             TestOutcome::Result { hash, .. } => {
-                *hashes.entry(hash).or_insert(0) += 1;
+                *hashes.entry(*hash).or_insert(0) += 1;
             }
             TestOutcome::BuildFailure(_) => build_failure = true,
             TestOutcome::Crash(_) => crash = true,
@@ -634,7 +730,7 @@ pub fn judge_base_sessions(
     let terminated = hashes.values().sum::<usize>();
     let bad_base = terminated == 0;
     let wrong = hashes.len() > 1;
-    let stable = !bad_base && !wrong && terminated == variants.len();
+    let stable = !bad_base && !wrong && terminated == outcomes.len();
     BaseJudgement {
         bad_base,
         wrong,

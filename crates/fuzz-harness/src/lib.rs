@@ -19,7 +19,10 @@
 //! * [`exec`] — the parallel campaign engine every driver above runs on: a
 //!   bounded-queue worker pool with per-job deterministic seeding and
 //!   index-ordered aggregation, so that for a fixed campaign seed the
-//!   rendered tables are bit-identical at any thread count.
+//!   rendered tables are bit-identical at any thread count — and, since
+//!   every driver job is a [`StagedJob`] (generate → execute → judge), in
+//!   either scheduler mode: whole-job batches or the pipelined stage
+//!   hand-off ([`SchedulerMode::Pipelined`], `--pipeline`).
 //!
 //! Every driver comes in two forms: the historical signature (e.g.
 //! [`run_mode_campaign`]), which fans out over [`exec::Scheduler::from_env`]
@@ -40,15 +43,15 @@ pub mod report;
 pub mod shard;
 
 pub use benchmark_emi::{
-    evaluate_benchmark, evaluate_benchmark_with, BenchmarkBodyJob, BenchmarkCell, BodyShard,
-    CellOutcome, CellTally, EmiBenchmark,
+    evaluate_benchmark, evaluate_benchmark_with, BenchmarkBodyJob, BenchmarkCell, BodyOutcomes,
+    BodyShard, CellOutcome, CellTally, EmiBenchmark, InjectedVariants,
 };
 pub use campaign::{
     classification_descriptor, classify_configurations, classify_configurations_sharded,
     classify_configurations_with, merge_classification_journals, merge_mode_campaign_journals,
     mode_campaign_descriptor, quick_differential, reliability_rows, run_mode_campaign,
     run_mode_campaign_with, run_modes_campaign_sharded, CampaignOptions, CampaignResult,
-    ClassificationTally, KernelJob, ModeTally, MultiModeTally, ReliabilityRow,
+    ClassificationTally, GeneratedKernel, KernelJob, ModeTally, MultiModeTally, ReliabilityRow,
     ShardedClassification, ShardedModeCampaign, TargetStats, RELIABILITY_THRESHOLD,
 };
 pub use differential::{
@@ -57,11 +60,15 @@ pub use differential::{
 };
 pub use emi_campaign::{
     emi_campaign_descriptor, generate_live_bases, generate_live_bases_with, judge_base,
-    judge_base_sessions, merge_emi_campaign_journals, pruning_grid, run_emi_campaign,
-    run_emi_campaign_sharded, run_emi_campaign_with, EmiBaseJob, EmiCampaignOptions,
-    EmiCampaignResult, EmiStats, EmiTally, LivenessProbeJob, ShardedEmiCampaign,
+    judge_base_sessions, judge_outcomes, merge_emi_campaign_journals, pruning_grid,
+    run_emi_campaign, run_emi_campaign_sharded, run_emi_campaign_with, EmiBaseJob,
+    EmiCampaignOptions, EmiCampaignResult, EmiOutcomeGrid, EmiStats, EmiTally, EmiVariantGrid,
+    LivenessCandidate, LivenessOutcomes, LivenessProbeJob, ShardedEmiCampaign,
 };
-pub use exec::{expect_completed, job_seed, Job, JobFailure, JobResult, Scheduler};
+pub use exec::{
+    expect_completed, job_seed, Job, JobFailure, JobResult, PipelineMetrics, Scheduler,
+    SchedulerMode, Stage, StagedJob,
+};
 pub use journal::{
     checksum, load_journal, JournalError, JournalHeader, JournalRecord, JournalWriter,
     LoadedJournal, JOURNAL_FORMAT_VERSION, JOURNAL_MAGIC,

@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-use crate::exec::{Job, JobResult, Scheduler};
+use crate::exec::{JobResult, PipelineMetrics, Scheduler, StagedJob};
 use crate::journal::{
     load_journal, JournalError, JournalHeader, JournalRecord, JournalWriter, LoadedJournal,
 };
@@ -209,6 +209,9 @@ pub struct ShardRun<T> {
     pub outputs: Vec<(u64, T)>,
     /// Resume/journal metrics.
     pub metrics: ShardMetrics,
+    /// What the staged run measured about itself: per-stage busy time in
+    /// both scheduler modes, hand-off queue depth in the pipelined mode.
+    pub pipeline: PipelineMetrics,
 }
 
 /// Validates that a loaded journal belongs to the campaign and shard the
@@ -241,10 +244,13 @@ fn validate_header(
 /// The shared shard executor (see the module docs).
 ///
 /// `make_job` maps a global job index to its derived seed and job; it is
-/// called once per job the shard still needs to execute.  Completed jobs
-/// stream to the journal writer thread in completion order; outputs are
-/// returned in job-index order, so the caller's fold is oblivious to both
-/// scheduling and resumption.
+/// called once per job the shard still needs to execute.  Jobs are
+/// [`StagedJob`]s, so the scheduler's [mode](crate::exec::SchedulerMode)
+/// decides whether each runs whole on one worker or as pipelined
+/// generate → execute → judge stages — journaling, resume and the caller's
+/// fold are oblivious to the choice, because completed jobs stream to the
+/// journal writer thread in completion order either way and outputs are
+/// returned in job-index order.
 ///
 /// A panicking job is re-raised deterministically (lowest failed index)
 /// *after* every completed job of the batch has been journaled — so even a
@@ -258,7 +264,7 @@ pub fn run_sharded<J, F>(
     make_job: F,
 ) -> Result<ShardRun<J::Output>, JournalError>
 where
-    J: Job,
+    J: StagedJob,
     J::Output: JournalPayload,
     F: Fn(u64) -> (u64, J),
 {
@@ -314,7 +320,7 @@ where
     };
     let meta: Vec<(u64, u64)> = pending.iter().map(|(i, s, _)| (*i, *s)).collect();
     let jobs: Vec<J> = pending.into_iter().map(|(_, _, job)| job).collect();
-    let results = scheduler.run_streaming(jobs, |batch_index, result| {
+    let (results, pipeline) = scheduler.run_staged_metrics(jobs, |batch_index, result| {
         if let (Some(writer), JobResult::Completed(output)) = (&writer, result) {
             let (index, seed) = meta[batch_index];
             writer.record(JournalRecord::new(index, seed, output.encode()));
@@ -343,6 +349,7 @@ where
             dropped_bytes,
             shard_count: spec.shard_count,
         },
+        pipeline,
     })
 }
 
@@ -482,7 +489,7 @@ pub(crate) fn parse_fields<T: std::str::FromStr>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::Job;
+    use crate::exec::{SchedulerMode, StagedJob};
 
     #[test]
     fn shard_ranges_tile_the_job_space_exactly() {
@@ -523,14 +530,22 @@ mod tests {
         }
     }
 
-    /// A trivial journalable job for executor tests.
+    /// A trivial journalable staged job for executor tests.
     #[derive(Debug)]
     struct Double(u64);
 
-    impl Job for Double {
+    impl StagedJob for Double {
+        type Generated = u64;
+        type Executed = u64;
         type Output = u64;
-        fn run(self) -> u64 {
-            self.0 * 2
+        fn generate(self) -> u64 {
+            self.0
+        }
+        fn execute(generated: u64) -> u64 {
+            generated * 2
+        }
+        fn judge(executed: u64) -> u64 {
+            executed
         }
     }
 
@@ -569,6 +584,46 @@ mod tests {
         assert_eq!(run.metrics.jobs_resumed, 0);
         assert_eq!(run.metrics.jobs_replayed, spec.jobs());
         assert_eq!(run.metrics.shard_count, 3);
+    }
+
+    #[test]
+    fn pipelined_shard_outputs_and_journals_match_batch_mode() {
+        // Journaling and resume must be oblivious to the scheduler mode:
+        // same outputs, same journal records, at several worker counts.
+        let spec = ShardSpec::full(11, 16);
+        let batch_path = temp_path("mode-batch");
+        let batch = run_sharded::<Double, _>(
+            &Scheduler::new(2),
+            &spec,
+            "test:mode",
+            Some(&JournalOptions::create(&batch_path)),
+            make_job,
+        )
+        .unwrap();
+        for threads in [1usize, 3, 8] {
+            let path = temp_path(&format!("mode-pipe-{threads}"));
+            let pipelined = run_sharded::<Double, _>(
+                &Scheduler::new(threads).with_mode(SchedulerMode::Pipelined),
+                &spec,
+                "test:mode",
+                Some(&JournalOptions::create(&path)),
+                make_job,
+            )
+            .unwrap();
+            assert_eq!(pipelined.outputs, batch.outputs, "{threads} workers");
+            // Journals hold the same record set (byte order differs only by
+            // completion order, which the loader sorts out).
+            let a = load_journal(&batch_path).unwrap();
+            let b = load_journal(&path).unwrap();
+            let key = |r: &JournalRecord| (r.job_index, r.job_seed, r.digest, r.payload.clone());
+            let mut ra: Vec<_> = a.records.iter().map(key).collect();
+            let mut rb: Vec<_> = b.records.iter().map(key).collect();
+            ra.sort();
+            rb.sort();
+            assert_eq!(ra, rb, "{threads} workers");
+            let _ = std::fs::remove_file(&path);
+        }
+        let _ = std::fs::remove_file(&batch_path);
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! The campaign engine's headline guarantee: for a fixed campaign seed,
 //! every driver produces **bit-identical** results — including the rendered
-//! report tables — at any worker count.
+//! report tables — at any worker count, and (since the staged scheduler)
+//! in either execution mode: whole-job batches or the pipelined
+//! generate → execute → judge hand-off.
 
 use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::{
     classify_configurations_with, evaluate_benchmark_with, generate_live_bases_with, percent,
-    render_campaign_table, render_emi_table, run_emi_campaign_with, run_mode_campaign_with,
-    CampaignOptions, EmiBenchmark, EmiCampaignOptions, Scheduler,
+    render_campaign_table, render_emi_table, render_reliability_table, run_emi_campaign_with,
+    run_mode_campaign_with, CampaignOptions, EmiBenchmark, EmiCampaignOptions, ExecutionTier,
+    Scheduler, SchedulerMode,
 };
 use opencl_sim::ExecOptions;
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Worker counts of the pipeline-vs-batch differential (1, a small prime,
+/// and "many" relative to the job counts below).
+const PIPELINE_WORKER_COUNTS: [usize; 3] = [1, 3, 8];
 
 fn small_campaign_options(seed_offset: u64) -> CampaignOptions {
     CampaignOptions {
@@ -129,6 +136,88 @@ fn reliability_classification_is_bit_identical_at_any_worker_count() {
             reference,
             "{workers} workers"
         );
+    }
+}
+
+/// The pipeline-vs-batch differential: Tables 1, 4 and 5 must be
+/// bit-identical between the two scheduler modes at 1, 3 and 8 workers —
+/// on both interpreter tiers, since the tier is the execution half of every
+/// staged job.
+#[test]
+fn tables_1_4_5_are_bit_identical_between_batch_and_pipelined_modes() {
+    for tier in ExecutionTier::ALL {
+        let exec = ExecOptions {
+            tier,
+            ..ExecOptions::default()
+        };
+        let campaign_options = |seed_offset: u64| CampaignOptions {
+            kernels: 8,
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 48,
+                ..GeneratorOptions::default()
+            },
+            exec: exec.clone(),
+            seed_offset,
+        };
+
+        // Table 1: the reliability classification.
+        let table1_configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(21)];
+        let table1 = |scheduler: &Scheduler| {
+            render_reliability_table(&classify_configurations_with(
+                scheduler,
+                &table1_configs,
+                3,
+                &campaign_options(0x7AB1E1),
+            ))
+        };
+
+        // Table 4: a per-mode CLsmith campaign.
+        let table4_configs = vec![
+            opencl_sim::configuration(1),
+            opencl_sim::configuration(9),
+            opencl_sim::configuration(19),
+        ];
+        let table4 = |scheduler: &Scheduler| {
+            render_campaign_table(&run_mode_campaign_with(
+                scheduler,
+                GenMode::Barrier,
+                &table4_configs,
+                &campaign_options(0x7AB1E4),
+            ))
+        };
+
+        // Table 5: the EMI campaign (variant pruning, the memoised judging
+        // grid and row classification are distinct pipeline stages here).
+        let table5_configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+        let emi_options = EmiCampaignOptions {
+            bases: 2,
+            variants_per_base: 5,
+            campaign: campaign_options(0x7AB1E5),
+        };
+        let table5 = |scheduler: &Scheduler| {
+            render_emi_table(&run_emi_campaign_with(
+                scheduler,
+                &table5_configs,
+                &emi_options,
+            ))
+        };
+
+        type RenderTable<'a> = &'a dyn Fn(&Scheduler) -> String;
+        let tables: [(&str, RenderTable<'_>); 3] = [("1", &table1), ("4", &table4), ("5", &table5)];
+        for (name, render) in tables {
+            let reference = render(&Scheduler::new(2));
+            for workers in PIPELINE_WORKER_COUNTS {
+                let pipelined = Scheduler::new(workers).with_mode(SchedulerMode::Pipelined);
+                assert_eq!(
+                    render(&pipelined),
+                    reference,
+                    "Table {name} diverged between batch and pipelined mode \
+                     at {workers} workers on the {} tier",
+                    tier.name()
+                );
+            }
+        }
     }
 }
 
