@@ -17,7 +17,8 @@ use fuzz_harness::{
     render_campaign_table, run_mode_campaign_with, run_modes_campaign_sharded, run_on_targets,
     targets_for, CampaignOptions, Job, MultiModeTally, Scheduler, SchedulerMode, Stage,
 };
-use opencl_sim::{configuration, execute, ExecOptions, ExecutionTier, OptLevel};
+use opencl_sim::{configuration, execute, ExecOptions, ExecutionTier, OptLevel, OutcomeStore};
+use std::sync::Arc;
 
 /// Flat metric sink rendered to JSON at the end of the run (no external
 /// serialisation dependencies, so the values are written by hand).
@@ -176,6 +177,10 @@ fn bench_campaign_scaling(kernels: usize, metrics: &mut Metrics) {
     let mut tables: Vec<(usize, String)> = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let scheduler = Scheduler::new(workers);
+        // Clear the process-wide outcome cache so every worker count does
+        // the same cold work — otherwise run 2 onwards would measure cache
+        // reads, not scheduler scaling.
+        opencl_sim::reset_shared_outcome_cache();
         let start = Instant::now();
         let result = run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options);
         let elapsed = start.elapsed();
@@ -218,8 +223,12 @@ fn bench_differential_dedupe(kernels: usize, metrics: &mut Metrics) {
     for (m, memoize) in [false, true].into_iter().enumerate() {
         let exec = ExecOptions {
             memoize,
+            store: None,
             ..ExecOptions::default()
         };
+        // Every pass starts cold at every cache level, so "memo on" measures
+        // the per-process dedupe machinery itself, not leftovers.
+        opencl_sim::reset_shared_outcome_cache();
         opencl_sim::reset_process_cache_stats();
         let start = Instant::now();
         let mut outcome_hash = 0u64;
@@ -258,6 +267,91 @@ fn bench_differential_dedupe(kernels: usize, metrics: &mut Metrics) {
     metrics.record("dedupe_speedup", speedup);
 }
 
+/// The cross-campaign outcome-store measurement: the same fixed-seed
+/// differential workload run three ways — store off, cold store (fresh
+/// directory) and warm store (a second pass over the same directory with
+/// the in-memory cache levels cleared, modelling a fresh process).  Asserts
+/// the outcome hash-stream is identical in all three passes — the
+/// store-equivalence invariant CI pins in its smoke run — and reports the
+/// store counters plus the warm-over-cold speedup.
+fn bench_store(kernels: usize, metrics: &mut Metrics) {
+    println!("outcome store ({kernels} kernels × 42 targets, off vs cold vs warm)");
+    let configs = opencl_sim::all_configurations();
+    let targets = targets_for(&configs);
+    let programs: Vec<clc::Program> = (0..kernels)
+        .map(|i| generate(&small_opts(GenMode::All, 0xCA5E + i as u64)))
+        .collect();
+    let dir = std::env::temp_dir().join(format!("clfuzz-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut hashes: Vec<u64> = Vec::new();
+    let mut kernels_per_sec = [0.0f64; 3];
+    let mut cold_misses = 0u64;
+    for (pass, label) in ["off", "cold", "warm"].into_iter().enumerate() {
+        let store = if label == "off" {
+            None
+        } else {
+            Some(Arc::new(
+                OutcomeStore::open_with_cap(&dir, u64::MAX).expect("open bench store"),
+            ))
+        };
+        let exec = ExecOptions {
+            store: store.clone(),
+            ..ExecOptions::default()
+        };
+        // Clearing the in-memory levels makes every pass process-cold: the
+        // warm pass can only be fast through the on-disk store.
+        opencl_sim::reset_shared_outcome_cache();
+        opencl_sim::reset_process_cache_stats();
+        let start = Instant::now();
+        let mut outcome_hash = 0u64;
+        for program in &programs {
+            for outcome in run_on_targets(program, &targets, &exec) {
+                let h = clc_interp::fnv1a(format!("{outcome:?}").as_bytes());
+                outcome_hash = outcome_hash.rotate_left(7) ^ h;
+            }
+        }
+        let elapsed = start.elapsed();
+        hashes.push(outcome_hash);
+        kernels_per_sec[pass] = kernels as f64 / elapsed.as_secs_f64();
+        let process = opencl_sim::process_cache_stats();
+        let stats = store.as_ref().map(|s| s.stats()).unwrap_or_default();
+        println!(
+            "  store {label:<5} {elapsed:>10.1?} total   {:>7.2} kernels/sec   store hits/misses {}/{}   outcome hit rate {:.2}",
+            kernels_per_sec[pass],
+            stats.hits,
+            stats.misses,
+            process.outcome_hit_rate(),
+        );
+        match label {
+            "cold" => cold_misses = stats.misses,
+            "warm" => {
+                assert_eq!(
+                    process.launches, 0,
+                    "a warm store must serve every execution without a launch"
+                );
+                metrics.record("store_hits", stats.hits as f64);
+                metrics.record("store_misses", cold_misses as f64);
+                metrics.record("store_evictions", stats.evictions as f64);
+                metrics.record("store_bytes", stats.bytes as f64);
+                metrics.record("store_warm_kernels_per_sec", kernels_per_sec[pass]);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        hashes.iter().all(|h| *h == hashes[0]),
+        "outcome stream diverged across store off/cold/warm passes"
+    );
+    let speedup = kernels_per_sec[2] / kernels_per_sec[1];
+    println!("  warm-over-cold speedup: ×{speedup:.2} (outcomes hash-match in all passes)");
+    metrics.record("store_speedup_warm_over_cold", speedup);
+    assert!(
+        speedup > 2.0,
+        "warm store should beat the cold pass by >2x, got ×{speedup:.2}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The shard/journal layer measurement: a fixed-seed mode campaign run
 /// three ways — single process, 3 shards merged, and killed-then-resumed —
 /// with the journaling overhead and resume bookkeeping reported next to
@@ -284,16 +378,21 @@ fn bench_shard_resume(kernels: usize, metrics: &mut Metrics) {
         std::env::temp_dir().join(format!("clfuzz-bench-{}-{name}.log", std::process::id()))
     };
 
-    // Reference: the plain single-process campaign.
+    // Reference: the plain single-process campaign.  Each timed phase
+    // starts with a cold process-wide cache so the comparison measures the
+    // shard/journal machinery, not cache reads of the previous phase.
+    opencl_sim::reset_shared_outcome_cache();
     let start = Instant::now();
     let single = run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options);
     let plain = start.elapsed();
     let reference = render_campaign_table(&single);
 
-    // 3 journaled shards, merged in memory.
+    // 3 journaled shards, merged in memory (disjoint job spaces, so one
+    // reset for the whole loop keeps them mutually cold).
     let mut paths = Vec::new();
     let mut tally: Option<MultiModeTally> = None;
     let mut journal_bytes = 0u64;
+    opencl_sim::reset_shared_outcome_cache();
     let start = Instant::now();
     for index in 0..3u32 {
         let path = temp(&format!("shard{index}"));
@@ -329,6 +428,7 @@ fn bench_shard_resume(kernels: usize, metrics: &mut Metrics) {
 
     // Kill after half the jobs (torn final record), resume from the journal.
     let journal = temp("resume");
+    opencl_sim::reset_shared_outcome_cache();
     run_modes_campaign_sharded(
         &scheduler,
         &modes,
@@ -344,6 +444,7 @@ fn bench_shard_resume(kernels: usize, metrics: &mut Metrics) {
     let mut raw = text.into_bytes();
     raw.truncate(bytes + 11); // a torn half-record survives the kill
     std::fs::write(&journal, raw).expect("truncate journal");
+    opencl_sim::reset_shared_outcome_cache();
     let start = Instant::now();
     let resumed = run_modes_campaign_sharded(
         &scheduler,
@@ -416,6 +517,9 @@ fn bench_pipeline_overlap(kernels: usize, metrics: &mut Metrics) {
         .enumerate()
     {
         let scheduler = Scheduler::new(4).with_mode(mode);
+        // Both modes do the same cold work: without this the pipelined run
+        // would be served from the batch run's process-wide outcome cache.
+        opencl_sim::reset_shared_outcome_cache();
         let start = Instant::now();
         let sharded = run_modes_campaign_sharded(
             &scheduler,
@@ -537,6 +641,7 @@ fn main() {
     bench_simulated_platform(iters);
     bench_emi_pruning(iters.max(30));
     bench_differential_dedupe(if quick { 4 } else { 12 }, &mut metrics);
+    bench_store(if quick { 4 } else { 12 }, &mut metrics);
     bench_shard_resume(if quick { 8 } else { 24 }, &mut metrics);
     bench_pipeline_overlap(if quick { 8 } else { 24 }, &mut metrics);
     bench_scheduler_overlap();

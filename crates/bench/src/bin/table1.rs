@@ -58,6 +58,7 @@ fn main() {
             max_threads: 64,
             ..GeneratorOptions::default()
         }),
+        exec: cli.exec_options(),
         ..CampaignOptions::default()
     };
     let sharded = classify_configurations_sharded(
@@ -70,6 +71,7 @@ fn main() {
     )
     .unwrap_or_else(|e| bench::fail(e));
     bench::report_shard_metrics(&cli, &sharded.metrics);
+    bench::report_store_stats(&options.exec);
     println!("Table 1 — configurations and reliability classification");
     println!("({} scheduler worker(s))", scheduler.threads());
     if cli.is_sharded() {

@@ -148,7 +148,7 @@ fn main() {
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    let exec = ExecOptions::default();
+    let exec = cli.exec_options();
     let generator = cli.generator_or(GeneratorOptions {
         min_threads: 16,
         max_threads: 32,
@@ -211,6 +211,7 @@ fn main() {
     )
     .unwrap_or_else(|e| bench::fail(e));
     bench::report_shard_metrics(&cli, &run.metrics);
+    bench::report_store_stats(&exec);
     let mut cells: Vec<Option<BenchmarkCell>> = vec![None; total_cells as usize];
     for (g, cell) in run.outputs {
         cells[g as usize] = Some(cell);

@@ -54,6 +54,7 @@ fn main() {
             max_threads: 64,
             ..GeneratorOptions::default()
         }),
+        exec: cli.exec_options(),
         ..CampaignOptions::default()
     };
     let sharded = run_modes_campaign_sharded(
@@ -66,6 +67,7 @@ fn main() {
     )
     .unwrap_or_else(|e| bench::fail(e));
     bench::report_shard_metrics(&cli, &sharded.metrics);
+    bench::report_store_stats(&options.exec);
     println!("Table 4 — CLsmith campaigns over the above-threshold configurations");
     if cli.is_sharded() {
         println!(

@@ -56,6 +56,7 @@ fn main() {
                 max_threads: 64,
                 ..GeneratorOptions::default()
             }),
+            exec: cli.exec_options(),
             ..CampaignOptions::default()
         },
     };
@@ -68,6 +69,7 @@ fn main() {
     )
     .unwrap_or_else(|e| bench::fail(e));
     bench::report_shard_metrics(&cli, &sharded.metrics);
+    bench::report_store_stats(&options.campaign.exec);
     println!("Table 5 — CLsmith+EMI results over the above-threshold configurations");
     if cli.is_sharded() {
         println!(

@@ -26,14 +26,23 @@
 //! * `<binary> merge J1 [J2 ...]` refolds any subset of shard journals
 //!   into the (full or partial) table without re-running anything.
 //!
+//! Every table binary also speaks the cross-campaign outcome store:
+//! `--store PATH` points executions at an on-disk outcome cache shared
+//! across runs (and across concurrent shard processes), `--no-store`
+//! disables it, and neither flag defers to the `CLFUZZ_STORE` environment
+//! variable.  Like the scheduler flags, the store never changes the
+//! produced tables — only how fast repeat executions resolve.
+//!
 //! Tables go to stdout; shard/resume/merge progress lines go to stderr, so
 //! merged outputs can be diffed byte for byte.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::shard::{JournalOptions, RefoldSummary, ShardMetrics, ShardSelect};
 use fuzz_harness::{Scheduler, SchedulerMode};
+use opencl_sim::{ExecOptions, OutcomeStore};
 
 /// Command-line options shared by the table binaries.
 pub struct Cli {
@@ -56,6 +65,12 @@ pub struct Cli {
     /// Journal paths of the `merge` subcommand, when invoked as
     /// `<binary> merge J1 [J2 ...]`.
     pub merge: Option<Vec<PathBuf>>,
+    /// Cross-campaign outcome store directory (`--store PATH`; defaults to
+    /// `CLFUZZ_STORE` when unset).
+    pub store: Option<PathBuf>,
+    /// Whether `--no-store` was given: run without an outcome store even
+    /// when `CLFUZZ_STORE` is set.
+    pub no_store: bool,
 }
 
 impl Cli {
@@ -84,6 +99,24 @@ impl Cli {
     /// table is partial).
     pub fn is_sharded(&self) -> bool {
         self.shard.count > 1
+    }
+
+    /// The execution options selected by the store flags: `--store PATH`
+    /// opens (creating if needed) an explicit outcome store, `--no-store`
+    /// disables the store even when `CLFUZZ_STORE` is set, and neither flag
+    /// defers to the environment default.  The store never changes the
+    /// produced tables — only how fast repeat executions resolve.
+    pub fn exec_options(&self) -> ExecOptions {
+        let mut exec = ExecOptions::default();
+        if self.no_store {
+            exec.store = None;
+        } else if let Some(path) = &self.store {
+            match OutcomeStore::open(path) {
+                Ok(store) => exec.store = Some(Arc::new(store)),
+                Err(e) => fail(format!("--store {}: {e}", path.display())),
+            }
+        }
+        exec
     }
 }
 
@@ -120,6 +153,25 @@ pub fn report_shard_metrics(cli: &Cli, metrics: &ShardMetrics) {
     );
 }
 
+/// Reports the outcome store's counters on stderr (stdout is reserved for
+/// the table, which store-warm re-runs diff byte for byte).  No-op when no
+/// store is configured.
+pub fn report_store_stats(exec: &ExecOptions) {
+    if let Some(store) = &exec.store {
+        let stats = store.stats();
+        eprintln!(
+            "store {}: {} hit(s), {} miss(es), {} write(s), {} eviction(s), {} byte(s), hit rate {:.2}",
+            store.dir().display(),
+            stats.hits,
+            stats.misses,
+            stats.writes,
+            stats.evictions,
+            stats.bytes,
+            stats.hit_rate(),
+        );
+    }
+}
+
 /// Reports what a `merge` covered on stderr.
 pub fn report_refold_summary(summary: &RefoldSummary) {
     eprintln!(
@@ -153,10 +205,25 @@ pub fn parse_threads(value: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Validates the store flag combination: at most one of `--store PATH` and
+/// `--no-store`, and the path (when given) must be non-empty.  Pure so the
+/// conflict handling is unit-testable like [`parse_threads`].
+pub fn resolve_store(store: Option<&str>, no_store: bool) -> Result<Option<PathBuf>, String> {
+    match (store, no_store) {
+        (Some(_), true) => {
+            Err("--store PATH conflicts with --no-store; pass at most one".to_string())
+        }
+        (Some(""), false) => Err("--store requires a non-empty path".to_string()),
+        (Some(path), false) => Ok(Some(PathBuf::from(path))),
+        (None, _) => Ok(None),
+    }
+}
+
 /// Parses the command-line arguments shared by the table binaries:
 /// extracts `--threads N` (or `--threads=N`), `--pipeline`, `--paper-scale`,
-/// `--shard I/N`, `--journal PATH` and `--resume`, recognises the `merge`
-/// subcommand, and returns them with the remaining positional arguments.
+/// `--shard I/N`, `--journal PATH`, `--resume`, `--store PATH` and
+/// `--no-store`, recognises the `merge` subcommand, and returns them with
+/// the remaining positional arguments.
 pub fn cli() -> Cli {
     let mut positional = Vec::new();
     let mut threads: Option<usize> = None;
@@ -165,6 +232,8 @@ pub fn cli() -> Cli {
     let mut shard = ShardSelect::whole();
     let mut journal: Option<PathBuf> = None;
     let mut resume = false;
+    let mut store: Option<String> = None;
+    let mut no_store = false;
     let parse = |value: Option<String>| -> usize {
         parse_threads(value.as_deref()).unwrap_or_else(|e| usage_error(e))
     };
@@ -198,10 +267,20 @@ pub fn cli() -> Cli {
             journal = Some(PathBuf::from(value));
         } else if arg == "--resume" {
             resume = true;
+        } else if arg == "--store" {
+            match args.next() {
+                Some(path) => store = Some(path),
+                None => usage_error("--store requires a path"),
+            }
+        } else if let Some(value) = arg.strip_prefix("--store=") {
+            store = Some(value.to_string());
+        } else if arg == "--no-store" {
+            no_store = true;
         } else {
             positional.push(arg);
         }
     }
+    let store = resolve_store(store.as_deref(), no_store).unwrap_or_else(|e| usage_error(e));
     let merge = if positional.first().map(String::as_str) == Some("merge") {
         let paths: Vec<PathBuf> = positional[1..].iter().map(PathBuf::from).collect();
         if paths.is_empty() {
@@ -237,6 +316,8 @@ pub fn cli() -> Cli {
         journal,
         resume,
         merge,
+        store,
+        no_store,
     }
 }
 
@@ -252,5 +333,20 @@ mod tests {
         assert!(parse_threads(Some("-3")).is_err());
         assert!(parse_threads(Some("two")).is_err());
         assert!(parse_threads(None).is_err());
+    }
+
+    #[test]
+    fn store_flags_reject_conflicts_and_empty_paths() {
+        assert_eq!(resolve_store(None, false), Ok(None));
+        assert_eq!(resolve_store(None, true), Ok(None));
+        assert_eq!(
+            resolve_store(Some("/tmp/store"), false),
+            Ok(Some(PathBuf::from("/tmp/store")))
+        );
+        let conflict = resolve_store(Some("/tmp/store"), true).unwrap_err();
+        assert!(conflict.contains("--no-store"), "got: {conflict}");
+        assert!(resolve_store(Some(""), false)
+            .unwrap_err()
+            .contains("non-empty"));
     }
 }

@@ -27,7 +27,7 @@
 //! stays dead and live code fails with exactly the same error on both tiers.
 
 use crate::error::RuntimeError;
-use crate::value::Scalar;
+use crate::value::{Lanes, Scalar};
 use clc::expr::{BinOp, Builtin, Expr, IdKind, UnOp};
 use clc::stmt::{Initializer, Stmt};
 use clc::types::{AddressSpace, ScalarType, Type, VectorWidth};
@@ -139,7 +139,7 @@ pub(crate) enum Instr {
         push: bool,
     },
     /// `→ value` — push a compile-time-folded vector literal.
-    ConstVector(Box<(ScalarType, Vec<u64>)>),
+    ConstVector(Box<(ScalarType, Lanes)>),
     /// `index-value → value` — fused `v[i]` load where `v` is a resolved
     /// slot: combines `PlaceSlot` + `ResolveIndexable` + `IndexPlace` +
     /// `LoadPlace` without materialising a place.
@@ -997,7 +997,7 @@ impl<'p> FnCompiler<'p> {
                 // fold to a single pre-assembled constant; literals have no
                 // side effects, so folding is unobservable.
                 if let Some(lanes) = self.fold_vector_lit(*elem, *width, parts) {
-                    self.emit(Instr::ConstVector(Box::new((*elem, lanes))));
+                    self.emit(Instr::ConstVector(Box::new((*elem, lanes.into()))));
                     return;
                 }
                 for p in parts {

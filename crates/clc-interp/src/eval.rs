@@ -14,7 +14,7 @@
 use crate::error::RuntimeError;
 use crate::memory::Memory;
 use crate::race::{AccessKind, RaceDetector};
-use crate::value::{Cell, ObjId, PointerValue, Scalar, Value};
+use crate::value::{Cell, Lanes, ObjId, PointerValue, Scalar, Value};
 use clc::expr::{BinOp, Builtin, Expr, IdKind, UnOp};
 use clc::stmt::{Block, Initializer, Stmt};
 use clc::types::{AddressSpace, ScalarType, Type};
@@ -317,7 +317,7 @@ pub(crate) fn read_value(
     match ty {
         Type::Scalar(s) => Ok(Value::Scalar(memory.read_scalar(obj, offset, *s)?)),
         Type::Vector(s, w) => {
-            let mut lanes = Vec::with_capacity(w.lanes());
+            let mut lanes = Lanes::with_capacity(w.lanes());
             for i in 0..w.lanes() {
                 lanes.push(memory.read_scalar(obj, offset + i, *s)?.bits);
             }
@@ -405,11 +405,11 @@ pub fn eval_expr(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Va
     match expr {
         Expr::IntLit { value, ty } => Ok(Value::Scalar(Scalar::from_i128(*value, *ty))),
         Expr::VectorLit { elem, width, parts } => {
-            let mut lanes = Vec::with_capacity(width.lanes());
+            let mut lanes = Lanes::with_capacity(width.lanes());
             for part in parts {
                 match eval_expr(ctx, env, part)? {
                     Value::Scalar(s) => lanes.push(s.convert(*elem).bits),
-                    Value::Vector(_, sub) => lanes.extend(sub),
+                    Value::Vector(_, sub) => lanes.extend(sub.iter().copied()),
                     other => {
                         return Err(RuntimeError::TypeMismatch {
                             detail: format!("vector literal component is a {}", other.kind()),
@@ -420,7 +420,7 @@ pub fn eval_expr(ctx: &mut Ctx<'_, '_>, env: &mut Env, expr: &Expr) -> Result<Va
             if lanes.len() == 1 {
                 // Broadcast form (int4)(x).
                 let v = lanes[0];
-                lanes = vec![v; width.lanes()];
+                lanes = Lanes::splat(v, width.lanes());
             }
             if lanes.len() != width.lanes() {
                 return Err(RuntimeError::TypeMismatch {
@@ -709,7 +709,7 @@ pub fn store_place(ctx: &mut Ctx<'_, '_>, place: &Place, value: Value) -> Result
 pub(crate) fn swizzle_value(value: Value, lanes: &[u8]) -> Result<Value, RuntimeError> {
     match value {
         Value::Vector(elem, data) => {
-            let selected: Result<Vec<u64>, RuntimeError> = lanes
+            let selected: Result<Lanes, RuntimeError> = lanes
                 .iter()
                 .map(|&l| {
                     data.get(l as usize)
@@ -767,9 +767,10 @@ pub(crate) fn cast_value(
     match (ty, value) {
         (Type::Scalar(s), Value::Scalar(v)) => Ok(Value::Scalar(v.convert(*s))),
         (Type::Scalar(s), Value::Pointer(_)) => Ok(Value::Scalar(Scalar::zero(*s))),
-        (Type::Vector(s, w), Value::Scalar(v)) => {
-            Ok(Value::Vector(*s, vec![v.convert(*s).bits; w.lanes()]))
-        }
+        (Type::Vector(s, w), Value::Scalar(v)) => Ok(Value::Vector(
+            *s,
+            Lanes::splat(v.convert(*s).bits, w.lanes()),
+        )),
         (Type::Vector(s, w), Value::Vector(from, lanes)) => {
             if lanes.len() != w.lanes() {
                 return Err(RuntimeError::TypeMismatch {
@@ -872,8 +873,8 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
                     detail: "vector operands of different widths".into(),
                 });
             }
-            let mut out = Vec::with_capacity(la.len());
-            for (&a, &b) in la.iter().zip(&lb) {
+            let mut out = Lanes::with_capacity(la.len());
+            for (&a, &b) in la.iter().zip(lb.iter()) {
                 let r = vector_lane_binop(op, Scalar::from_bits(a, ea), Scalar::from_bits(b, eb))?;
                 out.push(if op.is_comparison() {
                     // OpenCL vector comparisons produce -1 (all bits set) for
@@ -895,11 +896,11 @@ pub fn value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeEr
             Ok(Value::Vector(elem, out))
         }
         (Value::Vector(ea, la), Value::Scalar(b)) => {
-            let rhs_vec = Value::Vector(ea, vec![b.convert(ea).bits; la.len()]);
+            let rhs_vec = Value::Vector(ea, Lanes::splat(b.convert(ea).bits, la.len()));
             value_binop(op, Value::Vector(ea, la), rhs_vec)
         }
         (Value::Scalar(a), Value::Vector(eb, lb)) => {
-            let lhs_vec = Value::Vector(eb, vec![a.convert(eb).bits; lb.len()]);
+            let lhs_vec = Value::Vector(eb, Lanes::splat(a.convert(eb).bits, lb.len()));
             value_binop(op, lhs_vec, Value::Vector(eb, lb))
         }
         (Value::Pointer(p), Value::Scalar(s)) if matches!(op, BinOp::Add | BinOp::Sub) => {
@@ -1084,7 +1085,7 @@ pub fn lift_builtin(func: Builtin, values: &[Value]) -> Result<Value, RuntimeErr
                     _ => None,
                 })
                 .expect("vector operand exists");
-            let mut out = Vec::with_capacity(n);
+            let mut out = Lanes::with_capacity(n);
             for i in 0..n {
                 let scalars: Vec<Scalar> = values
                     .iter()
@@ -2286,10 +2287,10 @@ mod tests {
     fn vector_shift_amounts_wrap_modulo_the_element_width() {
         // char lanes mask modulo 8: 1<<9 is 1<<1, 1<<8 is 1<<0, a -1
         // amount masks to 7, and overflow stays within the 8-bit lane.
-        let lanes = Value::Vector(ScalarType::Char, vec![1, 1, 1, 0x40]);
+        let lanes = Value::Vector(ScalarType::Char, vec![1, 1, 1, 0x40].into());
         let amounts = Value::Vector(
             ScalarType::Char,
-            vec![9, 8, Scalar::from_i128(-1, ScalarType::Char).bits, 1],
+            vec![9, 8, Scalar::from_i128(-1, ScalarType::Char).bits, 1].into(),
         );
         let shifted = value_binop(BinOp::Shl, lanes, amounts).unwrap();
         match shifted {
@@ -2309,7 +2310,7 @@ mod tests {
         .unwrap();
         assert_eq!(scalar.ty, ScalarType::Int);
         assert_eq!(scalar.as_u64(), 512);
-        let lanes = Value::Vector(ScalarType::Int, vec![1, 2, 4, 8]);
+        let lanes = Value::Vector(ScalarType::Int, vec![1, 2, 4, 8].into());
         let amounts = Value::Vector(
             ScalarType::Int,
             vec![
@@ -2317,7 +2318,8 @@ mod tests {
                 32,                                          // wraps to 0
                 Scalar::from_i128(-1, ScalarType::Int).bits, // -1 & 31 = 31
                 1,
-            ],
+            ]
+            .into(),
         );
         let shifted = value_binop(BinOp::Shl, lanes, amounts).unwrap();
         match shifted {
@@ -2329,7 +2331,7 @@ mod tests {
             other => panic!("vector shift produced {other:?}"),
         }
         // A scalar amount broadcasts, wrapping identically on every lane.
-        let lanes = Value::Vector(ScalarType::Int, vec![1, 2, 3, 4]);
+        let lanes = Value::Vector(ScalarType::Int, vec![1, 2, 3, 4].into());
         let shifted = value_binop(
             BinOp::Shl,
             lanes,

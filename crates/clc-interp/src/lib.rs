@@ -80,4 +80,4 @@ pub use exec::{
 };
 pub use memory::{Memory, Object};
 pub use race::{AccessKind, RaceDetector};
-pub use value::{Cell, ObjId, PointerValue, Scalar, Value};
+pub use value::{Cell, Lanes, ObjId, PointerValue, Scalar, Value};

@@ -34,12 +34,35 @@ pub struct Memory {
     objects: Vec<Object>,
     /// Indices of freed objects whose storage may be reused.
     free_list: Vec<usize>,
+    /// Cell buffers recovered from freed objects, reused by later
+    /// allocations.  Loop bodies declare (and scope-exit free) the same
+    /// variables every iteration, so without this pool the interpreter
+    /// re-allocates identical `Vec<Cell>`s millions of times per launch.
+    spare_cells: Vec<Vec<Cell>>,
 }
+
+/// Cap on pooled cell buffers: enough for every per-iteration declaration
+/// of a deeply nested kernel, while one huge freed buffer set cannot pin
+/// unbounded memory for the rest of the launch.
+const SPARE_CELL_BUFFERS: usize = 64;
 
 impl Memory {
     /// Creates an empty store.
     pub fn new() -> Memory {
         Memory::default()
+    }
+
+    /// A cell buffer of `count` copies of `fill`, reusing a pooled
+    /// allocation when one is available.
+    fn filled_cells(&mut self, count: usize, fill: Cell) -> Vec<Cell> {
+        match self.spare_cells.pop() {
+            Some(mut cells) => {
+                cells.clear();
+                cells.resize(count, fill);
+                cells
+            }
+            None => vec![fill; count],
+        }
     }
 
     /// Allocates an object of `ty`, uninitialised.
@@ -50,7 +73,7 @@ impl Memory {
         space: AddressSpace,
         structs: &[StructDef],
     ) -> ObjId {
-        let cells = vec![Cell::Uninit; ty.cell_count(structs)];
+        let cells = self.filled_cells(ty.cell_count(structs), Cell::Uninit);
         self.alloc_with_cells(name, ty, space, cells)
     }
 
@@ -62,7 +85,7 @@ impl Memory {
         space: AddressSpace,
         structs: &[StructDef],
     ) -> ObjId {
-        let cells = vec![Cell::Bits(0); ty.cell_count(structs)];
+        let cells = self.filled_cells(ty.cell_count(structs), Cell::Bits(0));
         self.alloc_with_cells(name, ty, space, cells)
     }
 
@@ -90,13 +113,17 @@ impl Memory {
         }
     }
 
-    /// Marks an object as dead and recycles its slot.
+    /// Marks an object as dead, recycling both its slot and (up to the pool
+    /// cap) its cell storage.
     pub fn free(&mut self, id: ObjId) {
         if let Some(obj) = self.objects.get_mut(id.0) {
             if obj.live {
                 obj.live = false;
-                obj.cells.clear();
-                obj.cells.shrink_to_fit();
+                let mut cells = std::mem::take(&mut obj.cells);
+                if cells.capacity() > 0 && self.spare_cells.len() < SPARE_CELL_BUFFERS {
+                    cells.clear();
+                    self.spare_cells.push(cells);
+                }
                 self.free_list.push(id.0);
             }
         }

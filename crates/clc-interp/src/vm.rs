@@ -28,7 +28,7 @@ use crate::exec::{
 };
 use crate::memory::Memory;
 use crate::race::{AccessKind, RaceDetector};
-use crate::value::{Cell, ObjId, PointerValue, Scalar, Value};
+use crate::value::{Cell, Lanes, ObjId, PointerValue, Scalar, Value};
 use clc::expr::{BinOp, Builtin};
 use clc::types::{AddressSpace, ScalarType, Type};
 use clc::Program;
@@ -226,11 +226,11 @@ fn run_frames(world: &mut World<'_>, item: &mut VmItem) -> Result<(), RuntimeErr
                 ))),
                 Instr::MakeVector { elem, width, parts } => {
                     let start = item.values.len() - *parts as usize;
-                    let mut lanes = Vec::with_capacity(width.lanes());
+                    let mut lanes = Lanes::with_capacity(width.lanes());
                     for part in item.values.drain(start..) {
                         match part {
                             Value::Scalar(s) => lanes.push(s.convert(*elem).bits),
-                            Value::Vector(_, sub) => lanes.extend(sub),
+                            Value::Vector(_, sub) => lanes.extend(sub.iter().copied()),
                             other => {
                                 return Err(RuntimeError::TypeMismatch {
                                     detail: format!(
@@ -244,7 +244,7 @@ fn run_frames(world: &mut World<'_>, item: &mut VmItem) -> Result<(), RuntimeErr
                     if lanes.len() == 1 {
                         // Broadcast form (int4)(x).
                         let v = lanes[0];
-                        lanes = vec![v; width.lanes()];
+                        lanes = Lanes::splat(v, width.lanes());
                     }
                     if lanes.len() != width.lanes() {
                         return Err(RuntimeError::TypeMismatch {
@@ -1068,7 +1068,7 @@ fn vm_value_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, RuntimeErr
                     detail: "vector operands of different widths".into(),
                 });
             }
-            for (a, &b) in la.iter_mut().zip(&lb) {
+            for (a, &b) in la.iter_mut().zip(lb.iter()) {
                 let r = vector_lane_binop(op, Scalar::from_bits(*a, ea), Scalar::from_bits(b, eb))?;
                 *a = vector_lane_result(op, r, ea);
             }
@@ -1123,9 +1123,9 @@ fn read_lanes(
     offset: usize,
     ty: ScalarType,
     lanes: usize,
-) -> Result<Vec<u64>, RuntimeError> {
+) -> Result<Lanes, RuntimeError> {
     let object = memory.object(obj)?;
-    let mut out = Vec::with_capacity(lanes);
+    let mut out = Lanes::with_capacity(lanes);
     for i in 0..lanes {
         match object.cells.get(offset + i) {
             Some(Cell::Bits(b)) => out.push(crate::value::mask(*b, ty)),

@@ -16,6 +16,9 @@
 //!   with bug rules and background outcome rates;
 //! * [`platform`] — the "online compile then execute" entry point returning
 //!   the [`TestOutcome`] a fuzzing harness observes;
+//! * [`store`] — the on-disk cross-campaign outcome store: a
+//!   content-addressed, checksummed, capped cache of execution outcomes
+//!   shared by sequential re-runs and concurrent shard processes;
 //! * [`figures`] — the bug-exhibiting kernels of Figures 1 and 2, used as
 //!   tests of the bug models and by the `figures` reproduction binary.
 //!
@@ -32,6 +35,7 @@ pub mod configs;
 pub mod figures;
 pub mod passes;
 pub mod platform;
+pub mod store;
 
 pub use bugs::{BugEffect, BugRule, Miscompilation, OptLevel, OptScope, Trigger};
 pub use clc_interp::ExecutionTier;
@@ -41,6 +45,8 @@ pub use configs::{
 };
 pub use figures::{all_figures, FigureKernel};
 pub use platform::{
-    execute, process_cache_stats, reference_execute, reset_process_cache_stats, CacheStats,
-    CompiledProgram, ExecMemo, ExecOptions, Session, TestOutcome,
+    execute, process_cache_stats, reference_execute, reset_process_cache_stats,
+    reset_shared_outcome_cache, CacheStats, CompiledProgram, ExecMemo, ExecOptions, Session,
+    TestOutcome,
 };
+pub use store::{OutcomeStore, StoreStats};

@@ -36,23 +36,31 @@
 //! A [`Session`] carries the per-kernel state both phases reuse across
 //! targets (detected [`Features`], the captured program hasher, the
 //! optimised AST); a fan-out over 42 targets typically collapses to a
-//! handful of real emulator launches.  Memoisation never changes results —
-//! the `cache_equivalence` integration test pins campaign tables
-//! bit-identical with the memo forced off.
+//! handful of real emulator launches.
+//!
+//! Beyond the per-job memo sit two more outcome-cache levels with the same
+//! `(fingerprint, exec key)` key: a **process-wide shared cache** (sharded,
+//! mutex-striped, bounded) that deduplicates across jobs and scheduler
+//! workers, and an optional **on-disk store** ([`OutcomeStore`]) that
+//! deduplicates across processes and campaigns.  Memoisation never changes
+//! results at any level — outcomes are deterministic in the key, and the
+//! `cache_equivalence` integration test pins campaign tables bit-identical
+//! with the memo forced off and with the store cold or warm.
 
 use crate::bugs::{apply_miscompilation, BugEffect, Miscompilation, OptLevel};
 use crate::configs::Configuration;
 use crate::passes;
+use crate::store::OutcomeStore;
 use clc::{Features, Fingerprint, Program, ProgramHasher};
 use clc_interp::{CompiledKernel, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
 use std::borrow::Cow;
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Execution options for the simulated platform.
 #[derive(Debug, Clone)]
@@ -70,10 +78,16 @@ pub struct ExecOptions {
     /// Which emulator execution tier runs the kernels (defaults to the
     /// bytecode tier, `CLC_INTERP_TIER` overrides process-wide).
     pub tier: ExecutionTier,
+    /// On-disk cross-campaign outcome store consulted (and populated) after
+    /// the in-memory caches miss (defaults to the `CLFUZZ_STORE` store, or
+    /// `None` when unset).  Like memoisation, the store never changes
+    /// results: outcomes are deterministic in `(fingerprint, exec key)`.
+    pub store: Option<Arc<OutcomeStore>>,
     /// Whether [`Session`]s may serve repeated executions of an identical
     /// compiled program from the outcome cache (on by default).  Turning
     /// this off forces a cold compile + launch per target — outcomes are
-    /// identical either way; only wall-clock changes.
+    /// identical either way; only wall-clock changes.  This is also the
+    /// opt-out for the process-wide shared cache and the on-disk store.
     pub memoize: bool,
 }
 
@@ -85,6 +99,7 @@ impl Default for ExecOptions {
             schedule: Schedule::Forward,
             buffer_overrides: Arc::new(HashMap::new()),
             tier: ExecutionTier::from_env(),
+            store: OutcomeStore::from_env(),
             memoize: true,
         }
     }
@@ -184,6 +199,8 @@ struct MemoCounters {
     compiles: Cell<u64>,
     outcome_hits: Cell<u64>,
     kernel_hits: Cell<u64>,
+    shared_hits: Cell<u64>,
+    store_hits: Cell<u64>,
 }
 
 /// Counter snapshot for a memo (or the whole process, see
@@ -198,19 +215,39 @@ pub struct CacheStats {
     /// Kernels lowered (compiled-kernel cache misses, plus every launch
     /// when memoisation is off).
     pub compiles: u64,
-    /// Executions served from the outcome cache.
+    /// Executions served from the per-job outcome cache.
     pub outcome_hits: u64,
     /// Launches that reused an already-compiled kernel.
     pub kernel_hits: u64,
+    /// Executions served from the process-wide shared outcome cache (after
+    /// the per-job cache missed).
+    pub shared_hits: u64,
+    /// Executions served from the on-disk outcome store (after both
+    /// in-memory caches missed).
+    pub store_hits: u64,
 }
 
 impl CacheStats {
     /// Fraction of executions that reused an already-compiled kernel — via
-    /// the outcome cache (which skips the launch entirely) or the
-    /// compiled-kernel cache (which skips only the lowering).
+    /// an outcome cache (which skips the launch entirely) or the
+    /// compiled-kernel cache (which skips only the lowering).  `0.0` (never
+    /// `NaN`) when no lookups occurred.
     pub fn compile_hit_rate(&self) -> f64 {
-        let cached = self.outcome_hits + self.kernel_hits;
+        let cached = self.outcome_hits + self.shared_hits + self.store_hits + self.kernel_hits;
         let lookups = cached + self.compiles;
+        if lookups == 0 {
+            0.0
+        } else {
+            cached as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of executions whose *outcome* was served from any cache
+    /// level (per-job, process-wide, or on-disk store), skipping the launch
+    /// entirely.  `0.0` (never `NaN`) when no lookups occurred.
+    pub fn outcome_hit_rate(&self) -> f64 {
+        let cached = self.outcome_hits + self.shared_hits + self.store_hits;
+        let lookups = cached + self.launches;
         if lookups == 0 {
             0.0
         } else {
@@ -229,11 +266,15 @@ enum Counter {
     Compiles = 2,
     OutcomeHits = 3,
     KernelHits = 4,
+    SharedHits = 5,
+    StoreHits = 6,
 }
 
 /// Process-wide counters aggregated across every memo (all threads), for
 /// benchmark and CI reporting — indexed by [`Counter`].
-static PROCESS: [AtomicU64; 5] = [
+static PROCESS: [AtomicU64; 7] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -253,6 +294,8 @@ impl MemoCounters {
             Counter::Compiles => &self.compiles,
             Counter::OutcomeHits => &self.outcome_hits,
             Counter::KernelHits => &self.kernel_hits,
+            Counter::SharedHits => &self.shared_hits,
+            Counter::StoreHits => &self.store_hits,
         };
         cell.set(cell.get() + 1);
         PROCESS[counter as usize].fetch_add(1, Ordering::Relaxed);
@@ -273,6 +316,8 @@ impl ExecMemo {
             compiles: self.stats.compiles.get(),
             outcome_hits: self.stats.outcome_hits.get(),
             kernel_hits: self.stats.kernel_hits.get(),
+            shared_hits: self.stats.shared_hits.get(),
+            store_hits: self.stats.store_hits.get(),
         }
     }
 }
@@ -288,6 +333,8 @@ pub fn process_cache_stats() -> CacheStats {
         compiles: process_count(Counter::Compiles),
         outcome_hits: process_count(Counter::OutcomeHits),
         kernel_hits: process_count(Counter::KernelHits),
+        shared_hits: process_count(Counter::SharedHits),
+        store_hits: process_count(Counter::StoreHits),
     }
 }
 
@@ -296,6 +343,72 @@ pub fn process_cache_stats() -> CacheStats {
 pub fn reset_process_cache_stats() {
     for counter in &PROCESS {
         counter.store(0, Ordering::Relaxed);
+    }
+}
+
+// --- The process-wide shared outcome cache (level 1) -----------------------
+//
+// A [`Session`]'s memo is `Rc`-confined to its job; campaigns running many
+// jobs — and schedulers running many workers — re-execute structurally
+// identical kernels once per job.  This sharded, mutex-guarded map shares
+// outcomes across every memo in the process: lock-striping by fingerprint
+// keeps worker contention negligible, and a per-shard FIFO bound keeps the
+// footprint fixed.  Compiled kernels stay per-memo (`Rc`-based, deliberately
+// thread-confined); only final [`TestOutcome`]s — plain data — cross threads.
+
+/// Number of lock stripes (must be a power of two).
+const SHARED_SHARDS: usize = 16;
+
+/// Maximum outcomes retained per shard before FIFO eviction.
+const SHARED_SHARD_CAP: usize = 4096;
+
+#[derive(Default)]
+struct SharedShard {
+    outcomes: HashMap<(Fingerprint, u64), TestOutcome>,
+    order: VecDeque<(Fingerprint, u64)>,
+}
+
+static SHARED: OnceLock<Vec<Mutex<SharedShard>>> = OnceLock::new();
+
+fn shared_shard(fingerprint: Fingerprint) -> &'static Mutex<SharedShard> {
+    let shards = SHARED.get_or_init(|| {
+        (0..SHARED_SHARDS)
+            .map(|_| Mutex::new(SharedShard::default()))
+            .collect()
+    });
+    &shards[(fingerprint.0 as usize) & (SHARED_SHARDS - 1)]
+}
+
+fn shared_get(key: &(Fingerprint, u64)) -> Option<TestOutcome> {
+    let shard = shared_shard(key.0)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    shard.outcomes.get(key).cloned()
+}
+
+fn shared_put(key: (Fingerprint, u64), outcome: TestOutcome) {
+    let mut shard = shared_shard(key.0)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if shard.outcomes.insert(key, outcome).is_none() {
+        shard.order.push_back(key);
+        if shard.order.len() > SHARED_SHARD_CAP {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.outcomes.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// Empties the process-wide shared outcome cache (benchmark bracketing and
+/// test isolation; campaigns never need this — eviction bounds the size).
+pub fn reset_shared_outcome_cache() {
+    if let Some(shards) = SHARED.get() {
+        for shard in shards {
+            let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            shard.outcomes.clear();
+            shard.order.clear();
+        }
     }
 }
 
@@ -310,8 +423,10 @@ pub fn reset_process_cache_stats() {
 /// options) share a single emulator launch.
 ///
 /// Sessions are single-threaded by design (the campaign engine runs one
-/// kernel job per worker); share state *across* jobs at your own peril —
-/// the memo is [`Rc`]-based precisely so it cannot leave its thread.
+/// kernel job per worker); the memo is [`Rc`]-based precisely so it cannot
+/// leave its thread.  Cross-job and cross-worker sharing happens through
+/// the process-wide shared outcome cache (and, when configured, the
+/// on-disk [`OutcomeStore`]), which hold only plain-data [`TestOutcome`]s.
 pub struct Session<'p> {
     program: &'p Program,
     hasher: ProgramHasher,
@@ -504,6 +619,13 @@ impl<'p> Session<'p> {
 
     /// The execution phase: launch a compiled program, memoised by
     /// `(fingerprint, exec-relevant options)`.
+    ///
+    /// Lookup order on the memoised path: the per-job memo, then the
+    /// process-wide shared cache, then the on-disk store (when one is
+    /// configured); a launch back-fills every level, and a hit at an outer
+    /// level back-fills the levels inside it.  All three levels key on the
+    /// same `(fingerprint, exec key)` pair, and outcomes are deterministic
+    /// functions of that pair, so hits can never change a result.
     fn run(
         &self,
         program: Cow<'_, Program>,
@@ -521,6 +643,19 @@ impl<'p> Session<'p> {
             self.memo.stats.bump(Counter::OutcomeHits);
             return hit.clone();
         }
+        if let Some(hit) = shared_get(&key) {
+            self.memo.stats.bump(Counter::SharedHits);
+            self.memo.outcomes.borrow_mut().insert(key, hit.clone());
+            return hit;
+        }
+        if let Some(store) = &exec.store {
+            if let Some(hit) = store.get(fingerprint, key.1) {
+                self.memo.stats.bump(Counter::StoreHits);
+                shared_put(key, hit.clone());
+                self.memo.outcomes.borrow_mut().insert(key, hit.clone());
+                return hit;
+            }
+        }
         let kernel = {
             let mut kernels = self.memo.kernels.borrow_mut();
             match kernels.entry(fingerprint) {
@@ -537,6 +672,10 @@ impl<'p> Session<'p> {
         self.memo.stats.bump(Counter::Launches);
         let outcome = launch_outcome(kernel.launch(&options));
         self.memo.outcomes.borrow_mut().insert(key, outcome.clone());
+        shared_put(key, outcome.clone());
+        if let Some(store) = &exec.store {
+            store.put(fingerprint, key.1, &outcome);
+        }
         outcome
     }
 }
@@ -590,6 +729,8 @@ fn launch_outcome(result: Result<clc_interp::LaunchResult, RuntimeError>) -> Tes
 /// Hash of every execution option that can change a launch outcome — the
 /// second half of the outcome-cache key.  Buffer overrides are folded in
 /// key-sorted order so the value is independent of map iteration order.
+/// `store` and `memoize` are deliberately excluded: they select *where*
+/// outcomes are cached, never *what* they are.
 fn exec_key(exec: &ExecOptions) -> u64 {
     let mut h = DefaultHasher::new();
     exec.step_limit.hash(&mut h);
@@ -811,6 +952,73 @@ mod tests {
         let stats = memo.stats();
         assert_eq!(stats.launches, 1);
         assert_eq!(stats.outcome_hits, 1);
+    }
+
+    #[test]
+    fn hit_rates_are_zero_not_nan_without_lookups() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.compile_hit_rate(), 0.0);
+        assert_eq!(empty.outcome_hit_rate(), 0.0);
+        let busy = CacheStats {
+            launches: 1,
+            outcome_hits: 1,
+            shared_hits: 1,
+            store_hits: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(busy.outcome_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn shared_cache_and_store_serve_outcomes_beyond_the_job_memo() {
+        // This is the only test allowed to call reset_shared_outcome_cache:
+        // other tests' shared-cache expectations must not race a reset.
+        //
+        // Part 1 — the on-disk store survives a simulated process death
+        // (shared cache cleared, store reopened from the directory).
+        let dir =
+            std::env::temp_dir().join(format!("clfuzz-platform-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = trivial_program(12);
+        let store = Arc::new(OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap());
+        let exec = ExecOptions {
+            store: Some(Arc::clone(&store)),
+            ..ExecOptions::default()
+        };
+        let first = Session::new(&p).reference_execute(&exec);
+        assert_eq!(store.stats().writes, 1);
+        reset_shared_outcome_cache();
+        let reopened = Arc::new(OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap());
+        let exec = ExecOptions {
+            store: Some(Arc::clone(&reopened)),
+            ..ExecOptions::default()
+        };
+        let session = Session::new(&p);
+        assert_eq!(session.reference_execute(&exec), first);
+        let stats = session.memo().stats();
+        assert_eq!(stats.launches, 0, "warm store must skip the launch");
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(reopened.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Part 2 — the process-wide shared cache deduplicates across
+        // sessions with independent memos (i.e. across jobs).
+        let q = trivial_program(11);
+        let exec = ExecOptions {
+            store: None,
+            ..ExecOptions::default()
+        };
+        let a = Session::new(&q);
+        let cold = a.reference_execute(&exec);
+        assert_eq!(a.memo().stats().launches, 1);
+        let b = Session::new(&q); // fresh memo, same process
+        assert_eq!(b.reference_execute(&exec), cold);
+        let stats = b.memo().stats();
+        assert_eq!(stats.launches, 0, "served from the process-wide cache");
+        assert_eq!(stats.shared_hits, 1);
+        // The per-job memo is back-filled: a repeat hits locally.
+        assert_eq!(b.reference_execute(&exec), cold);
+        assert_eq!(b.memo().stats().outcome_hits, 1);
     }
 
     #[test]

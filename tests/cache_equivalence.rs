@@ -2,14 +2,17 @@
 //! execution phase by `(fingerprint, exec-relevant options)` NEVER changes
 //! campaign results.  Every campaign family is run with the memo forced off
 //! (a cold compile + launch per target, the historical behaviour) and with
-//! it on, and the rendered tables must be **bit-identical**.
+//! it on, and the rendered tables must be **bit-identical** — and the same
+//! holds for the on-disk outcome store: store off, cold store and warm
+//! store must render identical tables on both interpreter tiers.
 
 use clsmith::{GenMode, GeneratorOptions};
 use fuzz_harness::{
     classify_configurations_with, render_campaign_table, render_emi_table, run_emi_campaign_with,
     run_mode_campaign_with, CampaignOptions, EmiCampaignOptions, Scheduler,
 };
-use opencl_sim::ExecOptions;
+use opencl_sim::{ExecOptions, ExecutionTier, OutcomeStore};
+use std::sync::Arc;
 
 fn options(memoize: bool, seed_offset: u64) -> CampaignOptions {
     CampaignOptions {
@@ -86,6 +89,66 @@ fn table5_emi_campaign_is_bit_identical_with_memo_off_and_on() {
         render_emi_table(&memoized),
         "memoisation changed the rendered Table 5"
     );
+}
+
+#[test]
+fn tables_are_bit_identical_with_store_off_cold_and_warm_on_both_tiers() {
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(9),
+        opencl_sim::configuration(19),
+    ];
+    let scheduler = Scheduler::sequential();
+    for tier in ExecutionTier::ALL {
+        let dir = std::env::temp_dir().join(format!(
+            "clfuzz-store-equiv-{}-{}",
+            std::process::id(),
+            tier.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |store: Option<Arc<OutcomeStore>>| {
+            // Each pass starts process-cold, so the only state carried
+            // between passes is the on-disk store itself.
+            opencl_sim::reset_shared_outcome_cache();
+            let options = CampaignOptions {
+                kernels: 6,
+                generator: GeneratorOptions {
+                    min_threads: 16,
+                    max_threads: 48,
+                    ..GeneratorOptions::default()
+                },
+                exec: ExecOptions {
+                    tier,
+                    store,
+                    ..ExecOptions::default()
+                },
+                seed_offset: 0x5702E,
+            };
+            render_campaign_table(&run_mode_campaign_with(
+                &scheduler,
+                GenMode::Basic,
+                &configs,
+                &options,
+            ))
+        };
+        let off = run(None);
+        let cold_store = Arc::new(OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap());
+        let cold = run(Some(Arc::clone(&cold_store)));
+        assert!(
+            cold_store.stats().writes > 0,
+            "cold pass must populate the store"
+        );
+        // A second handle over the same directory models a fresh process.
+        let warm_store = Arc::new(OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap());
+        let warm = run(Some(Arc::clone(&warm_store)));
+        assert_eq!(off, cold, "{}: a cold store changed the table", tier.name());
+        assert_eq!(off, warm, "{}: a warm store changed the table", tier.name());
+        assert!(
+            warm_store.stats().hits > 0,
+            "warm pass must serve outcomes from the store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

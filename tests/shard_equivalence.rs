@@ -19,7 +19,9 @@ use fuzz_harness::{
     run_emi_campaign_with, run_mode_campaign_with, run_modes_campaign_sharded, CampaignOptions,
     EmiCampaignOptions, EmiTally, MultiModeTally, Scheduler,
 };
+use opencl_sim::{ExecOptions, OutcomeStore};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 const WORKER_COUNTS: [usize; 2] = [1, 3];
 const SHARDS: u32 = 3;
@@ -339,6 +341,98 @@ fn table5_single_sharded_and_resumed_runs_are_byte_identical() {
         paths.push(journal);
         cleanup(&paths);
     }
+}
+
+#[test]
+fn concurrent_shards_sharing_one_store_directory_stay_byte_identical() {
+    // Three shard runs race on separate threads, each holding its own
+    // `OutcomeStore` handle over the same directory — the in-process model
+    // of three shard *processes* sharing one store, racing their reads,
+    // atomic-rename writes and overwrites.  The merged table must match a
+    // store-less single run byte for byte, and a warm follow-up run over
+    // the populated store must match it again.
+    let configs = vec![
+        opencl_sim::configuration(1),
+        opencl_sim::configuration(9),
+        opencl_sim::configuration(19),
+    ];
+    let options = campaign_options(0x570BE);
+    let modes = [GenMode::Barrier];
+    let dir = std::env::temp_dir().join(format!("clfuzz-shard-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reference = render_campaign_table(&run_mode_campaign_with(
+        &Scheduler::sequential(),
+        GenMode::Barrier,
+        &configs,
+        &options,
+    ));
+
+    let with_store = |store: Arc<OutcomeStore>| CampaignOptions {
+        exec: ExecOptions {
+            store: Some(store),
+            ..options.exec.clone()
+        },
+        ..options.clone()
+    };
+    let tallies: Vec<MultiModeTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|index| {
+                let (configs, modes, dir) = (&configs, &modes, &dir);
+                let with_store = &with_store;
+                scope.spawn(move || {
+                    let store =
+                        Arc::new(OutcomeStore::open_with_cap(dir, u64::MAX).expect("open store"));
+                    run_modes_campaign_sharded(
+                        &Scheduler::new(2),
+                        modes,
+                        configs,
+                        &with_store(store),
+                        ShardSelect {
+                            index,
+                            count: SHARDS,
+                        },
+                        None,
+                    )
+                    .expect("sharded campaign with store")
+                    .tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread"))
+            .collect()
+    });
+    let mut tally: Option<MultiModeTally> = None;
+    for shard_tally in tallies {
+        match &mut tally {
+            None => tally = Some(shard_tally),
+            Some(t) => t.merge(shard_tally),
+        }
+    }
+    let merged_tally = tally.expect("shards ran");
+    let merged = fuzz_harness::CampaignResult {
+        mode: GenMode::Barrier,
+        kernels: merged_tally.per_mode[0].kernels(),
+        targets: fuzz_harness::targets_for(&configs),
+        stats: merged_tally.per_mode[0].per_target.clone(),
+    };
+    assert_eq!(
+        render_campaign_table(&merged),
+        reference,
+        "concurrent shards sharing one store diverged from the single run"
+    );
+
+    // Warm re-run over the store the racing shards populated.
+    let warm_store = Arc::new(OutcomeStore::open_with_cap(&dir, u64::MAX).expect("reopen store"));
+    let warm = render_campaign_table(&run_mode_campaign_with(
+        &Scheduler::new(3),
+        GenMode::Barrier,
+        &configs,
+        &with_store(Arc::clone(&warm_store)),
+    ));
+    assert_eq!(warm, reference, "warm store re-run diverged");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
