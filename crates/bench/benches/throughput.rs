@@ -171,6 +171,7 @@ fn bench_campaign_scaling(kernels: usize, metrics: &mut Metrics) {
         },
         exec: ExecOptions::default(),
         seed_offset: 0xBEEF,
+        prefilter: false,
     };
     println!("campaign scaling (BARRIER mode, {kernels} kernels, 8 targets)");
     let mut baseline: Option<Duration> = None;
@@ -371,6 +372,7 @@ fn bench_shard_resume(kernels: usize, metrics: &mut Metrics) {
         },
         exec: ExecOptions::default(),
         seed_offset: 0x54A2D,
+        prefilter: false,
     };
     let modes = [GenMode::Barrier];
     let scheduler = Scheduler::new(4);
@@ -508,6 +510,7 @@ fn bench_pipeline_overlap(kernels: usize, metrics: &mut Metrics) {
         },
         exec: ExecOptions::default(),
         seed_offset: 0x919E,
+        prefilter: false,
     };
     let modes = [GenMode::All];
     let mut tables: Vec<String> = Vec::new();
@@ -599,6 +602,79 @@ impl Job for LatencyJob {
 /// 1 worker.  Unlike [`bench_campaign_scaling`] this holds on any machine —
 /// including single-core CI boxes, where a CPU-bound campaign cannot
 /// physically speed up no matter how it is scheduled.
+/// The `analysis_*` axes: analyzer-only throughput, verdict-class rejection
+/// rates, and the wall-clock effect of static pre-filtering on a campaign.
+fn bench_analysis(kernels: usize, metrics: &mut Metrics) {
+    println!("static analysis ({kernels} kernels per mode)");
+    let programs: Vec<_> = GenMode::ALL
+        .iter()
+        .flat_map(|&mode| (0..kernels as u64).map(move |seed| generate(&small_opts(mode, seed))))
+        .collect();
+    let mut tally: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    let start = Instant::now();
+    for program in &programs {
+        let report = clsmith::validate(std::hint::black_box(program));
+        *tally.entry(report.verdict()).or_insert(0) += 1;
+    }
+    let elapsed = start.elapsed();
+    let per_sec = programs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!("  analyzer alone     {per_sec:>10.0} kernels/s");
+    metrics.record("analysis_kernels_per_sec", per_sec);
+    let certified = *tally.get("clean").unwrap_or(&0)
+        + tally
+            .iter()
+            .filter(|(k, _)| !matches!(**k, "clean" | "divergence" | "must-race" | "may-race"))
+            .map(|(_, n)| n)
+            .sum::<usize>();
+    for (verdict, count) in &tally {
+        let pct = 100.0 * *count as f64 / programs.len() as f64;
+        println!("  verdict {verdict:<12} {pct:>9.1}%");
+        metrics.record(format!("analysis_pct_{}", verdict.replace('-', "_")), pct);
+    }
+    metrics.record(
+        "analysis_pct_certified",
+        100.0 * certified as f64 / programs.len() as f64,
+    );
+
+    // Campaign wall-clock with the pre-filter off vs on (same seeds, same
+    // targets; the on pass skips whatever the analyzer refuses to certify).
+    let configs = vec![configuration(1), configuration(19)];
+    let scheduler = Scheduler::new(4);
+    let mut seconds = [0.0f64; 2];
+    for (i, prefilter) in [false, true].into_iter().enumerate() {
+        let options = CampaignOptions {
+            kernels: kernels * 2,
+            generator: GeneratorOptions {
+                min_threads: 16,
+                max_threads: 48,
+                ..GeneratorOptions::default()
+            },
+            exec: ExecOptions::default(),
+            seed_offset: 0xA7A1,
+            prefilter,
+        };
+        opencl_sim::reset_shared_outcome_cache();
+        let start = Instant::now();
+        let result = run_mode_campaign_with(&scheduler, GenMode::Barrier, &configs, &options);
+        seconds[i] = start.elapsed().as_secs_f64();
+        let skipped: usize = result.stats.iter().map(|s| s.skipped).sum();
+        println!(
+            "  campaign prefilter={:<5} {:>8.2}s ({} skipped)",
+            prefilter, seconds[i], skipped
+        );
+        metrics.record(
+            format!(
+                "analysis_campaign_prefilter_{}_s",
+                if prefilter { "on" } else { "off" }
+            ),
+            seconds[i],
+        );
+    }
+    let speedup = seconds[0] / seconds[1].max(1e-9);
+    println!("  prefilter speedup  {speedup:>10.2}x");
+    metrics.record("analysis_prefilter_speedup", speedup);
+}
+
 fn bench_scheduler_overlap() {
     println!("scheduler overlap (16 jobs × 25ms latency)");
     let jobs = || {
@@ -644,6 +720,7 @@ fn main() {
     bench_store(if quick { 4 } else { 12 }, &mut metrics);
     bench_shard_resume(if quick { 8 } else { 24 }, &mut metrics);
     bench_pipeline_overlap(if quick { 8 } else { 24 }, &mut metrics);
+    bench_analysis(if quick { 8 } else { 24 }, &mut metrics);
     bench_scheduler_overlap();
     // CPU-bound scaling: speedup tracks the machine's core count (×1.0 on a
     // single-core box); the byte-identity assertion holds everywhere.

@@ -1,0 +1,125 @@
+//! Static analysis front end: lints a seed range of generated kernels and
+//! prints diagnostics with printer-derived source excerpts.
+//!
+//! ```text
+//! analyze [SEED_LO [SEED_HI]] [--mode NAME] [--verbose] [--summary]
+//! ```
+//!
+//! Default: seeds `0..16` across all six generation modes.  `--mode`
+//! restricts to one mode (`basic`, `vector`, `barrier`, `atomic-section`,
+//! `atomic-reduction`, `all`).  `--verbose` prints every diagnostic for
+//! every kernel; the default prints one line per kernel plus diagnostics of
+//! non-clean kernels.  `--summary` prints only the final per-verdict tally
+//! (the format CI diffs against a golden file).
+
+use clsmith::{validate, GenMode, GeneratorOptions};
+use std::collections::BTreeMap;
+
+struct Args {
+    lo: u64,
+    hi: u64,
+    mode: Option<GenMode>,
+    verbose: bool,
+    summary: bool,
+}
+
+fn parse_mode(s: &str) -> Option<GenMode> {
+    match s.to_ascii_lowercase().replace('_', "-").as_str() {
+        "basic" => Some(GenMode::Basic),
+        "vector" => Some(GenMode::Vector),
+        "barrier" => Some(GenMode::Barrier),
+        "atomic-section" => Some(GenMode::AtomicSection),
+        "atomic-reduction" => Some(GenMode::AtomicReduction),
+        "all" => Some(GenMode::All),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        lo: 0,
+        hi: 16,
+        mode: None,
+        verbose: false,
+        summary: false,
+    };
+    let mut positional = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--verbose" | "-v" => args.verbose = true,
+            "--summary" => args.summary = true,
+            "--mode" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| bench::fail("--mode needs a value"));
+                args.mode = Some(
+                    parse_mode(&value)
+                        .unwrap_or_else(|| bench::fail(format!("unknown mode `{value}`"))),
+                );
+            }
+            other if other.starts_with('-') => {
+                bench::fail(format!("unknown flag `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(first) = positional.first() {
+        let v: u64 = first
+            .parse()
+            .unwrap_or_else(|_| bench::fail(format!("bad seed `{first}`")));
+        if let Some(second) = positional.get(1) {
+            args.lo = v;
+            args.hi = second
+                .parse()
+                .unwrap_or_else(|_| bench::fail(format!("bad seed `{second}`")));
+        } else {
+            args.hi = v;
+        }
+    }
+    if args.hi <= args.lo {
+        bench::fail("empty seed range");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let modes: Vec<GenMode> = match args.mode {
+        Some(m) => vec![m],
+        None => GenMode::ALL.to_vec(),
+    };
+    let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for &mode in &modes {
+        for seed in args.lo..args.hi {
+            let options = GeneratorOptions::new(mode, seed);
+            let program = clsmith::generate(&options);
+            let report = validate(&program);
+            total += 1;
+            *tally.entry(report.verdict()).or_insert(0) += 1;
+            if args.summary {
+                continue;
+            }
+            println!(
+                "{:>16} seed {:>4}: {} ({} pairs checked)",
+                mode.name(),
+                seed,
+                report.summary(),
+                report.checked_pairs
+            );
+            if args.verbose || !report.is_clean() {
+                for d in &report.diagnostics {
+                    println!("    {d}");
+                }
+            }
+        }
+    }
+    if !args.summary {
+        println!();
+    }
+    println!("verdicts over {total} kernels:");
+    for (verdict, count) in &tally {
+        println!("  {verdict:>12}  {count}");
+    }
+}

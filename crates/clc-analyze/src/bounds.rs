@@ -1,0 +1,76 @@
+//! Static bounds checking of shared-object accesses against declared
+//! extents.
+//!
+//! Works over the access set collected by the race pass: each access whose
+//! subscript class yields a provable maximum cell index is compared against
+//! the declared buffer / local-array length.  Classes the analyzer cannot
+//! bound produce a (deduplicated) may-out-of-bounds note.
+
+use crate::classify::{IndexClass, KernelModel};
+use crate::race::Access;
+use crate::report::{Diagnostic, DiagnosticKind};
+use std::collections::BTreeSet;
+
+/// Runs the bounds pass over the collected accesses.
+pub fn check_bounds(accesses: &[Access], model: &KernelModel<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, String, DiagnosticKind)> = BTreeSet::new();
+    for a in accesses {
+        if a.from_escape {
+            continue;
+        }
+        let Some(info) = model.objects.get(&a.object) else {
+            continue;
+        };
+        let Some(len) = info.len else {
+            continue;
+        };
+        let gs = model.group_size;
+        let groups = model.total_groups;
+        // (max cell index reachable, whether the access definitely happens
+        // at an index ≥ len on some work-item)
+        let verdict = match &a.class {
+            IndexClass::Const(v) => {
+                if *v < 0 || *v >= len {
+                    Some((DiagnosticKind::OutOfBounds, *v))
+                } else {
+                    None
+                }
+            }
+            IndexClass::Thread => {
+                let max = model.total_threads - 1;
+                (max >= len).then_some((DiagnosticKind::OutOfBounds, max))
+            }
+            IndexClass::Lane(_) => {
+                let max = gs - 1;
+                (max >= len).then_some((DiagnosticKind::OutOfBounds, max))
+            }
+            IndexClass::GroupSlot { stride, slot } => {
+                let max = (groups - 1) * stride + slot;
+                (max >= len).then_some((DiagnosticKind::OutOfBounds, max))
+            }
+            IndexClass::GroupLane { stride, .. } => {
+                let max = (groups - 1) * stride + gs - 1;
+                (max >= len).then_some((DiagnosticKind::OutOfBounds, max))
+            }
+            IndexClass::Uniform | IndexClass::Unknown => Some((DiagnosticKind::MayOutOfBounds, -1)),
+        };
+        let Some((kind, max)) = verdict else { continue };
+        if !seen.insert((a.object.clone(), a.site.clone(), kind)) {
+            continue;
+        }
+        let message = match kind {
+            DiagnosticKind::OutOfBounds => {
+                format!("subscript reaches cell {max} but extent is {len}")
+            }
+            _ => format!("subscript cannot be bounded statically (extent {len})"),
+        };
+        out.push(Diagnostic {
+            kind,
+            object: Some(a.object.clone()),
+            message,
+            excerpt: a.site.clone(),
+        });
+    }
+    out
+}

@@ -1,0 +1,247 @@
+//! Basic-block construction from the structured `clc` AST.
+//!
+//! The AST has no gotos, so the CFG is built by structural lowering:
+//! conditions become evaluation steps in the predecessor block, loop
+//! back-edges and `break` / `continue` edges are wired through a small
+//! loop-context stack.  Steps borrow the program (`'p`), so facts computed
+//! by dataflow passes can reference AST nodes directly.
+
+use clc::expr::Expr;
+use clc::stmt::{Block, Stmt};
+
+/// One atomic step of a basic block.
+#[derive(Debug, Clone, Copy)]
+pub enum Step<'p> {
+    /// A declaration statement (uses of its initialiser, then the def).
+    Decl(&'p Stmt),
+    /// Evaluation of an expression for value or effect.
+    Eval(&'p Expr),
+    /// Evaluation of an EMI guard (`dead[a] < dead[b]`; no local uses/defs).
+    EmiGuard,
+}
+
+/// A straight-line run of steps with successor edges.
+#[derive(Debug, Default)]
+pub struct BasicBlock<'p> {
+    /// The steps, in evaluation order.
+    pub steps: Vec<Step<'p>>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A control-flow graph over one function body.
+#[derive(Debug)]
+pub struct Cfg<'p> {
+    /// All blocks; block 0 is unused padding only if `entry` says so.
+    pub blocks: Vec<BasicBlock<'p>>,
+    /// Entry block index.
+    pub entry: usize,
+    /// Single synthetic exit block index.
+    pub exit: usize,
+}
+
+/// Builds the CFG for a function or kernel body.
+pub fn build_cfg(body: &Block) -> Cfg<'_> {
+    let mut b = Builder { blocks: Vec::new() };
+    let entry = b.new_block();
+    let exit = b.new_block();
+    let ctx = LoopCtx {
+        break_to: None,
+        continue_to: None,
+        exit,
+    };
+    let end = b.lower_block(body, entry, &ctx);
+    b.edge(end, exit);
+    Cfg {
+        blocks: b.blocks,
+        entry,
+        exit,
+    }
+}
+
+#[derive(Clone, Copy)]
+struct LoopCtx {
+    break_to: Option<usize>,
+    continue_to: Option<usize>,
+    exit: usize,
+}
+
+struct Builder<'p> {
+    blocks: Vec<BasicBlock<'p>>,
+}
+
+impl<'p> Builder<'p> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn lower_block(&mut self, block: &'p Block, mut cur: usize, ctx: &LoopCtx) -> usize {
+        for s in block.iter() {
+            cur = self.lower_stmt(s, cur, ctx);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, s: &'p Stmt, cur: usize, ctx: &LoopCtx) -> usize {
+        match s {
+            Stmt::Decl { .. } => {
+                self.blocks[cur].steps.push(Step::Decl(s));
+                cur
+            }
+            Stmt::Expr(e) => {
+                self.blocks[cur].steps.push(Step::Eval(e));
+                cur
+            }
+            Stmt::Barrier(_) => cur,
+            Stmt::Block(b) => self.lower_block(b, cur, ctx),
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.blocks[cur].steps.push(Step::Eval(cond));
+                let join = self.new_block();
+                let t0 = self.new_block();
+                self.edge(cur, t0);
+                let t_end = self.lower_block(then_block, t0, ctx);
+                self.edge(t_end, join);
+                match else_block {
+                    Some(b) => {
+                        let e0 = self.new_block();
+                        self.edge(cur, e0);
+                        let e_end = self.lower_block(b, e0, ctx);
+                        self.edge(e_end, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                self.edge(cur, header);
+                self.blocks[header].steps.push(Step::Eval(cond));
+                let join = self.new_block();
+                let b0 = self.new_block();
+                self.edge(header, b0);
+                self.edge(header, join);
+                let inner = LoopCtx {
+                    break_to: Some(join),
+                    continue_to: Some(header),
+                    exit: ctx.exit,
+                };
+                let b_end = self.lower_block(body, b0, &inner);
+                self.edge(b_end, header);
+                join
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                let mut cur = cur;
+                if let Some(i) = init {
+                    cur = self.lower_stmt(i, cur, ctx);
+                }
+                let header = self.new_block();
+                self.edge(cur, header);
+                if let Some(c) = cond {
+                    self.blocks[header].steps.push(Step::Eval(c));
+                }
+                let join = self.new_block();
+                let b0 = self.new_block();
+                let update_block = self.new_block();
+                self.edge(header, b0);
+                if cond.is_some() {
+                    self.edge(header, join);
+                }
+                let inner = LoopCtx {
+                    break_to: Some(join),
+                    continue_to: Some(update_block),
+                    exit: ctx.exit,
+                };
+                let b_end = self.lower_block(body, b0, &inner);
+                self.edge(b_end, update_block);
+                if let Some(u) = update {
+                    self.blocks[update_block].steps.push(Step::Eval(u));
+                }
+                self.edge(update_block, header);
+                join
+            }
+            Stmt::Emi(emi) => {
+                self.blocks[cur].steps.push(Step::EmiGuard);
+                let join = self.new_block();
+                let b0 = self.new_block();
+                self.edge(cur, b0);
+                self.edge(cur, join);
+                let b_end = self.lower_block(&emi.body, b0, ctx);
+                self.edge(b_end, join);
+                join
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.blocks[cur].steps.push(Step::Eval(e));
+                }
+                self.edge(cur, ctx.exit);
+                self.new_block()
+            }
+            Stmt::Break => {
+                if let Some(t) = ctx.break_to {
+                    self.edge(cur, t);
+                }
+                self.new_block()
+            }
+            Stmt::Continue => {
+                if let Some(t) = ctx.continue_to {
+                    self.edge(cur, t);
+                }
+                self.new_block()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clc::expr::BinOp;
+    use clc::types::{ScalarType, Type};
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let body = Block::of(vec![
+            Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(1))),
+            Stmt::expr(Expr::assign(Expr::var("x"), Expr::int(2))),
+        ]);
+        let cfg = build_cfg(&body);
+        assert_eq!(cfg.blocks[cfg.entry].steps.len(), 2);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let body = Block::of(vec![Stmt::While {
+            cond: Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(4)),
+            body: Block::of(vec![Stmt::expr(Expr::assign(
+                Expr::var("i"),
+                Expr::binary(BinOp::Add, Expr::var("i"), Expr::int(1)),
+            ))]),
+        }]);
+        let cfg = build_cfg(&body);
+        // Some block must have a successor with a smaller index (the
+        // back-edge to the loop header).
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s <= i && s != cfg.exit));
+        assert!(has_back_edge);
+    }
+}

@@ -1,0 +1,51 @@
+//! Forward-dataflow worklist engine over [`Cfg`].
+//!
+//! Passes implement [`Analysis`] (a join-semilattice of facts plus a
+//! transfer function over [`Step`]s) and call [`forward_fixpoint`], which
+//! returns the fact at *entry* of every block once the worklist stabilises.
+
+use crate::cfg::{Cfg, Step};
+
+/// A forward dataflow analysis: lattice + transfer function.
+pub trait Analysis<'p> {
+    /// The lattice element attached to each block entry.
+    type Fact: Clone + PartialEq;
+
+    /// Fact at the CFG entry (boundary condition).
+    fn boundary(&self) -> Self::Fact;
+
+    /// Least element, the initial value of every other block.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Joins `other` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Applies one step to the fact in place.
+    fn transfer(&mut self, step: &Step<'p>, fact: &mut Self::Fact);
+}
+
+/// Runs `analysis` to fixpoint over `cfg` and returns per-block entry facts.
+pub fn forward_fixpoint<'p, A: Analysis<'p>>(cfg: &Cfg<'p>, analysis: &mut A) -> Vec<A::Fact> {
+    let n = cfg.blocks.len();
+    let mut entry_facts: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    entry_facts[cfg.entry] = analysis.boundary();
+
+    let mut worklist: Vec<usize> = vec![cfg.entry];
+    let mut on_list = vec![false; n];
+    on_list[cfg.entry] = true;
+
+    while let Some(b) = worklist.pop() {
+        on_list[b] = false;
+        let mut fact = entry_facts[b].clone();
+        for step in &cfg.blocks[b].steps {
+            analysis.transfer(step, &mut fact);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            if analysis.join(&mut entry_facts[succ], &fact) && !on_list[succ] {
+                on_list[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+    entry_facts
+}

@@ -1,0 +1,224 @@
+//! Analysis verdicts: diagnostics, access-pair classifications, and the
+//! [`AnalysisReport`] that campaigns, caches and the `analyze` binary consume.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The kind of a diagnostic, ordered by severity (most severe first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagnosticKind {
+    /// A barrier may be reached by only part of a work-group (a barrier under
+    /// identity-dependent control flow).
+    BarrierDivergence,
+    /// Two accesses definitely form a data race on every execution.
+    MustRace,
+    /// Two accesses may form a data race under some schedule.
+    MayRace,
+    /// A private variable may be read before it is initialised.
+    UseBeforeInit,
+    /// An access is definitely outside the declared buffer extent.
+    OutOfBounds,
+    /// An access whose subscript the analyzer cannot bound.
+    MayOutOfBounds,
+}
+
+impl DiagnosticKind {
+    /// Short stable key used in tallies and golden files.
+    pub fn key(self) -> &'static str {
+        match self {
+            DiagnosticKind::BarrierDivergence => "divergence",
+            DiagnosticKind::MustRace => "must-race",
+            DiagnosticKind::MayRace => "may-race",
+            DiagnosticKind::UseBeforeInit => "uninit",
+            DiagnosticKind::OutOfBounds => "oob",
+            DiagnosticKind::MayOutOfBounds => "may-oob",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// What was found.
+    pub kind: DiagnosticKind,
+    /// The buffer / local array / variable involved, when there is one.
+    pub object: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Printer-derived source excerpt of the offending site.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(obj) = &self.object {
+            write!(f, " {obj}:")?;
+        }
+        write!(f, " {}", self.message)?;
+        if !self.excerpt.is_empty() {
+            write!(f, "\n    at: {}", self.excerpt)?;
+        }
+        Ok(())
+    }
+}
+
+/// Static verdict for one pair of accesses to the same object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PairVerdict {
+    /// The two accesses can never touch the same cell from different
+    /// work-items in a conflicting way.
+    Disjoint,
+    /// A conflicting overlap is possible under some schedule.
+    MayRace,
+    /// A conflicting overlap happens on every execution.
+    MustRace,
+}
+
+/// A classified access pair (only non-disjoint pairs are retained).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccessPair {
+    /// The object both accesses touch.
+    pub object: String,
+    /// Printer-derived excerpt of the first access site.
+    pub first: String,
+    /// Printer-derived excerpt of the second access site.
+    pub second: String,
+    /// The pair verdict.
+    pub verdict: PairVerdict,
+}
+
+/// The full result of analysing one program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisReport {
+    /// All findings, most severe first, deterministically ordered.
+    pub diagnostics: Vec<Diagnostic>,
+    /// All may-race / must-race access pairs.
+    pub pairs: Vec<AccessPair>,
+    /// How many access pairs the race analysis examined in total.
+    pub checked_pairs: usize,
+    /// Objects involved in at least one may-race / must-race pair.  The
+    /// soundness contract: every *dynamic* race verdict must name an object
+    /// in this set.
+    pub flagged_objects: BTreeSet<String>,
+}
+
+impl AnalysisReport {
+    /// No may-race or must-race finding.
+    pub fn race_free(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::MayRace | DiagnosticKind::MustRace))
+    }
+
+    /// No barrier-divergence finding.
+    pub fn divergence_free(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::BarrierDivergence)
+    }
+
+    /// The certification the differential methodology relies on: the kernel
+    /// is statically race-free *and* divergence-free, so a dynamic race or
+    /// divergence verdict on it would be an analyzer soundness bug.
+    pub fn is_certified(&self) -> bool {
+        self.race_free() && self.divergence_free()
+    }
+
+    /// Whether any diagnostic at all was produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The single most severe verdict class, for per-kernel tallies.
+    pub fn verdict(&self) -> &'static str {
+        self.diagnostics
+            .iter()
+            .map(|d| d.kind)
+            .min()
+            .map(DiagnosticKind::key)
+            .unwrap_or("clean")
+    }
+
+    /// Diagnostic counts per kind key, deterministically ordered.
+    pub fn verdict_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.kind.key()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// One-line summary: `clean` or `divergence:1 may-race:3`.
+    pub fn summary(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "clean".into();
+        }
+        self.verdict_counts()
+            .iter()
+            .map(|(k, n)| format!("{k}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Canonicalises ordering so reports compare and render deterministically
+    /// regardless of pass ordering.
+    pub(crate) fn normalize(&mut self) {
+        self.diagnostics.sort();
+        self.diagnostics.dedup();
+        self.pairs.sort();
+        self.pairs.dedup();
+        self.flagged_objects = self
+            .pairs
+            .iter()
+            .map(|p| p.object.clone())
+            .collect::<BTreeSet<_>>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(kind: DiagnosticKind) -> Diagnostic {
+        Diagnostic {
+            kind,
+            object: Some("A".into()),
+            message: "m".into(),
+            excerpt: String::new(),
+        }
+    }
+
+    #[test]
+    fn verdict_picks_most_severe() {
+        let mut r = AnalysisReport::default();
+        assert_eq!(r.verdict(), "clean");
+        assert!(r.is_certified());
+        r.diagnostics.push(diag(DiagnosticKind::MayOutOfBounds));
+        assert_eq!(r.verdict(), "may-oob");
+        assert!(r.is_certified());
+        r.diagnostics.push(diag(DiagnosticKind::MayRace));
+        assert_eq!(r.verdict(), "may-race");
+        assert!(!r.is_certified());
+        r.diagnostics.push(diag(DiagnosticKind::BarrierDivergence));
+        assert_eq!(r.verdict(), "divergence");
+        assert!(!r.race_free() && !r.divergence_free());
+    }
+
+    #[test]
+    fn summary_counts_per_kind() {
+        let mut r = AnalysisReport::default();
+        r.diagnostics.push(diag(DiagnosticKind::MayRace));
+        r.diagnostics.push(diag(DiagnosticKind::MayRace));
+        r.diagnostics.push(diag(DiagnosticKind::UseBeforeInit));
+        assert_eq!(r.summary(), "may-race:2 uninit:1");
+    }
+}

@@ -1,0 +1,204 @@
+//! Lifetime-preserving AST walkers.
+//!
+//! The `clc` convenience visitors (`Stmt::for_each`, `Program::for_each_stmt`)
+//! take `FnMut(&Stmt)` with an anonymous lifetime, which is fine for counting
+//! but cannot *collect references*.  The analyzer builds CFGs and binding
+//! tables that borrow the program, so these walkers thread the program
+//! lifetime `'p` through explicitly.
+
+use clc::expr::Expr;
+use clc::program::Program;
+use clc::stmt::{Block, Initializer, Stmt};
+
+/// Appends every statement of `block`, recursively, in program order.
+pub fn block_stmts<'p>(block: &'p Block, out: &mut Vec<&'p Stmt>) {
+    for s in block.iter() {
+        stmt_and_nested(s, out);
+    }
+}
+
+/// Appends `s` and every statement nested inside it, in program order.
+pub fn stmt_and_nested<'p>(s: &'p Stmt, out: &mut Vec<&'p Stmt>) {
+    out.push(s);
+    match s {
+        Stmt::If {
+            then_block,
+            else_block,
+            ..
+        } => {
+            block_stmts(then_block, out);
+            if let Some(b) = else_block {
+                block_stmts(b, out);
+            }
+        }
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                stmt_and_nested(i, out);
+            }
+            block_stmts(body, out);
+        }
+        Stmt::While { body, .. } => block_stmts(body, out),
+        Stmt::Block(b) => block_stmts(b, out),
+        Stmt::Emi(e) => block_stmts(&e.body, out),
+        _ => {}
+    }
+}
+
+/// Every statement of the program: helper bodies first, then the kernel.
+pub fn program_stmts(program: &Program) -> Vec<&Stmt> {
+    let mut out = Vec::new();
+    for f in &program.functions {
+        block_stmts(&f.body, &mut out);
+    }
+    block_stmts(&program.kernel.body, &mut out);
+    out
+}
+
+/// The expression roots evaluated directly by `s` (conditions, initialisers,
+/// statement expressions) — not those of nested statements.
+pub fn own_exprs(s: &Stmt) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Decl {
+            init, init_list, ..
+        } => {
+            if let Some(e) = init {
+                out.push(e);
+            }
+            if let Some(list) = init_list {
+                initializer_exprs(list, &mut out);
+            }
+        }
+        Stmt::Expr(e) => out.push(e),
+        Stmt::If { cond, .. } => out.push(cond),
+        Stmt::For { cond, update, .. } => {
+            if let Some(c) = cond {
+                out.push(c);
+            }
+            if let Some(u) = update {
+                out.push(u);
+            }
+        }
+        Stmt::While { cond, .. } => out.push(cond),
+        Stmt::Return(Some(e)) => out.push(e),
+        _ => {}
+    }
+    out
+}
+
+/// Appends the leaf expressions of an initialiser, in order.
+pub fn initializer_exprs<'p>(init: &'p Initializer, out: &mut Vec<&'p Expr>) {
+    match init {
+        Initializer::Expr(e) => out.push(e),
+        Initializer::List(items) => {
+            for item in items {
+                initializer_exprs(item, out);
+            }
+        }
+    }
+}
+
+/// Appends the *direct* children of `e` (one level, no recursion).
+pub fn expr_children<'p>(e: &'p Expr, out: &mut Vec<&'p Expr>) {
+    match e {
+        Expr::IntLit { .. } | Expr::Var(_) | Expr::IdQuery(_) => {}
+        Expr::VectorLit { parts, .. } => out.extend(parts.iter()),
+        Expr::Unary { expr, .. }
+        | Expr::Deref(expr)
+        | Expr::AddrOf(expr)
+        | Expr::Cast { expr, .. } => out.push(expr),
+        Expr::Binary { lhs, rhs, .. }
+        | Expr::Assign { lhs, rhs, .. }
+        | Expr::Comma { lhs, rhs } => {
+            out.push(lhs);
+            out.push(rhs);
+        }
+        Expr::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            out.push(cond);
+            out.push(then_expr);
+            out.push(else_expr);
+        }
+        Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => out.extend(args.iter()),
+        Expr::Index { base, index } => {
+            out.push(base);
+            out.push(index);
+        }
+        Expr::Field { base, .. } | Expr::Swizzle { base, .. } => out.push(base),
+    }
+}
+
+/// Calls `f` on `e` and every sub-expression, pre-order.
+pub fn expr_subtree<'p>(e: &'p Expr, f: &mut impl FnMut(&'p Expr)) {
+    f(e);
+    match e {
+        Expr::IntLit { .. } | Expr::Var(_) | Expr::IdQuery(_) => {}
+        Expr::VectorLit { parts, .. } => {
+            for p in parts {
+                expr_subtree(p, f);
+            }
+        }
+        Expr::Unary { expr, .. }
+        | Expr::Deref(expr)
+        | Expr::AddrOf(expr)
+        | Expr::Cast { expr, .. } => expr_subtree(expr, f),
+        Expr::Binary { lhs, rhs, .. }
+        | Expr::Assign { lhs, rhs, .. }
+        | Expr::Comma { lhs, rhs } => {
+            expr_subtree(lhs, f);
+            expr_subtree(rhs, f);
+        }
+        Expr::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            expr_subtree(cond, f);
+            expr_subtree(then_expr, f);
+            expr_subtree(else_expr, f);
+        }
+        Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => {
+            for a in args {
+                expr_subtree(a, f);
+            }
+        }
+        Expr::Index { base, index } => {
+            expr_subtree(base, f);
+            expr_subtree(index, f);
+        }
+        Expr::Field { base, .. } | Expr::Swizzle { base, .. } => expr_subtree(base, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clc::expr::BinOp;
+    use clc::types::{ScalarType, Type};
+
+    #[test]
+    fn collects_nested_statements_and_exprs() {
+        let block = Block::of(vec![Stmt::if_then(
+            Expr::binary(BinOp::Lt, Expr::var("x"), Expr::int(3)),
+            Block::of(vec![Stmt::decl(
+                "y",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::int(1)),
+            )]),
+        )]);
+        let mut stmts = Vec::new();
+        block_stmts(&block, &mut stmts);
+        assert_eq!(stmts.len(), 2);
+        let mut leaves = 0usize;
+        for s in &stmts {
+            for root in own_exprs(s) {
+                expr_subtree(root, &mut |_| leaves += 1);
+            }
+        }
+        // (x < 3), x, 3, 1
+        assert_eq!(leaves, 4);
+    }
+}

@@ -301,3 +301,65 @@ fn shift_amount_modulo_width_regression() {
         );
     }
 }
+
+/// Satellite audit of `RaceDetector::record` call sites: a race through a
+/// *struct-field* access on a local variable must be reported under the
+/// variable's declared name (`sh`), not a field-qualified or synthetic
+/// `obj{n}` name, and the two tiers must produce the byte-identical
+/// [`clc_interp::RaceReport`] — including its `Debug` rendering — for the
+/// same seeded schedule.
+#[test]
+fn struct_field_race_reports_identically_across_tiers() {
+    use clc::types::{AddressSpace, Field, StructDef, Type};
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::single_group(8),
+    );
+    let sid = program.add_struct(StructDef::new(
+        "S",
+        vec![
+            Field::new("a", Type::Scalar(ScalarType::Int)),
+            Field::new("b", Type::Scalar(ScalarType::Int)),
+        ],
+    ));
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 8)];
+    program.kernel.body.push(Stmt::Decl {
+        name: "sh".into(),
+        ty: Type::Struct(sid),
+        space: AddressSpace::Local,
+        volatile: false,
+        init: None,
+        init_list: None,
+    });
+    // Every work-item writes the same field of the one shared struct.
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::field(Expr::var("sh"), "a"),
+        Expr::IdQuery(IdKind::LocalLinearId),
+    )));
+    let mut reports = Vec::new();
+    for tier in ExecutionTier::ALL {
+        let result = launch(&program, &options_for(tier, true, Schedule::Forward))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", tier.name()));
+        let race = result
+            .race
+            .unwrap_or_else(|| panic!("{}: expected a race on sh.a", tier.name()));
+        assert_eq!(
+            race.object,
+            "sh",
+            "{}: struct-field race must name the declared variable",
+            tier.name()
+        );
+        assert!(race.involves_write && race.same_group, "{race:?}");
+        reports.push(race);
+    }
+    assert_eq!(reports[0], reports[1], "tiers disagree on the race report");
+    assert_eq!(
+        format!("{:?}", reports[0]),
+        format!("{:?}", reports[1]),
+        "tiers render the race report differently"
+    );
+}

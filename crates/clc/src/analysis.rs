@@ -9,10 +9,11 @@
 //! lets the generator, the harness and the simulated compilers all agree on
 //! what a feature means.
 
-use crate::expr::{BinOp, Builtin, Expr, IdKind, UnOp};
+use crate::expr::{Builtin, Expr, IdKind, UnOp};
 use crate::program::Program;
 use crate::stmt::{Initializer, Stmt};
 use crate::types::Type;
+use crate::visit::{self, VisitCtx, Visitor};
 use std::collections::HashMap;
 
 /// Static features of a program relevant to the bug models.
@@ -107,6 +108,10 @@ struct Detector<'p> {
     /// the most recent declaration, which is sufficient for feature
     /// detection).
     var_types: HashMap<String, Type>,
+    /// Set while walking a helper function body (vs the kernel body).
+    in_callee: bool,
+    /// Set while walking a forward-declared helper function body.
+    forward_declared: bool,
 }
 
 impl<'p> Detector<'p> {
@@ -115,6 +120,8 @@ impl<'p> Detector<'p> {
             program,
             features: Features::default(),
             var_types: HashMap::new(),
+            in_callee: false,
+            forward_declared: false,
         }
     }
 
@@ -126,11 +133,16 @@ impl<'p> Detector<'p> {
         self.features.struct_count = self.program.structs.len();
         self.features.emi_block_count = self.program.emi_blocks().len();
 
-        for f in &self.program.functions {
-            self.scan_block_stmts(&f.body, true, f.forward_declared);
+        let program = self.program;
+        for f in &program.functions {
+            self.in_callee = true;
+            self.forward_declared = f.forward_declared;
+            visit::walk_block(&mut self, &f.body, VisitCtx::default());
             self.scan_function_param_writes(f);
         }
-        self.scan_block_stmts(&self.program.kernel.body, false, false);
+        self.in_callee = false;
+        self.forward_declared = false;
+        visit::walk_block(&mut self, &program.kernel.body, VisitCtx::default());
         self.features
     }
 
@@ -233,145 +245,11 @@ impl<'p> Detector<'p> {
         }
     }
 
-    fn scan_block_stmts(
-        &mut self,
-        block: &crate::stmt::Block,
-        in_callee: bool,
-        forward_declared: bool,
-    ) {
-        for s in block.iter() {
-            self.scan_stmt(s, in_callee, forward_declared, false, None);
-        }
-    }
-
-    fn scan_stmt(
-        &mut self,
-        stmt: &Stmt,
-        in_callee: bool,
-        forward_declared: bool,
-        in_loop: bool,
-        enclosing_for_bound: Option<i128>,
-    ) {
-        match stmt {
-            Stmt::Decl {
-                ty,
-                volatile,
-                init,
-                init_list,
-                ..
-            } => {
-                if *volatile {
-                    self.features.uses_volatile = true;
-                }
-                if ty.is_vector() {
-                    self.features.uses_vectors = true;
-                }
-                if let Some(e) = init {
-                    self.scan_expr(e, false);
-                }
-                if let Some(list) = init_list {
-                    self.scan_initializer(ty, list);
-                }
-            }
-            Stmt::Expr(e) => self.scan_expr(e, false),
-            Stmt::If {
-                cond,
-                then_block,
-                else_block,
-            } => {
-                self.scan_expr(cond, true);
-                for s in then_block.iter() {
-                    self.scan_stmt(s, in_callee, forward_declared, in_loop, enclosing_for_bound);
-                }
-                if let Some(b) = else_block {
-                    for s in b.iter() {
-                        self.scan_stmt(
-                            s,
-                            in_callee,
-                            forward_declared,
-                            in_loop,
-                            enclosing_for_bound,
-                        );
-                    }
-                }
-            }
-            Stmt::For {
-                init,
-                cond,
-                update,
-                body,
-            } => {
-                self.features.loop_count += 1;
-                if let Some(init) = init {
-                    self.scan_stmt(
-                        init,
-                        in_callee,
-                        forward_declared,
-                        in_loop,
-                        enclosing_for_bound,
-                    );
-                }
-                let bound = cond.as_ref().and_then(extract_literal_bound);
-                if let Some(c) = cond {
-                    self.scan_expr(c, true);
-                }
-                if let Some(u) = update {
-                    self.scan_expr(u, false);
-                }
-                for s in body.iter() {
-                    self.scan_stmt(
-                        s,
-                        in_callee,
-                        forward_declared,
-                        true,
-                        bound.or(enclosing_for_bound),
-                    );
-                }
-            }
-            Stmt::While { cond, body } => {
-                self.features.loop_count += 1;
-                self.scan_expr(cond, true);
-                if is_nonzero_literal(cond) {
-                    self.features.has_infinite_loop = true;
-                    if let Some(bound) = enclosing_for_bound {
-                        self.features.max_for_bound_over_infinite_loop =
-                            self.features.max_for_bound_over_infinite_loop.max(bound);
-                    }
-                }
-                for s in body.iter() {
-                    self.scan_stmt(s, in_callee, forward_declared, true, enclosing_for_bound);
-                }
-            }
-            Stmt::Block(b) => {
-                for s in b.iter() {
-                    self.scan_stmt(s, in_callee, forward_declared, in_loop, enclosing_for_bound);
-                }
-            }
-            Stmt::Return(Some(e)) => self.scan_expr(e, false),
-            Stmt::Barrier(_) => {
-                self.features.barrier_count += 1;
-                if in_callee {
-                    self.features.barrier_in_callee = true;
-                    if forward_declared {
-                        self.features.barrier_in_forward_declared_callee = true;
-                    }
-                }
-                if in_loop {
-                    self.features.barrier_in_loop = true;
-                }
-            }
-            Stmt::Emi(emi) => {
-                for s in emi.body.iter() {
-                    self.scan_stmt(s, in_callee, forward_declared, in_loop, enclosing_for_bound);
-                }
-            }
-            _ => {}
-        }
-    }
-
     fn scan_initializer(&mut self, ty: &Type, init: &Initializer) {
         // Detect a brace-initialised union field inside a struct initialiser
         // (Figure 2(a)): struct T { union U u[1]; ... } t = { {{1}}, ... }.
+        // The initialiser *expressions* are walked by the shared visitor; only
+        // this structural check needs the type alongside the initialiser.
         if let (Type::Struct(id), Initializer::List(items)) = (ty, init) {
             let def = self.program.struct_def(*id);
             for (field, item) in def.fields.iter().zip(items) {
@@ -387,12 +265,6 @@ impl<'p> Detector<'p> {
                 }
                 self.scan_initializer(&field.ty, item);
             }
-        }
-        // Full expression scanning on initialiser expressions.
-        let mut exprs = Vec::new();
-        init.for_each_expr(&mut |e| exprs.push(e.clone()));
-        for e in exprs {
-            self.scan_expr(&e, false);
         }
     }
 
@@ -419,114 +291,6 @@ impl<'p> Detector<'p> {
         }
     }
 
-    fn scan_expr(&mut self, e: &Expr, in_condition: bool) {
-        // Walk manually (rather than Expr::for_each) so we can see parent /
-        // child relationships such as "comparison whose operand is a group
-        // id".
-        match e {
-            Expr::VectorLit { parts, .. } => {
-                self.features.uses_vectors = true;
-                for p in parts {
-                    self.scan_expr(p, false);
-                }
-            }
-            Expr::Unary { op, expr } => {
-                if *op == UnOp::LNot && self.is_vector_expr(expr) {
-                    self.features.vector_logical_op = true;
-                }
-                self.scan_expr(expr, false);
-            }
-            Expr::Binary { op, lhs, rhs } => {
-                if op.is_logical() && (self.is_vector_expr(lhs) || self.is_vector_expr(rhs)) {
-                    self.features.vector_logical_op = true;
-                }
-                if op.is_comparison() && (is_group_id(lhs) || is_group_id(rhs)) {
-                    self.features.group_id_in_comparison = true;
-                }
-                if !op.is_comparison() && !op.is_logical() {
-                    let mixes = (is_identity_query(lhs) && self.is_signed_int_expr(rhs))
-                        || (is_identity_query(rhs) && self.is_signed_int_expr(lhs));
-                    if mixes {
-                        self.features.id_mixed_with_int = true;
-                    }
-                }
-                self.scan_expr(lhs, false);
-                self.scan_expr(rhs, false);
-            }
-            Expr::Assign { op, lhs, rhs } => {
-                if op.binop().is_some() && is_identity_query(rhs) && self.is_signed_int_expr(lhs) {
-                    self.features.id_mixed_with_int = true;
-                }
-                if self.is_struct_expr(lhs) && self.is_struct_expr(rhs) {
-                    self.features.whole_struct_assignment = true;
-                }
-                self.scan_expr(lhs, false);
-                self.scan_expr(rhs, false);
-            }
-            Expr::Comma { lhs, rhs } => {
-                self.features.uses_comma = true;
-                if in_condition {
-                    self.features.comma_in_condition = true;
-                }
-                self.scan_expr(lhs, false);
-                self.scan_expr(rhs, false);
-            }
-            Expr::Cond {
-                cond,
-                then_expr,
-                else_expr,
-            } => {
-                self.scan_expr(cond, true);
-                self.scan_expr(then_expr, false);
-                self.scan_expr(else_expr, false);
-            }
-            Expr::Call { args, .. } => {
-                for a in args {
-                    self.scan_expr(a, false);
-                }
-            }
-            Expr::BuiltinCall { func, args } => {
-                if func.is_atomic() {
-                    self.features.atomic_count += 1;
-                }
-                if *func == Builtin::Rotate {
-                    self.features.uses_rotate = true;
-                    if let Some(amount) = args.get(1) {
-                        if is_zero_valued(amount) {
-                            self.features.rotate_by_zero_literal = true;
-                        }
-                    }
-                }
-                for a in args {
-                    self.scan_expr(a, false);
-                }
-            }
-            Expr::Field { base, arrow, .. } => {
-                if *arrow || matches!(base.as_ref(), Expr::Deref(_)) {
-                    self.features.struct_read_through_pointer = true;
-                }
-                self.scan_expr(base, false);
-            }
-            Expr::Index { base, index } => {
-                self.scan_expr(base, false);
-                self.scan_expr(index, false);
-            }
-            Expr::Deref(p) => self.scan_expr(p, false),
-            Expr::AddrOf(lv) => self.scan_expr(lv, false),
-            Expr::Cast { ty, expr } => {
-                if ty.is_vector() {
-                    self.features.uses_vectors = true;
-                }
-                self.scan_expr(expr, false);
-            }
-            Expr::Swizzle { base, .. } => {
-                self.features.uses_vectors = true;
-                self.scan_expr(base, false);
-            }
-            Expr::IntLit { .. } | Expr::Var(_) | Expr::IdQuery(_) => {}
-        }
-    }
-
     fn is_signed_int_expr(&self, e: &Expr) -> bool {
         match e {
             Expr::IntLit { ty, .. } => ty.is_signed(),
@@ -549,6 +313,112 @@ impl<'p> Detector<'p> {
                 _ => false,
             },
             _ => false,
+        }
+    }
+}
+
+impl Visitor for Detector<'_> {
+    fn enter_stmt(&mut self, stmt: &Stmt, cx: &VisitCtx) {
+        match stmt {
+            Stmt::Decl {
+                ty,
+                volatile,
+                init_list,
+                ..
+            } => {
+                if *volatile {
+                    self.features.uses_volatile = true;
+                }
+                if ty.is_vector() {
+                    self.features.uses_vectors = true;
+                }
+                if let Some(list) = init_list {
+                    self.scan_initializer(ty, list);
+                }
+            }
+            Stmt::For { .. } => self.features.loop_count += 1,
+            Stmt::While { cond, .. } => {
+                self.features.loop_count += 1;
+                if is_nonzero_literal(cond) {
+                    self.features.has_infinite_loop = true;
+                    if let Some(bound) = cx.enclosing_for_bound {
+                        self.features.max_for_bound_over_infinite_loop =
+                            self.features.max_for_bound_over_infinite_loop.max(bound);
+                    }
+                }
+            }
+            Stmt::Barrier(_) => {
+                self.features.barrier_count += 1;
+                if self.in_callee {
+                    self.features.barrier_in_callee = true;
+                    if self.forward_declared {
+                        self.features.barrier_in_forward_declared_callee = true;
+                    }
+                }
+                if cx.in_loop {
+                    self.features.barrier_in_loop = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn enter_expr(&mut self, e: &Expr, cx: &VisitCtx) {
+        match e {
+            Expr::VectorLit { .. } => self.features.uses_vectors = true,
+            Expr::Unary { op, expr } if *op == UnOp::LNot && self.is_vector_expr(expr) => {
+                self.features.vector_logical_op = true;
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                if op.is_logical() && (self.is_vector_expr(lhs) || self.is_vector_expr(rhs)) {
+                    self.features.vector_logical_op = true;
+                }
+                if op.is_comparison() && (is_group_id(lhs) || is_group_id(rhs)) {
+                    self.features.group_id_in_comparison = true;
+                }
+                if !op.is_comparison() && !op.is_logical() {
+                    let mixes = (is_identity_query(lhs) && self.is_signed_int_expr(rhs))
+                        || (is_identity_query(rhs) && self.is_signed_int_expr(lhs));
+                    if mixes {
+                        self.features.id_mixed_with_int = true;
+                    }
+                }
+            }
+            Expr::Assign { op, lhs, rhs } => {
+                if op.binop().is_some() && is_identity_query(rhs) && self.is_signed_int_expr(lhs) {
+                    self.features.id_mixed_with_int = true;
+                }
+                if self.is_struct_expr(lhs) && self.is_struct_expr(rhs) {
+                    self.features.whole_struct_assignment = true;
+                }
+            }
+            Expr::Comma { .. } => {
+                self.features.uses_comma = true;
+                if cx.in_condition {
+                    self.features.comma_in_condition = true;
+                }
+            }
+            Expr::BuiltinCall { func, args } => {
+                if func.is_atomic() {
+                    self.features.atomic_count += 1;
+                }
+                if *func == Builtin::Rotate {
+                    self.features.uses_rotate = true;
+                    if let Some(amount) = args.get(1) {
+                        if is_zero_valued(amount) {
+                            self.features.rotate_by_zero_literal = true;
+                        }
+                    }
+                }
+            }
+            Expr::Field { base, arrow, .. }
+                if *arrow || matches!(base.as_ref(), Expr::Deref(_)) =>
+            {
+                self.features.struct_read_through_pointer = true;
+            }
+            Expr::Cast { ty, .. } if ty.is_vector() => self.features.uses_vectors = true,
+            Expr::Swizzle { .. } => self.features.uses_vectors = true,
+            _ => {}
         }
     }
 }
@@ -589,19 +459,6 @@ fn is_nonzero_literal(e: &Expr) -> bool {
     matches!(e, Expr::IntLit { value, .. } if *value != 0)
 }
 
-/// Extracts a literal loop bound from conditions of the shape `i < N` or
-/// `i <= N` with `N` a literal.
-fn extract_literal_bound(cond: &Expr) -> Option<i128> {
-    if let Expr::Binary { op, rhs, .. } = cond {
-        if matches!(op, BinOp::Lt | BinOp::Le) {
-            if let Expr::IntLit { value, .. } = rhs.as_ref() {
-                return Some(*value);
-            }
-        }
-    }
-    None
-}
-
 /// Convenience: true when a program would be rejected by a front-end that
 /// does not support logical operations on vectors (the Altera issue in §6).
 pub fn uses_vector_logical_ops(program: &Program) -> bool {
@@ -611,7 +468,7 @@ pub fn uses_vector_logical_ops(program: &Program) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{AssignOp, Dim};
+    use crate::expr::{AssignOp, BinOp, Dim};
     use crate::program::{KernelDef, LaunchConfig, Param, Program};
     use crate::stmt::{Block, MemFence};
     use crate::types::{AddressSpace, Field, ScalarType, StructDef, VectorWidth};

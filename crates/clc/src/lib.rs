@@ -58,6 +58,7 @@ pub mod program;
 pub mod stmt;
 pub mod typecheck;
 pub mod types;
+pub mod visit;
 
 pub use analysis::Features;
 pub use expr::{AssignOp, BinOp, Builtin, Dim, Expr, IdKind, UnOp};
@@ -67,3 +68,4 @@ pub use program::{BufferInit, BufferSpec, FunctionDef, KernelDef, LaunchConfig, 
 pub use stmt::{Block, EmiBlock, Initializer, MemFence, Stmt};
 pub use typecheck::{check_program, type_of_expr_in_kernel, TypeError};
 pub use types::{AddressSpace, Field, ScalarType, StructDef, StructId, Type, VectorWidth};
+pub use visit::{walk_block, walk_expr, walk_stmt, VisitCtx, Visitor};

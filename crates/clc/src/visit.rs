@@ -1,0 +1,305 @@
+//! Shared pre-order AST walker.
+//!
+//! Feature detection ([`crate::analysis`]) and the static analyzer (crate
+//! `clc-analyze`) both need the same traversal: every statement and
+//! expression in program order, together with the structural context their
+//! checks condition on — loop nesting, whether an expression is the root of
+//! a control-flow condition, and the innermost literal `for` bound.  The
+//! walker owns that recursion once; visitors implement [`Visitor::enter_stmt`]
+//! / [`Visitor::enter_expr`] and inspect only the node they are handed.
+
+use crate::expr::{BinOp, Expr};
+use crate::stmt::{Block, Initializer, Stmt};
+
+/// Structural context maintained by the walker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VisitCtx {
+    /// Whether the node sits inside a loop body (`for` / `while`).
+    pub in_loop: bool,
+    /// Whether the expression is the *root* of a control-flow condition (an
+    /// `if` / `while` / `for` condition or the first operand of `?:`).
+    /// Children of a condition are visited with the flag cleared.
+    pub in_condition: bool,
+    /// Innermost enclosing literal `for` bound (`i < N` / `i <= N`), if any.
+    pub enclosing_for_bound: Option<i128>,
+}
+
+impl VisitCtx {
+    fn child_expr(self) -> VisitCtx {
+        VisitCtx {
+            in_condition: false,
+            ..self
+        }
+    }
+
+    fn condition(self) -> VisitCtx {
+        VisitCtx {
+            in_condition: true,
+            ..self
+        }
+    }
+}
+
+/// A pre-order AST visitor.  Both hooks default to doing nothing, so a
+/// visitor only implements the granularity it cares about; the walker
+/// functions ([`walk_block`], [`walk_stmt`], [`walk_expr`]) perform the
+/// recursion.
+pub trait Visitor {
+    /// Called on every statement before its children are walked.
+    fn enter_stmt(&mut self, _stmt: &Stmt, _cx: &VisitCtx) {}
+
+    /// Called on every expression before its sub-expressions are walked.
+    fn enter_expr(&mut self, _expr: &Expr, _cx: &VisitCtx) {}
+}
+
+/// Walks every statement of a block, in order.
+pub fn walk_block<V: Visitor>(v: &mut V, block: &Block, cx: VisitCtx) {
+    for s in block.iter() {
+        walk_stmt(v, s, cx);
+    }
+}
+
+/// Walks a statement and everything it contains.
+pub fn walk_stmt<V: Visitor>(v: &mut V, stmt: &Stmt, cx: VisitCtx) {
+    v.enter_stmt(stmt, &cx);
+    match stmt {
+        Stmt::Decl {
+            init, init_list, ..
+        } => {
+            if let Some(e) = init {
+                walk_expr(v, e, cx.child_expr());
+            }
+            if let Some(list) = init_list {
+                walk_initializer(v, list, cx);
+            }
+        }
+        Stmt::Expr(e) => walk_expr(v, e, cx.child_expr()),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            walk_expr(v, cond, cx.condition());
+            walk_block(v, then_block, cx);
+            if let Some(b) = else_block {
+                walk_block(v, b, cx);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            if let Some(init) = init {
+                walk_stmt(v, init, cx);
+            }
+            let bound = cond.as_ref().and_then(extract_literal_bound);
+            if let Some(c) = cond {
+                walk_expr(v, c, cx.condition());
+            }
+            if let Some(u) = update {
+                walk_expr(v, u, cx.child_expr());
+            }
+            let body_cx = VisitCtx {
+                in_loop: true,
+                enclosing_for_bound: bound.or(cx.enclosing_for_bound),
+                ..cx
+            };
+            walk_block(v, body, body_cx);
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(v, cond, cx.condition());
+            walk_block(
+                v,
+                body,
+                VisitCtx {
+                    in_loop: true,
+                    ..cx
+                },
+            );
+        }
+        Stmt::Block(b) => walk_block(v, b, cx),
+        Stmt::Return(Some(e)) => walk_expr(v, e, cx.child_expr()),
+        Stmt::Emi(emi) => walk_block(v, &emi.body, cx),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Barrier(_) => {}
+    }
+}
+
+fn walk_initializer<V: Visitor>(v: &mut V, init: &Initializer, cx: VisitCtx) {
+    match init {
+        Initializer::Expr(e) => walk_expr(v, e, cx.child_expr()),
+        Initializer::List(items) => {
+            for item in items {
+                walk_initializer(v, item, cx);
+            }
+        }
+    }
+}
+
+/// Walks an expression and its sub-expressions.
+pub fn walk_expr<V: Visitor>(v: &mut V, expr: &Expr, cx: VisitCtx) {
+    v.enter_expr(expr, &cx);
+    let child = cx.child_expr();
+    match expr {
+        Expr::IntLit { .. } | Expr::Var(_) | Expr::IdQuery(_) => {}
+        Expr::VectorLit { parts, .. } => {
+            for p in parts {
+                walk_expr(v, p, child);
+            }
+        }
+        Expr::Unary { expr, .. }
+        | Expr::Deref(expr)
+        | Expr::AddrOf(expr)
+        | Expr::Cast { expr, .. } => walk_expr(v, expr, child),
+        Expr::Binary { lhs, rhs, .. }
+        | Expr::Assign { lhs, rhs, .. }
+        | Expr::Comma { lhs, rhs } => {
+            walk_expr(v, lhs, child);
+            walk_expr(v, rhs, child);
+        }
+        Expr::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            walk_expr(v, cond, cx.condition());
+            walk_expr(v, then_expr, child);
+            walk_expr(v, else_expr, child);
+        }
+        Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => {
+            for a in args {
+                walk_expr(v, a, child);
+            }
+        }
+        Expr::Index { base, index } => {
+            walk_expr(v, base, child);
+            walk_expr(v, index, child);
+        }
+        Expr::Field { base, .. } | Expr::Swizzle { base, .. } => walk_expr(v, base, child),
+    }
+}
+
+/// Extracts a literal loop bound from conditions of the shape `i < N` or
+/// `i <= N` with `N` a literal.
+pub fn extract_literal_bound(cond: &Expr) -> Option<i128> {
+    if let Expr::Binary { op, rhs, .. } = cond {
+        if matches!(op, BinOp::Lt | BinOp::Le) {
+            if let Expr::IntLit { value, .. } = rhs.as_ref() {
+                return Some(*value);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::MemFence;
+    use crate::types::{ScalarType, Type};
+
+    #[derive(Default)]
+    struct Recorder {
+        stmts: usize,
+        exprs: usize,
+        condition_roots: Vec<String>,
+        barrier_in_loop: bool,
+        bounds_at_while: Vec<Option<i128>>,
+    }
+
+    impl Visitor for Recorder {
+        fn enter_stmt(&mut self, stmt: &Stmt, cx: &VisitCtx) {
+            self.stmts += 1;
+            match stmt {
+                Stmt::Barrier(_) if cx.in_loop => self.barrier_in_loop = true,
+                Stmt::While { .. } => self.bounds_at_while.push(cx.enclosing_for_bound),
+                _ => {}
+            }
+        }
+
+        fn enter_expr(&mut self, expr: &Expr, cx: &VisitCtx) {
+            self.exprs += 1;
+            if cx.in_condition {
+                let label = match expr {
+                    Expr::Binary { .. } => "binary".to_string(),
+                    Expr::Var(name) => name.clone(),
+                    _ => "other".to_string(),
+                };
+                self.condition_roots.push(label);
+            }
+        }
+    }
+
+    #[test]
+    fn condition_flag_marks_only_roots() {
+        let stmt = Stmt::if_then(
+            Expr::binary(BinOp::Lt, Expr::var("x"), Expr::int(3)),
+            Block::of(vec![Stmt::expr(Expr::cond(
+                Expr::var("y"),
+                Expr::int(1),
+                Expr::int(2),
+            ))]),
+        );
+        let mut rec = Recorder::default();
+        walk_stmt(&mut rec, &stmt, VisitCtx::default());
+        // Only the `if` condition root and the `?:` condition root carry the
+        // flag, not their children.
+        assert_eq!(rec.condition_roots, vec!["binary".to_string(), "y".into()]);
+    }
+
+    #[test]
+    fn loop_context_and_for_bounds_propagate() {
+        let stmt = Stmt::For {
+            init: Some(Box::new(Stmt::decl(
+                "i",
+                Type::Scalar(ScalarType::Int),
+                Some(Expr::int(0)),
+            ))),
+            cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(9))),
+            update: None,
+            body: Block::of(vec![
+                Stmt::Barrier(MemFence::Local),
+                Stmt::While {
+                    cond: Expr::int(1),
+                    body: Block::new(),
+                },
+            ]),
+        };
+        let mut rec = Recorder::default();
+        walk_stmt(&mut rec, &stmt, VisitCtx::default());
+        assert!(rec.barrier_in_loop);
+        assert_eq!(rec.bounds_at_while, vec![Some(9)]);
+    }
+
+    #[test]
+    fn walker_reaches_initializer_and_emi_expressions() {
+        let block = Block::of(vec![
+            Stmt::decl_init_list(
+                "s",
+                Type::Scalar(ScalarType::Int),
+                Initializer::of_exprs(vec![Expr::int(1), Expr::int(2)]),
+            ),
+            Stmt::Emi(crate::stmt::EmiBlock {
+                index: 0,
+                guard: (3, 1),
+                body: Block::of(vec![Stmt::expr(Expr::int(7))]),
+            }),
+        ]);
+        let mut rec = Recorder::default();
+        walk_block(&mut rec, &block, VisitCtx::default());
+        // decl + emi + inner expr statement; exprs: 1, 2, 7.
+        assert_eq!(rec.stmts, 3);
+        assert_eq!(rec.exprs, 3);
+    }
+
+    #[test]
+    fn literal_bound_extraction() {
+        let lt = Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(12));
+        let le = Expr::binary(BinOp::Le, Expr::var("i"), Expr::int(4));
+        let ne = Expr::binary(BinOp::Ne, Expr::var("i"), Expr::int(4));
+        assert_eq!(extract_literal_bound(&lt), Some(12));
+        assert_eq!(extract_literal_bound(&le), Some(4));
+        assert_eq!(extract_literal_bound(&ne), None);
+    }
+}

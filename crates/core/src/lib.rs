@@ -39,3 +39,16 @@ pub use emi::{all_emi_blocks_dead, inject_emi_blocks, prune_variant, InjectionOp
 pub use generator::{generate, Generator};
 pub use options::{EmiOptions, GenMode, GeneratorOptions, PruneProbabilities};
 pub use rng::{job_seed, Rng};
+
+pub use clc_analyze::AnalysisReport;
+
+/// Statically validates a generated (or retrofitted) program.
+///
+/// Campaigns call this before executing a kernel so that statically-invalid
+/// kernels (barrier divergence, must-races, definite out-of-bounds accesses)
+/// can be tallied and skipped instead of poisoning the differential vote,
+/// and so the soundness differential can compare the static verdict against
+/// the dynamic race detector.
+pub fn validate(program: &clc::Program) -> AnalysisReport {
+    clc_analyze::analyze(program)
+}

@@ -26,6 +26,8 @@ pub struct TargetStats {
     pub timeouts: usize,
     /// Results that agreed with the majority (`✓`).
     pub ok: usize,
+    /// Kernels skipped by the static pre-filter, never executed (`sk`).
+    pub skipped: usize,
 }
 
 impl TargetStats {
@@ -37,12 +39,13 @@ impl TargetStats {
             Verdict::BuildFailure => self.build_failures += 1,
             Verdict::Crash => self.crashes += 1,
             Verdict::Timeout => self.timeouts += 1,
+            Verdict::Skipped => self.skipped += 1,
         }
     }
 
-    /// Total number of kernels recorded.
+    /// Total number of kernels recorded (including statically skipped ones).
     pub fn total(&self) -> usize {
-        self.wrong + self.build_failures + self.crashes + self.timeouts + self.ok
+        self.wrong + self.build_failures + self.crashes + self.timeouts + self.ok + self.skipped
     }
 
     /// The paper's *wrong code percentage* `w%`: wrong-code results as a
@@ -58,8 +61,9 @@ impl TargetStats {
 
     /// Fraction of kernels that failed (build failure, crash or wrong code) —
     /// the quantity the §7.1 reliability threshold is defined over.
+    /// Statically skipped kernels never ran, so they are excluded.
     pub fn failure_fraction(&self) -> f64 {
-        let total = self.total();
+        let total = self.total() - self.skipped;
         if total == 0 {
             0.0
         } else {
@@ -70,19 +74,21 @@ impl TargetStats {
 
 impl TargetStats {
     /// Serializes to the journal's comma-separated count form
-    /// (`w,bf,c,to,ok`).
+    /// (`w,bf,c,to,ok,sk`).
     fn to_token(&self) -> String {
         format!(
-            "{},{},{},{},{}",
-            self.wrong, self.build_failures, self.crashes, self.timeouts, self.ok
+            "{},{},{},{},{},{}",
+            self.wrong, self.build_failures, self.crashes, self.timeouts, self.ok, self.skipped
         )
     }
 
+    /// Parses a count token.  Accepts the legacy five-count form (journals
+    /// written before the static pre-filter existed) with `skipped = 0`.
     fn from_token(token: &str) -> Result<TargetStats, JournalError> {
         let fields = parse_fields::<usize>(token, ',', "target stats")?;
-        if fields.len() != 5 {
+        if fields.len() != 5 && fields.len() != 6 {
             return Err(JournalError::Format(format!(
-                "expected 5 target-stat counts, got {token:?}"
+                "expected 5 or 6 target-stat counts, got {token:?}"
             )));
         }
         Ok(TargetStats {
@@ -91,6 +97,7 @@ impl TargetStats {
             crashes: fields[2],
             timeouts: fields[3],
             ok: fields[4],
+            skipped: fields.get(5).copied().unwrap_or(0),
         })
     }
 
@@ -100,6 +107,7 @@ impl TargetStats {
         self.crashes += other.crashes;
         self.timeouts += other.timeouts;
         self.ok += other.ok;
+        self.skipped += other.skipped;
     }
 }
 
@@ -304,6 +312,10 @@ pub struct CampaignOptions {
     pub exec: ExecOptions,
     /// Seed offset so different campaigns use disjoint kernel sets.
     pub seed_offset: u64,
+    /// Run the static analyzer on every generated kernel and skip (rather
+    /// than execute) kernels it refuses to certify as race-free and
+    /// divergence-free.  Skipped kernels land in the `sk` tally column.
+    pub prefilter: bool,
 }
 
 impl Default for CampaignOptions {
@@ -313,6 +325,7 @@ impl Default for CampaignOptions {
             generator: GeneratorOptions::default(),
             exec: ExecOptions::default(),
             seed_offset: 0,
+            prefilter: false,
         }
     }
 }
@@ -334,6 +347,9 @@ pub struct KernelJob {
     pub generator: GeneratorOptions,
     /// Execution options.
     pub exec: ExecOptions,
+    /// Whether to statically pre-filter before executing (see
+    /// [`CampaignOptions::prefilter`]).
+    pub prefilter: bool,
     /// The targets, shared across the whole batch.
     pub targets: Arc<Vec<TestTarget>>,
 }
@@ -348,11 +364,23 @@ pub struct GeneratedKernel {
     pub targets: Arc<Vec<TestTarget>>,
     /// Execution options.
     pub exec: ExecOptions,
+    /// Whether to statically pre-filter before executing.
+    pub prefilter: bool,
+}
+
+/// Stage-2 output of a [`KernelJob`]: per-target outcomes, or a record that
+/// the static pre-filter rejected the kernel before launch.
+#[derive(Debug)]
+pub struct ExecutedKernel {
+    /// Per-target outcomes (empty when the kernel was skipped).
+    pub outcomes: Vec<TestOutcome>,
+    /// `Some(target_count)` when the static pre-filter skipped execution.
+    pub skipped_targets: Option<usize>,
 }
 
 impl StagedJob for KernelJob {
     type Generated = GeneratedKernel;
-    type Executed = Vec<TestOutcome>;
+    type Executed = ExecutedKernel;
     type Output = Vec<Verdict>;
 
     fn generate(self) -> GeneratedKernel {
@@ -365,15 +393,33 @@ impl StagedJob for KernelJob {
             program: generate(&gen_opts),
             targets: self.targets,
             exec: self.exec,
+            prefilter: self.prefilter,
         }
     }
 
-    fn execute(generated: GeneratedKernel) -> Vec<TestOutcome> {
-        run_on_targets(&generated.program, &generated.targets, &generated.exec)
+    fn execute(generated: GeneratedKernel) -> ExecutedKernel {
+        let session = opencl_sim::Session::new(&generated.program);
+        if generated.prefilter && !session.analysis().is_certified() {
+            return ExecutedKernel {
+                outcomes: Vec::new(),
+                skipped_targets: Some(generated.targets.len()),
+            };
+        }
+        ExecutedKernel {
+            outcomes: crate::differential::run_on_targets_session(
+                &session,
+                &generated.targets,
+                &generated.exec,
+            ),
+            skipped_targets: None,
+        }
     }
 
-    fn judge(outcomes: Vec<TestOutcome>) -> Vec<Verdict> {
-        classify(&outcomes)
+    fn judge(executed: ExecutedKernel) -> Vec<Verdict> {
+        match executed.skipped_targets {
+            Some(n) => vec![Verdict::Skipped; n],
+            None => classify(&executed.outcomes),
+        }
     }
 }
 
@@ -391,6 +437,7 @@ impl JournalPayload for Vec<Verdict> {
                 Verdict::BuildFailure => 'b',
                 Verdict::Crash => 'c',
                 Verdict::Timeout => 't',
+                Verdict::Skipped => 's',
             })
             .collect()
     }
@@ -406,6 +453,7 @@ impl JournalPayload for Vec<Verdict> {
                 'b' => Ok(Verdict::BuildFailure),
                 'c' => Ok(Verdict::Crash),
                 't' => Ok(Verdict::Timeout),
+                's' => Ok(Verdict::Skipped),
                 other => Err(JournalError::Format(format!(
                     "unknown verdict letter {other:?} in {text:?}"
                 ))),
@@ -561,6 +609,7 @@ pub fn run_modes_campaign_sharded(
                 seed,
                 generator: options.generator.clone(),
                 exec: options.exec.clone(),
+                prefilter: options.prefilter,
                 targets: Arc::clone(&targets),
             },
         )
@@ -862,6 +911,7 @@ pub fn classify_configurations_sharded(
                 seed,
                 generator: options.generator.clone(),
                 exec: options.exec.clone(),
+                prefilter: options.prefilter,
                 targets: Arc::clone(&targets),
             },
         )
@@ -971,20 +1021,33 @@ mod tests {
             Verdict::BuildFailure,
             Verdict::Crash,
             Verdict::Timeout,
+            Verdict::Skipped,
         ];
-        assert_eq!(row.encode(), "kwbct");
-        assert_eq!(Vec::<Verdict>::decode("kwbct").unwrap(), row);
+        assert_eq!(row.encode(), "kwbcts");
+        assert_eq!(Vec::<Verdict>::decode("kwbcts").unwrap(), row);
         assert_eq!(Vec::<Verdict>::decode("-").unwrap(), Vec::new());
         assert!(Vec::<Verdict>::decode("kxz").is_err());
 
-        let mut tally = ModeTally::new(5);
+        // TargetStats tokens: the 6-count form round-trips, and the
+        // pre-prefilter 5-count form still decodes (skipped = 0).
+        let mut stats = TargetStats::default();
+        stats.record(Verdict::WrongCode);
+        stats.record(Verdict::Skipped);
+        stats.record(Verdict::Ok);
+        let token = stats.to_token();
+        assert_eq!(TargetStats::from_token(&token).unwrap(), stats);
+        let legacy = TargetStats::from_token("1,0,0,0,1").unwrap();
+        assert_eq!(legacy.skipped, 0);
+        assert_eq!(legacy.wrong, 1);
+
+        let mut tally = ModeTally::new(6);
         tally.record(&row);
         tally.record(&row);
         let round = ModeTally::deserialize(&tally.serialize()).unwrap();
         assert_eq!(round, tally);
         assert_eq!(round.kernels(), 2);
 
-        let mut multi = MultiModeTally::new(2, 5);
+        let mut multi = MultiModeTally::new(2, 6);
         multi.per_mode[0].record(&row);
         multi.per_mode[1].record(&row);
         let round = MultiModeTally::deserialize(&multi.serialize()).unwrap();

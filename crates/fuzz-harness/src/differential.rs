@@ -54,6 +54,10 @@ pub enum Verdict {
     Crash,
     /// Timeout (`to`).
     Timeout,
+    /// Not executed: the static analyzer rejected the kernel before launch
+    /// (`sk`).  Only produced by campaigns running with
+    /// [`crate::CampaignOptions::prefilter`] on.
+    Skipped,
 }
 
 impl Verdict {
@@ -65,6 +69,7 @@ impl Verdict {
             Verdict::BuildFailure => "bf",
             Verdict::Crash => "c",
             Verdict::Timeout => "to",
+            Verdict::Skipped => "sk",
         }
     }
 }

@@ -86,8 +86,15 @@ pub fn render_campaign_table(result: &CampaignResult) -> String {
         .chain(std::iter::once("Total".to_string()))
         .collect();
     let any_data = result.stats.iter().any(|s| s.total() > 0);
+    // The `sk` row only appears when the static pre-filter skipped at least
+    // one kernel, so tables from prefilter-off runs render unchanged.
+    let any_skipped = result.stats.iter().any(|s| s.skipped > 0);
     let mut rows = Vec::new();
-    for (key, pick) in [("w", 0usize), ("bf", 1), ("c", 2), ("to", 3), ("ok", 4)] {
+    let mut keys = vec![("w", 0usize), ("bf", 1), ("c", 2), ("to", 3), ("ok", 4)];
+    if any_skipped {
+        keys.push(("sk", 5));
+    }
+    for (key, pick) in keys {
         let mut row = vec![key.to_string()];
         let mut total = 0usize;
         for stat in &result.stats {
@@ -96,7 +103,8 @@ pub fn render_campaign_table(result: &CampaignResult) -> String {
                 1 => stat.build_failures,
                 2 => stat.crashes,
                 3 => stat.timeouts,
-                _ => stat.ok,
+                4 => stat.ok,
+                _ => stat.skipped,
             };
             total += value;
             if stat.total() == 0 {

@@ -29,6 +29,7 @@ fn small_campaign_options(seed_offset: u64) -> CampaignOptions {
         },
         exec: ExecOptions::default(),
         seed_offset,
+        prefilter: false,
     }
 }
 
@@ -159,6 +160,7 @@ fn tables_1_4_5_are_bit_identical_between_batch_and_pipelined_modes() {
             },
             exec: exec.clone(),
             seed_offset,
+            prefilter: false,
         };
 
         // Table 1: the reliability classification.
@@ -275,4 +277,58 @@ fn parboil() -> (String, clc::Program) {
     p.buffers
         .push(BufferSpec::result("out", ScalarType::ULong, 4));
     ("tiny".to_string(), p)
+}
+
+/// The static pre-filter (`CampaignOptions::prefilter`) keeps every
+/// guarantee above: skipped kernels land in the `sk` tally row, the row
+/// only renders when something was actually skipped, totals still count
+/// every kernel, and the table stays bit-identical at any worker count.
+#[test]
+fn prefilter_campaign_is_deterministic_and_renders_sk_row() {
+    let configs = vec![opencl_sim::configuration(1), opencl_sim::configuration(19)];
+    let options = CampaignOptions {
+        kernels: 40,
+        prefilter: true,
+        ..small_campaign_options(0xF117E2)
+    };
+    let reference =
+        run_mode_campaign_with(&Scheduler::sequential(), GenMode::All, &configs, &options);
+    let reference_table = render_campaign_table(&reference);
+    let skipped: usize = reference.stats.iter().map(|s| s.skipped).sum();
+    assert!(
+        skipped > 0,
+        "seed offset produced no statically-uncertified kernels — the sk \
+         path never ran:\n{reference_table}"
+    );
+    assert!(
+        reference_table.contains("| sk "),
+        "skipped kernels must render an sk row:\n{reference_table}"
+    );
+    for stat in &reference.stats {
+        assert_eq!(
+            stat.total(),
+            options.kernels,
+            "skipped kernels must still count toward the per-target total"
+        );
+    }
+    for workers in WORKER_COUNTS {
+        let result =
+            run_mode_campaign_with(&Scheduler::new(workers), GenMode::All, &configs, &options);
+        assert_eq!(
+            render_campaign_table(&result),
+            reference_table,
+            "prefilter campaign diverged at {workers} workers"
+        );
+    }
+    // Prefilter off on the same seed renders no sk row at all.
+    let off = run_mode_campaign_with(
+        &Scheduler::sequential(),
+        GenMode::All,
+        &configs,
+        &CampaignOptions {
+            prefilter: false,
+            ..options.clone()
+        },
+    );
+    assert!(!render_campaign_table(&off).contains("| sk "));
 }

@@ -52,6 +52,7 @@ use crate::configs::Configuration;
 use crate::passes;
 use crate::store::OutcomeStore;
 use clc::{Features, Fingerprint, Program, ProgramHasher};
+use clc_analyze::AnalysisReport;
 use clc_interp::{CompiledKernel, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
 use std::borrow::Cow;
 use std::cell::{Cell, OnceCell, RefCell};
@@ -189,6 +190,7 @@ pub enum CompiledProgram<'s> {
 pub struct ExecMemo {
     kernels: RefCell<HashMap<Fingerprint, Rc<CompiledKernel>>>,
     outcomes: RefCell<HashMap<(Fingerprint, u64), TestOutcome>>,
+    analyses: RefCell<HashMap<Fingerprint, Rc<AnalysisReport>>>,
     stats: MemoCounters,
 }
 
@@ -470,6 +472,19 @@ impl<'p> Session<'p> {
     /// The program's detected features (computed on first use).
     pub fn features(&self) -> &Features {
         self.features.get_or_init(|| Features::detect(self.program))
+    }
+
+    /// The program's static analysis report, cached in the memo by the
+    /// unoptimised fingerprint so the EMI variants and repeat jobs of one
+    /// base (and any structurally identical programs sharing this memo)
+    /// analyse once.
+    pub fn analysis(&self) -> Rc<AnalysisReport> {
+        self.memo
+            .analyses
+            .borrow_mut()
+            .entry(self.base_fingerprint)
+            .or_insert_with(|| Rc::new(clc_analyze::analyze(self.program)))
+            .clone()
     }
 
     /// The session's memo (shared caches and counters).

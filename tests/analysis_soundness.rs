@@ -1,0 +1,353 @@
+//! Differential validation of the static analyzer against the dynamic race
+//! detector, in the style of `tier_equivalence`: the repository's own
+//! dynamic semantics are the oracle for the static semantics.
+//!
+//! Soundness contract, checked over 1000+ seeded kernels × schedules on
+//! *both* interpreter tiers:
+//!
+//! 1. a kernel the analyzer certifies (race-free **and** divergence-free)
+//!    must NEVER produce a dynamic race verdict or a dynamic
+//!    barrier-divergence error, under any tier or schedule;
+//! 2. every dynamic race must land on an object the analyzer flagged in a
+//!    may-race / must-race access pair (`flagged_objects`).
+//!
+//! Plus non-vacuity checks (the campaign exercises both sides of the
+//! contract) and crafted kernels where the expected verdicts are known.
+
+use clc::expr::{BinOp, Expr, IdKind};
+use clc::stmt::Stmt;
+use clc::types::{AddressSpace, ScalarType, Type};
+use clc::{BufferSpec, KernelDef, LaunchConfig, Program};
+use clc_analyze::AnalysisReport;
+use clc_interp::{launch, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
+use clsmith::{generate, GenMode, GeneratorOptions};
+
+fn launch_opts(tier: ExecutionTier, schedule: Schedule) -> LaunchOptions {
+    LaunchOptions {
+        tier,
+        detect_races: true,
+        schedule,
+        ..LaunchOptions::default()
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    kernels: usize,
+    certified: usize,
+    dynamic_races: usize,
+}
+
+/// Checks the soundness contract for one program across both tiers and the
+/// given schedules, returning whether any dynamic race was observed.
+fn check_program(
+    program: &Program,
+    report: &AnalysisReport,
+    schedules: &[Schedule],
+    label: &str,
+    counters: &mut Counters,
+) {
+    counters.kernels += 1;
+    if report.is_certified() {
+        counters.certified += 1;
+    }
+    for tier in [ExecutionTier::TreeWalk, ExecutionTier::Bytecode] {
+        for &schedule in schedules {
+            let outcome = launch(program, &launch_opts(tier, schedule));
+            let race = match &outcome {
+                Ok(result) => result.race.clone(),
+                Err(RuntimeError::DataRace(r)) => Some(r.clone()),
+                Err(RuntimeError::BarrierDivergence { group }) => {
+                    assert!(
+                        !report.divergence_free(),
+                        "{label} [{tier:?} {schedule:?}]: dynamic barrier divergence \
+                         (group {group}) on a kernel certified divergence-free:\n{}",
+                        clc::print_program(program)
+                    );
+                    continue;
+                }
+                Err(_) => continue,
+            };
+            let Some(race) = race else { continue };
+            counters.dynamic_races += 1;
+            assert!(
+                !report.is_certified(),
+                "{label} [{tier:?} {schedule:?}]: dynamic race on {} in a kernel \
+                 the analyzer certified race-free:\n{}",
+                race.object,
+                clc::print_program(program)
+            );
+            assert!(
+                report.flagged_objects.contains(&race.object),
+                "{label} [{tier:?} {schedule:?}]: dynamic race on object {} but the \
+                 analyzer flagged only {:?}:\n{}",
+                race.object,
+                report.flagged_objects,
+                clc::print_program(program)
+            );
+        }
+    }
+}
+
+/// The keystone: 1050 seeded kernels (6 modes × 175 seeds) across both
+/// tiers, with a shuffled-schedule pass on every fifth seed.
+#[test]
+fn analyzer_sound_against_dynamic_detector_on_seeded_kernels() {
+    let mut counters = Counters::default();
+    for mode in GenMode::ALL {
+        for seed in 0..175u64 {
+            let opts = GeneratorOptions {
+                min_threads: 8,
+                max_threads: 32,
+                ..GeneratorOptions::new(mode, seed)
+            };
+            let program = generate(&opts);
+            let report = clsmith::validate(&program);
+            let schedules: &[Schedule] = if seed % 5 == 0 {
+                &[
+                    Schedule::Forward,
+                    Schedule::Reverse,
+                    Schedule::Shuffled(0x5EED ^ seed),
+                ]
+            } else {
+                &[Schedule::Forward]
+            };
+            check_program(
+                &program,
+                &report,
+                schedules,
+                &format!("{} seed {seed}", mode.name()),
+                &mut counters,
+            );
+        }
+    }
+    assert!(
+        counters.kernels >= 1000,
+        "campaign too small: {}",
+        counters.kernels
+    );
+    // Non-vacuity: the analyzer must certify a substantial share of the
+    // stream (otherwise the contract is trivially satisfied) ...
+    assert!(
+        counters.certified * 2 >= counters.kernels,
+        "analyzer certified only {}/{} kernels — too conservative for the \
+         differential to mean anything",
+        counters.certified,
+        counters.kernels
+    );
+    // ... and the dynamic side must have produced at least one race among
+    // the uncertified kernels (GenMode::All at this thread range is known
+    // to race for some seeds).
+    assert!(
+        counters.dynamic_races > 0,
+        "no dynamic race in the whole campaign — the flagged-object check \
+         never ran"
+    );
+}
+
+/// EMI-enabled kernels go through the same contract (the `dead` buffer and
+/// guard reads must not confuse the access collector).
+#[test]
+fn analyzer_sound_on_emi_kernels() {
+    let mut counters = Counters::default();
+    for seed in 0..40u64 {
+        let opts = GeneratorOptions {
+            min_threads: 8,
+            max_threads: 32,
+            ..GeneratorOptions::new(GenMode::All, 0xE31 + seed)
+        }
+        .with_emi();
+        let program = generate(&opts);
+        let report = clsmith::validate(&program);
+        check_program(
+            &program,
+            &report,
+            &[Schedule::Forward],
+            &format!("EMI seed {seed}"),
+            &mut counters,
+        );
+    }
+}
+
+/// A crafted kernel where every work-item writes cell 0: the analyzer must
+/// refuse to certify it, the dynamic detector must race on both tiers, and
+/// the raced object must be flagged.
+#[test]
+fn crafted_racy_kernel_is_flagged_and_races() {
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::single_group(8),
+    );
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 8)];
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::index(Expr::var("out"), Expr::int(0)),
+        Expr::IdQuery(IdKind::GlobalLinearId),
+    )));
+    let report = clsmith::validate(&program);
+    assert!(!report.race_free(), "got: {}", report.summary());
+    assert!(report.flagged_objects.contains("out"));
+
+    let mut counters = Counters::default();
+    check_program(
+        &program,
+        &report,
+        &[Schedule::Forward],
+        "crafted racy",
+        &mut counters,
+    );
+    assert_eq!(
+        counters.dynamic_races, 2,
+        "expected a dynamic race on both tiers"
+    );
+}
+
+/// A crafted kernel with a barrier under an identity-dependent condition:
+/// the analyzer must report divergence (and the certificate must be
+/// withheld), matching the dynamic divergence error.
+#[test]
+fn crafted_divergent_barrier_is_flagged() {
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::single_group(8),
+    );
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 8)];
+    program.kernel.body.push(Stmt::if_then(
+        Expr::binary(
+            BinOp::Lt,
+            Expr::IdQuery(IdKind::LocalLinearId),
+            Expr::lit(2, ScalarType::UInt),
+        ),
+        clc::Block::of(vec![Stmt::Barrier(clc::stmt::MemFence::Local)]),
+    ));
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+        Expr::int(1),
+    )));
+    let report = clsmith::validate(&program);
+    assert!(!report.divergence_free(), "got: {}", report.summary());
+    assert!(!report.is_certified());
+    assert_eq!(report.verdict(), "divergence");
+
+    // Both tiers agree the kernel actually diverges.
+    for tier in [ExecutionTier::TreeWalk, ExecutionTier::Bytecode] {
+        let outcome = launch(&program, &launch_opts(tier, Schedule::Forward));
+        assert!(
+            matches!(outcome, Err(RuntimeError::BarrierDivergence { .. })),
+            "expected dynamic divergence on {tier:?}, got {outcome:?}"
+        );
+    }
+}
+
+/// A kernel that writes thread-private cells through `get_global_linear_id`
+/// must be certified, and stays race-free dynamically on both tiers.
+#[test]
+fn crafted_disjoint_kernel_is_certified() {
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::new([16, 1, 1], [4, 1, 1]).unwrap(),
+    );
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 16)];
+    // A private variable read after initialisation, plus a disjoint write.
+    program.kernel.body.push(Stmt::decl(
+        "x",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(3)),
+    ));
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+        Expr::binary(
+            BinOp::Add,
+            Expr::var("x"),
+            Expr::IdQuery(IdKind::GlobalLinearId),
+        ),
+    )));
+    let report = clsmith::validate(&program);
+    assert!(report.is_certified(), "got: {}", report.summary());
+    assert!(report.race_free() && report.divergence_free());
+
+    let mut counters = Counters::default();
+    check_program(
+        &program,
+        &report,
+        &[Schedule::Forward, Schedule::Reverse],
+        "crafted disjoint",
+        &mut counters,
+    );
+    assert_eq!(counters.dynamic_races, 0);
+}
+
+/// A private variable read before initialisation: the use-before-init pass
+/// must flag it, mirroring the dynamic `UninitializedRead` error.
+#[test]
+fn crafted_uninit_read_is_flagged() {
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::single_group(4),
+    );
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 4)];
+    program.kernel.body.push(Stmt::Decl {
+        name: "x".into(),
+        ty: Type::Scalar(ScalarType::Int),
+        space: AddressSpace::Private,
+        volatile: false,
+        init: None,
+        init_list: None,
+    });
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+        Expr::var("x"),
+    )));
+    let report = clsmith::validate(&program);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == clc_analyze::DiagnosticKind::UseBeforeInit
+                && d.object.as_deref() == Some("x")),
+        "got: {}",
+        report.summary()
+    );
+}
+
+/// A constant subscript beyond the declared extent: definite out-of-bounds.
+#[test]
+fn crafted_out_of_bounds_is_flagged() {
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::single_group(4),
+    );
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 4)];
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::index(Expr::var("out"), Expr::int(99)),
+        Expr::int(1),
+    )));
+    let report = clsmith::validate(&program);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == clc_analyze::DiagnosticKind::OutOfBounds),
+        "got: {}",
+        report.summary()
+    );
+}

@@ -27,6 +27,7 @@ fn options(memoize: bool, seed_offset: u64) -> CampaignOptions {
             ..ExecOptions::default()
         },
         seed_offset,
+        prefilter: false,
     }
 }
 
@@ -123,6 +124,7 @@ fn tables_are_bit_identical_with_store_off_cold_and_warm_on_both_tiers() {
                     ..ExecOptions::default()
                 },
                 seed_offset: 0x5702E,
+                prefilter: false,
             };
             render_campaign_table(&run_mode_campaign_with(
                 &scheduler,
