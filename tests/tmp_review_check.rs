@@ -1,0 +1,74 @@
+//! Throwaway review check: conditional uniform-constant assignment under
+//! identity-dependent control flow, then a barrier guarded by that variable.
+
+use clc::expr::{BinOp, Expr, IdKind};
+use clc::stmt::Stmt;
+use clc::types::{ScalarType, Type};
+use clc::{BufferSpec, KernelDef, LaunchConfig, Program};
+use clc_interp::{launch, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
+
+#[test]
+fn review_divergence_via_flow_insensitive_uniform() {
+    let mut program = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::new(),
+        },
+        LaunchConfig::single_group(8),
+    );
+    program.buffers = vec![BufferSpec::result("out", ScalarType::ULong, 8)];
+    // int x = 0;
+    program.kernel.body.push(Stmt::decl(
+        "x",
+        Type::Scalar(ScalarType::Int),
+        Some(Expr::int(0)),
+    ));
+    // if (lid < 2) x = 1;
+    program.kernel.body.push(Stmt::if_then(
+        Expr::binary(
+            BinOp::Lt,
+            Expr::IdQuery(IdKind::LocalLinearId),
+            Expr::lit(2, ScalarType::UInt),
+        ),
+        clc::Block::of(vec![Stmt::expr(Expr::assign(
+            Expr::var("x"),
+            Expr::int(1),
+        ))]),
+    ));
+    // if (x) barrier;
+    program.kernel.body.push(Stmt::if_then(
+        Expr::binary(BinOp::Ne, Expr::var("x"), Expr::int(0)),
+        clc::Block::of(vec![Stmt::Barrier(clc::stmt::MemFence::Local)]),
+    ));
+    program.kernel.body.push(Stmt::expr(Expr::assign(
+        Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+        Expr::int(1),
+    )));
+
+    let report = clsmith::validate(&program);
+    eprintln!("static report: {}", report.summary());
+    let statically_divergent = !report.divergence_free();
+
+    let mut dynamic_divergence = false;
+    for tier in [ExecutionTier::TreeWalk, ExecutionTier::Bytecode] {
+        let outcome = launch(
+            &program,
+            &LaunchOptions {
+                tier,
+                detect_races: true,
+                schedule: Schedule::Forward,
+                ..LaunchOptions::default()
+            },
+        );
+        eprintln!("{tier:?}: {outcome:?}");
+        if matches!(outcome, Err(RuntimeError::BarrierDivergence { .. })) {
+            dynamic_divergence = true;
+        }
+    }
+    assert!(
+        statically_divergent || !dynamic_divergence,
+        "SOUNDNESS HOLE: certified divergence-free but diverges dynamically (report: {})",
+        report.summary()
+    );
+}
