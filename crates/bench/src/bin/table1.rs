@@ -11,12 +11,20 @@
 //!
 //! `table1 merge J1 [J2 ...]` refolds shard journals into the table
 //! without re-running any job.
+//!
+//! `table1 coordinate [kernels-per-mode] --fleet-dir DIR [--workers N]
+//! [--lease-jobs N] [--faults SPEC] [--follow]` runs the same campaign as a
+//! crash-tolerant worker fleet (spawning `table1 worker` children) and
+//! prints the merged table — byte-identical to `table1 merge` over a
+//! fault-free batch journal, even under injected worker faults.
 
-use clsmith::GeneratorOptions;
+use clsmith::{GenMode, GeneratorOptions};
+use fuzz_harness::shard::{CheckpointPolicy, JournalOptions};
 use fuzz_harness::{
-    classify_configurations_sharded, merge_classification_journals, render_reliability_table,
-    CampaignOptions, ReliabilityRow,
+    classify_configurations_range, classify_configurations_sharded, merge_classification_journals,
+    render_reliability_table, CampaignOptions, ReliabilityRow,
 };
+use opencl_sim::Configuration;
 
 fn print_table(rows: &[ReliabilityRow]) {
     print!("{}", render_reliability_table(rows));
@@ -31,9 +39,81 @@ fn print_table(rows: &[ReliabilityRow]) {
     );
 }
 
+/// The options and job-space geometry shared by every table1 entry point,
+/// derived from one `kernels-per-mode` argument.
+fn campaign_setup(cli: &bench::Cli, kernels_per_mode: usize) -> (CampaignOptions, u64) {
+    let options = CampaignOptions {
+        generator: cli.generator_or(GeneratorOptions {
+            min_threads: 16,
+            max_threads: 64,
+            ..GeneratorOptions::default()
+        }),
+        exec: cli.exec_options(),
+        ..CampaignOptions::default()
+    };
+    let total_jobs = (GenMode::ALL.len() * kernels_per_mode) as u64;
+    (options, total_jobs)
+}
+
+fn fleet_main(cli: &bench::Cli, configs: &[Configuration]) -> ! {
+    let role = cli.positional[0].clone();
+    let kernels_per_mode: usize = cli
+        .positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let (options, total_jobs) = campaign_setup(cli, kernels_per_mode);
+    if role == "worker" {
+        bench::fleet::worker_loop(
+            cli,
+            options.seed_offset,
+            total_jobs,
+            |lease, stop_before| {
+                classify_configurations_range(
+                    &cli.scheduler,
+                    configs,
+                    kernels_per_mode,
+                    &options,
+                    lease.id,
+                    lease.start..lease.end,
+                    Some(&JournalOptions {
+                        path: lease.journal.clone(),
+                        resume: true,
+                    }),
+                    Some(CheckpointPolicy {
+                        every: cli.fleet.checkpoint_every,
+                    }),
+                    stop_before,
+                )
+                .map(|run| run.metrics.jobs_replayed)
+                .map_err(|e| e.to_string())
+            },
+        );
+    }
+    let mut worker_args = vec!["worker".to_string(), kernels_per_mode.to_string()];
+    worker_args.extend(bench::fleet::forwarded_worker_flags(cli));
+    let outcome = bench::fleet::run_coordinator(cli, options.seed_offset, total_jobs, worker_args);
+    let status = bench::fleet::report_fleet_outcome(&outcome);
+    if outcome.journals.is_empty() {
+        eprintln!("fleet: no lease completed; nothing to merge");
+        std::process::exit(status.max(1));
+    }
+    let (rows, summary) = merge_classification_journals(&outcome.journals, configs)
+        .unwrap_or_else(|e| bench::fail(e));
+    bench::report_refold_summary(&summary);
+    println!("Table 1 — configurations and reliability classification (merged from journals)\n");
+    print_table(&rows);
+    std::process::exit(status);
+}
+
 fn main() {
     let cli = bench::cli();
     let configs = opencl_sim::all_configurations();
+
+    match cli.positional.first().map(String::as_str) {
+        Some("coordinate") | Some("worker") => fleet_main(&cli, &configs),
+        _ => {}
+    }
 
     if let Some(paths) = &cli.merge {
         let (rows, summary) =
@@ -52,15 +132,7 @@ fn main() {
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
-    let options = CampaignOptions {
-        generator: cli.generator_or(GeneratorOptions {
-            min_threads: 16,
-            max_threads: 64,
-            ..GeneratorOptions::default()
-        }),
-        exec: cli.exec_options(),
-        ..CampaignOptions::default()
-    };
+    let (options, _total_jobs) = campaign_setup(&cli, kernels_per_mode);
     let sharded = classify_configurations_sharded(
         scheduler,
         &configs,

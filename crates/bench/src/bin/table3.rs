@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use clsmith::{generate, GenMode, GeneratorOptions};
-use fuzz_harness::shard::{refold_journals, run_sharded, ShardSpec};
+use fuzz_harness::shard::{refold_journal_records, run_sharded, ShardSpec};
 use fuzz_harness::{
     checksum, evaluate_benchmark_with, render_table, BenchmarkCell, EmiBenchmark, Scheduler,
     StagedJob, EMPTY_CELL,
@@ -120,7 +120,7 @@ fn main() {
     if let Some(paths) = &cli.merge {
         let cols = configs.len();
         let expected_grid = grid_token(&names, &configs);
-        let (cells, summary) = refold_journals::<BenchmarkCell, Vec<Option<BenchmarkCell>>>(
+        let (cells, summary) = refold_journal_records::<BenchmarkCell, Vec<Option<BenchmarkCell>>>(
             paths,
             |campaign| {
                 campaign.starts_with("table3:") && campaign.ends_with(expected_grid.as_str())

@@ -13,11 +13,19 @@
 //! refolds shard journals into the per-mode blocks without re-running
 //! anything.
 
+//! `table4 coordinate [kernels-per-mode] --fleet-dir DIR [--workers N]
+//! [--faults SPEC] [--follow]` runs the same campaign as a crash-tolerant
+//! worker fleet (spawning `table4 worker` children) and prints the merged
+//! table — byte-identical to `table4 merge` over a fault-free batch
+//! journal, even under injected worker faults.
+
 use clsmith::{GenMode, GeneratorOptions};
+use fuzz_harness::shard::{CheckpointPolicy, JournalOptions};
 use fuzz_harness::{
-    merge_mode_campaign_journals, render_campaign_table, run_modes_campaign_sharded,
-    CampaignOptions, CampaignResult,
+    merge_mode_campaign_journals, render_campaign_table, run_modes_campaign_range,
+    run_modes_campaign_sharded, CampaignOptions, CampaignResult,
 };
+use opencl_sim::Configuration;
 
 fn print_blocks(results: &[CampaignResult]) {
     for result in results {
@@ -27,9 +35,83 @@ fn print_blocks(results: &[CampaignResult]) {
     }
 }
 
+/// The options and job-space geometry shared by every table4 entry point,
+/// derived from one `kernels-per-mode` argument.
+fn campaign_setup(cli: &bench::Cli, kernels: usize) -> (CampaignOptions, u64) {
+    let options = CampaignOptions {
+        kernels,
+        generator: cli.generator_or(GeneratorOptions {
+            min_threads: 16,
+            max_threads: 64,
+            ..GeneratorOptions::default()
+        }),
+        exec: cli.exec_options(),
+        ..CampaignOptions::default()
+    };
+    let total_jobs = (GenMode::ALL.len() * kernels) as u64;
+    (options, total_jobs)
+}
+
+fn fleet_main(cli: &bench::Cli, configs: &[Configuration]) -> ! {
+    let role = cli.positional[0].clone();
+    let kernels: usize = cli
+        .positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let (options, total_jobs) = campaign_setup(cli, kernels);
+    if role == "worker" {
+        bench::fleet::worker_loop(
+            cli,
+            options.seed_offset,
+            total_jobs,
+            |lease, stop_before| {
+                run_modes_campaign_range(
+                    &cli.scheduler,
+                    &GenMode::ALL,
+                    configs,
+                    &options,
+                    lease.id,
+                    lease.start..lease.end,
+                    Some(&JournalOptions {
+                        path: lease.journal.clone(),
+                        resume: true,
+                    }),
+                    Some(CheckpointPolicy {
+                        every: cli.fleet.checkpoint_every,
+                    }),
+                    stop_before,
+                )
+                .map(|run| run.metrics.jobs_replayed)
+                .map_err(|e| e.to_string())
+            },
+        );
+    }
+    let mut worker_args = vec!["worker".to_string(), kernels.to_string()];
+    worker_args.extend(bench::fleet::forwarded_worker_flags(cli));
+    let outcome = bench::fleet::run_coordinator(cli, options.seed_offset, total_jobs, worker_args);
+    let status = bench::fleet::report_fleet_outcome(&outcome);
+    if outcome.journals.is_empty() {
+        eprintln!("fleet: no lease completed; nothing to merge");
+        std::process::exit(status.max(1));
+    }
+    let (results, summary) =
+        merge_mode_campaign_journals(&outcome.journals, configs).unwrap_or_else(|e| bench::fail(e));
+    bench::report_refold_summary(&summary);
+    println!("Table 4 — CLsmith campaigns over the above-threshold configurations");
+    println!("(merged from journals)\n");
+    print_blocks(&results);
+    std::process::exit(status);
+}
+
 fn main() {
     let cli = bench::cli();
     let configs = opencl_sim::above_threshold_configurations();
+
+    match cli.positional.first().map(String::as_str) {
+        Some("coordinate") | Some("worker") => fleet_main(&cli, &configs),
+        _ => {}
+    }
 
     if let Some(paths) = &cli.merge {
         let (results, summary) =
@@ -47,16 +129,7 @@ fn main() {
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
-    let options = CampaignOptions {
-        kernels,
-        generator: cli.generator_or(GeneratorOptions {
-            min_threads: 16,
-            max_threads: 64,
-            ..GeneratorOptions::default()
-        }),
-        exec: cli.exec_options(),
-        ..CampaignOptions::default()
-    };
+    let (options, _total_jobs) = campaign_setup(&cli, kernels);
     let sharded = run_modes_campaign_sharded(
         scheduler,
         &GenMode::ALL,

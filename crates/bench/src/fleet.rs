@@ -1,0 +1,204 @@
+//! Fleet-mode glue shared by the campaign binaries.
+//!
+//! A binary becomes a fleet by re-invoking itself: `<binary> coordinate …`
+//! partitions the campaign's job space and spawns `<binary> worker …`
+//! children (over stdin/stdout, via [`ProcessWorker`]), each of which runs
+//! leases through the campaign's range driver.  The coordinator's stdout is
+//! exactly what `<binary> merge <lease journals…>` would print, so a fleet
+//! run — even one riddled with injected faults — can be byte-diffed against
+//! a fault-free batch run's merged table.
+//!
+//! Fault injection (`--faults SPEC` or `CLFUZZ_FAULTS`) is resolved by the
+//! *workers*: each worker derives the same deterministic [`FaultPlan`] from
+//! the campaign seed and enacts its share per lease — truncating the lease
+//! at the fault's job index and then aborting (kill), tearing the journal
+//! tail first (torn), or going silent so the coordinator's journal-growth
+//! liveness check must revoke the lease (hang).  Store I/O faults install
+//! the `opencl_sim::store` hook instead.  The coordinator only writes the
+//! resolved schedule to `<fleet-dir>/faults.log` for the record.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use fuzz_harness::faults::{FaultKind, FaultPlan, FaultSpec, LeaseFault};
+use fuzz_harness::fleet::append_worker_log;
+use fuzz_harness::{
+    run_worker, tear_journal_tail, Coordinator, FleetOptions, FleetOutcome, LeaseRecord,
+    ProcessWorker, WorkerLink,
+};
+
+use crate::{fail, usage_error, Cli};
+
+/// Exit code of a coordinator whose campaign completed with quarantined
+/// (dead-lettered) ranges: the table printed, but it has gaps.
+pub const FLEET_EXIT_QUARANTINE: i32 = 4;
+
+/// The coordinator options implied by the fleet flags.  `--fleet-dir` is
+/// required: lease journals, `fleet.log`, `dead-letters.log`, and
+/// `faults.log` all live there.
+pub fn fleet_options(cli: &Cli) -> FleetOptions {
+    let Some(journal_dir) = cli.fleet.fleet_dir.clone() else {
+        usage_error("coordinate requires --fleet-dir PATH");
+    };
+    FleetOptions {
+        workers: cli.fleet.workers,
+        lease_jobs: cli.fleet.lease_jobs,
+        lease_timeout: Duration::from_millis(cli.fleet.lease_timeout_ms),
+        max_retries: cli.fleet.max_retries,
+        retry_backoff: Duration::from_millis(25),
+        poll_interval: Duration::from_millis(5),
+        journal_dir,
+    }
+}
+
+/// The flags a coordinator forwards to its `worker` re-invocations so both
+/// sides derive the same campaign (generator scale, store, fault plan,
+/// checkpoint cadence, scheduler shape).
+pub fn forwarded_worker_flags(cli: &Cli) -> Vec<String> {
+    let mut flags = Vec::new();
+    if cli.paper_scale {
+        flags.push("--paper-scale".to_string());
+    }
+    if cli.no_store {
+        flags.push("--no-store".to_string());
+    }
+    if let Some(store) = &cli.store {
+        flags.push(format!("--store={}", store.display()));
+    }
+    if let Some(spec) = &cli.fleet.faults {
+        flags.push(format!("--faults={spec}"));
+    }
+    flags.push(format!("--checkpoint-every={}", cli.fleet.checkpoint_every));
+    flags.push(format!("--threads={}", cli.scheduler.threads()));
+    if matches!(cli.scheduler.mode(), fuzz_harness::SchedulerMode::Pipelined) {
+        flags.push("--pipeline".to_string());
+    }
+    flags
+}
+
+/// Runs the coordinator side: spawns `worker_args` re-invocations of this
+/// binary as workers, leases the job space to them, and returns the
+/// outcome.  Writes the resolved fault schedule to `faults.log` first so
+/// chaos runs leave an auditable record even if the fleet dies.
+pub fn run_coordinator(
+    cli: &Cli,
+    campaign_seed: u64,
+    total_jobs: u64,
+    worker_args: Vec<String>,
+) -> FleetOutcome {
+    let options = fleet_options(cli);
+    let mut coordinator = Coordinator::new(options.clone(), total_jobs).unwrap_or_else(|e| fail(e));
+    let spec = FaultSpec::from_env_or(cli.fleet.faults.as_deref()).unwrap_or_else(|e| fail(e));
+    let plan = FaultPlan::resolve(&spec, campaign_seed, total_jobs);
+    if let Ok(mut log) = std::fs::File::create(options.journal_dir.join("faults.log")) {
+        let _ = writeln!(log, "campaign-seed {campaign_seed:016x} jobs {total_jobs}");
+        let _ = writeln!(log, "schedule {plan}");
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(e));
+    let mut spawn = move |_slot: usize| {
+        let mut command = Command::new(&exe);
+        command.args(&worker_args);
+        Ok(Box::new(ProcessWorker::spawn(&mut command)?) as Box<dyn WorkerLink>)
+    };
+    let mut follow = |line: &str| eprintln!("fleet: {line}");
+    let observer: Option<&mut dyn FnMut(&str)> = if cli.fleet.follow {
+        Some(&mut follow)
+    } else {
+        None
+    };
+    coordinator
+        .run(&mut spawn, observer)
+        .unwrap_or_else(|e| fail(e))
+}
+
+/// Reports a fleet run on stderr (stdout is reserved for the merged table)
+/// with explicit gap accounting, and returns the process exit code: 0 when
+/// complete, [`FLEET_EXIT_QUARANTINE`] when ranges were dead-lettered.
+pub fn report_fleet_outcome(outcome: &FleetOutcome) -> i32 {
+    eprintln!(
+        "fleet: {}/{} job(s) over {} lease(s), {} retrie(s), {} respawn(s)",
+        outcome.completed_jobs,
+        outcome.total_jobs,
+        outcome.leases_issued,
+        outcome.retries,
+        outcome.respawns
+    );
+    if outcome.is_complete() {
+        return 0;
+    }
+    for letter in &outcome.dead_letters {
+        eprintln!(
+            "fleet: GAP jobs {}-{} quarantined after {} attempt(s): {}",
+            letter.start, letter.end, letter.attempts, letter.reason
+        );
+    }
+    eprintln!(
+        "fleet: PARTIAL table — {} range(s) dead-lettered (see dead-letters.log)",
+        outcome.dead_letters.len()
+    );
+    FLEET_EXIT_QUARANTINE
+}
+
+/// Runs the worker side: serves leases from stdin until the coordinator
+/// hangs up, enacting this worker's share of the deterministic fault plan.
+///
+/// `run_lease` executes one lease's range — truncated to `stop_before`
+/// when a fault is scheduled — and returns the jobs executed.  Never
+/// returns normally except through process exit.
+pub fn worker_loop(
+    cli: &Cli,
+    campaign_seed: u64,
+    total_jobs: u64,
+    mut run_lease: impl FnMut(&LeaseRecord, Option<u64>) -> Result<u64, String>,
+) -> ! {
+    let spec = FaultSpec::from_env_or(cli.fleet.faults.as_deref()).unwrap_or_else(|e| fail(e));
+    let plan = FaultPlan::resolve(&spec, campaign_seed, total_jobs);
+    plan.install_store_faults();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    let result = run_worker(&mut input, &mut output, &mut |lease| {
+        let fault = plan.lease_action(&(lease.start..lease.end), lease.attempt);
+        let stop_before = fault.as_ref().map(|f| f.stop_before);
+        let jobs = run_lease(lease, stop_before)?;
+        if let Some(fault) = fault {
+            enact_lease_fault(&fault, lease);
+        }
+        Ok(jobs)
+    });
+    std::process::exit(if result.is_ok() { 0 } else { 1 });
+}
+
+/// Carries out a scheduled lease fault after the (truncated) run has
+/// flushed its journal.  Kill and torn abort the process; hang parks it so
+/// only the coordinator's liveness check can reclaim the lease.
+fn enact_lease_fault(fault: &LeaseFault, lease: &LeaseRecord) {
+    let dir = lease
+        .journal
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let note = format!(
+        "FAULT {} lease={} attempt={} at={}",
+        fault.kind.token(),
+        lease.id,
+        lease.attempt,
+        fault.stop_before
+    );
+    append_worker_log(&dir, &note);
+    match fault.kind {
+        FaultKind::Kill => std::process::abort(),
+        FaultKind::Torn => {
+            let _ = tear_journal_tail(&lease.journal);
+            std::process::abort();
+        }
+        FaultKind::Hang => loop {
+            std::thread::sleep(Duration::from_millis(200));
+        },
+        // Store I/O faults act through the installed store hook, not here.
+        FaultKind::Io => {}
+    }
+}

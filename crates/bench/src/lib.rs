@@ -36,6 +36,8 @@
 //! Tables go to stdout; shard/resume/merge progress lines go to stderr, so
 //! merged outputs can be diffed byte for byte.
 
+pub mod fleet;
+
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -71,6 +73,48 @@ pub struct Cli {
     /// Whether `--no-store` was given: run without an outcome store even
     /// when `CLFUZZ_STORE` is set.
     pub no_store: bool,
+    /// Fleet-mode flags, used by the `coordinate` and `worker` subcommands.
+    pub fleet: FleetCliOptions,
+}
+
+/// Flags of the fleet subcommands (`coordinate` spawns `worker` children;
+/// see the `fleet` module).
+#[derive(Debug, Clone)]
+pub struct FleetCliOptions {
+    /// Worker processes the coordinator keeps alive (`--workers N`).
+    pub workers: usize,
+    /// Jobs per lease (`--lease-jobs N`).
+    pub lease_jobs: u64,
+    /// Journal-growth liveness timeout in milliseconds
+    /// (`--lease-timeout-ms N`).
+    pub lease_timeout_ms: u64,
+    /// Re-lease attempts before a range is quarantined (`--max-retries N`).
+    pub max_retries: u32,
+    /// Jobs between journal checkpoints in lease workers
+    /// (`--checkpoint-every N`).
+    pub checkpoint_every: u64,
+    /// Directory for lease journals and fleet logs (`--fleet-dir PATH`;
+    /// required by `coordinate`).
+    pub fleet_dir: Option<PathBuf>,
+    /// Fault-injection spec (`--faults SPEC`; `CLFUZZ_FAULTS` overrides).
+    pub faults: Option<String>,
+    /// Whether `--follow` was given: stream fleet events to stderr live.
+    pub follow: bool,
+}
+
+impl Default for FleetCliOptions {
+    fn default() -> FleetCliOptions {
+        FleetCliOptions {
+            workers: 2,
+            lease_jobs: 8,
+            lease_timeout_ms: 30_000,
+            max_retries: 3,
+            checkpoint_every: 16,
+            fleet_dir: None,
+            faults: None,
+            follow: false,
+        }
+    }
 }
 
 impl Cli {
@@ -160,7 +204,7 @@ pub fn report_store_stats(exec: &ExecOptions) {
     if let Some(store) = &exec.store {
         let stats = store.stats();
         eprintln!(
-            "store {}: {} hit(s), {} miss(es), {} write(s), {} eviction(s), {} byte(s), hit rate {:.2}",
+            "store {}: {} hit(s), {} miss(es), {} write(s), {} eviction(s), {} byte(s), hit rate {:.2}{}",
             store.dir().display(),
             stats.hits,
             stats.misses,
@@ -168,6 +212,14 @@ pub fn report_store_stats(exec: &ExecOptions) {
             stats.evictions,
             stats.bytes,
             stats.hit_rate(),
+            if stats.transient_errors > 0 || stats.corrupt_entries > 0 {
+                format!(
+                    ", {} transient error(s), {} corrupt entrie(s) deleted",
+                    stats.transient_errors, stats.corrupt_entries
+                )
+            } else {
+                String::new()
+            }
         );
     }
 }
@@ -234,9 +286,19 @@ pub fn cli() -> Cli {
     let mut resume = false;
     let mut store: Option<String> = None;
     let mut no_store = false;
+    let mut fleet = FleetCliOptions::default();
     let parse = |value: Option<String>| -> usize {
         parse_threads(value.as_deref()).unwrap_or_else(|e| usage_error(e))
     };
+    fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+        match value.as_deref().map(str::parse) {
+            Some(Ok(n)) => n,
+            _ => usage_error(format!(
+                "{flag} requires a number, got {:?}",
+                value.unwrap_or_default()
+            )),
+        }
+    }
     let parse_shard = |value: Option<String>| -> ShardSelect {
         match value.as_deref().map(ShardSelect::parse) {
             Some(Ok(s)) => s,
@@ -276,9 +338,54 @@ pub fn cli() -> Cli {
             store = Some(value.to_string());
         } else if arg == "--no-store" {
             no_store = true;
+        } else if arg == "--workers" {
+            fleet.workers = parse_num("--workers", args.next());
+        } else if let Some(value) = arg.strip_prefix("--workers=") {
+            fleet.workers = parse_num("--workers", Some(value.to_string()));
+        } else if arg == "--lease-jobs" {
+            fleet.lease_jobs = parse_num("--lease-jobs", args.next());
+        } else if let Some(value) = arg.strip_prefix("--lease-jobs=") {
+            fleet.lease_jobs = parse_num("--lease-jobs", Some(value.to_string()));
+        } else if arg == "--lease-timeout-ms" {
+            fleet.lease_timeout_ms = parse_num("--lease-timeout-ms", args.next());
+        } else if let Some(value) = arg.strip_prefix("--lease-timeout-ms=") {
+            fleet.lease_timeout_ms = parse_num("--lease-timeout-ms", Some(value.to_string()));
+        } else if arg == "--max-retries" {
+            fleet.max_retries = parse_num("--max-retries", args.next());
+        } else if let Some(value) = arg.strip_prefix("--max-retries=") {
+            fleet.max_retries = parse_num("--max-retries", Some(value.to_string()));
+        } else if arg == "--checkpoint-every" {
+            fleet.checkpoint_every = parse_num("--checkpoint-every", args.next());
+        } else if let Some(value) = arg.strip_prefix("--checkpoint-every=") {
+            fleet.checkpoint_every = parse_num("--checkpoint-every", Some(value.to_string()));
+        } else if arg == "--fleet-dir" {
+            match args.next() {
+                Some(path) => fleet.fleet_dir = Some(PathBuf::from(path)),
+                None => usage_error("--fleet-dir requires a path"),
+            }
+        } else if let Some(value) = arg.strip_prefix("--fleet-dir=") {
+            fleet.fleet_dir = Some(PathBuf::from(value));
+        } else if arg == "--faults" {
+            match args.next() {
+                Some(spec) => fleet.faults = Some(spec),
+                None => usage_error("--faults requires a spec (e.g. kill@3,torn@5)"),
+            }
+        } else if let Some(value) = arg.strip_prefix("--faults=") {
+            fleet.faults = Some(value.to_string());
+        } else if arg == "--follow" {
+            fleet.follow = true;
         } else {
             positional.push(arg);
         }
+    }
+    if fleet.workers == 0 {
+        usage_error("--workers must be at least 1");
+    }
+    if fleet.lease_jobs == 0 {
+        usage_error("--lease-jobs must be at least 1");
+    }
+    if fleet.checkpoint_every == 0 {
+        usage_error("--checkpoint-every must be at least 1");
     }
     let store = resolve_store(store.as_deref(), no_store).unwrap_or_else(|e| usage_error(e));
     let merge = if positional.first().map(String::as_str) == Some("merge") {
@@ -318,6 +425,7 @@ pub fn cli() -> Cli {
         merge,
         store,
         no_store,
+        fleet,
     }
 }
 

@@ -187,19 +187,32 @@ impl<'p> KernelModel<'p> {
 
     /// Flow-insensitive classification of every scalar variable: join over
     /// all bindings program-wide, iterated to fixpoint.
+    ///
+    /// An *assignment* under non-uniform control flow is soundness-critical
+    /// even when its right-hand side is uniform: only the work-items taking
+    /// the branch observe the new value, so the variable's post-region value
+    /// is lane-dependent (`int x = 0; if (lid < 2) x = 1;` makes `x`
+    /// non-uniform).  Such binds are therefore demoted to [`IndexClass::
+    /// Unknown`], with the guard conditions re-judged against the evolving
+    /// environment each fixpoint round.  Declaration initialisers need no
+    /// demotion — a declaration's scope is confined to the guarded region,
+    /// so its value cannot leak past the divergence the region itself
+    /// already accounts for.
     fn env_fixpoint(&mut self) {
         enum Bind<'a> {
             Init(&'a Expr),
+            Assign(&'a Expr),
             Opaque,
         }
-        let mut binds: Vec<(String, Bind<'p>)> = Vec::new();
+        use crate::walk::Guard;
+        let mut binds: Vec<(String, Bind<'p>, Vec<Guard<'p>>)> = Vec::new();
         let mut uniform_params: BTreeSet<String> = BTreeSet::new();
         for p in &self.program.kernel.params {
             if matches!(p.ty, Type::Scalar(_)) {
                 uniform_params.insert(p.name.clone());
             }
         }
-        for s in crate::walk::program_stmts(self.program) {
+        crate::walk::guarded_program_stmts(self.program, &mut |s, guards| {
             if let Stmt::Decl {
                 name,
                 init: Some(e),
@@ -207,7 +220,7 @@ impl<'p> KernelModel<'p> {
             } = s
             {
                 if !self.objects.contains_key(name) {
-                    binds.push((name.clone(), Bind::Init(e)));
+                    binds.push((name.clone(), Bind::Init(e), Vec::new()));
                 }
             }
             for root_expr in crate::walk::own_exprs(s) {
@@ -215,19 +228,19 @@ impl<'p> KernelModel<'p> {
                     if let Expr::Assign { op, lhs, rhs } = e {
                         if let Expr::Var(name) = lhs.as_ref() {
                             if op.binop().is_none() {
-                                binds.push((name.clone(), Bind::Init(rhs)));
+                                binds.push((name.clone(), Bind::Assign(rhs), guards.to_vec()));
                             } else {
-                                binds.push((name.clone(), Bind::Opaque));
+                                binds.push((name.clone(), Bind::Opaque, Vec::new()));
                             }
                         } else if let Some(root) = place_root(lhs) {
                             // Partial writes (fields / elements) spoil
                             // precision.
-                            binds.push((root.to_string(), Bind::Opaque));
+                            binds.push((root.to_string(), Bind::Opaque, Vec::new()));
                         }
                     }
                 });
             }
-        }
+        });
 
         let mut env: BTreeMap<String, IndexClass> = BTreeMap::new();
         for p in &uniform_params {
@@ -235,10 +248,22 @@ impl<'p> KernelModel<'p> {
         }
         for _ in 0..64 {
             let mut changed = false;
-            for (name, bind) in &binds {
+            for (name, bind, guards) in &binds {
+                let divergent_ctx = || {
+                    guards.iter().any(|g| match g {
+                        Guard::Cond(e) => {
+                            !matches!(
+                                self.classify_with_env(e, &env),
+                                IndexClass::Const(_) | IndexClass::Uniform
+                            ) || e.has_side_effects()
+                        }
+                        Guard::EmiDead => self.written.contains("dead"),
+                    })
+                };
                 let new = match bind {
                     Bind::Init(e) => self.classify_with_env(e, &env),
-                    Bind::Opaque => IndexClass::Unknown,
+                    Bind::Assign(e) if !divergent_ctx() => self.classify_with_env(e, &env),
+                    Bind::Assign(_) | Bind::Opaque => IndexClass::Unknown,
                 };
                 // A lane-valued variable is represented by its own name so
                 // that two uses of the same variable share a source.

@@ -54,6 +54,95 @@ pub fn program_stmts(program: &Program) -> Vec<&Stmt> {
     out
 }
 
+/// One control-dependence guard enclosing a statement: executing the
+/// statement is conditional on this.
+#[derive(Clone, Copy)]
+pub enum Guard<'p> {
+    /// An `if`/`while`/`for` condition.
+    Cond(&'p Expr),
+    /// An EMI dead-block guard (`dead[a] < dead[b]` over the `dead` input).
+    EmiDead,
+}
+
+/// Calls `f` on every statement of the program (helper bodies first, then
+/// the kernel, mirroring [`program_stmts`]) together with the stack of
+/// guards its *own expressions* evaluate under.
+///
+/// Loop statements (`while`, `for`) are reported under their own condition:
+/// their condition and update expressions re-evaluate once per iteration,
+/// so any assignment inside them is control-dependent on the trip count.
+/// An `if` is reported outside its condition — the condition itself is
+/// evaluated by every work-item that reaches the statement.
+pub fn guarded_program_stmts<'p>(program: &'p Program, f: &mut impl FnMut(&'p Stmt, &[Guard<'p>])) {
+    let mut guards = Vec::new();
+    for func in &program.functions {
+        guarded_block(&func.body, &mut guards, f);
+    }
+    guarded_block(&program.kernel.body, &mut guards, f);
+}
+
+fn guarded_block<'p>(
+    block: &'p Block,
+    guards: &mut Vec<Guard<'p>>,
+    f: &mut impl FnMut(&'p Stmt, &[Guard<'p>]),
+) {
+    for s in block.iter() {
+        guarded_stmt(s, guards, f);
+    }
+}
+
+fn guarded_stmt<'p>(
+    s: &'p Stmt,
+    guards: &mut Vec<Guard<'p>>,
+    f: &mut impl FnMut(&'p Stmt, &[Guard<'p>]),
+) {
+    match s {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            f(s, guards);
+            guards.push(Guard::Cond(cond));
+            guarded_block(then_block, guards, f);
+            if let Some(b) = else_block {
+                guarded_block(b, guards, f);
+            }
+            guards.pop();
+        }
+        Stmt::While { cond, body } => {
+            guards.push(Guard::Cond(cond));
+            f(s, guards);
+            guarded_block(body, guards, f);
+            guards.pop();
+        }
+        Stmt::For {
+            init, cond, body, ..
+        } => {
+            if let Some(i) = init {
+                guarded_stmt(i, guards, f);
+            }
+            let guarded = cond.as_ref().map(|c| guards.push(Guard::Cond(c)));
+            f(s, guards);
+            guarded_block(body, guards, f);
+            if guarded.is_some() {
+                guards.pop();
+            }
+        }
+        Stmt::Block(b) => {
+            f(s, guards);
+            guarded_block(b, guards, f);
+        }
+        Stmt::Emi(e) => {
+            f(s, guards);
+            guards.push(Guard::EmiDead);
+            guarded_block(&e.body, guards, f);
+            guards.pop();
+        }
+        _ => f(s, guards),
+    }
+}
+
 /// The expression roots evaluated directly by `s` (conditions, initialisers,
 /// statement expressions) — not those of nested statements.
 pub fn own_exprs(s: &Stmt) -> Vec<&Expr> {

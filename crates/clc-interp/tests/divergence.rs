@@ -1,5 +1,10 @@
-//! Throwaway review check: conditional uniform-constant assignment under
-//! identity-dependent control flow, then a barrier guarded by that variable.
+//! Barrier-divergence soundness regressions: programs where the static
+//! analyzer's verdict and the dynamic detector's must stay consistent.
+//!
+//! The contract under test is one-sided (see `clc-analyze`): the static
+//! analyzer may over-approximate, but a kernel it certifies as
+//! divergence-free must never trip the interpreter's dynamic
+//! barrier-divergence detector, on either execution tier.
 
 use clc::expr::{BinOp, Expr, IdKind};
 use clc::stmt::Stmt;
@@ -7,8 +12,12 @@ use clc::types::{ScalarType, Type};
 use clc::{BufferSpec, KernelDef, LaunchConfig, Program};
 use clc_interp::{launch, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
 
+/// A barrier guarded by a variable that is only *conditionally* assigned
+/// under identity-dependent control flow: flow-insensitive uniformity
+/// tracking must not certify `x` as uniform just because every assignment
+/// to it stores a uniform constant.
 #[test]
-fn review_divergence_via_flow_insensitive_uniform() {
+fn conditional_uniform_assignment_poisons_barrier_guard() {
     let mut program = Program::new(
         KernelDef {
             name: "k".into(),
@@ -31,10 +40,7 @@ fn review_divergence_via_flow_insensitive_uniform() {
             Expr::IdQuery(IdKind::LocalLinearId),
             Expr::lit(2, ScalarType::UInt),
         ),
-        clc::Block::of(vec![Stmt::expr(Expr::assign(
-            Expr::var("x"),
-            Expr::int(1),
-        ))]),
+        clc::Block::of(vec![Stmt::expr(Expr::assign(Expr::var("x"), Expr::int(1)))]),
     ));
     // if (x) barrier;
     program.kernel.body.push(Stmt::if_then(
@@ -47,7 +53,6 @@ fn review_divergence_via_flow_insensitive_uniform() {
     )));
 
     let report = clsmith::validate(&program);
-    eprintln!("static report: {}", report.summary());
     let statically_divergent = !report.divergence_free();
 
     let mut dynamic_divergence = false;
@@ -61,7 +66,6 @@ fn review_divergence_via_flow_insensitive_uniform() {
                 ..LaunchOptions::default()
             },
         );
-        eprintln!("{tier:?}: {outcome:?}");
         if matches!(outcome, Err(RuntimeError::BarrierDivergence { .. })) {
             dynamic_divergence = true;
         }

@@ -5,11 +5,13 @@ use crate::differential::{classify, run_on_targets, targets_for, TestTarget, Ver
 use crate::exec::{job_seed, PipelineMetrics, Scheduler, StagedJob};
 use crate::journal::{checksum, JournalError};
 use crate::shard::{
-    parse_fields, refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable,
-    RefoldSummary, ShardMetrics, ShardSelect, ShardSpec,
+    lease_header, parse_fields, refold_journals, run_range_fold, run_sharded, CheckpointPolicy,
+    FoldRun, JournalOptions, JournalPayload, Mergeable, RefoldSummary, ShardMetrics, ShardSelect,
+    ShardSpec,
 };
 use clsmith::{generate, GenMode, GeneratorOptions};
 use opencl_sim::{Configuration, ExecOptions, OptLevel, TestOutcome};
+use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -600,19 +602,7 @@ pub fn run_modes_campaign_sharded(
     let total_jobs = (modes.len() * kernels) as u64;
     let spec = ShardSpec::select(options.seed_offset, total_jobs, select);
     let run = run_sharded::<KernelJob, _>(scheduler, &spec, &descriptor, journal, |g| {
-        let mode = modes[(g / kernels as u64) as usize];
-        let seed = job_seed(options.seed_offset, g % kernels as u64);
-        (
-            seed,
-            KernelJob {
-                mode,
-                seed,
-                generator: options.generator.clone(),
-                exec: options.exec.clone(),
-                prefilter: options.prefilter,
-                targets: Arc::clone(&targets),
-            },
-        )
+        mode_campaign_job(g, modes, options, &targets)
     })?;
     let mut tally = MultiModeTally::new(modes.len(), targets.len());
     for (g, verdicts) in &run.outputs {
@@ -624,6 +614,69 @@ pub fn run_modes_campaign_sharded(
         metrics: run.metrics,
         pipeline: run.pipeline,
     })
+}
+
+/// Job `g` of a (multi-)mode campaign's mode-major job space: kernel
+/// `g % kernels` of mode `g / kernels`, with the historical per-mode seed
+/// derivation (see [`run_modes_campaign_sharded`]).
+fn mode_campaign_job(
+    g: u64,
+    modes: &[GenMode],
+    options: &CampaignOptions,
+    targets: &Arc<Vec<TestTarget>>,
+) -> (u64, KernelJob) {
+    let kernels = options.kernels as u64;
+    let mode = modes[(g / kernels) as usize];
+    let seed = job_seed(options.seed_offset, g % kernels);
+    (
+        seed,
+        KernelJob {
+            mode,
+            seed,
+            generator: options.generator.clone(),
+            exec: options.exec.clone(),
+            prefilter: options.prefilter,
+            targets: Arc::clone(targets),
+        },
+    )
+}
+
+/// One lease's worth of a (multi-)mode campaign, executed by a fleet
+/// worker: jobs `[range.start, range.end)` of the same mode-major job
+/// space as [`run_modes_campaign_sharded`], run through the fold-based
+/// checkpointing executor under a lease journal header.  Seeds, job order
+/// and the tally fold are identical to the sharded form, so any partition
+/// of the space into leases merges bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_modes_campaign_range(
+    scheduler: &Scheduler,
+    modes: &[GenMode],
+    configs: &[Configuration],
+    options: &CampaignOptions,
+    lease: u32,
+    range: Range<u64>,
+    journal: Option<&JournalOptions>,
+    checkpoint: Option<CheckpointPolicy>,
+    stop_before: Option<u64>,
+) -> Result<FoldRun<MultiModeTally>, JournalError> {
+    let targets = Arc::new(targets_for(configs));
+    let kernels = options.kernels;
+    let descriptor = mode_campaign_descriptor(modes, kernels, &options.generator, &targets);
+    let total_jobs = (modes.len() * kernels) as u64;
+    let header = lease_header(&descriptor, options.seed_offset, total_jobs, lease, range);
+    let (modes_len, targets_len) = (modes.len(), targets.len());
+    run_range_fold::<KernelJob, MultiModeTally, _, _>(
+        scheduler,
+        &header,
+        journal,
+        checkpoint,
+        stop_before,
+        |g| mode_campaign_job(g, modes, options, &targets),
+        || MultiModeTally::new(modes_len, targets_len),
+        |tally, g, verdicts| {
+            tally.per_mode[(g / kernels as u64) as usize].record(&verdicts);
+        },
+    )
 }
 
 /// Merges any subset of a mode campaign's shard journals back into per-mode
@@ -901,20 +954,7 @@ pub fn classify_configurations_sharded(
     let total_jobs = (GenMode::ALL.len() * kernels_per_mode) as u64;
     let spec = ShardSpec::select(options.seed_offset, total_jobs, select);
     let run = run_sharded::<KernelJob, _>(scheduler, &spec, &descriptor, journal, |g| {
-        let mode_index = (g / kernels_per_mode as u64) as usize;
-        let seed_offset = options.seed_offset + (mode_index as u64) * 100_000;
-        let seed = job_seed(seed_offset, g % kernels_per_mode as u64);
-        (
-            seed,
-            KernelJob {
-                mode: GenMode::ALL[mode_index],
-                seed,
-                generator: options.generator.clone(),
-                exec: options.exec.clone(),
-                prefilter: options.prefilter,
-                targets: Arc::clone(&targets),
-            },
-        )
+        classification_job(g, kernels_per_mode, options, &targets)
     })?;
     let mut tally = ClassificationTally::new(configs.len());
     for (_, verdicts) in &run.outputs {
@@ -926,6 +966,66 @@ pub fn classify_configurations_sharded(
         metrics: run.metrics,
         pipeline: run.pipeline,
     })
+}
+
+/// Job `g` of the §7.1 classification's mode-major job space, with the
+/// historical seed derivation
+/// `job_seed(seed_offset + mode_index * 100_000, kernel_index)`.
+fn classification_job(
+    g: u64,
+    kernels_per_mode: usize,
+    options: &CampaignOptions,
+    targets: &Arc<Vec<TestTarget>>,
+) -> (u64, KernelJob) {
+    let mode_index = (g / kernels_per_mode as u64) as usize;
+    let seed_offset = options.seed_offset + (mode_index as u64) * 100_000;
+    let seed = job_seed(seed_offset, g % kernels_per_mode as u64);
+    (
+        seed,
+        KernelJob {
+            mode: GenMode::ALL[mode_index],
+            seed,
+            generator: options.generator.clone(),
+            exec: options.exec.clone(),
+            prefilter: options.prefilter,
+            targets: Arc::clone(targets),
+        },
+    )
+}
+
+/// One lease's worth of the §7.1 classification, executed by a fleet
+/// worker: jobs `[range.start, range.end)` of the same mode-major job space
+/// as [`classify_configurations_sharded`], run through the fold-based
+/// checkpointing executor under a lease journal header.  Seeds, job order
+/// and the tally fold are identical to the sharded form, so any partition
+/// of the space into leases merges bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_configurations_range(
+    scheduler: &Scheduler,
+    configs: &[Configuration],
+    kernels_per_mode: usize,
+    options: &CampaignOptions,
+    lease: u32,
+    range: Range<u64>,
+    journal: Option<&JournalOptions>,
+    checkpoint: Option<CheckpointPolicy>,
+    stop_before: Option<u64>,
+) -> Result<FoldRun<ClassificationTally>, JournalError> {
+    let targets = Arc::new(targets_for(configs));
+    let descriptor = classification_descriptor(kernels_per_mode, &options.generator, &targets);
+    let total_jobs = (GenMode::ALL.len() * kernels_per_mode) as u64;
+    let header = lease_header(&descriptor, options.seed_offset, total_jobs, lease, range);
+    let configs_len = configs.len();
+    run_range_fold::<KernelJob, ClassificationTally, _, _>(
+        scheduler,
+        &header,
+        journal,
+        checkpoint,
+        stop_before,
+        |g| classification_job(g, kernels_per_mode, options, &targets),
+        || ClassificationTally::new(configs_len),
+        |tally, _, verdicts| tally.record(&verdicts),
+    )
 }
 
 /// Merges any subset of a classification campaign's shard journals back

@@ -38,6 +38,8 @@ pub mod campaign;
 pub mod differential;
 pub mod emi_campaign;
 pub mod exec;
+pub mod faults;
+pub mod fleet;
 pub mod journal;
 pub mod report;
 pub mod shard;
@@ -47,12 +49,13 @@ pub use benchmark_emi::{
     BodyShard, CellOutcome, CellTally, EmiBenchmark, InjectedVariants,
 };
 pub use campaign::{
-    classification_descriptor, classify_configurations, classify_configurations_sharded,
-    classify_configurations_with, merge_classification_journals, merge_mode_campaign_journals,
-    mode_campaign_descriptor, quick_differential, reliability_rows, run_mode_campaign,
-    run_mode_campaign_with, run_modes_campaign_sharded, CampaignOptions, CampaignResult,
-    ClassificationTally, GeneratedKernel, KernelJob, ModeTally, MultiModeTally, ReliabilityRow,
-    ShardedClassification, ShardedModeCampaign, TargetStats, RELIABILITY_THRESHOLD,
+    classification_descriptor, classify_configurations, classify_configurations_range,
+    classify_configurations_sharded, classify_configurations_with, merge_classification_journals,
+    merge_mode_campaign_journals, mode_campaign_descriptor, quick_differential, reliability_rows,
+    run_mode_campaign, run_mode_campaign_with, run_modes_campaign_range,
+    run_modes_campaign_sharded, CampaignOptions, CampaignResult, ClassificationTally,
+    GeneratedKernel, KernelJob, ModeTally, MultiModeTally, ReliabilityRow, ShardedClassification,
+    ShardedModeCampaign, TargetStats, RELIABILITY_THRESHOLD,
 };
 pub use differential::{
     classify, differential_test, run_on_targets, run_on_targets_session, targets_for, TestTarget,
@@ -69,9 +72,15 @@ pub use exec::{
     expect_completed, job_seed, Job, JobFailure, JobResult, PipelineMetrics, Scheduler,
     SchedulerMode, Stage, StagedJob,
 };
+pub use faults::{tear_journal_tail, FaultKind, FaultPlan, FaultSpec, LeaseFault};
+pub use fleet::{
+    run_worker, Coordinator, DeadLetter, FleetCommand, FleetOptions, FleetOutcome, FleetReply,
+    LeaseRecord, ProcessWorker, WorkerLink,
+};
 pub use journal::{
-    checksum, load_journal, JournalError, JournalHeader, JournalRecord, JournalWriter,
-    LoadedJournal, JOURNAL_FORMAT_VERSION, JOURNAL_MAGIC,
+    checksum, compact_journal, load_journal, partition_range, Checkpoint, JournalError,
+    JournalHeader, JournalRecord, JournalWriter, LoadedJournal, JOURNAL_FORMAT_VERSION,
+    JOURNAL_MAGIC,
 };
 pub use opencl_sim::ExecutionTier;
 pub use report::{
@@ -79,6 +88,7 @@ pub use report::{
     EMPTY_CELL,
 };
 pub use shard::{
-    refold_journals, run_sharded, JournalOptions, JournalPayload, Mergeable, RefoldSummary,
+    lease_header, refold_journal_records, refold_journals, run_range_fold, run_sharded,
+    CheckpointPolicy, FoldRun, JournalOptions, JournalPayload, Mergeable, RefoldSummary,
     ShardMetrics, ShardRun, ShardSelect, ShardSpec,
 };

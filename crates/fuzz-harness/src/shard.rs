@@ -30,7 +30,8 @@ use std::path::{Path, PathBuf};
 
 use crate::exec::{JobResult, PipelineMetrics, Scheduler, StagedJob};
 use crate::journal::{
-    load_journal, JournalError, JournalHeader, JournalRecord, JournalWriter, LoadedJournal,
+    compact_journal, load_journal, Checkpoint, JournalError, JournalHeader, JournalRecord,
+    JournalWriter, LoadedJournal,
 };
 
 /// A shard's slice of a campaign: the campaign seed, the size of the global
@@ -88,13 +89,35 @@ impl ShardSpec {
 
     /// The header a journal for this shard carries.
     pub fn header(&self, campaign: &str) -> JournalHeader {
+        let range = self.job_range();
         JournalHeader {
             campaign: campaign.to_string(),
             campaign_seed: self.campaign_seed,
             total_jobs: self.total_jobs,
             shard_index: self.shard_index,
             shard_count: self.shard_count,
+            range: (range.start, range.end),
         }
+    }
+}
+
+/// The header a fleet lease journal carries: the shard field is
+/// `lease/0` — count `0` is the "not an I-of-N shard" sentinel — and the
+/// journal's coverage is the explicit `[start, end)` range of the lease.
+pub fn lease_header(
+    campaign: &str,
+    campaign_seed: u64,
+    total_jobs: u64,
+    lease: u32,
+    range: Range<u64>,
+) -> JournalHeader {
+    JournalHeader {
+        campaign: campaign.to_string(),
+        campaign_seed,
+        total_jobs,
+        shard_index: lease,
+        shard_count: 0,
+        range: (range.start, range.end),
     }
 }
 
@@ -280,10 +303,21 @@ where
             let LoadedJournal {
                 header,
                 records,
+                checkpoint,
                 valid_bytes,
                 dropped_bytes: dropped,
             } = load_journal(&options.path)?;
             validate_header(&header, &expected_header, &options.path)?;
+            if checkpoint.is_some() {
+                // A checkpoint folds covered jobs into one aggregate; the
+                // per-output resume below cannot reconstruct them.  Such
+                // journals belong to the fold-based executor.
+                return Err(JournalError::Mismatch(format!(
+                    "{} carries a checkpoint; resume it with a fold-based \
+                     (checkpointing) run, not a per-output shard run",
+                    options.path.display()
+                )));
+            }
             dropped_bytes = dropped;
             resume_from = Some(valid_bytes);
             for record in records {
@@ -353,6 +387,222 @@ where
     })
 }
 
+/// How often a fold-based run emits journal checkpoints: one `K` line per
+/// `every` newly folded jobs (plus a final one at the end of the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Jobs folded between checkpoints (at least 1).
+    pub every: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy { every: 32 }
+    }
+}
+
+/// Output of [`run_range_fold`]: the folded aggregate of the journal's
+/// range, plus run metrics.
+#[derive(Debug)]
+pub struct FoldRun<A> {
+    /// Every covered job's contribution folded in ascending index order.
+    pub aggregate: A,
+    /// Jobs the aggregate covers (resumed + executed).
+    pub jobs: u64,
+    /// Resume/journal metrics.
+    pub metrics: ShardMetrics,
+    /// Stage-scheduler self-measurement.
+    pub pipeline: PipelineMetrics,
+}
+
+/// The fold-based range executor behind checkpointing journals and the
+/// fleet's lease workers.
+///
+/// Unlike [`run_sharded`] it never materializes per-job outputs: completed
+/// jobs are folded into a running aggregate as soon as the **contiguous
+/// completed prefix** of the range advances past them (a watermark — jobs
+/// finish out of order under a parallel scheduler, the fold stays in
+/// ascending index order regardless).  With a [`CheckpointPolicy`] the
+/// running aggregate is serialized into the journal as a `K` line every
+/// `every` folded jobs, and the journal is compacted after the run — resume
+/// cost is then O(tail since last checkpoint), not O(run).
+///
+/// `fold` must agree with the journal payload round-trip: an executed
+/// output is folded via `decode(encode(output))`, exactly the value a
+/// resumed run would fold, so the two are bit-identical by construction.
+/// The aggregate's [`Mergeable::merge`] must be commutative as well as
+/// associative (every tally in this codebase is a vector of counters).
+///
+/// `stop_before` truncates execution to `[range.0, stop_before)` while
+/// keeping the journal's declared range intact — the fault-injection layer
+/// uses it to abandon a lease at a chosen job index; a later resume of the
+/// same journal completes the rest.
+#[allow(clippy::too_many_arguments)]
+pub fn run_range_fold<J, A, F, G>(
+    scheduler: &Scheduler,
+    header: &JournalHeader,
+    journal: Option<&JournalOptions>,
+    checkpoint: Option<CheckpointPolicy>,
+    stop_before: Option<u64>,
+    make_job: F,
+    init: impl FnOnce() -> A,
+    mut fold: G,
+) -> Result<FoldRun<A>, JournalError>
+where
+    J: StagedJob,
+    J::Output: JournalPayload,
+    A: Mergeable,
+    F: Fn(u64) -> (u64, J),
+    G: FnMut(&mut A, u64, J::Output),
+{
+    let range = header.range.0..header.range.1;
+    let limit = stop_before
+        .unwrap_or(range.end)
+        .clamp(range.start, range.end);
+
+    // Phase 1: resume — seed the aggregate from the checkpoint, restore the
+    // uncovered records, and advance the watermark over both.
+    let mut aggregate = init();
+    let mut watermark = range.start;
+    let mut staged: BTreeMap<u64, J::Output> = BTreeMap::new();
+    let mut jobs_resumed = 0u64;
+    let mut dropped_bytes = 0u64;
+    let mut resume_from: Option<u64> = None;
+    if let Some(options) = journal {
+        if options.resume && options.path.exists() {
+            let loaded = load_journal(&options.path)?;
+            validate_header(&loaded.header, header, &options.path)?;
+            dropped_bytes = loaded.dropped_bytes;
+            resume_from = Some(loaded.valid_bytes);
+            if let Some(cp) = &loaded.checkpoint {
+                aggregate.merge(A::deserialize(&cp.aggregate)?);
+                watermark = cp.upto;
+                jobs_resumed += cp.jobs;
+            }
+            for record in loaded.records {
+                if !range.contains(&record.job_index) {
+                    return Err(JournalError::Mismatch(format!(
+                        "{} contains job {} outside range {}..{}",
+                        options.path.display(),
+                        record.job_index,
+                        range.start,
+                        range.end
+                    )));
+                }
+                staged.insert(record.job_index, J::Output::decode(&record.payload)?);
+                jobs_resumed += 1;
+            }
+            while let Some(output) = staged.remove(&watermark) {
+                fold(&mut aggregate, watermark, output);
+                watermark += 1;
+            }
+        }
+    }
+
+    // Phase 2: the jobs still missing below the execution limit.
+    let mut pending: Vec<(u64, u64, J)> = Vec::new();
+    for index in watermark..limit {
+        if !staged.contains_key(&index) {
+            let (seed, job) = make_job(index);
+            pending.push((index, seed, job));
+        }
+    }
+
+    // Phase 3: execute, folding at the watermark and checkpointing as the
+    // contiguous completed prefix grows.
+    let writer = match journal {
+        Some(options) => Some(match resume_from {
+            Some(valid_bytes) => JournalWriter::append(&options.path, valid_bytes)?,
+            None => JournalWriter::create(&options.path, header)?,
+        }),
+        None => None,
+    };
+    let meta: Vec<(u64, u64)> = pending.iter().map(|(i, s, _)| (*i, *s)).collect();
+    let jobs: Vec<J> = pending.into_iter().map(|(_, _, job)| job).collect();
+    let jobs_replayed = jobs.len() as u64;
+    let mut checkpointed_upto = watermark;
+    let mut since_checkpoint = 0u64;
+    let mut fold_error: Option<JournalError> = None;
+    let (results, pipeline) = scheduler.run_staged_metrics(jobs, |batch_index, result| {
+        let JobResult::Completed(output) = result else {
+            return;
+        };
+        if fold_error.is_some() {
+            return;
+        }
+        let (index, seed) = meta[batch_index];
+        let token = output.encode();
+        if let Some(writer) = &writer {
+            writer.record(JournalRecord::new(index, seed, token.clone()));
+        }
+        // Fold through the journal token round-trip so an executed job
+        // contributes bit-identically to a resumed one.
+        match J::Output::decode(&token) {
+            Ok(decoded) => {
+                staged.insert(index, decoded);
+            }
+            Err(e) => {
+                fold_error = Some(e);
+                return;
+            }
+        }
+        while let Some(next) = staged.remove(&watermark) {
+            fold(&mut aggregate, watermark, next);
+            watermark += 1;
+            since_checkpoint += 1;
+        }
+        if let (Some(policy), Some(writer)) = (&checkpoint, &writer) {
+            if since_checkpoint >= policy.every.max(1) && watermark > checkpointed_upto {
+                writer.checkpoint(Checkpoint {
+                    upto: watermark,
+                    jobs: watermark - range.start,
+                    aggregate: aggregate.serialize(),
+                });
+                checkpointed_upto = watermark;
+                since_checkpoint = 0;
+            }
+        }
+    });
+    if let (Some(_), Some(writer)) = (&checkpoint, &writer) {
+        // Final checkpoint: everything folded so far, so the compacted
+        // journal is header + one K line (+ any out-of-order residue).
+        if watermark > checkpointed_upto {
+            writer.checkpoint(Checkpoint {
+                upto: watermark,
+                jobs: watermark - range.start,
+                aggregate: aggregate.serialize(),
+            });
+        }
+    }
+    let mut journal_bytes = match writer {
+        Some(writer) => writer.finish()?,
+        None => 0,
+    };
+    if let (Some(_), Some(options)) = (&checkpoint, journal) {
+        let (_, after) = compact_journal(&options.path)?;
+        journal_bytes = after;
+    }
+
+    // Phase 4: re-raise contained panics, then surface any fold error.
+    crate::exec::expect_completed(results);
+    if let Some(error) = fold_error {
+        return Err(error);
+    }
+    debug_assert!(watermark >= limit, "every job below the limit must fold");
+    Ok(FoldRun {
+        aggregate,
+        jobs: jobs_resumed + jobs_replayed,
+        metrics: ShardMetrics {
+            jobs_resumed,
+            jobs_replayed,
+            journal_bytes,
+            dropped_bytes,
+            shard_count: header.shard_count,
+        },
+        pipeline,
+    })
+}
+
 /// What a refold over a set of journals covered.
 #[derive(Debug, Clone)]
 pub struct RefoldSummary {
@@ -373,11 +623,17 @@ pub struct RefoldSummary {
     pub journals: usize,
 }
 
-/// Refolds any subset of a campaign's shard journals into one aggregate:
-/// loads every journal, validates they belong to the same campaign, sorts
-/// all records by job index (duplicate indices must carry identical
-/// digests — overlapping shards are fine, conflicting ones are corrupt),
-/// and folds each payload in index order.
+/// Refolds any subset of a campaign's shard (or fleet lease) journals into
+/// one aggregate: loads every journal, validates they belong to the same
+/// campaign, sorts all records by job index (duplicate indices must carry
+/// identical digests — overlapping shards are fine, conflicting ones are
+/// corrupt), and folds each payload in index order.
+///
+/// A journal carrying a checkpoint contributes its pre-folded aggregate
+/// directly (merged via [`Mergeable`]); its segment `[range.0, upto)` must
+/// not overlap any other journal's checkpoint segment (there is no per-job
+/// digest left to arbitrate a conflict), and plain records duplicated under
+/// a checkpoint segment are dropped as redundant.
 ///
 /// `expect_campaign` filters which campaigns the caller can consume (e.g. a
 /// `table4` merge rejects `emi:*` journals); `init` builds the empty
@@ -386,7 +642,44 @@ pub fn refold_journals<P, T>(
     paths: &[PathBuf],
     expect_campaign: impl Fn(&str) -> bool,
     init: impl FnOnce(&JournalHeader) -> Result<T, JournalError>,
+    fold: impl FnMut(&mut T, u64, P),
+) -> Result<(T, RefoldSummary), JournalError>
+where
+    P: JournalPayload,
+    T: Mergeable,
+{
+    let mut merge = |aggregate: &mut T, token: &str| -> Result<(), JournalError> {
+        aggregate.merge(T::deserialize(token)?);
+        Ok(())
+    };
+    refold_journals_with(paths, expect_campaign, init, fold, Some(&mut merge))
+}
+
+/// [`refold_journals`] for aggregates that are *not* [`Mergeable`] (e.g. a
+/// flat cell grid): folds plain records only, and rejects any journal
+/// carrying a checkpoint (whose pre-folded aggregate it could not consume).
+pub fn refold_journal_records<P, T>(
+    paths: &[PathBuf],
+    expect_campaign: impl Fn(&str) -> bool,
+    init: impl FnOnce(&JournalHeader) -> Result<T, JournalError>,
+    fold: impl FnMut(&mut T, u64, P),
+) -> Result<(T, RefoldSummary), JournalError>
+where
+    P: JournalPayload,
+{
+    refold_journals_with(paths, expect_campaign, init, fold, None)
+}
+
+/// Folds a serialized checkpoint aggregate into the accumulator; `None`
+/// means the caller cannot consume checkpoints at all.
+type CheckpointMerger<'a, T> = Option<&'a mut dyn FnMut(&mut T, &str) -> Result<(), JournalError>>;
+
+fn refold_journals_with<P, T>(
+    paths: &[PathBuf],
+    expect_campaign: impl Fn(&str) -> bool,
+    init: impl FnOnce(&JournalHeader) -> Result<T, JournalError>,
     mut fold: impl FnMut(&mut T, u64, P),
+    mut merge_checkpoint: CheckpointMerger<'_, T>,
 ) -> Result<(T, RefoldSummary), JournalError>
 where
     P: JournalPayload,
@@ -398,6 +691,8 @@ where
     }
     let mut reference: Option<JournalHeader> = None;
     let mut records: BTreeMap<u64, JournalRecord> = BTreeMap::new();
+    // Checkpoint segments as (start, upto, aggregate token, source path).
+    let mut segments: Vec<(u64, u64, String, PathBuf)> = Vec::new();
     let mut journal_bytes = 0u64;
     for path in paths {
         let loaded = load_journal(path)?;
@@ -430,6 +725,23 @@ where
             }
         }
         journal_bytes += loaded.valid_bytes;
+        if let Some(cp) = &loaded.checkpoint {
+            if merge_checkpoint.is_none() {
+                return Err(JournalError::Mismatch(format!(
+                    "{} carries a checkpoint, which this merge cannot consume \
+                     (its aggregate is not mergeable)",
+                    path.display()
+                )));
+            }
+            if cp.jobs > 0 {
+                segments.push((
+                    loaded.header.range.0,
+                    cp.upto,
+                    cp.aggregate.clone(),
+                    path.clone(),
+                ));
+            }
+        }
         for record in loaded.records {
             match records.get(&record.job_index) {
                 Some(existing) if existing.digest != record.digest => {
@@ -447,8 +759,37 @@ where
         }
     }
     let header = reference.expect("at least one journal was loaded");
+    segments.sort_by_key(|(start, _, _, _)| *start);
+    for pair in segments.windows(2) {
+        let (_, upto, _, prev_path) = &pair[0];
+        let (start, _, _, next_path) = &pair[1];
+        if upto > start {
+            return Err(JournalError::Mismatch(format!(
+                "checkpoint segments overlap: {} covers through job {} but {} \
+                 starts at job {}",
+                prev_path.display(),
+                upto,
+                next_path.display(),
+                start
+            )));
+        }
+    }
+    // Records a checkpoint already folded are redundant duplicates.
+    records.retain(|index, _| {
+        !segments
+            .iter()
+            .any(|(start, upto, _, _)| (*start..*upto).contains(index))
+    });
     let mut aggregate = init(&header)?;
-    let jobs_folded = records.len() as u64;
+    let mut jobs_folded = 0u64;
+    for (start, upto, token, _) in &segments {
+        let merge = merge_checkpoint
+            .as_mut()
+            .expect("checkpointed journals were rejected above");
+        merge(&mut aggregate, token)?;
+        jobs_folded += upto - start;
+    }
+    jobs_folded += records.len() as u64;
     for (index, record) in records {
         fold(&mut aggregate, index, P::decode(&record.payload)?);
     }
@@ -556,6 +897,19 @@ mod tests {
         fn decode(text: &str) -> Result<Self, JournalError> {
             text.parse()
                 .map_err(|_| JournalError::Format(format!("bad u64 payload {text:?}")))
+        }
+    }
+
+    impl Mergeable for u64 {
+        fn merge(&mut self, other: Self) {
+            *self += other;
+        }
+        fn serialize(&self) -> String {
+            self.to_string()
+        }
+        fn deserialize(text: &str) -> Result<Self, JournalError> {
+            text.parse()
+                .map_err(|_| JournalError::Format(format!("bad u64 aggregate {text:?}")))
         }
     }
 
@@ -753,6 +1107,146 @@ mod tests {
         for path in &paths {
             let _ = std::fs::remove_file(path);
         }
+    }
+
+    #[test]
+    fn range_fold_checkpoints_compact_and_resume() {
+        // A checkpointing fold run over a lease range: the compacted journal
+        // must be tiny (header + one K line), an interrupted attempt
+        // (stop_before) must resume from the checkpoint, and the final
+        // aggregate must equal the plain fold.
+        let path = temp_path("rangefold");
+        let header = lease_header("test:fold", 5, 40, 2, 10..30);
+        let expected: u64 = (10..30u64).map(|i| i * 2).sum();
+
+        // Attempt 1: stop before job 21 (fault-injection style truncation).
+        let journal = JournalOptions::create(&path);
+        let partial = run_range_fold::<Double, u64, _, _>(
+            &Scheduler::new(3),
+            &header,
+            Some(&journal),
+            Some(CheckpointPolicy { every: 4 }),
+            Some(21),
+            make_job,
+            || 0u64,
+            |acc, _, out| *acc += out,
+        )
+        .unwrap();
+        assert_eq!(partial.jobs, 11);
+        let loaded = load_journal(&path).unwrap();
+        let cp = loaded.checkpoint.as_ref().unwrap();
+        assert_eq!(cp.upto, 21);
+        assert_eq!(cp.jobs, 11);
+        assert!(
+            loaded.records.is_empty(),
+            "compaction folds all records into the final checkpoint"
+        );
+
+        // Attempt 2: resume to completion.
+        let journal = JournalOptions::resume(&path);
+        let run = run_range_fold::<Double, u64, _, _>(
+            &Scheduler::new(3),
+            &header,
+            Some(&journal),
+            Some(CheckpointPolicy { every: 4 }),
+            None,
+            make_job,
+            || 0u64,
+            |acc, _, out| *acc += out,
+        )
+        .unwrap();
+        assert_eq!(run.aggregate, expected);
+        assert_eq!(run.metrics.jobs_resumed, 11);
+        assert_eq!(run.metrics.jobs_replayed, 9);
+        assert_eq!(run.jobs, 20);
+
+        // The compacted journal refolds (checkpoint consumed, no records).
+        let (sum, summary) = refold_journals::<u64, u64>(
+            std::slice::from_ref(&path),
+            |c| c == "test:fold",
+            |_| Ok(0u64),
+            |acc, _, p| *acc += p,
+        )
+        .unwrap();
+        assert_eq!(sum, expected);
+        assert_eq!(summary.jobs_folded, 20);
+        assert!(!summary.complete, "a 20-job lease of a 40-job space");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refold_mixes_checkpointed_and_plain_journals() {
+        // Lease 0 journals [0, 6) with checkpoints; shard 1/2 journals
+        // [6, 12) as plain records.  The refold must consume both forms and
+        // match the whole-space fold.
+        let lease_path = temp_path("mix-lease");
+        let shard_path = temp_path("mix-shard");
+        let header = lease_header("test:mix", 3, 12, 0, 0..6);
+        run_range_fold::<Double, u64, _, _>(
+            &Scheduler::sequential(),
+            &header,
+            Some(&JournalOptions::create(&lease_path)),
+            Some(CheckpointPolicy { every: 2 }),
+            None,
+            make_job,
+            || 0u64,
+            |acc, _, out| *acc += out,
+        )
+        .unwrap();
+        let spec = ShardSpec::select(3, 12, ShardSelect { index: 1, count: 2 });
+        run_sharded::<Double, _>(
+            &Scheduler::sequential(),
+            &spec,
+            "test:mix",
+            Some(&JournalOptions::create(&shard_path)),
+            make_job,
+        )
+        .unwrap();
+        let (sum, summary) = refold_journals::<u64, u64>(
+            &[lease_path.clone(), shard_path.clone()],
+            |c| c == "test:mix",
+            |_| Ok(0u64),
+            |acc, _, p| *acc += p,
+        )
+        .unwrap();
+        assert_eq!(sum, (0..12u64).map(|i| i * 2).sum::<u64>());
+        assert_eq!(summary.jobs_folded, 12);
+        assert!(summary.complete);
+        let _ = std::fs::remove_file(&lease_path);
+        let _ = std::fs::remove_file(&shard_path);
+    }
+
+    #[test]
+    fn refold_rejects_overlapping_checkpoint_segments() {
+        // Two checkpointed journals over overlapping ranges cannot be
+        // arbitrated (no per-job digests under a checkpoint) — refold must
+        // refuse rather than double-count.
+        let a = temp_path("overlap-a");
+        let b = temp_path("overlap-b");
+        for (path, lease, range) in [(&a, 0u32, 0..6u64), (&b, 1, 4..10)] {
+            let header = lease_header("test:overlap", 9, 10, lease, range);
+            run_range_fold::<Double, u64, _, _>(
+                &Scheduler::sequential(),
+                &header,
+                Some(&JournalOptions::create(path)),
+                Some(CheckpointPolicy { every: 2 }),
+                None,
+                make_job,
+                || 0u64,
+                |acc, _, out| *acc += out,
+            )
+            .unwrap();
+        }
+        let err = refold_journals::<u64, u64>(
+            &[a.clone(), b.clone()],
+            |_| true,
+            |_| Ok(0u64),
+            |acc, _, p| *acc += p,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub use platform::{
     reset_shared_outcome_cache, CacheStats, CompiledProgram, ExecMemo, ExecOptions, Session,
     TestOutcome,
 };
-pub use store::{OutcomeStore, StoreStats};
+pub use store::{set_io_fault_hook, IoFaultHook, OutcomeStore, StoreOp, StoreStats};

@@ -44,7 +44,48 @@ use clc_interp::fnv1a;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Store I/O operation kinds, as seen by the injectable fault hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// An entry-file read attempt (lookups, including the retry).
+    Read,
+    /// An entry publication attempt.
+    Write,
+}
+
+/// The injectable I/O fault hook: called with the operation kind and a
+/// process-global operation ordinal; returning an error kind makes that
+/// operation fail before touching the filesystem.  Installed by the fault
+/// injection layer (`fuzz_harness::faults`) to make the store's transient
+/// and corruption paths reachable deterministically.
+pub type IoFaultHook = Arc<dyn Fn(StoreOp, u64) -> Option<io::ErrorKind> + Send + Sync>;
+
+static IO_FAULT_HOOK: RwLock<Option<IoFaultHook>> = RwLock::new(None);
+static IO_OP_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+/// Installs (or with `None` clears) the process-global store fault hook and
+/// resets the operation ordinal counter.
+pub fn set_io_fault_hook(hook: Option<IoFaultHook>) {
+    let mut guard = IO_FAULT_HOOK.write().unwrap_or_else(|e| e.into_inner());
+    *guard = hook;
+    IO_OP_ORDINAL.store(0, Ordering::Relaxed);
+}
+
+/// Consults the fault hook for one operation, consuming an ordinal.  The
+/// ordinal only advances while a hook is installed, so fault schedules are
+/// stable regardless of what ran before installation.
+fn injected_fault(op: StoreOp) -> Option<io::Error> {
+    let guard = IO_FAULT_HOOK.read().unwrap_or_else(|e| e.into_inner());
+    let hook = guard.as_ref()?;
+    let ordinal = IO_OP_ORDINAL.fetch_add(1, Ordering::Relaxed);
+    hook(op, ordinal).map(|kind| io::Error::new(kind, "injected store fault"))
+}
+
+/// Backoff before the single retry of a transiently failed lookup read.
+const READ_RETRY_BACKOFF: Duration = Duration::from_millis(1);
 
 /// The store format tag; bumping the version invalidates (as misses) every
 /// existing entry.
@@ -66,6 +107,11 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Approximate store size in bytes (entry files only).
     pub bytes: u64,
+    /// Lookups abandoned after an I/O error persisted through the retry.
+    /// The entry file (if any) is left in place for the next lookup.
+    pub transient_errors: u64,
+    /// Entries that read back but failed validation and were deleted.
+    pub corrupt_entries: u64,
 }
 
 impl StoreStats {
@@ -95,6 +141,8 @@ pub struct OutcomeStore {
     misses: AtomicU64,
     writes: AtomicU64,
     evictions: AtomicU64,
+    transient_errors: AtomicU64,
+    corrupt_entries: AtomicU64,
     tmp_seq: AtomicU64,
     /// Serialises eviction scans within this process (concurrent processes
     /// coordinate through the filesystem: eviction re-scans, and deleting a
@@ -122,6 +170,8 @@ impl OutcomeStore {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            corrupt_entries: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
             evict_lock: Mutex::new(()),
         };
@@ -171,6 +221,8 @@ impl OutcomeStore {
             writes: self.writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            corrupt_entries: self.corrupt_entries.load(Ordering::Relaxed),
         }
     }
 
@@ -182,26 +234,62 @@ impl OutcomeStore {
             .join(format!("{:016x}-{key:016x}", fingerprint.0))
     }
 
-    /// Looks up an outcome.  Any invalid entry — torn, bit-flipped,
-    /// version-mismatched, foreign — is a miss (and is deleted so it cannot
-    /// consume cap space forever).
+    /// Looks up an outcome, distinguishing the three ways a lookup can come
+    /// up empty:
+    ///
+    /// - the entry simply is not there (`NotFound`): a plain miss;
+    /// - the read failed with any other I/O error: retried once after a
+    ///   short backoff, and if it still fails the lookup is a miss counted
+    ///   under `transient_errors` — the entry file is *not* deleted, so a
+    ///   later lookup can still hit it;
+    /// - the entry read back but failed validation — torn, bit-flipped,
+    ///   version-mismatched, foreign — a miss counted under
+    ///   `corrupt_entries`, and the file is deleted so it cannot consume
+    ///   cap space forever.
     pub fn get(&self, fingerprint: Fingerprint, key: u64) -> Option<TestOutcome> {
         let path = self.entry_path(fingerprint, key);
-        let outcome = std::fs::read(&path)
-            .ok()
-            .and_then(|bytes| parse_entry(&bytes, fingerprint, key));
-        match outcome {
+        let bytes = match self.read_entry(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.transient_errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse_entry(&bytes, fingerprint, key) {
             Some(outcome) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(outcome)
             }
             None => {
-                // Only remove files that exist but failed validation.
-                if path.exists() {
-                    let _ = std::fs::remove_file(&path);
-                }
+                self.corrupt_entries.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&path);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
+            }
+        }
+    }
+
+    /// Reads one entry file, consulting the fault hook and retrying once
+    /// (after [`READ_RETRY_BACKOFF`]) on any error other than `NotFound`.
+    fn read_entry(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let first = match injected_fault(StoreOp::Read) {
+            Some(e) => Err(e),
+            None => std::fs::read(path),
+        };
+        match first {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(e),
+            Err(_) => {
+                std::thread::sleep(READ_RETRY_BACKOFF);
+                match injected_fault(StoreOp::Read) {
+                    Some(e) => Err(e),
+                    None => std::fs::read(path),
+                }
             }
         }
     }
@@ -209,6 +297,9 @@ impl OutcomeStore {
     /// Persists an outcome (best effort: I/O errors disable nothing and
     /// corrupt nothing — the entry is simply absent next time).
     pub fn put(&self, fingerprint: Fingerprint, key: u64, outcome: &TestOutcome) {
+        if injected_fault(StoreOp::Write).is_some() {
+            return;
+        }
         let path = self.entry_path(fingerprint, key);
         let bytes = render_entry(fingerprint, key, outcome);
         let Some(parent) = path.parent() else { return };
@@ -503,6 +594,107 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
         assert_eq!(store.get(fp, 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_counted_and_deleted_but_absence_is_not() {
+        let dir = temp_store("corrupt-count");
+        let store = OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap();
+        let fp = Fingerprint(0xC1);
+        // Absent entry: plain miss, nothing counted as corruption.
+        assert_eq!(store.get(fp, 0), None);
+        assert_eq!(store.stats().corrupt_entries, 0);
+        assert_eq!(store.stats().transient_errors, 0);
+        // Corrupt entry: counted once, deleted, and the follow-up lookup is
+        // a plain miss again.
+        store.put(fp, 0, &TestOutcome::Timeout);
+        let path = store.entry_path(fp, 0);
+        std::fs::write(&path, b"not a store entry").unwrap();
+        assert_eq!(store.get(fp, 0), None);
+        assert!(!path.exists());
+        assert_eq!(store.get(fp, 0), None);
+        let stats = store.stats();
+        assert_eq!(stats.corrupt_entries, 1);
+        assert_eq!(stats.transient_errors, 0);
+        assert_eq!(stats.misses, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Serialises tests that install the process-global fault hook.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Installs a hook that fires only for operations issued from the
+    /// calling thread (so unrelated tests running concurrently pass
+    /// through), failing the first `n` matching operations of kind `op`.
+    fn fail_next_on_this_thread(op: StoreOp, n: u64) {
+        let me = std::thread::current().id();
+        let remaining = AtomicU64::new(n);
+        set_io_fault_hook(Some(Arc::new(move |kind, _ordinal| {
+            if kind != op || std::thread::current().id() != me {
+                return None;
+            }
+            let left = remaining.load(Ordering::Relaxed);
+            if left == 0 {
+                return None;
+            }
+            remaining.store(left - 1, Ordering::Relaxed);
+            Some(io::ErrorKind::Other)
+        })));
+    }
+
+    #[test]
+    fn transient_read_error_is_retried_and_recovers() {
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_store("transient-recover");
+        let store = OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap();
+        let fp = Fingerprint(0xEE);
+        store.put(fp, 0, &TestOutcome::Timeout);
+        fail_next_on_this_thread(StoreOp::Read, 1);
+        assert_eq!(store.get(fp, 0), Some(TestOutcome::Timeout));
+        set_io_fault_hook(None);
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.transient_errors, 0, "recovered retry is not an error");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_read_error_counts_transient_and_preserves_the_entry() {
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_store("transient-exhaust");
+        let store = OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap();
+        let fp = Fingerprint(0xEF);
+        store.put(fp, 0, &TestOutcome::Timeout);
+        fail_next_on_this_thread(StoreOp::Read, 2);
+        assert_eq!(store.get(fp, 0), None, "both attempts failed");
+        set_io_fault_hook(None);
+        let stats = store.stats();
+        assert_eq!(stats.transient_errors, 1);
+        assert_eq!(stats.corrupt_entries, 0);
+        assert!(
+            store.entry_path(fp, 0).exists(),
+            "transient failure must not delete the entry"
+        );
+        // With the fault gone, the same lookup hits.
+        assert_eq!(store.get(fp, 0), Some(TestOutcome::Timeout));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_fault_skips_publication_silently() {
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_store("write-fault");
+        let store = OutcomeStore::open_with_cap(&dir, u64::MAX).unwrap();
+        let fp = Fingerprint(0xF0);
+        fail_next_on_this_thread(StoreOp::Write, 1);
+        store.put(fp, 0, &TestOutcome::Timeout);
+        set_io_fault_hook(None);
+        assert_eq!(store.stats().writes, 0);
+        assert_eq!(store.get(fp, 0), None, "faulted put published nothing");
+        // The next put goes through.
+        store.put(fp, 0, &TestOutcome::Timeout);
+        assert_eq!(store.get(fp, 0), Some(TestOutcome::Timeout));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -464,6 +464,6 @@ fn journals_are_self_describing_and_versioned() {
         .next()
         .unwrap()
         .to_string();
-    assert!(first_line.starts_with("CLFUZZ-JOURNAL 1 "));
+    assert!(first_line.starts_with("CLFUZZ-JOURNAL 2 "));
     cleanup(&[path]);
 }
