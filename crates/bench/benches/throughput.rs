@@ -123,6 +123,104 @@ fn bench_emulation(iters: usize, metrics: &mut Metrics) {
     metrics.record("tier_speedup_bytecode_over_tree_walk", speedup);
 }
 
+/// The interpreter hot-path axes: kernels/sec on a fixed-seed workload with
+/// the scalar register file active (`interp_register_*`, plain launches on
+/// the bytecode tier, where private scalars live in per-frame registers) and
+/// with the shadow-memory race detector recording every shared access
+/// (`race_shadow_*`).  Before timing, every kernel in the workload is pinned
+/// byte-identical — result strings and race verdicts — against the
+/// tree-walking reference tier, which has neither optimisation, so the
+/// reported numbers can never drift from the unoptimised semantics.
+fn bench_hot_paths(kernels: usize, iters: usize, metrics: &mut Metrics) {
+    println!(
+        "interpreter hot paths ({kernels} kernels × {iters} runs, register file + shadow detector)"
+    );
+    let programs: Vec<clc::Program> = (0..kernels)
+        .map(|i| generate(&small_opts(GenMode::All, 0xF00D + i as u64)))
+        .collect();
+
+    // Byte-identity pin against the reference tier, plus the register file's
+    // structural effect: registers allocated at compile time and launch
+    // object allocations saved relative to the tree walker.
+    let mut registers = 0usize;
+    let mut tree_allocs = 0u64;
+    let mut vm_allocs = 0u64;
+    let mut shadow_accesses = 0u64;
+    let mut shadow_arrays = 0u64;
+    let mut epoch_bumps = 0u64;
+    for program in &programs {
+        registers += clc_interp::compile(program).register_count();
+        for detect_races in [false, true] {
+            let options = |tier| clc_interp::LaunchOptions {
+                detect_races,
+                tier,
+                ..clc_interp::LaunchOptions::default()
+            };
+            let tree = clc_interp::launch(program, &options(ExecutionTier::TreeWalk)).unwrap();
+            let vm = clc_interp::launch(program, &options(ExecutionTier::Bytecode)).unwrap();
+            assert_eq!(
+                tree.result_string, vm.result_string,
+                "register-file tier diverged from the reference result"
+            );
+            assert_eq!(
+                tree.race, vm.race,
+                "shadow detector diverged from the reference race verdict"
+            );
+            if detect_races {
+                let stats = vm.race_stats.unwrap_or_default();
+                shadow_accesses += stats.accesses;
+                shadow_arrays += stats.shadow_arrays;
+                epoch_bumps += stats.epoch_bumps;
+            } else {
+                tree_allocs += tree.objects_allocated;
+                vm_allocs += vm.objects_allocated;
+            }
+        }
+    }
+
+    let mut per_axis = [0.0f64; 2];
+    for (a, (axis, detect_races)) in [("interp_register", false), ("race_shadow", true)]
+        .into_iter()
+        .enumerate()
+    {
+        let options = clc_interp::LaunchOptions {
+            detect_races,
+            tier: ExecutionTier::Bytecode,
+            ..clc_interp::LaunchOptions::default()
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            for program in &programs {
+                std::hint::black_box(clc_interp::launch(program, &options).unwrap());
+            }
+        }
+        let elapsed = start.elapsed();
+        per_axis[a] = (kernels * iters) as f64 / elapsed.as_secs_f64();
+        println!(
+            "  {axis:<15} {:>10.1?} total   {:>8.2} kernels/sec",
+            elapsed, per_axis[a]
+        );
+        metrics.record(format!("{axis}_kernels_per_sec"), per_axis[a]);
+    }
+    let alloc_ratio = vm_allocs as f64 / tree_allocs.max(1) as f64;
+    println!(
+        "  registers/kernel {:.1}   allocations vm/tree {vm_allocs}/{tree_allocs} (×{alloc_ratio:.2})   shadow accesses {shadow_accesses} over {shadow_arrays} arrays, {epoch_bumps} epoch bumps",
+        registers as f64 / kernels as f64,
+    );
+    metrics.record(
+        "interp_register_count_mean",
+        registers as f64 / kernels as f64,
+    );
+    metrics.record("interp_register_alloc_ratio", alloc_ratio);
+    metrics.record("race_shadow_accesses", shadow_accesses as f64);
+    metrics.record("race_shadow_arrays", shadow_arrays as f64);
+    metrics.record("race_shadow_epoch_bumps", epoch_bumps as f64);
+    assert!(
+        vm_allocs < tree_allocs,
+        "the register file should allocate strictly fewer objects than the tree walker ({vm_allocs} vs {tree_allocs})"
+    );
+}
+
 fn bench_simulated_platform(iters: usize) {
     println!("simulated platform (compile+run, mean over {iters} runs)");
     let program = generate(&small_opts(GenMode::Barrier, 3));
@@ -714,6 +812,7 @@ fn main() {
     let mut metrics = Metrics::default();
     bench_generation(iters, &mut metrics);
     bench_emulation(iters, &mut metrics);
+    bench_hot_paths(if quick { 6 } else { 16 }, iters, &mut metrics);
     bench_simulated_platform(iters);
     bench_emi_pruning(iters.max(30));
     bench_differential_dedupe(if quick { 4 } else { 12 }, &mut metrics);

@@ -1,6 +1,8 @@
 //! Reproduces the §2.4 finding: the Parboil spmv and Rodinia myocyte
 //! miniatures contain data races, exposed by the race detector and by
-//! schedule variation.
+//! schedule variation.  Also reports the shadow-memory detector's per-kernel
+//! counters (accesses recorded, shadow arrays allocated, epoch bumps) so the
+//! cost of always-on race instrumentation stays observable.
 
 use clc_interp::{launch, LaunchOptions, Schedule};
 use fuzz_harness::render_table;
@@ -11,6 +13,9 @@ fn main() {
         "Benchmark",
         "Race detected",
         "Schedule-dependent result",
+        "Accesses",
+        "Shadow arrays",
+        "Epoch bumps",
         "Paper",
     ]
     .iter()
@@ -35,6 +40,7 @@ fn main() {
             },
         )
         .unwrap();
+        let stats = raced.race_stats.unwrap_or_default();
         rows.push(vec![
             b.name.to_string(),
             if raced.race.is_some() { "yes" } else { "no" }.to_string(),
@@ -44,6 +50,9 @@ fn main() {
                 "no"
             }
             .to_string(),
+            stats.accesses.to_string(),
+            stats.shadow_arrays.to_string(),
+            stats.epoch_bumps.to_string(),
             if b.has_known_race {
                 "race reported by the paper"
             } else {

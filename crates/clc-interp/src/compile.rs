@@ -32,7 +32,7 @@ use clc::expr::{BinOp, Builtin, Expr, IdKind, UnOp};
 use clc::stmt::{Initializer, Stmt};
 use clc::types::{AddressSpace, ScalarType, Type, VectorWidth};
 use clc::{Param, Program};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The statically known element type of a fused memory access.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +150,44 @@ pub(crate) enum Instr {
         slot: u16,
         op: Option<BinOp>,
         push: bool,
+    },
+    /// `→` — reset a register to *uninitialised*.  Emitted at every
+    /// register declaration, so a loop body re-declaring the variable gets
+    /// a fresh (uninitialised) value each iteration, exactly as
+    /// `DeclPrivate`'s fresh object would.
+    DeclReg { reg: u16 },
+    /// `→` — declare a register with a literal initialiser folded in
+    /// (`int i = 0`): the bits are pre-converted to the register's declared
+    /// type at compile time.
+    DeclRegInit { reg: u16, bits: u64 },
+    /// `→ value` — push the scalar held in a register (fails with the tree
+    /// walker's `UninitializedRead` when unset).
+    LoadReg { reg: u16, ty: ScalarType },
+    /// `rhs-value → value?` — plain/compound assignment to a register,
+    /// mirroring `StoreScalarSlot`'s conversion and error semantics.
+    StoreReg {
+        reg: u16,
+        ty: ScalarType,
+        op: Option<BinOp>,
+        push: bool,
+    },
+    /// `→ value?` — assignment to a register whose right-hand side is a
+    /// literal folded into the instruction (`i = 0`, `acc += 3`).
+    StoreRegImm {
+        reg: u16,
+        ty: ScalarType,
+        op: Option<BinOp>,
+        imm: Scalar,
+        push: bool,
+    },
+    /// `→ value` — fused `LoadReg` + `BinaryImm` (`i < 10`, `i * 2`): reads
+    /// the register and applies an operator with a literal right operand,
+    /// without touching the register.
+    RegBinopImm {
+        reg: u16,
+        ty: ScalarType,
+        op: BinOp,
+        imm: Scalar,
     },
     /// `value → value` — apply a unary operator.
     Unary(UnOp),
@@ -273,6 +311,10 @@ pub(crate) struct CompiledFunc {
     pub(crate) n_slots: usize,
     /// Slot names, for `UnknownVariable` diagnostics on unbound slots.
     pub(crate) slot_names: Vec<String>,
+    /// Number of scalar registers a frame needs (see [`Instr::LoadReg`]).
+    pub(crate) n_regs: usize,
+    /// Register names, for `UninitializedRead` diagnostics.
+    pub(crate) reg_names: Vec<String>,
     /// Parameters, for call-frame setup.
     pub(crate) params: Vec<Param>,
 }
@@ -290,10 +332,209 @@ impl CompiledProgram {
     pub fn instruction_count(&self) -> usize {
         self.funcs.iter().map(|f| f.code.len()).sum()
     }
+
+    /// Total number of scalar registers allocated by escape analysis across
+    /// all functions (diagnostics; used by tests to pin which declarations
+    /// are register-allocated).
+    pub fn register_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.n_regs).sum()
+    }
 }
 
 /// Index of the kernel entry point in [`CompiledProgram`].
 pub(crate) const KERNEL_FUNC: usize = 0;
+
+// --- escape analysis -------------------------------------------------------
+//
+// A private scalar declaration can live in a per-frame register instead of a
+// `Memory` object exactly when nothing ever needs a memory location for it:
+// its address is never taken, it is never the base of an indexing / member /
+// place chain (whose lowering resolves to an object + offset), and every
+// assignment to it targets the bare name.  The analysis is name-level and
+// conservative: if any use of a name anywhere in the function requires an
+// object, *every* declaration of that name stays slot-allocated (shadowed
+// re-declarations included), which can only cost performance, never
+// correctness.
+
+/// Collects the function-body names that must stay memory-allocated.
+fn escaping_names(body: &clc::stmt::Block) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for s in body.iter() {
+        escape_stmt(s, &mut out);
+    }
+    out
+}
+
+fn escape_stmt(stmt: &Stmt, out: &mut HashSet<String>) {
+    match stmt {
+        Stmt::Decl {
+            init, init_list, ..
+        } => {
+            if let Some(e) = init {
+                escape_expr(e, out);
+            }
+            if let Some(list) = init_list {
+                escape_init(list, out);
+            }
+        }
+        Stmt::Expr(e) => escape_expr(e, out),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            escape_expr(cond, out);
+            for s in then_block.iter() {
+                escape_stmt(s, out);
+            }
+            if let Some(eb) = else_block {
+                for s in eb.iter() {
+                    escape_stmt(s, out);
+                }
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            if let Some(s) = init {
+                escape_stmt(s, out);
+            }
+            if let Some(c) = cond {
+                escape_expr(c, out);
+            }
+            if let Some(u) = update {
+                escape_expr(u, out);
+            }
+            for s in body.iter() {
+                escape_stmt(s, out);
+            }
+        }
+        Stmt::While { cond, body } => {
+            escape_expr(cond, out);
+            for s in body.iter() {
+                escape_stmt(s, out);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in b.iter() {
+                escape_stmt(s, out);
+            }
+        }
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                escape_expr(e, out);
+            }
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Barrier(_) => {}
+        // The synthesised EMI guard only reads `dead[..]`, a kernel
+        // parameter — parameters are never register candidates.
+        Stmt::Emi(emi) => {
+            for s in emi.body.iter() {
+                escape_stmt(s, out);
+            }
+        }
+    }
+}
+
+fn escape_init(init: &Initializer, out: &mut HashSet<String>) {
+    match init {
+        Initializer::Expr(e) => escape_expr(e, out),
+        Initializer::List(items) => {
+            for i in items {
+                escape_init(i, out);
+            }
+        }
+    }
+}
+
+/// Walks an expression in *value* position.
+fn escape_expr(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::IntLit { .. } | Expr::IdQuery(_) | Expr::Var(_) => {}
+        Expr::VectorLit { parts, .. } => {
+            for p in parts {
+                escape_expr(p, out);
+            }
+        }
+        Expr::Unary { expr, .. } => escape_expr(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            escape_expr(lhs, out);
+            escape_expr(rhs, out);
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            // A bare-name target lowers to a register store; anything more
+            // structured needs the object.
+            if !matches!(&**lhs, Expr::Var(_)) {
+                escape_place(lhs, out);
+            }
+            escape_expr(rhs, out);
+        }
+        Expr::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            escape_expr(cond, out);
+            escape_expr(then_expr, out);
+            escape_expr(else_expr, out);
+        }
+        Expr::Comma { lhs, rhs } => {
+            escape_expr(lhs, out);
+            escape_expr(rhs, out);
+        }
+        Expr::Call { args, .. } | Expr::BuiltinCall { args, .. } => {
+            for a in args {
+                escape_expr(a, out);
+            }
+        }
+        // `base[i]` / `base.f` load through the base's object even in value
+        // position.
+        Expr::Index { base, index } => {
+            escape_place(base, out);
+            escape_expr(index, out);
+        }
+        Expr::Field { base, arrow, .. } => {
+            if *arrow {
+                escape_expr(base, out);
+            } else {
+                escape_place(base, out);
+            }
+        }
+        // A swizzle reads the vector *value*; vectors are never register
+        // candidates anyway.
+        Expr::Swizzle { base, .. } => escape_expr(base, out),
+        Expr::Deref(inner) => escape_expr(inner, out),
+        Expr::AddrOf(inner) => escape_place(inner, out),
+        Expr::Cast { expr, .. } => escape_expr(expr, out),
+    }
+}
+
+/// Walks an expression in *place* position, marking the root name of the
+/// lvalue chain as escaping.
+fn escape_place(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::Var(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Index { base, index } => {
+            escape_place(base, out);
+            escape_expr(index, out);
+        }
+        Expr::Field { base, arrow, .. } => {
+            if *arrow {
+                escape_expr(base, out);
+            } else {
+                escape_place(base, out);
+            }
+        }
+        Expr::Swizzle { base, .. } => escape_place(base, out),
+        Expr::Deref(inner) => escape_expr(inner, out),
+        other => escape_expr(other, out),
+    }
+}
 
 /// Lowers a program (kernel plus helper functions) into bytecode.
 ///
@@ -315,7 +556,8 @@ pub fn compile(program: &Program) -> CompiledProgram {
 }
 
 fn compile_kernel(program: &Program, func_ids: &HashMap<&str, u32>) -> CompiledFunc {
-    let mut c = FnCompiler::new(program, func_ids, true);
+    let escaping = escaping_names(&program.kernel.body);
+    let mut c = FnCompiler::new(program, func_ids, true, escaping);
     // Mirrors the tree walker's environment setup: the permutation table is
     // bound before the parameters in the same (outermost) scope.
     c.declare("permutations", None);
@@ -334,7 +576,7 @@ fn compile_helper(
     func_ids: &HashMap<&str, u32>,
     func: &clc::FunctionDef,
 ) -> CompiledFunc {
-    let mut c = FnCompiler::new(program, func_ids, false);
+    let mut c = FnCompiler::new(program, func_ids, false, escaping_names(&func.body));
     for p in &func.params {
         c.declare(&p.name, Some((p.ty.clone(), AddressSpace::Private)));
     }
@@ -360,15 +602,27 @@ struct LoopFrame {
     continue_patches: Vec<usize>,
 }
 
+/// How a name resolves at compile time: to a frame slot holding an object,
+/// or to a scalar register in the frame's register bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    Slot(u16),
+    Reg(u16),
+}
+
 struct FnCompiler<'p> {
     program: &'p Program,
     func_ids: &'p HashMap<&'p str, u32>,
     code: Vec<Instr>,
-    scopes: Vec<Vec<(String, u16)>>,
+    scopes: Vec<Vec<(String, Binding)>>,
     slot_names: Vec<String>,
     /// Declared type and address space per slot, when statically known
     /// (drives the fused scalar-slot instructions).
     slot_meta: Vec<Option<(Type, AddressSpace)>>,
+    /// Register name and declared scalar type, indexed by register id.
+    regs: Vec<(String, ScalarType)>,
+    /// Names escape analysis found unsuitable for register allocation.
+    escaping: HashSet<String>,
     loops: Vec<LoopFrame>,
     in_kernel: bool,
     /// Number of *materialised* runtime scopes open at the current emission
@@ -379,7 +633,12 @@ struct FnCompiler<'p> {
 }
 
 impl<'p> FnCompiler<'p> {
-    fn new(program: &'p Program, func_ids: &'p HashMap<&'p str, u32>, in_kernel: bool) -> Self {
+    fn new(
+        program: &'p Program,
+        func_ids: &'p HashMap<&'p str, u32>,
+        in_kernel: bool,
+        escaping: HashSet<String>,
+    ) -> Self {
         FnCompiler {
             program,
             func_ids,
@@ -387,6 +646,8 @@ impl<'p> FnCompiler<'p> {
             scopes: vec![Vec::new()],
             slot_names: Vec::new(),
             slot_meta: Vec::new(),
+            regs: Vec::new(),
+            escaping,
             loops: Vec::new(),
             in_kernel,
             open_scopes: 0,
@@ -400,6 +661,8 @@ impl<'p> FnCompiler<'p> {
             code: self.code,
             n_slots: self.slot_names.len(),
             slot_names: self.slot_names,
+            n_regs: self.regs.len(),
+            reg_names: self.regs.into_iter().map(|(n, _)| n).collect(),
             params,
         }
     }
@@ -429,15 +692,67 @@ impl<'p> FnCompiler<'p> {
         self.scopes
             .last_mut()
             .expect("scope stack never empty")
-            .push((name.to_string(), slot));
+            .push((name.to_string(), Binding::Slot(slot)));
         slot
     }
 
-    fn lookup(&self, name: &str) -> Option<u16> {
+    fn declare_reg(&mut self, name: &str, ty: ScalarType) -> u16 {
+        let reg = self.regs.len() as u16;
+        self.regs.push((name.to_string(), ty));
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .push((name.to_string(), Binding::Reg(reg)));
+        reg
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
         self.scopes
             .iter()
             .rev()
-            .find_map(|s| s.iter().rev().find(|(n, _)| n == name).map(|&(_, id)| id))
+            .find_map(|s| s.iter().rev().find(|(n, _)| n == name).map(|&(_, b)| b))
+    }
+
+    /// Looks a name up only when it resolves to a register.
+    fn lookup_reg(&self, name: &str) -> Option<(u16, ScalarType)> {
+        match self.lookup(name) {
+            Some(Binding::Reg(reg)) => Some((reg, self.regs[reg as usize].1)),
+            _ => None,
+        }
+    }
+
+    /// Looks a name up only when it resolves to a slot.
+    fn lookup_slot(&self, name: &str) -> Option<u16> {
+        match self.lookup(name) {
+            Some(Binding::Slot(slot)) => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Whether a declaration will be register-allocated: a non-`volatile`
+    /// private scalar with no brace initialiser whose name never escapes.
+    fn is_reg_decl(&self, name: &str, ty: &Type, space: AddressSpace, volatile: bool) -> bool {
+        space != AddressSpace::Local
+            && !volatile
+            && matches!(ty, Type::Scalar(_))
+            && !self.escaping.contains(name)
+    }
+
+    /// Whether a statement is a declaration that allocates a memory object
+    /// (register declarations don't, so scopes containing only them can be
+    /// elided like declaration-free scopes).
+    fn decl_needs_object(&self, stmt: &Stmt) -> bool {
+        match stmt {
+            Stmt::Decl {
+                name,
+                ty,
+                space,
+                volatile,
+                init_list,
+                ..
+            } => init_list.is_some() || !self.is_reg_decl(name, ty, *space, *volatile),
+            _ => false,
+        }
     }
 
     /// Statically resolves a `Var` / `.field` / constant-`[idx]` lvalue
@@ -450,7 +765,7 @@ impl<'p> FnCompiler<'p> {
     fn static_slot_path(&self, expr: &Expr) -> Option<(u16, u32, Type, bool)> {
         match expr {
             Expr::Var(name) => {
-                let slot = self.lookup(name)?;
+                let slot = self.lookup_slot(name)?;
                 let (ty, space) = self.slot_meta[slot as usize].clone()?;
                 Some((slot, 0, ty, space.is_shared()))
             }
@@ -569,7 +884,7 @@ impl<'p> FnCompiler<'p> {
         let Expr::Var(name) = &**base else {
             return None;
         };
-        let slot = self.lookup(name)?;
+        let slot = self.lookup_slot(name)?;
         let (ty, space) = self.slot_meta[slot as usize].as_ref()?;
         let Type::Pointer(pointee, _) = ty else {
             return None;
@@ -605,10 +920,10 @@ impl<'p> FnCompiler<'p> {
     }
 
     /// Opens a runtime scope for `block` only when it directly declares
-    /// variables (popping an empty scope frees nothing, so eliding it is
-    /// unobservable).
+    /// memory-allocated variables (popping an empty scope frees nothing, and
+    /// register declarations own no objects, so eliding it is unobservable).
     fn enter_scope_for(&mut self, block: &clc::stmt::Block) -> bool {
-        let needed = block.iter().any(|s| matches!(s, Stmt::Decl { .. }));
+        let needed = block.iter().any(|s| self.decl_needs_object(s));
         self.enter_scope_cond(needed)
     }
 
@@ -641,10 +956,17 @@ impl<'p> FnCompiler<'p> {
                 name,
                 ty,
                 space,
+                volatile,
                 init,
                 init_list,
-                ..
-            } => self.decl(name, ty, *space, init.as_ref(), init_list.as_ref()),
+            } => self.decl(
+                name,
+                ty,
+                *space,
+                *volatile,
+                init.as_ref(),
+                init_list.as_ref(),
+            ),
             Stmt::Expr(e) => self.expr_stmt(e),
             Stmt::If {
                 cond,
@@ -704,9 +1026,9 @@ impl<'p> FnCompiler<'p> {
                 // than a per-iteration scope; mirror that by folding the
                 // body's declarations into the for-scope.
                 let barrier_loop = self.in_kernel && stmt.contains_barrier();
-                let body_declares = body.iter().any(|s| matches!(s, Stmt::Decl { .. }));
+                let body_declares = body.iter().any(|s| self.decl_needs_object(s));
                 let for_scoped = self.enter_scope_cond(
-                    matches!(init.as_deref(), Some(Stmt::Decl { .. }))
+                    init.as_deref().is_some_and(|s| self.decl_needs_object(s))
                         || (barrier_loop && body_declares),
                 );
                 if let Some(init) = init {
@@ -759,7 +1081,7 @@ impl<'p> FnCompiler<'p> {
                 // its body declarations in a loop-level scope (the machine's
                 // while-scope), alive across iterations.
                 let barrier_loop = self.in_kernel && stmt.contains_barrier();
-                let body_declares = body.iter().any(|s| matches!(s, Stmt::Decl { .. }));
+                let body_declares = body.iter().any(|s| self.decl_needs_object(s));
                 let loop_scoped = self.enter_scope_cond(barrier_loop && body_declares);
                 let head = self.here();
                 self.expr(cond);
@@ -888,6 +1210,7 @@ impl<'p> FnCompiler<'p> {
         name: &str,
         ty: &Type,
         space: AddressSpace,
+        volatile: bool,
         init: Option<&Expr>,
         init_list: Option<&Initializer>,
     ) {
@@ -900,6 +1223,39 @@ impl<'p> FnCompiler<'p> {
                 name: name.into(),
                 ty: Box::new(ty.clone()),
             });
+            return;
+        }
+        if init_list.is_none() && self.is_reg_decl(name, ty, space, volatile) {
+            let Type::Scalar(sty) = ty else {
+                unreachable!("is_reg_decl only accepts scalar types")
+            };
+            match init {
+                // Literal initialisers fold into the declaration, with the
+                // conversion to the declared type done at compile time.
+                Some(Expr::IntLit { value, ty: lty }) => {
+                    let reg = self.declare_reg(name, *sty);
+                    let bits = Scalar::from_i128(*value, *lty).convert(*sty).bits;
+                    self.emit(Instr::DeclRegInit { reg, bits });
+                }
+                Some(e) => {
+                    // As with `DeclPrivate` + `InitSlot`, the name is bound
+                    // (uninitialised) before the initialiser is evaluated,
+                    // so `int x = x + 1;` reads the new, unset `x`.
+                    let reg = self.declare_reg(name, *sty);
+                    self.emit(Instr::DeclReg { reg });
+                    self.expr(e);
+                    self.emit(Instr::StoreReg {
+                        reg,
+                        ty: *sty,
+                        op: None,
+                        push: false,
+                    });
+                }
+                None => {
+                    let reg = self.declare_reg(name, *sty);
+                    self.emit(Instr::DeclReg { reg });
+                }
+            }
             return;
         }
         let slot = self.declare(name, Some((ty.clone(), AddressSpace::Private)));
@@ -1010,10 +1366,14 @@ impl<'p> FnCompiler<'p> {
                 });
             }
             Expr::Var(name) => {
+                if let Some((reg, ty)) = self.lookup_reg(name) {
+                    self.emit(Instr::LoadReg { reg, ty });
+                    return;
+                }
                 if self.emit_static_load(expr) {
                     return;
                 }
-                match self.lookup(name) {
+                match self.lookup_slot(name) {
                     Some(slot) => {
                         self.emit(Instr::LoadSlot(slot));
                     }
@@ -1031,7 +1391,7 @@ impl<'p> FnCompiler<'p> {
                 // resolved slot; the index is still evaluated first, as in
                 // `eval_place`.
                 if let Expr::Var(name) = &**base {
-                    if let Some(slot) = self.lookup(name) {
+                    if let Some(slot) = self.lookup_slot(name) {
                         self.expr(index);
                         self.emit(Instr::IndexSlotLoad { slot });
                         return;
@@ -1087,11 +1447,21 @@ impl<'p> FnCompiler<'p> {
                     // Literal right operands fold into the instruction; a
                     // literal has no side effects, so evaluation order is
                     // unobservable.
+                    let imm = Scalar::from_i128(*value, *ty);
+                    // `i < N` / `i + 1` on a register fuses the load too.
+                    if let Expr::Var(name) = &**lhs {
+                        if let Some((reg, rty)) = self.lookup_reg(name) {
+                            self.emit(Instr::RegBinopImm {
+                                reg,
+                                ty: rty,
+                                op: *op,
+                                imm,
+                            });
+                            return;
+                        }
+                    }
                     self.expr(lhs);
-                    self.emit(Instr::BinaryImm {
-                        op: *op,
-                        imm: Scalar::from_i128(*value, *ty),
-                    });
+                    self.emit(Instr::BinaryImm { op: *op, imm });
                 } else {
                     self.expr(lhs);
                     self.expr(rhs);
@@ -1195,6 +1565,25 @@ impl<'p> FnCompiler<'p> {
     /// the tree walker.  Targets that are resolved slots (or single-level
     /// indexes into them) use the fused store instructions.
     fn assign(&mut self, op: Option<BinOp>, lhs: &Expr, rhs: &Expr, push: bool) {
+        if let Expr::Var(name) = lhs {
+            if let Some((reg, ty)) = self.lookup_reg(name) {
+                // Literal right-hand sides fold into the store; a literal
+                // has no side effects, so the fold is unobservable.
+                if let Expr::IntLit { value, ty: lty } = rhs {
+                    self.emit(Instr::StoreRegImm {
+                        reg,
+                        ty,
+                        op,
+                        imm: Scalar::from_i128(*value, *lty),
+                        push,
+                    });
+                } else {
+                    self.expr(rhs);
+                    self.emit(Instr::StoreReg { reg, ty, op, push });
+                }
+                return;
+            }
+        }
         self.expr(rhs);
         match self.static_slot_path(lhs) {
             Some((slot, offset, Type::Scalar(ty), shared)) => {
@@ -1237,7 +1626,7 @@ impl<'p> FnCompiler<'p> {
         }
         if let Expr::Index { base, index } = lhs {
             if let Expr::Var(name) = &**base {
-                if let Some(slot) = self.lookup(name) {
+                if let Some(slot) = self.lookup_slot(name) {
                     self.expr(index);
                     self.emit(Instr::IndexSlotStore { slot, op, push });
                     return;
@@ -1253,9 +1642,14 @@ impl<'p> FnCompiler<'p> {
     fn place(&mut self, expr: &Expr) {
         match expr {
             Expr::Var(name) => match self.lookup(name) {
-                Some(slot) => {
+                Some(Binding::Slot(slot)) => {
                     self.emit(Instr::PlaceSlot(slot));
                 }
+                // Unreachable by construction: escape analysis keeps any
+                // name used in place position out of the register bank.
+                Some(Binding::Reg(_)) => self.fail(RuntimeError::TypeMismatch {
+                    detail: format!("register variable `{name}` used as an lvalue"),
+                }),
                 None => {
                     self.emit(Instr::PlaceGroupLocal(name.as_str().into()));
                 }

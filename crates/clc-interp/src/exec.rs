@@ -15,11 +15,12 @@ use crate::eval::{
     declare_var, emi_guard_is_true, eval_expr, exec_stmt, Ctx, Env, Flow, ThreadIds,
 };
 use crate::memory::Memory;
-use crate::race::RaceDetector;
+use crate::race::{RaceDetector, RaceStats};
 use crate::value::{Cell, ObjId, PointerValue, Scalar};
 use clc::stmt::{Block, Stmt};
 use clc::types::{AddressSpace, ScalarType, Type};
 use clc::Program;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -143,6 +144,24 @@ pub struct LaunchResult {
     /// Number of barriers executed inside helper functions (not
     /// synchronising; see `clc-interp`'s crate documentation).
     pub soft_barriers: u64,
+    /// Race-detector counters for this launch; `None` when race detection
+    /// was disabled.  Diagnostic only: excluded from the tier-equivalence
+    /// contract and from memoised outcomes.
+    pub race_stats: Option<RaceStats>,
+    /// Objects allocated in the launch's memory (buffers, parameters and
+    /// every variable declaration that needed backing storage).  Diagnostic
+    /// and tier-specific: the bytecode tier's register file keeps scalar
+    /// temporaries out of the object table entirely.
+    pub objects_allocated: u64,
+}
+
+thread_local! {
+    /// Per-thread spare race detector, reused across launches so the shadow
+    /// arrays grown by earlier kernels are recycled instead of reallocated —
+    /// the detector analogue of `Memory::spare_cells`.  Reuse is sound
+    /// because [`RaceDetector::reset`] bumps every shadow's era, which makes
+    /// all retained cell logs logically empty in O(#objects).
+    static SPARE_DETECTOR: RefCell<Option<RaceDetector>> = const { RefCell::new(None) };
 }
 
 /// Executes a program over its NDRange.
@@ -229,7 +248,11 @@ fn launch_with(
         .map_err(|detail| RuntimeError::InvalidAccess { detail })?;
     let mut memory = Memory::new();
     let mut races = if options.detect_races {
-        Some(RaceDetector::new())
+        let mut detector = SPARE_DETECTOR
+            .with(|spare| spare.borrow_mut().take())
+            .unwrap_or_default();
+        detector.reset();
+        Some(detector)
     } else {
         None
     };
@@ -283,41 +306,44 @@ fn launch_with(
     let mut total_steps = 0u64;
     let mut soft_barriers = 0u64;
 
-    for gz in 0..groups[2] {
-        for gy in 0..groups[1] {
-            for gx in 0..groups[0] {
-                let group = [gx, gy, gz];
-                match compiled {
-                    Some(compiled) => crate::vm::run_group(
-                        program,
-                        compiled,
-                        options,
-                        &mut memory,
-                        &mut races,
-                        &buffer_objects,
-                        permutations_obj,
-                        group,
-                        &mut total_steps,
-                        &mut soft_barriers,
-                    )?,
-                    None => run_group(
-                        program,
-                        options,
-                        &mut memory,
-                        &mut races,
-                        &buffer_objects,
-                        permutations_obj,
-                        group,
-                        &mut total_steps,
-                        &mut soft_barriers,
-                    )?,
+    // Run the group loop and result readback inside a closure so that the
+    // detector is harvested and returned to the spare slot on the error
+    // paths too, not just on success.
+    let run = (|| -> Result<(Vec<Scalar>, String), RuntimeError> {
+        for gz in 0..groups[2] {
+            for gy in 0..groups[1] {
+                for gx in 0..groups[0] {
+                    let group = [gx, gy, gz];
+                    match compiled {
+                        Some(compiled) => crate::vm::run_group(
+                            program,
+                            compiled,
+                            options,
+                            &mut memory,
+                            &mut races,
+                            &buffer_objects,
+                            permutations_obj,
+                            group,
+                            &mut total_steps,
+                            &mut soft_barriers,
+                        )?,
+                        None => run_group(
+                            program,
+                            options,
+                            &mut memory,
+                            &mut races,
+                            &buffer_objects,
+                            permutations_obj,
+                            group,
+                            &mut total_steps,
+                            &mut soft_barriers,
+                        )?,
+                    }
                 }
             }
         }
-    }
 
-    // Read back the result buffer.
-    let (output, result_string) =
+        // Read back the result buffer.
         match program.result_param() {
             Some(name) => {
                 let (obj, elem, len) = buffer_objects.get(name).copied().ok_or_else(|| {
@@ -330,18 +356,28 @@ fn launch_with(
                     values.push(memory.read_scalar(obj, i, elem)?);
                 }
                 let rendered: Vec<String> = values.iter().map(|s| s.render()).collect();
-                (values, rendered.join(","))
+                Ok((values, rendered.join(",")))
             }
-            None => (Vec::new(), String::new()),
-        };
+            None => Ok((Vec::new(), String::new())),
+        }
+    })();
+
+    let race = races.as_ref().and_then(|r| r.race().cloned());
+    let race_stats = races.as_ref().map(|r| r.stats());
+    if let Some(detector) = races.take() {
+        SPARE_DETECTOR.with(|spare| *spare.borrow_mut() = Some(detector));
+    }
+    let (output, result_string) = run?;
     let result_hash = fnv1a(result_string.as_bytes());
     Ok(LaunchResult {
         output,
         result_string,
         result_hash,
-        race: races.as_ref().and_then(|r| r.race().cloned()),
+        race,
         total_steps,
         soft_barriers,
+        race_stats,
+        objects_allocated: memory.allocations(),
     })
 }
 
@@ -616,6 +652,12 @@ fn run_group<'p>(
         *total_steps += item.steps;
         *soft_barriers += item.soft_barriers;
         item.env.pop_to_depth(0, memory);
+    }
+    // The group is over: no later access can race with this group's local
+    // objects, so drop their logs with an O(1) era bump per shadow.
+    if let Some(r) = races.as_mut() {
+        let locals: Vec<ObjId> = group_locals.values().copied().collect();
+        r.clear_group_local(&locals);
     }
     Ok(())
 }

@@ -79,5 +79,5 @@ pub use exec::{
     fnv1a, launch, run, CompiledKernel, ExecutionTier, LaunchOptions, LaunchResult, Schedule,
 };
 pub use memory::{Memory, Object};
-pub use race::{AccessKind, RaceDetector};
+pub use race::{AccessKind, RaceDetector, RaceStats};
 pub use value::{Cell, Lanes, ObjId, PointerValue, Scalar, Value};

@@ -39,6 +39,10 @@ pub struct Memory {
     /// variables every iteration, so without this pool the interpreter
     /// re-allocates identical `Vec<Cell>`s millions of times per launch.
     spare_cells: Vec<Vec<Cell>>,
+    /// Total objects allocated over this memory's lifetime (slot reuse
+    /// included).  Diagnostic: the register file shows up here as loop
+    /// temporaries no longer churning the object table.
+    allocations: u64,
 }
 
 /// Cap on pooled cell buffers: enough for every per-iteration declaration
@@ -104,6 +108,7 @@ impl Memory {
             cells,
             live: true,
         };
+        self.allocations += 1;
         if let Some(slot) = self.free_list.pop() {
             self.objects[slot] = object;
             ObjId(slot)
@@ -132,6 +137,11 @@ impl Memory {
     /// Number of live objects (diagnostics).
     pub fn live_objects(&self) -> usize {
         self.objects.iter().filter(|o| o.live).count()
+    }
+
+    /// Total objects ever allocated by this memory (diagnostics).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
     }
 
     /// Accesses an object, failing if it has been freed.

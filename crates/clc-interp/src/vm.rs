@@ -41,6 +41,10 @@ struct Frame {
     pc: usize,
     /// Slot-indexed variable bindings (`None` = not (yet) bound).
     slots: Vec<Option<ObjId>>,
+    /// Scalar register bank for escape-analysed private scalars (`None` =
+    /// uninitialised, the counterpart of `Cell::Uninit`).  Register values
+    /// are stored pre-converted to the register's declared type.
+    regs: Vec<Option<u64>>,
     /// Objects owned by this frame, in allocation order; `scope_bases` marks
     /// where each open scope's ownership begins.
     owned: Vec<ObjId>,
@@ -146,6 +150,7 @@ pub(crate) fn run_group(
                         func: KERNEL_FUNC,
                         pc: 0,
                         slots,
+                        regs: vec![None; kernel.n_regs],
                         owned,
                         scope_bases: Vec::new(),
                     }],
@@ -186,6 +191,12 @@ pub(crate) fn run_group(
                 memory.free(obj);
             }
         }
+    }
+    // The group is over: no later access can race with this group's local
+    // objects, so drop their logs with an O(1) era bump per shadow.
+    if let Some(r) = races.as_mut() {
+        let locals: Vec<ObjId> = group_locals.values().copied().collect();
+        r.clear_group_local(&locals);
     }
     Ok(())
 }
@@ -543,6 +554,57 @@ fn run_frames(world: &mut World<'_>, item: &mut VmItem) -> Result<(), RuntimeErr
                         item.values.push(new_value);
                     }
                 }
+                Instr::DeclReg { reg } => {
+                    item.frames[frame_idx].regs[*reg as usize] = None;
+                }
+                Instr::DeclRegInit { reg, bits } => {
+                    item.frames[frame_idx].regs[*reg as usize] = Some(*bits);
+                }
+                Instr::LoadReg { reg, ty } => {
+                    let s = read_reg(item, frame_idx, func, compiled, *reg, *ty)?;
+                    item.values.push(Value::Scalar(s));
+                }
+                Instr::StoreReg { reg, ty, op, push } => {
+                    let rhs = item.pop_value();
+                    let new_value = match op {
+                        None => rhs,
+                        Some(binop) => {
+                            let current = Value::Scalar(read_reg(
+                                item, frame_idx, func, compiled, *reg, *ty,
+                            )?);
+                            vm_value_binop(*binop, current, rhs)?
+                        }
+                    };
+                    write_reg(item, frame_idx, *reg, *ty, &new_value)?;
+                    if *push {
+                        item.values.push(new_value);
+                    }
+                }
+                Instr::StoreRegImm {
+                    reg,
+                    ty,
+                    op,
+                    imm,
+                    push,
+                } => {
+                    let new_value = match op {
+                        None => Value::Scalar(*imm),
+                        Some(binop) => {
+                            let current = Value::Scalar(read_reg(
+                                item, frame_idx, func, compiled, *reg, *ty,
+                            )?);
+                            vm_value_binop(*binop, current, Value::Scalar(*imm))?
+                        }
+                    };
+                    write_reg(item, frame_idx, *reg, *ty, &new_value)?;
+                    if *push {
+                        item.values.push(new_value);
+                    }
+                }
+                Instr::RegBinopImm { reg, ty, op, imm } => {
+                    let l = read_reg(item, frame_idx, func, compiled, *reg, *ty)?;
+                    item.values.push(Value::Scalar(scalar_binop(*op, l, *imm)?));
+                }
                 Instr::Unary(op) => {
                     let v = item.pop_value();
                     item.values.push(unary_op(*op, v)?);
@@ -866,6 +928,7 @@ fn run_frames(world: &mut World<'_>, item: &mut VmItem) -> Result<(), RuntimeErr
                         func: 0,
                         pc: 0,
                         slots: Vec::new(),
+                        regs: Vec::new(),
                         owned: Vec::new(),
                         scope_bases: Vec::new(),
                     });
@@ -873,6 +936,8 @@ fn run_frames(world: &mut World<'_>, item: &mut VmItem) -> Result<(), RuntimeErr
                     frame.pc = 0;
                     frame.slots.clear();
                     frame.slots.resize(target.n_slots, None);
+                    frame.regs.clear();
+                    frame.regs.resize(target.n_regs, None);
                     frame.owned.clear();
                     frame.scope_bases.clear();
                     // Parameters behave like initialised local variables,
@@ -1447,4 +1512,45 @@ fn bound_slot(
     item.frames[frame_idx].slots[slot as usize].ok_or_else(|| {
         RuntimeError::UnknownVariable(compiled.funcs[func].slot_names[slot as usize].clone())
     })
+}
+
+/// Reads a register, failing like `Memory::read_scalar` on an
+/// uninitialised cell (the same error, naming the same variable).
+fn read_reg(
+    item: &VmItem,
+    frame_idx: usize,
+    func: usize,
+    compiled: &CompiledProgram,
+    reg: u16,
+    ty: ScalarType,
+) -> Result<Scalar, RuntimeError> {
+    match item.frames[frame_idx].regs[reg as usize] {
+        Some(bits) => Ok(Scalar::from_bits(bits, ty)),
+        None => Err(RuntimeError::UninitializedRead {
+            object: compiled.funcs[func].reg_names[reg as usize].clone(),
+        }),
+    }
+}
+
+/// Stores into a register with `write_value`'s `Type::Scalar` semantics:
+/// scalar conversion to the declared type, the pointer-to-integer zero
+/// token, and the identical `TypeMismatch` for anything else.
+fn write_reg(
+    item: &mut VmItem,
+    frame_idx: usize,
+    reg: u16,
+    ty: ScalarType,
+    value: &Value,
+) -> Result<(), RuntimeError> {
+    let bits = match value {
+        Value::Scalar(v) => v.convert(ty).bits,
+        Value::Pointer(_) => Scalar::zero(ty).bits,
+        other => {
+            return Err(RuntimeError::TypeMismatch {
+                detail: format!("cannot store {} into {:?}", other.kind(), Type::Scalar(ty)),
+            })
+        }
+    };
+    item.frames[frame_idx].regs[reg as usize] = Some(bits);
+    Ok(())
 }

@@ -1,0 +1,237 @@
+//! Escape-analysis edge cases for the bytecode tier's scalar register file.
+//!
+//! The compiler promotes private scalars to per-frame registers only when
+//! they can never be observed through memory; these tests pin the
+//! conservative edges of that analysis — address-taken scalars, scalars
+//! captured through a callee's pointer parameter, and scalars shadowed
+//! inside loop bodies — by requiring byte-identical results, errors and
+//! race verdicts across the tree-walking and bytecode tiers, alongside the
+//! expected register counts from [`clc_interp::compile`].
+
+use clc::expr::{AssignOp, BinOp, Expr, IdKind};
+use clc::types::AddressSpace;
+use clc::{
+    BufferSpec, FunctionDef, KernelDef, LaunchConfig, Param, Program, ScalarType, Stmt, Type,
+};
+use clc_interp::{compile, launch, ExecutionTier, LaunchOptions, RuntimeError};
+
+fn options_for(tier: ExecutionTier) -> LaunchOptions {
+    LaunchOptions {
+        tier,
+        detect_races: true,
+        ..LaunchOptions::default()
+    }
+}
+
+/// A two-work-item program whose kernel body is `stmts` followed by
+/// `out[global_linear_id] = result;`.
+fn program_of(stmts: Vec<Stmt>, result: Expr) -> Program {
+    let mut body = stmts;
+    body.push(Stmt::assign(
+        Expr::index(Expr::var("out"), Expr::IdQuery(IdKind::GlobalLinearId)),
+        result,
+    ));
+    let mut p = Program::new(
+        KernelDef {
+            name: "k".into(),
+            params: Program::standard_clsmith_params(0),
+            body: clc::Block::of(body),
+        },
+        LaunchConfig::single_group(2),
+    );
+    p.buffers
+        .push(BufferSpec::result("out", ScalarType::ULong, 2));
+    p
+}
+
+/// Runs on both tiers, asserts identical observables, and returns the
+/// bytecode-tier result.
+fn assert_tiers_agree(program: &Program, label: &str) -> clc_interp::LaunchResult {
+    let tree = launch(program, &options_for(ExecutionTier::TreeWalk));
+    let bytecode = launch(program, &options_for(ExecutionTier::Bytecode));
+    match (tree, bytecode) {
+        (Ok(t), Ok(b)) => {
+            assert_eq!(t.result_string, b.result_string, "results differ: {label}");
+            assert_eq!(t.race, b.race, "race verdicts differ: {label}");
+            b
+        }
+        (Err(t), Err(b)) => {
+            assert_eq!(t, b, "errors differ: {label}");
+            panic!("{label}: expected success, both tiers failed with {b}");
+        }
+        (t, b) => panic!("tier outcomes diverge for {label}:\n tree: {t:?}\n vm:   {b:?}"),
+    }
+}
+
+/// `int x; int *p = &x; *p = 5;` — taking `x`'s address forces it out of
+/// the register file (a register has no address), so the store through `p`
+/// must be visible when `x` is read back.
+#[test]
+fn address_taken_scalar_is_not_registered() {
+    let program = program_of(
+        vec![
+            Stmt::decl("x", Type::Scalar(ScalarType::Int), None),
+            Stmt::decl(
+                "p",
+                Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private),
+                Some(Expr::addr_of(Expr::var("x"))),
+            ),
+            Stmt::assign(Expr::deref(Expr::var("p")), Expr::int(5)),
+        ],
+        Expr::var("x"),
+    );
+    assert_eq!(
+        compile(&program).register_count(),
+        0,
+        "an address-taken scalar must not be promoted"
+    );
+    let result = assert_tiers_agree(&program, "address-taken scalar");
+    assert_eq!(result.output[0].as_u64(), 5);
+}
+
+/// A scalar passed by address to a helper function: the callee writes
+/// through its pointer parameter, so the caller's scalar must live in
+/// memory for the write to land.
+#[test]
+fn scalar_captured_by_callee_pointer_param_is_not_registered() {
+    let mut program = program_of(
+        vec![
+            Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(1))),
+            Stmt::expr(Expr::call("set7", vec![Expr::addr_of(Expr::var("x"))])),
+        ],
+        Expr::var("x"),
+    );
+    program.functions.push(FunctionDef::new(
+        "set7",
+        None,
+        vec![Param::new(
+            "q",
+            Type::Scalar(ScalarType::Int).pointer_to(AddressSpace::Private),
+        )],
+        clc::Block::of(vec![Stmt::assign(
+            Expr::deref(Expr::var("q")),
+            Expr::int(7),
+        )]),
+    ));
+    assert_eq!(
+        compile(&program).register_count(),
+        0,
+        "a scalar captured by a callee's pointer parameter must not be promoted"
+    );
+    let result = assert_tiers_agree(&program, "callee-captured scalar");
+    assert_eq!(result.output[0].as_u64(), 7);
+}
+
+/// A scalar shadowed inside a loop body: the inner `x` is a fresh register
+/// every iteration while the outer `x` keeps its own, and the shadowing
+/// must resolve exactly as the tree walker's scope stack does.
+#[test]
+fn loop_shadowed_scalar_resolves_like_the_scope_stack() {
+    let program = program_of(
+        vec![
+            Stmt::decl("x", Type::Scalar(ScalarType::Int), Some(Expr::int(1))),
+            Stmt::decl("acc", Type::Scalar(ScalarType::Int), Some(Expr::int(0))),
+            Stmt::For {
+                init: Some(Box::new(Stmt::decl(
+                    "i",
+                    Type::Scalar(ScalarType::Int),
+                    Some(Expr::int(0)),
+                ))),
+                cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(3))),
+                update: Some(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var("i"),
+                    Expr::int(1),
+                )),
+                body: clc::Block::of(vec![
+                    Stmt::decl(
+                        "x",
+                        Type::Scalar(ScalarType::Int),
+                        Some(Expr::binary(BinOp::Add, Expr::var("i"), Expr::int(2))),
+                    ),
+                    Stmt::expr(Expr::assign_op(
+                        AssignOp::AddAssign,
+                        Expr::var("acc"),
+                        Expr::var("x"),
+                    )),
+                ]),
+            },
+        ],
+        // 2 + 3 + 4 from the inner x, plus the untouched outer x = 1.
+        Expr::binary(BinOp::Add, Expr::var("acc"), Expr::var("x")),
+    );
+    assert_eq!(
+        compile(&program).register_count(),
+        4,
+        "outer x, acc, i and the shadowing inner x should all be registers"
+    );
+    let result = assert_tiers_agree(&program, "loop-shadowed scalar");
+    assert_eq!(result.output[0].as_u64(), 10);
+}
+
+/// The register file's observable structural effect: the loop above churns
+/// no objects on the bytecode tier, so it allocates strictly fewer objects
+/// than the tree walker while producing the same result.
+#[test]
+fn register_file_reduces_object_allocations() {
+    let program = program_of(
+        vec![
+            Stmt::decl("acc", Type::Scalar(ScalarType::Int), Some(Expr::int(0))),
+            Stmt::For {
+                init: Some(Box::new(Stmt::decl(
+                    "i",
+                    Type::Scalar(ScalarType::Int),
+                    Some(Expr::int(0)),
+                ))),
+                cond: Some(Expr::binary(BinOp::Lt, Expr::var("i"), Expr::int(8))),
+                update: Some(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var("i"),
+                    Expr::int(1),
+                )),
+                body: clc::Block::of(vec![
+                    Stmt::decl(
+                        "t",
+                        Type::Scalar(ScalarType::Int),
+                        Some(Expr::binary(BinOp::Mul, Expr::var("i"), Expr::var("i"))),
+                    ),
+                    Stmt::expr(Expr::assign_op(
+                        AssignOp::AddAssign,
+                        Expr::var("acc"),
+                        Expr::var("t"),
+                    )),
+                ]),
+            },
+        ],
+        Expr::var("acc"),
+    );
+    let tree = launch(&program, &options_for(ExecutionTier::TreeWalk)).unwrap();
+    let vm = launch(&program, &options_for(ExecutionTier::Bytecode)).unwrap();
+    assert_eq!(tree.result_string, vm.result_string);
+    assert!(
+        vm.objects_allocated < tree.objects_allocated,
+        "register file should avoid per-iteration object churn ({} vs {})",
+        vm.objects_allocated,
+        tree.objects_allocated
+    );
+}
+
+/// Reading an uninitialised register reports the same `UninitializedRead`
+/// (naming the variable) as the tree walker's uninitialised memory cell.
+#[test]
+fn uninitialised_register_read_errors_identically() {
+    let program = program_of(
+        vec![Stmt::decl("x", Type::Scalar(ScalarType::Int), None)],
+        Expr::var("x"),
+    );
+    assert!(compile(&program).register_count() > 0);
+    for tier in ExecutionTier::ALL {
+        let err = launch(&program, &options_for(tier)).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::UninitializedRead { object: "x".into() },
+            "on the {} tier",
+            tier.name()
+        );
+    }
+}

@@ -348,6 +348,55 @@ pub fn reset_process_cache_stats() {
     }
 }
 
+/// Process-wide shadow-memory race-detector counters, summed over every
+/// real launch that ran with race detection enabled.  Memoised outcome hits
+/// add nothing (no launch happens), so these measure actual detector work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceDetectorStats {
+    /// Launches that ran with the detector on.
+    pub detected_launches: u64,
+    /// Shared-memory accesses recorded.
+    pub accesses: u64,
+    /// Shadow arrays active (objects with at least one recorded access).
+    pub shadow_arrays: u64,
+    /// O(1) era bumps taken instead of clearing shadow state.
+    pub epoch_bumps: u64,
+}
+
+/// Process-wide race-detector counters — indexed like [`RaceDetectorStats`]
+/// fields: launches, accesses, shadow arrays, epoch bumps.
+static RACE_PROCESS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+fn record_race_stats(stats: clc_interp::RaceStats) {
+    RACE_PROCESS[0].fetch_add(1, Ordering::Relaxed);
+    RACE_PROCESS[1].fetch_add(stats.accesses, Ordering::Relaxed);
+    RACE_PROCESS[2].fetch_add(stats.shadow_arrays, Ordering::Relaxed);
+    RACE_PROCESS[3].fetch_add(stats.epoch_bumps, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide race-detector counters since start (or the
+/// last [`reset_process_race_stats`]).
+pub fn process_race_stats() -> RaceDetectorStats {
+    RaceDetectorStats {
+        detected_launches: RACE_PROCESS[0].load(Ordering::Relaxed),
+        accesses: RACE_PROCESS[1].load(Ordering::Relaxed),
+        shadow_arrays: RACE_PROCESS[2].load(Ordering::Relaxed),
+        epoch_bumps: RACE_PROCESS[3].load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the process-wide race-detector counters (benchmark bracketing).
+pub fn reset_process_race_stats() {
+    for counter in &RACE_PROCESS {
+        counter.store(0, Ordering::Relaxed);
+    }
+}
+
 // --- The process-wide shared outcome cache (level 1) -----------------------
 //
 // A [`Session`]'s memo is `Rc`-confined to its job; campaigns running many
@@ -729,8 +778,15 @@ fn launch_options(exec: &ExecOptions) -> LaunchOptions {
     }
 }
 
-/// Maps an emulator result onto the platform outcome surface.
+/// Maps an emulator result onto the platform outcome surface, folding the
+/// launch's race-detector counters (when detection ran) into the
+/// process-wide aggregate.
 fn launch_outcome(result: Result<clc_interp::LaunchResult, RuntimeError>) -> TestOutcome {
+    if let Ok(result) = &result {
+        if let Some(stats) = result.race_stats {
+            record_race_stats(stats);
+        }
+    }
     match result {
         Ok(result) => TestOutcome::Result {
             hash: result.result_hash,
