@@ -92,7 +92,20 @@ fn fleet_main(cli: &bench::Cli, configs: &[Configuration]) -> ! {
     }
     let mut worker_args = vec!["worker".to_string(), kernels_per_mode.to_string()];
     worker_args.extend(bench::fleet::forwarded_worker_flags(cli));
-    let outcome = bench::fleet::run_coordinator(cli, options.seed_offset, total_jobs, worker_args);
+    // Under --follow, completed lease journals refold into a live partial
+    // table after every DONE event.
+    let live_table = |journals: &[std::path::PathBuf]| {
+        merge_classification_journals(journals, configs)
+            .map(|(rows, _)| render_reliability_table(&rows))
+            .map_err(|e| e.to_string())
+    };
+    let outcome = bench::fleet::run_coordinator(
+        cli,
+        options.seed_offset,
+        total_jobs,
+        worker_args,
+        Some(&live_table),
+    );
     let status = bench::fleet::report_fleet_outcome(&outcome);
     if outcome.journals.is_empty() {
         eprintln!("fleet: no lease completed; nothing to merge");

@@ -78,15 +78,27 @@ pub fn forwarded_worker_flags(cli: &Cli) -> Vec<String> {
     flags
 }
 
+/// A binary's "merge these completed lease journals and render the partial
+/// table" closure, used by `--follow` to fill the table in live.
+pub type LiveTable<'a> = &'a dyn Fn(&[PathBuf]) -> Result<String, String>;
+
 /// Runs the coordinator side: spawns `worker_args` re-invocations of this
 /// binary as workers, leases the job space to them, and returns the
 /// outcome.  Writes the resolved fault schedule to `faults.log` first so
 /// chaos runs leave an auditable record even if the fleet dies.
+///
+/// Under `--follow` every coordinator event streams to stderr, and
+/// `live_table` — the binary's "merge these lease journals and render the
+/// partial table" closure — re-renders after every `DONE` event, so the
+/// table fills in live as leases land.  Rendering reads only journals of
+/// completed leases (the same ones the final merge reads), so a live
+/// rendering failure is reported but never aborts the fleet.
 pub fn run_coordinator(
     cli: &Cli,
     campaign_seed: u64,
     total_jobs: u64,
     worker_args: Vec<String>,
+    live_table: Option<LiveTable<'_>>,
 ) -> FleetOutcome {
     let options = fleet_options(cli);
     let mut coordinator = Coordinator::new(options.clone(), total_jobs).unwrap_or_else(|e| fail(e));
@@ -102,7 +114,37 @@ pub fn run_coordinator(
         command.args(&worker_args);
         Ok(Box::new(ProcessWorker::spawn(&mut command)?) as Box<dyn WorkerLink>)
     };
-    let mut follow = |line: &str| eprintln!("fleet: {line}");
+    let journal_dir = options.journal_dir.clone();
+    let mut completed: Vec<PathBuf> = Vec::new();
+    let mut follow = move |line: &str| {
+        eprintln!("fleet: {line}");
+        let Some(rest) = line.strip_prefix("DONE lease=") else {
+            return;
+        };
+        let Some(id) = rest
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse::<u32>().ok())
+        else {
+            return;
+        };
+        // Stable per-range journal names mean a retried lease completes
+        // into the same path it started with.
+        let path = journal_dir.join(format!("lease-{id:04}.journal"));
+        if !completed.contains(&path) {
+            completed.push(path);
+        }
+        let Some(render) = live_table else { return };
+        match render(&completed) {
+            Ok(table) => {
+                eprintln!("fleet: partial table after {} lease(s):", completed.len());
+                for table_line in table.lines() {
+                    eprintln!("fleet: {table_line}");
+                }
+            }
+            Err(e) => eprintln!("fleet: partial table unavailable: {e}"),
+        }
+    };
     let observer: Option<&mut dyn FnMut(&str)> = if cli.fleet.follow {
         Some(&mut follow)
     } else {

@@ -120,6 +120,7 @@ pub(crate) fn run_group(
     group: [usize; 3],
     total_steps: &mut u64,
     soft_barriers: &mut u64,
+    barrier_intervals: &mut u64,
 ) -> Result<(), RuntimeError> {
     let cfg = &program.launch;
     let local = cfg.local;
@@ -173,12 +174,13 @@ pub(crate) fn run_group(
         races,
         group_locals: &mut group_locals,
     };
-    drive_group(
+    let released = drive_group(
         &mut items,
         options.schedule,
         group_linear(group, cfg.groups()),
         |item| run_item(&mut world, item),
     )?;
+    *barrier_intervals = (*barrier_intervals).max(released);
 
     for item in &mut items {
         *total_steps += item.steps;

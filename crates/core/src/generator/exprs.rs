@@ -1,0 +1,202 @@
+//! Expression-level sampling: safe-math scalar expressions, vector
+//! expressions and literals (§4.1).
+
+use super::*;
+
+impl Generator {
+    // ----- expressions -----------------------------------------------------
+
+    pub(super) fn gen_scalar_expr(
+        &mut self,
+        ctx: &mut GenCtx,
+        globals: &GlobalsInfo,
+        depth: usize,
+    ) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return self.scalar_leaf(ctx, globals);
+        }
+        match self.rng.gen_range(0..100) {
+            0..=44 => {
+                let lhs = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let rhs = self.gen_scalar_expr(ctx, globals, depth - 1);
+                self.combine_scalars(lhs, rhs)
+            }
+            45..=59 => {
+                let cond = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                Expr::cond(cond, a, b)
+            }
+            60..=72 => {
+                let x = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let lo = self.literal(ScalarType::Int);
+                let hi = self.literal(ScalarType::Int);
+                Expr::builtin(Builtin::SafeClamp, vec![x, lo, hi])
+            }
+            73..=82 => {
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let f = if self.rng.gen_bool(0.5) {
+                    Builtin::Min
+                } else {
+                    Builtin::Max
+                };
+                Expr::builtin(f, vec![a, b])
+            }
+            83..=90 => {
+                let ty = self.pick_scalar_type();
+                Expr::cast(
+                    Type::Scalar(ty),
+                    self.gen_scalar_expr(ctx, globals, depth - 1),
+                )
+            }
+            91..=95 => {
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                Expr::builtin(
+                    Builtin::Rotate,
+                    vec![
+                        Expr::cast(Type::Scalar(ScalarType::UInt), a),
+                        Expr::cast(Type::Scalar(ScalarType::UInt), b),
+                    ],
+                )
+            }
+            _ => {
+                // comma expression (no side effects on the discarded side)
+                let a = self.gen_scalar_expr(ctx, globals, depth - 1);
+                let b = self.gen_scalar_expr(ctx, globals, depth - 1);
+                Expr::comma(a, b)
+            }
+        }
+    }
+
+    pub(super) fn combine_scalars(&mut self, lhs: Expr, rhs: Expr) -> Expr {
+        match self.rng.gen_range(0..100) {
+            0..=17 => Expr::builtin(Builtin::SafeAdd, vec![lhs, rhs]),
+            18..=33 => Expr::builtin(Builtin::SafeSub, vec![lhs, rhs]),
+            34..=47 => Expr::builtin(Builtin::SafeMul, vec![lhs, rhs]),
+            48..=55 => Expr::builtin(Builtin::SafeDiv, vec![lhs, rhs]),
+            56..=61 => Expr::builtin(Builtin::SafeMod, vec![lhs, rhs]),
+            62..=67 => Expr::builtin(
+                if self.rng.gen_bool(0.5) {
+                    Builtin::SafeLshift
+                } else {
+                    Builtin::SafeRshift
+                },
+                vec![lhs, rhs],
+            ),
+            68..=79 => {
+                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor]
+                    .choose(&mut self.rng)
+                    .unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+            80..=91 => {
+                let op = *[
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Gt,
+                    BinOp::Le,
+                    BinOp::Ge,
+                ]
+                .choose(&mut self.rng)
+                .unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+            _ => {
+                let op = *[BinOp::LAnd, BinOp::LOr].choose(&mut self.rng).unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+        }
+    }
+
+    pub(super) fn scalar_leaf(&mut self, ctx: &mut GenCtx, globals: &GlobalsInfo) -> Expr {
+        let leaf_ty = self.pick_scalar_type();
+        let mut options: Vec<Expr> = vec![self.literal(leaf_ty)];
+        for (name, _) in &ctx.scalars {
+            options.push(Expr::var(name.clone()));
+        }
+        for (name, _) in &globals.scalar_fields {
+            options.push(self.globals_field(ctx, name));
+        }
+        for (name, _, width) in &ctx.vectors {
+            let lane = self.rng.gen_range(0..width.lanes()) as u8;
+            options.push(Expr::lane(Expr::var(name.clone()), lane));
+        }
+        for (name, _, width) in &globals.vector_fields {
+            if ctx.globals == GlobalsAccess::Direct || self.rng.gen_bool(0.5) {
+                let lane = self.rng.gen_range(0..width.lanes()) as u8;
+                options.push(Expr::lane(self.globals_field(ctx, name), lane));
+            }
+        }
+        let idx = self.rng.gen_range(0..options.len());
+        options.swap_remove(idx)
+    }
+
+    pub(super) fn gen_vector_expr(
+        &mut self,
+        ctx: &mut GenCtx,
+        elem: ScalarType,
+        width: VectorWidth,
+        depth: usize,
+    ) -> Expr {
+        let leaf = |gen: &mut Generator, ctx: &GenCtx| -> Expr {
+            let mut options: Vec<Expr> = Vec::new();
+            for (name, e, w) in &ctx.vectors {
+                if *e == elem && *w == width {
+                    options.push(Expr::var(name.clone()));
+                }
+            }
+            if options.is_empty() || gen.rng.gen_bool(0.5) {
+                let parts = (0..width.lanes()).map(|_| gen.literal(elem)).collect();
+                return Expr::VectorLit { elem, width, parts };
+            }
+            let idx = gen.rng.gen_range(0..options.len());
+            options.swap_remove(idx)
+        };
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            return leaf(self, ctx);
+        }
+        let lhs = self.gen_vector_expr(ctx, elem, width, depth - 1);
+        let rhs = self.gen_vector_expr(ctx, elem, width, depth - 1);
+        match self.rng.gen_range(0..100) {
+            0..=24 => Expr::builtin(Builtin::SafeAdd, vec![lhs, rhs]),
+            25..=44 => Expr::builtin(Builtin::SafeMul, vec![lhs, rhs]),
+            45..=59 => {
+                let op = *[BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor]
+                    .choose(&mut self.rng)
+                    .unwrap();
+                Expr::binary(op, lhs, rhs)
+            }
+            60..=74 => Expr::builtin(Builtin::Rotate, vec![lhs, rhs]),
+            75..=87 => {
+                let f = if self.rng.gen_bool(0.5) {
+                    Builtin::Min
+                } else {
+                    Builtin::Max
+                };
+                Expr::builtin(f, vec![lhs, rhs])
+            }
+            _ => {
+                let lo = leaf(self, ctx);
+                Expr::builtin(Builtin::SafeClamp, vec![lhs, lo, rhs])
+            }
+        }
+    }
+
+    pub(super) fn literal(&mut self, ty: ScalarType) -> Expr {
+        let interesting: [i128; 8] = [0, 1, 2, 7, 31, 255, -1, 65535];
+        let value = if self.rng.gen_bool(0.5) {
+            *interesting.choose(&mut self.rng).unwrap()
+        } else {
+            self.rng.gen_range(-128i128..=1024)
+        };
+        let clamped = value.clamp(ty.min_value(), ty.max_value());
+        Expr::lit(clamped, ty)
+    }
+
+    pub(super) fn pick_scalar_type(&mut self) -> ScalarType {
+        *ScalarType::ALL.choose(&mut self.rng).unwrap()
+    }
+}

@@ -1,0 +1,227 @@
+//! The fixed communication idioms of §4.2 — barrier preludes, atomic
+//! sections, atomic reductions — plus the dead-by-construction EMI blocks.
+
+use super::*;
+
+impl Generator {
+    // ----- communication idioms (§4.2) ------------------------------------
+
+    pub(super) fn barrier_prelude(
+        &mut self,
+        kind: SharedArrayKind,
+        w_linear: usize,
+    ) -> (Vec<Stmt>, Expr) {
+        let rnd = self.rng.gen_range(0..self.opts.permutation_rows);
+        let offset_init = Expr::index(
+            Expr::index(Expr::var("permutations"), Expr::int(rnd as i64)),
+            Expr::IdQuery(IdKind::LocalLinearId),
+        );
+        match kind {
+            SharedArrayKind::Local => {
+                let stmts = vec![
+                    Stmt::Decl {
+                        name: "A".into(),
+                        ty: Type::Scalar(ScalarType::UInt).array_of(w_linear),
+                        space: AddressSpace::Local,
+                        volatile: false,
+                        init: None,
+                        init_list: None,
+                    },
+                    Stmt::assign(
+                        Expr::index(Expr::var("A"), Expr::IdQuery(IdKind::LocalLinearId)),
+                        Expr::lit(1, ScalarType::UInt),
+                    ),
+                    Stmt::Barrier(MemFence::Local),
+                    Stmt::decl(
+                        "A_offset",
+                        Type::Scalar(ScalarType::UInt),
+                        Some(offset_init),
+                    ),
+                ];
+                (stmts, Expr::index(Expr::var("A"), Expr::var("A_offset")))
+            }
+            SharedArrayKind::Global => {
+                let base = Expr::binary(
+                    BinOp::Mul,
+                    Expr::IdQuery(IdKind::GroupLinearId),
+                    Expr::lit(w_linear as i128, ScalarType::UInt),
+                );
+                let stmts = vec![Stmt::decl(
+                    "A_offset",
+                    Type::Scalar(ScalarType::UInt),
+                    Some(offset_init),
+                )];
+                (
+                    stmts,
+                    Expr::index(
+                        Expr::var("A_global"),
+                        Expr::binary(BinOp::Add, base, Expr::var("A_offset")),
+                    ),
+                )
+            }
+        }
+    }
+
+    pub(super) fn group_slot_index(&mut self, slot: usize, section_slots: usize) -> Expr {
+        Expr::binary(
+            BinOp::Add,
+            Expr::binary(
+                BinOp::Mul,
+                Expr::IdQuery(IdKind::GroupLinearId),
+                Expr::lit(section_slots as i128, ScalarType::UInt),
+            ),
+            Expr::lit(slot as i128, ScalarType::UInt),
+        )
+    }
+
+    pub(super) fn atomic_section(
+        &mut self,
+        index: usize,
+        section_slots: usize,
+        w_linear: usize,
+    ) -> Stmt {
+        // Each section owns its (counter, special value) pair; see the note
+        // at the top of this file.
+        let slot = index % section_slots;
+        let counter = Expr::addr_of(Expr::index(
+            Expr::var("sec_counters"),
+            self.group_slot_index(slot, section_slots),
+        ));
+        let special = Expr::addr_of(Expr::index(
+            Expr::var("sec_specials"),
+            self.group_slot_index(slot, section_slots),
+        ));
+        // Which arrival rank enters the section.
+        let rnd = self.rng.gen_range(0..w_linear.max(1)) as i128;
+        // The section body: declarations and assignments touching only data
+        // declared inside the section, then a hash folded into the special
+        // value (§4.2 ATOMIC SECTION mode).
+        let mut inner = Block::new();
+        let mut inner_vars: Vec<(String, ScalarType)> = Vec::new();
+        let count = self.rng.gen_range(2..=4);
+        for _ in 0..count {
+            let ty = self.pick_scalar_type();
+            let name = self.fresh(&format!("as{index}"));
+            inner.push(Stmt::decl(
+                name.clone(),
+                Type::Scalar(ty),
+                Some(self.literal(ty)),
+            ));
+            inner_vars.push((name, ty));
+        }
+        for _ in 0..count {
+            let (target, _) = inner_vars[self.rng.gen_range(0..inner_vars.len())].clone();
+            let expr = self.inner_only_expr(&inner_vars, 2);
+            inner.push(Stmt::assign(Expr::var(target), expr));
+        }
+        let mut hash = Expr::lit(0, ScalarType::UInt);
+        for (name, _) in &inner_vars {
+            hash = Expr::binary(
+                BinOp::Add,
+                Expr::binary(BinOp::Mul, hash, Expr::lit(31, ScalarType::UInt)),
+                Expr::cast(Type::Scalar(ScalarType::UInt), Expr::var(name.clone())),
+            );
+        }
+        inner.push(Stmt::expr(Expr::builtin(
+            Builtin::AtomicAdd,
+            vec![special, hash],
+        )));
+        Stmt::if_then(
+            Expr::binary(
+                BinOp::Eq,
+                Expr::builtin(Builtin::AtomicInc, vec![counter]),
+                Expr::lit(rnd, ScalarType::UInt),
+            ),
+            inner,
+        )
+    }
+
+    /// Expression over literals and the given variables only (used inside
+    /// atomic sections to keep their hash thread-independent).
+    pub(super) fn inner_only_expr(&mut self, vars: &[(String, ScalarType)], depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            return if !vars.is_empty() && self.rng.gen_bool(0.5) {
+                let (name, _) = vars[self.rng.gen_range(0..vars.len())].clone();
+                Expr::var(name)
+            } else {
+                let ty = self.pick_scalar_type();
+                self.literal(ty)
+            };
+        }
+        let lhs = self.inner_only_expr(vars, depth - 1);
+        let rhs = self.inner_only_expr(vars, depth - 1);
+        self.combine_scalars(lhs, rhs)
+    }
+
+    pub(super) fn atomic_reduction(&mut self, _ctx: &mut GenCtx) -> Stmt {
+        let op = *[
+            Builtin::AtomicAdd,
+            Builtin::AtomicMin,
+            Builtin::AtomicMax,
+            Builtin::AtomicOr,
+            Builtin::AtomicAnd,
+            Builtin::AtomicXor,
+        ]
+        .choose(&mut self.rng)
+        .unwrap();
+        let target = Expr::addr_of(Expr::index(
+            Expr::var("red"),
+            Expr::IdQuery(IdKind::GroupLinearId),
+        ));
+        let contribution = self.literal(ScalarType::UInt);
+        Stmt::Block(Block::of(vec![
+            Stmt::expr(Expr::builtin(op, vec![target, contribution])),
+            Stmt::Barrier(MemFence::Global),
+            Stmt::if_then(
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::IdQuery(IdKind::LocalLinearId),
+                    Expr::lit(0, ScalarType::UInt),
+                ),
+                Block::of(vec![Stmt::expr(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var("total"),
+                    Expr::index(Expr::var("red"), Expr::IdQuery(IdKind::GroupLinearId)),
+                ))]),
+            ),
+            Stmt::Barrier(MemFence::Global),
+        ]))
+    }
+
+    // ----- EMI blocks (§5) -------------------------------------------------
+
+    pub(super) fn gen_emi_block(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        globals: &GlobalsInfo,
+        index: usize,
+        emi: &EmiOptions,
+    ) -> EmiBlock {
+        // Guard dead[a] < dead[b] with b < a so the block is dead under the
+        // host's dead[j] = j initialisation.
+        let a = self.rng.gen_range(1..emi.dead_len);
+        let b = self.rng.gen_range(0..a);
+        let cp = ctx.checkpoint();
+        let was_in_emi = ctx.in_emi;
+        ctx.in_emi = true;
+        let mut body = Block::new();
+        let count = self.rng.gen_range(2..=5);
+        for _ in 0..count {
+            body.push(self.gen_stmt(ctx, program, globals, None, 1));
+        }
+        if emi.allow_infinite_loops && self.rng.gen_bool(0.3) {
+            body.push(Stmt::While {
+                cond: Expr::int(1),
+                body: Block::new(),
+            });
+        }
+        ctx.in_emi = was_in_emi;
+        ctx.restore(cp);
+        EmiBlock {
+            index,
+            guard: (a, b),
+            body,
+        }
+    }
+}

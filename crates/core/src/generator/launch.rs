@@ -1,0 +1,50 @@
+//! Launch-geometry sampling: NDRange and work-group shapes (§4.2).
+
+use super::*;
+
+impl Generator {
+    // ----- launch geometry ----------------------------------------------
+
+    pub(super) fn pick_launch(&mut self) -> LaunchConfig {
+        let total = self
+            .rng
+            .gen_range(self.opts.min_threads..self.opts.max_threads);
+        // Split `total` into three dimensions by picking random divisors.
+        let nx = *divisors(total).choose(&mut self.rng).unwrap_or(&total);
+        let rest = total / nx;
+        let ny = *divisors(rest).choose(&mut self.rng).unwrap_or(&rest);
+        let nz = rest / ny;
+        let global = [nx, ny, nz];
+        // Pick a work-group size dividing each dimension with product <= max.
+        let mut local = [1usize; 3];
+        let mut budget = self.opts.max_group_size;
+        for d in 0..3 {
+            let candidates: Vec<usize> = divisors(global[d])
+                .into_iter()
+                .filter(|w| *w <= budget)
+                .collect();
+            local[d] = *candidates.choose(&mut self.rng).unwrap_or(&1);
+            budget /= local[d].max(1);
+        }
+        LaunchConfig::new(global, local).unwrap_or(LaunchConfig {
+            global,
+            local: [1, 1, 1],
+        })
+    }
+}
+
+/// All divisors of `n` (n >= 1), unordered.
+pub(super) fn divisors(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            if d != n / d {
+                out.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    out
+}

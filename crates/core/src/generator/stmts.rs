@@ -1,0 +1,233 @@
+//! Statement-level sampling: the weighted statement grammar, assignments
+//! and lvalue selection.
+
+use super::*;
+
+impl Generator {
+    // ----- statements ------------------------------------------------------
+
+    pub(super) fn gen_stmt(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        globals: &GlobalsInfo,
+        shared_lvalue: Option<&Expr>,
+        depth: usize,
+    ) -> Stmt {
+        let max_depth = self.opts.max_block_depth;
+        let roll = self.rng.gen_range(0..100);
+        if depth < max_depth && roll < 18 {
+            // if statement
+            let cond = self.gen_scalar_expr(ctx, globals, 1);
+            let cp = ctx.checkpoint();
+            let then_block = self.gen_block(ctx, program, globals, shared_lvalue, depth + 1);
+            ctx.restore(cp);
+            if self.rng.gen_bool(0.4) {
+                let cp = ctx.checkpoint();
+                let else_block = self.gen_block(ctx, program, globals, shared_lvalue, depth + 1);
+                ctx.restore(cp);
+                Stmt::if_else(cond, then_block, else_block)
+            } else {
+                Stmt::if_then(cond, then_block)
+            }
+        } else if depth < max_depth && roll < 32 {
+            // bounded for loop
+            let loop_var = self.fresh("i");
+            let bound = self.rng.gen_range(1i64..=10);
+            let cp = ctx.checkpoint();
+            let was_in_loop = ctx.in_loop;
+            ctx.in_loop = true;
+            let mut body = self.gen_block(ctx, program, globals, shared_lvalue, depth + 1);
+            // Occasionally add an early exit guarded by a generated condition.
+            if self.rng.gen_bool(0.25) {
+                let cond = self.gen_scalar_expr(ctx, globals, 1);
+                body.push(Stmt::if_then(cond, Block::of(vec![Stmt::Break])));
+            }
+            ctx.in_loop = was_in_loop;
+            ctx.restore(cp);
+            Stmt::For {
+                init: Some(Box::new(Stmt::decl(
+                    loop_var.clone(),
+                    Type::Scalar(ScalarType::Int),
+                    Some(Expr::int(0)),
+                ))),
+                cond: Some(Expr::binary(
+                    BinOp::Lt,
+                    Expr::var(loop_var.clone()),
+                    Expr::int(bound),
+                )),
+                update: Some(Expr::assign_op(
+                    AssignOp::AddAssign,
+                    Expr::var(loop_var),
+                    Expr::int(1),
+                )),
+                body,
+            }
+        } else if roll < 40 && !ctx.in_helper && !program.functions.is_empty() && !ctx.in_emi {
+            // call a helper function and store its result
+            let idx = self.rng.gen_range(0..program.functions.len());
+            let func = &program.functions[idx];
+            let arg = self.gen_scalar_expr(ctx, globals, 1);
+            let call = Expr::call(func.name.clone(), vec![Expr::addr_of(Expr::var("g")), arg]);
+            match self.pick_scalar_lvalue(ctx, globals, shared_lvalue) {
+                Some(lvalue) => Stmt::assign(lvalue, call),
+                None => Stmt::expr(call),
+            }
+        } else if roll < 45 && depth < max_depth {
+            // nested block with fresh locals
+            let cp = ctx.checkpoint();
+            let mut block = Block::new();
+            block.push(self.scalar_local_decl(ctx));
+            let inner = self.gen_stmt(ctx, program, globals, shared_lvalue, depth + 1);
+            block.push(inner);
+            ctx.restore(cp);
+            Stmt::Block(block)
+        } else if roll < 50 && ctx.in_loop && ctx.in_emi {
+            // jumps are only generated inside (dead) EMI code
+            if self.rng.gen_bool(0.5) {
+                Stmt::Break
+            } else {
+                Stmt::Continue
+            }
+        } else {
+            // assignment
+            self.gen_assignment(ctx, globals, program, shared_lvalue)
+        }
+    }
+
+    pub(super) fn gen_block(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        globals: &GlobalsInfo,
+        shared_lvalue: Option<&Expr>,
+        depth: usize,
+    ) -> Block {
+        let count = self.rng.gen_range(1..=3);
+        let mut block = Block::new();
+        for _ in 0..count {
+            block.push(self.gen_stmt(ctx, program, globals, shared_lvalue, depth));
+        }
+        block
+    }
+
+    pub(super) fn gen_assignment(
+        &mut self,
+        ctx: &mut GenCtx,
+        globals: &GlobalsInfo,
+        program: &Program,
+        shared_lvalue: Option<&Expr>,
+    ) -> Stmt {
+        // Vector assignment?
+        if !ctx.vectors.is_empty() && self.rng.gen_bool(0.25) {
+            let (name, elem, width) = ctx.vectors[self.rng.gen_range(0..ctx.vectors.len())].clone();
+            let rhs = self.gen_vector_expr(ctx, elem, width, self.opts.max_expr_depth);
+            return Stmt::assign(Expr::var(name), rhs);
+        }
+        // Whole-struct copy?
+        if ctx.structs.len() >= 2 && self.rng.gen_bool(0.15) {
+            let mut candidates: Vec<(String, StructId)> = ctx.structs.clone();
+            candidates.shuffle(&mut self.rng);
+            for i in 0..candidates.len() {
+                for j in (i + 1)..candidates.len() {
+                    if candidates[i].1 == candidates[j].1 {
+                        return Stmt::assign(
+                            Expr::var(candidates[i].0.clone()),
+                            Expr::var(candidates[j].0.clone()),
+                        );
+                    }
+                }
+            }
+        }
+        let rhs = self.gen_scalar_expr(ctx, globals, self.opts.max_expr_depth);
+        match self.pick_scalar_lvalue_with_structs(ctx, globals, program, shared_lvalue) {
+            Some(lvalue) => {
+                if self.rng.gen_bool(0.25) {
+                    let op = *[
+                        AssignOp::AddAssign,
+                        AssignOp::SubAssign,
+                        AssignOp::XorAssign,
+                        AssignOp::OrAssign,
+                        AssignOp::AndAssign,
+                    ]
+                    .choose(&mut self.rng)
+                    .unwrap();
+                    Stmt::expr(Expr::assign_op(op, lvalue, rhs))
+                } else {
+                    Stmt::assign(lvalue, rhs)
+                }
+            }
+            None => Stmt::expr(rhs),
+        }
+    }
+
+    pub(super) fn pick_scalar_lvalue(
+        &mut self,
+        ctx: &GenCtx,
+        globals: &GlobalsInfo,
+        shared_lvalue: Option<&Expr>,
+    ) -> Option<Expr> {
+        let mut options: Vec<Expr> = Vec::new();
+        for (name, _) in &ctx.scalars {
+            options.push(Expr::var(name.clone()));
+        }
+        for (name, _) in &globals.scalar_fields {
+            options.push(self.globals_field(ctx, name));
+        }
+        if let Some(shared) = shared_lvalue {
+            options.push(shared.clone());
+        }
+        if options.is_empty() {
+            None
+        } else {
+            let idx = self.rng.gen_range(0..options.len());
+            Some(options.swap_remove(idx))
+        }
+    }
+
+    pub(super) fn pick_scalar_lvalue_with_structs(
+        &mut self,
+        ctx: &GenCtx,
+        globals: &GlobalsInfo,
+        program: &Program,
+        shared_lvalue: Option<&Expr>,
+    ) -> Option<Expr> {
+        let mut options: Vec<Expr> = Vec::new();
+        if let Some(base) = self.pick_scalar_lvalue(ctx, globals, shared_lvalue) {
+            options.push(base);
+        }
+        for (name, sid) in &ctx.structs {
+            if let Some(field) = program
+                .struct_def(*sid)
+                .fields
+                .iter()
+                .find(|f| f.ty.is_scalar())
+            {
+                options.push(Expr::field(Expr::var(name.clone()), field.name.clone()));
+            }
+        }
+        for (name, sid) in &ctx.struct_ptrs {
+            if let Some(field) = program
+                .struct_def(*sid)
+                .fields
+                .iter()
+                .find(|f| f.ty.is_scalar())
+            {
+                options.push(Expr::arrow(Expr::var(name.clone()), field.name.clone()));
+            }
+        }
+        if options.is_empty() {
+            None
+        } else {
+            let idx = self.rng.gen_range(0..options.len());
+            Some(options.swap_remove(idx))
+        }
+    }
+
+    pub(super) fn globals_field(&self, ctx: &GenCtx, field: &str) -> Expr {
+        match ctx.globals {
+            GlobalsAccess::Direct => Expr::field(Expr::var("g"), field),
+            GlobalsAccess::ViaPointer => Expr::arrow(Expr::var("gp"), field),
+        }
+    }
+}

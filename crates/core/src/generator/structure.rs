@@ -1,0 +1,259 @@
+//! Structural sampling: the globals struct, extra struct types, helper
+//! functions and local declarations (§4.1).
+
+use super::*;
+
+impl Generator {
+    // ----- struct construction ------------------------------------------
+
+    pub(super) fn make_globals_struct(&mut self, program: &mut Program) -> GlobalsInfo {
+        let mut fields = Vec::new();
+        let mut scalar_fields = Vec::new();
+        let mut vector_fields = Vec::new();
+        for i in 0..self.opts.global_fields {
+            if self.opts.mode.uses_vectors() && self.rng.gen_bool(0.3) {
+                let elem = self.pick_scalar_type();
+                let width = *[VectorWidth::W2, VectorWidth::W4, VectorWidth::W8]
+                    .choose(&mut self.rng)
+                    .unwrap();
+                let name = format!("gv{i}");
+                fields.push(Field::new(name.clone(), Type::Vector(elem, width)));
+                vector_fields.push((name, elem, width));
+            } else {
+                let ty = self.pick_scalar_type();
+                let name = format!("gf{i}");
+                fields.push(Field::new(name.clone(), Type::Scalar(ty)));
+                scalar_fields.push((name, ty));
+            }
+        }
+        let id = program.add_struct(StructDef::new("Globals", fields));
+        GlobalsInfo {
+            id,
+            scalar_fields,
+            vector_fields,
+        }
+    }
+
+    pub(super) fn make_extra_structs(&mut self, program: &mut Program) -> Vec<StructId> {
+        let mut ids = Vec::new();
+        for i in 0..self.opts.extra_structs {
+            let mut fields = Vec::new();
+            let field_count = self.rng.gen_range(2..=4);
+            for j in 0..field_count {
+                // Bias the first two fields towards the char-then-wider
+                // layout that trips the AMD struct bug (Figure 1(a)).
+                let ty = if j == 0 && self.rng.gen_bool(0.4) {
+                    ScalarType::Char
+                } else if j == 1 && self.rng.gen_bool(0.4) {
+                    *[ScalarType::Short, ScalarType::Int, ScalarType::Long]
+                        .choose(&mut self.rng)
+                        .unwrap()
+                } else {
+                    self.pick_scalar_type()
+                };
+                let volatile = self.rng.gen_bool(0.1);
+                let field_ty = if self.opts.mode.uses_vectors() && self.rng.gen_bool(0.15) {
+                    Type::Vector(self.pick_scalar_type(), VectorWidth::W2)
+                } else {
+                    Type::Scalar(ty)
+                };
+                let field = if volatile {
+                    Field::volatile(format!("m{j}"), field_ty)
+                } else {
+                    Field::new(format!("m{j}"), field_ty)
+                };
+                fields.push(field);
+            }
+            let is_union = self.rng.gen_bool(0.25);
+            let name = format!("S{i}");
+            let def = if is_union {
+                StructDef::union(name, fields)
+            } else {
+                StructDef::new(name, fields)
+            };
+            ids.push(program.add_struct(def));
+        }
+        ids
+    }
+
+    // ----- helper functions -----------------------------------------------
+
+    pub(super) fn make_helper_functions(
+        &mut self,
+        program: &mut Program,
+        globals: &GlobalsInfo,
+        _extra: &[StructId],
+    ) {
+        for i in 0..self.opts.helper_functions {
+            let mut ctx = GenCtx::helper();
+            let ret_ty = self.pick_scalar_type();
+            let param_ty = self.pick_scalar_type();
+            ctx.scalars.push(("p0".into(), param_ty));
+            let mut body = Block::new();
+            // A couple of locals.
+            for _ in 0..2 {
+                body.push(self.scalar_local_decl(&mut ctx));
+            }
+            let stmt_count = self.rng.gen_range(2..=self.opts.block_statements.max(3));
+            for _ in 0..stmt_count {
+                let stmt = self.gen_stmt(&mut ctx, program, globals, None, 1);
+                body.push(stmt);
+            }
+            body.push(Stmt::Return(Some(
+                self.gen_scalar_expr(&mut ctx, globals, 0),
+            )));
+            let forward_declared = self.rng.gen_bool(0.3);
+            program.functions.push(FunctionDef {
+                name: format!("func_{i}"),
+                ret: Some(Type::Scalar(ret_ty)),
+                params: vec![
+                    Param::new(
+                        "gp",
+                        Type::Struct(globals.id).pointer_to(AddressSpace::Private),
+                    ),
+                    Param::new("p0", Type::Scalar(param_ty)),
+                ],
+                body,
+                forward_declared,
+                noinline: false,
+            });
+        }
+    }
+
+    // ----- declarations ----------------------------------------------------
+
+    pub(super) fn globals_decl(&mut self, globals: &GlobalsInfo) -> Stmt {
+        let mut items = Vec::new();
+        for (_, ty) in &globals.scalar_fields {
+            items.push(Initializer::Expr(self.literal(*ty)));
+        }
+        for (_, elem, width) in &globals.vector_fields {
+            let parts = (0..width.lanes()).map(|_| self.literal(*elem)).collect();
+            items.push(Initializer::Expr(Expr::VectorLit {
+                elem: *elem,
+                width: *width,
+                parts,
+            }));
+        }
+        // Field order in the struct definition is scalars interleaved with
+        // vectors exactly as constructed in `make_globals_struct`; rebuild
+        // the initialiser in declaration order instead.
+        let mut ordered = Vec::new();
+        let mut si = 0usize;
+        let mut vi = 0usize;
+        for i in 0..self.opts.global_fields {
+            let scalar_name = format!("gf{i}");
+            if globals.scalar_fields.iter().any(|(n, _)| *n == scalar_name) {
+                ordered.push(items[si].clone());
+                si += 1;
+            } else {
+                ordered.push(items[globals.scalar_fields.len() + vi].clone());
+                vi += 1;
+            }
+        }
+        Stmt::decl_init_list("g", Type::Struct(globals.id), Initializer::List(ordered))
+    }
+
+    pub(super) fn scalar_local_decl(&mut self, ctx: &mut GenCtx) -> Stmt {
+        let ty = self.pick_scalar_type();
+        let name = self.fresh("l");
+        ctx.scalars.push((name.clone(), ty));
+        Stmt::decl(name, Type::Scalar(ty), Some(self.literal(ty)))
+    }
+
+    pub(super) fn vector_local_decl(&mut self, ctx: &mut GenCtx) -> Stmt {
+        let elem = self.pick_scalar_type();
+        let width = *[
+            VectorWidth::W2,
+            VectorWidth::W4,
+            VectorWidth::W8,
+            VectorWidth::W16,
+        ]
+        .choose(&mut self.rng)
+        .unwrap();
+        let name = self.fresh("v");
+        ctx.vectors.push((name.clone(), elem, width));
+        let parts = (0..width.lanes()).map(|_| self.literal(elem)).collect();
+        Stmt::decl(
+            name,
+            Type::Vector(elem, width),
+            Some(Expr::VectorLit { elem, width, parts }),
+        )
+    }
+
+    pub(super) fn struct_local_decl(
+        &mut self,
+        ctx: &mut GenCtx,
+        program: &Program,
+        sid: StructId,
+    ) -> (Stmt, Vec<Stmt>) {
+        let def = program.struct_def(sid).clone();
+        let name = self.fresh("s");
+        ctx.structs.push((name.clone(), sid));
+        let init_fields: Vec<Initializer> = if def.is_union {
+            vec![self.field_initializer(&def.fields[0])]
+        } else {
+            def.fields
+                .iter()
+                .map(|f| self.field_initializer(f))
+                .collect()
+        };
+        let decl = Stmt::decl_init_list(
+            name.clone(),
+            Type::Struct(sid),
+            Initializer::List(init_fields),
+        );
+        let mut extras = Vec::new();
+        // Sometimes add a pointer alias, exercising `->` accesses.
+        if self.rng.gen_bool(0.6) {
+            let pname = self.fresh("p");
+            ctx.struct_ptrs.push((pname.clone(), sid));
+            extras.push(Stmt::decl(
+                pname,
+                Type::Struct(sid).pointer_to(AddressSpace::Private),
+                Some(Expr::addr_of(Expr::var(name.clone()))),
+            ));
+        }
+        // Sometimes declare a sibling of the same type and copy it over,
+        // exercising whole-struct assignment (cf. Figures 1(b) and 1(f)).
+        if self.rng.gen_bool(0.4) {
+            let sibling = self.fresh("t");
+            let init_fields: Vec<Initializer> = if def.is_union {
+                vec![self.field_initializer(&def.fields[0])]
+            } else {
+                def.fields
+                    .iter()
+                    .map(|f| self.field_initializer(f))
+                    .collect()
+            };
+            ctx.structs.push((sibling.clone(), sid));
+            extras.push(Stmt::decl_init_list(
+                sibling.clone(),
+                Type::Struct(sid),
+                Initializer::List(init_fields),
+            ));
+            extras.push(Stmt::assign(Expr::var(name), Expr::var(sibling)));
+        }
+        (decl, extras)
+    }
+
+    pub(super) fn field_initializer(&mut self, field: &Field) -> Initializer {
+        match &field.ty {
+            Type::Scalar(s) => Initializer::Expr(self.literal(*s)),
+            Type::Vector(e, w) => {
+                let parts = (0..w.lanes()).map(|_| self.literal(*e)).collect();
+                Initializer::Expr(Expr::VectorLit {
+                    elem: *e,
+                    width: *w,
+                    parts,
+                })
+            }
+            Type::Array(elem, len) => {
+                let inner = Field::new("elem", (**elem).clone());
+                Initializer::List((0..*len).map(|_| self.field_initializer(&inner)).collect())
+            }
+            Type::Struct(_) => Initializer::List(vec![Initializer::Expr(Expr::int(0))]),
+            Type::Pointer(..) => Initializer::Expr(Expr::int(0)),
+        }
+    }
+}

@@ -77,7 +77,7 @@ impl TargetStats {
 impl TargetStats {
     /// Serializes to the journal's comma-separated count form
     /// (`w,bf,c,to,ok,sk`).
-    fn to_token(&self) -> String {
+    pub(crate) fn to_token(&self) -> String {
         format!(
             "{},{},{},{},{},{}",
             self.wrong, self.build_failures, self.crashes, self.timeouts, self.ok, self.skipped
@@ -86,7 +86,7 @@ impl TargetStats {
 
     /// Parses a count token.  Accepts the legacy five-count form (journals
     /// written before the static pre-filter existed) with `skipped = 0`.
-    fn from_token(token: &str) -> Result<TargetStats, JournalError> {
+    pub(crate) fn from_token(token: &str) -> Result<TargetStats, JournalError> {
         let fields = parse_fields::<usize>(token, ',', "target stats")?;
         if fields.len() != 5 && fields.len() != 6 {
             return Err(JournalError::Format(format!(
@@ -115,7 +115,7 @@ impl TargetStats {
 
 /// Serializes a row of per-target stats as `;`-joined count tokens (the
 /// shared backbone of the [`Mergeable`] campaign aggregates).
-fn stats_row_token(stats: &[TargetStats]) -> String {
+pub(crate) fn stats_row_token(stats: &[TargetStats]) -> String {
     if stats.is_empty() {
         return "-".to_string();
     }
@@ -126,14 +126,14 @@ fn stats_row_token(stats: &[TargetStats]) -> String {
         .join(";")
 }
 
-fn stats_row_from_token(token: &str) -> Result<Vec<TargetStats>, JournalError> {
+pub(crate) fn stats_row_from_token(token: &str) -> Result<Vec<TargetStats>, JournalError> {
     if token == "-" {
         return Ok(Vec::new());
     }
     token.split(';').map(TargetStats::from_token).collect()
 }
 
-fn merge_stats_rows(into: &mut [TargetStats], from: &[TargetStats]) {
+pub(crate) fn merge_stats_rows(into: &mut [TargetStats], from: &[TargetStats]) {
     assert_eq!(
         into.len(),
         from.len(),
@@ -467,7 +467,7 @@ impl JournalPayload for Vec<Verdict> {
 /// A short fingerprint of the target column set, embedded in campaign
 /// descriptors so journals from runs over different configuration lists
 /// refuse to merge.
-fn target_fingerprint(targets: &[TestTarget]) -> u64 {
+pub(crate) fn target_fingerprint(targets: &[TestTarget]) -> u64 {
     let labels: Vec<String> = targets.iter().map(TestTarget::label).collect();
     checksum(labels.join("\n").as_bytes())
 }

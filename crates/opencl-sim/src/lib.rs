@@ -39,6 +39,7 @@ pub mod store;
 
 pub use bugs::{BugEffect, BugRule, Miscompilation, OptLevel, OptScope, Trigger};
 pub use clc_interp::ExecutionTier;
+pub use clsmith::{coverage_hash, CoverageClass, CoverageMap};
 pub use configs::{
     above_threshold_configurations, all_configurations, configuration, Configuration, DeviceType,
     OutcomeRates,

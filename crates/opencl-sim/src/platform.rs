@@ -53,7 +53,10 @@ use crate::passes;
 use crate::store::OutcomeStore;
 use clc::{Features, Fingerprint, Program, ProgramHasher};
 use clc_analyze::AnalysisReport;
-use clc_interp::{CompiledKernel, ExecutionTier, LaunchOptions, RuntimeError, Schedule};
+use clc_interp::{
+    CompiledKernel, ExecutionTier, LaunchOptions, LaunchResult, RuntimeError, Schedule,
+};
+use clsmith::{coverage_hash, CoverageClass, CoverageMap};
 use std::borrow::Cow;
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::hash_map::{DefaultHasher, Entry};
@@ -164,7 +167,13 @@ pub enum CompiledProgram<'s> {
     /// The outcome was decided without running the kernel: a deterministic
     /// bug rule or a background rate produced a build failure, compile
     /// hang, or crash.
-    Decided(TestOutcome),
+    Decided {
+        /// The decided outcome.
+        outcome: TestOutcome,
+        /// Front-end coverage recorded while deciding it (rule hits and any
+        /// miscompilations collected before the deciding rule fired).
+        coverage: CoverageMap,
+    },
     /// The kernel must run.  `program` borrows the session's (possibly
     /// optimised) AST when no target-specific transform applied, and is
     /// owned otherwise; `fingerprint` is its structural hash, the key the
@@ -174,6 +183,11 @@ pub enum CompiledProgram<'s> {
         program: Cow<'s, Program>,
         /// Structural fingerprint of that AST.
         fingerprint: Fingerprint,
+        /// Front-end coverage: bug-rule hits, optimiser passes that changed
+        /// the program, miscompilation transforms applied.  Recorded for
+        /// free on the deduplicated path — the front end runs per target
+        /// regardless of whether the launch is memoised.
+        coverage: CoverageMap,
     },
 }
 
@@ -189,8 +203,16 @@ pub enum CompiledProgram<'s> {
 #[derive(Debug, Default)]
 pub struct ExecMemo {
     kernels: RefCell<HashMap<Fingerprint, Rc<CompiledKernel>>>,
-    outcomes: RefCell<HashMap<(Fingerprint, u64), TestOutcome>>,
+    /// Outcome cache, with the launch's dynamic coverage bits stored next
+    /// to each outcome so memoised hits replay the *same* coverage the real
+    /// launch produced — coverage stays a deterministic function of
+    /// `(fingerprint, exec key)` at any worker count.
+    outcomes: RefCell<HashMap<(Fingerprint, u64), (TestOutcome, CoverageMap)>>,
     analyses: RefCell<HashMap<Fingerprint, Rc<AnalysisReport>>>,
+    /// Coverage folded per *base* (unoptimised) fingerprint across every
+    /// target executed so far — the per-kernel map the feedback loop reads,
+    /// living next to the exec memo exactly like the analysis cache.
+    coverage: RefCell<HashMap<Fingerprint, CoverageMap>>,
     stats: MemoCounters,
 }
 
@@ -415,7 +437,7 @@ const SHARED_SHARD_CAP: usize = 4096;
 
 #[derive(Default)]
 struct SharedShard {
-    outcomes: HashMap<(Fingerprint, u64), TestOutcome>,
+    outcomes: HashMap<(Fingerprint, u64), (TestOutcome, CoverageMap)>,
     order: VecDeque<(Fingerprint, u64)>,
 }
 
@@ -430,18 +452,18 @@ fn shared_shard(fingerprint: Fingerprint) -> &'static Mutex<SharedShard> {
     &shards[(fingerprint.0 as usize) & (SHARED_SHARDS - 1)]
 }
 
-fn shared_get(key: &(Fingerprint, u64)) -> Option<TestOutcome> {
+fn shared_get(key: &(Fingerprint, u64)) -> Option<(TestOutcome, CoverageMap)> {
     let shard = shared_shard(key.0)
         .lock()
         .unwrap_or_else(|e| e.into_inner());
     shard.outcomes.get(key).cloned()
 }
 
-fn shared_put(key: (Fingerprint, u64), outcome: TestOutcome) {
+fn shared_put(key: (Fingerprint, u64), outcome: TestOutcome, coverage: CoverageMap) {
     let mut shard = shared_shard(key.0)
         .lock()
         .unwrap_or_else(|e| e.into_inner());
-    if shard.outcomes.insert(key, outcome).is_none() {
+    if shard.outcomes.insert(key, (outcome, coverage)).is_none() {
         shard.order.push_back(key);
         if shard.order.len() > SHARED_SHARD_CAP {
             if let Some(oldest) = shard.order.pop_front() {
@@ -483,7 +505,7 @@ pub struct Session<'p> {
     hasher: ProgramHasher,
     base_fingerprint: Fingerprint,
     features: OnceCell<Features>,
-    optimized: OnceCell<(Program, Fingerprint)>,
+    optimized: OnceCell<(Program, Fingerprint, u8)>,
     memo: Rc<ExecMemo>,
 }
 
@@ -541,6 +563,30 @@ impl<'p> Session<'p> {
         &self.memo
     }
 
+    /// Coverage folded for this kernel across every target executed so far:
+    /// front-end rule/pass/miscompilation bits plus the dynamic bits of the
+    /// launches those targets resolved to.  Keyed in the memo by the
+    /// *unoptimised* fingerprint, so repeat sessions over a structurally
+    /// identical program (sharing the memo) keep accumulating one map.
+    pub fn coverage(&self) -> CoverageMap {
+        self.memo
+            .coverage
+            .borrow()
+            .get(&self.base_fingerprint)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Folds `coverage` into this kernel's per-fingerprint map.
+    fn fold_coverage(&self, coverage: &CoverageMap) {
+        self.memo
+            .coverage
+            .borrow_mut()
+            .entry(self.base_fingerprint)
+            .or_default()
+            .merge(coverage);
+    }
+
     /// Deterministic pseudo-probability in `[0, 1)` for a background
     /// outcome roll: bit-identical to hashing
     /// `(program, config.id, opt, salt)` from scratch, but reusing the
@@ -550,16 +596,17 @@ impl<'p> Session<'p> {
         (h % 1_000_000) as f64 / 1_000_000.0
     }
 
-    /// The passes-optimised AST and its fingerprint (computed once and
-    /// shared by every optimising target).
-    fn optimized(&self) -> (&Program, Fingerprint) {
-        let (program, fingerprint) = self.optimized.get_or_init(|| {
+    /// The passes-optimised AST, its fingerprint, and the `PASS_BIT_*` mask
+    /// of passes that changed the program (computed once and shared by
+    /// every optimising target).
+    fn optimized(&self) -> (&Program, Fingerprint, u8) {
+        let (program, fingerprint, pass_bits) = self.optimized.get_or_init(|| {
             let mut optimized = self.program.clone();
-            passes::optimize(&mut optimized);
+            let pass_bits = passes::optimize_traced(&mut optimized);
             let fingerprint = optimized.fingerprint();
-            (optimized, fingerprint)
+            (optimized, fingerprint, pass_bits)
         });
-        (program, *fingerprint)
+        (program, *fingerprint, *pass_bits)
     }
 
     /// The front-end phase: deterministic bug rules, background-rate rolls,
@@ -570,26 +617,36 @@ impl<'p> Session<'p> {
     /// AST with its fingerprint.
     pub fn compile(&self, config: &Configuration, opt: OptLevel) -> CompiledProgram<'_> {
         // --- Deterministic bug rules --------------------------------------
+        let mut coverage = CoverageMap::new();
         let mut miscompilations = Vec::new();
         for rule in &config.rules {
             if !rule.applies(self.features(), self.program, opt) {
                 continue;
             }
+            coverage.set_hash(CoverageClass::Rules, coverage_hash(rule.name));
             match &rule.effect {
                 BugEffect::BuildFailure(msg) => {
-                    return CompiledProgram::Decided(TestOutcome::BuildFailure(format!(
-                        "{} [{}]",
-                        msg, rule.reference
-                    )))
+                    return CompiledProgram::Decided {
+                        outcome: TestOutcome::BuildFailure(format!("{} [{}]", msg, rule.reference)),
+                        coverage,
+                    }
                 }
-                BugEffect::CompileHang(_) => return CompiledProgram::Decided(TestOutcome::Timeout),
+                BugEffect::CompileHang(_) => {
+                    return CompiledProgram::Decided {
+                        outcome: TestOutcome::Timeout,
+                        coverage,
+                    }
+                }
                 BugEffect::RuntimeCrash(msg) => {
-                    return CompiledProgram::Decided(TestOutcome::Crash(format!(
-                        "{} [{}]",
-                        msg, rule.reference
-                    )))
+                    return CompiledProgram::Decided {
+                        outcome: TestOutcome::Crash(format!("{} [{}]", msg, rule.reference)),
+                        coverage,
+                    }
                 }
-                BugEffect::Miscompile(m) => miscompilations.push(*m),
+                BugEffect::Miscompile(m) => {
+                    coverage.set(CoverageClass::Miscompiles, m.coverage_bit());
+                    miscompilations.push(*m);
+                }
             }
         }
 
@@ -601,12 +658,18 @@ impl<'p> Session<'p> {
         let rates = config.rates(opt);
         let uses_barriers = self.features().barrier_count > 0;
         if self.chance(config, opt, "bf") < rates.build_failure {
-            return CompiledProgram::Decided(TestOutcome::BuildFailure(
-                "driver rejected the program (background rate)".into(),
-            ));
+            return CompiledProgram::Decided {
+                outcome: TestOutcome::BuildFailure(
+                    "driver rejected the program (background rate)".into(),
+                ),
+                coverage,
+            };
         }
         if self.chance(config, opt, "to") < rates.timeout {
-            return CompiledProgram::Decided(TestOutcome::Timeout);
+            return CompiledProgram::Decided {
+                outcome: TestOutcome::Timeout,
+                coverage,
+            };
         }
         let wrong_rate = rates.wrong_code
             + if uses_barriers {
@@ -622,14 +685,21 @@ impl<'p> Session<'p> {
                 0.0
             };
         if self.chance(config, opt, "crash") < crash_rate {
-            return CompiledProgram::Decided(TestOutcome::Crash(
-                "kernel execution crashed (background rate)".into(),
-            ));
+            return CompiledProgram::Decided {
+                outcome: TestOutcome::Crash("kernel execution crashed (background rate)".into()),
+                coverage,
+            };
         }
 
         // --- Compilation --------------------------------------------------
         let (base, base_fingerprint) = if opt == OptLevel::Enabled && config.optimizes {
-            self.optimized()
+            let (base, base_fingerprint, pass_bits) = self.optimized();
+            for bit in 0..8 {
+                if pass_bits & (1 << bit) != 0 {
+                    coverage.set(CoverageClass::Passes, bit);
+                }
+            }
+            (base, base_fingerprint)
         } else {
             (self.program, self.base_fingerprint)
         };
@@ -637,6 +707,7 @@ impl<'p> Session<'p> {
             return CompiledProgram::Execute {
                 program: Cow::Borrowed(base),
                 fingerprint: base_fingerprint,
+                coverage,
             };
         }
         let mut compiled = base.clone();
@@ -645,12 +716,15 @@ impl<'p> Session<'p> {
         }
         if perturb {
             let salt = self.hasher.chain(&(config.id, "perturb"));
-            apply_miscompilation(&mut compiled, Miscompilation::PerturbLiteral(salt));
+            let perturbation = Miscompilation::PerturbLiteral(salt);
+            coverage.set(CoverageClass::Miscompiles, perturbation.coverage_bit());
+            apply_miscompilation(&mut compiled, perturbation);
         }
         let fingerprint = compiled.fingerprint();
         CompiledProgram::Execute {
             program: Cow::Owned(compiled),
             fingerprint,
+            coverage,
         }
     }
 
@@ -664,13 +738,20 @@ impl<'p> Session<'p> {
         exec: &ExecOptions,
     ) -> TestOutcome {
         self.memo.stats.bump(Counter::Requests);
-        match self.compile(config, opt) {
-            CompiledProgram::Decided(outcome) => outcome,
+        let (outcome, mut coverage) = match self.compile(config, opt) {
+            CompiledProgram::Decided { outcome, coverage } => (outcome, coverage),
             CompiledProgram::Execute {
                 program,
                 fingerprint,
-            } => self.run(program, fingerprint, exec),
-        }
+                coverage,
+            } => (self.run(program, fingerprint, exec), coverage),
+        };
+        // The outcome *kind* is itself a coverage signal (a kernel that
+        // provokes its first build failure or crash is interesting), and it
+        // is available on every path — decided, memoised or launched.
+        coverage.set(CoverageClass::Dynamic, outcome_kind_bit(&outcome));
+        self.fold_coverage(&coverage);
+        outcome
     }
 
     /// Executes on the reference emulator with no configuration-specific
@@ -700,23 +781,36 @@ impl<'p> Session<'p> {
         if !exec.memoize {
             self.memo.stats.bump(Counter::Compiles);
             self.memo.stats.bump(Counter::Launches);
-            return launch_outcome(clc_interp::launch(&program, &options));
+            let result = clc_interp::launch(&program, &options);
+            self.fold_coverage(&dynamic_coverage(&result));
+            return launch_outcome(result);
         }
         let key = (fingerprint, exec_key(exec));
-        if let Some(hit) = self.memo.outcomes.borrow().get(&key) {
+        if let Some((hit, coverage)) = self.memo.outcomes.borrow().get(&key) {
             self.memo.stats.bump(Counter::OutcomeHits);
+            self.fold_coverage(coverage);
             return hit.clone();
         }
-        if let Some(hit) = shared_get(&key) {
+        if let Some((hit, coverage)) = shared_get(&key) {
             self.memo.stats.bump(Counter::SharedHits);
-            self.memo.outcomes.borrow_mut().insert(key, hit.clone());
+            self.fold_coverage(&coverage);
+            self.memo
+                .outcomes
+                .borrow_mut()
+                .insert(key, (hit.clone(), coverage));
             return hit;
         }
         if let Some(store) = &exec.store {
             if let Some(hit) = store.get(fingerprint, key.1) {
+                // The store holds outcomes only, so a store hit replays no
+                // launch-derived dynamic bits; the empty map is cached so
+                // later requests for this key stay consistent in-process.
                 self.memo.stats.bump(Counter::StoreHits);
-                shared_put(key, hit.clone());
-                self.memo.outcomes.borrow_mut().insert(key, hit.clone());
+                shared_put(key, hit.clone(), CoverageMap::new());
+                self.memo
+                    .outcomes
+                    .borrow_mut()
+                    .insert(key, (hit.clone(), CoverageMap::new()));
                 return hit;
             }
         }
@@ -734,9 +828,15 @@ impl<'p> Session<'p> {
             }
         };
         self.memo.stats.bump(Counter::Launches);
-        let outcome = launch_outcome(kernel.launch(&options));
-        self.memo.outcomes.borrow_mut().insert(key, outcome.clone());
-        shared_put(key, outcome.clone());
+        let result = kernel.launch(&options);
+        let coverage = dynamic_coverage(&result);
+        self.fold_coverage(&coverage);
+        let outcome = launch_outcome(result);
+        self.memo
+            .outcomes
+            .borrow_mut()
+            .insert(key, (outcome.clone(), coverage));
+        shared_put(key, outcome.clone(), coverage);
         if let Some(store) = &exec.store {
             store.put(fingerprint, key.1, &outcome);
         }
@@ -795,6 +895,69 @@ fn launch_outcome(result: Result<clc_interp::LaunchResult, RuntimeError>) -> Tes
         Err(RuntimeError::StepLimitExceeded { .. }) => TestOutcome::Timeout,
         Err(e) => TestOutcome::Crash(e.to_string()),
     }
+}
+
+/// The dynamic-class coverage bit for an outcome kind (bits 4..=7: ok, bf,
+/// crash, timeout).  Available on every path — decided, memoised, launched.
+fn outcome_kind_bit(outcome: &TestOutcome) -> u32 {
+    match outcome.kind() {
+        "ok" => 4,
+        "bf" => 5,
+        "c" => 6,
+        _ => 7,
+    }
+}
+
+/// Maps one emulator launch onto the dynamic word of the coverage map —
+/// the thread-aware feedback bits (à la MUZZ) the blind campaign never saw.
+///
+/// Layout of the `Dynamic` class word:
+///
+/// * bit 0 — a data race was detected;
+/// * bit 1 — barrier divergence;
+/// * bit 2 — step-limit exhaustion;
+/// * bit 3 — any other runtime error;
+/// * bits 4..=7 — outcome kind (set in [`Session::execute`], not here);
+/// * bits 8..=15 — barrier-release depth bucket (`log2` of the deepest
+///   barrier ladder any work-group ran, saturated at 7);
+/// * bit 16 — non-synchronising helper-function barriers executed;
+/// * bits 32..=63 — race-*site* hash (object, offset, same-group), so two
+///   distinct racy sites light distinct bits.
+///
+/// Only tier-stable signals are used (`total_steps` and the race-detector
+/// work counters are tier- or schedule-specific and deliberately excluded),
+/// so both interpreter tiers produce identical maps.
+fn dynamic_coverage(result: &Result<LaunchResult, RuntimeError>) -> CoverageMap {
+    let mut map = CoverageMap::new();
+    match result {
+        Ok(result) => {
+            if let Some(race) = &result.race {
+                map.set(CoverageClass::Dynamic, 0);
+                map.set(CoverageClass::Dynamic, race_site_bit(race));
+            }
+            let depth = (64 - result.barrier_intervals.leading_zeros()).min(7);
+            map.set(CoverageClass::Dynamic, 8 + depth);
+            if result.soft_barriers > 0 {
+                map.set(CoverageClass::Dynamic, 16);
+            }
+        }
+        Err(RuntimeError::BarrierDivergence { .. }) => map.set(CoverageClass::Dynamic, 1),
+        Err(RuntimeError::StepLimitExceeded { .. }) => map.set(CoverageClass::Dynamic, 2),
+        Err(RuntimeError::DataRace(race)) => {
+            map.set(CoverageClass::Dynamic, 0);
+            map.set(CoverageClass::Dynamic, race_site_bit(race));
+        }
+        Err(_) => map.set(CoverageClass::Dynamic, 3),
+    }
+    map
+}
+
+/// One of the 32 race-site bits (32..=63) for a detected race, hashed from
+/// the site's stable identity (schedule-independent parts only: the object,
+/// offset and same-group flag, not the thread ids).
+fn race_site_bit(race: &clc_interp::RaceReport) -> u32 {
+    let site = format!("{}:{}:{}", race.object, race.offset, race.same_group);
+    32 + (coverage_hash(&site) % 32) as u32
 }
 
 /// Hash of every execution option that can change a launch outcome — the
@@ -1090,6 +1253,38 @@ mod tests {
         // The per-job memo is back-filled: a repeat hits locally.
         assert_eq!(b.reference_execute(&exec), cold);
         assert_eq!(b.memo().stats().outcome_hits, 1);
+    }
+
+    #[test]
+    fn coverage_replays_identically_from_every_cache_level() {
+        let p = trivial_program(11);
+        let exec = ExecOptions {
+            store: None,
+            ..ExecOptions::default()
+        };
+        let fan_out = |exec: &ExecOptions| {
+            let session = Session::new(&p);
+            for config in all_configurations() {
+                for opt in OptLevel::BOTH {
+                    session.execute(&config, opt, exec);
+                }
+            }
+            session.coverage()
+        };
+        let cold = fan_out(&exec);
+        // The outcome-kind bit fires on every path, so the map is never
+        // empty; the trivial kernel must at least produce results.
+        assert!(cold.contains(CoverageClass::Dynamic, 4));
+        // A warm fan-out is served from the caches; the replayed coverage
+        // must be bit-identical to what the real launches produced.
+        assert_eq!(fan_out(&exec), cold);
+        // So must a fan-out with memoisation off (all real launches).
+        let unmemoised = ExecOptions {
+            memoize: false,
+            store: None,
+            ..ExecOptions::default()
+        };
+        assert_eq!(fan_out(&unmemoised), cold);
     }
 
     #[test]

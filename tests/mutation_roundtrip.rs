@@ -1,0 +1,144 @@
+//! The mutator's validity contract, differentially checked over 500+
+//! seeded mutation chains: every mutant still type-checks, prints
+//! deterministically to structurally plausible OpenCL C (there is no
+//! OpenCL C parser in this repository, so the print → reparse round-trip
+//! is approximated the same way `tests/printer_roundtrip.rs` does), and
+//! still passes the `clsmith::validate` static prefilter whenever its
+//! parent did — so feedback-guided corpus campaigns never evolve a lineage
+//! into kernels the prefilter would refuse.  A deterministic subset of the
+//! final mutants additionally executes on both interpreter tiers, which
+//! must agree on results and race verdicts.
+
+use clc_interp::{ExecutionTier, LaunchOptions};
+use clsmith::{generate, job_seed, mutate, GenMode, GeneratorOptions, MutationKind};
+
+const CHAINS: u64 = 72;
+const CHAIN_LEN: u64 = 7;
+
+fn chain_base(case: u64) -> (GenMode, u64, clc::Program) {
+    let pick = job_seed(0x4D57, case);
+    let seed = pick % 5000;
+    let mode = GenMode::ALL[(pick >> 32) as usize % GenMode::ALL.len()];
+    let opts = GeneratorOptions {
+        min_threads: 16,
+        max_threads: 48,
+        ..GeneratorOptions::new(mode, seed)
+    };
+    (mode, seed, generate(&opts))
+}
+
+#[test]
+fn mutation_chains_preserve_validity_and_prefilter_certification() {
+    let mut mutants = 0usize;
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    let mut certified_links = 0usize;
+    for case in 0..CHAINS {
+        let (mode, seed, base) = chain_base(case);
+        let mut current = base;
+        for step in 0..CHAIN_LEN {
+            let mseed = job_seed(seed, step + 1);
+            let Some((mutant, mutation)) = mutate(&current, mseed) else {
+                continue;
+            };
+            mutants += 1;
+            kinds_seen.insert(mutation.kind.name());
+            let context = format!("mode {mode} seed {seed} step {step} ({mutation:?})");
+
+            // Seeded mutation is a function: same (program, seed) in, same
+            // mutant out.
+            let (again, mutation_again) = mutate(&current, mseed).expect("replay applies");
+            assert_eq!(mutation, mutation_again, "{context}: site drifted");
+            assert_eq!(
+                clc::print_program(&mutant),
+                clc::print_program(&again),
+                "{context}: mutation is not deterministic"
+            );
+
+            // The mutant is still a well-typed program...
+            clc::check_program(&mutant)
+                .unwrap_or_else(|e| panic!("{context}: mutant fails type-check: {e:?}"));
+
+            // ...that prints deterministically to plausible OpenCL C.
+            let printed = clc::print_program(&mutant);
+            assert_eq!(printed, clc::print_program(&mutant), "{context}");
+            assert!(printed.contains("kernel void entry"), "{context}");
+            assert!(printed.contains("struct Globals"), "{context}");
+
+            // The static prefilter keeps certifying what it certified
+            // before the rewrite: a guided lineage can never mutate itself
+            // out of the campaign's prefilter.
+            if clsmith::validate(&current).is_certified() {
+                certified_links += 1;
+                assert!(
+                    clsmith::validate(&mutant).is_certified(),
+                    "{context}: mutation broke prefilter certification:\n{printed}"
+                );
+            }
+            current = mutant;
+        }
+    }
+    assert!(
+        mutants >= 500,
+        "differential sweep too small: {mutants} mutants"
+    );
+    assert!(
+        certified_links > 400,
+        "certification preservation barely exercised: {certified_links} certified links"
+    );
+    assert!(
+        kinds_seen.len() == MutationKind::ALL.len(),
+        "mutation grammar not fully exercised: {kinds_seen:?}"
+    );
+}
+
+#[test]
+fn mutated_kernels_agree_across_interpreter_tiers() {
+    let mut compared = 0usize;
+    for case in (0..CHAINS).step_by(8) {
+        let (mode, seed, base) = chain_base(case);
+        let mut current = base;
+        for step in 0..CHAIN_LEN {
+            if let Some((mutant, _)) = mutate(&current, job_seed(seed, step + 1)) {
+                current = mutant;
+            }
+        }
+        let launch = |tier| {
+            clc_interp::launch(
+                &current,
+                &LaunchOptions {
+                    tier,
+                    detect_races: true,
+                    ..LaunchOptions::default()
+                },
+            )
+        };
+        match (
+            launch(ExecutionTier::TreeWalk),
+            launch(ExecutionTier::Bytecode),
+        ) {
+            (Ok(tree), Ok(vm)) => {
+                assert_eq!(
+                    tree.result_string, vm.result_string,
+                    "mode {mode} seed {seed}: tiers disagree on the mutated kernel"
+                );
+                assert_eq!(
+                    tree.race, vm.race,
+                    "mode {mode} seed {seed}: tiers disagree on the race verdict"
+                );
+                compared += 1;
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "mode {mode} seed {seed}: tiers fail differently"
+                );
+            }
+            (tree, vm) => panic!(
+                "mode {mode} seed {seed}: one tier failed where the other ran: \
+                 tree={tree:?} vm={vm:?}"
+            ),
+        }
+    }
+    assert!(compared >= 5, "tier sweep too small: {compared} kernels");
+}
